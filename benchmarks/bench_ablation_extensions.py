@@ -1,0 +1,71 @@
+"""A3 — ablation: the §5 extension modes.
+
+Quantifies both trade-offs the paper's discussion section predicts:
+
+* ``frodo-fn`` (generic function interface) — static code shrinks on
+  models with several Convolution instances, dynamic work unchanged;
+* ``frodo-coalesce`` (contiguous ranges) — static code shrinks on
+  discontinuous-range models, dynamic work grows slightly.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.codegen import make_generator
+from repro.eval.report import format_table
+from repro.ir.interp import VirtualMachine
+from repro.sim.simulator import random_inputs
+from repro.zoo import build_model
+
+VARIANTS = ("frodo", "frodo-fn", "frodo-coalesce", "frodo-fn-coalesce")
+MODELS = ("AudioProcess", "HighPass", "Maintenance", "Simpson", "RunningDiff")
+
+
+def _stats(model_name: str, generator: str) -> tuple[int, int, int]:
+    model = build_model(model_name)
+    code = make_generator(generator).generate(model)
+    inputs = code.map_inputs(random_inputs(model, seed=0))
+    counts = VirtualMachine(code.program).run(inputs).counts
+    return (code.program.statement_count, len(code.program.functions),
+            counts.total.total_element_ops)
+
+
+@pytest.mark.parametrize("generator", VARIANTS)
+@pytest.mark.parametrize("model_name", ["HighPass", "Simpson"])
+def test_vm_execution(benchmark, prepared_run, model_name, generator):
+    run = prepared_run(model_name, generator)
+    benchmark.pedantic(run.execute, rounds=3, iterations=1)
+
+
+def test_report_extension_ablation(benchmark, results_dir):
+    def gather():
+        rows = []
+        for model in MODELS:
+            for generator in VARIANTS:
+                stmts, funcs, ops = _stats(model, generator)
+                rows.append([model, generator, stmts, funcs, ops])
+        return rows
+    rows = benchmark.pedantic(gather, rounds=1, iterations=1)
+    text = format_table(
+        ["Model", "variant", "IR stmts", "functions", "element ops"],
+        rows, title="Ablation A3: §5 extension modes")
+    write_report(results_dir, "ablation_extensions.txt", text)
+
+
+def test_generic_functions_shrink_conv_heavy_models(benchmark):
+    def gather():
+        return {m: (_stats(m, "frodo")[0], _stats(m, "frodo-fn")[0])
+                for m in ("AudioProcess", "HighPass", "Maintenance")}
+    rows = benchmark.pedantic(gather, rounds=1, iterations=1)
+    for model, (inline, shared) in rows.items():
+        assert shared < inline, f"{model}: fn mode did not shrink code"
+
+
+def test_coalesce_shrinks_discontinuous_models(benchmark):
+    def gather():
+        return (_stats("Simpson", "frodo"), _stats("Simpson", "frodo-coalesce"))
+    (stmts_a, _, ops_a), (stmts_b, _, ops_b) = benchmark.pedantic(
+        gather, rounds=1, iterations=1)
+    assert stmts_b < stmts_a      # contiguous ranges: fewer code instances
+    assert ops_b >= ops_a         # at the price of recomputed elements
+    assert ops_b < ops_a * 1.25   # bounded price

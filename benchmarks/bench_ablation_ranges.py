@@ -1,0 +1,60 @@
+"""A2 — ablation: range statistics and the §5 threats-to-validity.
+
+Reports, per model: optimizable-block counts, eliminated elements,
+blocks with discontinuous (multi-run) calculation ranges, and the code
+size difference FRODO pays for per-range code instances (the paper's §5
+code-duplication discussion).
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.codegen import DFSynthGenerator, FrodoGenerator
+from repro.core.analysis import analyze
+from repro.core.ranges import determine_ranges
+from repro.eval.experiments import ablation_ranges
+from repro.zoo import TABLE1, build_model
+
+MODEL_IDS = [entry.name for entry in TABLE1]
+
+
+@pytest.mark.parametrize("model_name", MODEL_IDS)
+def test_range_determination(benchmark, model_name):
+    analyzed = analyze(build_model(model_name))
+    result = benchmark.pedantic(lambda: determine_ranges(analyzed),
+                                rounds=3, iterations=1)
+    assert result.optimizable
+
+
+def test_report_ablation_ranges(benchmark, results_dir):
+    text = benchmark.pedantic(ablation_ranges, rounds=1, iterations=1)
+    write_report(results_dir, "ablation_ranges.txt", text)
+
+
+def test_simpson_discontinuous_ranges_cost_code_not_time(benchmark):
+    """§5 threat reproduced: stride selectors give Simpson discontinuous
+    ranges, so FRODO's per-run code instances make the *static* program
+    longer than the baseline — while the *dynamic* work stays smaller.
+    ("This results in longer code relative to other code generators.")"""
+    from repro.ir.interp import VirtualMachine
+    from repro.sim.simulator import random_inputs
+
+    def gather():
+        model = build_model("Simpson")
+        analyzed = analyze(model)
+        ranges = determine_ranges(analyzed)
+        discontinuous = [name for name, rng in ranges.output_range.items()
+                         if rng.run_count > 1]
+        frodo = FrodoGenerator().generate(model)
+        base = DFSynthGenerator().generate(model)
+        inputs = random_inputs(model, seed=0)
+        ops_f = VirtualMachine(frodo.program).run(
+            frodo.map_inputs(inputs)).counts.total.total_element_ops
+        ops_b = VirtualMachine(base.program).run(
+            base.map_inputs(inputs)).counts.total.total_element_ops
+        return discontinuous, frodo.program, base.program, ops_f, ops_b
+    discontinuous, frodo, base, ops_f, ops_b = benchmark.pedantic(
+        gather, rounds=1, iterations=1)
+    assert discontinuous
+    assert frodo.statement_count > base.statement_count  # the §5 cost
+    assert ops_f < ops_b                                  # the §3 win

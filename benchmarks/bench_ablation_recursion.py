@@ -1,0 +1,42 @@
+"""A1 — ablation: recursive range propagation vs direct-only pull-back.
+
+Quantifies the paper's first challenge ("indirectly connected blocks can
+also influence each other"): how much of FRODO's win survives when
+demands are pulled back only one level.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.eval.experiments import ablation_recursion
+from repro.eval.runner import measure
+from repro.zoo import TABLE1
+
+MODEL_IDS = [entry.name for entry in TABLE1]
+
+
+@pytest.mark.parametrize("generator", ["frodo", "frodo-direct"])
+@pytest.mark.parametrize("model_name", ["AudioProcess", "Decryption",
+                                        "HighPass", "Maintenance"])
+def test_vm_execution(benchmark, prepared_run, model_name, generator):
+    run = prepared_run(model_name, generator)
+    benchmark.pedantic(run.execute, rounds=3, iterations=1)
+
+
+def test_report_ablation(benchmark, results_dir):
+    text = benchmark.pedantic(ablation_recursion, rounds=1, iterations=1)
+    write_report(results_dir, "ablation_recursion.txt", text)
+
+
+def test_recursion_strictly_helps_on_deep_chains(benchmark):
+    """On cascade models (HighPass), one-level pull-back must be measurably
+    slower than full recursion; everywhere it must never be faster."""
+    def gather():
+        return {m: (measure(m, "frodo", "x86-gcc").seconds,
+                    measure(m, "frodo-direct", "x86-gcc").seconds)
+                for m in MODEL_IDS}
+    rows = benchmark.pedantic(gather, rounds=1, iterations=1)
+    for model, (full, direct) in rows.items():
+        assert direct >= full * 0.999, f"{model}: direct-only beat recursion"
+    full, direct = rows["HighPass"]
+    assert direct / full > 1.1, "deep cascade should benefit from recursion"

@@ -1,0 +1,55 @@
+"""Extended-zoo benchmarks: the 2-D image pipeline and battery monitor.
+
+Not part of the paper's Table 1 — these quantify redundancy elimination
+on the extension block vocabulary (Convolution2D ROI trimming, the
+Assignment dual-truncation, and the conservative index_port path).
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.eval.report import format_table
+from repro.eval.runner import GENERATOR_ORDER
+from repro.ir.cost import X86_GCC
+from repro.ir.interp import VirtualMachine
+from repro.codegen import make_generator
+from repro.sim.simulator import random_inputs
+from repro.zoo import EXTENDED, build_model
+
+EXTENDED_IDS = [e.name for e in EXTENDED]
+
+
+@pytest.mark.parametrize("generator", GENERATOR_ORDER)
+@pytest.mark.parametrize("model_name", EXTENDED_IDS)
+def test_vm_execution(benchmark, prepared_run, model_name, generator):
+    run = prepared_run(model_name, generator)
+    benchmark.pedantic(run.execute, rounds=3, iterations=1)
+
+
+def test_report_extended_zoo(benchmark, results_dir):
+    def gather():
+        rows = []
+        for model_name in EXTENDED_IDS:
+            model = build_model(model_name)
+            inputs = random_inputs(model, seed=0)
+            cells = {}
+            for generator in GENERATOR_ORDER:
+                code = make_generator(generator).generate(model)
+                counts = VirtualMachine(code.program).run(
+                    code.map_inputs(inputs)).counts
+                cells[generator] = X86_GCC.modeled_time_ns(counts)
+            for generator in GENERATOR_ORDER:
+                rows.append([model_name, generator,
+                             f"{cells[generator]:,.0f}",
+                             f"{cells[generator] / cells['frodo']:.2f}x"])
+        return rows
+    rows = benchmark.pedantic(gather, rounds=1, iterations=1)
+    text = format_table(["Model", "generator", "ns (x86-gcc)", "vs frodo"],
+                        rows, title="Extended zoo (beyond Table 1)")
+    write_report(results_dir, "extended_zoo.txt", text)
+    # FRODO must win on both extension models too.
+    for i in range(0, len(rows), len(GENERATOR_ORDER)):
+        group = rows[i:i + len(GENERATOR_ORDER)]
+        frodo_ns = float(group[-1][2].replace(",", ""))
+        for row in group[:-1]:
+            assert float(row[2].replace(",", "")) >= frodo_ns

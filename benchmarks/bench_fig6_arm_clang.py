@@ -1,0 +1,29 @@
+"""E4 — Figure 6(b): FRODO's improvement over each baseline on ARM + Clang."""
+
+from conftest import write_report
+from repro.eval.experiments import PAPER_FIG6_RANGES, figure6
+
+PROFILE = "arm-clang"
+
+
+def test_figure6_arm_clang(benchmark, results_dir):
+    result = benchmark.pedantic(lambda: figure6(PROFILE), rounds=1,
+                                iterations=1)
+    lines = [result.render(), ""]
+    lines.append("improvement ranges (paper in parentheses):")
+    for baseline, (low, high) in result.ranges().items():
+        p_low, p_high = PAPER_FIG6_RANGES[(PROFILE, baseline)]
+        lines.append(f"  vs {baseline:9s} measured {low:.2f}x-{high:.2f}x"
+                     f"  (paper {p_low:.2f}x-{p_high:.2f}x)")
+        assert low > 1.0
+    write_report(results_dir, "fig6_arm_clang.txt", "\n".join(lines))
+    from repro.eval.svg import save_figure6_svg
+    save_figure6_svg(result, results_dir / "fig6_arm_clang.svg")
+
+
+def test_frodo_wins_every_arm_clang_cell(benchmark):
+    result = benchmark.pedantic(lambda: figure6(PROFILE), rounds=1,
+                                iterations=1)
+    for baseline, per_model in result.improvement.items():
+        for model, factor in per_model.items():
+            assert factor > 1.0, f"{baseline}/{model}: {factor:.2f}"

@@ -1,0 +1,67 @@
+"""E5 — §5 memory study: FRODO's speed must not cost memory.
+
+The timed unit is VM construction (buffer allocation for the generated
+program); the report compares static buffer bytes across generators per
+model and asserts the paper's parity claim.
+"""
+
+import pytest
+
+from conftest import PreparedRun, write_report
+from repro.eval.experiments import memory_study
+from repro.eval.runner import GENERATOR_ORDER, measure
+from repro.zoo import TABLE1
+
+MODEL_IDS = [entry.name for entry in TABLE1]
+
+
+@pytest.mark.parametrize("model_name", ["AudioProcess", "Maintenance", "HT"])
+def test_vm_allocation(benchmark, model_name):
+    benchmark.pedantic(lambda: PreparedRun(model_name, "frodo"),
+                       rounds=3, iterations=1)
+
+
+def test_report_memory(benchmark, results_dir):
+    text = benchmark.pedantic(memory_study, rounds=1, iterations=1)
+    write_report(results_dir, "memory_section5.txt", text)
+
+
+def test_memory_parity_claim(benchmark):
+    """No generator uses >30% more static buffer bytes than another, and
+    FRODO never uses more peak VM memory than the baselines."""
+    def gather():
+        rows = {}
+        for model in MODEL_IDS:
+            rows[model] = {g: measure(model, g, "x86-gcc")
+                           for g in GENERATOR_ORDER}
+        return rows
+    rows = benchmark.pedantic(gather, rounds=1, iterations=1)
+    for model, cells in rows.items():
+        static = [m.static_bytes for m in cells.values()]
+        assert max(static) / min(static) < 1.3, f"{model}: {static}"
+        assert cells["frodo"].peak_bytes <= cells["simulink"].peak_bytes
+
+
+def test_report_variable_reuse(benchmark, results_dir):
+    """A5: Embedded Coder-style variable reuse as an opt-in FRODO pass —
+    static footprint drops substantially with identical semantics."""
+    from repro.codegen import make_generator
+    from repro.eval.report import format_table
+    from repro.zoo import build_model
+
+    def gather():
+        rows = []
+        for model_name in MODEL_IDS:
+            model = build_model(model_name)
+            plain = make_generator("frodo").generate(model).program
+            reused = make_generator("frodo-reuse").generate(model).program
+            rows.append([model_name, plain.static_bytes, reused.static_bytes,
+                         f"{plain.static_bytes / reused.static_bytes:.2f}x"])
+        return rows
+    rows = benchmark.pedantic(gather, rounds=1, iterations=1)
+    text = format_table(
+        ["Model", "frodo bytes", "frodo-reuse bytes", "shrink"],
+        rows, title="A5: liveness-based variable reuse (opt-in pass)")
+    write_report(results_dir, "ablation_bufreuse.txt", text)
+    for row in rows:
+        assert row[2] <= row[1]

@@ -1,0 +1,55 @@
+"""N1 — native check: the emitted C, compiled with this sandbox's real
+gcc at -O3, must show the paper's ordering on a convolution-heavy model.
+
+This is the one benchmark that measures actual silicon rather than the
+cost model; only two model/generator pairs are compiled to keep runtime
+reasonable.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.codegen import make_generator
+from repro.native import compile_and_run, find_compiler
+from repro.sim.simulator import random_inputs
+from repro.zoo import build_model
+
+pytestmark = pytest.mark.skipif(find_compiler() is None,
+                                reason="no C compiler on PATH")
+
+REPETITIONS = 200_000
+
+
+def _native_seconds(model_name: str, generator: str) -> float:
+    model = build_model(model_name)
+    code = make_generator(generator).generate(model)
+    inputs = random_inputs(model, seed=7)
+    result = compile_and_run(code, inputs, repetitions=REPETITIONS)
+    assert result.seconds is not None
+    return result.seconds
+
+
+def test_native_motivating_frodo_vs_simulink(benchmark, results_dir):
+    def run():
+        return {g: _native_seconds("Motivating", g)
+                for g in ("simulink", "dfsynth", "frodo")}
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"native gcc -O3, {REPETITIONS} repetitions, Motivating model:"]
+    for generator, seconds in times.items():
+        lines.append(f"  {generator:10s} {seconds:.4f}s "
+                     f"({times['simulink'] / seconds:.2f}x vs simulink)")
+    write_report(results_dir, "native_gcc_motivating.txt", "\n".join(lines))
+    assert times["frodo"] < times["simulink"]
+
+
+def test_native_manufacture_speedup(benchmark, results_dir):
+    def run():
+        return (_native_seconds("Maunfacture", "simulink"),
+                _native_seconds("Maunfacture", "frodo"))
+    simulink, frodo = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = simulink / frodo
+    write_report(results_dir, "native_gcc_manufacture.txt",
+                 f"Maunfacture native gcc -O3: simulink={simulink:.4f}s "
+                 f"frodo={frodo:.4f}s speedup={speedup:.2f}x "
+                 "(paper x86-gcc: 4.63x)")
+    assert speedup > 1.3, f"expected a real speedup, got {speedup:.2f}x"

@@ -1,0 +1,59 @@
+"""A6 — translation-order ablation (paper background §2, step ③).
+
+Any topological order is semantically valid; this bench confirms the
+invariance (identical outputs and op counts under all three strategies)
+and times the schedulers themselves on the largest zoo model.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.codegen import FrodoGenerator
+from repro.core.schedule import STRATEGIES, topological_schedule
+from repro.eval.report import format_table
+from repro.ir.interp import VirtualMachine
+from repro.sim.simulator import random_inputs, simulate
+from repro.zoo import build_model
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_scheduler_speed(benchmark, strategy):
+    model = build_model("Maintenance").flatten()
+    order = benchmark.pedantic(
+        lambda: topological_schedule(model, strategy), rounds=3, iterations=1)
+    assert len(order) == len(model.blocks)
+
+
+def test_report_schedule_invariance(benchmark, results_dir):
+    """Outputs and dynamic op counts are schedule-invariant."""
+    def gather():
+        rows = []
+        for model_name in ("Kalman", "AudioProcess", "Simpson"):
+            model = build_model(model_name)
+            inputs = random_inputs(model, seed=0)
+            expected = simulate(model, inputs, steps=2)
+            baseline_ops = None
+            for strategy in STRATEGIES:
+                generator = FrodoGenerator()
+                generator.schedule_strategy = strategy
+                code = generator.generate(model)
+                result = VirtualMachine(code.program).run(
+                    code.map_inputs(inputs), steps=2)
+                outputs = code.map_outputs(result.outputs)
+                for key in expected:
+                    assert np.allclose(
+                        np.asarray(outputs[key]).ravel(),
+                        np.asarray(expected[key]).ravel()), \
+                        f"{model_name}/{strategy}/{key}"
+                ops = result.counts.total.total_element_ops
+                if baseline_ops is None:
+                    baseline_ops = ops
+                assert ops == baseline_ops, \
+                    f"{model_name}/{strategy}: op count changed with order"
+                rows.append([model_name, strategy, ops, "identical"])
+        return rows
+    rows = benchmark.pedantic(gather, rounds=1, iterations=1)
+    text = format_table(["Model", "strategy", "element ops", "outputs"],
+                        rows, title="A6: translation-order invariance")
+    write_report(results_dir, "ablation_schedule.txt", text)

@@ -1,0 +1,62 @@
+"""A4 — sensitivity sweeps on the motivating same-convolution pattern.
+
+Shows the scaling laws behind the paper's point measurements: FRODO's
+edge grows as the Selector keeps less (truncation sweep) and the
+Embedded Coder boundary-judgment penalty grows with kernel width
+(kernel sweep).
+"""
+
+from conftest import write_report
+from repro.eval.sweeps import (
+    kernel_sweep, render_sweep, same_conv_model, truncation_sweep,
+)
+
+
+def test_report_truncation_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(truncation_sweep, rounds=1, iterations=1)
+    text = render_sweep(points, "kept fraction", "dfsynth",
+                        "A4a: speedup vs kept output fraction "
+                        "(Conv 128, kernel 9, vs DFSynth, x86-gcc)")
+    write_report(results_dir, "sweep_truncation.txt", text)
+    # Monotone: keeping less output must never reduce the speedup.
+    speedups = [p.speedup for p in points]
+    assert all(a >= b - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    # At fraction 1.0 there is (almost) nothing to eliminate.
+    assert speedups[-1] < 1.15
+    # At 1/8 the win should be substantial.
+    assert speedups[0] > 2.0
+
+
+def test_report_kernel_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(kernel_sweep, rounds=1, iterations=1)
+    text = render_sweep(points, "kernel taps", "simulink",
+                        "A4b: speedup vs kernel width "
+                        "(Conv 128, keep 50%, vs Simulink EC, x86-gcc)")
+    write_report(results_dir, "sweep_kernel.txt", text)
+    speedups = [p.speedup for p in points]
+    assert speedups[-1] > speedups[0], \
+        "boundary judgments should hurt more with wider kernels"
+
+
+def test_sweep_models_validate(benchmark):
+    """Every sweep configuration still passes random-testing validation."""
+    import numpy as np
+    from repro.codegen import make_generator
+    from repro.ir.interp import VirtualMachine
+    from repro.sim.simulator import random_inputs, simulate
+
+    def run():
+        for fraction in (0.125, 1.0):
+            for kernel in (3, 31):
+                model = same_conv_model(96, kernel, fraction)
+                inputs = random_inputs(model, seed=1)
+                expected = simulate(model, inputs)["y"]
+                for generator in ("simulink", "frodo"):
+                    code = make_generator(generator).generate(model)
+                    got = code.map_outputs(VirtualMachine(code.program).run(
+                        code.map_inputs(inputs)).outputs)["y"]
+                    np.testing.assert_allclose(
+                        np.asarray(got).ravel(),
+                        np.asarray(expected).ravel())
+        return True
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

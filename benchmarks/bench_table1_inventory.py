@@ -1,0 +1,33 @@
+"""E1 — Table 1: the benchmark inventory.
+
+Benchmarks the front half of the pipeline (build + flatten + validate +
+type + schedule + I/O-mapping-driven range determination) per model, and
+regenerates the Table 1 listing.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.core.analysis import analyze
+from repro.core.ranges import determine_ranges
+from repro.eval.experiments import table1
+from repro.zoo import TABLE1, build_model
+
+MODEL_IDS = [entry.name for entry in TABLE1]
+
+
+@pytest.mark.parametrize("model_name", MODEL_IDS)
+def test_analysis_pipeline(benchmark, model_name):
+    def pipeline():
+        model = build_model(model_name)
+        analyzed = analyze(model)
+        return determine_ranges(analyzed)
+    ranges = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert ranges.output_range
+
+
+def test_report_table1(benchmark, results_dir):
+    text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    for entry in TABLE1:
+        assert entry.name in text
+    write_report(results_dir, "table1_inventory.txt", text)

@@ -1,0 +1,61 @@
+"""E2 — Table 2: execution duration on x86 (GCC and Clang profiles).
+
+The timed work unit is one step of the generated program in the IR
+virtual machine — interpretation time is proportional to dynamic op
+count, the quantity FRODO reduces, so the pytest-benchmark column is a
+direct (machine-local) analogue of the paper's execution-duration column.
+The cost-model rendition of Table 2 (both compiler profiles, 10,000
+repetitions) is written to ``results/table2_x86.txt``.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.eval.experiments import PAPER_TABLE2, table2
+from repro.eval.runner import GENERATOR_ORDER
+from repro.zoo import TABLE1
+
+MODEL_IDS = [entry.name for entry in TABLE1]
+
+
+@pytest.mark.parametrize("generator", GENERATOR_ORDER)
+@pytest.mark.parametrize("model_name", MODEL_IDS)
+def test_vm_execution(benchmark, prepared_run, model_name, generator):
+    run = prepared_run(model_name, generator)
+    benchmark.pedantic(run.execute, rounds=3, iterations=1)
+
+
+def test_report_table2(benchmark, results_dir):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    lines = [result.render(), ""]
+    for profile in ("x86-gcc", "x86-clang"):
+        measured = result.improvement_ranges(profile)
+        lines.append(f"FRODO improvement ranges on {profile} "
+                     "(paper x86 ranges in parentheses):")
+        paper = {
+            ("x86-gcc", "simulink"): (1.26, 5.64),
+            ("x86-gcc", "dfsynth"): (1.32, 5.75),
+            ("x86-gcc", "hcg"): (1.22, 2.89),
+            ("x86-clang", "simulink"): (1.79, 7.78),
+            ("x86-clang", "dfsynth"): (1.49, 4.99),
+            ("x86-clang", "hcg"): (1.39, 3.03),
+        }
+        for baseline, (low, high) in measured.items():
+            p_low, p_high = paper[(profile, baseline)]
+            lines.append(f"  vs {baseline:9s} measured {low:.2f}x-{high:.2f}x"
+                         f"  (paper {p_low:.2f}x-{p_high:.2f}x)")
+        lines.append("")
+
+    # Per-model winner check: FRODO must be fastest in every cell.
+    for model in MODEL_IDS:
+        for profile in ("x86-gcc", "x86-clang"):
+            frodo = result.seconds(model, "frodo", profile)
+            for baseline in GENERATOR_ORDER[:-1]:
+                assert frodo < result.seconds(model, baseline, profile), \
+                    f"FRODO not fastest on {model}@{profile} vs {baseline}"
+    lines.append("paper reference (x86 seconds, gcc/clang):")
+    for model, row in PAPER_TABLE2.items():
+        cells = "  ".join(f"{g}={row[g][0]:.3f}/{row[g][1]:.3f}"
+                          for g in GENERATOR_ORDER)
+        lines.append(f"  {model:13s} {cells}")
+    write_report(results_dir, "table2_x86.txt", "\n".join(lines))

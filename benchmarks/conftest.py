@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Timed work units execute generated
+programs in the IR virtual machine; report "benches" (rounds=1) render the
+experiment tables into ``benchmarks/results/`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the full paper-shaped
+artifacts on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.codegen import make_generator
+from repro.ir.interp import VirtualMachine
+from repro.sim.simulator import random_inputs
+from repro.zoo import build_model
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+class PreparedRun:
+    """A generated program plus prepared inputs, ready to execute."""
+
+    def __init__(self, model_name: str, generator: str, seed: int = 0):
+        self.model_name = model_name
+        self.generator = generator
+        model = build_model(model_name)
+        self.code = make_generator(generator).generate(model)
+        self.vm = VirtualMachine(self.code.program)
+        self.inputs = self.code.map_inputs(random_inputs(model, seed=seed))
+
+    def execute(self) -> None:
+        self.vm.run(self.inputs, steps=1)
+
+
+_PREPARED: dict[tuple[str, str], PreparedRun] = {}
+
+
+@pytest.fixture
+def prepared_run():
+    def factory(model_name: str, generator: str) -> PreparedRun:
+        key = (model_name, generator)
+        if key not in _PREPARED:
+            _PREPARED[key] = PreparedRun(model_name, generator)
+        return _PREPARED[key]
+    return factory
+
+
+def write_report(results_dir: Path, name: str, text: str) -> Path:
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")
+    return path

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Extending the block property library with a custom block.
+
+The paper's FRODO ships a manually developed property library per block
+type; this example shows what one entry takes: a ``MovingAverage`` block
+with full semantics, an I/O mapping (sliding window, like Convolution),
+and range-aware code emission — then demonstrates that redundancy
+elimination immediately works through it.
+
+Run:  python examples/custom_block.py
+"""
+
+import numpy as np
+
+from repro import FrodoGenerator, ModelBuilder, SimulinkECGenerator, execute
+from repro.blocks import BlockSpec, Signal, register
+from repro.core.intervals import IndexSet
+from repro.ir.build import EmitCtx, add, const, load, mul, sub
+from repro.ir.ops import Assign, For, Var
+from repro.sim.simulator import random_inputs, simulate
+
+
+@register
+class MovingAverageSpec(BlockSpec):
+    """Trailing moving average: out[i] = mean(u[i-w+1 .. i]), clipped."""
+
+    type_name = "MovingAverage"
+
+    def _window(self, block):
+        return int(block.require_param("window"))
+
+    def infer(self, block, in_sigs):
+        return Signal(in_sigs[0].shape, "float64")
+
+    def step(self, block, inputs, state):
+        u = np.asarray(inputs[0]).ravel()
+        w = self._window(block)
+        out = np.empty_like(u, dtype="float64")
+        for i in range(u.size):
+            lo = max(0, i - w + 1)
+            out[i] = u[lo:i + 1].mean()
+        return out
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        # Element i reads u[i-w+1 .. i]: a left dilation, clamped.
+        w = self._window(block)
+        return [out_range.dilate(w - 1, 0).clamp(0, in_sigs[0].size)]
+
+    def emit(self, block, ctx: EmitCtx):
+        w = self._window(block)
+        n = ctx.in_size(0)
+        u = ctx.inputs[0]
+        # Interior (full window) runs; edge elements individually.
+        interior = ctx.out_range & IndexSet.interval(w - 1, n)
+        saved = ctx.out_range
+        ctx.out_range = interior
+
+        def body(index):
+            j = ctx.fresh("w")
+            loop = For(j, 0, w, [Assign(
+                ctx.output, index,
+                add(load(ctx.output, index),
+                    mul(const(1.0 / w), load(u, sub(index, Var(j))))),
+            )], vectorizable=True)
+            return [Assign(ctx.output, index, const(0.0)), loop]
+        ctx.loops_over_range(body, vectorizable=False)
+        ctx.out_range = saved
+        for k in saved - interior:
+            count = k + 1
+            ctx.emit(Assign(ctx.output, const(k), const(0.0)))
+            j = ctx.fresh("e")
+            ctx.emit(For(j, 0, count, [Assign(
+                ctx.output, const(k),
+                add(load(ctx.output, const(k)),
+                    mul(const(1.0 / count), load(u, sub(const(k), Var(j))))),
+            )], vectorizable=False))
+
+
+def main():
+    b = ModelBuilder("CustomSmoother")
+    u = b.inport("u", shape=(80,))
+    smooth = b.block("MovingAverage", [u], name="ma", window=8)
+    # Only the steady-state tail is consumed downstream.
+    tail = b.selector(smooth, start=40, end=79, name="tail")
+    b.outport("y", tail)
+    model = b.build()
+
+    inputs = random_inputs(model, seed=1)
+    reference = simulate(model, inputs)["y"]
+    for generator in (SimulinkECGenerator(), FrodoGenerator()):
+        code = generator.generate(model)
+        result = execute(code.program, code.map_inputs(inputs))
+        out = code.map_outputs(result.outputs)["y"]
+        assert np.allclose(out.ravel(), np.asarray(reference).ravel())
+        rng = code.ranges.output_range["ma"]
+        print(f"{generator.name:10s} ma range={rng.describe():>10s} "
+              f"ops={result.counts.total.total_element_ops}")
+    print("\nthe custom block participates in redundancy elimination: "
+          "FRODO computes only the demanded tail window.")
+
+
+if __name__ == "__main__":
+    main()

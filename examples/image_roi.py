@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""2-D extension: redundancy elimination on an image pipeline.
+
+The 2-D analogue of the paper's motivating example: a full-padding 2-D
+convolution (Gaussian-ish blur) whose consumer only reads a region of
+interest (Submatrix).  FRODO's calculation range shrinks the blur to the
+(dilated) ROI rectangle — watch the per-generator op counts.
+
+Run:  python examples/image_roi.py
+"""
+
+import numpy as np
+
+from repro import make_generator
+from repro.core.intervals import Region
+from repro.eval.report import format_table
+from repro.ir.interp import VirtualMachine
+from repro.model.builder import ModelBuilder
+from repro.sim.simulator import random_inputs, simulate
+
+H, W = 32, 24
+ROI = (12, 23, 8, 19)  # rows 12..23, cols 8..19
+
+
+def build_model():
+    b = ModelBuilder("ImageROI")
+    img = b.inport("img", shape=(H, W))
+    kernel = np.outer(np.hanning(5), np.hanning(5))
+    k = b.constant("blur_kernel", kernel / kernel.sum())
+    blurred = b.block("Convolution2D", [img, k], name="blur")
+    roi = b.submatrix(blurred, *ROI, name="roi")
+    edges = b.block("Convolution2D",
+                    [roi, b.constant("lap", np.array(
+                        [[0.0, -1.0, 0.0], [-1.0, 4.0, -1.0], [0.0, -1.0, 0.0]]))],
+                    name="edges")
+    focus = b.submatrix(edges, 2, 11, 2, 11, name="focus")
+    b.outport("y", focus)
+    return b.build()
+
+
+def main():
+    model = build_model()
+    inputs = random_inputs(model, seed=0)
+    reference = simulate(model, inputs)["y"]
+
+    rows = []
+    for generator in ("simulink", "dfsynth", "hcg", "frodo"):
+        code = make_generator(generator).generate(model)
+        result = VirtualMachine(code.program).run(code.map_inputs(inputs))
+        out = code.map_outputs(result.outputs)["y"]
+        assert np.allclose(np.asarray(out).ravel(),
+                           np.asarray(reference).ravel())
+        blur_range = code.ranges.output_range["blur"]
+        blur_region = Region((H + 4, W + 4), blur_range)
+        rows.append([
+            generator,
+            f"{blur_range.size}/{(H + 4) * (W + 4)}",
+            f"rows {blur_region.rows_touched().describe()}" if blur_range
+            else "-",
+            result.counts.total.total_element_ops,
+        ])
+    print(format_table(
+        ["generator", "blur pixels computed", "blur rows", "element ops"],
+        rows, title=f"{H}x{W} image, ROI rows {ROI[0]}-{ROI[1]} "
+                    f"cols {ROI[2]}-{ROI[3]}"))
+    print("\nFRODO confines both convolutions to the dilated ROI; the "
+          "baselines blur the whole padded frame.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1/5 walk-through on the motivating model.
+
+Builds the same-convolution model (Convolution -> Selector -> Gain),
+shows Algorithm 1's calculation ranges, generates C with FRODO and the
+Simulink Embedded Coder baseline, and compares their dynamic work.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    FrodoGenerator, ModelBuilder, SimulinkECGenerator, analyze,
+    determine_ranges, emit_c, execute, random_inputs, simulate,
+)
+
+
+def build_model():
+    """Figure 1: same convolution via full padding + Selector."""
+    b = ModelBuilder("Convolution")
+    u = b.inport("u", shape=(60,))
+    kernel = b.constant("kernel", np.hanning(11) / np.hanning(11).sum())
+    conv = b.convolution(u, kernel, name="conv")
+    same = b.selector(conv, start=5, end=64, name="sel")  # central window
+    amp = b.gain(same, 2.0, name="amp")
+    b.outport("y", amp)
+    return b.build()
+
+
+def main():
+    model = build_model()
+    print(f"model {model.name!r}: {model.block_count} blocks")
+
+    # -- Model analysis + Algorithm 1 (paper Figure 5) ----------------------
+    analyzed = analyze(model)
+    ranges = determine_ranges(analyzed)
+    print("\ncalculation ranges (Algorithm 1):")
+    for name in analyzed.schedule:
+        rng = ranges.output_range[name]
+        mark = "  <-- optimizable" if name in ranges.optimizable else ""
+        print(f"  {name:8s} {rng.describe():>12s}{mark}")
+
+    # -- Generate code with FRODO and the Embedded Coder baseline ------------
+    frodo = FrodoGenerator().generate(model)
+    baseline = SimulinkECGenerator().generate(model)
+    print("\n--- FRODO C (excerpt) ---")
+    print("\n".join(emit_c(frodo.program).splitlines()[8:28]))
+
+    # -- Validate against simulation and compare work -------------------------
+    inputs = random_inputs(model, seed=42)
+    reference = simulate(model, inputs)["y"]
+    results = {}
+    for name, code in (("frodo", frodo), ("simulink", baseline)):
+        result = execute(code.program, code.map_inputs(inputs))
+        out = code.map_outputs(result.outputs)["y"]
+        assert np.allclose(out.ravel(), np.asarray(reference).ravel())
+        results[name] = result.counts.total.total_element_ops
+    print("\ndynamic element operations per step:")
+    for name, ops in results.items():
+        print(f"  {name:10s} {ops:7d}")
+    print(f"\nFRODO eliminates {1 - results['frodo'] / results['simulink']:.0%} "
+          "of the baseline's dynamic work — outputs identical.")
+
+
+if __name__ == "__main__":
+    main()

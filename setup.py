@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (this sandbox lacks the ``wheel``
+package, so PEP 660 editable builds are unavailable)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""FRODO reproduction: efficient code generation for data-intensive
+Simulink models via redundancy elimination (DAC 2024).
+
+Public API highlights::
+
+    from repro import (
+        ModelBuilder, load_slx, save_slx,         # models
+        simulate, random_inputs,                  # reference simulation
+        FrodoGenerator, SimulinkECGenerator,      # code generators
+        DFSynthGenerator, HCGGenerator,
+        emit_c, execute, PROFILES, modeled_seconds,
+    )
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.codegen import (  # noqa: F401
+    ALL_GENERATORS, CodeGenerator, DFSynthGenerator, FrodoGenerator,
+    GeneratedCode, HCGGenerator, SimulinkECGenerator, emit_c, make_generator,
+)
+from repro.core import (  # noqa: F401
+    AnalyzedModel, IndexSet, RangeResult, Region, analyze, determine_ranges,
+)
+from repro.errors import (  # noqa: F401
+    AnalysisError, CodegenError, ModelError, NativeToolchainError, ReproError,
+    SimulationError, SlxFormatError, ValidationError,
+)
+from repro.ir import (  # noqa: F401
+    PROFILES, OpCounts, Profile, Program, VirtualMachine, execute,
+    modeled_seconds,
+)
+from repro.model import (  # noqa: F401
+    Block, Connection, Model, ModelBuilder, PortRef, load_mdl, load_slx,
+    save_mdl, save_slx,
+)
+from repro.sim import Simulator, random_inputs, simulate  # noqa: F401
+
+__version__ = "1.0.0"

@@ -1,0 +1,25 @@
+"""Block property library (paper §3.1).
+
+Importing this package registers every supported block spec.  Use
+:func:`get_spec` / :func:`spec_for` to look specs up by block type, and
+:func:`registered_types` to enumerate the supported vocabulary.
+"""
+
+from repro.blocks.base import (  # noqa: F401
+    BlockSpec, Signal, broadcast_shape, get_spec, promote, register,
+    registered_types, spec_for,
+)
+
+# Importing the spec modules populates the registry.
+from repro.blocks import delay      # noqa: F401,E402
+from repro.blocks import dsp        # noqa: F401,E402
+from repro.blocks import extra      # noqa: F401,E402
+from repro.blocks import image      # noqa: F401,E402
+from repro.blocks import int_ops    # noqa: F401,E402
+from repro.blocks import math_ops   # noqa: F401,E402
+from repro.blocks import matrix_ops  # noqa: F401,E402
+from repro.blocks import reduction  # noqa: F401,E402
+from repro.blocks import routing    # noqa: F401,E402
+from repro.blocks import signal_ops  # noqa: F401,E402
+from repro.blocks import sinks      # noqa: F401,E402
+from repro.blocks import sources    # noqa: F401,E402

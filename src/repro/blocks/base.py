@@ -1,0 +1,233 @@
+"""Block property library: the per-type contract every block implements.
+
+The paper's FRODO "crafts a specialized block property library tailored to
+the block type and parameters" (§3.1).  Each entry here is a
+:class:`BlockSpec` that captures everything the pipeline needs to know
+about one ``BlockType``:
+
+* **validation** — parameter and arity checking;
+* **static typing** — output shape/dtype from input signals;
+* **reference semantics** — a numpy implementation used by the simulator
+  (the ground truth for the random-testing correctness comparison);
+* **I/O mapping** — which input elements are required to produce a given
+  set of output elements (the heart of redundancy elimination);
+* **code emission** — element-level lowering to the loop IR, honoring the
+  calculation range the generator decided.
+
+Specs are registered in a global registry keyed by ``block_type``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.intervals import IndexSet, shape_size
+from repro.errors import ValidationError
+from repro.ir.build import EmitCtx
+from repro.model.block import Block
+
+# -- signals -----------------------------------------------------------------
+
+_DTYPE_RANK = {"bool": 0, "uint32": 1, "int64": 2, "float64": 3, "complex128": 4}
+
+
+@dataclass(frozen=True)
+class Signal:
+    """Static type of one signal: shape (row-major) and element dtype."""
+
+    shape: tuple[int, ...]
+    dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        if self.dtype not in _DTYPE_RANK:
+            raise ValidationError(f"unsupported dtype {self.dtype!r}")
+
+    @property
+    def size(self) -> int:
+        return shape_size(self.shape)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.size == 1
+
+    def full_range(self) -> IndexSet:
+        return IndexSet.full(self.size)
+
+
+def promote(*dtypes: str) -> str:
+    """Numeric promotion across input dtypes (C-like lattice)."""
+    best = "bool"
+    for dtype in dtypes:
+        if dtype not in _DTYPE_RANK:
+            raise ValidationError(f"unsupported dtype {dtype!r}")
+        if _DTYPE_RANK[dtype] > _DTYPE_RANK[best]:
+            best = dtype
+    return best
+
+
+def broadcast_shape(block_name: str, shapes: Sequence[tuple[int, ...]]) -> tuple[int, ...]:
+    """Simulink-style scalar expansion: scalars broadcast, otherwise shapes
+    must agree exactly."""
+    non_scalar = [s for s in shapes if shape_size(s) != 1]
+    if not non_scalar:
+        return shapes[0] if shapes else ()
+    first = non_scalar[0]
+    for shape in non_scalar[1:]:
+        if shape != first:
+            raise ValidationError(
+                f"block {block_name!r}: incompatible input shapes "
+                f"{first} vs {shape}"
+            )
+    return first
+
+
+# -- the spec contract ----------------------------------------------------------
+
+class BlockSpec:
+    """Base class for block property library entries."""
+
+    #: The ``BlockType`` string this spec implements.
+    type_name: str = ""
+    #: Inclusive input arity bounds (``None`` = unbounded above).
+    min_inputs: int = 1
+    max_inputs: Optional[int] = 1
+    #: Stateful blocks carry values across steps (UnitDelay, Delay).
+    is_stateful: bool = False
+    #: Source blocks have no inputs and provide data (Inport, Constant).
+    is_source: bool = False
+    #: Sink blocks terminate signals (Outport, Terminator).
+    is_sink: bool = False
+    #: Data-truncation blocks select segments of their input (paper §3.2).
+    is_truncation: bool = False
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, block: Block, in_sigs: Sequence[Signal]) -> None:
+        """Check arity and parameters; raise ValidationError on problems."""
+        n = len(in_sigs)
+        if n < self.min_inputs or (self.max_inputs is not None and n > self.max_inputs):
+            upper = "∞" if self.max_inputs is None else str(self.max_inputs)
+            raise ValidationError(
+                f"block {block.name!r} ({self.type_name}) expects between "
+                f"{self.min_inputs} and {upper} inputs, got {n}"
+            )
+
+    # -- static typing ----------------------------------------------------------
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        """Output signal from input signals (single-output discipline)."""
+        raise NotImplementedError
+
+    # -- reference semantics ------------------------------------------------------
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray],
+             state: dict[str, np.ndarray]) -> np.ndarray:
+        """Simulate one step; stateful specs read/update ``state[block.name]``."""
+        raise NotImplementedError
+
+    def initial_state(self, block: Block, in_sigs: Sequence[Signal],
+                      out_sig: Signal) -> Optional[np.ndarray]:
+        """Initial state array for stateful blocks, else None."""
+        return None
+
+    # -- I/O mapping (paper §3.1, Figure 3) ------------------------------------------
+
+    def input_ranges(self, block: Block, out_range: IndexSet,
+                     in_sigs: Sequence[Signal], out_sig: Signal) -> list[IndexSet]:
+        """Input elements required to produce ``out_range`` of the output.
+
+        The default is maximally conservative: every input is needed in
+        full whenever any output element is demanded.  Truncation and
+        structured blocks override this with their precise mapping.
+        """
+        if out_range.is_empty:
+            return [IndexSet.empty() for _ in in_sigs]
+        return [sig.full_range() for sig in in_sigs]
+
+    def required_output_range(self, block: Block, demanded: IndexSet,
+                              out_sig: Signal) -> IndexSet:
+        """Widen the demanded range when internal dependencies force it.
+
+        Most blocks compute exactly what is demanded.  Scan-style blocks
+        (CumulativeSum) must also compute earlier elements their recurrence
+        depends on.
+        """
+        return demanded
+
+    # -- code emission ------------------------------------------------------------------
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        """Lower the block over ``ctx.out_range`` into ``ctx.program``."""
+        raise NotImplementedError
+
+    def emit_update(self, block: Block, ctx: EmitCtx) -> None:
+        """End-of-step state update for stateful blocks (no-op otherwise)."""
+
+    def constant_value(self, block: Block) -> Optional[np.ndarray]:
+        """For constant-like sources: the compile-time value, else None."""
+        return None
+
+
+# -- registry ----------------------------------------------------------------------------
+
+_REGISTRY: dict[str, BlockSpec] = {}
+
+
+def register(spec_cls: type[BlockSpec]) -> type[BlockSpec]:
+    """Class decorator: instantiate and register a spec by its type name."""
+    spec = spec_cls()
+    if not spec.type_name:
+        raise ValidationError(f"{spec_cls.__name__} has no type_name")
+    if spec.type_name in _REGISTRY:
+        raise ValidationError(f"duplicate spec for {spec.type_name!r}")
+    _REGISTRY[spec.type_name] = spec
+    return spec_cls
+
+
+def get_spec(block_type: str) -> BlockSpec:
+    try:
+        return _REGISTRY[block_type]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValidationError(
+            f"no block spec registered for {block_type!r}; known: {known}"
+        ) from None
+
+
+def spec_for(block: Block) -> BlockSpec:
+    return get_spec(block.block_type)
+
+
+def registered_types() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# -- shared mapping helpers ------------------------------------------------------------------
+
+def elementwise_input_ranges(out_range: IndexSet,
+                             in_sigs: Sequence[Signal]) -> list[IndexSet]:
+    """Identity mapping with scalar broadcast: vectors need exactly the
+    demanded elements; scalars are needed whenever anything is demanded."""
+    result: list[IndexSet] = []
+    for sig in in_sigs:
+        if sig.is_scalar:
+            result.append(IndexSet.full(1) if out_range else IndexSet.empty())
+        else:
+            result.append(out_range)
+    return result
+
+
+def broadcast_arrays(inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Flatten inputs and broadcast scalars to the common size."""
+    flats = [np.asarray(a).ravel() for a in inputs]
+    sizes = {f.size for f in flats}
+    common = max(sizes)
+    return [np.full(common, f[0]) if f.size == 1 and common > 1 else f
+            for f in flats]
+
+
+ExprFn = Callable[[list], object]

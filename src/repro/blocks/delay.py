@@ -1,0 +1,139 @@
+"""Discrete-state blocks: UnitDelay and Delay.
+
+Delays are the only stateful blocks in the library.  For scheduling they
+act as sources (their output is available at step start from state), and
+their input is consumed at step end — the generator calls
+:meth:`~repro.blocks.base.BlockSpec.emit_update` after all regular block
+code.  Their I/O mapping is the elementwise identity across a step
+boundary, which stays sound under range trimming because the demanded set
+is static over time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, register
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.ir.build import EmitCtx, add, const, load, mul
+from repro.ir.ops import Assign, Expr, For, Var
+from repro.model.block import Block
+
+
+def _initial_array(block: Block, out_sig: Signal) -> np.ndarray:
+    initial = block.param("initial", 0.0)
+    arr = np.asarray(initial, dtype=out_sig.dtype)
+    if arr.size == 1:
+        return np.full(out_sig.size, arr.ravel()[0], dtype=out_sig.dtype)
+    if arr.size != out_sig.size:
+        raise ValidationError(
+            f"{block.block_type} {block.name!r}: initial value has "
+            f"{arr.size} elements, signal has {out_sig.size}"
+        )
+    return arr.ravel().astype(out_sig.dtype)
+
+
+@register
+class UnitDelaySpec(BlockSpec):
+    """One-step delay: output is last step's input."""
+
+    type_name = "UnitDelay"
+    is_stateful = True
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return in_sigs[0]
+
+    def initial_state(self, block, in_sigs, out_sig):
+        return _initial_array(block, out_sig)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        raise NotImplementedError  # the simulator special-cases delays
+
+    def read_state(self, block: Block, state: dict[str, np.ndarray],
+                   out_sig: Signal) -> np.ndarray:
+        return state[block.name].reshape(out_sig.shape).copy()
+
+    def write_state(self, block: Block, state: dict[str, np.ndarray],
+                    value: np.ndarray) -> None:
+        state[block.name] = np.asarray(value).ravel().copy()
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        return [out_range]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        ctx.copy_range(self.state_buffer(ctx))
+
+    def emit_update(self, block: Block, ctx: EmitCtx) -> None:
+        state = self.state_buffer(ctx)
+
+        def body(index: Expr):
+            return [Assign(state, index, load(ctx.inputs[0], index))]
+        ctx.loops_over_range(body)
+
+    @staticmethod
+    def state_buffer(ctx: EmitCtx) -> str:
+        return f"{ctx.output}_z"
+
+
+@register
+class DelaySpec(BlockSpec):
+    """N-step delay with a shift-register state of shape (length, n)."""
+
+    type_name = "Delay"
+    is_stateful = True
+
+    def _length(self, block: Block) -> int:
+        length = int(block.require_param("length"))
+        if length < 1:
+            raise ValidationError(f"Delay {block.name!r}: length must be >= 1")
+        return length
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._length(block)
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return in_sigs[0]
+
+    def initial_state(self, block, in_sigs, out_sig):
+        base = _initial_array(block, out_sig)
+        return np.tile(base, self._length(block))
+
+    def step(self, block, inputs, state):
+        raise NotImplementedError  # the simulator special-cases delays
+
+    def read_state(self, block: Block, state: dict[str, np.ndarray],
+                   out_sig: Signal) -> np.ndarray:
+        return state[block.name][:out_sig.size].reshape(out_sig.shape).copy()
+
+    def write_state(self, block: Block, state: dict[str, np.ndarray],
+                    value: np.ndarray) -> None:
+        buf = state[block.name]
+        n = np.asarray(value).size
+        buf[:-n] = buf[n:]
+        buf[-n:] = np.asarray(value).ravel()
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        return [out_range]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        ctx.copy_range(UnitDelaySpec.state_buffer(ctx))
+
+    def emit_update(self, block: Block, ctx: EmitCtx) -> None:
+        state = UnitDelaySpec.state_buffer(ctx)
+        length = self._length(block)
+        n = ctx.out_size()
+        if length > 1:
+            i = ctx.fresh("z")
+            ctx.emit(For(i, 0, (length - 1) * n, [Assign(
+                state, Var(i), load(state, add(Var(i), const(n)))
+            )], vectorizable=True))
+        offset = (length - 1) * n
+
+        def body(index: Expr):
+            return [Assign(state, add(index, const(offset)),
+                           load(ctx.inputs[0], index))]
+        ctx.loops_over_range(body)

@@ -1,0 +1,277 @@
+"""DSP blocks: Convolution (the paper's motivating block), Difference,
+CumulativeSum.
+
+Convolution is the showcase for the element-level code library (paper
+Figure 4): the generator-visible lowering distinguishes *individual
+elements* (edge positions whose kernel window is clipped — snippet ①) from
+*consecutive elements* (interior positions with a full window — snippet ②).
+With a downstream Selector trimming the output to the interior ("same"
+convolution), FRODO's calculation range contains no edge positions at all
+and the emitted code is a branch-free dense loop nest; the Simulink
+Embedded Coder shape instead guards every accumulation with boundary
+judgments, which is exactly the inefficiency Figure 1 illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, promote, register
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.ir.build import EmitCtx, add, binop, const, load, mul, sub
+from repro.ir.ops import Assign, Expr, For, If, Var
+from repro.model.block import Block
+
+
+@register
+class ConvolutionSpec(BlockSpec):
+    """Full 1-D convolution: inputs (data ``u`` of n, kernel ``h`` of m),
+    output of n + m - 1 elements."""
+
+    type_name = "Convolution"
+    min_inputs = 2
+    max_inputs = 2
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        n, m = in_sigs[0].size, in_sigs[1].size
+        if m < 1 or n < m:
+            raise ValidationError(
+                f"Convolution {block.name!r}: data length {n} must be >= "
+                f"kernel length {m} >= 1"
+            )
+        for sig in in_sigs:
+            if sig.dtype == "uint32":
+                raise ValidationError(
+                    f"Convolution {block.name!r}: integer signals unsupported"
+                )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        n, m = in_sigs[0].size, in_sigs[1].size
+        return Signal((n + m - 1,), promote(in_sigs[0].dtype, in_sigs[1].dtype))
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0]).ravel()
+        h = np.asarray(inputs[1]).ravel()
+        return np.convolve(u, h)
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        if out_range.is_empty:
+            return [IndexSet.empty(), IndexSet.empty()]
+        n, m = in_sigs[0].size, in_sigs[1].size
+        data = out_range.dilate(m - 1, 0).clamp(0, n)
+        return [data, IndexSet.full(m)]
+
+    # -- lowering -----------------------------------------------------------
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        n, m = ctx.in_size(0), ctx.in_size(1)
+        if ctx.style.boundary_judgments:
+            self._emit_boundary_judgments(ctx, n, m)
+        elif ctx.style.generic_functions:
+            self._emit_generic_calls(ctx, n, m)
+        else:
+            self._emit_zoned(ctx, n, m)
+
+    def _emit_boundary_judgments(self, ctx: EmitCtx, n: int, m: int) -> None:
+        """Simulink Embedded Coder shape: one loop, per-element guards."""
+        u, h = ctx.inputs
+
+        def body(index: Expr):
+            j = ctx.fresh("j")
+            data_idx = sub(index, Var(j))
+            guard = binop("&&", binop(">=", data_idx, const(0)),
+                          binop("<", data_idx, const(n)))
+            inner = For(j, 0, m, [If(guard, [Assign(
+                ctx.output, index,
+                add(load(ctx.output, index),
+                    mul(load(h, Var(j)), load(u, data_idx))),
+            )])], vectorizable=False)
+            return [Assign(ctx.output, index, const(0.0)), inner]
+        ctx.loops_over_range(body, vectorizable=False)
+
+    def _emit_zoned(self, ctx: EmitCtx, n: int, m: int) -> None:
+        """Branch-free zoned lowering from the element-level code library.
+
+        The output domain splits into a left edge ``[0, m-1)``, an interior
+        ``[m-1, n)`` whose kernel window is complete, and a right edge
+        ``[n, n+m-1)``.  Interior runs use the consecutive-elements snippet
+        (dense loop); edge positions use the individual-element snippet
+        with exact static bounds — no per-element guards anywhere.
+        """
+        u, h = ctx.inputs
+        interior = ctx.out_range & IndexSet.interval(m - 1, n)
+        edges = ctx.out_range - interior
+
+        saved = ctx.out_range
+        ctx.out_range = interior
+
+        def interior_body(index: Expr):
+            j = ctx.fresh("j")
+            inner = For(j, 0, m, [Assign(
+                ctx.output, index,
+                add(load(ctx.output, index),
+                    mul(load(h, Var(j)), load(u, sub(index, Var(j))))),
+            )], vectorizable=True)
+            if ctx.style.forced_simd and m >= ctx.style.simd_min_width:
+                inner.forced_simd = True
+            return [Assign(ctx.output, index, const(0.0)), inner]
+        ctx.loops_over_range(interior_body, vectorizable=False)
+
+        # Individual-element snippet for clipped windows (exact bounds).
+        ctx.out_range = saved
+        for k in edges:
+            j_lo = max(0, k - n + 1)
+            j_hi = min(k, m - 1) + 1
+            ctx.emit(Assign(ctx.output, const(k), const(0.0)))
+            j = ctx.fresh("e")
+            ctx.emit(For(j, j_lo, j_hi, [Assign(
+                ctx.output, const(k),
+                add(load(ctx.output, const(k)),
+                    mul(load(h, Var(j)), load(u, sub(const(k), Var(j))))),
+            )], vectorizable=False))
+
+
+    # -- §5 extension: generic function interface ----------------------------
+
+    _DTYPE_CODE = {"float64": "f64", "complex128": "c128"}
+
+    def _ensure_conv_functions(self, ctx: EmitCtx, dtype: str) -> tuple[str, str]:
+        """Define (once per program) the shared convolution kernels.
+
+        ``conv_interior_<t>(u, h, out, lo, hi, m)`` computes full-window
+        positions ``[lo, hi)``; ``conv_edge_<t>(u, h, out, k, j_lo, j_hi)``
+        computes one clipped position.  Calculation-range bounds arrive as
+        parameters — the paper's §5 mitigation for code duplication.
+        """
+        from repro.ir.ops import FuncDef, FuncParam  # local: optional path
+        code = self._DTYPE_CODE[dtype]
+        interior_name = f"conv_interior_{code}"
+        edge_name = f"conv_edge_{code}"
+        if interior_name not in ctx.program.functions:
+            pointers = [FuncParam("gu", dtype), FuncParam("gh", dtype),
+                        FuncParam("gout", dtype, const=False)]
+
+            body_i: list = []
+            inner = For("gj", 0, Var("gm"), [Assign(
+                "gout", Var("gi"),
+                add(load("gout", Var("gi")),
+                    mul(load("gh", Var("gj")),
+                        load("gu", sub(Var("gi"), Var("gj"))))),
+            )], vectorizable=True)
+            body_i.append(For("gi", Var("glo"), Var("ghi"),
+                              [Assign("gout", Var("gi"), const(0.0)), inner]))
+            ctx.program.define_function(FuncDef(interior_name, [
+                *pointers, FuncParam("glo", "int64", pointer=False),
+                FuncParam("ghi", "int64", pointer=False),
+                FuncParam("gm", "int64", pointer=False),
+            ], body_i))
+
+            body_e: list = [
+                Assign("gout", Var("gk"), const(0.0)),
+                For("gj", Var("gjlo"), Var("gjhi"), [Assign(
+                    "gout", Var("gk"),
+                    add(load("gout", Var("gk")),
+                        mul(load("gh", Var("gj")),
+                            load("gu", sub(Var("gk"), Var("gj"))))),
+                )], vectorizable=False),
+            ]
+            ctx.program.define_function(FuncDef(edge_name, [
+                *pointers, FuncParam("gk", "int64", pointer=False),
+                FuncParam("gjlo", "int64", pointer=False),
+                FuncParam("gjhi", "int64", pointer=False),
+            ], body_e))
+        return interior_name, edge_name
+
+    def _emit_generic_calls(self, ctx: EmitCtx, n: int, m: int) -> None:
+        """Lower via the shared functions instead of inlined zoned code."""
+        from repro.ir.ops import CallStmt
+        interior_name, edge_name = self._ensure_conv_functions(
+            ctx, ctx.out_dtype)
+        u, h = ctx.inputs
+        buffers = [u, h, ctx.output]
+        interior = ctx.out_range & IndexSet.interval(m - 1, n)
+        for start, stop in interior.runs():
+            ctx.emit(CallStmt(interior_name, list(buffers),
+                              [const(start), const(stop), const(m)]))
+        for k in ctx.out_range - interior:
+            j_lo = max(0, k - n + 1)
+            j_hi = min(k, m - 1) + 1
+            ctx.emit(CallStmt(edge_name, list(buffers),
+                              [const(k), const(j_lo), const(j_hi)]))
+
+
+@register
+class DifferenceSpec(BlockSpec):
+    """First difference: ``out[i] = u[i+1] - u[i]`` (length n-1)."""
+
+    type_name = "Difference"
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        if in_sigs[0].size < 2:
+            raise ValidationError(
+                f"Difference {block.name!r} needs at least 2 input elements"
+            )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return Signal((in_sigs[0].size - 1,), in_sigs[0].dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.diff(np.asarray(inputs[0]).ravel())
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        return [out_range.dilate(0, 1).clamp(0, in_sigs[0].size)]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        u = ctx.inputs[0]
+
+        def body(index: Expr):
+            return [Assign(ctx.output, index,
+                           sub(load(u, add(index, const(1))), load(u, index)))]
+        ctx.loops_over_range(body)
+
+
+@register
+class CumulativeSumSpec(BlockSpec):
+    """Running sum: ``out[i] = out[i-1] + u[i]``.
+
+    The recurrence forces a *prefix-closed* calculation range: computing
+    element ``i`` needs every earlier output, so
+    :meth:`required_output_range` widens any demand to the prefix ``[0,
+    hi)``.  FRODO can still trim the tail beyond the last demanded element.
+    """
+
+    type_name = "CumulativeSum"
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return Signal((in_sigs[0].size,), promote("float64", in_sigs[0].dtype))
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.cumsum(np.asarray(inputs[0], dtype="float64").ravel())
+
+    def required_output_range(self, block, demanded, out_sig):
+        if demanded.is_empty:
+            return demanded
+        return IndexSet.interval(0, demanded.span[1])
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        if out_range.is_empty:
+            return [IndexSet.empty()]
+        return [IndexSet.interval(0, out_range.span[1])]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        if ctx.out_range.is_empty:
+            return
+        hi = ctx.out_range.span[1]
+        u = ctx.inputs[0]
+        ctx.emit(Assign(ctx.output, const(0), load(u, 0)))
+        if hi > 1:
+            i = ctx.fresh("c")
+            ctx.emit(For(i, 1, hi, [Assign(
+                ctx.output, Var(i),
+                add(load(ctx.output, sub(Var(i), const(1))), load(u, Var(i))),
+            )], vectorizable=False))

@@ -1,0 +1,224 @@
+"""Additional library blocks: DataTypeConversion, DeadZone, Quantizer,
+Norm, Interpolation.
+
+These extend the supported vocabulary beyond what the zoo strictly needs
+(the paper's tool "supports numerous blocks"); each carries the full
+property-library contract — semantics, I/O mapping, range-aware emission —
+so redundancy elimination works through them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, register
+from repro.blocks.math_ops import ElementwiseSpec
+from repro.errors import ValidationError
+from repro.ir.build import EmitCtx, add, binop, call, const, load, mul, select, sub
+from repro.ir.ops import Assign, Expr, For, Var
+from repro.model.block import Block
+
+_CONVERTIBLE = {"float64", "uint32"}
+
+
+@register
+class DataTypeConversionSpec(ElementwiseSpec):
+    """Cast between float64 and uint32 (C assignment-conversion rules)."""
+
+    type_name = "DataTypeConversion"
+
+    def _target(self, block: Block) -> str:
+        target = str(block.require_param("to"))
+        if target not in _CONVERTIBLE:
+            raise ValidationError(
+                f"DataTypeConversion {block.name!r}: target {target!r} "
+                f"not in {sorted(_CONVERTIBLE)}"
+            )
+        return target
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._target(block)
+        if in_sigs and in_sigs[0].dtype not in _CONVERTIBLE:
+            raise ValidationError(
+                f"DataTypeConversion {block.name!r}: source dtype "
+                f"{in_sigs[0].dtype} unsupported"
+            )
+
+    def out_dtype(self, block, in_dtypes):
+        return self._target(block)
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        if self._target(block) == "uint32":
+            # C truncation toward zero; the uint32 store wraps like C.
+            return call("toint", operands[0])
+        return operands[0]  # int loads promote to double on store
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        if self._target(block) == "uint32":
+            with np.errstate(invalid="ignore"):
+                return np.trunc(arrays[0]).astype("int64").astype("uint32")
+        return arrays[0].astype("float64")
+
+
+@register
+class DeadZoneSpec(ElementwiseSpec):
+    """Zero output inside [lower, upper]; shifted passthrough outside."""
+
+    type_name = "DeadZone"
+
+    def _bounds(self, block: Block) -> tuple[float, float]:
+        lower = float(block.require_param("lower"))
+        upper = float(block.require_param("upper"))
+        if lower > upper:
+            raise ValidationError(
+                f"DeadZone {block.name!r}: lower {lower} > upper {upper}"
+            )
+        return lower, upper
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._bounds(block)
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        lower, upper = self._bounds(block)
+        u = operands[0]
+        return select(binop("<", u, const(lower)), sub(u, const(lower)),
+                      select(binop(">", u, const(upper)),
+                             sub(u, const(upper)), const(0.0)))
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        lower, upper = self._bounds(block)
+        u = arrays[0]
+        return np.where(u < lower, u - lower,
+                        np.where(u > upper, u - upper, 0.0))
+
+
+@register
+class QuantizerSpec(ElementwiseSpec):
+    """Uniform quantization: ``round(u / q) * q``."""
+
+    type_name = "Quantizer"
+
+    def _interval(self, block: Block) -> float:
+        q = float(block.require_param("interval"))
+        if q <= 0:
+            raise ValidationError(
+                f"Quantizer {block.name!r}: interval must be positive"
+            )
+        return q
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._interval(block)
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        q = self._interval(block)
+        return mul(call("round", mul(operands[0], const(1.0 / q))), const(q))
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        q = self._interval(block)
+        # C round() rounds half away from zero (unlike numpy's banker's
+        # rounding), so build it explicitly.
+        scaled = arrays[0] / q
+        rounded = np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+        return rounded * q
+
+    def out_dtype(self, block, in_dtypes):
+        return "float64"
+
+
+@register
+class NormSpec(BlockSpec):
+    """Euclidean norm of a vector: ``sqrt(sum(u[i]^2))``."""
+
+    type_name = "Norm"
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        if in_sigs[0].dtype == "complex128":
+            raise ValidationError(f"Norm {block.name!r}: complex unsupported")
+        return Signal((), "float64")
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.asarray(np.linalg.norm(
+            np.asarray(inputs[0], dtype="float64").ravel()))
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        from repro.core.intervals import IndexSet
+        if out_range.is_empty:
+            return [IndexSet.empty()]
+        return [in_sigs[0].full_range()]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        if ctx.out_range.is_empty:
+            return
+        size = ctx.in_size(0)
+        ctx.emit(Assign(ctx.output, const(0), const(0.0)))
+        t = ctx.fresh("n")
+        u = load(ctx.inputs[0], Var(t))
+        ctx.emit(For(t, 0, size, [Assign(
+            ctx.output, const(0), add(load(ctx.output, 0), mul(u, u)),
+        )], vectorizable=True))
+        ctx.emit(Assign(ctx.output, const(0), call("sqrt", load(ctx.output, 0))))
+
+
+@register
+class InterpolationSpec(ElementwiseSpec):
+    """1-D linear interpolation over uniform breakpoints.
+
+    ``table`` holds sample values at ``x0 + i*dx``; inputs are clamped to
+    the table's domain (matching ``np.interp``'s end behaviour).
+    """
+
+    type_name = "Interpolation"
+
+    def _params(self, block: Block) -> tuple[np.ndarray, float, float]:
+        table = np.asarray(block.require_param("table"), dtype="float64").ravel()
+        x0 = float(block.param("x0", 0.0))
+        dx = float(block.param("dx", 1.0))
+        if table.size < 2:
+            raise ValidationError(
+                f"Interpolation {block.name!r}: table needs >= 2 entries"
+            )
+        if dx <= 0:
+            raise ValidationError(
+                f"Interpolation {block.name!r}: dx must be positive"
+            )
+        return table, x0, dx
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._params(block)
+        if in_sigs and in_sigs[0].dtype != "float64":
+            raise ValidationError(
+                f"Interpolation {block.name!r}: float64 input required"
+            )
+
+    def out_dtype(self, block, in_dtypes):
+        return "float64"
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        table, x0, dx = self._params(block)
+        xs = x0 + dx * np.arange(table.size)
+        return np.interp(arrays[0], xs, table)
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        table, x0, dx = self._params(block)
+        table_buf = f"{ctx.output}_tab"
+        ctx.program.declare(table_buf, (table.size,), "float64", "const", table)
+        n = table.size
+
+        def body(index: Expr):
+            u = load(ctx.inputs[0], const(0) if ctx.in_size(0) == 1 else index)
+            f = mul(sub(u, const(x0)), const(1.0 / dx))
+            f_clamped = call("fmin", call("fmax", f, const(0.0)),
+                             const(float(n - 1)))
+            cell = call("toint", call("fmin", f_clamped, const(float(n - 2))))
+            frac = sub(f_clamped, cell)
+            lo = load(table_buf, cell)
+            hi = load(table_buf, add(cell, const(1)))
+            value = add(lo, mul(frac, sub(hi, lo)))
+            return [Assign(ctx.output, index, value)]
+        ctx.loops_over_range(body, vectorizable=False)

@@ -1,0 +1,166 @@
+"""2-D image blocks: Convolution2D.
+
+The paper's data-intensive models are 1-D signal chains, but the same
+redundancy pattern dominates image pipelines: a full-padding 2-D
+convolution followed by a Submatrix selecting the valid interior (or a
+region of interest) recomputes a border nobody reads.  Convolution2D
+carries the full property-library contract, with the I/O mapping built on
+:class:`~repro.core.intervals.Region` — demanding an output rectangle
+pulls back a dilated input rectangle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, promote, register
+from repro.core.intervals import IndexSet, Region
+from repro.errors import ValidationError
+from repro.ir.build import EmitCtx, add, binop, const, load, mul, sub
+from repro.ir.ops import Assign, Expr, For, If, Var
+from repro.model.block import Block
+
+
+def _dims(sig: Signal) -> tuple[int, int]:
+    if len(sig.shape) != 2:
+        raise ValidationError(
+            f"Convolution2D requires 2-D signals, got shape {sig.shape}"
+        )
+    return sig.shape
+
+
+@register
+class Convolution2DSpec(BlockSpec):
+    """Full 2-D convolution: image (H×W) * kernel (kh×kw) →
+    (H+kh-1)×(W+kw-1)."""
+
+    type_name = "Convolution2D"
+    min_inputs = 2
+    max_inputs = 2
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        (h, w), (kh, kw) = _dims(in_sigs[0]), _dims(in_sigs[1])
+        if kh < 1 or kw < 1 or h < kh or w < kw:
+            raise ValidationError(
+                f"Convolution2D {block.name!r}: image {h}x{w} must cover "
+                f"kernel {kh}x{kw}"
+            )
+        for sig in in_sigs:
+            if sig.dtype == "uint32":
+                raise ValidationError(
+                    f"Convolution2D {block.name!r}: integer images unsupported"
+                )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        (h, w), (kh, kw) = _dims(in_sigs[0]), _dims(in_sigs[1])
+        return Signal((h + kh - 1, w + kw - 1),
+                      promote(in_sigs[0].dtype, in_sigs[1].dtype))
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0])
+        k = np.asarray(inputs[1])
+        h, w = u.shape
+        kh, kw = k.shape
+        out = np.zeros((h + kh - 1, w + kw - 1),
+                       dtype=np.result_type(u, k, np.float64))
+        for r in range(kh):
+            for c in range(kw):
+                out[r:r + h, c:c + w] += k[r, c] * u
+        return out
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        if out_range.is_empty:
+            return [IndexSet.empty(), IndexSet.empty()]
+        (h, w), (kh, kw) = _dims(in_sigs[0]), _dims(in_sigs[1])
+        out_region = Region(out_sig.shape, out_range)
+        rows = out_region.rows_touched().dilate(kh - 1, 0).clamp(0, h)
+        cols = out_region.cols_touched().dilate(kw - 1, 0).clamp(0, w)
+        data = Region.from_rows_cols((h, w), rows, cols)
+        return [data.indices, IndexSet.full(kh * kw)]
+
+    # -- lowering -------------------------------------------------------------
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        (h, w) = _dims(Signal(ctx.in_shapes[0], ctx.in_dtypes[0]))
+        (kh, kw) = _dims(Signal(ctx.in_shapes[1], ctx.in_dtypes[1]))
+        if ctx.style.boundary_judgments:
+            self._emit_boundary_judgments(ctx, h, w, kh, kw)
+        else:
+            self._emit_zoned(ctx, h, w, kh, kw)
+
+    def _accumulate(self, ctx: EmitCtx, out_idx: Expr, row: Expr, col: Expr,
+                    r: str, c: str, w: int, kw: int) -> Assign:
+        u, k = ctx.inputs
+        u_idx = add(mul(sub(row, Var(r)), const(w)), sub(col, Var(c)))
+        k_idx = add(mul(Var(r), const(kw)), Var(c))
+        return Assign(ctx.output, out_idx,
+                      add(load(ctx.output, out_idx),
+                          mul(load(k, k_idx), load(u, u_idx))))
+
+    def _emit_boundary_judgments(self, ctx: EmitCtx, h: int, w: int,
+                                 kh: int, kw: int) -> None:
+        """Embedded Coder shape: guard every tap of every output pixel."""
+        out_w = w + kw - 1
+
+        def body(index: Expr):
+            row = binop("/", index, const(out_w))
+            col = binop("%", index, const(out_w))
+            r, c = ctx.fresh("r"), ctx.fresh("c")
+            u_row, u_col = sub(row, Var(r)), sub(col, Var(c))
+            guard = binop("&&",
+                          binop("&&", binop(">=", u_row, const(0)),
+                                binop("<", u_row, const(h))),
+                          binop("&&", binop(">=", u_col, const(0)),
+                                binop("<", u_col, const(w))))
+            inner = For(r, 0, kh, [For(c, 0, kw, [If(guard, [
+                self._accumulate(ctx, index, row, col, r, c, w, kw),
+            ])], vectorizable=False)], vectorizable=False)
+            return [Assign(ctx.output, index, const(0.0)), inner]
+        ctx.loops_over_range(body, vectorizable=False)
+
+    def _emit_zoned(self, ctx: EmitCtx, h: int, w: int,
+                    kh: int, kw: int) -> None:
+        """Branch-free zoned lowering.
+
+        Output pixels whose kernel window lies fully inside the image
+        (rows [kh-1, h), cols [kw-1, w)) get a dense 2-D tap loop; border
+        pixels get individually bounded tap loops — no guards anywhere.
+        """
+        out_w = w + kw - 1
+        interior = Region.from_rows_cols(
+            ctx.out_shape, IndexSet.interval(kh - 1, h),
+            IndexSet.interval(kw - 1, w))
+        dense = ctx.out_range & interior.indices
+        border = ctx.out_range - dense
+
+        saved = ctx.out_range
+        ctx.out_range = dense
+
+        def dense_body(index: Expr):
+            row = binop("/", index, const(out_w))
+            col = binop("%", index, const(out_w))
+            r, c = ctx.fresh("r"), ctx.fresh("c")
+            inner_c = For(c, 0, kw, [
+                self._accumulate(ctx, index, row, col, r, c, w, kw),
+            ], vectorizable=True)
+            if ctx.style.forced_simd and kw >= ctx.style.simd_min_width:
+                inner_c.forced_simd = True
+            inner = For(r, 0, kh, [inner_c], vectorizable=False)
+            return [Assign(ctx.output, index, const(0.0)), inner]
+        ctx.loops_over_range(dense_body, vectorizable=False)
+
+        # Border pixels: exact static tap bounds per pixel.
+        ctx.out_range = saved
+        for flat in border:
+            row, col = flat // out_w, flat % out_w
+            r_lo, r_hi = max(0, row - h + 1), min(row, kh - 1) + 1
+            c_lo, c_hi = max(0, col - w + 1), min(col, kw - 1) + 1
+            ctx.emit(Assign(ctx.output, const(flat), const(0.0)))
+            r, c = ctx.fresh("br"), ctx.fresh("bc")
+            ctx.emit(For(r, r_lo, r_hi, [For(c, c_lo, c_hi, [
+                self._accumulate(ctx, const(flat), const(row), const(col),
+                                 r, c, w, kw),
+            ], vectorizable=False)], vectorizable=False))

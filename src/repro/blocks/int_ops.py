@@ -1,0 +1,113 @@
+"""Integer/bitwise blocks (uint32 domain) used by the Decryption model."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import Signal, register
+from repro.blocks.math_ops import ElementwiseSpec
+from repro.errors import ValidationError
+from repro.ir.build import binop, const
+from repro.ir.ops import Expr
+from repro.model.block import Block
+
+_BITWISE_OPS = {"XOR": "^", "AND": "&", "OR": "|"}
+
+
+def _require_uint32(block: Block, in_sigs: Sequence[Signal]) -> None:
+    for sig in in_sigs:
+        if sig.dtype != "uint32":
+            raise ValidationError(
+                f"{block.block_type} {block.name!r} requires uint32 inputs, "
+                f"got {sig.dtype}"
+            )
+
+
+@register
+class BitwiseSpec(ElementwiseSpec):
+    """Bitwise XOR / AND / OR on uint32 signals."""
+
+    type_name = "Bitwise"
+    min_inputs = 2
+    max_inputs = 2
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        _require_uint32(block, in_sigs)
+        op = str(block.param("op", "XOR"))
+        if op not in _BITWISE_OPS:
+            raise ValidationError(f"Bitwise {block.name!r}: unknown op {op!r}")
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return binop(_BITWISE_OPS[str(block.param("op", "XOR"))],
+                     operands[0], operands[1])
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        op = str(block.param("op", "XOR"))
+        a, b = (arr.astype("uint32") for arr in arrays)
+        fn = {"XOR": np.bitwise_xor, "AND": np.bitwise_and, "OR": np.bitwise_or}[op]
+        return fn(a, b)
+
+    def out_dtype(self, block, in_dtypes):
+        return "uint32"
+
+
+@register
+class ShiftSpec(ElementwiseSpec):
+    """Constant-amount logical shift on uint32 signals."""
+
+    type_name = "Shift"
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        _require_uint32(block, in_sigs)
+        amount = int(block.require_param("amount"))
+        if not 0 <= amount < 32:
+            raise ValidationError(
+                f"Shift {block.name!r}: amount {amount} outside [0, 32)"
+            )
+        direction = str(block.param("direction", "left"))
+        if direction not in ("left", "right"):
+            raise ValidationError(
+                f"Shift {block.name!r}: direction must be left/right"
+            )
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        amount = int(block.require_param("amount"))
+        op = "<<" if str(block.param("direction", "left")) == "left" else ">>"
+        return binop(op, operands[0], const(amount))
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        amount = np.uint32(int(block.require_param("amount")))
+        u = arrays[0].astype("uint32")
+        if str(block.param("direction", "left")) == "left":
+            return np.left_shift(u, amount)
+        return np.right_shift(u, amount)
+
+    def out_dtype(self, block, in_dtypes):
+        return "uint32"
+
+
+@register
+class ModSpec(ElementwiseSpec):
+    """Remainder by a positive constant divisor (uint32)."""
+
+    type_name = "Mod"
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        _require_uint32(block, in_sigs)
+        divisor = int(block.require_param("divisor"))
+        if divisor <= 0:
+            raise ValidationError(f"Mod {block.name!r}: divisor must be positive")
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return binop("%", operands[0], const(int(block.require_param("divisor"))))
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        return arrays[0].astype("uint32") % np.uint32(int(block.require_param("divisor")))
+
+    def out_dtype(self, block, in_dtypes):
+        return "uint32"

@@ -1,0 +1,462 @@
+"""Elementwise math blocks.
+
+All blocks here share the elementwise discipline: output element ``i``
+depends only on input element ``i`` (with Simulink scalar expansion), so
+their I/O mapping is the identity and their calculation range equals the
+demanded range.  They differ only in the per-element expression.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import (
+    BlockSpec, Signal, broadcast_arrays, broadcast_shape,
+    elementwise_input_ranges, promote, register,
+)
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.ir.build import (
+    EmitCtx, add, binop, call, const, div, load, mul, neg, select, sub,
+)
+from repro.ir.ops import Assign, Expr, For, If, Var
+from repro.model.block import Block
+
+
+class ElementwiseSpec(BlockSpec):
+    """Shared machinery for elementwise blocks."""
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        shape = broadcast_shape(block.name, [s.shape for s in in_sigs])
+        return Signal(shape, self.out_dtype(block, [s.dtype for s in in_sigs]))
+
+    def out_dtype(self, block: Block, in_dtypes: Sequence[str]) -> str:
+        return promote(*in_dtypes)
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        """The per-element IR expression."""
+        raise NotImplementedError
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        """The reference numpy semantics on broadcast flat arrays."""
+        raise NotImplementedError
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        arrays = broadcast_arrays(inputs)
+        shape = broadcast_shape(block.name, [np.asarray(a).shape for a in inputs])
+        dtype = self.out_dtype(block, [str(np.asarray(a).dtype) for a in inputs])
+        return np.asarray(self.compute(block, arrays), dtype=dtype).reshape(shape)
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        return elementwise_input_ranges(out_range, in_sigs)
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        ctx.elementwise(lambda operands: self.expr(block, operands))
+
+
+@register
+class AddSpec(ElementwiseSpec):
+    """N-ary add/subtract; the ``signs`` parameter is a ``"+-+"`` string."""
+
+    type_name = "Add"
+    min_inputs = 1
+    max_inputs = None
+
+    def _signs(self, block: Block, arity: int) -> str:
+        signs = str(block.param("signs", "+" * arity))
+        if len(signs) != arity or set(signs) - {"+", "-"}:
+            raise ValidationError(
+                f"Add {block.name!r}: signs {signs!r} do not match arity {arity}"
+            )
+        return signs
+
+    def validate(self, block: Block, in_sigs: Sequence[Signal]) -> None:
+        super().validate(block, in_sigs)
+        self._signs(block, len(in_sigs))
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        signs = self._signs(block, len(operands))
+        result = operands[0] if signs[0] == "+" else neg(operands[0])
+        for sign, operand in zip(signs[1:], operands[1:]):
+            result = add(result, operand) if sign == "+" else sub(result, operand)
+        return result
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        signs = self._signs(block, len(arrays))
+        result = arrays[0].copy() if signs[0] == "+" else -arrays[0]
+        for sign, array in zip(signs[1:], arrays[1:]):
+            result = result + array if sign == "+" else result - array
+        return result
+
+
+@register
+class ProductSpec(ElementwiseSpec):
+    """N-ary elementwise product."""
+
+    type_name = "Product"
+    min_inputs = 1
+    max_inputs = None
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        result = operands[0]
+        for operand in operands[1:]:
+            result = mul(result, operand)
+        return result
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        result = arrays[0].copy()
+        for array in arrays[1:]:
+            result = result * array
+        return result
+
+
+@register
+class DivideSpec(ElementwiseSpec):
+    """Elementwise division ``a / b``."""
+
+    type_name = "Divide"
+    min_inputs = 2
+    max_inputs = 2
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return div(operands[0], operands[1])
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        return arrays[0] / arrays[1]
+
+
+@register
+class GainSpec(ElementwiseSpec):
+    """Scalar gain ``y = k * u``."""
+
+    type_name = "Gain"
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        float(block.require_param("gain"))
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return mul(const(float(block.require_param("gain"))), operands[0])
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        return float(block.require_param("gain")) * arrays[0]
+
+    def out_dtype(self, block, in_dtypes):
+        return promote("float64", *in_dtypes)
+
+
+@register
+class BiasSpec(ElementwiseSpec):
+    """Scalar bias ``y = u + b``."""
+
+    type_name = "Bias"
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return add(operands[0], const(float(block.require_param("bias"))))
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        return arrays[0] + float(block.require_param("bias"))
+
+    def out_dtype(self, block, in_dtypes):
+        return promote("float64", *in_dtypes)
+
+
+@register
+class AbsSpec(ElementwiseSpec):
+    """Absolute value (real signals)."""
+
+    type_name = "Abs"
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        if in_sigs and in_sigs[0].dtype == "complex128":
+            raise ValidationError(
+                f"Abs {block.name!r}: complex magnitude is not supported; "
+                "use Conj/Product composition"
+            )
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return call("fabs", operands[0])
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        return np.abs(arrays[0])
+
+
+@register
+class UnaryMinusSpec(ElementwiseSpec):
+    type_name = "UnaryMinus"
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return neg(operands[0])
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        return -arrays[0]
+
+
+@register
+class SqrtSpec(ElementwiseSpec):
+    type_name = "Sqrt"
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return call("sqrt", operands[0])
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(arrays[0])  # NaN for negative inputs, like C
+
+
+_MATH_FUNCTIONS = {"exp", "log", "square", "reciprocal"}
+
+
+@register
+class MathSpec(ElementwiseSpec):
+    """Simulink Math Function block: exp / log / square / reciprocal."""
+
+    type_name = "Math"
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        fn = str(block.require_param("function"))
+        if fn not in _MATH_FUNCTIONS:
+            raise ValidationError(
+                f"Math {block.name!r}: unknown function {fn!r} "
+                f"(supported: {sorted(_MATH_FUNCTIONS)})"
+            )
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        fn = str(block.require_param("function"))
+        u = operands[0]
+        if fn == "square":
+            return mul(u, u)
+        if fn == "reciprocal":
+            return div(const(1.0), u)
+        return call(fn, u)
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        fn = str(block.require_param("function"))
+        u = arrays[0]
+        if fn == "square":
+            return u * u
+        if fn == "reciprocal":
+            return 1.0 / u
+        return {"exp": np.exp, "log": np.log}[fn](u)
+
+    def out_dtype(self, block, in_dtypes):
+        return promote("float64", *in_dtypes)
+
+
+_TRIG_FUNCTIONS = {"sin", "cos", "tan"}
+
+
+@register
+class TrigonometrySpec(ElementwiseSpec):
+    type_name = "Trigonometry"
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        fn = str(block.param("function", "sin"))
+        if fn not in _TRIG_FUNCTIONS:
+            raise ValidationError(
+                f"Trigonometry {block.name!r}: unknown function {fn!r}"
+            )
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return call(str(block.param("function", "sin")), operands[0])
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        fn = str(block.param("function", "sin"))
+        return {"sin": np.sin, "cos": np.cos, "tan": np.tan}[fn](arrays[0])
+
+    def out_dtype(self, block, in_dtypes):
+        return "float64"
+
+
+@register
+class MinMaxSpec(ElementwiseSpec):
+    """Elementwise min or max across N inputs."""
+
+    type_name = "MinMax"
+    min_inputs = 2
+    max_inputs = None
+
+    def _fn(self, block: Block) -> str:
+        fn = str(block.param("function", "min"))
+        if fn not in ("min", "max"):
+            raise ValidationError(f"MinMax {block.name!r}: function must be min/max")
+        return fn
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        fn = "fmin" if self._fn(block) == "min" else "fmax"
+        result = operands[0]
+        for operand in operands[1:]:
+            result = call(fn, result, operand)
+        return result
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        fn = np.minimum if self._fn(block) == "min" else np.maximum
+        result = arrays[0]
+        for array in arrays[1:]:
+            result = fn(result, array)
+        return result
+
+
+@register
+class SignSpec(ElementwiseSpec):
+    type_name = "Sign"
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        u = operands[0]
+        return select(binop(">", u, const(0.0)), const(1.0),
+                      select(binop("<", u, const(0.0)), const(-1.0), const(0.0)))
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        return np.sign(arrays[0])
+
+    def out_dtype(self, block, in_dtypes):
+        return "float64"
+
+
+@register
+class SaturationSpec(ElementwiseSpec):
+    """Clamp to ``[lower, upper]``."""
+
+    type_name = "Saturation"
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        lower = float(block.require_param("lower"))
+        upper = float(block.require_param("upper"))
+        if lower > upper:
+            raise ValidationError(
+                f"Saturation {block.name!r}: lower {lower} > upper {upper}"
+            )
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        lower = float(block.require_param("lower"))
+        upper = float(block.require_param("upper"))
+        return call("fmin", call("fmax", operands[0], const(lower)), const(upper))
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        return np.clip(arrays[0],
+                       float(block.require_param("lower")),
+                       float(block.require_param("upper")))
+
+
+_RELATIONAL_OPS = {">", ">=", "<", "<=", "==", "!="}
+
+
+@register
+class RelationalSpec(ElementwiseSpec):
+    """Comparison producing 0.0/1.0."""
+
+    type_name = "Relational"
+    min_inputs = 2
+    max_inputs = 2
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._op(block)
+
+    def _op(self, block: Block) -> str:
+        op = str(block.param("op", ">"))
+        if op not in _RELATIONAL_OPS:
+            raise ValidationError(f"Relational {block.name!r}: bad op {op!r}")
+        return op
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return select(binop(self._op(block), operands[0], operands[1]),
+                      const(1.0), const(0.0))
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        a, b = arrays
+        op = self._op(block)
+        table = {
+            ">": a > b, ">=": a >= b, "<": a < b,
+            "<=": a <= b, "==": a == b, "!=": a != b,
+        }
+        return table[op].astype("float64")
+
+    def out_dtype(self, block, in_dtypes):
+        return "float64"
+
+
+@register
+class ConjSpec(ElementwiseSpec):
+    """Complex conjugate."""
+
+    type_name = "Conj"
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        return call("conj", operands[0])
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        return np.conj(arrays[0])
+
+
+@register
+class SwitchSpec(ElementwiseSpec):
+    """Threshold switch: ``out = in0 if in1 >= threshold else in2``.
+
+    Inputs are (data-on, control, data-off).  When the control signal is
+    scalar and the generator asks for branch structuring (DFSynth's
+    specialty, also adopted by FRODO), the switch lowers to an ``if`` around
+    whole copy loops; otherwise it lowers to a per-element ternary.
+    """
+
+    type_name = "Switch"
+    min_inputs = 3
+    max_inputs = 3
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        data_shapes = [in_sigs[0].shape, in_sigs[2].shape]
+        shape = broadcast_shape(block.name, data_shapes)
+        return Signal(shape, promote(in_sigs[0].dtype, in_sigs[2].dtype))
+
+    def _threshold(self, block: Block) -> float:
+        return float(block.param("threshold", 0.0))
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        on, control, off = [np.asarray(a) for a in inputs]
+        cond = control >= self._threshold(block)
+        on_b, off_b = np.broadcast_arrays(on.ravel(), off.ravel())
+        cond_b = np.broadcast_to(cond.ravel(), on_b.shape)
+        return np.where(cond_b, on_b, off_b)
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        ranges: list[IndexSet] = []
+        for port, sig in enumerate(in_sigs):
+            if sig.is_scalar:
+                ranges.append(IndexSet.full(1) if out_range else IndexSet.empty())
+            elif port == 1:
+                # Vector control: each output element tests its own control
+                # element, so the control demand mirrors the output demand.
+                ranges.append(out_range)
+            else:
+                ranges.append(out_range)
+        return ranges
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        threshold = const(self._threshold(block))
+        control_scalar = ctx.in_size(1) == 1
+        if ctx.style.branch_structured and control_scalar:
+            cond = binop(">=", load(ctx.inputs[1], 0), threshold)
+            then_branch: list = []
+            else_branch: list = []
+            for start, stop in ctx.out_range.runs():
+                for branch, src in ((then_branch, ctx.inputs[0]),
+                                    (else_branch, ctx.inputs[2])):
+                    src_scalar = ctx.in_size((0 if src == ctx.inputs[0] else 2)) == 1
+                    loop_var = ctx.fresh("s")
+                    idx = Var(loop_var)
+                    body = [Assign(ctx.output, idx,
+                                   load(src, const(0) if src_scalar else idx))]
+                    branch.append(For(loop_var, start, stop, body, vectorizable=True))
+            ctx.emit(If(cond, then_branch, else_branch))
+            return
+
+        def expr_for(operands: list[Expr]) -> Expr:
+            on, control, off = operands
+            return select(binop(">=", control, threshold), on, off)
+        ctx.elementwise(expr_for)

@@ -1,0 +1,273 @@
+"""Matrix blocks: MatrixMultiply, Transpose, Hermitian, Submatrix.
+
+Signals are stored flattened row-major, so these specs translate between
+flat element indices and (row, column) coordinates.  Their I/O mappings are
+the interesting ones for redundancy elimination:
+
+* a Submatrix is a 2-D data-truncation block;
+* demanding a sub-block of a MatrixMultiply output pulls back onto the
+  touched *rows* of the left operand and *columns* of the right operand —
+  so a downstream Submatrix trims entire rows/columns of upstream work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, promote, register
+from repro.core.intervals import IndexSet, Region
+from repro.errors import ValidationError
+from repro.ir.build import EmitCtx, add, binop, call, const, load, mul
+from repro.ir.ops import Assign, Expr, For, Var
+from repro.model.block import Block
+
+
+def _as_matrix(sig: Signal) -> tuple[int, int]:
+    """Interpret a signal as (rows, cols); vectors are 1×n rows."""
+    if len(sig.shape) == 2:
+        return sig.shape
+    if len(sig.shape) == 1:
+        return (1, sig.shape[0])
+    if len(sig.shape) == 0:
+        return (1, 1)
+    raise ValidationError(f"matrix blocks support <=2-D signals, got {sig.shape}")
+
+
+@register
+class MatrixMultiplySpec(BlockSpec):
+    """C = A·B with A (m×k), B (k×n)."""
+
+    type_name = "MatrixMultiply"
+    min_inputs = 2
+    max_inputs = 2
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        (_, k_a), (k_b, _) = _as_matrix(in_sigs[0]), _as_matrix(in_sigs[1])
+        if k_a != k_b:
+            raise ValidationError(
+                f"MatrixMultiply {block.name!r}: inner dimensions disagree "
+                f"({k_a} vs {k_b})"
+            )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        (m, _), (_, n) = _as_matrix(in_sigs[0]), _as_matrix(in_sigs[1])
+        return Signal((m, n), promote(in_sigs[0].dtype, in_sigs[1].dtype))
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        a = np.asarray(inputs[0])
+        b = np.asarray(inputs[1])
+        a2 = a.reshape(_as_matrix(Signal(a.shape, str(a.dtype))))
+        b2 = b.reshape(_as_matrix(Signal(b.shape, str(b.dtype))))
+        return a2 @ b2
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        if out_range.is_empty:
+            return [IndexSet.empty(), IndexSet.empty()]
+        (m, k), (_, n) = _as_matrix(in_sigs[0]), _as_matrix(in_sigs[1])
+        out_region = Region((m, n), out_range)
+        rows = out_region.rows_touched()
+        cols = out_region.cols_touched()
+        a_region = Region.from_rows_cols((m, k), rows, IndexSet.full(k))
+        b_region = Region.from_rows_cols((k, n), IndexSet.full(k), cols)
+        return [a_region.indices, b_region.indices]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        (_, k), (_, n) = (_as_matrix(Signal(s, d)) for s, d in
+                          zip(ctx.in_shapes, ctx.in_dtypes))
+        a, b = ctx.inputs
+
+        def body(index: Expr):
+            row = binop("/", index, const(n))
+            col = binop("%", index, const(n))
+            t = ctx.fresh("t")
+            inner = For(t, 0, k, [Assign(
+                ctx.output, index,
+                add(load(ctx.output, index),
+                    mul(load(a, add(mul(row, const(k)), Var(t))),
+                        load(b, add(mul(Var(t), const(n)), col)))),
+            )], vectorizable=True)
+            if ctx.style.forced_simd and k >= ctx.style.simd_min_width:
+                inner.forced_simd = True
+            return [Assign(ctx.output, index, const(0.0)), inner]
+        ctx.loops_over_range(body, vectorizable=False)
+
+
+class _PermutationSpec(BlockSpec):
+    """Shared machinery for index-permutation blocks (Transpose family)."""
+
+    def _dims(self, in_sig: Signal) -> tuple[int, int]:
+        return _as_matrix(in_sig)
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        m, n = self._dims(in_sigs[0])
+        return Signal((n, m), in_sigs[0].dtype)
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        m, n = self._dims(in_sigs[0])
+        # Output is n×m: out flat o = c*m + r maps to in flat r*n + c.
+        return [out_range.map_indices(lambda o: (o % m) * n + (o // m))]
+
+    def _wrap(self, value: Expr) -> Expr:
+        return value
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        m, n = _as_matrix(Signal(ctx.in_shapes[0], ctx.in_dtypes[0]))
+
+        def body(index: Expr):
+            src = add(mul(binop("%", index, const(m)), const(n)),
+                      binop("/", index, const(m)))
+            return [Assign(ctx.output, index, self._wrap(load(ctx.inputs[0], src)))]
+        ctx.loops_over_range(body, vectorizable=False)
+
+
+@register
+class TransposeSpec(_PermutationSpec):
+    type_name = "Transpose"
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0])
+        return u.reshape(_as_matrix(Signal(u.shape, str(u.dtype)))).T.copy()
+
+
+@register
+class HermitianSpec(_PermutationSpec):
+    """Hermitian (conjugate) transpose — the HT model's core block."""
+
+    type_name = "Hermitian"
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0])
+        return np.conj(u.reshape(_as_matrix(Signal(u.shape, str(u.dtype)))).T)
+
+    def _wrap(self, value: Expr) -> Expr:
+        return call("conj", value)
+
+
+@register
+class SubmatrixSpec(BlockSpec):
+    """2-D data-truncation: inclusive row/column window of a matrix."""
+
+    type_name = "Submatrix"
+    is_truncation = True
+
+    def _window(self, block: Block) -> tuple[int, int, int, int]:
+        return (int(block.require_param("row_start")),
+                int(block.require_param("row_end")),
+                int(block.require_param("col_start")),
+                int(block.require_param("col_end")))
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        m, n = _as_matrix(in_sigs[0])
+        r0, r1, c0, c1 = self._window(block)
+        if not (0 <= r0 <= r1 < m and 0 <= c0 <= c1 < n):
+            raise ValidationError(
+                f"Submatrix {block.name!r}: window rows[{r0},{r1}] "
+                f"cols[{c0},{c1}] outside {m}x{n}"
+            )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        r0, r1, c0, c1 = self._window(block)
+        return Signal((r1 - r0 + 1, c1 - c0 + 1), in_sigs[0].dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0])
+        m, n = _as_matrix(Signal(u.shape, str(u.dtype)))
+        r0, r1, c0, c1 = self._window(block)
+        return u.reshape(m, n)[r0:r1 + 1, c0:c1 + 1].copy()
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        _, n = _as_matrix(in_sigs[0])
+        r0, _, c0, _ = self._window(block)
+        w = out_sig.shape[1]
+        return [out_range.map_indices(
+            lambda o: (o // w + r0) * n + (o % w + c0)
+        )]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        _, n = _as_matrix(Signal(ctx.in_shapes[0], ctx.in_dtypes[0]))
+        r0, r1, c0, c1 = self._window(block)
+        w = c1 - c0 + 1
+
+        def body(index: Expr):
+            src = add(mul(add(binop("/", index, const(w)), const(r0)), const(n)),
+                      add(binop("%", index, const(w)), const(c0)))
+            return [Assign(ctx.output, index, load(ctx.inputs[0], src))]
+        ctx.loops_over_range(body, vectorizable=False)
+
+
+@register
+class DimSumSpec(BlockSpec):
+    """Sum along one dimension of a matrix (Simulink's Sum with a
+    ``dimension`` parameter).
+
+    ``dimension="rows"`` sums each column (output: one row of length n);
+    ``dimension="cols"`` sums each row (output: one column of length m).
+    The I/O mapping is rectangular: a demanded output column pulls back
+    exactly that column of the input, so a downstream Selector trims
+    whole columns/rows of the reduction.
+    """
+
+    type_name = "DimSum"
+
+    def _dimension(self, block: Block) -> str:
+        dim = str(block.param("dimension", "rows"))
+        if dim not in ("rows", "cols"):
+            raise ValidationError(
+                f"DimSum {block.name!r}: dimension must be rows/cols"
+            )
+        return dim
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._dimension(block)
+        if len(in_sigs[0].shape) != 2:
+            raise ValidationError(
+                f"DimSum {block.name!r}: 2-D input required, got "
+                f"{in_sigs[0].shape}"
+            )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        m, n = in_sigs[0].shape
+        length = n if self._dimension(block) == "rows" else m
+        return Signal((length,), promote("float64", in_sigs[0].dtype))
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0], dtype="float64")
+        axis = 0 if self._dimension(block) == "rows" else 1
+        return u.sum(axis=axis)
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        m, n = in_sigs[0].shape
+        if out_range.is_empty:
+            return [IndexSet.empty()]
+        if self._dimension(block) == "rows":
+            region = Region.from_rows_cols((m, n), IndexSet.full(m), out_range)
+        else:
+            region = Region.from_rows_cols((m, n), out_range, IndexSet.full(n))
+        return [region.indices]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        m, n = ctx.in_shapes[0]
+        u = ctx.inputs[0]
+        along_rows = self._dimension(block) == "rows"
+
+        def body(index: Expr):
+            t = ctx.fresh("d")
+            if along_rows:
+                src = add(mul(Var(t), const(n)), index)   # column `index`
+                trip = m
+            else:
+                src = add(mul(index, const(n)), Var(t))   # row `index`
+                trip = n
+            inner = For(t, 0, trip, [Assign(
+                ctx.output, index,
+                add(load(ctx.output, index), load(u, src)),
+            )], vectorizable=not along_rows)
+            if ctx.style.forced_simd and trip >= ctx.style.simd_min_width:
+                inner.forced_simd = True
+            return [Assign(ctx.output, index, const(0.0)), inner]
+        ctx.loops_over_range(body, vectorizable=False)

@@ -1,0 +1,152 @@
+"""Reduction blocks: SumOfElements, ProductOfElements, Mean, DotProduct.
+
+Reductions consume their whole input to produce a scalar, so their I/O
+mapping demands everything whenever the scalar is demanded — they are the
+blocks that *stop* range shrinkage, and models mixing truncation with
+reductions are where precise propagation (vs. all-or-nothing) matters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, promote, register
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.ir.build import EmitCtx, add, call, const, load, mul
+from repro.ir.ops import Assign, For, Var
+from repro.model.block import Block
+
+
+class _ReductionSpec(BlockSpec):
+    """Shared machinery: scalar output, full-input demand."""
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return Signal((), self.out_dtype(block, in_sigs))
+
+    def out_dtype(self, block: Block, in_sigs: Sequence[Signal]) -> str:
+        return promote(*(s.dtype for s in in_sigs))
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        if out_range.is_empty:
+            return [IndexSet.empty() for _ in in_sigs]
+        return [sig.full_range() for sig in in_sigs]
+
+
+@register
+class SumOfElementsSpec(_ReductionSpec):
+    type_name = "SumOfElements"
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.asarray(np.asarray(inputs[0]).sum())
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        ctx.reduction(const(0.0), add)
+
+
+@register
+class ProductOfElementsSpec(_ReductionSpec):
+    type_name = "ProductOfElements"
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.asarray(np.asarray(inputs[0], dtype="float64").prod())
+
+    def out_dtype(self, block, in_sigs):
+        return promote("float64", *(s.dtype for s in in_sigs))
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        ctx.reduction(const(1.0), mul)
+
+
+@register
+class MeanSpec(_ReductionSpec):
+    type_name = "Mean"
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.asarray(np.asarray(inputs[0], dtype="float64").mean())
+
+    def out_dtype(self, block, in_sigs):
+        return promote("float64", *(s.dtype for s in in_sigs))
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        n = ctx.in_size(0)
+        ctx.reduction(const(0.0), add,
+                      post=lambda acc: mul(acc, const(1.0 / n)))
+
+
+@register
+class MinMaxOfElementsSpec(_ReductionSpec):
+    """Scalar min/max over a vector (Simulink's one-input MinMax mode)."""
+
+    type_name = "MinMaxOfElements"
+
+    def _fn(self, block: Block) -> str:
+        fn = str(block.param("function", "max"))
+        if fn not in ("min", "max"):
+            raise ValidationError(
+                f"MinMaxOfElements {block.name!r}: function must be min/max"
+            )
+        return fn
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._fn(block)
+        if in_sigs[0].dtype == "complex128":
+            raise ValidationError(
+                f"MinMaxOfElements {block.name!r}: complex order undefined"
+            )
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0])
+        return np.asarray(u.min() if self._fn(block) == "min" else u.max())
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        if ctx.out_range.is_empty:
+            return
+        fn = "fmin" if self._fn(block) == "min" else "fmax"
+        size = ctx.in_size(0)
+        ctx.emit(Assign(ctx.output, const(0), load(ctx.inputs[0], 0)))
+        t = ctx.fresh("m")
+        ctx.emit(For(t, 1, size, [Assign(
+            ctx.output, const(0),
+            call(fn, load(ctx.output, 0), load(ctx.inputs[0], Var(t))),
+        )], vectorizable=True))
+
+
+@register
+class DotProductSpec(_ReductionSpec):
+    """Scalar dot product of two equal-length vectors."""
+
+    type_name = "DotProduct"
+    min_inputs = 2
+    max_inputs = 2
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        if in_sigs[0].size != in_sigs[1].size:
+            raise ValidationError(
+                f"DotProduct {block.name!r}: lengths differ "
+                f"({in_sigs[0].size} vs {in_sigs[1].size})"
+            )
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        a = np.asarray(inputs[0]).ravel()
+        b = np.asarray(inputs[1]).ravel()
+        return np.asarray(np.dot(a, b))
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        if ctx.out_range.is_empty:
+            return
+        size = ctx.in_size(0)
+        ctx.emit(Assign(ctx.output, const(0), const(0.0)))
+        t = ctx.fresh("d")
+        loop = For(t, 0, size, [Assign(
+            ctx.output, const(0),
+            add(load(ctx.output, 0),
+                mul(load(ctx.inputs[0], Var(t)), load(ctx.inputs[1], Var(t)))),
+        )], vectorizable=True)
+        if ctx.style.forced_simd and size >= ctx.style.simd_min_width:
+            loop.forced_simd = True
+        ctx.emit(loop)

@@ -1,0 +1,241 @@
+"""Second routing batch: Assignment, Upsample, Downsample, Reverse,
+Rounding.
+
+``Assignment`` is the dual of Selector and completes the data-truncation
+family: it overwrites a window of a base signal with a patch signal, so
+demanded outputs *inside* the window pull back onto the patch and
+demanded outputs *outside* it pull back onto the base — each input can be
+trimmed independently.  ``Upsample``/``Downsample`` are rate-change
+blocks with index-arithmetic mappings; ``Reverse`` is a permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, register
+from repro.blocks.math_ops import ElementwiseSpec
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.ir.build import EmitCtx, add, binop, call, const, load, mul, sub
+from repro.ir.ops import Assign, Expr
+from repro.model.block import Block
+
+
+@register
+class AssignmentSpec(BlockSpec):
+    """Overwrite ``[start, start+len(patch))`` of the base with the patch.
+
+    Inputs: (base, patch).  Output has the base's shape.  Simulink's
+    Assignment block in vector mode.
+    """
+
+    type_name = "Assignment"
+    min_inputs = 2
+    max_inputs = 2
+    is_truncation = True  # each input contributes only a segment
+
+    def _start(self, block: Block) -> int:
+        return int(block.require_param("start"))
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        base, patch = in_sigs
+        start = self._start(block)
+        if base.dtype != patch.dtype:
+            raise ValidationError(
+                f"Assignment {block.name!r}: dtype mismatch "
+                f"{base.dtype} vs {patch.dtype}"
+            )
+        if not 0 <= start <= base.size - patch.size:
+            raise ValidationError(
+                f"Assignment {block.name!r}: patch of {patch.size} at "
+                f"{start} exceeds base of {base.size}"
+            )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return Signal((in_sigs[0].size,), in_sigs[0].dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        base = np.asarray(inputs[0]).ravel().copy()
+        patch = np.asarray(inputs[1]).ravel()
+        start = self._start(block)
+        base[start:start + patch.size] = patch
+        return base
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        start = self._start(block)
+        window = IndexSet.interval(start, start + in_sigs[1].size)
+        base_need = out_range - window
+        patch_need = (out_range & window).shift(-start)
+        return [base_need, patch_need]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        start = self._start(block)
+        window = IndexSet.interval(start, start + ctx.in_size(1))
+        saved = ctx.out_range
+        ctx.out_range = saved - window
+        ctx.copy_range(ctx.inputs[0])
+        ctx.out_range = saved & window
+        ctx.copy_range(ctx.inputs[1], offset=-start)
+        ctx.out_range = saved
+
+
+@register
+class UpsampleSpec(BlockSpec):
+    """Sample-and-hold upsampling: ``out[i] = u[i // factor]``."""
+
+    type_name = "Upsample"
+
+    def _factor(self, block: Block) -> int:
+        factor = int(block.require_param("factor"))
+        if factor < 1:
+            raise ValidationError(
+                f"Upsample {block.name!r}: factor must be >= 1"
+            )
+        return factor
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._factor(block)
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return Signal((in_sigs[0].size * self._factor(block),),
+                      in_sigs[0].dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.repeat(np.asarray(inputs[0]).ravel(), self._factor(block))
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        factor = self._factor(block)
+        return [out_range.map_indices(lambda i: i // factor)]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        factor = self._factor(block)
+
+        def body(index: Expr):
+            return [Assign(ctx.output, index,
+                           load(ctx.inputs[0],
+                                binop("/", index, const(factor))))]
+        ctx.loops_over_range(body, vectorizable=False)
+
+
+@register
+class DownsampleSpec(BlockSpec):
+    """Keep every ``factor``-th sample: ``out[i] = u[i * factor]``."""
+
+    type_name = "Downsample"
+    is_truncation = True
+
+    def _factor(self, block: Block) -> int:
+        factor = int(block.require_param("factor"))
+        if factor < 1:
+            raise ValidationError(
+                f"Downsample {block.name!r}: factor must be >= 1"
+            )
+        return factor
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        factor = self._factor(block)
+        if in_sigs[0].size < factor:
+            raise ValidationError(
+                f"Downsample {block.name!r}: input of {in_sigs[0].size} "
+                f"shorter than factor {factor}"
+            )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return Signal((in_sigs[0].size // self._factor(block),),
+                      in_sigs[0].dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0]).ravel()
+        factor = self._factor(block)
+        return u[::factor][:u.size // factor].copy()
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        factor = self._factor(block)
+        return [out_range.map_indices(lambda i: i * factor)]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        factor = self._factor(block)
+
+        def body(index: Expr):
+            return [Assign(ctx.output, index,
+                           load(ctx.inputs[0], mul(index, const(factor))))]
+        ctx.loops_over_range(body, vectorizable=False)
+
+
+@register
+class ReverseSpec(BlockSpec):
+    """Flip a vector: ``out[i] = u[n - 1 - i]``."""
+
+    type_name = "Reverse"
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return Signal((in_sigs[0].size,), in_sigs[0].dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.asarray(inputs[0]).ravel()[::-1].copy()
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        n = in_sigs[0].size
+        return [out_range.map_indices(lambda i: n - 1 - i)]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        n = ctx.in_size(0)
+
+        def body(index: Expr):
+            return [Assign(ctx.output, index,
+                           load(ctx.inputs[0], sub(const(n - 1), index)))]
+        ctx.loops_over_range(body, vectorizable=False)
+
+
+_ROUNDING = {"floor", "ceil", "round", "fix"}
+
+
+@register
+class RoundingSpec(ElementwiseSpec):
+    """Rounding Function block: floor / ceil / round / fix (toward zero)."""
+
+    type_name = "Rounding"
+
+    def _fn(self, block: Block) -> str:
+        fn = str(block.param("function", "floor"))
+        if fn not in _ROUNDING:
+            raise ValidationError(
+                f"Rounding {block.name!r}: unknown function {fn!r}"
+            )
+        return fn
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        self._fn(block)
+        if in_sigs and in_sigs[0].dtype != "float64":
+            raise ValidationError(
+                f"Rounding {block.name!r}: float64 input required"
+            )
+
+    def expr(self, block: Block, operands: list[Expr]) -> Expr:
+        fn = self._fn(block)
+        u = operands[0]
+        if fn == "fix":
+            # Truncation toward zero: sign-aware floor/ceil select.
+            from repro.ir.build import select
+            return select(binop(">=", u, const(0.0)),
+                          call("floor", u), call("ceil", u))
+        return call(fn, u)
+
+    def compute(self, block: Block, arrays: list[np.ndarray]) -> np.ndarray:
+        fn = self._fn(block)
+        u = arrays[0]
+        if fn == "fix":
+            return np.trunc(u)
+        if fn == "round":
+            return np.sign(u) * np.floor(np.abs(u) + 0.5)
+        return {"floor": np.floor, "ceil": np.ceil}[fn](u)
+
+    def out_dtype(self, block, in_dtypes):
+        return "float64"

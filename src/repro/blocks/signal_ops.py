@@ -1,0 +1,359 @@
+"""Signal routing and data-truncation blocks: Selector, Pad, Concatenate,
+Reshape, Lookup.
+
+Selector, Pad (and Submatrix in :mod:`repro.blocks.matrix_ops`) are the
+*data-truncation blocks* of paper §3.2: they pass through only segments of
+their input, so the I/O mappings they contribute are what shrink upstream
+calculation ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, register
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.ir.build import EmitCtx, add, binop, call, const, load, mul
+from repro.ir.ops import Assign, If, Var
+from repro.model.block import Block
+
+SELECTOR_MODES = ("start_end", "index_vector", "stride", "index_port")
+
+
+@register
+class SelectorSpec(BlockSpec):
+    """Data-truncation Selector (paper Figure 3).
+
+    Modes:
+
+    * ``start_end`` — inclusive ``[start, end]`` slice (Figure 3's
+      ``Start-End`` property);
+    * ``stride`` — ``start, start+stride, ...`` up to ``end`` inclusive;
+    * ``index_vector`` — explicit element indices;
+    * ``index_port`` — a second (scalar) input provides the start index at
+      run time; the window *length* comes from the ``length`` parameter.
+      With a run-time start the precise mapping is unknowable statically,
+      so the I/O mapping conservatively demands the full input — exactly
+      the property-dependence the paper highlights for ``IndexPort``.
+    """
+
+    type_name = "Selector"
+    min_inputs = 1
+    max_inputs = 2
+    is_truncation = True
+
+    def _mode(self, block: Block) -> str:
+        mode = str(block.param("mode", "start_end"))
+        if mode not in SELECTOR_MODES:
+            raise ValidationError(f"Selector {block.name!r}: unknown mode {mode!r}")
+        return mode
+
+    def validate(self, block: Block, in_sigs: Sequence[Signal]) -> None:
+        mode = self._mode(block)
+        expected_arity = 2 if mode == "index_port" else 1
+        if len(in_sigs) != expected_arity:
+            raise ValidationError(
+                f"Selector {block.name!r} in mode {mode} expects "
+                f"{expected_arity} input(s), got {len(in_sigs)}"
+            )
+        n = in_sigs[0].size
+        if mode == "start_end":
+            start, end = int(block.require_param("start")), int(block.require_param("end"))
+            if not (0 <= start <= end < n):
+                raise ValidationError(
+                    f"Selector {block.name!r}: [{start}, {end}] outside input "
+                    f"size {n}"
+                )
+        elif mode == "stride":
+            start = int(block.require_param("start"))
+            end = int(block.require_param("end"))
+            stride = int(block.require_param("stride"))
+            if stride <= 0 or not (0 <= start <= end < n):
+                raise ValidationError(
+                    f"Selector {block.name!r}: bad stride selection "
+                    f"start={start} end={end} stride={stride} for size {n}"
+                )
+        elif mode == "index_vector":
+            indices = [int(i) for i in block.require_param("indices")]
+            if not indices or any(i < 0 or i >= n for i in indices):
+                raise ValidationError(
+                    f"Selector {block.name!r}: indices out of range for size {n}"
+                )
+        else:  # index_port
+            length = int(block.require_param("length"))
+            if not (0 < length <= n):
+                raise ValidationError(
+                    f"Selector {block.name!r}: window length {length} outside "
+                    f"(0, {n}]"
+                )
+
+    def _selected_indices(self, block: Block) -> list[int]:
+        mode = self._mode(block)
+        if mode == "start_end":
+            return list(range(int(block.require_param("start")),
+                              int(block.require_param("end")) + 1))
+        if mode == "stride":
+            return list(range(int(block.require_param("start")),
+                              int(block.require_param("end")) + 1,
+                              int(block.require_param("stride"))))
+        if mode == "index_vector":
+            return [int(i) for i in block.require_param("indices")]
+        raise ValidationError(f"Selector {block.name!r}: no static indices in "
+                              f"index_port mode")
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        if self._mode(block) == "index_port":
+            length = int(block.require_param("length"))
+            return Signal((length,), in_sigs[0].dtype)
+        return Signal((len(self._selected_indices(block)),), in_sigs[0].dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0]).ravel()
+        if self._mode(block) == "index_port":
+            start = int(np.asarray(inputs[1]).ravel()[0])
+            length = int(block.require_param("length"))
+            start = max(0, min(start, u.size - length))
+            return u[start:start + length].copy()
+        return u[self._selected_indices(block)].copy()
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        if out_range.is_empty:
+            return [IndexSet.empty() for _ in in_sigs]
+        mode = self._mode(block)
+        if mode == "index_port":
+            # Run-time start index: any window may be selected.
+            return [in_sigs[0].full_range(), IndexSet.full(1)]
+        indices = self._selected_indices(block)
+        if mode == "start_end":
+            return [out_range.shift(indices[0])]
+        return [IndexSet.from_indices(indices[j] for j in out_range)]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        mode = self._mode(block)
+        if mode == "start_end":
+            ctx.copy_range(ctx.inputs[0], offset=int(block.require_param("start")))
+            return
+        if mode == "stride":
+            start = int(block.require_param("start"))
+            stride = int(block.require_param("stride"))
+
+            def body(index):
+                src = add(const(start), mul(index, const(stride)))
+                return [Assign(ctx.output, index, load(ctx.inputs[0], src))]
+            ctx.loops_over_range(body)
+            return
+        if mode == "index_vector":
+            indices = np.asarray(self._selected_indices(block), dtype="int64")
+            table = f"{ctx.output}_idx"
+            ctx.program.declare(table, indices.shape, "int64", "const", indices)
+
+            def body(index):
+                return [Assign(ctx.output, index,
+                               load(ctx.inputs[0], load(table, index)))]
+            ctx.loops_over_range(body)
+            return
+        # index_port: clamp the run-time start, then windowed copy.
+        length = int(block.require_param("length"))
+        n = ctx.in_size(0)
+        start_expr = call("fmin", call("fmax", load(ctx.inputs[1], 0), const(0.0)),
+                          const(float(n - length)))
+        start_int = call("toint", start_expr)
+
+        def body(index):
+            return [Assign(ctx.output, index,
+                           load(ctx.inputs[0], add(start_int, index)))]
+        ctx.loops_over_range(body)
+
+
+@register
+class PadSpec(BlockSpec):
+    """Pad with a constant value before/after the data.
+
+    The I/O mapping is the inverse of Selector's: demanded output elements
+    inside the data window pull back (shifted) onto the input; demanded
+    padding elements require nothing.
+
+    Lowering depends on the generator style: with ``boundary_judgments``
+    (Simulink Embedded Coder's shape) one loop covers the whole range and
+    tests every element; otherwise the pad regions and the copy region are
+    emitted as separate branch-free loops.
+    """
+
+    type_name = "Pad"
+    is_truncation = True
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        before = int(block.require_param("before"))
+        after = int(block.require_param("after"))
+        if before < 0 or after < 0:
+            raise ValidationError(
+                f"Pad {block.name!r}: before/after must be non-negative"
+            )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        before = int(block.require_param("before"))
+        after = int(block.require_param("after"))
+        return Signal((in_sigs[0].size + before + after,), in_sigs[0].dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        u = np.asarray(inputs[0]).ravel()
+        before = int(block.require_param("before"))
+        after = int(block.require_param("after"))
+        value = float(block.param("value", 0.0))
+        return np.pad(u, (before, after), constant_values=value)
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        before = int(block.require_param("before"))
+        n = in_sigs[0].size
+        return [out_range.shift(-before).clamp(0, n)]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        before = int(block.require_param("before"))
+        n = ctx.in_size(0)
+        value = const(float(block.param("value", 0.0)))
+        data = IndexSet.interval(before, before + n)
+
+        if ctx.style.boundary_judgments:
+            def body(index):
+                cond = binop("&&", binop(">=", index, const(before)),
+                             binop("<", index, const(before + n)))
+                return [If(cond,
+                           [Assign(ctx.output, index,
+                                   load(ctx.inputs[0], add(index, const(-before))))],
+                           [Assign(ctx.output, index, value)])]
+            ctx.loops_over_range(body, vectorizable=False)
+            return
+
+        pad_part = ctx.out_range - data
+        copy_part = ctx.out_range & data
+        saved = ctx.out_range
+        ctx.out_range = pad_part
+        ctx.loops_over_range(lambda index: [Assign(ctx.output, index, value)])
+        ctx.out_range = copy_part
+        ctx.copy_range(ctx.inputs[0], offset=-before)
+        ctx.out_range = saved
+
+
+@register
+class ConcatenateSpec(BlockSpec):
+    """1-D concatenation of N inputs."""
+
+    type_name = "Concatenate"
+    min_inputs = 2
+    max_inputs = None
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        dtype = in_sigs[0].dtype
+        for sig in in_sigs[1:]:
+            if sig.dtype != dtype:
+                raise ValidationError(
+                    f"Concatenate {block.name!r}: mixed dtypes "
+                    f"{dtype} vs {sig.dtype}"
+                )
+        return Signal((sum(s.size for s in in_sigs),), dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.concatenate([np.asarray(a).ravel() for a in inputs])
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        ranges: list[IndexSet] = []
+        offset = 0
+        for sig in in_sigs:
+            segment = out_range.clamp(offset, offset + sig.size)
+            ranges.append(segment.shift(-offset))
+            offset += sig.size
+        return ranges
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        saved = ctx.out_range
+        offset = 0
+        for port, buffer in enumerate(ctx.inputs):
+            size = ctx.in_size(port)
+            ctx.out_range = saved.clamp(offset, offset + size)
+            ctx.copy_range(buffer, offset=-offset)
+            offset += size
+        ctx.out_range = saved
+
+
+@register
+class ReshapeSpec(BlockSpec):
+    """Shape change; flat data order is preserved (row-major)."""
+
+    type_name = "Reshape"
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        shape = tuple(int(d) for d in block.require_param("shape"))
+        size = 1
+        for dim in shape:
+            size *= dim
+        if size != in_sigs[0].size:
+            raise ValidationError(
+                f"Reshape {block.name!r}: {in_sigs[0].size} elements cannot "
+                f"reshape to {shape}"
+            )
+        return Signal(shape, in_sigs[0].dtype)
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        shape = tuple(int(d) for d in block.require_param("shape"))
+        return np.asarray(inputs[0]).reshape(shape).copy()
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        return [out_range]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        ctx.copy_range(ctx.inputs[0])
+
+
+@register
+class LookupSpec(BlockSpec):
+    """Direct lookup table indexed by a uint32 signal (S-box style).
+
+    ``table`` is a compile-time parameter; ``mask`` (default ``0xFF``)
+    bounds the index.  Elementwise in the index signal, so the mapping is
+    the identity; the table itself is materialized as a const buffer.
+    """
+
+    type_name = "Lookup"
+
+    def validate(self, block, in_sigs):
+        super().validate(block, in_sigs)
+        if in_sigs[0].dtype != "uint32":
+            raise ValidationError(
+                f"Lookup {block.name!r} requires a uint32 index input"
+            )
+        table = np.asarray(block.require_param("table"))
+        mask = int(block.param("mask", 0xFF))
+        if table.size <= mask:
+            raise ValidationError(
+                f"Lookup {block.name!r}: table of {table.size} entries cannot "
+                f"cover mask {mask:#x}"
+            )
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        table = np.asarray(block.require_param("table"))
+        return Signal(in_sigs[0].shape, str(table.dtype))
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        table = np.asarray(block.require_param("table"))
+        mask = int(block.param("mask", 0xFF))
+        idx = np.asarray(inputs[0]).ravel().astype("uint32") & np.uint32(mask)
+        return table.ravel()[idx].reshape(np.asarray(inputs[0]).shape)
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        return [out_range]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        table = np.asarray(block.require_param("table"))
+        mask = int(block.param("mask", 0xFF))
+        table_buf = f"{ctx.output}_tab"
+        ctx.program.declare(table_buf, (table.size,), str(table.dtype),
+                            "const", table.ravel())
+
+        def body(index):
+            masked = binop("&", load(ctx.inputs[0], index), const(mask))
+            return [Assign(ctx.output, index, load(table_buf, masked))]
+        ctx.loops_over_range(body)

@@ -1,0 +1,68 @@
+"""Sink blocks: Outport and Terminator."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, register
+from repro.core.intervals import IndexSet
+from repro.ir.build import EmitCtx
+from repro.model.block import Block
+
+
+@register
+class OutportSpec(BlockSpec):
+    """Model output boundary.
+
+    An Outport demands its input in full — every element of a declared
+    model output is observable, so nothing upstream of it alone may be
+    eliminated.  Code-wise it copies the feeding buffer into the program's
+    output buffer.
+    """
+
+    type_name = "Outport"
+    min_inputs = 1
+    max_inputs = 1
+    is_sink = True
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return in_sigs[0]
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.asarray(inputs[0]).copy()
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        return [out_range]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        ctx.copy_range(ctx.inputs[0])
+
+
+@register
+class TerminatorSpec(BlockSpec):
+    """Explicitly discarded signal.
+
+    A Terminator demands nothing of its input: any computation feeding
+    only Terminators is redundant by construction.  FRODO's range
+    determination therefore eliminates it; the baselines still compute it
+    (they translate blocks independently of consumption).
+    """
+
+    type_name = "Terminator"
+    min_inputs = 1
+    max_inputs = 1
+    is_sink = True
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        return in_sigs[0]
+
+    def step(self, block: Block, inputs: Sequence[np.ndarray], state) -> np.ndarray:
+        return np.asarray(inputs[0]).copy()
+
+    def input_ranges(self, block, out_range, in_sigs, out_sig):
+        return [IndexSet.empty()]
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        """Terminators generate no code."""

@@ -1,0 +1,74 @@
+"""Source blocks: Inport and Constant."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.blocks.base import BlockSpec, Signal, register
+from repro.errors import SimulationError, ValidationError
+from repro.ir.build import EmitCtx
+from repro.model.block import Block
+
+
+@register
+class InportSpec(BlockSpec):
+    """Model input boundary.
+
+    Shape and dtype come from the block's ``shape``/``dtype`` parameters;
+    the generated program exposes the block as an input buffer, so no code
+    is emitted.  The simulator reads its value from the externally supplied
+    input dictionary.
+    """
+
+    type_name = "Inport"
+    min_inputs = 0
+    max_inputs = 0
+    is_source = True
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        shape = tuple(block.param("shape", ()))
+        dtype = str(block.param("dtype", "float64"))
+        return Signal(shape, dtype)
+
+    def step(self, block, inputs, state):
+        raise SimulationError(
+            f"Inport {block.name!r} must be fed by the simulator harness"
+        )
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        """Inports are program inputs; nothing to compute."""
+
+
+@register
+class ConstantSpec(BlockSpec):
+    """Compile-time constant value.
+
+    Generators materialize the value as a const-initialized buffer; no
+    per-step code is emitted (matching how every real generator treats
+    constants).
+    """
+
+    type_name = "Constant"
+    min_inputs = 0
+    max_inputs = 0
+    is_source = True
+
+    def validate(self, block: Block, in_sigs: Sequence[Signal]) -> None:
+        super().validate(block, in_sigs)
+        if block.param("value") is None:
+            raise ValidationError(f"Constant {block.name!r} has no value parameter")
+
+    def infer(self, block: Block, in_sigs: Sequence[Signal]) -> Signal:
+        value = np.asarray(block.require_param("value"))
+        return Signal(value.shape, str(value.dtype))
+
+    def step(self, block, inputs, state):
+        return np.asarray(block.require_param("value")).copy()
+
+    def constant_value(self, block: Block) -> Optional[np.ndarray]:
+        return np.asarray(block.require_param("value"))
+
+    def emit(self, block: Block, ctx: EmitCtx) -> None:
+        """Constants live in const-initialized buffers; nothing to compute."""

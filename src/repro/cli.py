@@ -1,0 +1,327 @@
+"""Command-line interface: ``frodo <command>``.
+
+Mirrors how the paper's tool is used: point it at a ``.slx`` model (or a
+named zoo model), inspect the calculation ranges, and generate C code with
+FRODO or any of the baseline generators.  The experiment commands
+regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.codegen import ALL_GENERATORS, FRODO_VARIANTS, emit_c, make_generator
+from repro.core.analysis import analyze
+from repro.core.ranges import determine_ranges
+from repro.model.graph import Model
+from repro.model.mdl import load_mdl, save_mdl
+from repro.model.slx import load_slx, save_slx
+
+
+def _resolve_model(spec: str) -> Model:
+    """A model argument is either a zoo name or a .slx path."""
+    from repro.zoo import EXTENDED_MODELS, MODELS, build_model
+    if spec in MODELS or spec in EXTENDED_MODELS or spec == "Motivating":
+        return build_model(spec)
+    path = Path(spec)
+    if path.exists():
+        return load_mdl(path) if path.suffix == ".mdl" else load_slx(path)
+    known = ", ".join([*MODELS, "Motivating"])
+    raise SystemExit(f"unknown model {spec!r}: not a zoo name ({known}) "
+                     "and no such file")
+
+
+def cmd_list_models(_args) -> None:
+    from repro.eval.experiments import table1
+    print(table1())
+
+
+def cmd_show_ranges(args) -> None:
+    model = _resolve_model(args.model)
+    analyzed = analyze(model)
+    ranges = determine_ranges(analyzed)
+    print(f"model {model.name}: {len(ranges.optimizable)} optimizable "
+          f"block(s), {ranges.eliminated_elements(analyzed)} elements "
+          "eliminated")
+    for name in analyzed.schedule:
+        sig = analyzed.signal_of(name)
+        rng = ranges.output_range[name]
+        marker = " *" if name in ranges.optimizable else ""
+        print(f"  {name:30s} {str(sig.shape):>10s} "
+              f"range={rng.describe()}{marker}")
+
+
+def cmd_generate(args) -> None:
+    model = _resolve_model(args.model)
+    generator = make_generator(args.generator)
+    code = generator.generate(model)
+    source = emit_c(code.program)
+    if args.output:
+        out_path = Path(args.output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(source)
+        print(f"wrote {out_path} ({len(source.splitlines())} lines, "
+              f"{code.program.static_bytes} static bytes)")
+    else:
+        print(source)
+
+
+def cmd_export(args) -> None:
+    model = _resolve_model(args.model)
+    target = Path(args.output)
+    if target.suffix == ".mdl":
+        path = save_mdl(model, target)
+    else:
+        path = save_slx(model, target)
+    print(f"wrote {path}")
+
+
+def cmd_validate(args) -> None:
+    from repro.eval.validate import validate_all
+    model = _resolve_model(args.model)
+    reports = validate_all(model, seeds=range(args.cases), steps=args.steps)
+    failed = False
+    for report in reports:
+        status = "PASS" if report.passed else "FAIL"
+        print(f"{report.generator:10s} {status} ({report.cases} random cases)")
+        for failure in report.failures:
+            failed = True
+            print(f"    {failure}")
+    if failed:
+        raise SystemExit(1)
+
+
+def cmd_table2(_args) -> None:
+    from repro.eval.experiments import table2
+    result = table2()
+    print(result.render())
+    for profile in ("x86-gcc", "x86-clang"):
+        ranges = result.improvement_ranges(profile)
+        summary = ", ".join(f"{low:.2f}x-{high:.2f}x vs {gen}"
+                            for gen, (low, high) in ranges.items())
+        print(f"FRODO on {profile}: {summary}")
+
+
+def cmd_figure6(args) -> None:
+    from repro.eval.experiments import figure6
+    print(figure6(args.profile).render())
+
+
+def cmd_memory(_args) -> None:
+    from repro.eval.experiments import memory_study
+    print(memory_study())
+
+
+def cmd_crosscheck(args) -> None:
+    from repro.eval.crosscheck import crosscheck, render_crosscheck
+    models = [args.model] if args.model else None
+    cells = crosscheck(models=models, native=args.native,
+                       seeds=range(args.cases), steps=args.steps)
+    print(render_crosscheck(cells))
+    if any(not cell.ok for cell in cells):
+        raise SystemExit(1)
+
+
+def cmd_dot(args) -> None:
+    from repro.core.ranges import determine_ranges
+    from repro.model.dot import model_to_dot
+    model = _resolve_model(args.model)
+    analyzed = analyze(model)
+    ranges = determine_ranges(analyzed) if not args.no_ranges else None
+    text = model_to_dot(analyzed, ranges)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+
+
+def cmd_compile(args) -> None:
+    """Emit C, compile with the host toolchain, run, and report."""
+    import numpy as np
+    from repro.native import compile_and_run, find_compiler
+    from repro.sim.simulator import random_inputs, simulate
+    if find_compiler() is None:
+        raise SystemExit("no C compiler found on PATH")
+    model = _resolve_model(args.model)
+    code = make_generator(args.generator).generate(model)
+    inputs = random_inputs(model, seed=args.seed)
+    result = compile_and_run(code, inputs, steps=args.steps,
+                             repetitions=args.repetitions,
+                             workdir=args.keep_sources)
+    expected = simulate(model, inputs, steps=args.steps)
+    for key in expected:
+        ok = np.allclose(np.asarray(result.outputs[key]).ravel(),
+                         np.asarray(expected[key]).ravel(),
+                         rtol=1e-9, atol=1e-12)
+        print(f"output {key}: {'matches simulation' if ok else 'MISMATCH'}")
+        if not ok:
+            raise SystemExit(1)
+    if result.seconds is not None:
+        print(f"{args.repetitions} repetitions: {result.seconds:.4f}s")
+    if result.source_dir:
+        print(f"sources kept in {result.source_dir}")
+
+
+def cmd_profile(args) -> None:
+    from repro.eval.profile import render_profile
+    model = _resolve_model(args.model)
+    print(render_profile(model, generator=args.generator,
+                         profile_name=args.profile, steps=args.steps))
+
+
+def cmd_report(args) -> None:
+    from repro.eval.fullreport import report_all
+    written = report_all(args.output, include_sweeps=not args.no_sweeps)
+    print(f"{len(written)} artifact(s) in {args.output}")
+
+
+def _block_rows() -> list[list[str]]:
+    from repro.blocks import get_spec, registered_types
+    rows = []
+    for type_name in registered_types():
+        spec = get_spec(type_name)
+        arity_hi = "n" if spec.max_inputs is None else str(spec.max_inputs)
+        arity = str(spec.min_inputs) if arity_hi == str(spec.min_inputs) \
+            else f"{spec.min_inputs}..{arity_hi}"
+        traits = ", ".join(trait for trait, flag in (
+            ("source", spec.is_source), ("sink", spec.is_sink),
+            ("stateful", spec.is_stateful), ("truncation", spec.is_truncation),
+        ) if flag)
+        doc_lines = (spec.__doc__ or "").strip().splitlines()
+        summary = doc_lines[0] if doc_lines else ""
+        rows.append([type_name, arity, traits, summary])
+    return rows
+
+
+def cmd_blocks(args) -> None:
+    """Print the block property library reference (text or markdown)."""
+    rows = _block_rows()
+    if getattr(args, "markdown", False):
+        lines = [
+            "# Block property library reference",
+            "",
+            "Generated by `frodo blocks --markdown`; every entry carries the",
+            "full contract (validation, semantics, I/O mapping, range-aware",
+            "emission) described in docs/architecture.md.",
+            "",
+            f"{len(rows)} supported block types:",
+            "",
+            "| BlockType | inputs | traits | summary |",
+            "| --- | --- | --- | --- |",
+        ]
+        for row in rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        print("\n".join(lines))
+        return
+    from repro.eval.report import format_table
+    short = [[r[0], r[1], r[2], r[3][:60]] for r in rows]
+    print(format_table(["BlockType", "inputs", "traits", "summary"], short,
+                       title=f"block property library "
+                             f"({len(rows)} supported types)"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="frodo",
+        description="FRODO reproduction: redundancy-eliminating code "
+                    "generation for data-intensive Simulink models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="print the Table 1 inventory") \
+        .set_defaults(func=cmd_list_models)
+
+    p = sub.add_parser("show-ranges",
+                       help="print per-block calculation ranges")
+    p.add_argument("model", help="zoo model name or .slx path")
+    p.set_defaults(func=cmd_show_ranges)
+
+    p = sub.add_parser("generate", help="generate C code for a model")
+    p.add_argument("model", help="zoo model name or .slx/.mdl path")
+    p.add_argument("-g", "--generator", default="frodo",
+                   choices=[*ALL_GENERATORS, *FRODO_VARIANTS])
+    p.add_argument("-o", "--output", help="write C to this path")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("export", help="write a zoo model as .slx")
+    p.add_argument("model")
+    p.add_argument("output")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("validate",
+                       help="random-testing validation vs simulation")
+    p.add_argument("model")
+    p.add_argument("--cases", type=int, default=5)
+    p.add_argument("--steps", type=int, default=3)
+    p.set_defaults(func=cmd_validate)
+
+    sub.add_parser("table2", help="regenerate Table 2 (x86 profiles)") \
+        .set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("figure6", help="regenerate Figure 6 (ARM)")
+    p.add_argument("--profile", default="arm-gcc",
+                   choices=["arm-gcc", "arm-clang"])
+    p.set_defaults(func=cmd_figure6)
+
+    sub.add_parser("memory", help="regenerate the §5 memory study") \
+        .set_defaults(func=cmd_memory)
+
+    p = sub.add_parser("blocks", help="list the block property library")
+    p.add_argument("--markdown", action="store_true")
+    p.set_defaults(func=cmd_blocks)
+
+    p = sub.add_parser("crosscheck",
+                       help="model x generator x backend consistency matrix")
+    p.add_argument("model", nargs="?", default=None)
+    p.add_argument("--native", action="store_true",
+                   help="also compile and run with the host C compiler")
+    p.add_argument("--cases", type=int, default=2)
+    p.add_argument("--steps", type=int, default=2)
+    p.set_defaults(func=cmd_crosscheck)
+
+    p = sub.add_parser("dot",
+                       help="export the dataflow graph as Graphviz DOT")
+    p.add_argument("model")
+    p.add_argument("-o", "--output")
+    p.add_argument("--no-ranges", action="store_true")
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("compile",
+                       help="compile the emitted C natively and check it")
+    p.add_argument("model")
+    p.add_argument("-g", "--generator", default="frodo",
+                   choices=[*ALL_GENERATORS, *FRODO_VARIANTS])
+    p.add_argument("--steps", type=int, default=1)
+    p.add_argument("--repetitions", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--keep-sources", metavar="DIR", default=None)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("profile",
+                       help="per-block cost breakdown of generated code")
+    p.add_argument("model")
+    p.add_argument("-g", "--generator", default="frodo",
+                   choices=[*ALL_GENERATORS, *FRODO_VARIANTS])
+    p.add_argument("--profile", default="x86-gcc",
+                   choices=["x86-gcc", "x86-clang", "arm-gcc", "arm-clang"])
+    p.add_argument("--steps", type=int, default=1)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("report",
+                       help="regenerate every table/figure into a directory")
+    p.add_argument("-o", "--output", default="frodo_report")
+    p.add_argument("--no-sweeps", action="store_true")
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,39 @@
+"""Code generators: FRODO and the three baselines, plus C emission."""
+
+from repro.codegen.base import CodeGenerator, GeneratedCode, sanitize  # noqa: F401
+from repro.codegen.ctext import emit_c  # noqa: F401
+from repro.codegen.dfsynth import DFSynthGenerator  # noqa: F401
+from repro.codegen.frodo import FrodoGenerator  # noqa: F401
+from repro.codegen.hcg import HCGGenerator  # noqa: F401
+from repro.codegen.simulink_ec import SimulinkECGenerator  # noqa: F401
+
+#: The four generators of the paper's evaluation, in reporting order.
+ALL_GENERATORS = {
+    "simulink": SimulinkECGenerator,
+    "dfsynth": DFSynthGenerator,
+    "hcg": HCGGenerator,
+    "frodo": FrodoGenerator,
+}
+
+
+#: FRODO variants selectable by name (ablations and §5 extension modes).
+FRODO_VARIANTS = {
+    "frodo-direct": dict(direct_only=True),
+    "frodo-fn": dict(generic_functions=True),
+    "frodo-coalesce": dict(coalesce_ranges=True),
+    "frodo-fn-coalesce": dict(generic_functions=True, coalesce_ranges=True),
+    "frodo-fused": dict(fuse=True),
+    "frodo-reuse": dict(reuse=True),
+    "frodo-fold": dict(fold=True),
+}
+
+
+def make_generator(name: str) -> CodeGenerator:
+    """Instantiate a generator by its reporting name."""
+    if name in FRODO_VARIANTS:
+        return FrodoGenerator(**FRODO_VARIANTS[name])
+    try:
+        return ALL_GENERATORS[name]()
+    except KeyError:
+        known = ", ".join([*ALL_GENERATORS, *FRODO_VARIANTS])
+        raise KeyError(f"unknown generator {name!r}; known: {known}") from None

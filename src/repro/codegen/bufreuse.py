@@ -1,0 +1,139 @@
+"""Variable (buffer) reuse — a liveness-based storage optimization.
+
+Embedded Coder's documented "variable reuse" shares storage between
+signals whose lifetimes do not overlap.  This pass implements the same
+idea on the lowered program: temp buffers (per-block intermediates) whose
+live ranges over the step body are disjoint are merged into shared
+slots, shrinking the program's static footprint.
+
+Liveness is computed at statement granularity over the flattened step
+sequence: a temp is live from its first write to its last read.  State,
+const, input, and output buffers are never merged (state persists across
+steps; I/O names are the ABI).  Buffers are merged only into slots of the
+same dtype and at-least-equal size, greedily in order of first
+definition — a linear-scan register allocator over arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.interp import substitute_buffers
+from repro.ir.ops import (
+    Assign, BinOp, Call, CallStmt, Comment, Expr, For, If, Load, Program,
+    Select, Stmt, UnOp,
+)
+
+
+def _expr_reads(expr: Expr, out: set[str]) -> None:
+    if isinstance(expr, Load):
+        out.add(expr.buffer)
+        _expr_reads(expr.index, out)
+    elif isinstance(expr, BinOp):
+        _expr_reads(expr.lhs, out)
+        _expr_reads(expr.rhs, out)
+    elif isinstance(expr, UnOp):
+        _expr_reads(expr.operand, out)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            _expr_reads(arg, out)
+    elif isinstance(expr, Select):
+        _expr_reads(expr.cond, out)
+        _expr_reads(expr.if_true, out)
+        _expr_reads(expr.if_false, out)
+
+
+def _stmt_access(stmt: Stmt, program: Program,
+                 reads: set[str], writes: set[str]) -> None:
+    if isinstance(stmt, Assign):
+        writes.add(stmt.buffer)
+        _expr_reads(stmt.index, reads)
+        _expr_reads(stmt.value, reads)
+    elif isinstance(stmt, For):
+        if not isinstance(stmt.start, int):
+            _expr_reads(stmt.start, reads)
+        if not isinstance(stmt.stop, int):
+            _expr_reads(stmt.stop, reads)
+        for inner in stmt.body:
+            _stmt_access(inner, program, reads, writes)
+    elif isinstance(stmt, If):
+        _expr_reads(stmt.cond, reads)
+        for inner in stmt.then + stmt.orelse:
+            _stmt_access(inner, program, reads, writes)
+    elif isinstance(stmt, CallStmt):
+        func = program.functions[stmt.func]
+        for arg in stmt.scalar_args:
+            _expr_reads(arg, reads)
+        # Pointer params: conservatively treat every binding as both read
+        # and written (the function body may do either).
+        for buffer in stmt.buffer_args:
+            reads.add(buffer)
+            writes.add(buffer)
+        del func
+
+
+@dataclass
+class _Interval:
+    name: str
+    start: int
+    end: int
+    size: int
+    dtype: str
+
+
+def _live_intervals(program: Program) -> list[_Interval]:
+    temps = {decl.name: decl for decl in program.buffers_of_kind("temp")}
+    first: dict[str, int] = {}
+    last: dict[str, int] = {}
+    for position, stmt in enumerate(program.step):
+        if isinstance(stmt, Comment):
+            continue
+        reads: set[str] = set()
+        writes: set[str] = set()
+        _stmt_access(stmt, program, reads, writes)
+        for name in (reads | writes) & temps.keys():
+            first.setdefault(name, position)
+            last[name] = position
+    return sorted(
+        (_Interval(name, first[name], last[name],
+                   temps[name].size, temps[name].dtype)
+         for name in first),
+        key=lambda iv: (iv.start, iv.name),
+    )
+
+
+def reuse_buffers(program: Program) -> dict[str, str]:
+    """Merge disjoint-lifetime temp buffers in place.
+
+    Returns the applied renaming (old temp name -> shared slot name).
+    Buffers referenced by generic-function *bodies* (not call sites) are
+    untouched because function bodies only name their own parameters.
+    """
+    intervals = _live_intervals(program)
+    slots: list[dict] = []  # {name, size, dtype, free_at}
+    renaming: dict[str, str] = {}
+    for interval in intervals:
+        placed = False
+        for slot in slots:
+            if (slot["dtype"] == interval.dtype
+                    and slot["size"] >= interval.size
+                    and slot["free_at"] < interval.start):
+                renaming[interval.name] = slot["name"]
+                slot["free_at"] = interval.end
+                placed = True
+                break
+        if not placed:
+            slots.append({"name": interval.name, "size": interval.size,
+                          "dtype": interval.dtype, "free_at": interval.end})
+    renaming = {old: new for old, new in renaming.items() if old != new}
+    if not renaming:
+        return {}
+
+    program.step[:] = substitute_buffers(program.step, renaming)
+    program.init[:] = substitute_buffers(program.init, renaming)
+    for old in renaming:
+        del program.buffers[old]
+    program.notes["__bufreuse__"] = (
+        f"{len(renaming)} temp buffer(s) merged into shared slots"
+    )
+    return renaming

@@ -1,0 +1,20 @@
+"""DFSynth baseline (branch-structured control, full ranges).
+
+DFSynth "disassembles the dataflow model into blocks embedded within
+if-else or switch-case statements" — good control structure and hoisted
+loop bounds, but "lacking optimization techniques for data-intensive
+models" (§4.1): every block still computes its full output range.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.base import CodeGenerator
+from repro.ir.build import StyleOptions
+
+
+class DFSynthGenerator(CodeGenerator):
+    name = "dfsynth"
+    range_policy = "full"
+
+    def make_style(self) -> StyleOptions:
+        return StyleOptions(branch_structured=True)

@@ -1,0 +1,27 @@
+"""HCG baseline (forced SIMD on batch blocks, full ranges).
+
+HCG "synthesizes appropriate SIMD instructions for batch computing
+blocks".  We mark every sufficiently wide batch loop ``forced_simd``; the
+cost model gives those loops fixed 256-bit (x86) / 128-bit (ARM) vector
+execution, a per-loop intrinsic setup cost, and an optimization-inhibition
+factor — reproducing the paper's observation that at ``-O3`` the forced
+intrinsics can underperform the compiler's own auto-vectorizer (the Back
+model regression, §4.1).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.base import CodeGenerator
+from repro.ir.build import StyleOptions
+
+
+class HCGGenerator(CodeGenerator):
+    name = "hcg"
+    range_policy = "full"
+
+    def __init__(self, simd_min_width: int = 12):
+        self.simd_min_width = simd_min_width
+
+    def make_style(self) -> StyleOptions:
+        return StyleOptions(branch_structured=True, forced_simd=True,
+                            simd_min_width=self.simd_min_width)

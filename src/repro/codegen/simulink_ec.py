@@ -1,0 +1,22 @@
+"""Simulink Embedded Coder baseline (full ranges, boundary judgments).
+
+The paper attributes Embedded Coder's weakness on data-intensive models to
+two code shapes we reproduce here: every block computes its full output
+(full padding for Convolution, with the Selector translated afterwards),
+and window operators guard each accumulation with per-element boundary
+judgments ("Simulink generates numerous boundary judgments to ascertain
+whether values should undergo convolution calculations", §4.1).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.base import CodeGenerator
+from repro.ir.build import StyleOptions
+
+
+class SimulinkECGenerator(CodeGenerator):
+    name = "simulink"
+    range_policy = "full"
+
+    def make_style(self) -> StyleOptions:
+        return StyleOptions(boundary_judgments=True, autovec_hostile=True)

@@ -1,0 +1,127 @@
+"""Element-level code library (paper §3.2, Figure 4).
+
+FRODO's concise code generation "obtains a suitable code snippet for
+replacement from the element-level code library, according to the
+calculation range", then "replaces the placeholders in the selected code
+snippet with the actual values according to the block parameters".
+
+Each entry pairs the C-text template (with ``$placeholder$`` markers, as
+in Figure 4) with the snippet *form*:
+
+* ``individual`` — code for one output element (used for edge positions
+  and singleton runs, Figure 4 ①);
+* ``consecutive`` — code for a maximal run of consecutive elements
+  (Figure 4 ②).
+
+The IR builders in the block specs are the executable counterparts of
+these templates; :func:`render` performs the textual substitution that
+Figure 4 illustrates, and the test suite checks the rendered text against
+the C actually emitted for the same parameters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import CodegenError
+
+_PLACEHOLDER = re.compile(r"\$([A-Za-z0-9_]+)\$")
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """One entry of the element-level code library."""
+
+    block_type: str
+    form: str  # "individual" | "consecutive"
+    template: str
+
+    @property
+    def placeholders(self) -> list[str]:
+        return sorted(set(_PLACEHOLDER.findall(self.template)))
+
+    def render(self, **values: object) -> str:
+        """Substitute ``$name$`` placeholders with actual block parameters."""
+        missing = [p for p in self.placeholders if p not in values]
+        if missing:
+            raise CodegenError(
+                f"snippet {self.block_type}/{self.form} missing placeholder "
+                f"value(s): {missing}"
+            )
+
+        def sub(match: re.Match) -> str:
+            return str(values[match.group(1)])
+        return _PLACEHOLDER.sub(sub, self.template)
+
+
+_LIBRARY: dict[tuple[str, str], Snippet] = {}
+
+
+def _add(block_type: str, form: str, template: str) -> None:
+    _LIBRARY[(block_type, form)] = Snippet(block_type, form, template)
+
+
+def get_snippet(block_type: str, form: str) -> Snippet:
+    try:
+        return _LIBRARY[(block_type, form)]
+    except KeyError:
+        known = ", ".join(f"{b}/{f}" for b, f in sorted(_LIBRARY))
+        raise CodegenError(
+            f"no snippet for {block_type}/{form}; known: {known}"
+        ) from None
+
+
+def render(block_type: str, form: str, **values: object) -> str:
+    return get_snippet(block_type, form).render(**values)
+
+
+def library_entries() -> list[Snippet]:
+    return [snippet for _, snippet in sorted(_LIBRARY.items())]
+
+
+# -- Convolution (Figure 4 of the paper) --------------------------------------
+
+_add("Convolution", "individual", """\
+$Output$[$k$] = 0.0;
+for (int64_t j = $j_lo$; j < $j_hi$; j++) {
+    $Output$[$k$] = ($Output$[$k$] + ($Input2$[j] * $Input1$[($k$ - j)]));
+}""")
+
+_add("Convolution", "consecutive", """\
+for (int64_t i = $start$; i < $stop$; i++) {
+    $Output$[i] = 0.0;
+    for (int64_t j = 0; j < $Input2_size$; j++) {
+        $Output$[i] = ($Output$[i] + ($Input2$[j] * $Input1$[(i - j)]));
+    }
+}""")
+
+# -- Selector ---------------------------------------------------------------------
+
+_add("Selector", "individual",
+     "$Output$[$k$] = $Input1$[($k$ + $offset$)];")
+
+_add("Selector", "consecutive", """\
+for (int64_t i = $start$; i < $stop$; i++) {
+    $Output$[i] = $Input1$[(i + $offset$)];
+}""")
+
+# -- Pad -------------------------------------------------------------------------------
+
+_add("Pad", "individual",
+     "$Output$[$k$] = $value$;")
+
+_add("Pad", "consecutive", """\
+for (int64_t i = $start$; i < $stop$; i++) {
+    $Output$[i] = $Input1$[(i + $offset$)];
+}""")
+
+# -- Elementwise family (one entry serves Gain/Add/Product/... shapes) -----------------
+
+_add("Elementwise", "individual",
+     "$Output$[$k$] = $expr$;")
+
+_add("Elementwise", "consecutive", """\
+for (int64_t i = $start$; i < $stop$; i++) {
+    $Output$[i] = $expr$;
+}""")

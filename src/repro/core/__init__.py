@@ -1,0 +1,27 @@
+"""FRODO's core contribution: range algebra, model analysis, Algorithm 1.
+
+``analysis`` and ``ranges`` depend on the block property library, which in
+turn depends on ``core.intervals`` — so those two modules are exported
+lazily (PEP 562) to keep the import graph acyclic.
+"""
+
+from repro.core.intervals import IndexSet, Region, shape_size  # noqa: F401
+
+_LAZY = {
+    "AnalyzedModel": ("repro.core.analysis", "AnalyzedModel"),
+    "analyze": ("repro.core.analysis", "analyze"),
+    "RangeResult": ("repro.core.ranges", "RangeResult"),
+    "determine_ranges": ("repro.core.ranges", "determine_ranges"),
+    "full_ranges": ("repro.core.ranges", "full_ranges"),
+}
+
+__all__ = ["IndexSet", "Region", "shape_size", *_LAZY]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

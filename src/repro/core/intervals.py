@@ -1,0 +1,312 @@
+"""Calculation-range algebra.
+
+FRODO's central datatype is the *calculation range* of a block: the set of
+output elements that downstream blocks actually consume (paper §3.2).  We
+represent a range as an :class:`IndexSet` — a canonical union of disjoint,
+sorted, half-open intervals over the flattened element indices of a signal.
+:class:`Region` pairs an :class:`IndexSet` with the signal's shape so that
+matrix blocks can reason in rows and columns while the rest of the pipeline
+stays one-dimensional.
+
+The representation is deliberately exact (no over-approximation): Algorithm 1
+relies on ranges never being wider than what children require, and the
+correctness argument relies on them never being narrower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+def _normalize(intervals: Iterable[tuple[int, int]]) -> tuple[tuple[int, int], ...]:
+    """Sort, drop empty, and coalesce touching/overlapping intervals."""
+    items = sorted((int(a), int(b)) for a, b in intervals if b > a)
+    merged: list[tuple[int, int]] = []
+    for start, stop in items:
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_stop = merged[-1]
+            merged[-1] = (prev_start, max(prev_stop, stop))
+        else:
+            merged.append((start, stop))
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class IndexSet:
+    """A canonical union of disjoint half-open ``[start, stop)`` intervals.
+
+    Instances are immutable and hashable; all operations return new sets.
+    The canonical form guarantees that equal sets compare equal, which the
+    fixed-point checks in range determination depend on.
+    """
+
+    intervals: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "intervals", _normalize(self.intervals))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IndexSet":
+        """The empty range."""
+        return cls(())
+
+    @classmethod
+    def full(cls, size: int) -> "IndexSet":
+        """The complete range ``[0, size)``."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        return cls(((0, size),)) if size else cls(())
+
+    @classmethod
+    def interval(cls, start: int, stop: int) -> "IndexSet":
+        """A single interval ``[start, stop)`` (empty when ``stop <= start``)."""
+        return cls(((start, stop),))
+
+    @classmethod
+    def point(cls, index: int) -> "IndexSet":
+        """The singleton ``{index}``."""
+        return cls(((index, index + 1),))
+
+    @classmethod
+    def from_indices(cls, indices: Iterable[int]) -> "IndexSet":
+        """Build from an arbitrary iterable of element indices."""
+        return cls(tuple((i, i + 1) for i in set(indices)))
+
+    @classmethod
+    def from_slice(cls, sl: slice, size: int) -> "IndexSet":
+        """Build from a Python slice interpreted against ``size`` elements."""
+        start, stop, step = sl.indices(size)
+        if step == 1:
+            return cls.interval(start, stop)
+        return cls.from_indices(range(start, stop, step))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    @property
+    def size(self) -> int:
+        """Number of elements covered."""
+        return sum(stop - start for start, stop in self.intervals)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """The bounding interval ``(min, max_exclusive)``; ``(0, 0)`` if empty."""
+        if not self.intervals:
+            return (0, 0)
+        return (self.intervals[0][0], self.intervals[-1][1])
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the set is empty or a single interval."""
+        return len(self.intervals) <= 1
+
+    @property
+    def run_count(self) -> int:
+        """Number of maximal consecutive runs (intervals)."""
+        return len(self.intervals)
+
+    def __contains__(self, index: int) -> bool:
+        return any(start <= index < stop for start, stop in self.intervals)
+
+    def __iter__(self) -> Iterator[int]:
+        for start, stop in self.intervals:
+            yield from range(start, stop)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __bool__(self) -> bool:
+        return bool(self.intervals)
+
+    def runs(self) -> Iterator[tuple[int, int]]:
+        """Iterate the maximal consecutive runs as ``(start, stop)`` pairs."""
+        return iter(self.intervals)
+
+    def covers(self, other: "IndexSet") -> bool:
+        """True when every element of ``other`` is in ``self``."""
+        return (other - self).is_empty
+
+    def equals_full(self, size: int) -> bool:
+        """True when the set is exactly ``[0, size)``."""
+        return self.intervals == ((0, size),) if size else self.is_empty
+
+    # -- algebra -----------------------------------------------------------
+
+    def union(self, other: "IndexSet") -> "IndexSet":
+        return IndexSet(self.intervals + other.intervals)
+
+    __or__ = union
+
+    def intersect(self, other: "IndexSet") -> "IndexSet":
+        out: list[tuple[int, int]] = []
+        i = j = 0
+        a, b = self.intervals, other.intervals
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo < hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IndexSet(tuple(out))
+
+    __and__ = intersect
+
+    def difference(self, other: "IndexSet") -> "IndexSet":
+        out: list[tuple[int, int]] = []
+        for start, stop in self.intervals:
+            cursor = start
+            for o_start, o_stop in other.intervals:
+                if o_stop <= cursor or o_start >= stop:
+                    continue
+                if o_start > cursor:
+                    out.append((cursor, o_start))
+                cursor = max(cursor, o_stop)
+                if cursor >= stop:
+                    break
+            if cursor < stop:
+                out.append((cursor, stop))
+        return IndexSet(tuple(out))
+
+    __sub__ = difference
+
+    def shift(self, offset: int) -> "IndexSet":
+        """Translate every index by ``offset``."""
+        return IndexSet(tuple((a + offset, b + offset) for a, b in self.intervals))
+
+    def clamp(self, lo: int, hi: int) -> "IndexSet":
+        """Intersect with ``[lo, hi)``."""
+        return self.intersect(IndexSet.interval(lo, hi))
+
+    def dilate(self, left: int, right: int) -> "IndexSet":
+        """Grow every interval by ``left`` before and ``right`` after.
+
+        This is the pull-back of a sliding-window operator: if output index
+        ``k`` reads inputs ``[k - left, k + right]``, the inputs required by
+        an output range are its dilation.
+        """
+        if left < 0 or right < 0:
+            raise ValueError("dilate amounts must be non-negative")
+        return IndexSet(
+            tuple((a - left, b + right) for a, b in self.intervals)
+        )
+
+    def map_indices(self, fn) -> "IndexSet":
+        """Apply an index-to-index function to every element.
+
+        Used by permutation-style I/O mappings (transpose, reshape in
+        non-contiguous layouts).  Cost is linear in :attr:`size`, which is
+        fine for the signal widths Simulink models use.
+        """
+        return IndexSet.from_indices(fn(i) for i in self)
+
+    # -- presentation ------------------------------------------------------
+
+    def __repr__(self) -> str:
+        if not self.intervals:
+            return "IndexSet.empty()"
+        parts = ", ".join(f"[{a},{b})" for a, b in self.intervals)
+        return f"IndexSet({parts})"
+
+    def describe(self) -> str:
+        """Human-readable inclusive description used in reports: ``[5, 54]``."""
+        if not self.intervals:
+            return "∅"
+        return " ∪ ".join(f"[{a}, {b - 1}]" for a, b in self.intervals)
+
+
+def shape_size(shape: Sequence[int]) -> int:
+    """Number of elements in a (possibly scalar, ``()``) shape."""
+    size = 1
+    for dim in shape:
+        size *= int(dim)
+    return size
+
+
+@dataclass(frozen=True)
+class Region:
+    """An :class:`IndexSet` interpreted against a concrete signal shape.
+
+    Signals are stored flattened in row-major (C) order — exactly how the
+    generated C code indexes them — so a region is an index set plus the
+    shape needed to translate between flat indices and coordinates.
+    """
+
+    shape: tuple[int, ...]
+    indices: IndexSet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        lo, hi = self.indices.span
+        if self.indices and (lo < 0 or hi > self.size_limit):
+            raise ValueError(
+                f"indices {self.indices} fall outside shape {self.shape}"
+            )
+
+    @property
+    def size_limit(self) -> int:
+        return shape_size(self.shape)
+
+    @classmethod
+    def full(cls, shape: Sequence[int]) -> "Region":
+        shape = tuple(int(d) for d in shape)
+        return cls(shape, IndexSet.full(shape_size(shape)))
+
+    @classmethod
+    def empty(cls, shape: Sequence[int]) -> "Region":
+        return cls(tuple(int(d) for d in shape), IndexSet.empty())
+
+    @property
+    def is_full(self) -> bool:
+        return self.indices.equals_full(self.size_limit)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.indices.is_empty
+
+    # -- 2-D helpers (row-major) ------------------------------------------
+
+    def _dims2(self) -> tuple[int, int]:
+        if len(self.shape) == 2:
+            return self.shape
+        if len(self.shape) == 1:
+            return (1, self.shape[0])
+        if len(self.shape) == 0:
+            return (1, 1)
+        raise ValueError(f"expected <=2-D shape, got {self.shape}")
+
+    def rows_touched(self) -> IndexSet:
+        """Set of row indices containing at least one selected element."""
+        _, cols = self._dims2()
+        return IndexSet.from_indices(i // cols for i in self.indices)
+
+    def cols_touched(self) -> IndexSet:
+        """Set of column indices containing at least one selected element."""
+        _, cols = self._dims2()
+        return IndexSet.from_indices(i % cols for i in self.indices)
+
+    @classmethod
+    def from_rows_cols(
+        cls, shape: Sequence[int], rows: IndexSet, cols: IndexSet
+    ) -> "Region":
+        """Rectangular region: the cartesian product of row and column sets."""
+        shape = tuple(int(d) for d in shape)
+        if len(shape) == 1:
+            n_rows, n_cols = 1, shape[0]
+        else:
+            n_rows, n_cols = shape
+        rows = rows.clamp(0, n_rows)
+        cols = cols.clamp(0, n_cols)
+        intervals: list[tuple[int, int]] = []
+        for r in rows:
+            for c_start, c_stop in cols.runs():
+                intervals.append((r * n_cols + c_start, r * n_cols + c_stop))
+        return cls(shape, IndexSet(tuple(intervals)))

@@ -1,0 +1,114 @@
+"""Translation scheduling strategies (paper background §2, step ③).
+
+Code generation infers "the translation sequence of model blocks, based
+on the sequential relationship"; any topological order is semantically
+valid, but the order affects locality and (on real pipelines) stalls —
+the concern of the Mercury line of work the paper cites.  Three
+deterministic strategies are provided:
+
+* ``lexicographic`` — Kahn's algorithm with a sorted ready set (the
+  default used by :func:`repro.core.analysis.analyze`): stable and
+  reproducible;
+* ``depth_first`` — consumers are emitted as soon as their inputs are
+  ready, keeping producer/consumer pairs adjacent (buffer locality);
+* ``fanout_first`` — high-fanout blocks are emitted as early as possible,
+  maximizing the distance between a value's definition and its last use
+  (a crude stand-in for pipeline-aware reordering).
+
+All strategies break ties deterministically and treat stateful blocks as
+sources (their inputs are end-of-step updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.blocks import spec_for
+from repro.core.analysis import AnalyzedModel
+from repro.errors import AnalysisError
+from repro.model.graph import Model
+
+STRATEGIES = ("lexicographic", "depth_first", "fanout_first")
+
+
+def _edges(model: Model) -> tuple[dict[str, int], dict[str, list[str]]]:
+    in_deg: dict[str, int] = {name: 0 for name in model.blocks}
+    succ: dict[str, list[str]] = {name: [] for name in model.blocks}
+    for conn in model.connections:
+        if spec_for(model[conn.dst]).is_stateful:
+            continue  # delay inputs are consumed at end of step
+        in_deg[conn.dst] += 1
+        succ[conn.src].append(conn.dst)
+    return in_deg, succ
+
+
+def topological_schedule(model: Model,
+                         strategy: str = "lexicographic") -> list[str]:
+    """A deterministic topological order under the chosen strategy."""
+    if strategy not in STRATEGIES:
+        raise AnalysisError(
+            f"unknown schedule strategy {strategy!r}; known: {STRATEGIES}"
+        )
+    in_deg, succ = _edges(model)
+    fanout = {name: len(model.successors(name)) for name in model.blocks}
+    order: list[str] = []
+
+    if strategy == "depth_first":
+        ready = sorted((name for name, d in in_deg.items() if d == 0),
+                       reverse=True)
+        stack = list(ready)
+        seen = set(stack)
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            unlocked = []
+            for nxt in succ[name]:
+                in_deg[nxt] -= 1
+                if in_deg[nxt] == 0 and nxt not in seen:
+                    unlocked.append(nxt)
+            for nxt in sorted(unlocked, reverse=True):
+                seen.add(nxt)
+                stack.append(nxt)
+    else:
+        def priority(name: str):
+            if strategy == "fanout_first":
+                return (-fanout[name], name)
+            return name
+        ready = sorted((n for n, d in in_deg.items() if d == 0), key=priority)
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            changed = False
+            for nxt in succ[name]:
+                in_deg[nxt] -= 1
+                if in_deg[nxt] == 0:
+                    ready.append(nxt)
+                    changed = True
+            if changed:
+                ready.sort(key=priority)
+
+    if len(order) != len(model.blocks):
+        cyclic = sorted(set(model.blocks) - set(order))
+        raise AnalysisError(
+            f"model {model.name!r} has an algebraic loop through {cyclic}"
+        )
+    return order
+
+
+def reschedule(analyzed: AnalyzedModel, strategy: str) -> AnalyzedModel:
+    """A copy of the analysis with its schedule recomputed."""
+    order = topological_schedule(analyzed.model, strategy)
+    return replace(analyzed, schedule=order)
+
+
+def is_valid_schedule(model: Model, order: list[str]) -> bool:
+    """Every non-state edge must go forward in the order."""
+    position = {name: i for i, name in enumerate(order)}
+    if sorted(order) != sorted(model.blocks):
+        return False
+    for conn in model.connections:
+        if spec_for(model[conn.dst]).is_stateful:
+            continue
+        if position[conn.src] >= position[conn.dst]:
+            return False
+    return True

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the FRODO reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses partition the failure
+domains of the pipeline: model construction, ``.slx`` parsing, static
+validation (shape/dtype inference), analysis, and code generation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ModelError(ReproError):
+    """Structural problem in a model: duplicate names, bad connections."""
+
+
+class SlxFormatError(ReproError):
+    """The ``.slx`` container or its XML payload is malformed."""
+
+
+class ValidationError(ReproError):
+    """Static validation failed: shapes, dtypes, or parameters disagree."""
+
+
+class AnalysisError(ReproError):
+    """Dataflow analysis failed: cycles without delays, unreachable ports."""
+
+
+class CodegenError(ReproError):
+    """Code generation could not lower a block or assemble the program."""
+
+
+class SimulationError(ReproError):
+    """The reference simulator hit an unsupported or inconsistent state."""
+
+
+class NativeToolchainError(ReproError):
+    """The host C toolchain is missing or the compile/run step failed."""

@@ -1,0 +1,17 @@
+"""Experiment harness: measurement runner, experiments, validation."""
+
+from repro.eval.experiments import (  # noqa: F401
+    MODEL_NAMES, PAPER_FIG6_RANGES, PAPER_TABLE2, Figure6Result, Table2Result,
+    ablation_ranges, ablation_recursion, figure6, memory_study, table1, table2,
+)
+from repro.eval.report import format_bars, format_table, speedup  # noqa: F401
+from repro.eval.runner import (  # noqa: F401
+    GENERATOR_ORDER, PAPER_REPETITIONS, Measurement, measure, measure_grid,
+    run_vm_step,
+)
+from repro.eval.validate import (  # noqa: F401
+    ValidationReport, validate_all, validate_generator,
+)
+from repro.eval.fullreport import report_all  # noqa: F401,E402
+from repro.eval.profile import profile_program, render_profile  # noqa: F401,E402
+from repro.eval.sweeps import kernel_sweep, truncation_sweep  # noqa: F401,E402

@@ -1,0 +1,213 @@
+"""Per-experiment entry points (see DESIGN.md's experiment index).
+
+Each function regenerates one table or figure of the paper:
+
+* :func:`table1` — the benchmark inventory (E1);
+* :func:`table2` — execution duration on x86 with the gcc and clang
+  profiles (E2);
+* :func:`figure6` — improvement ratios on the ARM profiles (E3/E4);
+* :func:`memory_study` — the §5 memory comparison (E5);
+* :func:`ablation_recursion` / :func:`ablation_ranges` — A1/A2.
+
+Paper numbers are recorded alongside so reports can print
+paper-vs-measured comparisons (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis import analyze
+from repro.core.ranges import determine_ranges
+from repro.eval.report import format_bars, format_table, speedup
+from repro.eval.runner import GENERATOR_ORDER, Measurement, measure
+from repro.zoo import TABLE1, build_model
+
+MODEL_NAMES = [entry.name for entry in TABLE1]
+
+#: Table 2 of the paper: execution seconds on x86, (gcc, clang) per cell.
+PAPER_TABLE2: dict[str, dict[str, tuple[float, float]]] = {
+    "AudioProcess": {"simulink": (1.583, 1.574), "dfsynth": (0.492, 0.583),
+                     "hcg": (0.517, 0.419), "frodo": (0.333, 0.202)},
+    "Decryption": {"simulink": (0.370, 0.370), "dfsynth": (0.303, 0.211),
+                   "hcg": (0.261, 0.184), "frodo": (0.213, 0.119)},
+    "HighPass": {"simulink": (0.865, 0.558), "dfsynth": (0.291, 0.323),
+                 "hcg": (0.326, 0.307), "frodo": (0.160, 0.182)},
+    "HT": {"simulink": (0.651, 0.711), "dfsynth": (0.715, 0.753),
+           "hcg": (0.650, 0.743), "frodo": (0.311, 0.317)},
+    "Kalman": {"simulink": (0.370, 0.400), "dfsynth": (0.266, 0.333),
+               "hcg": (0.260, 0.311), "frodo": (0.201, 0.223)},
+    "Back": {"simulink": (0.304, 0.789), "dfsynth": (0.451, 0.536),
+             "hcg": (0.699, 0.759), "frodo": (0.241, 0.250)},
+    "Maintenance": {"simulink": (0.931, 0.859), "dfsynth": (0.295, 0.343),
+                    "hcg": (0.386, 0.271), "frodo": (0.223, 0.189)},
+    "Maunfacture": {"simulink": (2.251, 3.449), "dfsynth": (0.973, 1.114),
+                    "hcg": (0.658, 0.883), "frodo": (0.486, 0.526)},
+    "RunningDiff": {"simulink": (0.708, 0.576), "dfsynth": (0.722, 0.589),
+                    "hcg": (0.193, 0.195), "frodo": (0.125, 0.118)},
+    "Simpson": {"simulink": (0.949, 1.385), "dfsynth": (0.428, 0.551),
+                "hcg": (0.433, 0.409), "frodo": (0.266, 0.248)},
+}
+
+#: Figure 6 / §4 text: min-max improvement ranges FRODO achieves on ARM.
+PAPER_FIG6_RANGES = {
+    ("arm-gcc", "simulink"): (1.71, 8.55),
+    ("arm-gcc", "dfsynth"): (1.44, 4.10),
+    ("arm-gcc", "hcg"): (1.17, 3.75),
+    ("arm-clang", "simulink"): (1.68, 6.46),
+    ("arm-clang", "dfsynth"): (1.40, 2.85),
+    ("arm-clang", "hcg"): (1.34, 3.17),
+}
+
+
+# -- E1: Table 1 -----------------------------------------------------------------
+
+def table1() -> str:
+    rows = []
+    for entry in TABLE1:
+        model = build_model(entry.name)
+        rows.append((entry.name, entry.functionality, model.block_count))
+    return format_table(["Model", "Functionality", "#Block"], rows,
+                        title="Table 1: benchmark Simulink models")
+
+
+# -- E2: Table 2 -----------------------------------------------------------------
+
+@dataclass
+class Table2Result:
+    """Measured grid plus the paper's numbers for comparison."""
+
+    cells: dict[tuple[str, str, str], Measurement] = field(default_factory=dict)
+
+    def seconds(self, model: str, generator: str, profile: str) -> float:
+        return self.cells[(model, generator, profile)].seconds
+
+    def render(self) -> str:
+        headers = ["Model"]
+        for profile in ("x86-gcc", "x86-clang"):
+            for generator in GENERATOR_ORDER:
+                headers.append(f"{generator}@{profile.split('-')[1]}")
+        rows = []
+        for model in MODEL_NAMES:
+            row: list[object] = [model]
+            for profile in ("x86-gcc", "x86-clang"):
+                for generator in GENERATOR_ORDER:
+                    row.append(f"{self.seconds(model, generator, profile):.3f}s")
+            rows.append(row)
+        return format_table(headers, rows,
+                            title="Table 2: modeled execution duration on x86 "
+                                  "(10,000 repetitions)")
+
+    def improvement_ranges(self, profile: str) -> dict[str, tuple[float, float]]:
+        """FRODO's min-max speedup vs each baseline (the §4.1 headlines)."""
+        ranges: dict[str, tuple[float, float]] = {}
+        for generator in GENERATOR_ORDER[:-1]:
+            factors = [
+                speedup(self.seconds(m, generator, profile),
+                        self.seconds(m, "frodo", profile))
+                for m in MODEL_NAMES
+            ]
+            ranges[generator] = (min(factors), max(factors))
+        return ranges
+
+
+def table2(profiles: tuple[str, ...] = ("x86-gcc", "x86-clang"),
+           **kwargs) -> Table2Result:
+    result = Table2Result()
+    for model in MODEL_NAMES:
+        for generator in GENERATOR_ORDER:
+            for profile in profiles:
+                result.cells[(model, generator, profile)] = measure(
+                    model, generator, profile, **kwargs)
+    return result
+
+
+# -- E3/E4: Figure 6 ----------------------------------------------------------------
+
+@dataclass
+class Figure6Result:
+    profile: str
+    #: improvement[baseline][model] = baseline_seconds / frodo_seconds.
+    improvement: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        sections = []
+        for baseline, per_model in self.improvement.items():
+            sections.append(format_bars(
+                f"FRODO improvement vs {baseline} ({self.profile})",
+                list(per_model), list(per_model.values())))
+        return "\n\n".join(sections)
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        return {
+            baseline: (min(v.values()), max(v.values()))
+            for baseline, v in self.improvement.items()
+        }
+
+
+def figure6(profile: str = "arm-gcc", **kwargs) -> Figure6Result:
+    result = Figure6Result(profile)
+    frodo = {m: measure(m, "frodo", profile, **kwargs).seconds
+             for m in MODEL_NAMES}
+    for baseline in GENERATOR_ORDER[:-1]:
+        result.improvement[baseline] = {
+            m: speedup(measure(m, baseline, profile, **kwargs).seconds, frodo[m])
+            for m in MODEL_NAMES
+        }
+    return result
+
+
+# -- E5: §5 memory study ---------------------------------------------------------------
+
+def memory_study(profile: str = "x86-gcc") -> str:
+    headers = ["Model"] + [f"{g} bytes" for g in GENERATOR_ORDER] \
+        + ["max/min"]
+    rows = []
+    for model in MODEL_NAMES:
+        sizes = [measure(model, g, profile).static_bytes
+                 for g in GENERATOR_ORDER]
+        rows.append([model, *sizes, f"{max(sizes) / min(sizes):.2f}"])
+    return format_table(headers, rows,
+                        title="Section 5: static buffer bytes per generator")
+
+
+# -- A1: recursion ablation ---------------------------------------------------------------
+
+def ablation_recursion(profile: str = "x86-gcc") -> str:
+    headers = ["Model", "full (frodo)", "direct-only", "no-opt (dfsynth)",
+               "recursive gain"]
+    rows = []
+    for model in MODEL_NAMES:
+        full = measure(model, "frodo", profile).seconds
+        direct = measure(model, "frodo-direct", profile).seconds
+        none = measure(model, "dfsynth", profile).seconds
+        rows.append([model, f"{full:.3f}s", f"{direct:.3f}s", f"{none:.3f}s",
+                     f"{direct / full:.2f}x"])
+    return format_table(headers, rows,
+                        title="Ablation A1: recursive vs direct-only range "
+                              "propagation")
+
+
+# -- A2: range statistics / discontinuous ranges --------------------------------------------
+
+def ablation_ranges() -> str:
+    headers = ["Model", "optimizable", "eliminated elems", "discont. blocks",
+               "gen. stmts (frodo)", "gen. stmts (dfsynth)"]
+    rows = []
+    for entry in TABLE1:
+        model = build_model(entry.name)
+        analyzed = analyze(model)
+        ranges = determine_ranges(analyzed)
+        discontinuous = sum(
+            1 for rng in ranges.output_range.values() if rng.run_count > 1)
+        from repro.eval.runner import _generated
+        frodo_stmts = _generated(entry.name, "frodo").program.statement_count
+        df_stmts = _generated(entry.name, "dfsynth").program.statement_count
+        rows.append([
+            entry.name, len(ranges.optimizable),
+            ranges.eliminated_elements(analyzed), discontinuous,
+            frodo_stmts, df_stmts,
+        ])
+    return format_table(headers, rows,
+                        title="Ablation A2: range statistics and code size "
+                              "(§5 threats)")

@@ -1,0 +1,101 @@
+"""One-shot regeneration of every paper artifact into a directory.
+
+``report_all(output_dir)`` writes: Table 1, Table 2 (x86 profiles with
+headline ranges), Figure 6 for both ARM profiles (text + SVG), the §5
+memory study, the A1/A2 ablations, and the A4 sweeps.  This is the
+"reproduce the evaluation section" button; the CLI exposes it as
+``frodo report -o <dir>``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.eval.experiments import (
+    PAPER_FIG6_RANGES, ablation_ranges, ablation_recursion, figure6,
+    memory_study, table1, table2,
+)
+from repro.eval.svg import grouped_bar_chart, save_figure6_svg
+from repro.eval.sweeps import kernel_sweep, render_sweep, truncation_sweep
+
+
+def report_all(output_dir: str | Path, include_sweeps: bool = True,
+               echo=print) -> dict[str, Path]:
+    """Write every report; returns {artifact name: path}."""
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+
+    def write(name: str, text: str) -> None:
+        path = out / name
+        path.write_text(text + "\n")
+        written[name] = path
+        echo(f"wrote {path}")
+
+    write("table1.txt", table1())
+
+    t2 = table2()
+    lines = [t2.render(), ""]
+    for profile in ("x86-gcc", "x86-clang"):
+        ranges = t2.improvement_ranges(profile)
+        lines.append(f"{profile}: " + ", ".join(
+            f"{low:.2f}x-{high:.2f}x vs {gen}"
+            for gen, (low, high) in ranges.items()))
+    write("table2.txt", "\n".join(lines))
+    from repro.eval.experiments import MODEL_NAMES
+    from repro.eval.runner import GENERATOR_ORDER
+    series = {gen: {m: t2.seconds(m, gen, "x86-gcc") for m in MODEL_NAMES}
+              for gen in GENERATOR_ORDER}
+    svg = grouped_bar_chart(series, "Table 2: modeled seconds (x86-gcc, "
+                            "10,000 repetitions)", unit="s", reference=None)
+    svg_path = out / "table2_x86_gcc.svg"
+    svg_path.write_text(svg)
+    written[svg_path.name] = svg_path
+    echo(f"wrote {svg_path}")
+
+    for profile in ("arm-gcc", "arm-clang"):
+        result = figure6(profile)
+        lines = [result.render(), "", "ranges (paper in parentheses):"]
+        for baseline, (low, high) in result.ranges().items():
+            p_low, p_high = PAPER_FIG6_RANGES[(profile, baseline)]
+            lines.append(f"  vs {baseline}: {low:.2f}x-{high:.2f}x "
+                         f"({p_low:.2f}x-{p_high:.2f}x)")
+        write(f"figure6_{profile}.txt", "\n".join(lines))
+        svg_path = out / f"figure6_{profile}.svg"
+        save_figure6_svg(result, svg_path)
+        written[svg_path.name] = svg_path
+        echo(f"wrote {svg_path}")
+
+    write("memory_section5.txt", memory_study())
+    write("ablation_recursion.txt", ablation_recursion())
+    write("ablation_ranges.txt", ablation_ranges())
+
+    if include_sweeps:
+        write("sweep_truncation.txt",
+              render_sweep(truncation_sweep(), "kept fraction", "dfsynth",
+                           "speedup vs kept output fraction"))
+        write("sweep_kernel.txt",
+              render_sweep(kernel_sweep(), "kernel taps", "simulink",
+                           "speedup vs kernel width"))
+
+    # Machine-readable summary of the headline numbers.
+    from repro.eval.experiments import MODEL_NAMES as _MODELS
+    from repro.eval.runner import GENERATOR_ORDER as _GENS
+    summary = {
+        "table2_seconds": {
+            profile: {m: {g: t2.seconds(m, g, profile) for g in _GENS}
+                      for m in _MODELS}
+            for profile in ("x86-gcc", "x86-clang")
+        },
+        "improvement_ranges": {
+            profile: {g: list(r) for g, r in
+                      t2.improvement_ranges(profile).items()}
+            for profile in ("x86-gcc", "x86-clang")
+        },
+    }
+    path = out / "RESULTS.json"
+    path.write_text(json.dumps(summary, indent=2) + "\n")
+    written["RESULTS.json"] = path
+    echo(f"wrote {path}")
+    return written

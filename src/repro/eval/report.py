@@ -1,0 +1,41 @@
+"""Plain-text table/figure rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(title: str, labels: Sequence[str], values: Sequence[float],
+                unit: str = "x", width: int = 40) -> str:
+    """Render a horizontal bar chart (for the Figure 6 improvement plots)."""
+    peak = max(values) if values else 1.0
+    lines = [title]
+    label_w = max(len(label) for label in labels) if labels else 0
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"  {label.ljust(label_w)} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def speedup(baseline_seconds: float, frodo_seconds: float) -> float:
+    """Execution-duration improvement factor (paper convention)."""
+    return baseline_seconds / frodo_seconds

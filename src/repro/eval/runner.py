@@ -1,0 +1,112 @@
+"""Measurement runner: generate → execute in the VM → model the time.
+
+One :class:`Measurement` corresponds to one cell of the paper's Table 2
+grid (model × generator × compiler/arch profile).  The VM supplies exact
+op counts and the outputs used for correctness checks; the cost model
+converts counts to modeled seconds under each profile (see
+:mod:`repro.ir.cost` for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen import GeneratedCode, make_generator
+from repro.ir.cost import Profile, get_profile, modeled_seconds
+from repro.ir.interp import ContextCounts, VirtualMachine
+from repro.model.graph import Model
+from repro.sim.simulator import random_inputs, simulate
+from repro.zoo import build_model
+
+#: The paper repeats each generated binary 10,000 times (§4.1).
+PAPER_REPETITIONS = 10_000
+
+GENERATOR_ORDER = ("simulink", "dfsynth", "hcg", "frodo")
+
+
+@dataclass
+class Measurement:
+    """One (model, generator, profile) evaluation cell."""
+
+    model_name: str
+    generator: str
+    profile: str
+    counts: ContextCounts
+    seconds: float
+    static_bytes: int
+    peak_bytes: int
+    outputs_match: bool
+
+    @property
+    def total_ops(self) -> int:
+        return self.counts.total.total_element_ops
+
+
+@lru_cache(maxsize=None)
+def _generated(model_name: str, generator: str) -> GeneratedCode:
+    model = build_model(model_name)
+    return make_generator(generator).generate(model)
+
+
+@lru_cache(maxsize=None)
+def _model(model_name: str) -> Model:
+    return build_model(model_name)
+
+
+def measure(model_name: str, generator: str, profile: str | Profile = "x86-gcc",
+            steps: int = 1, seed: int = 0,
+            repetitions: int = PAPER_REPETITIONS) -> Measurement:
+    """Evaluate one cell of the Table 2 grid."""
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    code = _generated(model_name, generator)
+    model = _model(model_name)
+    inputs = random_inputs(code.analyzed, seed=seed)
+    vm = VirtualMachine(code.program)
+    result = vm.run(code.map_inputs(inputs), steps=steps)
+    named = code.map_outputs(result.outputs)
+    reference = simulate(model, inputs, steps=steps)
+    match = all(
+        np.allclose(np.asarray(named[k]).ravel(),
+                    np.asarray(reference[k]).ravel(), rtol=1e-9, atol=1e-9)
+        for k in reference
+    )
+    return Measurement(
+        model_name=model_name,
+        generator=generator,
+        profile=prof.name,
+        counts=result.counts,
+        seconds=modeled_seconds(result.counts, prof, repetitions) / steps,
+        static_bytes=code.program.static_bytes,
+        peak_bytes=result.peak_buffer_bytes,
+        outputs_match=match,
+    )
+
+
+def measure_grid(model_names: list[str], generators: list[str],
+                 profile: str, **kwargs) -> dict[tuple[str, str], Measurement]:
+    """Measure a full model × generator grid under one profile."""
+    grid: dict[tuple[str, str], Measurement] = {}
+    for model_name in model_names:
+        for generator in generators:
+            grid[(model_name, generator)] = measure(
+                model_name, generator, profile, **kwargs)
+    return grid
+
+
+def run_vm_step(model_name: str, generator: str,
+                inputs: Mapping[str, np.ndarray] | None = None,
+                steps: int = 1, seed: int = 0) -> None:
+    """Execute the generated program once (pytest-benchmark work unit)."""
+    code = _generated(model_name, generator)
+    if inputs is None:
+        inputs = random_inputs(code.analyzed, seed=seed)
+    VirtualMachine(code.program).run(code.map_inputs(dict(inputs)), steps=steps)
+
+
+def clear_caches() -> None:
+    _generated.cache_clear()
+    _model.cache_clear()

@@ -1,0 +1,122 @@
+"""Minimal SVG rendering for the paper's bar-chart figures (no plotting
+dependency).
+
+:func:`grouped_bar_chart` reproduces the layout of Figure 6: one group of
+bars per model, one bar per baseline, and a reference line at 1.0× (the
+paper draws FRODO's own duration as the red baseline).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+from xml.sax.saxutils import escape
+
+_PALETTE = ("#4e79a7", "#f28e2b", "#59a14f", "#b07aa1", "#76b7b2")
+
+
+def _bar(x: float, y: float, width: float, height: float, color: str,
+         title: str) -> str:
+    return (f'<rect x="{x:.1f}" y="{y:.1f}" width="{width:.1f}" '
+            f'height="{height:.1f}" fill="{color}">'
+            f"<title>{escape(title)}</title></rect>")
+
+
+def grouped_bar_chart(series: Mapping[str, Mapping[str, float]],
+                      title: str, unit: str = "x",
+                      reference: float | None = 1.0,
+                      width: int = 900, height: int = 360) -> str:
+    """Render grouped bars: ``series[series_name][group_name] = value``.
+
+    Returns the SVG document as a string.
+    """
+    series_names = list(series)
+    groups: list[str] = []
+    for per_group in series.values():
+        for group in per_group:
+            if group not in groups:
+                groups.append(group)
+    peak = max((value for per_group in series.values()
+                for value in per_group.values()), default=1.0)
+    peak = max(peak, reference or 0.0)
+
+    margin_left, margin_bottom, margin_top = 50, 70, 40
+    plot_w = width - margin_left - 20
+    plot_h = height - margin_top - margin_bottom
+    group_w = plot_w / max(len(groups), 1)
+    bar_w = group_w * 0.8 / max(len(series_names), 1)
+
+    def y_of(value: float) -> float:
+        return margin_top + plot_h * (1.0 - value / (peak * 1.08))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+        f'font-size="14">{escape(title)}</text>',
+        f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+        f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" '
+        'stroke="#333"/>',
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{margin_top + plot_h}" stroke="#333"/>',
+    ]
+
+    # y ticks
+    step = max(round(peak / 5, 1), 0.5)
+    tick = step
+    while tick <= peak * 1.05:
+        y = y_of(tick)
+        parts.append(f'<line x1="{margin_left - 4}" y1="{y:.1f}" '
+                     f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+                     'stroke="#ddd"/>')
+        parts.append(f'<text x="{margin_left - 8}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{tick:g}{unit}</text>')
+        tick += step
+
+    for g_index, group in enumerate(groups):
+        x0 = margin_left + g_index * group_w + group_w * 0.1
+        for s_index, name in enumerate(series_names):
+            value = series[name].get(group)
+            if value is None:
+                continue
+            x = x0 + s_index * bar_w
+            y = y_of(value)
+            parts.append(_bar(x, y, bar_w * 0.92, margin_top + plot_h - y,
+                              _PALETTE[s_index % len(_PALETTE)],
+                              f"{name} / {group}: {value:.2f}{unit}"))
+        label_x = x0 + len(series_names) * bar_w / 2
+        parts.append(
+            f'<text x="{label_x:.1f}" y="{margin_top + plot_h + 12}" '
+            f'text-anchor="end" transform="rotate(-35 {label_x:.1f} '
+            f'{margin_top + plot_h + 12})">{escape(group)}</text>')
+
+    if reference is not None:
+        y = y_of(reference)
+        parts.append(f'<line x1="{margin_left}" y1="{y:.1f}" '
+                     f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+                     'stroke="#d62728" stroke-dasharray="5,3"/>')
+        parts.append(f'<text x="{margin_left + plot_w - 2}" y="{y - 4:.1f}" '
+                     f'text-anchor="end" fill="#d62728">FRODO baseline '
+                     f'({reference:g}{unit})</text>')
+
+    legend_x = margin_left
+    for s_index, name in enumerate(series_names):
+        x = legend_x + s_index * 130
+        parts.append(_bar(x, height - 18, 10, 10,
+                          _PALETTE[s_index % len(_PALETTE)], name))
+        parts.append(f'<text x="{x + 14}" y="{height - 9}">'
+                     f"{escape(name)}</text>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_figure6_svg(result, path: str | Path) -> Path:
+    """Render a Figure6Result as a grouped bar chart."""
+    path = Path(path)
+    svg = grouped_bar_chart(
+        {f"vs {baseline}": per_model
+         for baseline, per_model in result.improvement.items()},
+        title=f"Figure 6: FRODO execution improvement on {result.profile}",
+    )
+    path.write_text(svg)
+    return path

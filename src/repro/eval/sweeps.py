@@ -1,0 +1,105 @@
+"""Parameter sweeps: how FRODO's win scales with the problem knobs.
+
+The paper reports point measurements per model; these sweeps expose the
+underlying scaling law on the motivating (same-convolution) pattern:
+
+* :func:`truncation_sweep` — vary the fraction of the convolution output
+  the Selector keeps; FRODO's advantage over a full-range baseline should
+  grow as the kept fraction shrinks (more redundancy to eliminate) and
+  approach 1x as the Selector keeps everything;
+* :func:`kernel_sweep` — vary the kernel width at a fixed window;
+  Embedded Coder's per-element boundary judgments scale with the kernel,
+  so its gap widens with kernel size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codegen import make_generator
+from repro.eval.report import format_table
+from repro.ir.cost import get_profile, modeled_seconds
+from repro.ir.interp import VirtualMachine
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+from repro.sim.simulator import random_inputs
+
+
+def same_conv_model(n: int, kernel: int, keep_fraction: float) -> Model:
+    """Conv(n, kernel) -> Selector keeping the central ``keep_fraction``."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction {keep_fraction} outside (0, 1]")
+    b = ModelBuilder("SweepConv")
+    u = b.inport("u", shape=(n,))
+    taps = np.hanning(kernel)
+    k = b.constant("kernel", taps / taps.sum())
+    conv = b.convolution(u, k, name="conv")
+    total = n + kernel - 1
+    kept = max(1, int(round(total * keep_fraction)))
+    start = (total - kept) // 2
+    sel = b.selector(conv, start=start, end=start + kept - 1, name="sel")
+    b.outport("y", sel)
+    return b.build()
+
+
+@dataclass
+class SweepPoint:
+    knob: float
+    baseline_seconds: float
+    frodo_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_seconds / self.frodo_seconds
+
+
+def _cell_seconds(model: Model, generator: str, profile) -> float:
+    code = make_generator(generator).generate(model)
+    inputs = code.map_inputs(random_inputs(model, seed=0))
+    counts = VirtualMachine(code.program).run(inputs).counts
+    return modeled_seconds(counts, profile)
+
+
+def truncation_sweep(fractions=(0.125, 0.25, 0.5, 0.75, 1.0),
+                     n: int = 128, kernel: int = 9,
+                     baseline: str = "dfsynth",
+                     profile: str = "x86-gcc") -> list[SweepPoint]:
+    """FRODO vs a full-range baseline as the kept window fraction varies."""
+    prof = get_profile(profile)
+    points = []
+    for fraction in fractions:
+        model = same_conv_model(n, kernel, fraction)
+        points.append(SweepPoint(
+            fraction,
+            _cell_seconds(model, baseline, prof),
+            _cell_seconds(model, "frodo", prof),
+        ))
+    return points
+
+
+def kernel_sweep(kernels=(3, 7, 15, 31), n: int = 128,
+                 keep_fraction: float = 0.5,
+                 baseline: str = "simulink",
+                 profile: str = "x86-gcc") -> list[SweepPoint]:
+    """Boundary-judgment cost vs kernel width at a fixed window."""
+    prof = get_profile(profile)
+    points = []
+    for kernel in kernels:
+        model = same_conv_model(n, kernel, keep_fraction)
+        points.append(SweepPoint(
+            float(kernel),
+            _cell_seconds(model, baseline, prof),
+            _cell_seconds(model, "frodo", prof),
+        ))
+    return points
+
+
+def render_sweep(points: list[SweepPoint], knob_name: str,
+                 baseline: str, title: str) -> str:
+    rows = [[f"{p.knob:g}", f"{p.baseline_seconds:.4f}s",
+             f"{p.frodo_seconds:.4f}s", f"{p.speedup:.2f}x"]
+            for p in points]
+    return format_table([knob_name, baseline, "frodo", "speedup"], rows,
+                        title=title)

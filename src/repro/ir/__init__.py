@@ -1,0 +1,14 @@
+"""Loop-level IR, interpreting VM, and the compiler/architecture cost model."""
+
+from repro.ir.cost import (  # noqa: F401
+    ARM_CLANG, ARM_GCC, PROFILES, Profile, X86_CLANG, X86_GCC, get_profile,
+    modeled_seconds,
+)
+from repro.ir.interp import (  # noqa: F401
+    ContextCounts, ExecResult, OpCounts, VirtualMachine, execute,
+)
+from repro.ir.ops import (  # noqa: F401
+    Assign, BinOp, BufferDecl, Call, CallStmt, Comment, Const, Expr, For,
+    FuncDef, FuncParam, If, Load, Program, Select, Stmt, UnOp, Var,
+)
+from repro.ir.verify import assert_verified, verify_program  # noqa: F401

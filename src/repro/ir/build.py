@@ -1,0 +1,220 @@
+"""Convenience constructors for IR, and the per-block emission context.
+
+Block specs build their code through :class:`EmitCtx`, which carries the
+buffers wired to the block's ports, the *calculation range* the generator
+decided for the block's output, and the style knobs that differentiate the
+four generators (boundary judgments, forced SIMD, branch structuring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.intervals import IndexSet
+from repro.errors import CodegenError
+from repro.ir.ops import (
+    Assign, BinOp, Call, Const, Expr, For, Load, Program, Select, Stmt, UnOp,
+    Var,
+)
+
+# -- small expression helpers -------------------------------------------------
+
+def const(value: object) -> Const:
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def load(buffer: str, index: Expr | int) -> Load:
+    if isinstance(index, int):
+        index = Const(index)
+    return Load(buffer, index)
+
+
+def binop(op: str, lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp(op, lhs, rhs)
+
+
+def add(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("+", lhs, rhs)
+
+
+def sub(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("-", lhs, rhs)
+
+
+def mul(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("*", lhs, rhs)
+
+
+def div(lhs: Expr, rhs: Expr) -> BinOp:
+    return BinOp("/", lhs, rhs)
+
+
+def call(func: str, *args: Expr) -> Call:
+    return Call(func, tuple(args))
+
+
+def select(cond: Expr, if_true: Expr, if_false: Expr) -> Select:
+    return Select(cond, if_true, if_false)
+
+
+def neg(operand: Expr) -> UnOp:
+    return UnOp("-", operand)
+
+
+@dataclass
+class StyleOptions:
+    """Generator-specific lowering choices.
+
+    * ``boundary_judgments`` — lower window operators (Convolution, Pad)
+      with per-element bounds checks inside the inner loop, the code shape
+      the paper attributes to Simulink Embedded Coder.
+    * ``branch_structured`` — lower scalar-controlled Switch blocks as an
+      ``if``/``else`` around whole loops (DFSynth's specialty) instead of a
+      per-element ternary.
+    * ``forced_simd`` — mark batch loops for explicit SIMD intrinsics (HCG);
+      the cost model charges fixed vector width plus per-loop overhead.
+    * ``simd_min_width`` — smallest trip count HCG considers a batch loop.
+    * ``autovec_hostile`` — the generator's elementwise code defeats the
+      compiler's auto-vectorizer (paper §4.1 on Embedded Coder: reused
+      variables and pointer-heavy expressions prevent the compiler from
+      classifying values as invariant/independent).
+    """
+
+    boundary_judgments: bool = False
+    branch_structured: bool = False
+    forced_simd: bool = False
+    simd_min_width: int = 8
+    autovec_hostile: bool = False
+    #: §5 extension: emit complex blocks as shared generic functions with
+    #: the calculation range passed as parameters (avoids per-instance
+    #: code duplication at a small call/indirection cost).
+    generic_functions: bool = False
+
+
+@dataclass
+class EmitCtx:
+    """Everything a block spec needs to lower one block instance."""
+
+    program: Program
+    block_name: str
+    inputs: list[str]
+    in_shapes: list[tuple[int, ...]]
+    in_dtypes: list[str]
+    output: str
+    out_shape: tuple[int, ...]
+    out_dtype: str
+    out_range: IndexSet
+    style: StyleOptions = field(default_factory=StyleOptions)
+    fresh_counter: int = 0
+
+    def fresh(self, stem: str = "i") -> str:
+        """A fresh loop-variable name, unique across the whole program.
+
+        Block output buffer names are unique per program, so combining the
+        output name with a per-block counter cannot collide.
+        """
+        self.fresh_counter += 1
+        return f"{stem}_{self.output}_{self.fresh_counter}"
+
+    def in_size(self, port: int) -> int:
+        size = 1
+        for dim in self.in_shapes[port]:
+            size *= dim
+        return size
+
+    def out_size(self) -> int:
+        size = 1
+        for dim in self.out_shape:
+            size *= dim
+        return size
+
+    def emit(self, stmt: Stmt) -> None:
+        self.program.step.append(stmt)
+
+    def emit_init(self, stmt: Stmt) -> None:
+        self.program.init.append(stmt)
+
+    # -- canonical loop shapes -------------------------------------------------
+
+    def loops_over_range(self, body_for: Callable[[Expr], Sequence[Stmt]],
+                         vectorizable: bool = True) -> None:
+        """Emit one loop per consecutive run of the calculation range.
+
+        This is the IR counterpart of the element-level code library's
+        "consecutive elements" snippet (Figure 4 ②): each maximal run gets
+        its own counted loop; singleton runs collapse to a straight-line
+        statement (the "individual element" snippet, Figure 4 ①).
+        """
+        if self.style.autovec_hostile:
+            vectorizable = False
+        for start, stop in self.out_range.runs():
+            if stop - start == 1:
+                for stmt in body_for(Const(start)):
+                    self.emit(stmt)
+                continue
+            loop_var = self.fresh()
+            loop = For(loop_var, start, stop, list(body_for(Var(loop_var))),
+                       vectorizable=vectorizable)
+            if (self.style.forced_simd and vectorizable
+                    and stop - start >= self.style.simd_min_width):
+                loop.forced_simd = True
+            self.emit(loop)
+
+    def elementwise(self, expr_for: Callable[[list[Expr]], Expr]) -> None:
+        """Lower an elementwise block over the calculation range.
+
+        Scalar inputs broadcast (they are always loaded at flat index 0).
+        """
+        def body(index: Expr) -> Sequence[Stmt]:
+            operands = [
+                load(buf, Const(0) if self.in_size(port) == 1 else index)
+                for port, buf in enumerate(self.inputs)
+            ]
+            return [Assign(self.output, index, expr_for(operands))]
+        self.loops_over_range(body)
+
+    def copy_range(self, src_buffer: str, offset: int = 0) -> None:
+        """``out[i] = src[i + offset]`` over the calculation range."""
+        def body(index: Expr) -> Sequence[Stmt]:
+            src_index = index if offset == 0 else add(index, Const(offset))
+            return [Assign(self.output, index, load(src_buffer, src_index))]
+        self.loops_over_range(body)
+
+    def reduction(self, seed: Expr, combine: Callable[[Expr, Expr], Expr],
+                  port: int = 0, post: Callable[[Expr], Expr] | None = None) -> None:
+        """Lower a full-input reduction into ``out[0]``.
+
+        Uses an accumulator in the output slot: seed, loop-combine, optional
+        post-scaling (e.g. Mean divides by the element count).
+        """
+        if self.out_range.is_empty:
+            return
+        size = self.in_size(port)
+        acc = load(self.output, 0)
+        self.emit(Assign(self.output, Const(0), seed))
+        loop_var = self.fresh("r")
+        body = [Assign(self.output, Const(0),
+                       combine(acc, load(self.inputs[port], Var(loop_var))))]
+        self.emit(For(loop_var, 0, size, body, vectorizable=True))
+        if post is not None:
+            self.emit(Assign(self.output, Const(0), post(acc)))
+
+
+def full_range(shape: Sequence[int]) -> IndexSet:
+    size = 1
+    for dim in shape:
+        size *= dim
+    return IndexSet.full(size)
+
+
+def require_arity(ctx: EmitCtx, arity: int) -> None:
+    if len(ctx.inputs) != arity:
+        raise CodegenError(
+            f"block {ctx.block_name!r} expected {arity} inputs, "
+            f"got {len(ctx.inputs)}"
+        )

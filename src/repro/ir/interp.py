@@ -1,0 +1,513 @@
+"""Interpreting virtual machine for the loop IR.
+
+The VM executes a :class:`~repro.ir.ops.Program` on numpy buffers and
+gathers **exact dynamic operation counts** — floating-point ops, integer
+ops, comparisons, loads, stores, branches, math calls, and loop iterations.
+Counts are bucketed by the *loop context* in which they execute:
+
+* ``scalar`` — straight-line code and non-vectorizable loops;
+* ``vector`` — loops a compiler auto-vectorizer would handle;
+* ``forced`` — loops the HCG baseline lowers with explicit SIMD intrinsics.
+
+The context of a statement is static (it is the innermost enclosing loop's
+marking), so bucketing is resolved at closure-compile time and costs
+nothing at run time.  The cost model (:mod:`repro.ir.cost`) applies
+per-profile vector discounts per bucket; the numeric outputs feed the
+random-testing correctness comparison against the reference simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.ir.ops import (
+    Assign, BinOp, Call, CallStmt, Comment, Const, Expr, For, FuncDef, If,
+    Load, Program, Select, Stmt, UnOp, Var,
+)
+
+
+def substitute_buffers(stmts: list[Stmt], mapping: dict[str, str]) -> list[Stmt]:
+    """Rewrite buffer names in a statement list (pure; new nodes).
+
+    Used to specialize a generic function body (§5 extension) for one
+    call site's buffer bindings before closure compilation.
+    """
+    def expr(e: Expr) -> Expr:
+        if isinstance(e, Load):
+            return Load(mapping.get(e.buffer, e.buffer), expr(e.index))
+        if isinstance(e, BinOp):
+            return BinOp(e.op, expr(e.lhs), expr(e.rhs))
+        if isinstance(e, UnOp):
+            return UnOp(e.op, expr(e.operand))
+        if isinstance(e, Call):
+            return Call(e.func, tuple(expr(a) for a in e.args))
+        if isinstance(e, Select):
+            return Select(expr(e.cond), expr(e.if_true), expr(e.if_false))
+        return e  # Const, Var
+
+    def bound(b):
+        return b if isinstance(b, int) else expr(b)
+
+    def stmt(s: Stmt) -> Stmt:
+        if isinstance(s, Assign):
+            return Assign(mapping.get(s.buffer, s.buffer), expr(s.index),
+                          expr(s.value))
+        if isinstance(s, For):
+            clone = For(s.var, bound(s.start), bound(s.stop),
+                        [stmt(x) for x in s.body], s.vectorizable)
+            clone.forced_simd = s.forced_simd
+            return clone
+        if isinstance(s, If):
+            return If(expr(s.cond), [stmt(x) for x in s.then],
+                      [stmt(x) for x in s.orelse])
+        if isinstance(s, CallStmt):
+            return CallStmt(s.func,
+                            [mapping.get(b, b) for b in s.buffer_args],
+                            [expr(a) for a in s.scalar_args])
+        return s  # Comment
+    return [stmt(s) for s in stmts]
+
+_UINT32_MASK = 0xFFFFFFFF
+
+_ARITH_OPS = {"+", "-", "*", "/", "%"}
+_INT_OPS = {"&", "|", "^", "<<", ">>"}
+_CMP_OPS = {"<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+
+def _real_sqrt(x: float) -> float:
+    # C semantics: sqrt of a negative double is NaN, not an exception.
+    return math.sqrt(x) if x >= 0.0 else math.nan
+
+
+def _real_log(x: float) -> float:
+    # C semantics: log(0) = -inf, log(negative) = NaN.
+    if x > 0.0:
+        return math.log(x)
+    return -math.inf if x == 0.0 else math.nan
+
+
+_MATH_FUNCS: dict[str, Callable] = {
+    "sqrt": lambda x: x ** 0.5 if isinstance(x, complex) else _real_sqrt(x),
+    "fabs": abs,
+    "exp": lambda x: np.exp(x) if isinstance(x, complex) else math.exp(x),
+    "log": _real_log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "fmin": min,
+    "fmax": max,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    # C round(): halfway cases away from zero (Python's round() banks).
+    "round": lambda x: math.copysign(math.floor(abs(x) + 0.5), x),
+    "conj": lambda x: x.conjugate() if hasattr(x, "conjugate") else x,
+    "creal": lambda x: x.real,
+    "cimag": lambda x: x.imag,
+    "toint": int,
+}
+
+
+@dataclass
+class OpCounts:
+    """Dynamic operation counts for one execution context bucket."""
+
+    flops: int = 0
+    int_ops: int = 0
+    cmp_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    calls: int = 0
+    loop_iters: int = 0
+    loops_entered: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    @property
+    def total_element_ops(self) -> int:
+        """Headline work metric: every counted dynamic operation."""
+        return (self.flops + self.int_ops + self.cmp_ops + self.loads
+                + self.stores + self.branches + self.calls)
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class ContextCounts:
+    """Counts split by loop context (scalar / vector / forced SIMD)."""
+
+    scalar: OpCounts = field(default_factory=OpCounts)
+    vector: OpCounts = field(default_factory=OpCounts)
+    forced: OpCounts = field(default_factory=OpCounts)
+
+    @property
+    def total(self) -> OpCounts:
+        return self.scalar + self.vector + self.forced
+
+    def bucket(self, name: str) -> OpCounts:
+        return getattr(self, name)
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {
+            "scalar": self.scalar.as_dict(),
+            "vector": self.vector.as_dict(),
+            "forced": self.forced.as_dict(),
+        }
+
+
+@dataclass
+class ExecResult:
+    """Outputs plus counts from executing a program."""
+
+    outputs: dict[str, np.ndarray]
+    counts: ContextCounts
+    peak_buffer_bytes: int = 0
+
+
+class VirtualMachine:
+    """Compile a program to closures and execute it on numpy buffers."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.counts = ContextCounts()
+        self._buffers: dict[str, np.ndarray] = {}
+        for decl in program.buffers.values():
+            if decl.init is not None:
+                data = np.array(decl.init, dtype=decl.dtype).ravel().copy()
+            else:
+                data = np.zeros(max(decl.size, 1), dtype=decl.dtype)
+            self._buffers[decl.name] = data
+        self._specialized: dict[tuple, Callable[[dict], None]] = {}
+        self._init_fn = self._compile_body(program.init, self.counts.scalar)
+        self._step_fn = self._compile_body(program.step, self.counts.scalar)
+        self._initialized = False
+
+    # -- public API --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore every buffer to its declared initial value, zero counts."""
+        for decl in self.program.buffers.values():
+            if decl.init is not None:
+                self._buffers[decl.name][:] = np.array(
+                    decl.init, dtype=decl.dtype).ravel()
+            else:
+                self._buffers[decl.name][:] = 0
+        self._initialized = False
+        for bucket in (self.counts.scalar, self.counts.vector, self.counts.forced):
+            for f in fields(bucket):
+                setattr(bucket, f.name, 0)
+
+    def set_inputs(self, inputs: Mapping[str, np.ndarray]) -> None:
+        for name, value in inputs.items():
+            decl = self.program.buffers.get(name)
+            if decl is None or decl.kind != "input":
+                raise SimulationError(f"{name!r} is not an input buffer")
+            flat = np.asarray(value, dtype=decl.dtype).ravel()
+            if flat.size != decl.size:
+                raise SimulationError(
+                    f"input {name!r} expects {decl.size} elements, got {flat.size}"
+                )
+            self._buffers[name][:] = flat
+
+    def step(self) -> None:
+        """Run init (once per reset) and one step of the program."""
+        env: dict[str, int] = {}
+        if not self._initialized:
+            self._init_fn(env)
+            self._initialized = True
+        self._step_fn(env)
+
+    def outputs(self) -> dict[str, np.ndarray]:
+        result: dict[str, np.ndarray] = {}
+        for decl in self.program.buffers_of_kind("output"):
+            result[decl.name] = self._buffers[decl.name].reshape(
+                decl.shape if decl.shape else ()
+            ).copy()
+        return result
+
+    def run(self, inputs: Mapping[str, np.ndarray], steps: int = 1) -> ExecResult:
+        """Reset, apply inputs, execute ``steps`` steps, collect outputs."""
+        self.reset()
+        self.set_inputs(inputs)
+        for _ in range(steps):
+            self.step()
+        peak = sum(arr.nbytes for arr in self._buffers.values())
+        return ExecResult(self.outputs(), self.counts, peak)
+
+    # -- compilation --------------------------------------------------------
+
+    def _compile_body(self, stmts: list[Stmt],
+                      bucket: OpCounts) -> Callable[[dict], None]:
+        fns = [self._compile_stmt(s, bucket)
+               for s in stmts if not isinstance(s, Comment)]
+        if len(fns) == 1:
+            return fns[0]
+
+        def body(env: dict) -> None:
+            for fn in fns:
+                fn(env)
+        return body
+
+    def _compile_stmt(self, stmt: Stmt, bucket: OpCounts) -> Callable[[dict], None]:
+        if isinstance(stmt, Assign):
+            return self._compile_assign(stmt, bucket)
+        if isinstance(stmt, For):
+            if stmt.forced_simd:
+                child_bucket = self.counts.forced
+            elif stmt.vectorizable:
+                child_bucket = self.counts.vector
+            else:
+                child_bucket = self.counts.scalar
+            body = self._compile_body(stmt.body, child_bucket)
+            name = stmt.var
+            if stmt.static_bounds:
+                trip = max(stmt.stop - stmt.start, 0)
+                loop_range = range(stmt.start, stmt.stop)
+
+                def run_for(env: dict) -> None:
+                    child_bucket.loops_entered += 1
+                    child_bucket.loop_iters += trip
+                    for i in loop_range:
+                        env[name] = i
+                        body(env)
+                return run_for
+
+            start_fn = (lambda env, v=stmt.start: v) if isinstance(
+                stmt.start, int) else self._compile_expr(stmt.start, bucket)
+            stop_fn = (lambda env, v=stmt.stop: v) if isinstance(
+                stmt.stop, int) else self._compile_expr(stmt.stop, bucket)
+
+            def run_dyn_for(env: dict) -> None:
+                start, stop = int(start_fn(env)), int(stop_fn(env))
+                child_bucket.loops_entered += 1
+                child_bucket.loop_iters += max(stop - start, 0)
+                for i in range(start, stop):
+                    env[name] = i
+                    body(env)
+            return run_dyn_for
+        if isinstance(stmt, CallStmt):
+            return self._compile_call(stmt, bucket)
+        if isinstance(stmt, If):
+            cond = self._compile_expr(stmt.cond, bucket)
+            then = self._compile_body(stmt.then, bucket)
+            orelse = self._compile_body(stmt.orelse, bucket)
+
+            def run_if(env: dict) -> None:
+                bucket.branches += 1
+                if cond(env):
+                    then(env)
+                else:
+                    orelse(env)
+            return run_if
+        raise SimulationError(f"cannot compile statement {stmt!r}")
+
+    def _compile_call(self, stmt: CallStmt,
+                      bucket: OpCounts) -> Callable[[dict], None]:
+        """Specialize and compile a generic-function invocation.
+
+        The function body is rewritten with this call's buffer bindings
+        (memoized per binding) and compiled once; scalar parameters are
+        passed through the environment like loop variables.
+        """
+        try:
+            func: FuncDef = self.program.functions[stmt.func]
+        except KeyError:
+            raise SimulationError(
+                f"call to undefined function {stmt.func!r}"
+            ) from None
+        pointer_params = func.pointer_params
+        scalar_params = func.scalar_params
+        if len(stmt.buffer_args) != len(pointer_params):
+            raise SimulationError(
+                f"{stmt.func!r} expects {len(pointer_params)} buffer args, "
+                f"got {len(stmt.buffer_args)}"
+            )
+        if len(stmt.scalar_args) != len(scalar_params):
+            raise SimulationError(
+                f"{stmt.func!r} expects {len(scalar_params)} scalar args, "
+                f"got {len(stmt.scalar_args)}"
+            )
+        mapping = {p.name: actual
+                   for p, actual in zip(pointer_params, stmt.buffer_args)}
+        key = (stmt.func, tuple(stmt.buffer_args))
+        if key not in self._specialized:
+            body = substitute_buffers(func.body, mapping)
+            self._specialized[key] = self._compile_body(body, bucket)
+        body_fn = self._specialized[key]
+        arg_fns = [self._compile_expr(a, bucket) for a in stmt.scalar_args]
+        names = [p.name for p in scalar_params]
+
+        def run_call_stmt(env: dict) -> None:
+            bucket.calls += 1
+            for param_name, fn in zip(names, arg_fns):
+                env[param_name] = int(fn(env))
+            body_fn(env)
+        return run_call_stmt
+
+    def _compile_assign(self, stmt: Assign,
+                        bucket: OpCounts) -> Callable[[dict], None]:
+        try:
+            buffer = self._buffers[stmt.buffer]
+            decl = self.program.buffers[stmt.buffer]
+        except KeyError:
+            raise SimulationError(
+                f"assignment to undeclared buffer {stmt.buffer!r}"
+            ) from None
+        index = self._compile_expr(stmt.index, bucket)
+        value = self._compile_expr(stmt.value, bucket)
+        if decl.dtype == "uint32":
+            def run_assign_u32(env: dict) -> None:
+                bucket.stores += 1
+                buffer[index(env)] = int(value(env)) & _UINT32_MASK
+            return run_assign_u32
+
+        def run_assign(env: dict) -> None:
+            bucket.stores += 1
+            buffer[index(env)] = value(env)
+        return run_assign
+
+    def _compile_expr(self, expr: Expr,
+                      bucket: OpCounts) -> Callable[[dict], object]:
+        if isinstance(expr, Const):
+            val = expr.value
+            return lambda env: val
+        if isinstance(expr, Var):
+            name = expr.name
+            return lambda env: env[name]
+        if isinstance(expr, Load):
+            try:
+                buffer = self._buffers[expr.buffer]
+            except KeyError:
+                raise SimulationError(
+                    f"load from undeclared buffer {expr.buffer!r}"
+                ) from None
+            index = self._compile_expr(expr.index, bucket)
+            dtype = self.program.buffers[expr.buffer].dtype
+            if dtype in ("uint32", "int64"):
+                def run_load_int(env: dict) -> object:
+                    bucket.loads += 1
+                    return int(buffer[index(env)])
+                return run_load_int
+
+            def run_load(env: dict) -> object:
+                bucket.loads += 1
+                return buffer[index(env)].item()
+            return run_load
+        if isinstance(expr, BinOp):
+            return self._compile_binop(expr, bucket)
+        if isinstance(expr, UnOp):
+            operand = self._compile_expr(expr.operand, bucket)
+            op = expr.op
+            if op == "-":
+                def run_neg(env: dict) -> object:
+                    bucket.flops += 1
+                    return -operand(env)
+                return run_neg
+            if op == "!":
+                def run_not(env: dict) -> object:
+                    bucket.cmp_ops += 1
+                    return not operand(env)
+                return run_not
+            if op == "~":
+                def run_inv(env: dict) -> object:
+                    bucket.int_ops += 1
+                    return (~int(operand(env))) & _UINT32_MASK
+                return run_inv
+            raise SimulationError(f"unknown unary op {op!r}")
+        if isinstance(expr, Call):
+            try:
+                func = _MATH_FUNCS[expr.func]
+            except KeyError:
+                raise SimulationError(f"unknown call {expr.func!r}") from None
+            args = [self._compile_expr(a, bucket) for a in expr.args]
+            if len(args) == 1:
+                arg0 = args[0]
+
+                def run_call1(env: dict) -> object:
+                    bucket.calls += 1
+                    return func(arg0(env))
+                return run_call1
+
+            def run_call(env: dict) -> object:
+                bucket.calls += 1
+                return func(*(a(env) for a in args))
+            return run_call
+        if isinstance(expr, Select):
+            cond = self._compile_expr(expr.cond, bucket)
+            if_true = self._compile_expr(expr.if_true, bucket)
+            if_false = self._compile_expr(expr.if_false, bucket)
+
+            def run_select(env: dict) -> object:
+                bucket.branches += 1
+                return if_true(env) if cond(env) else if_false(env)
+            return run_select
+        raise SimulationError(f"cannot compile expression {expr!r}")
+
+    def _compile_binop(self, expr: BinOp,
+                       bucket: OpCounts) -> Callable[[dict], object]:
+        lhs = self._compile_expr(expr.lhs, bucket)
+        rhs = self._compile_expr(expr.rhs, bucket)
+        op = expr.op
+        if op in _ARITH_OPS:
+            py = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b if (
+                    isinstance(a, int) and isinstance(b, int)) else a / b,
+                "%": lambda a, b: a % b,
+            }[op]
+
+            def run_arith(env: dict) -> object:
+                a, b = lhs(env), rhs(env)
+                if isinstance(a, int) and isinstance(b, int):
+                    bucket.int_ops += 1
+                else:
+                    bucket.flops += 1
+                return py(a, b)
+            return run_arith
+        if op in _INT_OPS:
+            py = {
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+                "<<": lambda a, b: (a << b) & _UINT32_MASK,
+                ">>": lambda a, b: a >> b,
+            }[op]
+
+            def run_int(env: dict) -> object:
+                bucket.int_ops += 1
+                return py(int(lhs(env)), int(rhs(env)))
+            return run_int
+        if op in _CMP_OPS:
+            py = {
+                "<": lambda a, b: a < b,
+                "<=": lambda a, b: a <= b,
+                ">": lambda a, b: a > b,
+                ">=": lambda a, b: a >= b,
+                "==": lambda a, b: a == b,
+                "!=": lambda a, b: a != b,
+                "&&": lambda a, b: bool(a) and bool(b),
+                "||": lambda a, b: bool(a) or bool(b),
+            }[op]
+
+            def run_cmp(env: dict) -> object:
+                bucket.cmp_ops += 1
+                return py(lhs(env), rhs(env))
+            return run_cmp
+        raise SimulationError(f"unknown binary op {op!r}")
+
+
+def execute(program: Program, inputs: Mapping[str, np.ndarray],
+            steps: int = 1) -> ExecResult:
+    """One-shot convenience: build a VM, run, return outputs and counts."""
+    return VirtualMachine(program).run(inputs, steps)

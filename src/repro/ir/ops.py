@@ -1,0 +1,328 @@
+"""Loop-level intermediate representation for generated step functions.
+
+Every code generator in this repo (FRODO and the three baselines) lowers a
+model to this IR: named buffers plus a list of statements built from
+counted loops, guarded regions, and element assignments.  The IR has two
+consumers with identical semantics:
+
+* :mod:`repro.ir.interp` — an interpreting virtual machine that executes a
+  program on numpy buffers and returns *exact operation counts*, which the
+  cost model (:mod:`repro.ir.cost`) turns into modeled seconds;
+* :mod:`repro.codegen.ctext` — a C99 emitter producing compilable sources
+  for the native gcc harness.
+
+Keeping one IR for both guarantees the code we time is the code we compile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import CodegenError
+
+# -- types ---------------------------------------------------------------------
+
+FLOAT = "float64"
+INT = "uint32"
+COMPLEX = "complex128"
+BOOL = "bool"
+
+C_TYPES = {
+    FLOAT: "double",
+    INT: "uint32_t",
+    COMPLEX: "double complex",
+    BOOL: "bool",
+    "int64": "int64_t",
+}
+
+
+def c_type(dtype: str) -> str:
+    try:
+        return C_TYPES[dtype]
+    except KeyError:
+        raise CodegenError(f"no C type mapping for dtype {dtype!r}") from None
+
+
+# -- expressions ------------------------------------------------------------------
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: object
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A loop induction variable (always integer-valued)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """Read ``buffer[index]`` (flat, row-major indexing)."""
+
+    buffer: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation; ``op`` is one of the keys of ``BINOPS``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operation; ``op`` is one of the keys of ``UNOPS``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Math-library call (sqrt, sin, conj, ...)."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Ternary ``cond ? a : b`` expression."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+BINOPS = {
+    "+", "-", "*", "/", "%",
+    "&", "|", "^", "<<", ">>",
+    "<", "<=", ">", ">=", "==", "!=",
+    "&&", "||",
+}
+
+UNOPS = {"-", "!", "~"}
+
+CALLS = {
+    "sqrt", "fabs", "exp", "log", "sin", "cos", "tan",
+    "fmin", "fmax", "floor", "ceil", "round",
+    "conj", "creal", "cimag", "toint",
+}
+
+
+# -- statements ----------------------------------------------------------------------
+
+class Stmt:
+    """Base class for statement nodes."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Assign(Stmt):
+    """``buffer[index] = value``."""
+
+    buffer: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class For(Stmt):
+    """Counted loop ``for (var = start; var < stop; var++)``.
+
+    Bounds are usually compile-time ints; they may also be integer
+    :class:`Expr` nodes (needed by the §5 "generic function interface"
+    extension, where calculation-range bounds arrive as function
+    parameters).
+
+    ``vectorizable`` marks loops a compiler's auto-vectorizer would handle
+    (innermost, branch-free, unit stride).  ``forced_simd`` marks loops the
+    HCG baseline lowers with explicit SIMD intrinsics; the cost model gives
+    these fixed-width vector behaviour plus a per-loop overhead.
+    """
+
+    var: str
+    start: "int | Expr"
+    stop: "int | Expr"
+    body: list[Stmt] = field(default_factory=list)
+    vectorizable: bool = False
+    forced_simd: bool = False
+
+    @property
+    def static_bounds(self) -> bool:
+        return isinstance(self.start, int) and isinstance(self.stop, int)
+
+
+@dataclass
+class If(Stmt):
+    """Guarded region with optional else branch."""
+
+    cond: Expr
+    then: list[Stmt] = field(default_factory=list)
+    orelse: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Comment(Stmt):
+    """Annotation carried into the emitted C (no runtime effect)."""
+
+    text: str
+
+
+@dataclass
+class CallStmt(Stmt):
+    """Invoke a program-level function (§5 generic function interface).
+
+    ``buffer_args`` bind the function's pointer parameters (in declaration
+    order) to program buffers; ``scalar_args`` bind its value parameters
+    (integer range bounds, scaling constants) to expressions evaluated at
+    the call site.
+    """
+
+    func: str
+    buffer_args: list[str] = field(default_factory=list)
+    scalar_args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class FuncParam:
+    """One parameter of a program-level function."""
+
+    name: str
+    dtype: str
+    pointer: bool = True
+    const: bool = True
+
+
+@dataclass
+class FuncDef:
+    """A reusable function shared by several block instances.
+
+    The paper's §5 mitigation for code duplication: "generating a generic
+    function interface and configuring the derived calculation range as
+    parameters".  The body references pointer parameters as buffer names
+    and scalar parameters as :class:`Var` nodes.
+    """
+
+    name: str
+    params: list[FuncParam] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+    @property
+    def pointer_params(self) -> list[FuncParam]:
+        return [p for p in self.params if p.pointer]
+
+    @property
+    def scalar_params(self) -> list[FuncParam]:
+        return [p for p in self.params if not p.pointer]
+
+
+# -- buffers and programs --------------------------------------------------------------
+
+BUFFER_KINDS = ("input", "output", "state", "temp", "const")
+
+
+@dataclass
+class BufferDecl:
+    """One named flat array in the generated program."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    kind: str
+    init: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in BUFFER_KINDS:
+            raise CodegenError(f"unknown buffer kind {self.kind!r}")
+        self.shape = tuple(int(d) for d in self.shape)
+        if self.init is not None:
+            self.init = np.asarray(self.init, dtype=self.dtype).reshape(self.shape)
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for dim in self.shape:
+            size *= dim
+        return size
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * np.dtype(self.dtype).itemsize
+
+
+@dataclass
+class Program:
+    """A lowered model: buffers, functions, one-time init, per-step body."""
+
+    name: str
+    generator: str = ""
+    buffers: dict[str, BufferDecl] = field(default_factory=dict)
+    functions: dict[str, FuncDef] = field(default_factory=dict)
+    init: list[Stmt] = field(default_factory=list)
+    step: list[Stmt] = field(default_factory=list)
+    notes: dict[str, str] = field(default_factory=dict)
+
+    def define_function(self, func: FuncDef) -> FuncDef:
+        if func.name in self.functions:
+            raise CodegenError(f"function {func.name!r} defined twice")
+        self.functions[func.name] = func
+        return func
+
+    def declare(self, name: str, shape: Iterable[int], dtype: str, kind: str,
+                init: Optional[np.ndarray] = None) -> BufferDecl:
+        if name in self.buffers:
+            raise CodegenError(f"buffer {name!r} declared twice")
+        decl = BufferDecl(name, tuple(shape), dtype, kind, init)
+        self.buffers[name] = decl
+        return decl
+
+    def buffers_of_kind(self, kind: str) -> list[BufferDecl]:
+        return [b for b in self.buffers.values() if b.kind == kind]
+
+    @property
+    def static_bytes(self) -> int:
+        """Bytes of temp/state/const storage — the §5 memory metric."""
+        return sum(b.nbytes for b in self.buffers.values()
+                   if b.kind in ("temp", "state", "const"))
+
+    def walk(self) -> Iterator[Stmt]:
+        """Depth-first iteration over every statement (incl. functions)."""
+        def _walk(stmts: list[Stmt]) -> Iterator[Stmt]:
+            for stmt in stmts:
+                yield stmt
+                if isinstance(stmt, For):
+                    yield from _walk(stmt.body)
+                elif isinstance(stmt, If):
+                    yield from _walk(stmt.then)
+                    yield from _walk(stmt.orelse)
+        for func in self.functions.values():
+            yield from _walk(func.body)
+        yield from _walk(self.init)
+        yield from _walk(self.step)
+
+    @property
+    def loop_count(self) -> int:
+        return sum(1 for stmt in self.walk() if isinstance(stmt, For))
+
+    @property
+    def statement_count(self) -> int:
+        return sum(1 for _ in self.walk())

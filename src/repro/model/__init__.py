@@ -1,0 +1,18 @@
+"""Model representation, builder, and container I/O (.slx and .mdl).
+
+``model_to_dot`` is exported lazily (PEP 562): it depends on the analysis
+layer, which depends on the block library, which imports this package.
+"""
+
+from repro.model.block import Block, Connection, PortRef  # noqa: F401
+from repro.model.builder import ModelBuilder  # noqa: F401
+from repro.model.graph import Model  # noqa: F401
+from repro.model.mdl import load_mdl, mdl_to_model, model_to_mdl, save_mdl  # noqa: F401
+from repro.model.slx import load_slx, model_to_xml, save_slx, xml_to_model  # noqa: F401
+
+
+def __getattr__(name: str):
+    if name == "model_to_dot":
+        from repro.model.dot import model_to_dot
+        return model_to_dot
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

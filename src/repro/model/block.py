@@ -1,0 +1,104 @@
+"""Block and connection records — the parse-level model vocabulary.
+
+These classes mirror what FRODO's model parser extracts from the ``.slx``
+XML (paper §3.1): every ``<Block>`` becomes a :class:`Block` with its
+``BlockType``, name, SID, and parameter dictionary; every ``<Line>`` becomes
+a :class:`Connection` naming the source block/port and destination
+block/port.  Semantics (shapes, I/O mappings, code) live in the block
+property library (:mod:`repro.blocks`), keyed by :attr:`Block.block_type`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ModelError
+
+_NAME_FORBIDDEN = set("/\n\t")
+
+
+def check_name(name: str) -> str:
+    """Validate a block or model name (no path separators or whitespace)."""
+    if not name:
+        raise ModelError("block name must be non-empty")
+    bad = _NAME_FORBIDDEN.intersection(name)
+    if bad:
+        raise ModelError(f"block name {name!r} contains forbidden characters {bad}")
+    return name
+
+
+@dataclass
+class Block:
+    """One Simulink block instance.
+
+    ``params`` holds the block's dialog parameters exactly as the property
+    library expects them (e.g. a Selector's ``mode``/``start``/``end``);
+    ``sid`` is the Simulink identifier used by ``<Line>`` elements in the
+    ``.slx`` payload.
+    """
+
+    name: str
+    block_type: str
+    params: dict[str, Any] = field(default_factory=dict)
+    sid: int | None = None
+
+    def __post_init__(self) -> None:
+        check_name(self.name)
+        if not self.block_type:
+            raise ModelError(f"block {self.name!r} has an empty block_type")
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+    def require_param(self, key: str) -> Any:
+        if key not in self.params:
+            raise ModelError(
+                f"block {self.name!r} ({self.block_type}) is missing "
+                f"required parameter {key!r}"
+            )
+        return self.params[key]
+
+    def copy_with(self, *, name: str | None = None, params: Mapping[str, Any] | None = None) -> "Block":
+        merged = dict(self.params)
+        if params:
+            merged.update(params)
+        return Block(name or self.name, self.block_type, merged, self.sid)
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A directed signal line from ``src`` output port to ``dst`` input port.
+
+    Ports are 0-based indices.  The paper stresses (§3.1) that identifying
+    *which* ports a line joins is essential — a Selector's data port and
+    index port have entirely different roles — so ports are explicit here
+    and validated against the block arity during model validation.
+    """
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+
+    def __post_init__(self) -> None:
+        if self.src_port < 0 or self.dst_port < 0:
+            raise ModelError(f"negative port index in connection {self}")
+
+    def describe(self) -> str:
+        return f"{self.src}:{self.src_port} -> {self.dst}:{self.dst_port}"
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """A reference to one output port of a named block.
+
+    This is the handle :class:`~repro.model.builder.ModelBuilder` hands out,
+    so model wiring reads as ordinary dataflow: ``builder.add(a, b)``.
+    """
+
+    block: str
+    port: int = 0
+
+    def __repr__(self) -> str:
+        return f"{self.block}:{self.port}"

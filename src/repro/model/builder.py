@@ -1,0 +1,262 @@
+"""Fluent programmatic construction of models.
+
+The paper's benchmark models come from industry ``.slx`` files we do not
+have; the zoo re-creates them with this builder, then (optionally) round-
+trips them through the ``.slx`` writer/parser so the full §3.1 pipeline is
+exercised.  The builder hands out :class:`~repro.model.block.PortRef`
+handles, so wiring reads as dataflow::
+
+    b = ModelBuilder("Conv")
+    u = b.inport("u", shape=(60,))
+    k = b.constant("kernel", [1.0, 2.0, 1.0])
+    y = b.convolution(u, k, name="conv")
+    sel = b.selector(y, start=5, end=54)
+    b.outport("y", sel)
+    model = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.block import Block, PortRef
+from repro.model.graph import Model, SUBSYSTEM_TYPE
+
+
+class ModelBuilder:
+    """Incrementally assemble a :class:`~repro.model.graph.Model`."""
+
+    def __init__(self, name: str):
+        self._model = Model(name)
+        self._auto_counter: dict[str, int] = {}
+        self._inport_count = 0
+        self._outport_count = 0
+
+    # -- core --------------------------------------------------------------
+
+    def _auto_name(self, block_type: str) -> str:
+        count = self._auto_counter.get(block_type, 0) + 1
+        self._auto_counter[block_type] = count
+        candidate = f"{block_type}{count}"
+        while candidate in self._model.blocks:
+            count += 1
+            self._auto_counter[block_type] = count
+            candidate = f"{block_type}{count}"
+        return candidate
+
+    def block(self, block_type: str, inputs: Iterable[PortRef] = (),
+              name: str | None = None, **params: Any) -> PortRef:
+        """Add a block of ``block_type``, wire ``inputs`` to its ports 0..n."""
+        name = name or self._auto_name(block_type)
+        self._model.add_block(Block(name, block_type, dict(params)))
+        for port, src in enumerate(inputs):
+            if not isinstance(src, PortRef):
+                raise ModelError(
+                    f"inputs to {name!r} must be PortRef handles, got {src!r}"
+                )
+            self._model.connect(src, PortRef(name, port))
+        return PortRef(name, 0)
+
+    def output_port(self, ref: PortRef, port: int) -> PortRef:
+        """Select a secondary output port of a multi-output block."""
+        return PortRef(ref.block, port)
+
+    def subsystem(self, inner: "ModelBuilder | Model",
+                  inputs: Sequence[PortRef] = (), name: str | None = None) -> PortRef:
+        """Embed ``inner`` as a Subsystem block and wire its Inports."""
+        inner_model = inner.model if isinstance(inner, ModelBuilder) else inner
+        name = name or self._auto_name(SUBSYSTEM_TYPE)
+        self._model.add_subsystem(Block(name, SUBSYSTEM_TYPE, {}), inner_model)
+        for port, src in enumerate(inputs):
+            self._model.connect(src, PortRef(name, port))
+        return PortRef(name, 0)
+
+    @property
+    def model(self) -> Model:
+        return self._model
+
+    def build(self) -> Model:
+        """Return the assembled model."""
+        return self._model
+
+    # -- sources and sinks ---------------------------------------------------
+
+    def inport(self, name: str | None = None, shape: Sequence[int] = (),
+               dtype: str = "float64") -> PortRef:
+        self._inport_count += 1
+        return self.block("Inport", name=name, port=self._inport_count,
+                          shape=tuple(shape), dtype=dtype)
+
+    def outport(self, name: str | None, src: PortRef) -> PortRef:
+        self._outport_count += 1
+        return self.block("Outport", [src], name=name, port=self._outport_count)
+
+    def constant(self, name: str | None, value: Any, dtype: str | None = None) -> PortRef:
+        arr = np.asarray(value)
+        if dtype is not None:
+            arr = arr.astype(dtype)
+        return self.block("Constant", name=name, value=arr)
+
+    def terminator(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Terminator", [src], name=name)
+
+    # -- math sugar ----------------------------------------------------------
+
+    def add(self, *srcs: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Add", list(srcs), name=name, signs="+" * len(srcs))
+
+    def sub(self, a: PortRef, b: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Add", [a, b], name=name, signs="+-")
+
+    def product(self, *srcs: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Product", list(srcs), name=name)
+
+    def divide(self, a: PortRef, b: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Divide", [a, b], name=name)
+
+    def gain(self, src: PortRef, gain: float, name: str | None = None) -> PortRef:
+        return self.block("Gain", [src], name=name, gain=gain)
+
+    def bias(self, src: PortRef, bias: float, name: str | None = None) -> PortRef:
+        return self.block("Bias", [src], name=name, bias=bias)
+
+    def abs(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Abs", [src], name=name)
+
+    def unary_minus(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("UnaryMinus", [src], name=name)
+
+    def math(self, src: PortRef, function: str, name: str | None = None) -> PortRef:
+        return self.block("Math", [src], name=name, function=function)
+
+    def sqrt(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Sqrt", [src], name=name)
+
+    def trig(self, src: PortRef, function: str = "sin", name: str | None = None) -> PortRef:
+        return self.block("Trigonometry", [src], name=name, function=function)
+
+    def saturation(self, src: PortRef, lower: float, upper: float,
+                   name: str | None = None) -> PortRef:
+        return self.block("Saturation", [src], name=name, lower=lower, upper=upper)
+
+    def minmax(self, *srcs: PortRef, function: str = "min",
+               name: str | None = None) -> PortRef:
+        return self.block("MinMax", list(srcs), name=name, function=function)
+
+    def relational(self, a: PortRef, b: PortRef, op: str = ">",
+                   name: str | None = None) -> PortRef:
+        return self.block("Relational", [a, b], name=name, op=op)
+
+    def switch(self, on: PortRef, control: PortRef, off: PortRef,
+               threshold: float = 0.0, name: str | None = None) -> PortRef:
+        return self.block("Switch", [on, control, off], name=name,
+                          threshold=threshold)
+
+    # -- integer / bitwise sugar ----------------------------------------------
+
+    def bitwise(self, a: PortRef, b: PortRef, op: str = "XOR",
+                name: str | None = None) -> PortRef:
+        return self.block("Bitwise", [a, b], name=name, op=op)
+
+    def shift(self, src: PortRef, amount: int, direction: str = "left",
+              name: str | None = None) -> PortRef:
+        return self.block("Shift", [src], name=name, amount=amount,
+                          direction=direction)
+
+    def modulo(self, src: PortRef, divisor: int, name: str | None = None) -> PortRef:
+        return self.block("Mod", [src], name=name, divisor=divisor)
+
+    def lookup(self, table: Any, index: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Lookup", [index], name=name, table=np.asarray(table))
+
+    # -- signal routing sugar --------------------------------------------------
+
+    def selector(self, src: PortRef, start: int | None = None, end: int | None = None,
+                 indices: Sequence[int] | None = None, stride: int | None = None,
+                 name: str | None = None) -> PortRef:
+        """Data-truncation Selector.
+
+        ``start``/``end`` are inclusive element indices (Figure 3's
+        Start-End mode); ``indices`` selects an explicit index vector;
+        ``stride`` selects ``start, start+stride, ...  <= end``.
+        """
+        if indices is not None:
+            return self.block("Selector", [src], name=name, mode="index_vector",
+                              indices=list(int(i) for i in indices))
+        if stride is not None:
+            return self.block("Selector", [src], name=name, mode="stride",
+                              start=int(start or 0), end=int(end if end is not None else -1),
+                              stride=int(stride))
+        if start is None or end is None:
+            raise ModelError("selector requires start/end, indices, or stride")
+        return self.block("Selector", [src], name=name, mode="start_end",
+                          start=int(start), end=int(end))
+
+    def pad(self, src: PortRef, before: int, after: int, value: float = 0.0,
+            name: str | None = None) -> PortRef:
+        return self.block("Pad", [src], name=name, before=before, after=after,
+                          value=value)
+
+    def submatrix(self, src: PortRef, row_start: int, row_end: int,
+                  col_start: int, col_end: int, name: str | None = None) -> PortRef:
+        return self.block("Submatrix", [src], name=name,
+                          row_start=row_start, row_end=row_end,
+                          col_start=col_start, col_end=col_end)
+
+    def concatenate(self, *srcs: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Concatenate", list(srcs), name=name)
+
+    def reshape(self, src: PortRef, shape: Sequence[int],
+                name: str | None = None) -> PortRef:
+        return self.block("Reshape", [src], name=name, shape=tuple(shape))
+
+    # -- matrix sugar -----------------------------------------------------------
+
+    def matmul(self, a: PortRef, b: PortRef, name: str | None = None) -> PortRef:
+        return self.block("MatrixMultiply", [a, b], name=name)
+
+    def transpose(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Transpose", [src], name=name)
+
+    def hermitian(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Hermitian", [src], name=name)
+
+    def conj(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Conj", [src], name=name)
+
+    # -- DSP / reduction sugar ----------------------------------------------------
+
+    def convolution(self, u: PortRef, kernel: PortRef,
+                    name: str | None = None) -> PortRef:
+        return self.block("Convolution", [u, kernel], name=name)
+
+    def difference(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Difference", [src], name=name)
+
+    def cumsum(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("CumulativeSum", [src], name=name)
+
+    def dot(self, a: PortRef, b: PortRef, name: str | None = None) -> PortRef:
+        return self.block("DotProduct", [a, b], name=name)
+
+    def sum_of_elements(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("SumOfElements", [src], name=name)
+
+    def product_of_elements(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("ProductOfElements", [src], name=name)
+
+    def mean(self, src: PortRef, name: str | None = None) -> PortRef:
+        return self.block("Mean", [src], name=name)
+
+    # -- discrete-state sugar --------------------------------------------------------
+
+    def unit_delay(self, src: PortRef, initial: Any = 0.0,
+                   name: str | None = None) -> PortRef:
+        return self.block("UnitDelay", [src], name=name, initial=initial)
+
+    def delay(self, src: PortRef, length: int, initial: Any = 0.0,
+              name: str | None = None) -> PortRef:
+        return self.block("Delay", [src], name=name, length=length, initial=initial)

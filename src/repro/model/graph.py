@@ -1,0 +1,253 @@
+"""The model container: blocks plus connections, with graph queries.
+
+:class:`Model` is the in-memory form of one Simulink diagram.  It stores
+blocks by name and connections as explicit port-to-port lines, and offers
+the graph queries the analysis passes need: predecessors per input port,
+successors per output port, root (0-in-degree) detection, and subsystem
+flattening (paper §3.1 flattens Subsystem blocks before analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import ModelError
+from repro.model.block import Block, Connection, PortRef, check_name
+
+SUBSYSTEM_TYPE = "SubSystem"
+INPORT_TYPE = "Inport"
+OUTPORT_TYPE = "Outport"
+
+
+@dataclass
+class Model:
+    """A dataflow diagram: named blocks and port-to-port connections."""
+
+    name: str
+    blocks: dict[str, Block] = field(default_factory=dict)
+    connections: list[Connection] = field(default_factory=list)
+    subsystems: dict[str, "Model"] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_name(self.name)
+
+    # -- construction ------------------------------------------------------
+
+    def add_block(self, block: Block) -> Block:
+        if block.name in self.blocks:
+            raise ModelError(f"duplicate block name {block.name!r} in model {self.name!r}")
+        if block.sid is None:
+            block.sid = len(self.blocks) + 1
+        self.blocks[block.name] = block
+        return block
+
+    def add_subsystem(self, block: Block, inner: "Model") -> Block:
+        if block.block_type != SUBSYSTEM_TYPE:
+            raise ModelError(
+                f"add_subsystem requires block_type {SUBSYSTEM_TYPE!r}, "
+                f"got {block.block_type!r}"
+            )
+        self.add_block(block)
+        self.subsystems[block.name] = inner
+        return block
+
+    def connect(self, src: PortRef | str, dst: PortRef | str,
+                src_port: int = 0, dst_port: int = 0) -> Connection:
+        if isinstance(src, PortRef):
+            src, src_port = src.block, src.port
+        if isinstance(dst, PortRef):
+            dst, dst_port = dst.block, dst.port
+        for endpoint in (src, dst):
+            if endpoint not in self.blocks:
+                raise ModelError(
+                    f"connection endpoint {endpoint!r} is not a block of {self.name!r}"
+                )
+        for existing in self.connections:
+            if existing.dst == dst and existing.dst_port == dst_port:
+                raise ModelError(
+                    f"input port {dst}:{dst_port} is already driven by "
+                    f"{existing.src}:{existing.src_port}"
+                )
+        conn = Connection(src, src_port, dst, dst_port)
+        self.connections.append(conn)
+        return conn
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.blocks
+
+    def __getitem__(self, name: str) -> Block:
+        try:
+            return self.blocks[name]
+        except KeyError:
+            raise ModelError(f"no block named {name!r} in model {self.name!r}") from None
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks.values())
+
+    @property
+    def block_count(self) -> int:
+        """Number of blocks counted on the flattened diagram.
+
+        Subsystem wrapper blocks are not counted; their contents are.  This
+        matches how Table 1 of the paper counts blocks.
+        """
+        total = 0
+        for block in self.blocks.values():
+            if block.block_type == SUBSYSTEM_TYPE:
+                total += self.subsystems[block.name].block_count
+            else:
+                total += 1
+        return total
+
+    def blocks_of_type(self, block_type: str) -> list[Block]:
+        return [b for b in self.blocks.values() if b.block_type == block_type]
+
+    def inputs_of(self, name: str) -> dict[int, tuple[str, int]]:
+        """Map each driven input port of ``name`` to its (src, src_port)."""
+        found: dict[int, tuple[str, int]] = {}
+        for conn in self.connections:
+            if conn.dst == name:
+                found[conn.dst_port] = (conn.src, conn.src_port)
+        return found
+
+    def outputs_of(self, name: str) -> dict[int, list[tuple[str, int]]]:
+        """Map each output port of ``name`` to its consumers (dst, dst_port)."""
+        found: dict[int, list[tuple[str, int]]] = {}
+        for conn in self.connections:
+            if conn.src == name:
+                found.setdefault(conn.src_port, []).append((conn.dst, conn.dst_port))
+        return found
+
+    def successors(self, name: str) -> list[str]:
+        seen: list[str] = []
+        for conn in self.connections:
+            if conn.src == name and conn.dst not in seen:
+                seen.append(conn.dst)
+        return seen
+
+    def predecessors(self, name: str) -> list[str]:
+        seen: list[str] = []
+        for conn in self.connections:
+            if conn.dst == name and conn.src not in seen:
+                seen.append(conn.src)
+        return seen
+
+    def in_degree(self, name: str) -> int:
+        return sum(1 for conn in self.connections if conn.dst == name)
+
+    def root_blocks(self) -> list[Block]:
+        """The 0-in-degree blocks — Algorithm 1's starting points."""
+        return [b for b in self.blocks.values() if self.in_degree(b.name) == 0]
+
+    def sink_blocks(self) -> list[Block]:
+        return [b for b in self.blocks.values() if not self.successors(b.name)]
+
+    # -- flattening (paper §3.1) --------------------------------------------
+
+    def flatten(self, separator: str = ".") -> "Model":
+        """Inline every Subsystem block, rewiring its ports to the outside.
+
+        Inner block names are prefixed with the subsystem name.  Inport and
+        Outport blocks of the subsystem disappear: lines entering the
+        subsystem are rerouted to the consumers of the matching inner
+        Inport, and lines leaving it are rerouted from the driver of the
+        matching inner Outport.  Flattening is applied recursively.
+        """
+        flat = Model(self.name)
+        # in_routes[(subsystem, in_port)] -> list of flat (dst, dst_port)
+        in_routes: dict[tuple[str, int], list[tuple[str, int]]] = {}
+        # out_routes[(subsystem, out_port)] -> flat (src, src_port)
+        out_routes: dict[tuple[str, int], tuple[str, int]] = {}
+
+        for block in self.blocks.values():
+            if block.block_type != SUBSYSTEM_TYPE:
+                flat.add_block(block.copy_with())
+                continue
+            inner = self.subsystems[block.name].flatten(separator)
+            prefix = block.name + separator
+            renamed = {b.name: prefix + b.name for b in inner}
+            inports = _port_map(inner, INPORT_TYPE)
+            outports = _port_map(inner, OUTPORT_TYPE)
+            for inner_block in inner:
+                if inner_block.block_type in (INPORT_TYPE, OUTPORT_TYPE):
+                    continue
+                flat.add_block(inner_block.copy_with(name=renamed[inner_block.name]))
+            for conn in inner.connections:
+                src_is_port = inner[conn.src].block_type == INPORT_TYPE
+                dst_is_port = inner[conn.dst].block_type == OUTPORT_TYPE
+                if src_is_port and dst_is_port:
+                    raise ModelError(
+                        f"subsystem {block.name!r} wires an Inport directly to an "
+                        "Outport; insert a pass-through block"
+                    )
+                if src_is_port:
+                    port_index = inports[conn.src]
+                    in_routes.setdefault((block.name, port_index), []).append(
+                        (renamed[conn.dst], conn.dst_port)
+                    )
+                elif dst_is_port:
+                    port_index = outports[conn.dst]
+                    out_routes[(block.name, port_index)] = (
+                        renamed[conn.src], conn.src_port,
+                    )
+                else:
+                    flat.connections.append(Connection(
+                        renamed[conn.src], conn.src_port,
+                        renamed[conn.dst], conn.dst_port,
+                    ))
+
+        subsystem_names = set(self.subsystems)
+        for conn in self.connections:
+            src, src_port = conn.src, conn.src_port
+            if src in subsystem_names:
+                key = (src, src_port)
+                if key not in out_routes:
+                    raise ModelError(
+                        f"subsystem {src!r} has no Outport with index {src_port + 1}"
+                    )
+                src, src_port = out_routes[key]
+            if conn.dst in subsystem_names:
+                key = (conn.dst, conn.dst_port)
+                targets = in_routes.get(key)
+                if not targets:
+                    raise ModelError(
+                        f"subsystem {conn.dst!r} has no consumer behind Inport "
+                        f"index {conn.dst_port + 1}"
+                    )
+                for dst, dst_port in targets:
+                    flat.connections.append(Connection(src, src_port, dst, dst_port))
+            else:
+                flat.connections.append(Connection(src, src_port, conn.dst, conn.dst_port))
+        return flat
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (used by the CLI and examples)."""
+        lines = [f"model {self.name}: {self.block_count} blocks, "
+                 f"{len(self.connections)} connections"]
+        for block in self.blocks.values():
+            lines.append(f"  [{block.sid}] {block.name} <{block.block_type}>")
+        for conn in self.connections:
+            lines.append(f"  {conn.describe()}")
+        return "\n".join(lines)
+
+
+def _port_map(inner: Model, port_type: str) -> dict[str, int]:
+    """Map Inport/Outport block names to their 0-based port index."""
+    ports = inner.blocks_of_type(port_type)
+    mapping: dict[str, int] = {}
+    for i, block in enumerate(sorted(ports, key=lambda b: int(b.param("port", 0)))):
+        declared = block.param("port")
+        mapping[block.name] = (int(declared) - 1) if declared is not None else i
+    return mapping
+
+
+def iter_all_blocks(model: Model) -> Iterable[Block]:
+    """Yield every block including those nested in subsystems."""
+    for block in model.blocks.values():
+        if block.block_type == SUBSYSTEM_TYPE:
+            yield from iter_all_blocks(model.subsystems[block.name])
+        else:
+            yield block

@@ -1,0 +1,253 @@
+"""Legacy ``.mdl`` textual container (brace-structured Simulink format).
+
+Before the ZIP-based ``.slx`` container, Simulink stored models as nested
+brace sections::
+
+    Model {
+      Name "Conv"
+      System {
+        Block {
+          BlockType Inport
+          Name "u"
+          SID "1"
+          shape "(60,)"
+        }
+        Line {
+          SrcBlock "u"
+          SrcPort 1
+          DstBlock "conv"
+          DstPort 1
+        }
+      }
+    }
+
+Industrial archives still carry ``.mdl`` files, so the reproduction
+supports both containers through the same in-memory model.  Parameters
+are encoded with the same typed codec as the ``.slx`` payload
+(``<type-tag>|<text>``), so any builder-constructed model round-trips.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import SlxFormatError
+from repro.model.block import Block, Connection
+from repro.model.graph import Model, SUBSYSTEM_TYPE
+from repro.model.slx import decode_param, encode_param
+
+_STRUCTURAL_KEYS = {"BlockType", "Name", "SID"}
+_LINE_KEYS = {"SrcBlock", "SrcPort", "DstBlock", "DstPort"}
+
+
+# -- tokenizer -----------------------------------------------------------------
+
+def _tokenize(text: str) -> list[str]:
+    """Split into identifiers, quoted strings, and braces."""
+    tokens: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "{}":
+            tokens.append(ch)
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            out = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    out.append(text[j + 1])
+                    j += 2
+                else:
+                    out.append(text[j])
+                    j += 1
+            if j >= n:
+                raise SlxFormatError("unterminated string in .mdl input")
+            tokens.append('"' + "".join(out))
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in ' \t\r\n{}"#':
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+class _Section:
+    """One brace section: keyword fields plus nested child sections."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: list[tuple[str, str]] = []
+        self.children: list[_Section] = []
+
+    def field(self, key: str, default: str | None = None) -> str | None:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def require(self, key: str) -> str:
+        value = self.field(key)
+        if value is None:
+            raise SlxFormatError(
+                f".mdl section {self.name!r} missing field {key!r}")
+        return value
+
+    def sections(self, name: str) -> list["_Section"]:
+        return [c for c in self.children if c.name == name]
+
+
+def _parse_sections(tokens: list[str]) -> list[_Section]:
+    root = _Section("__root__")
+    stack = [root]
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if token == "}":
+            stack.pop()
+            if not stack:
+                raise SlxFormatError("unbalanced braces in .mdl input")
+            i += 1
+            continue
+        if i + 1 < len(tokens) and tokens[i + 1] == "{":
+            child = _Section(token)
+            stack[-1].children.append(child)
+            stack.append(child)
+            i += 2
+            continue
+        if i + 1 >= len(tokens):
+            raise SlxFormatError(f"dangling token {token!r} in .mdl input")
+        value = tokens[i + 1]
+        if value.startswith('"'):
+            value = value[1:]
+        stack[-1].fields.append((token, value))
+        i += 2
+    if len(stack) != 1:
+        raise SlxFormatError("unbalanced braces in .mdl input")
+    return root.children
+
+
+# -- writer -----------------------------------------------------------------------
+
+def _quote(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _write_param(key: str, value: object, indent: str) -> str:
+    tag, text = encode_param(value)
+    return f"{indent}{key} {_quote(f'{tag}|{text}')}"
+
+
+def _write_system(model: Model, indent: str) -> list[str]:
+    lines = [f"{indent}System {{"]
+    inner = indent + "  "
+    sid = 0
+    sids: dict[str, int] = {}
+    for block in model.blocks.values():
+        sid += 1
+        sids[block.name] = sid
+        lines.append(f"{inner}Block {{")
+        lines.append(f"{inner}  BlockType {block.block_type}")
+        lines.append(f"{inner}  Name {_quote(block.name)}")
+        lines.append(f'{inner}  SID "{sid}"')
+        for key in sorted(block.params):
+            lines.append(_write_param(key, block.params[key], inner + "  "))
+        if block.block_type == SUBSYSTEM_TYPE:
+            lines.extend(_write_system(model.subsystems[block.name],
+                                       inner + "  "))
+        lines.append(f"{inner}}}")
+    for conn in model.connections:
+        lines.append(f"{inner}Line {{")
+        lines.append(f"{inner}  SrcBlock {_quote(conn.src)}")
+        lines.append(f'{inner}  SrcPort "{conn.src_port + 1}"')
+        lines.append(f"{inner}  DstBlock {_quote(conn.dst)}")
+        lines.append(f'{inner}  DstPort "{conn.dst_port + 1}"')
+        lines.append(f"{inner}}}")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def model_to_mdl(model: Model) -> str:
+    """Serialize a model to .mdl text."""
+    lines = ["Model {", f"  Name {_quote(model.name)}"]
+    lines.extend(_write_system(model, "  "))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_mdl(model: Model, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(model_to_mdl(model))
+    return path
+
+
+# -- reader ------------------------------------------------------------------------
+
+def _decode_field(value: str) -> object:
+    if "|" in value:
+        tag, text = value.split("|", 1)
+        try:
+            return decode_param(tag, text)
+        except SlxFormatError:
+            return value
+    return value
+
+
+def _model_from_system(system: _Section, name: str) -> Model:
+    model = Model(name)
+    for block_sec in system.sections("Block"):
+        block_type = block_sec.require("BlockType")
+        block_name = block_sec.require("Name")
+        params: dict[str, object] = {}
+        for key, value in block_sec.fields:
+            if key in _STRUCTURAL_KEYS:
+                continue
+            params[key] = _decode_field(value)
+        sid_text = block_sec.field("SID")
+        block = Block(block_name, block_type, params,
+                      sid=int(sid_text) if sid_text else None)
+        if block_type == SUBSYSTEM_TYPE:
+            inner = block_sec.sections("System")
+            if not inner:
+                raise SlxFormatError(
+                    f"SubSystem {block_name!r} has no System section")
+            model.add_subsystem(block, _model_from_system(inner[0], block_name))
+        else:
+            model.add_block(block)
+    for line_sec in system.sections("Line"):
+        src = line_sec.require("SrcBlock")
+        dst = line_sec.require("DstBlock")
+        for endpoint in (src, dst):
+            if endpoint not in model.blocks:
+                raise SlxFormatError(
+                    f"line references unknown block {endpoint!r}")
+        model.connections.append(Connection(
+            src, int(line_sec.field("SrcPort", "1")) - 1,
+            dst, int(line_sec.field("DstPort", "1")) - 1,
+        ))
+    return model
+
+
+def mdl_to_model(text: str) -> Model:
+    """Parse .mdl text into a model."""
+    sections = _parse_sections(_tokenize(text))
+    model_secs = [s for s in sections if s.name == "Model"]
+    if not model_secs:
+        raise SlxFormatError(".mdl input has no Model section")
+    model_sec = model_secs[0]
+    systems = model_sec.sections("System")
+    if not systems:
+        raise SlxFormatError(".mdl Model has no System section")
+    return _model_from_system(systems[0], model_sec.field("Name", "model"))
+
+
+def load_mdl(path: str | Path) -> Model:
+    return mdl_to_model(Path(path).read_text())

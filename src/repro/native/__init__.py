@@ -1,0 +1,6 @@
+"""Native gcc compile-and-run harness for the emitted C."""
+
+from repro.native.compile import (  # noqa: F401
+    DEFAULT_FLAGS, NativeResult, compile_and_run, find_compiler,
+    generate_main,
+)

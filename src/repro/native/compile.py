@@ -1,0 +1,216 @@
+"""Native toolchain harness: compile emitted C with the host gcc and run it.
+
+Used for the end-to-end validation of the C emitter (generated binaries
+must agree with the reference simulator) and for real ``-O3`` timing of
+FRODO vs the baselines on this machine — the closest available stand-in
+for the paper's x86/GCC column.
+
+The harness synthesizes a ``main.c`` next to the emitted model source:
+inputs are embedded as static initializers, the step function runs
+``steps`` times (exercising stateful blocks), outputs are printed in full
+precision, and an optional timing loop reports seconds for ``repetitions``
+further step calls.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.codegen.base import GeneratedCode
+from repro.codegen.ctext import _c_literal, emit_c
+from repro.errors import NativeToolchainError
+from repro.ir.ops import BufferDecl, c_type
+
+
+#: Default compile flags.  ``-fno-tree-slp-vectorize`` works around a
+#: miscompilation in this sandbox's gcc 12.2: at plain ``-O3`` its SLP
+#: vectorizer produces wrong values for the boundary-judgment
+#: accumulation pattern (guarded ``out[i] += k[j] * u[i-j]``).  The bug
+#: was isolated by differential testing — ``-O0``, ``-O2``,
+#: ``-fno-tree-slp-vectorize``, UBSan, the IR VM, and the reference
+#: simulator all agree with each other and disagree with plain ``-O3``.
+DEFAULT_FLAGS: tuple[str, ...] = ("-std=c11", "-O3", "-fno-tree-slp-vectorize")
+
+
+def find_compiler(preferred: Sequence[str] = ("gcc", "cc", "clang")) -> Optional[str]:
+    """First available C compiler on PATH, or None."""
+    for name in preferred:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+@dataclass
+class NativeResult:
+    """Outputs (keyed by Outport name) and optional timing of a native run."""
+
+    outputs: dict[str, np.ndarray]
+    seconds: Optional[float] = None
+    source_dir: Optional[Path] = None
+
+
+def _input_initializer(decl: BufferDecl, value: np.ndarray) -> str:
+    flat = np.asarray(value, dtype=decl.dtype).ravel()
+    if flat.size != decl.size:
+        raise NativeToolchainError(
+            f"input {decl.name!r} expects {decl.size} elements, got {flat.size}"
+        )
+    literals = ", ".join(
+        _c_literal(v.item() if hasattr(v, "item") else v, decl.dtype)
+        for v in flat
+    )
+    return (f"static const {c_type(decl.dtype)} {decl.name}_data"
+            f"[{max(decl.size, 1)}] = {{{literals}}};")
+
+
+def _print_loop(decl: BufferDecl) -> list[str]:
+    size = max(decl.size, 1)
+    if decl.dtype == "complex128":
+        return [f'    for (int i = 0; i < {size}; i++) '
+                f'printf("%.17g %.17g\\n", creal({decl.name}_out[i]), '
+                f'cimag({decl.name}_out[i]));']
+    if decl.dtype == "uint32":
+        return [f'    for (int i = 0; i < {size}; i++) '
+                f'printf("%u\\n", {decl.name}_out[i]);']
+    return [f'    for (int i = 0; i < {size}; i++) '
+            f'printf("%.17g\\n", {decl.name}_out[i]);']
+
+
+def generate_main(code: GeneratedCode, inputs: Mapping[str, np.ndarray],
+                  steps: int = 1, repetitions: int = 0) -> str:
+    """Synthesize the driver translation unit."""
+    program = code.program
+    in_decls = program.buffers_of_kind("input")
+    out_decls = program.buffers_of_kind("output")
+    buffer_inputs = code.map_inputs(dict(inputs))
+
+    lines = [
+        "#define _POSIX_C_SOURCE 199309L",  # clock_gettime under -std=c11
+        "#include <stdio.h>",
+        "#include <stdint.h>",
+        "#include <time.h>",
+        "#include <complex.h>",
+        "",
+        f"void {program.name}_init(void);",
+    ]
+    params = [f"const {c_type(d.dtype)}*" for d in in_decls]
+    params += [f"{c_type(d.dtype)}*" for d in out_decls]
+    signature = ", ".join(params) if params else "void"
+    lines.append(f"void {program.name}_step({signature});")
+    lines.append("")
+    for decl in in_decls:
+        lines.append(_input_initializer(decl, buffer_inputs[decl.name]))
+    for decl in out_decls:
+        lines.append(f"static {c_type(decl.dtype)} {decl.name}_out"
+                     f"[{max(decl.size, 1)}];")
+    call_args = ", ".join(
+        [f"{d.name}_data" for d in in_decls] + [f"{d.name}_out" for d in out_decls]
+    )
+    lines += [
+        "",
+        "int main(void) {",
+        f"    {program.name}_init();",
+        f"    for (int s = 0; s < {steps}; s++) "
+        f"{program.name}_step({call_args});",
+    ]
+    if repetitions > 0:
+        lines += [
+            "    struct timespec t0, t1;",
+            "    clock_gettime(CLOCK_MONOTONIC, &t0);",
+            f"    for (int r = 0; r < {repetitions}; r++) "
+            f"{program.name}_step({call_args});",
+            "    clock_gettime(CLOCK_MONOTONIC, &t1);",
+            '    printf("TIME %.9f\\n", (t1.tv_sec - t0.tv_sec)'
+            " + (t1.tv_nsec - t0.tv_nsec) * 1e-9);",
+        ]
+    for decl in out_decls:
+        lines.extend(_print_loop(decl))
+    lines += ["    return 0;", "}", ""]
+    return "\n".join(lines)
+
+
+def compile_and_run(code: GeneratedCode, inputs: Mapping[str, np.ndarray],
+                    steps: int = 1, repetitions: int = 0,
+                    cc: Optional[str] = None,
+                    flags: Sequence[str] = DEFAULT_FLAGS,
+                    workdir: Optional[Path] = None,
+                    keep_sources: bool = False) -> NativeResult:
+    """Emit, compile, execute; parse outputs back into numpy arrays."""
+    compiler = cc or find_compiler()
+    if compiler is None:
+        raise NativeToolchainError("no C compiler found on PATH")
+
+    own_dir = workdir is None
+    directory = Path(tempfile.mkdtemp(prefix="repro_native_")) if own_dir \
+        else Path(workdir)
+    directory.mkdir(parents=True, exist_ok=True)
+    model_c = directory / f"{code.program.name}.c"
+    main_c = directory / "main.c"
+    binary = directory / "model_bin"
+    model_c.write_text(emit_c(code.program))
+    main_c.write_text(generate_main(code, inputs, steps, repetitions))
+
+    compile_cmd = [compiler, *flags, "-o", str(binary), str(model_c),
+                   str(main_c), "-lm"]
+    try:
+        proc = subprocess.run(compile_cmd, capture_output=True, text=True)
+    except FileNotFoundError as exc:
+        raise NativeToolchainError(f"compiler {compiler!r} not found") from exc
+    if proc.returncode != 0:
+        raise NativeToolchainError(
+            f"compilation failed ({' '.join(compile_cmd)}):\n{proc.stderr}"
+        )
+    run = subprocess.run([str(binary)], capture_output=True, text=True,
+                         timeout=600)
+    if run.returncode != 0:
+        raise NativeToolchainError(
+            f"generated binary exited with {run.returncode}:\n{run.stderr}"
+        )
+
+    tokens = run.stdout.split("\n")
+    seconds: Optional[float] = None
+    values: list[str] = []
+    for line in tokens:
+        if line.startswith("TIME "):
+            seconds = float(line.split()[1])
+        elif line.strip():
+            values.append(line.strip())
+
+    outputs: dict[str, np.ndarray] = {}
+    cursor = 0
+    for decl in code.program.buffers_of_kind("output"):
+        size = max(decl.size, 1)
+        chunk = values[cursor:cursor + size]
+        cursor += size
+        if len(chunk) != size:
+            raise NativeToolchainError(
+                f"binary printed {len(values)} values; expected more for "
+                f"{decl.name!r}"
+            )
+        if decl.dtype == "complex128":
+            pairs = [tuple(map(float, line.split())) for line in chunk]
+            outputs[decl.name] = np.array(
+                [complex(re, im) for re, im in pairs], dtype="complex128"
+            ).reshape(decl.shape if decl.shape else ())
+        elif decl.dtype == "uint32":
+            outputs[decl.name] = np.array(
+                [int(v) for v in chunk], dtype="uint32"
+            ).reshape(decl.shape if decl.shape else ())
+        else:
+            outputs[decl.name] = np.array(
+                [float(v) for v in chunk], dtype=decl.dtype
+            ).reshape(decl.shape if decl.shape else ())
+
+    named = code.map_outputs(outputs)
+    if own_dir and not keep_sources:
+        shutil.rmtree(directory, ignore_errors=True)
+        return NativeResult(named, seconds, None)
+    return NativeResult(named, seconds, directory)

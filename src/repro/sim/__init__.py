@@ -1,0 +1,5 @@
+"""Reference simulator (ground truth for generated-code validation)."""
+
+from repro.sim.simulator import (  # noqa: F401
+    SimulationTrace, Simulator, random_inputs, simulate,
+)

@@ -1,0 +1,82 @@
+"""AudioProcess — vehicle audio analysis (Table 1: 51 blocks).
+
+A three-band filter bank over a microphone frame, followed by band energy
+features and an RMS loudness path.  Each band is a "same" convolution
+(Convolution + Selector), and the feature extractors analyze only the
+stationary middle segment of the frame — the data-truncation pattern that
+makes Simulink Embedded Coder's full-padding convolution (with per-element
+boundary judgments) so expensive on this model in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+FRAME = 96
+TAPS = 9
+SEG_START, SEG_END = 28, 67  # analysis segment (40 samples)
+
+
+def _band_kernel(index: int) -> np.ndarray:
+    base = np.hanning(TAPS)
+    modulation = np.cos(np.arange(TAPS) * (index + 1) * 0.7)
+    taps = base * modulation
+    return taps / np.abs(taps).sum()
+
+
+def build() -> Model:
+    b = ModelBuilder("AudioProcess")
+    half = (TAPS - 1) // 2
+
+    u = b.inport("mic", shape=(FRAME,))                       # 1
+
+    # Pre-emphasis front end: u[t] - 0.95 * u[t-1] via a UnitDelay.
+    prev = b.unit_delay(u, name="pre_delay")                  # 2
+    scaled_prev = b.gain(prev, 0.95, name="pre_gain")         # 3
+    emphasized = b.sub(u, scaled_prev, name="pre_diff")       # 4
+
+    # DC removal over the frame.
+    dc = b.mean(emphasized, name="dc_mean")                   # 5
+    centered = b.sub(emphasized, dc, name="dc_remove")        # 6
+
+    band_outputs = []
+    for i in range(3):                                        # 3 x 5 = 15 -> 21
+        kernel = b.constant(f"band{i}_kernel", _band_kernel(i))
+        conv = b.convolution(centered, kernel, name=f"band{i}_conv")
+        same = b.selector(conv, start=half, end=half + FRAME - 1,
+                          name=f"band{i}_same")
+        gained = b.gain(same, 1.0 + 0.25 * i, name=f"band{i}_gain")
+        band_outputs.append(b.abs(gained, name=f"band{i}_abs"))
+
+    # Per-band energy features on the analysis segment only.
+    for i, band in enumerate(band_outputs):                   # 3 x 5 = 15 -> 36
+        segment = b.selector(band, start=SEG_START, end=SEG_END,
+                             name=f"band{i}_seg")
+        squared = b.math(segment, "square", name=f"band{i}_sq")
+        energy = b.mean(squared, name=f"band{i}_energy")
+        level = b.sqrt(energy, name=f"band{i}_level")
+        b.outport(f"band{i}_out", level)
+
+    # Mixdown loudness path, windowed to the same segment.
+    mix = b.add(*band_outputs, name="mix")                    # 37
+    window = b.constant("window", np.hanning(FRAME))          # 38
+    shaped = b.product(mix, window, name="shaped")            # 39
+    segment = b.selector(shaped, start=SEG_START, end=SEG_END,
+                         name="mix_seg")                      # 40
+    squared = b.math(segment, "square", name="mix_sq")        # 41
+    rms_mean = b.mean(squared, name="mix_mean")               # 42
+    rms = b.sqrt(rms_mean, name="mix_rms")                    # 43
+    clipped = b.saturation(rms, 0.0, 10.0, name="mix_sat")    # 44
+    b.outport("loudness", clipped)                            # 45
+
+    # Transient detector on the selected segment of the mix.
+    diff = b.difference(segment, name="trans_diff")           # 46
+    mag = b.abs(diff, name="trans_abs")                       # 47
+    peak_sum = b.sum_of_elements(mag, name="trans_sum")       # 48
+    flag = b.relational(peak_sum, b.constant("trans_thresh", 20.0),
+                        op=">", name="trans_flag")            # 49, 50
+    b.outport("transient", flag)                              # 51
+    return b.build()

@@ -1,0 +1,72 @@
+"""Back — backpropagation in a CNN model (Table 1: 24 blocks).
+
+One backward step of a small dense head: the output-layer delta is pulled
+back through the weight matrix, gated by the sigmoid derivative, and the
+weight gradient is formed as an outer product.  Only a 4-row slice of the
+weight gradient is committed this iteration (block-sparse update), and
+only the first 8 hidden deltas feed the upstream layer — two truncations
+FRODO exploits inside the matrix products.
+
+This is the model where the paper observes HCG's forced SIMD intrinsics
+*hurting* at ``-O3`` (verbose fmadd assembly blocking other compiler
+optimizations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+HIDDEN = 16
+OUT = 8
+GRAD_ROWS = 4   # rows of the weight gradient committed per iteration
+DELTA_KEEP = 8  # hidden deltas consumed by the upstream layer
+
+
+def build() -> Model:
+    b = ModelBuilder("Back")
+    rng = np.random.default_rng(13)
+
+    act = b.inport("activations", shape=(HIDDEN,))               # 1
+    delta_out = b.inport("delta_out", shape=(OUT,))              # 2
+
+    # Outer-product weight gradient: delta_out (OUT x 1) @ act (1 x HIDDEN).
+    delta_col = b.reshape(delta_out, (OUT, 1), name="delta_col")  # 3
+    act_row = b.reshape(act, (1, HIDDEN), name="act_row")        # 4
+    grad_w = b.matmul(delta_col, act_row, name="grad_w")         # 5
+    grad_slice = b.submatrix(grad_w, 0, GRAD_ROWS - 1, 0, HIDDEN - 1,
+                             name="grad_slice")                  # 6
+    lr = b.gain(grad_slice, -0.01, name="lr_scale")              # 7
+    b.outport("weight_update", lr)                               # 8
+
+    # Hidden delta: W^T @ delta_out, gated by sigmoid'(act).
+    w = b.constant("W", rng.uniform(-0.5, 0.5, size=(OUT, HIDDEN)))  # 9
+    w_t = b.transpose(w, name="w_t")                             # 10
+    back = b.matmul(w_t, delta_col, name="back")                 # 11
+    back_flat = b.reshape(back, (HIDDEN,), name="back_flat")     # 12
+
+    ones = b.constant("ones", np.ones(HIDDEN))                   # 13
+    one_minus = b.sub(ones, act, name="one_minus")               # 14
+    sig_prime = b.product(act, one_minus, name="sig_prime")      # 15
+    delta_h = b.product(back_flat, sig_prime, name="delta_h")    # 16
+
+    kept = b.selector(delta_h, start=0, end=DELTA_KEEP - 1,
+                      name="delta_keep")                         # 17
+
+    # Momentum IIR on the kept deltas (stateful feedback).
+    momentum = b.block("UnitDelay", name="momentum",
+                       shape=(DELTA_KEEP,), dtype="float64",
+                       initial=0.0)                              # 18
+    scaled = b.gain(momentum, 0.9, name="momentum_scale")        # 19
+    blended = b.add(kept, scaled, name="blend")                  # 20
+    b.model.connect(blended, momentum)  # close the IIR loop
+    b.outport("delta_hidden", blended)                           # 21
+
+    # Bias gradient: the committed output-unit slice of delta_out.
+    bias_slice = b.selector(delta_out, start=0, end=GRAD_ROWS - 1,
+                            name="bias_slice")                   # 22
+    bias_lr = b.gain(bias_slice, -0.01, name="bias_lr")          # 23
+    b.outport("bias_update", bias_lr)                            # 24
+    return b.build()

@@ -1,0 +1,82 @@
+"""BatteryMonitor — extended-zoo model (not part of the paper's Table 1).
+
+A battery-pack monitoring channel that exercises the extended block
+vocabulary in one realistic assembly: per-cell voltage conditioning
+(DeadZone noise gate, Quantizer telemetry compression), open-circuit-
+voltage → state-of-charge conversion via linear Interpolation, a runtime
+cell selector (index_port — the Figure 3 property whose mapping is
+conservative), a patched calibration window (Assignment), and a
+contactor decision (Switch).  Only the 16-cell reporting window of the
+64-cell string is transmitted, so FRODO trims the whole conditioning
+chain to that window (plus the conservative full-range paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+CELLS = 64
+REPORT_START, REPORT_END = 24, 39  # 16-cell reporting window
+
+#: OCV(SoC) table: volts at 0.1-SoC breakpoints (monotone, Li-ion-ish).
+OCV_TABLE = np.array([3.00, 3.30, 3.45, 3.55, 3.62, 3.68,
+                      3.74, 3.82, 3.92, 4.05, 4.20])
+
+
+def build() -> Model:
+    b = ModelBuilder("BatteryMonitor")
+
+    volts = b.inport("cell_volts", shape=(CELLS,))
+    pick = b.inport("probe_index", shape=())   # runtime-selected cell
+
+    # Conditioning: remove sensor dither, compress to telemetry LSBs.
+    gated = b.block("DeadZone", [volts], name="dither_gate",
+                    lower=-0.002, upper=0.002)
+    centered = b.bias(gated, 3.60, name="recenter")
+    quantized = b.block("Quantizer", [centered], name="telemetry_q",
+                        interval=0.005)
+
+    # Calibration patch: 4 reference cells are overwritten with bench
+    # measurements (Assignment — the dual truncation).
+    bench = b.inport("bench_ref", shape=(4,))
+    patched = b.block("Assignment", [quantized, bench], name="cal_patch",
+                      start=28)
+
+    # State of charge per cell via OCV interpolation (volts -> SoC).
+    soc = b.block("Interpolation", [patched], name="ocv_soc",
+                  table=np.linspace(0.0, 1.0, OCV_TABLE.size),
+                  x0=float(OCV_TABLE[0]),
+                  dx=float((OCV_TABLE[-1] - OCV_TABLE[0]) / (OCV_TABLE.size - 1)))
+
+    # Only the reporting window leaves the ECU.
+    window = b.selector(soc, start=REPORT_START, end=REPORT_END,
+                        name="report_win")
+    b.outport("soc_report", window)
+
+    # Pack statistics on the reporting window.
+    weakest = b.block("MinMaxOfElements", [window], name="weakest",
+                      function="min")
+    spread_hi = b.block("MinMaxOfElements", [window], name="strongest",
+                        function="max")
+    imbalance = b.sub(spread_hi, weakest, name="imbalance")
+    b.outport("imbalance_out", imbalance)
+
+    # Probe output: a runtime-chosen 4-cell window (index_port Selector —
+    # statically unknowable start, so its input stays full range).
+    probe = b.block("Selector", [soc, pick], name="probe",
+                    mode="index_port", length=4)
+    probe_mean = b.mean(probe, name="probe_mean")
+    b.outport("probe_out", probe_mean)
+
+    # Contactor decision: open the pack if the weakest reported cell
+    # dips below the cutoff (branch-structured Switch).
+    closed = b.constant("closed", 1.0)
+    open_ = b.constant("open", 0.0)
+    margin = b.bias(weakest, -0.15, name="cutoff_margin")
+    contactor = b.switch(closed, margin, open_, threshold=0.0,
+                         name="contactor")
+    b.outport("contactor_out", contactor)
+    return b.build()

@@ -1,0 +1,58 @@
+"""Decryption — decryption protocol (Table 1: 39 blocks).
+
+A lightweight word-oriented block decipher on uint32 data: five rounds of
+round-key XOR, S-box substitution, and rotate-style diffusion.  The
+deployed module only consumes the first half of the deciphered block (the
+payload; the rest is padding/MAC), so a final Selector truncates the block
+— and FRODO propagates that truncation back through every elementwise
+round, halving the work of the whole cipher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+BLOCK_WORDS = 64
+ROUNDS = 5
+PAYLOAD_WORDS = 32
+ROT = 7
+
+
+def _sbox(seed: int = 2024) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 2 ** 32, size=256, dtype="uint64").astype("uint32")
+    return values
+
+
+def build() -> Model:
+    b = ModelBuilder("Decryption")
+
+    cipher = b.inport("cipher", shape=(BLOCK_WORDS,), dtype="uint32")   # 1
+    key = b.inport("key", shape=(BLOCK_WORDS * ROUNDS,), dtype="uint32")  # 2
+
+    state = cipher
+    for r in range(ROUNDS):                                  # 5 x 6 = 30 -> 32
+        round_key = b.selector(key, start=r * BLOCK_WORDS,
+                               end=(r + 1) * BLOCK_WORDS - 1,
+                               name=f"round{r}_key")
+        mixed = b.bitwise(state, round_key, op="XOR", name=f"round{r}_xor")
+        substituted = b.lookup(_sbox(2024 + r), mixed, name=f"round{r}_sbox")
+        left = b.shift(substituted, ROT, direction="left", name=f"round{r}_shl")
+        right = b.shift(substituted, 32 - ROT, direction="right",
+                        name=f"round{r}_shr")
+        state = b.bitwise(left, right, op="OR", name=f"round{r}_rot")
+
+    payload = b.selector(state, start=0, end=PAYLOAD_WORDS - 1,
+                         name="payload")                     # 33
+    b.outport("plain", payload)                              # 34
+
+    # Integrity word over the payload: mask and fold.
+    mask = b.constant("mask", np.full(PAYLOAD_WORDS, 0x00FFFFFF, dtype="uint32"))  # 35
+    masked = b.bitwise(payload, mask, op="AND", name="mac_mask")  # 36
+    folded_l = b.shift(masked, 16, direction="left", name="mac_shl")   # 37
+    folded = b.bitwise(masked, folded_l, op="XOR", name="mac_fold")    # 38
+    b.outport("mac", folded)                                 # 39
+    return b.build()

@@ -1,0 +1,80 @@
+"""HighPass — high-pass filter model (Table 1: 49 blocks).
+
+A cascade of three spectral-subtraction high-pass sections: each section
+low-passes the signal with a "same" convolution (Convolution + Selector)
+and subtracts the smooth component from the input.  The deployed filter
+only drives a 64-sample output window of the 128-sample frame, so a final
+Selector truncates the result — FRODO narrows all three convolution
+cascades to the (dilated) window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+FRAME = 128
+TAPS = 11
+OUT_START, OUT_END = 32, 95
+
+
+def _lowpass_kernel(index: int) -> np.ndarray:
+    taps = np.hanning(TAPS) * (1.0 + 0.1 * index)
+    return taps / taps.sum()
+
+
+def build() -> Model:
+    b = ModelBuilder("HighPass")
+    half = (TAPS - 1) // 2
+
+    x = b.inport("x", shape=(FRAME,))                       # 1
+
+    # Input conditioning.
+    calibrated = b.gain(x, 0.98, name="calib")              # 2
+    debiased = b.bias(calibrated, -0.01, name="debias")     # 3
+
+    signal = debiased
+    for i in range(4):                                      # 4 x 6 = 24 -> 27
+        kernel = b.constant(f"sec{i}_kernel", _lowpass_kernel(i))
+        conv = b.convolution(signal, kernel, name=f"sec{i}_conv")
+        smooth = b.selector(conv, start=half, end=half + FRAME - 1,
+                            name=f"sec{i}_same")
+        high = b.sub(signal, smooth, name=f"sec{i}_sub")
+        gained = b.gain(high, 1.1, name=f"sec{i}_gain")
+        signal = b.bias(gained, -0.002 * i, name=f"sec{i}_trim")
+
+    window = b.selector(signal, start=OUT_START, end=OUT_END,
+                        name="out_window")                  # 22
+    shaped = b.saturation(window, -4.0, 4.0, name="out_sat")  # 23
+    b.outport("y", shaped)                                  # 24
+
+    # Envelope follower on the output window.
+    rectified = b.abs(window, name="env_abs")               # 25
+    env_kernel = b.constant("env_kernel",
+                            np.ones(5) / 5.0)               # 26
+    env_conv = b.convolution(rectified, env_kernel, name="env_conv")  # 27
+    envelope = b.selector(env_conv, start=2, end=2 + 63, name="env_same")  # 28
+    env_peak_in = b.gain(envelope, 1.0, name="env_scale")   # 29
+    peak = b.sum_of_elements(env_peak_in, name="env_sum")   # 30
+    level = b.gain(peak, 1.0 / 64, name="env_mean")         # 31
+    b.outport("envelope_level", level)                      # 32
+
+    # Stopband leakage monitor: residual low-frequency content.
+    lp_kernel = b.constant("mon_kernel", np.ones(TAPS) / TAPS)  # 33
+    mon_conv = b.convolution(window, lp_kernel, name="mon_conv")  # 34
+    mon_same = b.selector(mon_conv, start=half, end=half + 63,
+                          name="mon_same")                  # 35
+    mon_sq = b.math(mon_same, "square", name="mon_sq")      # 42
+    leakage = b.mean(mon_sq, name="mon_mean")               # 43
+    floored = b.bias(leakage, 1e-9, name="mon_floor")       # 44
+    leak_db = b.math(floored, "log", name="mon_log")        # 45
+    b.outport("leakage", leak_db)                           # 46
+
+    # Output slope telemetry.
+    slope = b.difference(window, name="slope")              # 47
+    steepest = b.block("MinMaxOfElements", [slope],
+                       name="steepest", function="max")     # 48
+    b.outport("max_slope", steepest)                        # 49
+    return b.build()

@@ -1,0 +1,63 @@
+"""HT — Hermitian transpose matrix calculation (Table 1: 26 blocks).
+
+Complex beamforming-style arithmetic: the covariance-like products
+``Aᴴ·B`` and ``Bᴴ·A`` are formed from two 8×8 complex channel matrices,
+but the consumer only reads the top-left 4×4 quadrant of each product
+(the active sub-array).  The Submatrix truncation lets FRODO trim the
+matrix multiplies to 4 rows × 4 columns and the Hermitian transposes to
+exactly the touched elements.
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+DIM = 8
+SUB = 4
+
+
+def build() -> Model:
+    b = ModelBuilder("HT")
+
+    a = b.inport("A", shape=(DIM, DIM), dtype="complex128")   # 1
+    bb = b.inport("B", shape=(DIM, DIM), dtype="complex128")  # 2
+
+    # Channel calibration.
+    a_cal = b.gain(a, 0.97, name="a_cal")                     # 3
+    b_cal = b.gain(bb, 1.03, name="b_cal")                    # 4
+
+    # First quadratic form: quadrant of A^H B.
+    a_h = b.hermitian(a_cal, name="a_herm")                   # 5
+    ahb = b.matmul(a_h, b_cal, name="ahb")                    # 6
+    ahb_q = b.submatrix(ahb, 0, SUB - 1, 0, SUB - 1, name="ahb_quad")  # 7
+
+    # Second quadratic form: quadrant of B^H A.
+    b_h = b.hermitian(b_cal, name="b_herm")                   # 8
+    bha = b.matmul(b_h, a_cal, name="bha")                    # 9
+    bha_q = b.submatrix(bha, 0, SUB - 1, 0, SUB - 1, name="bha_quad")  # 10
+
+    # Hermitian part of the quadrant pair: (P + Q^H) / 2.
+    bha_qh = b.hermitian(bha_q, name="bha_quad_h")            # 11
+    herm_sum = b.add(ahb_q, bha_qh, name="herm_sum")          # 12
+    herm_part = b.gain(herm_sum, 0.5, name="herm_half")       # 13
+    b.outport("G", herm_part)                                 # 14
+
+    # Skew part diagnostic on the same quadrant.
+    skew = b.sub(ahb_q, bha_qh, name="skew_diff")             # 15
+    skew_conj = b.conj(skew, name="skew_conj")                # 16
+    skew_energy = b.product(skew, skew_conj, name="skew_sq")  # 17
+    b.outport("skew", skew_energy)                            # 18
+
+    # Steering response: quadrant acting on a fixed weight vector.
+    weights = b.constant("weights", [[1.0 + 0.0j]] * SUB)     # 19  (SUB x 1)
+    response = b.matmul(herm_part, weights, name="steer")     # 20
+    resp_t = b.transpose(response, name="steer_row")          # 21
+    b.outport("response", resp_t)                             # 22
+
+    # Two-element trace diagnostic of the Hermitian part.
+    g00 = b.submatrix(herm_part, 0, 0, 0, 0, name="g00")      # 23
+    g11 = b.submatrix(herm_part, 1, 1, 1, 1, name="g11")      # 24
+    trace2 = b.add(g00, g11, name="trace2")                   # 25
+    b.outport("trace2_out", trace2)                           # 26
+    return b.build()

@@ -1,0 +1,48 @@
+"""ImagePipeline — extended-zoo model (not part of the paper's Table 1).
+
+A 2-D inspection pipeline demonstrating redundancy elimination beyond the
+paper's 1-D models: blur (Convolution2D), region-of-interest crop
+(Submatrix), edge detection (second Convolution2D), focus crop, and
+scalar sharpness statistics.  Registered separately from TABLE1 so the
+paper's inventory stays exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+HEIGHT, WIDTH = 24, 20
+ROI = (8, 19, 6, 17)  # inclusive rows/cols of the inspection window
+
+
+def build() -> Model:
+    b = ModelBuilder("ImagePipeline")
+
+    frame = b.inport("frame", shape=(HEIGHT, WIDTH))
+
+    # Denoise: 5x5 blur via full-padding conv + interior crop is implied
+    # by the ROI Submatrix below (the 2-D "same convolution" pattern).
+    blur_taps = np.outer(np.hanning(5), np.hanning(5))
+    blur_k = b.constant("blur_k", blur_taps / blur_taps.sum())
+    blurred = b.block("Convolution2D", [frame, blur_k], name="blurred")
+
+    roi = b.submatrix(blurred, *ROI, name="roi")  # 12x12
+
+    lap = b.constant("lap_k", np.array([[0.0, -1.0, 0.0],
+                                        [-1.0, 4.0, -1.0],
+                                        [0.0, -1.0, 0.0]]))
+    edges = b.block("Convolution2D", [roi, lap], name="edges")
+    focus = b.submatrix(edges, 2, 11, 2, 11, name="focus")  # valid interior
+
+    flat = b.reshape(focus, (100,), name="focus_flat")
+    energy_sq = b.math(flat, "square", name="edge_sq")
+    sharpness = b.mean(energy_sq, name="sharpness")
+    peak = b.block("MinMaxOfElements", [flat], name="peak", function="max")
+
+    b.outport("focus_out", focus)
+    b.outport("sharpness_out", sharpness)
+    b.outport("peak_out", peak)
+    return b.build()

@@ -1,0 +1,92 @@
+"""Kalman — automotive temperature control module (Table 1: 46 blocks).
+
+A steady-state Kalman filter (constant gain) over an 8-dimensional thermal
+state.  The sensor frame delivers 12 raw channels but the filter uses only
+4 of them (Selector), each with per-channel calibration; the control
+output taps only the first two states (Submatrix).  The state recursion
+runs through a UnitDelay, so this model also exercises feedback scheduling
+and state updates in every generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+NX = 8   # states
+NZ = 4   # used measurements
+RAW = 12  # raw sensor channels
+
+
+def _system_matrices() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(7)
+    a = np.eye(NX) * 0.92 + rng.uniform(-0.03, 0.03, size=(NX, NX))
+    h = rng.uniform(0.0, 1.0, size=(NZ, NX)) / NX
+    k = rng.uniform(0.05, 0.25, size=(NX, NZ))
+    return a, h, k
+
+
+def build() -> Model:
+    b = ModelBuilder("Kalman")
+    a_mat, h_mat, k_mat = _system_matrices()
+
+    z_raw = b.inport("sensors", shape=(RAW,))                    # 1
+
+    # Per-channel calibration of the four used channels.
+    cal_channels = []
+    for i in range(NZ):                                          # 4 x 3 = 12 -> 13
+        chan = b.selector(z_raw, start=3 * i, end=3 * i, name=f"z{i}_pick")
+        gained = b.gain(chan, 1.0 + 0.01 * i, name=f"z{i}_gain")
+        cal_channels.append(b.bias(gained, -0.05 * i, name=f"z{i}_bias"))
+    z = b.concatenate(*cal_channels, name="z_vec")               # 14
+    z_col = b.reshape(z, (NZ, 1), name="z_col")                  # 15
+
+    # State recursion (UnitDelay closes the loop; shape declared).
+    x_prev = b.block("UnitDelay", name="x_prev", shape=(NX, 1),
+                     dtype="float64", initial=0.0)               # 16
+
+    a_const = b.constant("A", a_mat)                             # 17
+    x_pred = b.matmul(a_const, x_prev, name="x_pred")            # 18
+
+    h_const = b.constant("H", h_mat)                             # 19
+    z_pred = b.matmul(h_const, x_pred, name="z_pred")            # 20
+    innovation = b.sub(z_col, z_pred, name="innovation")         # 21
+
+    k_const = b.constant("K", k_mat)                             # 22
+    correction = b.matmul(k_const, innovation, name="correction")  # 23
+    x_new = b.add(x_pred, correction, name="x_new")              # 24
+    b.model.connect(x_new, x_prev)  # feedback edge
+
+    # Control output: first two states only.
+    x_out = b.submatrix(x_new, 0, 1, 0, 0, name="x_out")         # 25
+    setpoint = b.constant("setpoint", np.array([[21.0], [20.0]]))  # 26
+    error = b.sub(setpoint, x_out, name="ctrl_error")            # 27
+    p_term = b.gain(error, 1.8, name="p_gain")                   # 28
+    clipped = b.saturation(p_term, -5.0, 5.0, name="ctrl_sat")   # 29
+    b.outport("control", clipped)                                # 30
+
+    # Innovation diagnostics.
+    innov_flat = b.reshape(innovation, (NZ,), name="innov_flat")  # 31
+    innov_sq = b.math(innov_flat, "square", name="innov_sq")     # 32
+    nis = b.sum_of_elements(innov_sq, name="nis")                # 33
+    healthy = b.relational(nis, b.constant("nis_gate", 9.49),
+                           op="<", name="healthy")               # 34, 35
+    b.outport("health", healthy)                                 # 36
+
+    # Five-step temperature forecast: only state 0 is reported, so FRODO
+    # computes a single row of the A^5 propagation.
+    a5 = b.constant("A5", np.linalg.matrix_power(a_mat, 5))      # 37
+    forecast = b.matmul(a5, x_new, name="forecast")              # 38
+    cabin = b.submatrix(forecast, 0, 0, 0, 0, name="cabin_fc")   # 39
+    cabin_c = b.bias(cabin, 0.5, name="cabin_units")             # 40
+    b.outport("forecast_out", cabin_c)                           # 41
+
+    # Ambient compensation from the three auxiliary channels.
+    ambient = b.selector(z_raw, start=9, end=11, name="ambient")  # 42
+    amb_mean = b.mean(ambient, name="amb_mean")                  # 43
+    amb_gain = b.gain(amb_mean, 0.12, name="amb_gain")           # 44
+    amb_sat = b.saturation(amb_gain, -1.0, 1.0, name="amb_sat")  # 45
+    b.outport("ambient_bias", amb_sat)                           # 46
+    return b.build()

@@ -1,0 +1,75 @@
+"""Maunfacture — product quality assessment model (Table 1: 29 blocks).
+
+(The model name keeps the paper's Table 1 spelling.)  A 200-sample line
+scan is smoothed with a wide "same" convolution, and quality statistics
+are computed over the 100-sample inspection window at the center of the
+part.  The wide kernel makes the full-padding + boundary-judgment shape
+(Simulink Embedded Coder) especially expensive here — in the paper this
+is Simulink's worst model — while FRODO computes only the (dilated)
+inspection window, branch-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+SCAN = 200
+TAPS = 15
+WIN_START, WIN_END = 50, 149
+
+
+def build() -> Model:
+    b = ModelBuilder("Maunfacture")
+    half = (TAPS - 1) // 2
+
+    raw = b.inport("scan", shape=(SCAN,))                         # 1
+    scan = b.bias(raw, -0.012, name="adc_offset")                 # 2
+
+    # Smoothing: wide same-convolution.
+    kernel = b.constant("kernel", np.hanning(TAPS) / np.hanning(TAPS).sum())  # 3
+    conv = b.convolution(scan, kernel, name="smooth_conv")        # 4
+    smooth = b.selector(conv, start=half, end=half + SCAN - 1,
+                        name="smooth_same")                       # 4
+
+    # Inspection window statistics.
+    window = b.selector(smooth, start=WIN_START, end=WIN_END,
+                        name="inspect_win")                       # 5
+    mean = b.mean(window, name="win_mean")                        # 6
+    centered = b.sub(window, mean, name="win_center")             # 7
+    squared = b.math(centered, "square", name="win_sq")           # 8
+    variance = b.mean(squared, name="win_var")                    # 9
+    sigma = b.sqrt(variance, name="win_sigma")                    # 10
+
+    # Surface roughness: first difference magnitude over the window.
+    rough_d = b.difference(window, name="rough_diff")             # 11
+    rough_abs = b.abs(rough_d, name="rough_abs")                  # 12
+    roughness = b.mean(rough_abs, name="roughness")               # 13
+
+    # Defect detector: deviation beyond k-sigma anywhere in the window.
+    dev = b.abs(centered, name="dev_abs")                         # 14
+    k_sigma = b.gain(sigma, 3.0, name="k_sigma")                  # 15
+    excess = b.sub(dev, k_sigma, name="excess")                   # 16
+    peak = b.block("MinMaxOfElements", [excess], name="peak",
+                   function="max")                                # 17
+
+    # Quality gate: defect-free parts pass (peak excess < 0).
+    ok_value = b.constant("ok_value", 0.0)                        # 18
+    bad_value = b.constant("bad_value", 1.0)                      # 19
+    verdict = b.switch(bad_value, peak, ok_value,
+                       threshold=0.0, name="verdict")             # 20
+
+    # Material accumulation trend over the inspection window.
+    accumulated = b.cumsum(window, name="accum")                  # 21
+    total = b.selector(accumulated, start=WIN_END - WIN_START,
+                       end=WIN_END - WIN_START, name="accum_total")  # 22
+    per_mm = b.gain(total, 0.05, name="accum_scale")              # 23
+    b.outport("material", per_mm)                                 # 24
+
+    b.outport("sigma_out", sigma)                                 # 25
+    b.outport("roughness_out", roughness)                         # 26
+    b.outport("peak_out", peak)                                   # 27
+    b.outport("verdict_out", verdict)                             # 28
+    return b.build()

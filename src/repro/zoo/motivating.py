@@ -1,0 +1,36 @@
+"""The paper's motivating example (Figures 1 and 5).
+
+A "same" convolution: the Convolution block produces the full-padding
+result (n + m - 1 elements), and a Selector keeps the central window so the
+output has the input's length.  Everything the Selector discards — the
+ramp-up/ramp-down edges — is redundant work in every baseline generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+
+def build(n: int = 60, kernel_size: int = 11) -> Model:
+    """Same-convolution model: Conv -> Selector -> Gain -> Outport.
+
+    With the defaults the Convolution output has indices [0, 69] and the
+    Selector keeps [5, 64] — mirroring Figure 5's [0, 59] -> [5, 54]
+    narration (the paper's sizes differ by a constant; the structure is
+    identical).
+    """
+    if kernel_size % 2 == 0 or kernel_size < 3:
+        raise ValueError("kernel_size must be odd and >= 3")
+    b = ModelBuilder("Convolution")
+    u = b.inport("u", shape=(n,))
+    taps = np.hanning(kernel_size)
+    kernel = b.constant("kernel", taps / taps.sum())
+    conv = b.convolution(u, kernel, name="conv")
+    half = (kernel_size - 1) // 2
+    same = b.selector(conv, start=half, end=half + n - 1, name="sel")
+    amp = b.gain(same, 2.0, name="amp")
+    b.outport("y", amp)
+    return b.build()

@@ -1,0 +1,70 @@
+"""Simpson — numerical integration model (Table 1: 30 blocks).
+
+Composite Simpson's rule over a sampled integrand.  The samples arrive on
+a 129-point grid but the integral is taken over the first 65 nodes only
+(Selector), and the rule weights odd and even interior nodes differently —
+expressed with *stride* Selectors, which give the upstream per-parity
+scaling blocks genuinely discontinuous calculation ranges (the paper's §5
+threat about discontinuous ranges; exercised by ablation A2).
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+GRID = 129
+NODES = 65  # integration window [0, 64]; even count of panels
+H = 0.01
+
+
+def build() -> Model:
+    b = ModelBuilder("Simpson")
+
+    x = b.inport("samples", shape=(GRID,))                      # 1
+
+    # Integrand evaluation f(x) = x * sin(x) + 0.1 * x^2 on the full grid.
+    sin_x = b.trig(x, "sin", name="sin_x")                      # 2
+    x_sin = b.product(x, sin_x, name="x_sin")                   # 3
+    x_sq = b.math(x, "square", name="x_sq")                     # 4
+    x_sq_s = b.gain(x_sq, 0.1, name="x_sq_scale")               # 5
+    f = b.add(x_sin, x_sq_s, name="integrand")                  # 6
+
+    # Integration window: first 65 nodes of the 129-point grid.
+    window = b.selector(f, start=0, end=NODES - 1, name="window")  # 7
+
+    # Per-parity pre-scaling (distinct calibration of ADC banks).
+    odd_bank = b.gain(window, 1.0 + 1e-4, name="odd_bank")      # 8
+    even_bank = b.gain(window, 1.0 - 1e-4, name="even_bank")    # 9
+
+    # Simpson weights via stride selectors.
+    odd_nodes = b.selector(odd_bank, start=1, end=NODES - 2, stride=2,
+                           name="odd_nodes")                    # 10
+    even_nodes = b.selector(even_bank, start=2, end=NODES - 3, stride=2,
+                            name="even_nodes")                  # 11
+    first = b.selector(window, start=0, end=0, name="first_node")  # 12
+    last = b.selector(window, start=NODES - 1, end=NODES - 1,
+                      name="last_node")                         # 13
+
+    odd_sum = b.sum_of_elements(odd_nodes, name="odd_sum")      # 14
+    even_sum = b.sum_of_elements(even_nodes, name="even_sum")   # 15
+    odd_term = b.gain(odd_sum, 4.0 * H / 3.0, name="odd_term")  # 16
+    even_term = b.gain(even_sum, 2.0 * H / 3.0, name="even_term")  # 17
+    ends = b.add(first, last, name="ends")                      # 18
+    end_term = b.gain(ends, H / 3.0, name="end_term")           # 19
+    integral = b.add(odd_term, even_term, end_term,
+                     name="simpson_sum")                        # 20
+    calibrated = b.gain(integral, 1.0, name="unit_scale")       # 21
+    b.outport("integral", calibrated)                           # 22
+
+    # Error estimate: compare against the trapezoid rule on the window.
+    interior = b.selector(window, start=1, end=NODES - 2,
+                          name="trap_interior")                 # 22
+    trap_sum = b.sum_of_elements(interior, name="trap_sum")     # 23
+    trap_mid = b.gain(trap_sum, H, name="trap_mid")             # 24
+    trap_ends = b.gain(ends, H / 2.0, name="trap_ends")         # 25
+    trapezoid = b.add(trap_mid, trap_ends, name="trapezoid")    # 26
+    error = b.sub(calibrated, trapezoid, name="richardson")     # 28
+    error_abs = b.abs(error, name="error_abs")                  # 29
+    b.outport("error", error_abs)                               # 30
+    return b.build()

@@ -1,0 +1,74 @@
+"""Determinism: the entire pipeline must be reproducible bit-for-bit.
+
+Embedded code generators live in certification workflows where the same
+model must always produce the same code; and this repo's experiment
+numbers must be reproducible run to run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import emit_c, make_generator
+from repro.eval.runner import clear_caches, measure
+from repro.model.mdl import model_to_mdl
+from repro.model.slx import model_to_xml
+from repro.sim.simulator import random_inputs, simulate
+from repro.zoo import TABLE1, build_model
+
+MODEL_IDS = [e.name for e in TABLE1]
+GENERATORS = ("simulink", "dfsynth", "hcg", "frodo", "frodo-fn",
+              "frodo-fused", "frodo-reuse")
+
+
+@pytest.mark.parametrize("model_name", ["AudioProcess", "Kalman", "Simpson",
+                                        "HT", "Decryption"])
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_c_emission_is_deterministic(model_name, generator):
+    def emit():
+        model = build_model(model_name)
+        return emit_c(make_generator(generator).generate(model).program)
+    assert emit() == emit()
+
+
+@pytest.mark.parametrize("model_name", ["HighPass", "Maintenance"])
+def test_container_serialization_is_deterministic(model_name):
+    assert model_to_xml(build_model(model_name)) \
+        == model_to_xml(build_model(model_name))
+    assert model_to_mdl(build_model(model_name)) \
+        == model_to_mdl(build_model(model_name))
+
+
+def test_zoo_builders_are_deterministic():
+    for entry in TABLE1:
+        a, b = entry.builder(), entry.builder()
+        assert list(a.blocks) == list(b.blocks)
+        assert a.connections == b.connections
+
+
+def test_random_inputs_are_seeded():
+    model = build_model("Simpson")
+    a = random_inputs(model, seed=5)
+    b = random_inputs(model, seed=5)
+    c = random_inputs(model, seed=6)
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key])
+    assert any(not np.array_equal(a[k], c[k]) for k in a)
+
+
+def test_simulation_is_deterministic():
+    model = build_model("Kalman")
+    inputs = random_inputs(model, seed=2)
+    a = simulate(model, inputs, steps=4)
+    b = simulate(model, inputs, steps=4)
+    for key in a:
+        np.testing.assert_array_equal(np.asarray(a[key]),
+                                      np.asarray(b[key]))
+
+
+def test_measurements_are_reproducible():
+    first = measure("Simpson", "frodo", "x86-gcc")
+    clear_caches()
+    second = measure("Simpson", "frodo", "x86-gcc")
+    assert first.seconds == second.seconds
+    assert first.total_ops == second.total_ops
+    assert first.static_bytes == second.static_bytes

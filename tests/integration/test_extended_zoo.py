@@ -1,0 +1,112 @@
+"""Integration tests for the extended-zoo models (beyond Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import make_generator
+from repro.core.analysis import analyze
+from repro.core.intervals import IndexSet
+from repro.core.ranges import determine_ranges
+from repro.eval.validate import validate_generator
+from repro.ir.verify import verify_program
+from repro.model.mdl import load_mdl, save_mdl
+from repro.model.slx import load_slx, save_slx
+from repro.native import compile_and_run, find_compiler
+from repro.sim.simulator import random_inputs, simulate
+from repro.zoo import EXTENDED, build_model
+
+EXTENDED_IDS = [e.name for e in EXTENDED]
+GENERATORS = ("simulink", "dfsynth", "hcg", "frodo", "frodo-fn",
+              "frodo-coalesce", "frodo-fused", "frodo-reuse", "frodo-fold")
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+@pytest.mark.parametrize("model_name", EXTENDED_IDS)
+def test_all_generators_match_simulation(model_name, generator):
+    model = build_model(model_name)
+    report = validate_generator(model, generator, seeds=range(3), steps=2)
+    assert report.passed, report.failures
+
+
+@pytest.mark.parametrize("model_name", EXTENDED_IDS)
+def test_programs_verify_statically(model_name):
+    model = build_model(model_name)
+    for generator in GENERATORS:
+        program = make_generator(generator).generate(model).program
+        assert verify_program(program) == []
+
+
+@pytest.mark.parametrize("model_name", EXTENDED_IDS)
+def test_container_round_trips(model_name, tmp_path):
+    model = build_model(model_name)
+    for loader, saver, suffix in ((load_slx, save_slx, "slx"),
+                                  (load_mdl, save_mdl, "mdl")):
+        reloaded = loader(saver(model, tmp_path / f"m.{suffix}"))
+        inputs = random_inputs(model, seed=1)
+        a = simulate(model, inputs)
+        b = simulate(reloaded, inputs)
+        for key in a:
+            np.testing.assert_allclose(np.asarray(a[key]).ravel(),
+                                       np.asarray(b[key]).ravel(),
+                                       err_msg=f"{suffix}:{key}")
+
+
+@pytest.mark.native
+@pytest.mark.skipif(find_compiler() is None, reason="no C compiler")
+@pytest.mark.parametrize("model_name", EXTENDED_IDS)
+def test_native_binary_matches(model_name):
+    model = build_model(model_name)
+    code = make_generator("frodo").generate(model)
+    inputs = random_inputs(model, seed=4)
+    expected = simulate(model, inputs)
+    result = compile_and_run(code, inputs)
+    for key in expected:
+        np.testing.assert_allclose(np.asarray(result.outputs[key]).ravel(),
+                                   np.asarray(expected[key]).ravel(),
+                                   rtol=1e-9, atol=1e-12)
+
+
+class TestBatteryMonitorRanges:
+    """The model was designed to exercise specific mapping behaviours."""
+
+    def setup_method(self):
+        self.model = build_model("BatteryMonitor")
+        self.analyzed = analyze(self.model)
+        self.ranges = determine_ranges(self.analyzed)
+
+    def test_assignment_window_excluded_upstream(self):
+        """Cells overwritten by the calibration patch are never computed
+        by the conditioning chain (the Assignment dual-truncation)."""
+        rng = self.ranges.output_range["telemetry_q"]
+        patch = IndexSet.interval(28, 32)
+        assert (rng & patch).is_empty
+
+    def test_index_port_probe_keeps_soc_full(self):
+        """The runtime-index Selector forces a conservative full range on
+        its data input (the Figure 3 IndexPort property)."""
+        soc = self.ranges.output_range["ocv_soc"]
+        assert soc == IndexSet.full(64)
+
+    def test_conditioning_chain_trimmed(self):
+        rng = self.ranges.output_range["dither_gate"]
+        assert rng.size < 64
+        assert "dither_gate" in self.ranges.optimizable
+
+    def test_contactor_decision_is_binary(self):
+        out = simulate(self.model, random_inputs(self.model, seed=0))
+        assert float(out["contactor_out"]) in (0.0, 1.0)
+
+    def test_soc_monotone_in_voltage(self):
+        """Higher cell voltages must not lower reported SoC."""
+        inputs = random_inputs(self.model, seed=0)
+        low = dict(inputs)
+        low["cell_volts"] = np.full(64, 3.5)
+        high = dict(inputs)
+        high["cell_volts"] = np.full(64, 4.0)
+        soc_low = np.asarray(simulate(self.model, low)["soc_report"])
+        soc_high = np.asarray(simulate(self.model, high)["soc_report"])
+        # The calibration patch overwrites cells 28..31, so compare only
+        # unpatched positions of the reporting window [24, 40).
+        mask = np.ones(16, dtype=bool)
+        mask[4:8] = False
+        assert np.all(soc_high.ravel()[mask] >= soc_low.ravel()[mask])

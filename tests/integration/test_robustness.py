@@ -1,0 +1,154 @@
+"""Robustness: error paths, defensive checks, and scalability."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import BlockSpec, Signal, register
+from repro.codegen import FrodoGenerator
+from repro.core.analysis import analyze
+from repro.core.intervals import IndexSet
+from repro.core.ranges import determine_ranges, determine_ranges_worklist
+from repro.errors import AnalysisError, ReproError
+from repro.model.builder import ModelBuilder
+
+
+class TestBrokenSpecContracts:
+    """Algorithm 1 validates what the property library hands back."""
+
+    def _register_once(self, cls):
+        from repro.blocks.base import _REGISTRY
+        if cls().type_name not in _REGISTRY:
+            register(cls)
+
+    def test_overwide_calculation_range_detected(self):
+        class OverwideSpec(BlockSpec):
+            type_name = "TestOverwide"
+
+            def infer(self, block, in_sigs):
+                return Signal((4,), "float64")
+
+            def step(self, block, inputs, state):
+                return np.zeros(4)
+
+            def required_output_range(self, block, demanded, out_sig):
+                return IndexSet.interval(0, 99)  # wider than the signal
+
+            def input_ranges(self, block, out_range, in_sigs, out_sig):
+                return [out_range.clamp(0, in_sigs[0].size)]
+
+            def emit(self, block, ctx):
+                pass
+        self._register_once(OverwideSpec)
+        b = ModelBuilder("broken")
+        u = b.inport("u", shape=(4,))
+        x = b.block("TestOverwide", [u], name="x")
+        b.outport("y", x)
+        with pytest.raises(AnalysisError):
+            determine_ranges(analyze(b.build()))
+
+    def test_wrong_mapping_arity_detected(self):
+        class WrongAritySpec(BlockSpec):
+            type_name = "TestWrongArity"
+
+            def infer(self, block, in_sigs):
+                return in_sigs[0]
+
+            def step(self, block, inputs, state):
+                return np.asarray(inputs[0])
+
+            def input_ranges(self, block, out_range, in_sigs, out_sig):
+                return []  # forgot the input
+
+            def emit(self, block, ctx):
+                pass
+        self._register_once(WrongAritySpec)
+        b = ModelBuilder("broken2")
+        u = b.inport("u", shape=(4,))
+        x = b.block("TestWrongArity", [u], name="x")
+        b.outport("y", x)
+        with pytest.raises(AnalysisError):
+            determine_ranges(analyze(b.build()))
+
+
+class TestErrorHierarchy:
+    def test_all_errors_share_base(self):
+        from repro import errors
+        for name in ("ModelError", "SlxFormatError", "ValidationError",
+                     "AnalysisError", "CodegenError", "SimulationError",
+                     "NativeToolchainError"):
+            assert issubclass(getattr(errors, name), ReproError)
+
+    def test_public_api_reexports_errors(self):
+        import repro
+        assert repro.ValidationError is not None
+        assert issubclass(repro.CodegenError, repro.ReproError)
+
+
+@pytest.mark.slow
+class TestScalability:
+    def test_wide_model_full_pipeline(self):
+        """A 64-channel Maintenance-scale model (~300 blocks) runs the
+        whole pipeline — analyze, ranges (worklist), generate, execute —
+        and FRODO still eliminates the dormant channels."""
+        from repro.ir.interp import VirtualMachine
+        from repro.sim.simulator import random_inputs, simulate
+
+        channels, slot = 64, 8
+        b = ModelBuilder("wide")
+        frame = b.inport("frame", shape=(channels * slot,))
+        conditioned = b.gain(frame, 1.01, name="fe")
+        actives = []
+        for ch in range(channels):
+            sel = b.selector(conditioned, start=ch * slot,
+                             end=(ch + 1) * slot - 1, name=f"c{ch}_sel")
+            sq = b.math(sel, "square", name=f"c{ch}_sq")
+            energy = b.mean(sq, name=f"c{ch}_e")
+            scaled = b.gain(energy, 0.5, name=f"c{ch}_g")
+            if ch % 2 == 0:
+                actives.append(scaled)
+            else:
+                b.terminator(scaled, name=f"c{ch}_t")
+        vec = b.concatenate(*actives, name="vec")
+        b.outport("y", vec)
+        model = b.build()
+        assert model.block_count > 250
+
+        analyzed = analyze(model)
+        ranges = determine_ranges_worklist(analyzed)
+        assert ranges.output_range["c1_sq"].is_empty       # dormant
+        assert ranges.output_range["fe"].size == channels * slot // 2
+
+        code = FrodoGenerator().generate(model)
+        inputs = random_inputs(model, seed=0)
+        expected = simulate(model, inputs)["y"]
+        got = code.map_outputs(VirtualMachine(code.program).run(
+            code.map_inputs(inputs)).outputs)["y"]
+        np.testing.assert_allclose(np.asarray(got).ravel(),
+                                   np.asarray(expected).ravel())
+
+    def test_deep_model_generates(self):
+        """500 chained stages generate and execute without recursion
+        issues in scheduling, emission, or the VM."""
+        from repro.ir.interp import VirtualMachine
+        from repro.sim.simulator import random_inputs, simulate
+
+        b = ModelBuilder("deep")
+        ref = b.inport("u", shape=(4,))
+        for i in range(500):
+            ref = b.bias(ref, 0.001, name=f"s{i}")
+        b.outport("y", ref)
+        model = b.build()
+
+        generator = FrodoGenerator()
+
+        class WorklistFrodo(FrodoGenerator):
+            def compute_ranges(self, analyzed):
+                return determine_ranges_worklist(analyzed)
+        del generator
+        code = WorklistFrodo().generate(model)
+        inputs = random_inputs(model, seed=0)
+        expected = simulate(model, inputs)["y"]
+        got = code.map_outputs(VirtualMachine(code.program).run(
+            code.map_inputs(inputs)).outputs)["y"]
+        np.testing.assert_allclose(np.asarray(got).ravel(),
+                                   np.asarray(expected).ravel())

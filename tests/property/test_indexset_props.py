@@ -1,0 +1,110 @@
+"""Property-based tests: IndexSet must behave as a set of integers.
+
+Every operation is checked against the reference implementation on Python
+``set`` — the algebra is only trustworthy if it agrees with naive sets on
+arbitrary inputs.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import IndexSet
+
+# Raw interval lists (possibly overlapping, unsorted, empty).
+intervals = st.lists(
+    st.tuples(st.integers(0, 80), st.integers(0, 80)).map(
+        lambda t: (min(t), max(t))),
+    max_size=8,
+)
+index_sets = intervals.map(lambda iv: IndexSet(tuple(iv)))
+
+
+def as_set(s: IndexSet) -> set[int]:
+    return set(s)
+
+
+@given(index_sets)
+def test_canonical_form_is_sorted_disjoint(s):
+    prev_stop = None
+    for start, stop in s.intervals:
+        assert start < stop
+        if prev_stop is not None:
+            assert start > prev_stop  # strictly disjoint (coalesced)
+        prev_stop = stop
+
+
+@given(index_sets)
+def test_size_matches_enumeration(s):
+    assert s.size == len(as_set(s))
+
+
+@given(index_sets, index_sets)
+def test_union_matches_sets(a, b):
+    assert as_set(a | b) == as_set(a) | as_set(b)
+
+
+@given(index_sets, index_sets)
+def test_intersection_matches_sets(a, b):
+    assert as_set(a & b) == as_set(a) & as_set(b)
+
+
+@given(index_sets, index_sets)
+def test_difference_matches_sets(a, b):
+    assert as_set(a - b) == as_set(a) - as_set(b)
+
+
+@given(index_sets, index_sets)
+def test_union_commutes(a, b):
+    assert (a | b) == (b | a)
+
+
+@given(index_sets, index_sets, index_sets)
+def test_union_associates(a, b, c):
+    assert ((a | b) | c) == (a | (b | c))
+
+
+@given(index_sets, index_sets)
+def test_demorgan_within_span(a, b):
+    universe = IndexSet.interval(0, 100)
+    lhs = universe - (a | b)
+    rhs = (universe - a) & (universe - b)
+    assert lhs == rhs
+
+
+@given(index_sets, st.integers(-50, 50))
+def test_shift_is_translation(s, offset):
+    assert as_set(s.shift(offset)) == {i + offset for i in as_set(s)}
+
+
+@given(index_sets, st.integers(0, 10), st.integers(0, 10))
+def test_dilate_covers_window_pullback(s, left, right):
+    """Dilation must contain exactly the union of per-element windows."""
+    expected = set()
+    for i in as_set(s):
+        expected.update(range(i - left, i + right + 1))
+    assert as_set(s.dilate(left, right)) == expected
+
+
+@given(index_sets, st.integers(0, 60), st.integers(0, 60))
+def test_clamp_bounds(s, lo_raw, hi_raw):
+    lo, hi = min(lo_raw, hi_raw), max(lo_raw, hi_raw)
+    clamped = s.clamp(lo, hi)
+    assert as_set(clamped) == {i for i in as_set(s) if lo <= i < hi}
+
+
+@given(index_sets, index_sets)
+def test_covers_iff_subset(a, b):
+    assert a.covers(b) == as_set(b).issubset(as_set(a))
+
+
+@given(index_sets)
+def test_round_trip_through_indices(s):
+    assert IndexSet.from_indices(iter(s)) == s
+
+
+@given(index_sets)
+def test_runs_partition_the_set(s):
+    total = []
+    for start, stop in s.runs():
+        total.extend(range(start, stop))
+    assert sorted(total) == sorted(as_set(s))
+    assert len(total) == len(set(total))

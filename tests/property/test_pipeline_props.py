@@ -1,0 +1,148 @@
+"""Property-based tests over randomly structured models.
+
+Hypothesis builds random dataflow chains from the block vocabulary
+(elementwise / truncation / window / reduction stages with random
+parameters) and checks the pipeline-wide invariants:
+
+* every generator's VM output equals the reference simulation;
+* FRODO's calculation ranges are sound (never wider than full, and the
+  generated code still matches) and effective (never more element ops
+  than the full-range baseline);
+* `.slx` round-trips preserve semantics.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.codegen import DFSynthGenerator, FrodoGenerator, make_generator
+from repro.core.analysis import analyze
+from repro.core.ranges import determine_ranges
+from repro.ir.interp import VirtualMachine
+from repro.model.builder import ModelBuilder
+from repro.model.slx import load_slx, save_slx
+from repro.sim.simulator import random_inputs, simulate
+
+
+@st.composite
+def chain_models(draw):
+    """A random Inport -> stage* -> Outport chain, size-aware."""
+    size = draw(st.integers(8, 24))
+    n_stages = draw(st.integers(1, 6))
+    b = ModelBuilder("random_chain")
+    ref = b.inport("u", shape=(size,))
+    current = size
+    for i in range(n_stages):
+        kind = draw(st.sampled_from(
+            ["gain", "bias", "abs", "square", "selector", "pad", "conv",
+             "difference", "cumsum", "stride"]))
+        if kind == "gain":
+            ref = b.gain(ref, draw(st.floats(-2, 2, allow_nan=False)),
+                         name=f"s{i}")
+        elif kind == "bias":
+            ref = b.bias(ref, draw(st.floats(-1, 1, allow_nan=False)),
+                         name=f"s{i}")
+        elif kind == "abs":
+            ref = b.abs(ref, name=f"s{i}")
+        elif kind == "square":
+            ref = b.math(ref, "square", name=f"s{i}")
+        elif kind == "selector" and current >= 4:
+            start = draw(st.integers(0, current - 3))
+            end = draw(st.integers(start + 1, current - 1))
+            ref = b.selector(ref, start=start, end=end, name=f"s{i}")
+            current = end - start + 1
+        elif kind == "stride" and current >= 6:
+            stride = draw(st.integers(2, 3))
+            ref = b.selector(ref, start=0, end=current - 1, stride=stride,
+                             name=f"s{i}")
+            current = len(range(0, current, stride))
+        elif kind == "pad":
+            before = draw(st.integers(0, 3))
+            after = draw(st.integers(0, 3))
+            ref = b.pad(ref, before=before, after=after,
+                        value=draw(st.floats(-1, 1, allow_nan=False)),
+                        name=f"s{i}")
+            current += before + after
+        elif kind == "conv" and current >= 6:
+            m = draw(st.integers(2, min(5, current)))
+            taps = np.linspace(0.1, 1.0, m)
+            k = b.constant(f"k{i}", taps)
+            ref = b.convolution(ref, k, name=f"s{i}")
+            current += m - 1
+        elif kind == "difference" and current >= 3:
+            ref = b.difference(ref, name=f"s{i}")
+            current -= 1
+        elif kind == "cumsum":
+            ref = b.cumsum(ref, name=f"s{i}")
+        else:
+            ref = b.gain(ref, 1.5, name=f"s{i}")
+    b.outport("y", ref)
+    return b.build()
+
+
+common = settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@common
+@given(chain_models(), st.integers(0, 10))
+def test_all_generators_match_simulation(model, seed):
+    inputs = random_inputs(model, seed=seed)
+    expected = np.asarray(simulate(model, inputs)["y"]).ravel()
+    for generator in ("simulink", "dfsynth", "hcg", "frodo",
+                      "frodo-direct", "frodo-fn", "frodo-coalesce"):
+        code = make_generator(generator).generate(model)
+        got = code.map_outputs(VirtualMachine(code.program).run(
+            code.map_inputs(inputs)).outputs)["y"]
+        np.testing.assert_allclose(np.asarray(got).ravel(), expected,
+                                   rtol=1e-9, atol=1e-9,
+                                   err_msg=f"{generator} diverged")
+
+
+@common
+@given(chain_models())
+def test_ranges_are_sound_and_bounded(model):
+    analyzed = analyze(model)
+    ranges = determine_ranges(analyzed)
+    for name, rng in ranges.output_range.items():
+        full = analyzed.signal_of(name).full_range()
+        assert full.covers(rng)
+        assert (name, 0) not in ranges.input_demand or \
+            analyzed.signal_of(analyzed.drivers[name][0][0]) \
+            .full_range().covers(ranges.input_demand[(name, 0)])
+
+
+@common
+@given(chain_models())
+def test_frodo_never_does_more_work(model):
+    inputs = random_inputs(model, seed=0)
+    frodo = FrodoGenerator().generate(model)
+    baseline = DFSynthGenerator().generate(model)
+    ops_frodo = VirtualMachine(frodo.program).run(
+        frodo.map_inputs(inputs)).counts.total.total_element_ops
+    ops_base = VirtualMachine(baseline.program).run(
+        baseline.map_inputs(inputs)).counts.total.total_element_ops
+    assert ops_frodo <= ops_base
+
+
+@common
+@given(chain_models())
+def test_direct_only_between_frodo_and_full(model):
+    """The ablation is monotone: direct-only ranges cover full-recursion
+    ranges and are covered by the no-opt policy."""
+    analyzed = analyze(model)
+    recursive = determine_ranges(analyzed)
+    direct = determine_ranges(analyzed, direct_only=True)
+    for name in recursive.output_range:
+        assert direct.output_range[name].covers(recursive.output_range[name])
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(chain_models(), st.integers(0, 5))
+def test_slx_round_trip_preserves_outputs(tmp_path_factory, model, seed):
+    path = tmp_path_factory.mktemp("slx") / "m.slx"
+    reloaded = load_slx(save_slx(model, path))
+    inputs = random_inputs(model, seed=seed)
+    a = np.asarray(simulate(model, inputs)["y"]).ravel()
+    b = np.asarray(simulate(reloaded, inputs)["y"]).ravel()
+    np.testing.assert_allclose(a, b)

@@ -1,0 +1,65 @@
+"""Property tests for shape-aware regions (the 2-D mapping machinery)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import IndexSet, Region
+
+shapes = st.tuples(st.integers(1, 8), st.integers(1, 8))
+
+
+@st.composite
+def regions(draw):
+    shape = draw(shapes)
+    size = shape[0] * shape[1]
+    indices = draw(st.sets(st.integers(0, size - 1), max_size=size))
+    return Region(shape, IndexSet.from_indices(indices))
+
+
+@given(regions())
+def test_rows_cols_cover_all_elements(region):
+    rows, cols = region.rows_touched(), region.cols_touched()
+    _, width = region._dims2()
+    for flat in region.indices:
+        assert flat // width in rows
+        assert flat % width in cols
+
+
+@given(regions())
+def test_rect_hull_covers_region(region):
+    """The row×col rectangle is the smallest axis-aligned cover."""
+    hull = Region.from_rows_cols(region.shape, region.rows_touched(),
+                                 region.cols_touched())
+    assert hull.indices.covers(region.indices)
+
+
+@given(regions())
+def test_rect_hull_is_exactly_the_product(region):
+    hull = Region.from_rows_cols(region.shape, region.rows_touched(),
+                                 region.cols_touched())
+    _, width = region._dims2()
+    expected = {r * width + c
+                for r in region.rows_touched()
+                for c in region.cols_touched()}
+    assert set(hull.indices) == expected
+
+
+@given(shapes, st.data())
+def test_from_rows_cols_clamps_out_of_range(shape, data):
+    rows = IndexSet.from_indices(
+        data.draw(st.sets(st.integers(-3, shape[0] + 3), max_size=6)))
+    cols = IndexSet.from_indices(
+        data.draw(st.sets(st.integers(-3, shape[1] + 3), max_size=6)))
+    region = Region.from_rows_cols(shape, rows, cols)
+    size = shape[0] * shape[1]
+    assert IndexSet.full(size).covers(region.indices)
+
+
+@given(regions())
+def test_full_iff_all_indices(region):
+    assert region.is_full == (region.indices.size == region.size_limit)
+
+
+@given(shapes)
+def test_empty_and_full_constructors(shape):
+    assert Region.empty(shape).is_empty
+    assert Region.full(shape).is_full

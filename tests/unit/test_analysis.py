@@ -1,0 +1,155 @@
+"""Unit tests for model analysis: validation, typing, scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import analyze
+from repro.errors import AnalysisError, ValidationError
+from repro.model.block import Block
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+
+def pipeline_model():
+    b = ModelBuilder("pipe")
+    u = b.inport("u", shape=(8,))
+    g = b.gain(u, 2.0, name="g")
+    s = b.selector(g, start=1, end=6, name="s")
+    b.outport("y", s)
+    return b.build()
+
+
+class TestScheduling:
+    def test_schedule_respects_dataflow(self):
+        analyzed = analyze(pipeline_model())
+        order = analyzed.schedule
+        assert order.index("u") < order.index("g") < order.index("s") \
+            < order.index("y")
+
+    def test_all_blocks_scheduled_once(self):
+        analyzed = analyze(pipeline_model())
+        assert sorted(analyzed.schedule) == sorted(analyzed.model.blocks)
+
+    def test_delay_breaks_cycles(self):
+        b = ModelBuilder("loop")
+        u = b.inport("u", shape=(2,))
+        prev = b.block("UnitDelay", name="prev", shape=(2,),
+                       dtype="float64", initial=0.0)
+        acc = b.add(u, prev, name="acc")
+        b.model.connect(acc, prev)
+        b.outport("y", acc)
+        analyzed = analyze(b.build())
+        assert analyzed.schedule.index("prev") < analyzed.schedule.index("acc")
+
+    def test_algebraic_loop_rejected(self):
+        m = Model("alg")
+        m.add_block(Block("a", "Gain", {"gain": 1.0}))
+        m.add_block(Block("b", "Gain", {"gain": 1.0}))
+        m.connect("a", "b")
+        m.connect("b", "a")
+        with pytest.raises(AnalysisError):
+            analyze(m)
+
+    def test_deterministic_schedule(self):
+        a = analyze(pipeline_model()).schedule
+        b = analyze(pipeline_model()).schedule
+        assert a == b
+
+
+class TestTyping:
+    def test_signals_propagate(self):
+        analyzed = analyze(pipeline_model())
+        assert analyzed.signal_of("u").shape == (8,)
+        assert analyzed.signal_of("g").shape == (8,)
+        assert analyzed.signal_of("s").shape == (6,)
+
+    def test_dtype_propagation(self):
+        b = ModelBuilder("dtypes")
+        u = b.inport("u", shape=(4,), dtype="uint32")
+        k = b.constant("mask", np.full(4, 0xFF, dtype="uint32"))
+        x = b.bitwise(u, k, op="AND", name="x")
+        b.outport("y", x)
+        analyzed = analyze(b.build())
+        assert analyzed.signal_of("x").dtype == "uint32"
+
+    def test_undriven_port_rejected(self):
+        m = Model("gap")
+        m.add_block(Block("u", "Inport", {"shape": (2,)}))
+        m.add_block(Block("s", "Add", {"signs": "++"}))
+        m.add_block(Block("y", "Outport", {}))
+        m.connect("u", "s", dst_port=1)  # port 0 left undriven
+        m.connect("s", "y")
+        with pytest.raises(ValidationError):
+            analyze(m)
+
+    def test_unsupported_block_type_rejected(self):
+        m = Model("weird")
+        m.add_block(Block("u", "Inport", {"shape": ()}))
+        m.add_block(Block("x", "QuantumGate", {}))
+        m.connect("u", "x")
+        with pytest.raises(ValidationError):
+            analyze(m)
+
+    def test_secondary_output_port_rejected(self):
+        m = Model("ports")
+        m.add_block(Block("u", "Inport", {"shape": ()}))
+        m.add_block(Block("y", "Outport", {}))
+        m.connections.append(
+            __import__("repro.model.block", fromlist=["Connection"])
+            .Connection("u", 1, "y", 0))
+        with pytest.raises(ValidationError):
+            analyze(m)
+
+    def test_delay_in_cycle_requires_shape(self):
+        b = ModelBuilder("loop")
+        u = b.inport("u", shape=(2,))
+        prev = b.block("UnitDelay", name="prev", initial=0.0)  # no shape
+        acc = b.add(u, prev, name="acc")
+        b.model.connect(acc, prev)
+        b.outport("y", acc)
+        with pytest.raises(AnalysisError):
+            analyze(b.build())
+
+    def test_delay_shape_mismatch_detected(self):
+        b = ModelBuilder("loop")
+        u = b.inport("u", shape=(2,))
+        prev = b.block("UnitDelay", name="prev", shape=(3,),
+                       dtype="float64", initial=0.0)
+        acc = b.add(u, prev, name="acc")  # 2 vs 3 mismatch surfaces here
+        b.model.connect(acc, prev)
+        b.outport("y", acc)
+        with pytest.raises(ValidationError):
+            analyze(b.build())
+
+
+class TestAnalyzedAccessors:
+    def test_inports_outports(self):
+        analyzed = analyze(pipeline_model())
+        assert [blk.name for blk in analyzed.inports] == ["u"]
+        assert [blk.name for blk in analyzed.outports] == ["y"]
+
+    def test_drivers_ordering(self):
+        b = ModelBuilder("multi")
+        x = b.inport("x", shape=(3,))
+        y = b.inport("y2", shape=(3,))
+        s = b.sub(x, y2 := y, name="s")
+        b.outport("out", s)
+        analyzed = analyze(b.build())
+        assert analyzed.drivers["s"] == [("x", 0), ("y2", 0)]
+
+    def test_subsystems_flattened_before_analysis(self):
+        inner = Model("inner")
+        inner.add_block(Block("in1", "Inport", {"port": 1}))
+        inner.add_block(Block("amp", "Gain", {"gain": 2.0}))
+        inner.add_block(Block("out1", "Outport", {"port": 1}))
+        inner.connect("in1", "amp")
+        inner.connect("amp", "out1")
+        outer = Model("outer")
+        outer.add_block(Block("src", "Inport", {"shape": (4,)}))
+        outer.add_subsystem(Block("sub", "SubSystem"), inner)
+        outer.add_block(Block("dst", "Outport"))
+        outer.connect("src", "sub")
+        outer.connect("sub", "dst")
+        analyzed = analyze(outer)
+        assert "sub.amp" in analyzed.model.blocks
+        assert analyzed.signal_of("sub.amp").shape == (4,)

@@ -1,0 +1,161 @@
+"""Unit tests for stateful blocks (UnitDelay, Delay) across simulator,
+generators, and multi-step execution."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import make_generator
+from repro.errors import ValidationError
+from repro.ir.interp import VirtualMachine
+from repro.model.builder import ModelBuilder
+from repro.sim.simulator import Simulator, simulate
+
+
+def delay_chain(length: int | None = None, initial=0.0):
+    b = ModelBuilder("delay_chain")
+    u = b.inport("u", shape=(4,))
+    if length is None:
+        d = b.unit_delay(u, initial=initial, name="dly")
+    else:
+        d = b.delay(u, length=length, initial=initial, name="dly")
+    b.outport("y", d)
+    return b.build()
+
+
+class TestUnitDelaySimulation:
+    def test_first_step_outputs_initial(self):
+        model = delay_chain(initial=7.5)
+        out = simulate(model, {"u": np.ones(4)}, steps=1)["y"]
+        np.testing.assert_allclose(out, np.full(4, 7.5))
+
+    def test_second_step_outputs_previous_input(self):
+        model = delay_chain()
+        sim = Simulator(model)
+        sim.run({"u": np.arange(4.0)}, steps=2)
+        out = sim.run({"u": np.arange(4.0)}, steps=2).outputs["y"]
+        np.testing.assert_allclose(out, np.arange(4.0))
+
+    def test_vector_initial_value(self):
+        model = delay_chain(initial=np.array([1.0, 2.0, 3.0, 4.0]))
+        out = simulate(model, {"u": np.zeros(4)}, steps=1)["y"]
+        np.testing.assert_allclose(out, [1, 2, 3, 4])
+
+    def test_initial_size_mismatch_rejected(self):
+        model = delay_chain(initial=np.array([1.0, 2.0]))
+        with pytest.raises(ValidationError):
+            simulate(model, {"u": np.zeros(4)})
+
+
+class TestDelayN:
+    def test_three_step_delay(self):
+        model = delay_chain(length=3, initial=-1.0)
+        sim = Simulator(model)
+        sim.reset()
+        outs = []
+        for step in range(5):
+            values = sim.step({"u": np.full(4, float(step))})
+            outs.append(float(values["dly"][0]))
+        # Outputs: initial, initial, initial, u(0), u(1).
+        assert outs == [-1.0, -1.0, -1.0, 0.0, 1.0]
+
+    def test_length_must_be_positive(self):
+        model = delay_chain(length=0)
+        with pytest.raises(ValidationError):
+            simulate(model, {"u": np.zeros(4)})
+
+
+@pytest.mark.parametrize("generator", ["simulink", "dfsynth", "hcg", "frodo"])
+class TestGeneratedStateCode:
+    def test_unit_delay_matches_simulator_over_steps(self, generator):
+        model = delay_chain(initial=2.0)
+        code = make_generator(generator).generate(model)
+        vm = VirtualMachine(code.program)
+        sim = Simulator(model)
+        inputs = {"u": np.array([1.0, -2.0, 3.0, 0.5])}
+        for steps in (1, 2, 5):
+            expected = sim.run(inputs, steps=steps).outputs["y"]
+            got = code.map_outputs(vm.run(code.map_inputs(inputs),
+                                          steps=steps).outputs)["y"]
+            np.testing.assert_allclose(got, expected)
+
+    def test_delay3_matches_simulator_over_steps(self, generator):
+        model = delay_chain(length=3, initial=0.25)
+        code = make_generator(generator).generate(model)
+        vm = VirtualMachine(code.program)
+        sim = Simulator(model)
+        inputs = {"u": np.array([4.0, 3.0, 2.0, 1.0])}
+        for steps in (1, 3, 4, 7):
+            expected = sim.run(inputs, steps=steps).outputs["y"]
+            got = code.map_outputs(vm.run(code.map_inputs(inputs),
+                                          steps=steps).outputs)["y"]
+            np.testing.assert_allclose(got, expected)
+
+
+class TestFeedbackLoop:
+    def _iir(self):
+        """y[t] = u + 0.5 * y[t-1] through a UnitDelay with explicit shape."""
+        b = ModelBuilder("iir")
+        u = b.inport("u", shape=(3,))
+        prev = b.block("UnitDelay", name="prev", shape=(3,),
+                       dtype="float64", initial=0.0)
+        half = b.gain(prev, 0.5, name="half")
+        acc = b.add(u, half, name="acc")
+        b.model.connect(acc, prev)
+        b.outport("y", acc)
+        return b.build()
+
+    def test_simulator_converges_geometrically(self):
+        model = self._iir()
+        sim = Simulator(model)
+        inputs = {"u": np.ones(3)}
+        out = sim.run(inputs, steps=30).outputs["y"]
+        np.testing.assert_allclose(out, np.full(3, 2.0), rtol=1e-6)
+
+    @pytest.mark.parametrize("generator", ["simulink", "frodo"])
+    def test_generated_feedback_matches(self, generator):
+        model = self._iir()
+        code = make_generator(generator).generate(model)
+        vm = VirtualMachine(code.program)
+        sim = Simulator(model)
+        inputs = {"u": np.array([1.0, -1.0, 0.5])}
+        for steps in (1, 2, 8):
+            expected = sim.run(inputs, steps=steps).outputs["y"]
+            got = code.map_outputs(vm.run(code.map_inputs(inputs),
+                                          steps=steps).outputs)["y"]
+            np.testing.assert_allclose(got, expected)
+
+    def test_loop_without_delay_rejected(self):
+        from repro.errors import AnalysisError
+        b = ModelBuilder("algebraic")
+        u = b.inport("u", shape=(2,))
+        g1 = b.gain(u, 1.0, name="g1")
+        add = b.add(g1, g1, name="acc")  # placeholder wiring
+        model = b.build()
+        # Rewire to a true algebraic loop: acc -> g2 -> acc.
+        g2 = b.gain(add, 1.0, name="g2")
+        b.model.connections[:] = [c for c in b.model.connections
+                                  if not (c.src == "g1" and c.dst == "acc")]
+        b.model.connect(g2, "acc", dst_port=0)
+        b.outport("y", add)
+        with pytest.raises(AnalysisError):
+            simulate(b.model, {"u": np.zeros(2)})
+
+
+def test_frodo_trims_delay_state_updates():
+    """A trimmed consumer after a delay shrinks the state traffic too."""
+    b = ModelBuilder("trimmed_delay")
+    u = b.inport("u", shape=(16,))
+    d = b.unit_delay(u, name="dly")
+    sel = b.selector(d, start=4, end=7, name="sel")
+    b.outport("y", sel)
+    model = b.build()
+    code = make_generator("frodo").generate(model)
+    from repro.core.intervals import IndexSet
+    assert code.ranges.output_range["dly"] == IndexSet.interval(4, 8)
+    # And the generated code still matches the simulator across steps.
+    vm = VirtualMachine(code.program)
+    sim = Simulator(model)
+    inputs = {"u": np.arange(16.0)}
+    expected = sim.run(inputs, steps=3).outputs["y"]
+    got = code.map_outputs(vm.run(code.map_inputs(inputs), steps=3).outputs)["y"]
+    np.testing.assert_allclose(got, expected)

@@ -1,0 +1,183 @@
+"""Unit tests for DSP blocks: Convolution, Difference, CumulativeSum."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import Signal, get_spec
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.ir.ops import For, If
+from repro.model.block import Block
+from tests.helpers import check_block_codegen, check_mapping_soundness
+
+VEC16 = Signal((16,))
+KER5 = Signal((5,))
+
+
+class TestConvolution:
+    def test_shape_is_full_padding(self):
+        spec = get_spec("Convolution")
+        out = spec.infer(Block("c", "Convolution", {}), [VEC16, KER5])
+        assert out.shape == (20,)
+
+    def test_semantics_match_numpy(self):
+        spec = get_spec("Convolution")
+        rng = np.random.default_rng(1)
+        u, h = rng.uniform(size=16), rng.uniform(size=5)
+        out = spec.step(Block("c", "Convolution", {}), [u, h], {})
+        np.testing.assert_allclose(out, np.convolve(u, h))
+
+    def test_kernel_longer_than_data_rejected(self):
+        spec = get_spec("Convolution")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("c", "Convolution", {}), [KER5, VEC16])
+
+    def test_integer_signals_rejected(self):
+        spec = get_spec("Convolution")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("c", "Convolution", {}),
+                          [Signal((16,), "uint32"), KER5])
+
+    def test_mapping_dilates_window(self):
+        spec = get_spec("Convolution")
+        block = Block("c", "Convolution", {})
+        data, kernel = spec.input_ranges(block, IndexSet.interval(6, 10),
+                                         [VEC16, KER5], Signal((20,)))
+        # out k needs u[k-4 .. k] clamped.
+        assert data == IndexSet.interval(2, 10)
+        assert kernel == IndexSet.full(5)
+
+    def test_mapping_clamps_at_edges(self):
+        spec = get_spec("Convolution")
+        block = Block("c", "Convolution", {})
+        data, _ = spec.input_ranges(block, IndexSet.point(0), [VEC16, KER5],
+                                    Signal((20,)))
+        assert list(data) == [0]
+
+    def test_interior_demand_needs_no_edges(self):
+        spec = get_spec("Convolution")
+        block = Block("c", "Convolution", {})
+        data, _ = spec.input_ranges(block, IndexSet.interval(4, 16),
+                                    [VEC16, KER5], Signal((20,)))
+        assert data == IndexSet.full(16)
+
+
+class TestConvolutionLoweringShapes:
+    """The paper's Figure 1/4 contrast: boundary judgments vs zoned code."""
+
+    def _program(self, generator: str):
+        from repro.codegen import make_generator
+        from tests.helpers import one_block_model
+        model = one_block_model("Convolution", [VEC16, KER5], {},
+                                select=(4, 15))  # "same" convolution
+        return make_generator(generator).generate(model).program
+
+    @staticmethod
+    def _has_if_inside_loop(program) -> bool:
+        def scan(stmts, inside):
+            for stmt in stmts:
+                if isinstance(stmt, If) and inside:
+                    return True
+                if isinstance(stmt, For) and scan(stmt.body, True):
+                    return True
+                if isinstance(stmt, If) and (scan(stmt.then, inside)
+                                             or scan(stmt.orelse, inside)):
+                    return True
+            return False
+        return scan(program.step, False)
+
+    def test_simulink_uses_boundary_judgments(self):
+        assert self._has_if_inside_loop(self._program("simulink"))
+
+    def test_frodo_is_branch_free(self):
+        assert not self._has_if_inside_loop(self._program("frodo"))
+
+    def test_dfsynth_is_branch_free_but_full(self):
+        prog_df = self._program("dfsynth")
+        assert not self._has_if_inside_loop(prog_df)
+
+    def test_frodo_emits_fewer_statements_than_dfsynth(self):
+        assert self._program("frodo").statement_count \
+            < self._program("dfsynth").statement_count
+
+
+class TestDifference:
+    def test_shape(self):
+        spec = get_spec("Difference")
+        assert spec.infer(Block("d", "Difference", {}), [VEC16]).shape == (15,)
+
+    def test_needs_two_elements(self):
+        spec = get_spec("Difference")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("d", "Difference", {}), [Signal((1,))])
+
+    def test_semantics(self):
+        spec = get_spec("Difference")
+        out = spec.step(Block("d", "Difference", {}),
+                        [np.array([1.0, 4.0, 9.0])], {})
+        np.testing.assert_allclose(out, [3.0, 5.0])
+
+    def test_mapping_needs_next_element(self):
+        spec = get_spec("Difference")
+        [rng] = spec.input_ranges(Block("d", "Difference", {}),
+                                  IndexSet.point(3), [VEC16], Signal((15,)))
+        assert list(rng) == [3, 4]
+
+
+class TestCumulativeSum:
+    def test_semantics(self):
+        spec = get_spec("CumulativeSum")
+        out = spec.step(Block("c", "CumulativeSum", {}),
+                        [np.array([1.0, 2.0, 3.0])], {})
+        np.testing.assert_allclose(out, [1.0, 3.0, 6.0])
+
+    def test_required_range_is_prefix_closed(self):
+        spec = get_spec("CumulativeSum")
+        block = Block("c", "CumulativeSum", {})
+        widened = spec.required_output_range(block, IndexSet.point(9),
+                                             Signal((16,)))
+        assert widened == IndexSet.interval(0, 10)
+
+    def test_tail_can_still_be_trimmed(self):
+        from repro.codegen import make_generator
+        from tests.helpers import one_block_model
+        model = one_block_model("CumulativeSum", [VEC16], {}, select=(0, 7))
+        code = make_generator("frodo").generate(model)
+        assert code.ranges.output_range["dut"] == IndexSet.interval(0, 8)
+
+
+@pytest.mark.parametrize("block_type,in_sigs,params,select", [
+    ("Convolution", [VEC16, KER5], {}, None),
+    ("Convolution", [VEC16, KER5], {}, (2, 17)),   # edges + interior
+    ("Convolution", [VEC16, KER5], {}, (4, 15)),   # interior only
+    ("Convolution", [VEC16, KER5], {}, (0, 1)),    # left edge only
+    ("Convolution", [VEC16, KER5], {}, (18, 19)),  # right edge only
+    ("Convolution", [Signal((16,), "complex128"), Signal((5,), "complex128")],
+     {}, None),
+    ("Difference", [VEC16], {}, None),
+    ("Difference", [VEC16], {}, (5, 9)),
+    ("CumulativeSum", [VEC16], {}, None),
+    ("CumulativeSum", [VEC16], {}, (3, 10)),
+])
+class TestCodegenAgainstSimulator:
+    def test_all_generators(self, block_type, in_sigs, params, select):
+        check_block_codegen(block_type, in_sigs, params, select=select)
+
+
+@pytest.mark.parametrize("out_range", [
+    IndexSet.full(20),
+    IndexSet.interval(4, 16),
+    IndexSet.from_indices([0, 10, 19]),
+    IndexSet.empty(),
+])
+def test_convolution_mapping_soundness(out_range):
+    block = Block("c", "Convolution", {})
+    check_mapping_soundness(block, [VEC16, KER5], out_range)
+
+
+def test_cumsum_mapping_soundness_uses_prefix():
+    block = Block("c", "CumulativeSum", {})
+    spec = get_spec("CumulativeSum")
+    widened = spec.required_output_range(block, IndexSet.interval(4, 8),
+                                         Signal((16,)))
+    check_mapping_soundness(block, [VEC16], widened)

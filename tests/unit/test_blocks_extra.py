@@ -1,0 +1,144 @@
+"""Unit tests for the extended block vocabulary (extra.py)."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import Signal, get_spec
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.model.block import Block
+from tests.helpers import check_block_codegen, check_mapping_soundness
+
+VEC10 = Signal((10,))
+U32 = Signal((10,), "uint32")
+
+
+class TestDataTypeConversion:
+    def test_float_to_uint_truncates_toward_zero(self):
+        spec = get_spec("DataTypeConversion")
+        block = Block("c", "DataTypeConversion", {"to": "uint32"})
+        out = spec.step(block, [np.array([3.9, -0.2, 1.1])], {})
+        assert out.dtype == np.dtype("uint32")
+        assert int(out[0]) == 3 and int(out[2]) == 1
+
+    def test_uint_to_float(self):
+        spec = get_spec("DataTypeConversion")
+        block = Block("c", "DataTypeConversion", {"to": "float64"})
+        out = spec.step(block, [np.array([7], dtype="uint32")], {})
+        assert out.dtype == np.dtype("float64")
+        assert float(out[0]) == 7.0
+
+    def test_bad_target_rejected(self):
+        spec = get_spec("DataTypeConversion")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("c", "DataTypeConversion", {"to": "int8"}),
+                          [VEC10])
+
+
+class TestDeadZone:
+    def test_semantics(self):
+        spec = get_spec("DeadZone")
+        block = Block("d", "DeadZone", {"lower": -1.0, "upper": 1.0})
+        out = spec.step(block, [np.array([-3.0, 0.5, 2.5])], {})
+        np.testing.assert_allclose(out, [-2.0, 0.0, 1.5])
+
+    def test_bounds_order(self):
+        spec = get_spec("DeadZone")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("d", "DeadZone", {"lower": 1.0, "upper": 0.0}),
+                          [VEC10])
+
+
+class TestQuantizer:
+    def test_semantics(self):
+        spec = get_spec("Quantizer")
+        block = Block("q", "Quantizer", {"interval": 0.5})
+        out = spec.step(block, [np.array([0.24, 0.26, -0.74])], {})
+        np.testing.assert_allclose(out, [0.0, 0.5, -0.5])
+
+    def test_half_away_from_zero(self):
+        spec = get_spec("Quantizer")
+        block = Block("q", "Quantizer", {"interval": 1.0})
+        out = spec.step(block, [np.array([0.5, 1.5, -0.5])], {})
+        np.testing.assert_allclose(out, [1.0, 2.0, -1.0])
+
+    def test_interval_positive(self):
+        spec = get_spec("Quantizer")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("q", "Quantizer", {"interval": 0.0}), [VEC10])
+
+
+class TestNorm:
+    def test_semantics(self):
+        spec = get_spec("Norm")
+        out = spec.step(Block("n", "Norm", {}), [np.array([3.0, 4.0])], {})
+        assert float(out) == pytest.approx(5.0)
+
+    def test_scalar_output_full_demand(self):
+        spec = get_spec("Norm")
+        [rng] = spec.input_ranges(Block("n", "Norm", {}), IndexSet.full(1),
+                                  [VEC10], Signal(()))
+        assert rng == IndexSet.full(10)
+
+    def test_complex_rejected(self):
+        spec = get_spec("Norm")
+        with pytest.raises(ValidationError):
+            spec.infer(Block("n", "Norm", {}), [Signal((4,), "complex128")])
+
+
+class TestInterpolation:
+    def test_matches_np_interp(self):
+        spec = get_spec("Interpolation")
+        table = np.array([0.0, 1.0, 4.0, 9.0])
+        block = Block("i", "Interpolation", {"table": table, "x0": 0.0, "dx": 1.0})
+        u = np.array([-1.0, 0.5, 2.25, 99.0])
+        out = spec.step(block, [u], {})
+        np.testing.assert_allclose(out, np.interp(u, np.arange(4.0), table))
+
+    def test_table_too_small(self):
+        spec = get_spec("Interpolation")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("i", "Interpolation", {"table": [1.0]}), [VEC10])
+
+    def test_dx_positive(self):
+        spec = get_spec("Interpolation")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("i", "Interpolation",
+                                {"table": [0.0, 1.0], "dx": 0.0}), [VEC10])
+
+
+@pytest.mark.parametrize("block_type,in_sigs,params", [
+    ("DataTypeConversion", [VEC10], {"to": "uint32"}),
+    ("DataTypeConversion", [U32], {"to": "float64"}),
+    ("DeadZone", [VEC10], {"lower": -0.5, "upper": 0.5}),
+    ("Quantizer", [VEC10], {"interval": 0.25}),
+    ("Norm", [VEC10], {}),
+    ("Interpolation", [VEC10],
+     {"table": np.linspace(-1, 1, 9) ** 3, "x0": -2.0, "dx": 0.5}),
+])
+class TestCodegenAgainstSimulator:
+    def test_all_generators(self, block_type, in_sigs, params):
+        check_block_codegen(block_type, in_sigs, params)
+
+    def test_mapping_soundness(self, block_type, in_sigs, params):
+        from repro.blocks import spec_for
+        block = Block("dut", block_type, params)
+        out_sig = spec_for(block).infer(block, in_sigs)
+        for out_range in (out_sig.full_range(),
+                          IndexSet.interval(0, max(1, out_sig.size // 2))):
+            check_mapping_soundness(block, in_sigs, out_range)
+
+
+def test_extra_blocks_trim_through_selector():
+    """Range shrinkage works through the extended vocabulary too."""
+    from repro.codegen import FrodoGenerator
+    from repro.model.builder import ModelBuilder
+    b = ModelBuilder("chain")
+    u = b.inport("u", shape=(20,))
+    dz = b.block("DeadZone", [u], name="dz", lower=-0.1, upper=0.1)
+    q = b.block("Quantizer", [dz], name="q", interval=0.5)
+    sel = b.selector(q, start=5, end=9, name="sel")
+    b.outport("y", sel)
+    code = FrodoGenerator().generate(b.build())
+    assert code.ranges.output_range["dz"] == IndexSet.interval(5, 10)
+    assert code.ranges.output_range["q"] == IndexSet.interval(5, 10)

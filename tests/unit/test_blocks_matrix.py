@@ -1,0 +1,225 @@
+"""Unit tests for matrix blocks: MatrixMultiply, Transpose, Hermitian,
+Submatrix."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import Signal, get_spec
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.model.block import Block
+from tests.helpers import check_block_codegen, check_mapping_soundness
+
+M34 = Signal((3, 4))
+M43 = Signal((4, 3))
+C44 = Signal((4, 4), "complex128")
+
+
+class TestMatrixMultiply:
+    def test_shape(self):
+        spec = get_spec("MatrixMultiply")
+        out = spec.infer(Block("m", "MatrixMultiply", {}), [M34, M43])
+        assert out.shape == (3, 3)
+
+    def test_inner_dim_mismatch(self):
+        spec = get_spec("MatrixMultiply")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("m", "MatrixMultiply", {}), [M34, M34])
+
+    def test_semantics(self):
+        spec = get_spec("MatrixMultiply")
+        rng = np.random.default_rng(0)
+        a, b = rng.uniform(size=(3, 4)), rng.uniform(size=(4, 3))
+        out = spec.step(Block("m", "MatrixMultiply", {}), [a, b], {})
+        np.testing.assert_allclose(out, a @ b)
+
+    def test_vector_times_matrix(self):
+        spec = get_spec("MatrixMultiply")
+        out = spec.infer(Block("m", "MatrixMultiply", {}),
+                         [Signal((4,)), M43])
+        assert out.shape == (1, 3)
+
+    def test_mapping_pulls_rows_and_columns(self):
+        spec = get_spec("MatrixMultiply")
+        block = Block("m", "MatrixMultiply", {})
+        # Demand out[0, 0] only -> row 0 of A, column 0 of B.
+        a_rng, b_rng = spec.input_ranges(block, IndexSet.point(0),
+                                         [M34, M43], Signal((3, 3)))
+        assert a_rng == IndexSet.interval(0, 4)       # row 0 of 3x4
+        assert sorted(b_rng) == [0, 3, 6, 9]          # column 0 of 4x3
+
+    def test_empty_demand_maps_to_empty(self):
+        spec = get_spec("MatrixMultiply")
+        a_rng, b_rng = spec.input_ranges(Block("m", "MatrixMultiply", {}),
+                                         IndexSet.empty(), [M34, M43],
+                                         Signal((3, 3)))
+        assert a_rng.is_empty and b_rng.is_empty
+
+
+class TestTransposeFamily:
+    def test_transpose_shape_and_semantics(self):
+        spec = get_spec("Transpose")
+        block = Block("t", "Transpose", {})
+        assert spec.infer(block, [M34]).shape == (4, 3)
+        a = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_allclose(spec.step(block, [a], {}), a.T)
+
+    def test_transpose_mapping_is_permutation(self):
+        spec = get_spec("Transpose")
+        block = Block("t", "Transpose", {})
+        # out flat index 1 = out[0, 1] = in[1, 0] = in flat 4 (3x4 input).
+        [rng] = spec.input_ranges(block, IndexSet.point(1), [M34], Signal((4, 3)))
+        assert list(rng) == [4]
+
+    def test_hermitian_conjugates(self):
+        spec = get_spec("Hermitian")
+        block = Block("h", "Hermitian", {})
+        a = np.array([[1 + 2j, 3 - 1j], [0 + 1j, -2j]])
+        np.testing.assert_allclose(spec.step(block, [a], {}), a.conj().T)
+
+    def test_vector_transpose(self):
+        spec = get_spec("Transpose")
+        block = Block("t", "Transpose", {})
+        out = spec.infer(block, [Signal((5,))])
+        assert out.shape == (5, 1)
+
+
+class TestSubmatrix:
+    def test_shape(self):
+        spec = get_spec("Submatrix")
+        block = Block("s", "Submatrix",
+                      {"row_start": 1, "row_end": 2, "col_start": 0, "col_end": 3})
+        assert spec.infer(block, [M34]).shape == (2, 4)
+
+    def test_window_validation(self):
+        spec = get_spec("Submatrix")
+        block = Block("s", "Submatrix",
+                      {"row_start": 0, "row_end": 5, "col_start": 0, "col_end": 0})
+        with pytest.raises(ValidationError):
+            spec.validate(block, [M34])
+
+    def test_semantics(self):
+        spec = get_spec("Submatrix")
+        block = Block("s", "Submatrix",
+                      {"row_start": 1, "row_end": 2, "col_start": 1, "col_end": 2})
+        a = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_allclose(spec.step(block, [a], {}),
+                                   a[1:3, 1:3])
+
+    def test_mapping(self):
+        spec = get_spec("Submatrix")
+        block = Block("s", "Submatrix",
+                      {"row_start": 1, "row_end": 2, "col_start": 1, "col_end": 2})
+        [rng] = spec.input_ranges(block, IndexSet.full(4), [M34], Signal((2, 2)))
+        assert sorted(rng) == [5, 6, 9, 10]
+
+
+@pytest.mark.parametrize("block_type,in_sigs,params", [
+    ("MatrixMultiply", [M34, M43], {}),
+    ("MatrixMultiply", [C44, C44], {}),
+    ("Transpose", [M34], {}),
+    ("Hermitian", [C44], {}),
+    ("Conj", [C44], {}),
+    ("Submatrix", [M34],
+     {"row_start": 0, "row_end": 1, "col_start": 1, "col_end": 3}),
+])
+class TestCodegenAgainstSimulator:
+    def test_all_generators(self, block_type, in_sigs, params):
+        check_block_codegen(block_type, in_sigs, params)
+
+    def test_mapping_soundness(self, block_type, in_sigs, params):
+        from repro.blocks import spec_for
+        block = Block("dut", block_type, params)
+        out_sig = spec_for(block).infer(block, in_sigs)
+        size = out_sig.size
+        for out_range in (IndexSet.full(size), IndexSet.point(0),
+                          IndexSet.interval(size // 2, size)):
+            check_mapping_soundness(block, in_sigs, out_range)
+
+
+def test_submatrix_trims_matmul_rows_and_cols():
+    """The HT pattern: a Submatrix consumer shrinks the MatMul range and,
+    through it, the Hermitian transpose's range."""
+    from repro.codegen import make_generator
+    from repro.model.builder import ModelBuilder
+
+    b = ModelBuilder("ht_mini")
+    a = b.inport("A", shape=(4, 4), dtype="complex128")
+    c = b.inport("B", shape=(4, 4), dtype="complex128")
+    ah = b.hermitian(a, name="ah")
+    prod = b.matmul(ah, c, name="prod")
+    quad = b.submatrix(prod, 0, 1, 0, 1, name="quad")
+    b.outport("y", quad)
+    code = make_generator("frodo").generate(b.build())
+
+    prod_range = code.ranges.output_range["prod"]
+    assert sorted(prod_range) == [0, 1, 4, 5]          # 2x2 quadrant
+    ah_range = code.ranges.output_range["ah"]
+    assert ah_range == IndexSet.interval(0, 8)          # rows 0-1 of A^H
+    assert "quad" in code.ranges.optimizable or prod_range.size < 16
+
+
+class TestDimSum:
+    def test_row_sum_semantics(self):
+        spec = get_spec("DimSum")
+        u = np.arange(12.0).reshape(3, 4)
+        out = spec.step(Block("d", "DimSum", {"dimension": "rows"}), [u], {})
+        np.testing.assert_allclose(out, u.sum(axis=0))
+
+    def test_col_sum_semantics(self):
+        spec = get_spec("DimSum")
+        u = np.arange(12.0).reshape(3, 4)
+        out = spec.step(Block("d", "DimSum", {"dimension": "cols"}), [u], {})
+        np.testing.assert_allclose(out, u.sum(axis=1))
+
+    def test_requires_matrix(self):
+        spec = get_spec("DimSum")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("d", "DimSum", {"dimension": "rows"}),
+                          [Signal((6,))])
+
+    def test_bad_dimension(self):
+        spec = get_spec("DimSum")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("d", "DimSum", {"dimension": "diag"}), [M34])
+
+    def test_row_sum_mapping_pulls_columns(self):
+        spec = get_spec("DimSum")
+        block = Block("d", "DimSum", {"dimension": "rows"})
+        [rng] = spec.input_ranges(block, IndexSet.point(2), [M34],
+                                  Signal((4,)))
+        assert sorted(rng) == [2, 6, 10]  # column 2 of a 3x4 matrix
+
+    def test_col_sum_mapping_pulls_rows(self):
+        spec = get_spec("DimSum")
+        block = Block("d", "DimSum", {"dimension": "cols"})
+        [rng] = spec.input_ranges(block, IndexSet.point(1), [M34],
+                                  Signal((3,)))
+        assert sorted(rng) == [4, 5, 6, 7]  # row 1
+
+    @pytest.mark.parametrize("dimension", ["rows", "cols"])
+    def test_codegen_all_generators(self, dimension):
+        check_block_codegen("DimSum", [M34], {"dimension": dimension})
+        check_block_codegen("DimSum", [M34], {"dimension": dimension},
+                            select=(1, 2))
+
+    @pytest.mark.parametrize("dimension", ["rows", "cols"])
+    def test_mapping_soundness(self, dimension):
+        block = Block("dut", "DimSum", {"dimension": dimension})
+        from repro.blocks import spec_for
+        out_sig = spec_for(block).infer(block, [M34])
+        for out_range in (out_sig.full_range(), IndexSet.point(0),
+                          IndexSet.from_indices([0, out_sig.size - 1])):
+            check_mapping_soundness(block, [M34], out_range)
+
+    def test_selector_trims_whole_columns(self):
+        from repro.codegen import FrodoGenerator
+        from repro.model.builder import ModelBuilder
+        b = ModelBuilder("colsum")
+        u = b.inport("u", shape=(4, 8))
+        sums = b.block("DimSum", [u], name="sums", dimension="rows")
+        sel = b.selector(sums, start=2, end=5, name="sel")
+        b.outport("y", sel)
+        code = FrodoGenerator().generate(b.build())
+        # Only columns 2..5 of the input are demanded: 4 columns x 4 rows.
+        assert code.ranges.input_demand[("sums", 0)].size == 16

@@ -1,0 +1,160 @@
+"""Unit tests for reduction blocks and integer/bitwise blocks."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import Signal, get_spec
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.model.block import Block
+from tests.helpers import check_block_codegen, check_mapping_soundness
+
+VEC9 = Signal((9,))
+U32 = Signal((9,), "uint32")
+
+
+class TestReductions:
+    def test_sum_scalar_output(self):
+        spec = get_spec("SumOfElements")
+        assert spec.infer(Block("s", "SumOfElements", {}), [VEC9]).shape == ()
+
+    def test_sum_semantics(self):
+        spec = get_spec("SumOfElements")
+        out = spec.step(Block("s", "SumOfElements", {}),
+                        [np.array([1.0, 2.0, 3.5])], {})
+        assert float(out) == pytest.approx(6.5)
+
+    def test_mean_semantics(self):
+        spec = get_spec("Mean")
+        out = spec.step(Block("m", "Mean", {}), [np.array([2.0, 4.0])], {})
+        assert float(out) == pytest.approx(3.0)
+
+    def test_product_semantics(self):
+        spec = get_spec("ProductOfElements")
+        out = spec.step(Block("p", "ProductOfElements", {}),
+                        [np.array([2.0, -3.0, 0.5])], {})
+        assert float(out) == pytest.approx(-3.0)
+
+    def test_minmax_of_elements(self):
+        spec = get_spec("MinMaxOfElements")
+        data = [np.array([3.0, -7.0, 5.0])]
+        assert float(spec.step(Block("m", "MinMaxOfElements",
+                                     {"function": "max"}), data, {})) == 5.0
+        assert float(spec.step(Block("m", "MinMaxOfElements",
+                                     {"function": "min"}), data, {})) == -7.0
+
+    def test_minmax_rejects_complex(self):
+        spec = get_spec("MinMaxOfElements")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("m", "MinMaxOfElements", {"function": "max"}),
+                          [Signal((3,), "complex128")])
+
+    def test_dot_product_semantics(self):
+        spec = get_spec("DotProduct")
+        out = spec.step(Block("d", "DotProduct", {}),
+                        [np.array([1.0, 2.0]), np.array([3.0, 4.0])], {})
+        assert float(out) == pytest.approx(11.0)
+
+    def test_dot_product_length_mismatch(self):
+        spec = get_spec("DotProduct")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("d", "DotProduct", {}), [VEC9, Signal((4,))])
+
+    def test_reduction_demands_full_input(self):
+        spec = get_spec("SumOfElements")
+        [rng] = spec.input_ranges(Block("s", "SumOfElements", {}),
+                                  IndexSet.full(1), [VEC9], Signal(()))
+        assert rng == IndexSet.full(9)
+
+    def test_reduction_empty_demand(self):
+        spec = get_spec("SumOfElements")
+        [rng] = spec.input_ranges(Block("s", "SumOfElements", {}),
+                                  IndexSet.empty(), [VEC9], Signal(()))
+        assert rng.is_empty
+
+
+class TestIntegerBlocks:
+    def test_xor_semantics(self):
+        spec = get_spec("Bitwise")
+        out = spec.step(Block("x", "Bitwise", {"op": "XOR"}),
+                        [np.array([0xF0F0], dtype="uint32"),
+                         np.array([0x0FF0], dtype="uint32")], {})
+        assert int(out[0]) == 0xFF00
+
+    def test_bitwise_requires_uint32(self):
+        spec = get_spec("Bitwise")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("x", "Bitwise", {"op": "XOR"}), [VEC9, VEC9])
+
+    def test_shift_left_wraps(self):
+        spec = get_spec("Shift")
+        block = Block("s", "Shift", {"amount": 4, "direction": "left"})
+        out = spec.step(block, [np.array([0xF0000001], dtype="uint32")], {})
+        assert int(out[0]) == 0x00000010
+
+    def test_shift_amount_validated(self):
+        spec = get_spec("Shift")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("s", "Shift", {"amount": 32}), [U32])
+
+    def test_mod_semantics(self):
+        spec = get_spec("Mod")
+        out = spec.step(Block("m", "Mod", {"divisor": 7}),
+                        [np.array([30], dtype="uint32")], {})
+        assert int(out[0]) == 2
+
+    def test_mod_divisor_positive(self):
+        spec = get_spec("Mod")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("m", "Mod", {"divisor": 0}), [U32])
+
+
+@pytest.mark.parametrize("block_type,in_sigs,params", [
+    ("SumOfElements", [VEC9], {}),
+    ("ProductOfElements", [Signal((4,))], {}),
+    ("Mean", [VEC9], {}),
+    ("MinMaxOfElements", [VEC9], {"function": "max"}),
+    ("MinMaxOfElements", [VEC9], {"function": "min"}),
+    ("DotProduct", [VEC9, VEC9], {}),
+    ("Bitwise", [U32, U32], {"op": "XOR"}),
+    ("Bitwise", [U32, U32], {"op": "AND"}),
+    ("Bitwise", [U32, U32], {"op": "OR"}),
+    ("Shift", [U32], {"amount": 7, "direction": "left"}),
+    ("Shift", [U32], {"amount": 25, "direction": "right"}),
+    ("Mod", [U32], {"divisor": 97}),
+])
+class TestCodegenAgainstSimulator:
+    def test_all_generators(self, block_type, in_sigs, params):
+        check_block_codegen(block_type, in_sigs, params)
+
+    def test_mapping_soundness(self, block_type, in_sigs, params):
+        from repro.blocks import spec_for
+        block = Block("dut", block_type, params)
+        out_sig = spec_for(block).infer(block, in_sigs)
+        for out_range in (out_sig.full_range(), IndexSet.empty()):
+            check_mapping_soundness(block, in_sigs, out_range)
+
+
+def test_uint32_add_wraps_like_c():
+    """Elementwise Add on uint32 must wrap modulo 2^32 in both the
+    simulator and every generator's VM execution."""
+    from repro.codegen import make_generator
+    from repro.ir.interp import VirtualMachine
+    from repro.model.builder import ModelBuilder
+    from repro.sim.simulator import simulate
+
+    b = ModelBuilder("wrap")
+    x = b.inport("x", shape=(2,), dtype="uint32")
+    y = b.inport("y", shape=(2,), dtype="uint32")
+    total = b.add(x, y, name="total")
+    b.outport("z", total)
+    model = b.build()
+    inputs = {"x": np.array([0xFFFFFFFF, 5], dtype="uint32"),
+              "y": np.array([2, 7], dtype="uint32")}
+    expected = simulate(model, inputs)["z"]
+    np.testing.assert_array_equal(expected, np.array([1, 12], dtype="uint32"))
+    for gen in ("simulink", "frodo"):
+        code = make_generator(gen).generate(model)
+        got = code.map_outputs(VirtualMachine(code.program).run(
+            code.map_inputs(inputs)).outputs)["z"]
+        np.testing.assert_array_equal(got.astype("uint32"), expected)

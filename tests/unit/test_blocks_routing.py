@@ -1,0 +1,165 @@
+"""Unit tests for the second routing batch (Assignment, Upsample,
+Downsample, Reverse, Rounding)."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import Signal, get_spec
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.model.block import Block
+from tests.helpers import check_block_codegen, check_mapping_soundness
+
+VEC12 = Signal((12,))
+VEC4 = Signal((4,))
+
+
+class TestAssignment:
+    def test_semantics(self):
+        spec = get_spec("Assignment")
+        block = Block("a", "Assignment", {"start": 3})
+        out = spec.step(block, [np.zeros(8), np.array([1.0, 2.0])], {})
+        np.testing.assert_allclose(out, [0, 0, 0, 1, 2, 0, 0, 0])
+
+    def test_window_bounds_validated(self):
+        spec = get_spec("Assignment")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("a", "Assignment", {"start": 10}),
+                          [VEC12, VEC4])
+
+    def test_dtype_mismatch_rejected(self):
+        spec = get_spec("Assignment")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("a", "Assignment", {"start": 0}),
+                          [VEC12, Signal((4,), "uint32")])
+
+    def test_mapping_splits_by_window(self):
+        spec = get_spec("Assignment")
+        block = Block("a", "Assignment", {"start": 4})
+        base_need, patch_need = spec.input_ranges(
+            block, IndexSet.interval(2, 10), [VEC12, VEC4], Signal((12,)))
+        assert base_need == IndexSet(((2, 4), (8, 10)))
+        assert patch_need == IndexSet.interval(0, 4)
+
+    def test_demand_only_outside_window_skips_patch(self):
+        spec = get_spec("Assignment")
+        block = Block("a", "Assignment", {"start": 4})
+        base_need, patch_need = spec.input_ranges(
+            block, IndexSet.interval(0, 3), [VEC12, VEC4], Signal((12,)))
+        assert patch_need.is_empty
+        assert base_need == IndexSet.interval(0, 3)
+
+
+class TestRateChange:
+    def test_upsample_semantics(self):
+        spec = get_spec("Upsample")
+        out = spec.step(Block("u", "Upsample", {"factor": 3}),
+                        [np.array([1.0, 2.0])], {})
+        np.testing.assert_allclose(out, [1, 1, 1, 2, 2, 2])
+
+    def test_upsample_mapping(self):
+        spec = get_spec("Upsample")
+        block = Block("u", "Upsample", {"factor": 3})
+        [rng] = spec.input_ranges(block, IndexSet.interval(4, 6),
+                                  [VEC4], Signal((12,)))
+        assert list(rng) == [1]
+
+    def test_downsample_semantics(self):
+        spec = get_spec("Downsample")
+        out = spec.step(Block("d", "Downsample", {"factor": 3}),
+                        [np.arange(12.0)], {})
+        np.testing.assert_allclose(out, [0, 3, 6, 9])
+
+    def test_downsample_mapping_is_stride(self):
+        spec = get_spec("Downsample")
+        block = Block("d", "Downsample", {"factor": 3})
+        [rng] = spec.input_ranges(block, IndexSet.full(4), [VEC12],
+                                  Signal((4,)))
+        assert list(rng) == [0, 3, 6, 9]
+        assert rng.run_count == 4
+
+    def test_factor_validated(self):
+        for block_type in ("Upsample", "Downsample"):
+            spec = get_spec(block_type)
+            with pytest.raises(ValidationError):
+                spec.validate(Block("x", block_type, {"factor": 0}), [VEC12])
+
+    def test_reverse_semantics_and_mapping(self):
+        spec = get_spec("Reverse")
+        out = spec.step(Block("r", "Reverse", {}), [np.arange(5.0)], {})
+        np.testing.assert_allclose(out, [4, 3, 2, 1, 0])
+        [rng] = spec.input_ranges(Block("r", "Reverse", {}),
+                                  IndexSet.interval(0, 2), [Signal((5,))],
+                                  Signal((5,)))
+        assert sorted(rng) == [3, 4]
+
+
+class TestRounding:
+    @pytest.mark.parametrize("fn,data,expected", [
+        ("floor", [1.7, -1.2], [1.0, -2.0]),
+        ("ceil", [1.2, -1.7], [2.0, -1.0]),
+        ("round", [0.5, -0.5], [1.0, -1.0]),  # half away from zero
+        ("fix", [1.9, -1.9], [1.0, -1.0]),
+    ])
+    def test_semantics(self, fn, data, expected):
+        spec = get_spec("Rounding")
+        out = spec.step(Block("r", "Rounding", {"function": fn}),
+                        [np.array(data)], {})
+        np.testing.assert_allclose(out, expected)
+
+    def test_unknown_function(self):
+        spec = get_spec("Rounding")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("r", "Rounding", {"function": "stochastic"}),
+                          [VEC12])
+
+
+@pytest.mark.parametrize("block_type,in_sigs,params", [
+    ("Assignment", [VEC12, VEC4], {"start": 5}),
+    ("Assignment", [VEC12, VEC4], {"start": 0}),
+    ("Upsample", [VEC4], {"factor": 3}),
+    ("Downsample", [VEC12], {"factor": 4}),
+    ("Reverse", [VEC12], {}),
+    ("Rounding", [VEC12], {"function": "floor"}),
+    ("Rounding", [VEC12], {"function": "fix"}),
+    ("Rounding", [VEC12], {"function": "round"}),
+])
+class TestCodegenAgainstSimulator:
+    def test_all_generators(self, block_type, in_sigs, params):
+        check_block_codegen(block_type, in_sigs, params)
+
+    def test_trimmed(self, block_type, in_sigs, params):
+        from repro.blocks import spec_for
+        block = Block("dut", block_type, params)
+        out_sig = spec_for(block).infer(block, in_sigs)
+        end = min(3, out_sig.size - 1)
+        check_block_codegen(block_type, in_sigs, params, select=(1, end))
+
+    def test_mapping_soundness(self, block_type, in_sigs, params):
+        from repro.blocks import spec_for
+        block = Block("dut", block_type, params)
+        out_sig = spec_for(block).infer(block, in_sigs)
+        size = out_sig.size
+        for out_range in (out_sig.full_range(),
+                          IndexSet.interval(0, max(1, size // 3)),
+                          IndexSet.from_indices([0, size - 1])):
+            check_mapping_soundness(block, in_sigs, out_range)
+
+
+def test_assignment_trims_both_inputs_independently():
+    """The dual-truncation property: demanding only the patched window
+    eliminates the base computation entirely (and vice versa)."""
+    from repro.codegen import FrodoGenerator
+    from repro.model.builder import ModelBuilder
+
+    b = ModelBuilder("patchwork")
+    u = b.inport("u", shape=(16,))
+    base = b.gain(u, 2.0, name="base")
+    patch_src = b.inport("p", shape=(4,))
+    patch = b.gain(patch_src, 3.0, name="patch")
+    merged = b.block("Assignment", [base, patch], name="merged", start=6)
+    window_only = b.selector(merged, start=6, end=9, name="win")
+    b.outport("y", window_only)
+    code = FrodoGenerator().generate(b.build())
+    assert code.ranges.output_range["base"].is_empty
+    assert code.ranges.output_range["patch"] == IndexSet.full(4)

@@ -1,0 +1,240 @@
+"""Unit tests for routing/truncation blocks: Selector, Pad, Concatenate,
+Reshape, Lookup."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import Signal, get_spec
+from repro.core.intervals import IndexSet
+from repro.errors import ValidationError
+from repro.model.block import Block
+from tests.helpers import (
+    check_block_codegen, check_mapping_soundness, one_block_model,
+)
+
+VEC12 = Signal((12,))
+U32 = Signal((12,), "uint32")
+
+
+class TestSelectorModes:
+    def test_start_end_shape(self):
+        spec = get_spec("Selector")
+        block = Block("s", "Selector", {"mode": "start_end", "start": 5, "end": 54})
+        out = spec.infer(block, [Signal((60,))])
+        assert out.shape == (50,)
+
+    def test_start_end_semantics(self):
+        spec = get_spec("Selector")
+        block = Block("s", "Selector", {"mode": "start_end", "start": 2, "end": 4})
+        out = spec.step(block, [np.arange(10.0)], {})
+        np.testing.assert_allclose(out, [2, 3, 4])
+
+    def test_start_end_mapping_is_shift(self):
+        spec = get_spec("Selector")
+        block = Block("s", "Selector", {"mode": "start_end", "start": 5, "end": 54})
+        [rng] = spec.input_ranges(block, IndexSet.full(50), [Signal((60,))],
+                                  Signal((50,)))
+        assert rng == IndexSet.interval(5, 55)
+        assert rng.describe() == "[5, 54]"  # Figure 3's narration
+
+    def test_stride_semantics(self):
+        spec = get_spec("Selector")
+        block = Block("s", "Selector",
+                      {"mode": "stride", "start": 1, "end": 9, "stride": 2})
+        out = spec.step(block, [np.arange(12.0)], {})
+        np.testing.assert_allclose(out, [1, 3, 5, 7, 9])
+
+    def test_stride_mapping_is_discontinuous(self):
+        spec = get_spec("Selector")
+        block = Block("s", "Selector",
+                      {"mode": "stride", "start": 0, "end": 8, "stride": 4})
+        [rng] = spec.input_ranges(block, IndexSet.full(3), [VEC12], Signal((3,)))
+        assert list(rng) == [0, 4, 8]
+        assert rng.run_count == 3
+
+    def test_index_vector_semantics(self):
+        spec = get_spec("Selector")
+        block = Block("s", "Selector",
+                      {"mode": "index_vector", "indices": [7, 0, 3]})
+        out = spec.step(block, [np.arange(12.0)], {})
+        np.testing.assert_allclose(out, [7, 0, 3])
+
+    def test_index_port_mapping_is_conservative(self):
+        """Figure 3's point: switching to IndexPort changes the mapping."""
+        spec = get_spec("Selector")
+        block = Block("s", "Selector", {"mode": "index_port", "length": 4})
+        ranges = spec.input_ranges(block, IndexSet.full(4),
+                                   [VEC12, Signal(())], Signal((4,)))
+        assert ranges[0] == IndexSet.full(12)   # any window may be read
+        assert ranges[1] == IndexSet.full(1)
+
+    def test_out_of_bounds_rejected(self):
+        spec = get_spec("Selector")
+        block = Block("s", "Selector", {"mode": "start_end", "start": 5, "end": 12})
+        with pytest.raises(ValidationError):
+            spec.validate(block, [VEC12])
+
+    def test_bad_mode_rejected(self):
+        spec = get_spec("Selector")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("s", "Selector", {"mode": "middle"}), [VEC12])
+
+    def test_index_port_needs_two_inputs(self):
+        spec = get_spec("Selector")
+        block = Block("s", "Selector", {"mode": "index_port", "length": 4})
+        with pytest.raises(ValidationError):
+            spec.validate(block, [VEC12])
+
+
+class TestPad:
+    def test_shape(self):
+        spec = get_spec("Pad")
+        block = Block("p", "Pad", {"before": 2, "after": 3, "value": 0.0})
+        assert spec.infer(block, [VEC12]).shape == (17,)
+
+    def test_semantics(self):
+        spec = get_spec("Pad")
+        block = Block("p", "Pad", {"before": 1, "after": 2, "value": 9.0})
+        out = spec.step(block, [np.array([1.0, 2.0])], {})
+        np.testing.assert_allclose(out, [9, 1, 2, 9, 9])
+
+    def test_mapping_excludes_padding(self):
+        spec = get_spec("Pad")
+        block = Block("p", "Pad", {"before": 2, "after": 2, "value": 0.0})
+        # Demand only padding -> nothing needed from the input.
+        [rng] = spec.input_ranges(block, IndexSet.interval(0, 2), [VEC12],
+                                  Signal((16,)))
+        assert rng.is_empty
+        # Demand the copy region -> shifted demand.
+        [rng] = spec.input_ranges(block, IndexSet.interval(2, 14), [VEC12],
+                                  Signal((16,)))
+        assert rng == IndexSet.full(12)
+
+    def test_negative_padding_rejected(self):
+        spec = get_spec("Pad")
+        with pytest.raises(ValidationError):
+            spec.validate(Block("p", "Pad", {"before": -1, "after": 0}), [VEC12])
+
+
+class TestConcatReshape:
+    def test_concat_shape_and_semantics(self):
+        spec = get_spec("Concatenate")
+        block = Block("c", "Concatenate", {})
+        sigs = [Signal((2,)), Signal((3,))]
+        assert spec.infer(block, sigs).shape == (5,)
+        out = spec.step(block, [np.array([1.0, 2]), np.array([3.0, 4, 5])], {})
+        np.testing.assert_allclose(out, [1, 2, 3, 4, 5])
+
+    def test_concat_mapping_routes_segments(self):
+        spec = get_spec("Concatenate")
+        block = Block("c", "Concatenate", {})
+        sigs = [Signal((2,)), Signal((3,))]
+        ranges = spec.input_ranges(block, IndexSet.interval(3, 5), sigs,
+                                   Signal((5,)))
+        assert ranges[0].is_empty
+        assert ranges[1] == IndexSet.interval(1, 3)
+
+    def test_concat_mixed_dtypes_rejected(self):
+        spec = get_spec("Concatenate")
+        with pytest.raises(ValidationError):
+            spec.infer(Block("c", "Concatenate", {}),
+                       [Signal((2,)), Signal((2,), "uint32")])
+
+    def test_reshape_checks_size(self):
+        spec = get_spec("Reshape")
+        with pytest.raises(ValidationError):
+            spec.infer(Block("r", "Reshape", {"shape": (5, 5)}), [VEC12])
+
+    def test_reshape_preserves_flat_order(self):
+        spec = get_spec("Reshape")
+        block = Block("r", "Reshape", {"shape": (3, 4)})
+        out = spec.step(block, [np.arange(12.0)], {})
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.ravel(), np.arange(12.0))
+
+
+class TestLookup:
+    def test_semantics(self):
+        spec = get_spec("Lookup")
+        table = np.arange(256.0) * 2
+        block = Block("l", "Lookup", {"table": table, "mask": 0xFF})
+        out = spec.step(block, [np.array([3, 300], dtype="uint32")], {})
+        np.testing.assert_allclose(out, [6.0, (300 & 0xFF) * 2])
+
+    def test_requires_uint_index(self):
+        spec = get_spec("Lookup")
+        block = Block("l", "Lookup", {"table": np.arange(256.0)})
+        with pytest.raises(ValidationError):
+            spec.validate(block, [VEC12])
+
+    def test_table_must_cover_mask(self):
+        spec = get_spec("Lookup")
+        block = Block("l", "Lookup", {"table": np.arange(16.0), "mask": 0xFF})
+        with pytest.raises(ValidationError):
+            spec.validate(block, [U32])
+
+
+@pytest.mark.parametrize("block_type,in_sigs,params,select", [
+    ("Selector", [VEC12], {"mode": "start_end", "start": 3, "end": 9}, None),
+    ("Selector", [VEC12], {"mode": "start_end", "start": 3, "end": 9}, (1, 4)),
+    ("Selector", [VEC12],
+     {"mode": "stride", "start": 0, "end": 10, "stride": 2}, None),
+    ("Selector", [VEC12],
+     {"mode": "index_vector", "indices": [11, 0, 5, 5]}, None),
+    ("Pad", [VEC12], {"before": 3, "after": 2, "value": -1.0}, None),
+    ("Pad", [VEC12], {"before": 3, "after": 2, "value": -1.0}, (0, 2)),
+    ("Pad", [VEC12], {"before": 3, "after": 2, "value": -1.0}, (4, 12)),
+    ("Concatenate", [Signal((4,)), Signal((5,)), Signal((3,))], {}, None),
+    ("Concatenate", [Signal((4,)), Signal((5,)), Signal((3,))], {}, (5, 8)),
+    ("Reshape", [VEC12], {"shape": (3, 4)}, None),
+    ("Lookup", [U32], {"table": np.linspace(0, 1, 256), "mask": 0xFF}, None),
+])
+class TestCodegenAgainstSimulator:
+    def test_all_generators(self, block_type, in_sigs, params, select):
+        check_block_codegen(block_type, in_sigs, params, select=select)
+
+    def test_mapping_soundness(self, block_type, in_sigs, params, select):
+        block = Block("dut", block_type, params)
+        from repro.blocks import spec_for
+        out_sig = spec_for(block).infer(block, in_sigs)
+        size = out_sig.size
+        cases = [IndexSet.full(size), IndexSet.interval(0, max(1, size // 2)),
+                 IndexSet.from_indices([0, size - 1])]
+        for out_range in cases:
+            check_mapping_soundness(block, in_sigs, out_range)
+
+
+def test_index_port_selector_codegen():
+    """IndexPort mode has a runtime index input; wire it explicitly."""
+    from repro.codegen import make_generator
+    from repro.ir.interp import VirtualMachine
+    from repro.model.builder import ModelBuilder
+    from repro.sim.simulator import simulate
+
+    b = ModelBuilder("index_port")
+    u = b.inport("u", shape=(12,))
+    idx = b.inport("idx", shape=())
+    win = b.block("Selector", [u, idx], name="win", mode="index_port", length=4)
+    b.outport("y", win)
+    model = b.build()
+
+    rng = np.random.default_rng(5)
+    for start in (0.0, 3.0, 8.0, 11.0, -2.0):  # includes clamped cases
+        inputs = {"u": rng.uniform(-1, 1, 12), "idx": np.array(start)}
+        expected = simulate(model, inputs)["y"]
+        for gen in ("simulink", "dfsynth", "hcg", "frodo"):
+            code = make_generator(gen).generate(model)
+            got = code.map_outputs(VirtualMachine(code.program).run(
+                code.map_inputs(inputs)).outputs)["y"]
+            np.testing.assert_allclose(got, expected, err_msg=f"{gen} start={start}")
+
+
+def test_frodo_trims_through_selector_chain():
+    """A Selector after a Selector compounds the trim."""
+    from repro.codegen import make_generator
+    model = one_block_model("Selector", [Signal((40,))],
+                            {"mode": "start_end", "start": 10, "end": 29},
+                            select=(5, 9))
+    code = make_generator("frodo").generate(model)
+    rng = code.ranges.output_range["dut"]
+    assert rng == IndexSet.interval(5, 10)

@@ -1,0 +1,137 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_models(self, capsys):
+        main(["list-models"])
+        out = capsys.readouterr().out
+        assert "AudioProcess" in out and "Simpson" in out
+
+    def test_show_ranges_zoo(self, capsys):
+        main(["show-ranges", "Motivating"])
+        out = capsys.readouterr().out
+        assert "optimizable" in out
+        assert "range=" in out
+
+    def test_generate_to_stdout(self, capsys):
+        main(["generate", "Motivating", "-g", "frodo"])
+        out = capsys.readouterr().out
+        assert "_step(" in out and "#include <math.h>" in out
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out" / "conv.c"
+        main(["generate", "Motivating", "-o", str(target)])
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_baseline(self, capsys):
+        main(["generate", "Motivating", "-g", "simulink"])
+        assert "if (" in capsys.readouterr().out  # boundary judgments
+
+    def test_export_and_reload(self, tmp_path, capsys):
+        target = tmp_path / "m.slx"
+        main(["export", "Simpson", str(target)])
+        main(["show-ranges", str(target)])
+        out = capsys.readouterr().out
+        assert "odd_nodes" in out
+
+    def test_validate(self, capsys):
+        main(["validate", "Motivating", "--cases", "2", "--steps", "1"])
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 4
+
+    def test_unknown_model_exits(self):
+        with pytest.raises(SystemExit):
+            main(["show-ranges", "NotAModel"])
+
+    def test_memory_report(self, capsys):
+        main(["memory"])
+        assert "static buffer bytes" in capsys.readouterr().out
+
+    def test_blocks_reference(self, capsys):
+        main(["blocks"])
+        out = capsys.readouterr().out
+        assert "Convolution" in out and "truncation" in out
+        assert "Convolution2D" in out
+
+    def test_export_mdl_and_reload(self, tmp_path, capsys):
+        target = tmp_path / "m.mdl"
+        main(["export", "Decryption", str(target)])
+        main(["validate", str(target), "--cases", "1", "--steps", "1"])
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 4
+
+    def test_generate_variant(self, capsys):
+        main(["generate", "HighPass", "-g", "frodo-fn"])
+        out = capsys.readouterr().out
+        assert "conv_interior_f64" in out
+
+    def test_report_all(self, tmp_path, capsys):
+        main(["report", "-o", str(tmp_path / "rep")])
+        out = capsys.readouterr().out
+        assert "artifact(s)" in out
+        names = {p.name for p in (tmp_path / "rep").iterdir()}
+        assert {"table1.txt", "table2.txt", "figure6_arm-gcc.txt",
+                "figure6_arm-gcc.svg", "memory_section5.txt",
+                "sweep_truncation.txt"} <= names
+
+    def test_extended_zoo_model_resolves(self, capsys):
+        main(["show-ranges", "ImagePipeline"])
+        out = capsys.readouterr().out
+        assert "blurred" in out and "optimizable" in out
+
+    def test_profile_command(self, capsys):
+        main(["profile", "Maunfacture", "--steps", "2"])
+        out = capsys.readouterr().out
+        assert "smooth_conv" in out and "%" in out
+
+    def test_compile_command(self, capsys):
+        from repro.native import find_compiler
+        if find_compiler() is None:
+            pytest.skip("no C compiler")
+        main(["compile", "Simpson", "--repetitions", "10"])
+        out = capsys.readouterr().out
+        assert "matches simulation" in out and "MISMATCH" not in out
+
+    def test_compile_keep_sources(self, tmp_path, capsys):
+        from repro.native import find_compiler
+        if find_compiler() is None:
+            pytest.skip("no C compiler")
+        main(["compile", "Motivating", "--keep-sources", str(tmp_path)])
+        assert any(p.suffix == ".c" for p in tmp_path.iterdir())
+
+    def test_blocks_markdown(self, capsys):
+        main(["blocks", "--markdown"])
+        out = capsys.readouterr().out
+        assert out.startswith("# Block property library")
+        assert "| Convolution2D |" in out
+
+    def test_block_doc_file_in_sync(self, capsys):
+        """docs/block-library.md must mention every registered type."""
+        from pathlib import Path
+        from repro.blocks import registered_types
+        doc = Path(__file__).resolve().parents[2] / "docs" / "block-library.md"
+        text = doc.read_text()
+        for type_name in registered_types():
+            if type_name.startswith("Test"):
+                continue  # fixtures registered by other tests
+            assert f"| {type_name} |" in text, f"{type_name} missing from docs"
+
+    def test_crosscheck_single_model(self, capsys):
+        main(["crosscheck", "Simpson", "--cases", "1", "--steps", "1"])
+        out = capsys.readouterr().out
+        assert "ALL CONSISTENT" in out
+
+    def test_crosscheck_fails_loudly(self, monkeypatch, capsys):
+        import repro.eval.crosscheck as cc
+        original = cc.verify_program
+        monkeypatch.setattr(cc, "verify_program",
+                            lambda program: ["injected problem"])
+        with pytest.raises(SystemExit):
+            main(["crosscheck", "Simpson", "--cases", "1", "--steps", "1"])
+        assert "INCONSISTENT" in capsys.readouterr().out
+        monkeypatch.setattr(cc, "verify_program", original)

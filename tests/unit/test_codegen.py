@@ -1,0 +1,160 @@
+"""Unit tests for the code generators' structural behavior."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    ALL_GENERATORS, DFSynthGenerator, FrodoGenerator, HCGGenerator,
+    SimulinkECGenerator, make_generator, sanitize,
+)
+from repro.errors import CodegenError
+from repro.ir.ops import For, If
+from repro.model.builder import ModelBuilder
+
+
+class TestSanitize:
+    @pytest.mark.parametrize("raw,expected", [
+        ("conv", "conv"),
+        ("sub.inner block", "sub_inner_block"),
+        ("3way", "_3way"),
+        ("---", "blk"),
+    ])
+    def test_sanitize(self, raw, expected):
+        assert sanitize(raw) == expected
+
+
+class TestFactory:
+    def test_known_generators(self):
+        for name in ALL_GENERATORS:
+            assert make_generator(name).name == name
+
+    def test_frodo_direct(self):
+        gen = make_generator("frodo-direct")
+        assert gen.name == "frodo-direct"
+        assert gen.range_policy == "direct"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_generator("gpt-coder")
+
+
+def sample_model(with_switch=False, with_terminator=False):
+    b = ModelBuilder("Sample")
+    u = b.inport("u", shape=(24,))
+    k = b.constant("kernel", np.hanning(5))
+    conv = b.convolution(u, k, name="conv")
+    sel = b.selector(conv, start=2, end=21, name="sel")
+    if with_switch:
+        ctrl = b.inport("ctrl", shape=())
+        alt = b.gain(sel, -1.0, name="alt")
+        sel = b.switch(sel, ctrl, alt, threshold=0.0, name="sw")
+    if with_terminator:
+        spill = b.gain(conv, 5.0, name="spill")
+        b.terminator(spill, name="junk")
+    b.outport("y", sel)
+    return b.build()
+
+
+class TestBufferDeclarations:
+    def test_io_buffers_declared(self):
+        code = FrodoGenerator().generate(sample_model())
+        prog = code.program
+        assert len(prog.buffers_of_kind("input")) == 1
+        assert len(prog.buffers_of_kind("output")) == 1
+        assert code.input_buffers.keys() == {"u"}
+        assert code.output_buffers.keys() == {"y"}
+
+    def test_constant_becomes_const_buffer(self):
+        code = FrodoGenerator().generate(sample_model())
+        consts = code.program.buffers_of_kind("const")
+        assert any(b.init is not None and b.size == 5 for b in consts)
+
+    def test_map_inputs_rejects_unknown(self):
+        code = FrodoGenerator().generate(sample_model())
+        with pytest.raises(CodegenError):
+            code.map_inputs({"nonexistent": np.zeros(3)})
+
+    def test_static_bytes_positive(self):
+        code = FrodoGenerator().generate(sample_model())
+        assert code.program.static_bytes > 0
+
+
+class TestDeadCodeElimination:
+    def test_frodo_skips_terminator_fed_blocks(self):
+        model = sample_model(with_terminator=True)
+        frodo = FrodoGenerator().generate(model)
+        dfsynth = DFSynthGenerator().generate(model)
+        spill_buf = [n for n in dfsynth.program.buffers if "spill" in n]
+        assert spill_buf  # the baseline still materializes it
+        assert not any("spill" in n for n in frodo.program.buffers)
+        assert "spill" in frodo.program.notes
+        assert "eliminated" in frodo.program.notes["spill"]
+
+    def test_frodo_emits_fewer_statements(self):
+        model = sample_model(with_terminator=True)
+        assert FrodoGenerator().generate(model).program.statement_count \
+            < DFSynthGenerator().generate(model).program.statement_count
+
+
+class TestStyles:
+    def test_simulink_conv_has_guards(self):
+        code = SimulinkECGenerator().generate(sample_model())
+        guarded = any(isinstance(s, If) for s in code.program.walk())
+        assert guarded
+
+    def test_frodo_conv_guard_free(self):
+        code = FrodoGenerator().generate(sample_model())
+        assert not any(isinstance(s, If) for s in code.program.walk())
+
+    def test_branch_structured_switch(self):
+        model = sample_model(with_switch=True)
+        frodo = FrodoGenerator().generate(model)
+        # Scalar-controlled switch becomes an If with loops inside.
+        ifs = [s for s in frodo.program.walk() if isinstance(s, If)]
+        assert ifs and any(isinstance(inner, For) for inner in ifs[0].then)
+
+    def test_simulink_switch_is_per_element(self):
+        model = sample_model(with_switch=True)
+        ec = SimulinkECGenerator().generate(model)
+        # Not branch-structured: no If statements with loops inside; the
+        # ternary lives inside expression Selects instead.
+        ifs = [s for s in ec.program.walk() if isinstance(s, If)
+               and any(isinstance(x, For) for x in s.then)]
+        assert not ifs
+
+    def test_hcg_marks_forced_simd(self):
+        code = HCGGenerator().generate(sample_model())
+        forced = [s for s in code.program.walk()
+                  if isinstance(s, For) and s.forced_simd]
+        assert forced
+
+    def test_dfsynth_never_forces_simd(self):
+        code = DFSynthGenerator().generate(sample_model())
+        assert not any(isinstance(s, For) and s.forced_simd
+                       for s in code.program.walk())
+
+    def test_simulink_loops_not_vectorizable(self):
+        """autovec_hostile: EC elementwise loops defeat the vectorizer."""
+        code = SimulinkECGenerator().generate(sample_model())
+        elementwise_loops = [s for s in code.program.walk()
+                             if isinstance(s, For) and s.vectorizable]
+        assert not elementwise_loops
+
+    def test_frodo_loops_vectorizable(self):
+        code = FrodoGenerator().generate(sample_model())
+        assert any(isinstance(s, For) and s.vectorizable
+                   for s in code.program.walk())
+
+
+class TestRangesInNotes:
+    def test_range_comments_emitted(self):
+        from repro.ir.ops import Comment
+        code = FrodoGenerator().generate(sample_model())
+        comments = [s.text for s in code.program.step
+                    if isinstance(s, Comment)]
+        assert any("range=" in c for c in comments)
+
+    def test_generator_name_recorded(self):
+        assert FrodoGenerator().generate(sample_model()).generator == "frodo"
+        assert SimulinkECGenerator().generate(
+            sample_model()).generator == "simulink"

@@ -1,0 +1,94 @@
+"""Unit tests for the compiler/architecture cost model."""
+
+import pytest
+
+from repro.ir.cost import (
+    ARM_CLANG, ARM_GCC, PROFILES, X86_CLANG, X86_GCC, get_profile,
+    modeled_seconds,
+)
+from repro.ir.interp import ContextCounts, OpCounts
+
+
+def counts(**kwargs) -> ContextCounts:
+    c = ContextCounts()
+    for bucket, values in kwargs.items():
+        target = getattr(c, bucket)
+        for key, value in values.items():
+            setattr(target, key, value)
+    return c
+
+
+class TestProfiles:
+    def test_four_profiles_registered(self):
+        assert set(PROFILES) == {"x86-gcc", "x86-clang", "arm-gcc", "arm-clang"}
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("riscv-icc")
+
+    def test_arm_slower_than_x86(self):
+        c = counts(scalar={"flops": 1000, "loads": 1000})
+        assert ARM_GCC.modeled_time_ns(c) > X86_GCC.modeled_time_ns(c)
+
+    def test_arm_narrower_simd(self):
+        assert ARM_GCC.simd_lanes < X86_GCC.simd_lanes
+        assert ARM_GCC.forced_simd_lanes < X86_GCC.forced_simd_lanes
+
+
+class TestVectorDiscount:
+    def test_vector_bucket_cheaper_than_scalar(self):
+        scalar_only = counts(scalar={"flops": 10_000})
+        vector_only = counts(vector={"flops": 10_000})
+        assert X86_GCC.modeled_time_ns(vector_only) \
+            < X86_GCC.modeled_time_ns(scalar_only)
+
+    def test_vector_discount_weaker_on_arm(self):
+        """The paper's ARM argument: SIMD masks less redundant work there."""
+        vec = counts(vector={"flops": 10_000})
+        x86_ratio = (X86_GCC.modeled_time_ns(counts(scalar={"flops": 10_000}))
+                     / X86_GCC.modeled_time_ns(vec))
+        arm_vec = counts(vector={"flops": 10_000})
+        arm_ratio = (ARM_GCC.modeled_time_ns(counts(scalar={"flops": 10_000}))
+                     / ARM_GCC.modeled_time_ns(arm_vec))
+        assert x86_ratio > arm_ratio > 1.0
+
+    def test_clang_vectorizes_slightly_better(self):
+        assert X86_CLANG.autovec_speedup > X86_GCC.autovec_speedup
+        assert ARM_CLANG.autovec_speedup > ARM_GCC.autovec_speedup
+
+
+class TestForcedSimd:
+    def test_forced_big_loops_beat_scalar(self):
+        forced = counts(forced={"flops": 100_000, "loops_entered": 1})
+        scalar = counts(scalar={"flops": 100_000})
+        assert X86_GCC.modeled_time_ns(forced) < X86_GCC.modeled_time_ns(scalar)
+
+    def test_forced_small_loops_pay_setup(self):
+        """The Back regression: many tiny intrinsic loops lose to autovec."""
+        forced = counts(forced={"flops": 800, "loops_entered": 100})
+        vector = counts(vector={"flops": 800, "loops_entered": 100})
+        assert X86_GCC.modeled_time_ns(forced) > X86_GCC.modeled_time_ns(vector)
+
+    def test_inhibition_factor_applied(self):
+        assert X86_GCC.forced_simd_inhibition > 1.0
+
+
+class TestModeledSeconds:
+    def test_repetition_scaling(self):
+        c = counts(scalar={"flops": 100})
+        assert modeled_seconds(c, X86_GCC, repetitions=20_000) \
+            == pytest.approx(2 * modeled_seconds(c, X86_GCC, repetitions=10_000))
+
+    def test_zero_counts_zero_time(self):
+        assert modeled_seconds(ContextCounts(), X86_GCC) == 0.0
+
+    def test_branches_cost_more_on_arm_relative_to_flops(self):
+        x86_rel = X86_GCC.branch_ns / X86_GCC.flop_ns
+        arm_rel = ARM_GCC.branch_ns / ARM_GCC.flop_ns
+        assert arm_rel > x86_rel
+
+    def test_monotone_in_counts(self):
+        small = counts(scalar={"flops": 10, "loads": 10})
+        big = counts(scalar={"flops": 20, "loads": 20})
+        for profile in PROFILES.values():
+            assert profile.modeled_time_ns(big) > profile.modeled_time_ns(small)

@@ -1,0 +1,76 @@
+"""Unit tests for the Graphviz DOT export."""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.ranges import determine_ranges
+from repro.model.dot import model_to_dot
+from repro.zoo import build_model
+
+
+class TestDotExport:
+    def test_structure(self):
+        text = model_to_dot(build_model("Motivating"))
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+        assert '"u" -> "conv"' in text
+
+    def test_node_per_block(self):
+        model = build_model("Motivating")
+        text = model_to_dot(model)
+        for name in model.blocks:
+            assert f'"{name}"' in text
+
+    def test_range_annotations(self):
+        analyzed = analyze(build_model("Motivating"))
+        ranges = determine_ranges(analyzed)
+        text = model_to_dot(analyzed, ranges)
+        assert "range [5, 64]" in text          # the trimmed convolution
+        assert "#7fb069" in text                # optimizable highlight
+
+    def test_no_ranges_mode(self):
+        text = model_to_dot(build_model("Motivating"))
+        assert "range" not in text
+
+    def test_truncation_blocks_highlighted(self):
+        text = model_to_dot(build_model("Motivating"))
+        assert "#f2c14e" in text  # Selector
+
+    def test_eliminated_blocks_greyed(self):
+        from repro.model.builder import ModelBuilder
+        b = ModelBuilder("dead")
+        u = b.inport("u", shape=(4,))
+        g = b.gain(u, 2.0, name="dead_gain")
+        b.terminator(g, name="t")
+        h = b.gain(u, 3.0, name="live")
+        b.outport("y", h)
+        analyzed = analyze(b.build())
+        text = model_to_dot(analyzed, determine_ranges(analyzed))
+        assert "#d0d0d0" in text
+
+    def test_port_labels_on_multi_input_edges(self):
+        text = model_to_dot(build_model("Motivating"))
+        assert '[label="0:1"]' in text  # kernel into conv port 1
+
+    def test_names_escaped(self):
+        from repro.model.builder import ModelBuilder
+        b = ModelBuilder("esc")
+        u = b.inport('u', shape=(2,))
+        g = b.gain(u, 1.0, name='g"quote')
+        b.outport("y", g)
+        text = model_to_dot(b.build())
+        assert '\\"quote' in text
+
+    def test_flattens_subsystems(self):
+        text = model_to_dot(build_model("Maintenance"))
+        assert text.count("->") > 100
+
+
+def test_cli_dot(tmp_path, capsys):
+    from repro.cli import main
+    target = tmp_path / "m.dot"
+    main(["dot", "Simpson", "-o", str(target)])
+    assert "wrote" in capsys.readouterr().out
+    assert target.read_text().startswith("digraph")
+    main(["dot", "Simpson", "--no-ranges"])
+    assert "range" not in capsys.readouterr().out

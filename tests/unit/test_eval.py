@@ -1,0 +1,121 @@
+"""Unit tests for the experiment harness (runner, report, experiments)."""
+
+import pytest
+
+from repro.eval.report import format_bars, format_table, speedup
+from repro.eval.runner import GENERATOR_ORDER, measure
+from repro.eval.experiments import (
+    MODEL_NAMES, PAPER_FIG6_RANGES, PAPER_TABLE2, ablation_ranges, figure6,
+    memory_study, table1,
+)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Blong"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A ")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_table_title(self):
+        text = format_table(["A"], [["x"]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_format_bars(self):
+        text = format_bars("demo", ["m1", "m2"], [1.0, 2.0])
+        assert "#" in text and "2.00x" in text
+
+    def test_speedup(self):
+        assert speedup(2.0, 0.5) == 4.0
+
+
+class TestPaperConstants:
+    def test_table2_covers_grid(self):
+        assert set(PAPER_TABLE2) == set(MODEL_NAMES)
+        for row in PAPER_TABLE2.values():
+            assert set(row) == set(GENERATOR_ORDER)
+
+    def test_fig6_ranges_sane(self):
+        for low, high in PAPER_FIG6_RANGES.values():
+            assert 1.0 < low < high
+
+
+class TestMeasure:
+    def test_measurement_fields(self):
+        m = measure("Simpson", "frodo", "x86-gcc")
+        assert m.seconds > 0
+        assert m.total_ops > 0
+        assert m.static_bytes > 0
+        assert m.outputs_match
+
+    def test_frodo_fastest_on_sample(self):
+        times = {g: measure("Maunfacture", g, "x86-gcc").seconds
+                 for g in GENERATOR_ORDER}
+        assert min(times, key=times.get) == "frodo"
+
+    def test_simulink_slowest_on_conv_model(self):
+        times = {g: measure("AudioProcess", g, "x86-gcc").seconds
+                 for g in GENERATOR_ORDER}
+        assert max(times, key=times.get) == "simulink"
+
+    def test_profiles_change_time_not_counts(self):
+        gcc = measure("Simpson", "frodo", "x86-gcc")
+        arm = measure("Simpson", "frodo", "arm-gcc")
+        assert gcc.total_ops == arm.total_ops
+        assert arm.seconds > gcc.seconds
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            measure("Simpson", "frodo", "sparc-tcc")
+
+
+class TestExperimentReports:
+    def test_table1_lists_all_models(self):
+        text = table1()
+        for name in MODEL_NAMES:
+            assert name in text
+        assert "165" in text  # Maintenance block count
+
+    def test_figure6_improvements_above_one(self):
+        result = figure6("arm-gcc")
+        for baseline, per_model in result.improvement.items():
+            for model, factor in per_model.items():
+                assert factor > 1.0, f"{baseline}/{model}: {factor}"
+
+    def test_figure6_render(self):
+        text = figure6("arm-gcc").render()
+        assert "FRODO improvement vs simulink" in text
+
+    def test_memory_study_parity(self):
+        """§5: max/min static bytes stays close to 1 for every model."""
+        text = memory_study()
+        for line in text.splitlines()[3:]:
+            ratio = float(line.split("|")[-1])
+            assert ratio < 1.3
+
+    def test_ablation_ranges_reports_discontinuous(self):
+        text = ablation_ranges()
+        assert "Simpson" in text
+
+
+class TestFullReport:
+    def test_results_json_schema(self, tmp_path):
+        import json
+        from repro.eval.fullreport import report_all
+        written = report_all(tmp_path, include_sweeps=False,
+                             echo=lambda *_: None)
+        assert "RESULTS.json" in written
+        data = json.loads(written["RESULTS.json"].read_text())
+        assert set(data) == {"table2_seconds", "improvement_ranges"}
+        cell = data["table2_seconds"]["x86-gcc"]["AudioProcess"]
+        assert cell["frodo"] < cell["simulink"]
+        low, high = data["improvement_ranges"]["x86-gcc"]["simulink"]
+        assert 1.0 < low < high
+
+    def test_svg_artifacts_written(self, tmp_path):
+        from repro.eval.fullreport import report_all
+        written = report_all(tmp_path, include_sweeps=False,
+                             echo=lambda *_: None)
+        assert "table2_x86_gcc.svg" in written
+        assert "figure6_arm-clang.svg" in written

@@ -1,0 +1,194 @@
+"""Unit tests for the calculation-range algebra (IndexSet)."""
+
+import pytest
+
+from repro.core.intervals import IndexSet
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = IndexSet.empty()
+        assert s.is_empty
+        assert s.size == 0
+        assert list(s) == []
+
+    def test_full(self):
+        s = IndexSet.full(5)
+        assert s.size == 5
+        assert s.intervals == ((0, 5),)
+
+    def test_full_zero(self):
+        assert IndexSet.full(0).is_empty
+
+    def test_full_negative_raises(self):
+        with pytest.raises(ValueError):
+            IndexSet.full(-1)
+
+    def test_interval(self):
+        assert IndexSet.interval(2, 6).intervals == ((2, 6),)
+
+    def test_interval_empty_when_reversed(self):
+        assert IndexSet.interval(6, 2).is_empty
+
+    def test_point(self):
+        s = IndexSet.point(4)
+        assert s.size == 1
+        assert 4 in s
+        assert 3 not in s
+
+    def test_from_indices_merges_consecutive(self):
+        s = IndexSet.from_indices([3, 1, 2, 7])
+        assert s.intervals == ((1, 4), (7, 8))
+
+    def test_from_indices_deduplicates(self):
+        s = IndexSet.from_indices([2, 2, 2])
+        assert s.size == 1
+
+    def test_from_slice_unit_step(self):
+        assert IndexSet.from_slice(slice(2, 8), 10) == IndexSet.interval(2, 8)
+
+    def test_from_slice_stride(self):
+        s = IndexSet.from_slice(slice(0, 10, 3), 10)
+        assert list(s) == [0, 3, 6, 9]
+
+    def test_normalization_merges_overlaps(self):
+        s = IndexSet(((0, 5), (3, 8), (8, 10)))
+        assert s.intervals == ((0, 10),)
+
+    def test_normalization_drops_empty(self):
+        s = IndexSet(((5, 5), (7, 6)))
+        assert s.is_empty
+
+    def test_normalization_sorts(self):
+        s = IndexSet(((10, 12), (0, 2)))
+        assert s.intervals == ((0, 2), (10, 12))
+
+
+class TestQueries:
+    def test_span(self):
+        assert IndexSet(((2, 4), (9, 11))).span == (2, 11)
+
+    def test_span_empty(self):
+        assert IndexSet.empty().span == (0, 0)
+
+    def test_contiguous(self):
+        assert IndexSet.interval(1, 5).is_contiguous
+        assert not IndexSet(((0, 2), (4, 6))).is_contiguous
+        assert IndexSet.empty().is_contiguous
+
+    def test_run_count(self):
+        assert IndexSet(((0, 2), (4, 6), (9, 10))).run_count == 3
+
+    def test_contains(self):
+        s = IndexSet(((0, 2), (5, 7)))
+        assert 0 in s and 1 in s and 5 in s and 6 in s
+        assert 2 not in s and 4 not in s and 7 not in s
+
+    def test_iteration_order(self):
+        assert list(IndexSet(((4, 6), (0, 2)))) == [0, 1, 4, 5]
+
+    def test_bool(self):
+        assert IndexSet.point(0)
+        assert not IndexSet.empty()
+
+    def test_len(self):
+        assert len(IndexSet(((0, 3), (10, 12)))) == 5
+
+    def test_covers(self):
+        big = IndexSet.interval(0, 10)
+        small = IndexSet(((2, 4), (6, 8)))
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert small.covers(IndexSet.empty())
+
+    def test_equals_full(self):
+        assert IndexSet.full(7).equals_full(7)
+        assert not IndexSet.interval(0, 6).equals_full(7)
+        assert IndexSet.empty().equals_full(0)
+
+    def test_describe(self):
+        assert IndexSet.interval(5, 55).describe() == "[5, 54]"
+        assert IndexSet.empty().describe() == "∅"
+        assert "∪" in IndexSet(((0, 2), (4, 6))).describe()
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IndexSet.interval(0, 3)
+        b = IndexSet.interval(5, 8)
+        assert (a | b).intervals == ((0, 3), (5, 8))
+
+    def test_union_adjacent_coalesces(self):
+        assert (IndexSet.interval(0, 3) | IndexSet.interval(3, 6)) \
+            == IndexSet.interval(0, 6)
+
+    def test_intersect(self):
+        a = IndexSet(((0, 5), (8, 12)))
+        b = IndexSet.interval(3, 10)
+        assert (a & b).intervals == ((3, 5), (8, 10))
+
+    def test_intersect_disjoint(self):
+        assert (IndexSet.interval(0, 2) & IndexSet.interval(5, 9)).is_empty
+
+    def test_difference(self):
+        a = IndexSet.interval(0, 10)
+        b = IndexSet.interval(3, 6)
+        assert (a - b).intervals == ((0, 3), (6, 10))
+
+    def test_difference_splits_multiple(self):
+        a = IndexSet.interval(0, 10)
+        b = IndexSet(((2, 3), (5, 7)))
+        assert (a - b).intervals == ((0, 2), (3, 5), (7, 10))
+
+    def test_difference_of_self_is_empty(self):
+        s = IndexSet(((1, 4), (6, 9)))
+        assert (s - s).is_empty
+
+    def test_shift(self):
+        assert IndexSet.interval(0, 50).shift(5) == IndexSet.interval(5, 55)
+
+    def test_shift_negative(self):
+        assert IndexSet.interval(5, 10).shift(-5) == IndexSet.interval(0, 5)
+
+    def test_clamp(self):
+        assert IndexSet.interval(-5, 100).clamp(0, 60) == IndexSet.interval(0, 60)
+
+    def test_dilate(self):
+        # A convolution window [k-m+1, k]: dilation by (m-1, 0).
+        out = IndexSet.interval(5, 55)
+        assert out.dilate(6, 0) == IndexSet.interval(-1, 55)
+
+    def test_dilate_merges_nearby_runs(self):
+        s = IndexSet(((0, 2), (4, 6)))
+        assert s.dilate(1, 1) == IndexSet.interval(-1, 7)
+
+    def test_dilate_negative_raises(self):
+        with pytest.raises(ValueError):
+            IndexSet.point(0).dilate(-1, 0)
+
+    def test_map_indices(self):
+        s = IndexSet.interval(0, 4)
+        doubled = s.map_indices(lambda i: 2 * i)
+        assert list(doubled) == [0, 2, 4, 6]
+
+    def test_hashable_and_eq(self):
+        a = IndexSet(((0, 3), (5, 6)))
+        b = IndexSet(((5, 6), (0, 2), (2, 3)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestPaperScenario:
+    """The Figure 3/5 narration: Selector [5, 54] out of [0, 59]."""
+
+    def test_selector_mapping(self):
+        out_demand = IndexSet.full(50)
+        in_demand = out_demand.shift(5)
+        assert in_demand.describe() == "[5, 54]"
+
+    def test_convolution_pullback(self):
+        # kernel m=7 pulls [5, 54] back to u[max(0, 5-6), 54].
+        sel = IndexSet.interval(5, 55)
+        data = sel.dilate(6, 0).clamp(0, 60)
+        assert data == IndexSet.interval(0, 55)

@@ -1,0 +1,193 @@
+"""Unit tests for the IR virtual machine: semantics and op counting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.build import add, binop, call, const, load, mul, select, sub, var
+from repro.ir.interp import VirtualMachine, execute
+from repro.ir.ops import Assign, BufferDecl, Comment, For, If, Program
+
+
+def make_program(dtype="float64"):
+    p = Program("t")
+    p.declare("x", (4,), dtype, "input")
+    p.declare("y", (4,), dtype, "output")
+    return p
+
+
+class TestBasicExecution:
+    def test_copy_loop(self):
+        p = make_program()
+        p.step.append(For("i", 0, 4, [Assign("y", var("i"), load("x", var("i")))],
+                          vectorizable=True))
+        result = execute(p, {"x": np.array([1.0, 2, 3, 4])})
+        np.testing.assert_allclose(result.outputs["y"], [1, 2, 3, 4])
+
+    def test_arithmetic(self):
+        p = make_program()
+        expr = add(mul(load("x", var("i")), const(2.0)), const(1.0))
+        p.step.append(For("i", 0, 4, [Assign("y", var("i"), expr)]))
+        result = execute(p, {"x": np.array([0.0, 1, 2, 3])})
+        np.testing.assert_allclose(result.outputs["y"], [1, 3, 5, 7])
+
+    def test_if_branches(self):
+        p = make_program()
+        cond = binop(">", load("x", var("i")), const(0.0))
+        p.step.append(For("i", 0, 4, [If(
+            cond,
+            [Assign("y", var("i"), const(1.0))],
+            [Assign("y", var("i"), const(-1.0))],
+        )]))
+        result = execute(p, {"x": np.array([-2.0, 3.0, -1.0, 5.0])})
+        np.testing.assert_allclose(result.outputs["y"], [-1, 1, -1, 1])
+
+    def test_select_expression(self):
+        p = make_program()
+        expr = select(binop(">=", load("x", var("i")), const(0.0)),
+                      load("x", var("i")), sub(const(0.0), load("x", var("i"))))
+        p.step.append(For("i", 0, 4, [Assign("y", var("i"), expr)]))
+        result = execute(p, {"x": np.array([-2.0, 3.0, -1.0, 0.0])})
+        np.testing.assert_allclose(result.outputs["y"], [2, 3, 1, 0])
+
+    def test_math_call(self):
+        p = make_program()
+        p.step.append(For("i", 0, 4, [Assign("y", var("i"),
+                                             call("sqrt", load("x", var("i"))))]))
+        result = execute(p, {"x": np.array([1.0, 4, 9, 16])})
+        np.testing.assert_allclose(result.outputs["y"], [1, 2, 3, 4])
+
+    def test_comments_are_noops(self):
+        p = make_program()
+        p.step.append(Comment("hello"))
+        p.step.append(For("i", 0, 4, [Assign("y", var("i"), const(7.0))]))
+        result = execute(p, {"x": np.zeros(4)})
+        np.testing.assert_allclose(result.outputs["y"], np.full(4, 7.0))
+
+    def test_uint32_store_wraps(self):
+        p = make_program("uint32")
+        expr = add(load("x", var("i")), const(10))
+        p.step.append(For("i", 0, 4, [Assign("y", var("i"), expr)]))
+        result = execute(p, {"x": np.array([2 ** 32 - 5] * 4, dtype="uint32")})
+        np.testing.assert_array_equal(result.outputs["y"],
+                                      np.full(4, 5, dtype="uint32"))
+
+    def test_int_division_truncates(self):
+        p = make_program()
+        p.step.append(For("i", 0, 4, [Assign(
+            "y", var("i"), load("x", binop("/", var("i"), const(2))))]))
+        result = execute(p, {"x": np.array([10.0, 20, 30, 40])})
+        np.testing.assert_allclose(result.outputs["y"], [10, 10, 20, 20])
+
+
+class TestState:
+    def test_state_persists_across_steps(self):
+        p = Program("acc")
+        p.declare("u", (1,), "float64", "input")
+        p.declare("s", (1,), "float64", "state",
+                  np.array([0.0]))
+        p.declare("y", (1,), "float64", "output")
+        p.step.append(Assign("s", const(0), add(load("s", 0), load("u", 0))))
+        p.step.append(Assign("y", const(0), load("s", 0)))
+        vm = VirtualMachine(p)
+        result = vm.run({"u": np.array([2.0])}, steps=3)
+        np.testing.assert_allclose(result.outputs["y"], 6.0)
+
+    def test_reset_restores_state(self):
+        p = Program("acc")
+        p.declare("u", (1,), "float64", "input")
+        p.declare("s", (1,), "float64", "state", np.array([5.0]))
+        p.declare("y", (1,), "float64", "output")
+        p.step.append(Assign("s", const(0), add(load("s", 0), const(1.0))))
+        p.step.append(Assign("y", const(0), load("s", 0)))
+        vm = VirtualMachine(p)
+        first = vm.run({"u": np.array([0.0])}, steps=1).outputs["y"]
+        second = vm.run({"u": np.array([0.0])}, steps=1).outputs["y"]
+        np.testing.assert_allclose(first, second)
+        np.testing.assert_allclose(first, 6.0)
+
+    def test_init_runs_once_per_reset(self):
+        p = Program("init")
+        p.declare("u", (1,), "float64", "input")
+        p.declare("y", (1,), "float64", "output")
+        p.init.append(Assign("y", const(0), const(3.0)))
+        p.step.append(Assign("y", const(0), add(load("y", 0), const(1.0))))
+        vm = VirtualMachine(p)
+        result = vm.run({"u": np.zeros(1)}, steps=2)
+        np.testing.assert_allclose(result.outputs["y"], 5.0)
+
+
+class TestCounting:
+    def test_counts_scale_with_trip_count(self):
+        p = make_program()
+        p.step.append(For("i", 0, 4, [Assign("y", var("i"),
+                                             add(load("x", var("i")), const(1.0)))],
+                          vectorizable=True))
+        counts = execute(p, {"x": np.zeros(4)}).counts
+        assert counts.vector.loads == 4
+        assert counts.vector.stores == 4
+        assert counts.vector.flops == 4
+        assert counts.vector.loop_iters == 4
+        assert counts.vector.loops_entered == 1
+
+    def test_bucket_assignment(self):
+        p = make_program()
+
+        def body(v):
+            idx = binop("%", var(v), const(4))
+            return [Assign("y", idx, load("x", idx))]
+        p.step.append(For("a", 0, 2, body("a"), vectorizable=False))
+        p.step.append(For("b", 0, 3, body("b"), vectorizable=True))
+        forced = For("c", 0, 5, body("c"), vectorizable=True)
+        forced.forced_simd = True
+        p.step.append(forced)
+        counts = execute(p, {"x": np.zeros(4)}).counts
+        assert counts.scalar.stores == 2
+        assert counts.vector.stores == 3
+        assert counts.forced.stores == 5
+        assert counts.total.stores == 10
+
+    def test_branch_counting(self):
+        p = make_program()
+        p.step.append(For("i", 0, 4, [If(binop(">", load("x", var("i")),
+                                               const(0.0)),
+                                         [Assign("y", var("i"), const(1.0))])]))
+        counts = execute(p, {"x": np.array([1.0, -1, 1, -1])}).counts
+        assert counts.scalar.branches == 4
+        assert counts.scalar.cmp_ops == 4
+        assert counts.scalar.stores == 2  # only taken branches store
+
+    def test_int_vs_float_op_classification(self):
+        p = make_program()
+        p.step.append(For("i", 0, 4, [Assign(
+            "y", var("i"),
+            load("x", binop("%", var("i"), const(2))))]))
+        counts = execute(p, {"x": np.zeros(4)}).counts
+        assert counts.scalar.int_ops == 4  # index arithmetic
+        assert counts.scalar.flops == 0
+
+
+class TestErrors:
+    def test_unknown_buffer_load(self):
+        p = make_program()
+        p.step.append(Assign("y", const(0), load("ghost", 0)))
+        with pytest.raises(SimulationError):
+            VirtualMachine(p)
+
+    def test_unknown_input_name(self):
+        p = make_program()
+        vm = VirtualMachine(p)
+        with pytest.raises(SimulationError):
+            vm.run({"nope": np.zeros(4)})
+
+    def test_wrong_input_size(self):
+        p = make_program()
+        vm = VirtualMachine(p)
+        with pytest.raises(SimulationError):
+            vm.run({"x": np.zeros(7)})
+
+    def test_setting_non_input_rejected(self):
+        p = make_program()
+        vm = VirtualMachine(p)
+        with pytest.raises(SimulationError):
+            vm.set_inputs({"y": np.zeros(4)})

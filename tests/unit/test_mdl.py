@@ -1,0 +1,157 @@
+"""Unit tests for the legacy .mdl textual container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SlxFormatError
+from repro.model.block import Block
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+from repro.model.mdl import (
+    _tokenize, load_mdl, mdl_to_model, model_to_mdl, save_mdl,
+)
+
+
+def sample_model():
+    b = ModelBuilder("Sample")
+    u = b.inport("u", shape=(16,))
+    k = b.constant("k", np.hanning(5))
+    c = b.convolution(u, k, name="conv")
+    s = b.selector(c, start=2, end=17, name="sel")
+    b.outport("y", s)
+    return b.build()
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        assert _tokenize("A { B 1 }") == ["A", "{", "B", "1", "}"]
+
+    def test_quoted_strings(self):
+        tokens = _tokenize('Name "two words"')
+        assert tokens == ["Name", '"two words']
+
+    def test_escapes(self):
+        tokens = _tokenize(r'Name "a\"b"')
+        assert tokens == ["Name", '"a"b']
+
+    def test_comments_skipped(self):
+        tokens = _tokenize("A 1 # ignored\nB 2")
+        assert tokens == ["A", "1", "B", "2"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SlxFormatError):
+            _tokenize('Name "oops')
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, tmp_path):
+        model = sample_model()
+        loaded = load_mdl(save_mdl(model, tmp_path / "m.mdl"))
+        assert set(loaded.blocks) == set(model.blocks)
+        assert len(loaded.connections) == len(model.connections)
+        assert loaded.name == "Sample"
+
+    def test_params_preserved(self, tmp_path):
+        model = sample_model()
+        loaded = load_mdl(save_mdl(model, tmp_path / "m.mdl"))
+        np.testing.assert_array_equal(loaded["k"].params["value"],
+                                      model["k"].params["value"])
+        assert loaded["sel"].params["start"] == 2
+        assert loaded["u"].params["shape"] == (16,)
+
+    def test_semantics_preserved(self, tmp_path):
+        from repro.sim.simulator import random_inputs, simulate
+        model = sample_model()
+        loaded = load_mdl(save_mdl(model, tmp_path / "m.mdl"))
+        inputs = random_inputs(model, seed=3)
+        np.testing.assert_allclose(
+            np.asarray(simulate(loaded, inputs)["y"]).ravel(),
+            np.asarray(simulate(model, inputs)["y"]).ravel())
+
+    def test_subsystem_round_trip(self, tmp_path):
+        inner = Model("inner")
+        inner.add_block(Block("in1", "Inport", {"port": 1}))
+        inner.add_block(Block("amp", "Gain", {"gain": 4.0}))
+        inner.add_block(Block("out1", "Outport", {"port": 1}))
+        inner.connect("in1", "amp")
+        inner.connect("amp", "out1")
+        outer = Model("outer")
+        outer.add_block(Block("src", "Inport", {"shape": (3,)}))
+        outer.add_subsystem(Block("sub", "SubSystem"), inner)
+        outer.add_block(Block("dst", "Outport"))
+        outer.connect("src", "sub")
+        outer.connect("sub", "dst")
+        loaded = load_mdl(save_mdl(outer, tmp_path / "nested.mdl"))
+        assert "sub" in loaded.subsystems
+        assert loaded.subsystems["sub"]["amp"].params["gain"] == 4.0
+        assert "sub.amp" in loaded.flatten()
+
+    @pytest.mark.parametrize("model_name", ["Decryption", "HT", "Simpson"])
+    def test_zoo_round_trip(self, model_name, tmp_path):
+        from repro.core.analysis import analyze
+        from repro.core.ranges import determine_ranges
+        from repro.zoo import build_model
+        model = build_model(model_name)
+        loaded = load_mdl(save_mdl(model, tmp_path / "m.mdl"))
+        assert loaded.block_count == model.block_count
+        a = determine_ranges(analyze(model))
+        b = determine_ranges(analyze(loaded))
+        assert a.output_range == b.output_range
+
+
+class TestMalformed:
+    def test_no_model_section(self):
+        with pytest.raises(SlxFormatError):
+            mdl_to_model("System { }")
+
+    def test_no_system_section(self):
+        with pytest.raises(SlxFormatError):
+            mdl_to_model('Model { Name "m" }')
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(SlxFormatError):
+            mdl_to_model("Model { System {")
+
+    def test_line_to_unknown_block(self):
+        text = """
+        Model {
+          Name "m"
+          System {
+            Block { BlockType Inport Name "u" SID "1" }
+            Line { SrcBlock "ghost" SrcPort "1" DstBlock "u" DstPort "1" }
+          }
+        }
+        """
+        with pytest.raises(SlxFormatError):
+            mdl_to_model(text)
+
+    def test_block_missing_name(self):
+        text = 'Model { Name "m" System { Block { BlockType Gain } } }'
+        with pytest.raises(SlxFormatError):
+            mdl_to_model(text)
+
+    def test_dangling_token(self):
+        with pytest.raises(SlxFormatError):
+            mdl_to_model("Model { System { } } trailing")
+
+
+def test_handwritten_mdl_parses():
+    """A plain hand-authored .mdl (no typed codec) still loads; parameter
+    strings stay strings, ints come from typed fields only."""
+    text = """
+    # hand-written model
+    Model {
+      Name "tiny"
+      System {
+        Block { BlockType Inport Name "u" SID "1" shape "shape|4" }
+        Block { BlockType Gain Name "g" SID "2" gain "float|2.0" }
+        Block { BlockType Outport Name "y" SID "3" }
+        Line { SrcBlock "u" SrcPort "1" DstBlock "g" DstPort "1" }
+        Line { SrcBlock "g" SrcPort "1" DstBlock "y" DstPort "1" }
+      }
+    }
+    """
+    from repro.sim.simulator import simulate
+    model = mdl_to_model(text)
+    out = simulate(model, {"u": np.array([1.0, 2, 3, 4])})["y"]
+    np.testing.assert_allclose(out, [2, 4, 6, 8])

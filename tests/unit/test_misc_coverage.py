@@ -1,0 +1,179 @@
+"""Coverage for remaining edge paths: base types, simulator errors,
+runner utilities, report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import Signal, broadcast_shape, promote
+from repro.blocks.base import broadcast_arrays, elementwise_input_ranges
+from repro.core.intervals import IndexSet
+from repro.errors import SimulationError, ValidationError
+from repro.model.builder import ModelBuilder
+from repro.sim.simulator import Simulator, random_inputs, simulate
+from repro.zoo import build_model
+
+
+class TestSignal:
+    def test_scalar_signal(self):
+        sig = Signal(())
+        assert sig.size == 1 and sig.is_scalar
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValidationError):
+            Signal((4,), "float16")
+
+    def test_full_range(self):
+        assert Signal((3, 4)).full_range() == IndexSet.full(12)
+
+    def test_shape_coerced_to_ints(self):
+        sig = Signal((np.int64(3),))
+        assert sig.shape == (3,)
+        assert isinstance(sig.shape[0], int)
+
+
+class TestPromotion:
+    @pytest.mark.parametrize("dtypes,expected", [
+        (("float64", "float64"), "float64"),
+        (("uint32", "float64"), "float64"),
+        (("uint32", "uint32"), "uint32"),
+        (("float64", "complex128"), "complex128"),
+        (("bool", "uint32"), "uint32"),
+    ])
+    def test_lattice(self, dtypes, expected):
+        assert promote(*dtypes) == expected
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ValidationError):
+            promote("float64", "decimal")
+
+
+class TestBroadcast:
+    def test_scalar_expansion(self):
+        assert broadcast_shape("b", [(4,), ()]) == (4,)
+
+    def test_all_scalars(self):
+        assert broadcast_shape("b", [(), ()]) == ()
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            broadcast_shape("b", [(4,), (5,)])
+
+    def test_broadcast_arrays_expands_scalars(self):
+        out = broadcast_arrays([np.zeros(4), np.array(2.0)])
+        assert out[1].shape == (4,)
+        np.testing.assert_allclose(out[1], 2.0)
+
+    def test_elementwise_input_ranges_scalar_rule(self):
+        sigs = [Signal((8,)), Signal(())]
+        demanded = IndexSet.interval(2, 5)
+        vec_rng, scalar_rng = elementwise_input_ranges(demanded, sigs)
+        assert vec_rng == demanded
+        assert scalar_rng == IndexSet.full(1)
+        vec_rng, scalar_rng = elementwise_input_ranges(IndexSet.empty(), sigs)
+        assert vec_rng.is_empty and scalar_rng.is_empty
+
+
+class TestSimulatorErrors:
+    def model(self):
+        b = ModelBuilder("m")
+        u = b.inport("u", shape=(4,))
+        b.outport("y", b.gain(u, 1.0))
+        return b.build()
+
+    def test_missing_input(self):
+        with pytest.raises(SimulationError):
+            simulate(self.model(), {})
+
+    def test_unknown_input_name(self):
+        with pytest.raises(SimulationError):
+            simulate(self.model(), {"u": np.zeros(4), "ghost": np.zeros(1)})
+
+    def test_wrong_size(self):
+        with pytest.raises(SimulationError):
+            simulate(self.model(), {"u": np.zeros(7)})
+
+    def test_history_recording(self):
+        model = self.model()
+        trace = Simulator(model).run({"u": np.ones(4)}, steps=3,
+                                     record_history=True)
+        assert len(trace.history) == 3
+        np.testing.assert_allclose(trace.history[0]["y"], np.ones(4))
+
+    def test_values_expose_intermediates(self):
+        b = ModelBuilder("m")
+        u = b.inport("u", shape=(4,))
+        mid = b.gain(u, 3.0, name="mid")
+        b.outport("y", b.bias(mid, 1.0))
+        trace = Simulator(b.build()).run({"u": np.ones(4)})
+        np.testing.assert_allclose(trace.values["mid"], np.full(4, 3.0))
+
+
+class TestRandomInputs:
+    def test_dtype_dispatch(self):
+        b = ModelBuilder("m")
+        f = b.inport("f", shape=(4,))
+        i = b.inport("i", shape=(4,), dtype="uint32")
+        c = b.inport("c", shape=(4,), dtype="complex128")
+        total = b.gain(f, 1.0)
+        b.outport("y", total)
+        b.terminator(b.shift(i, 1), name="ti")
+        b.terminator(b.conj(c), name="tc")
+        inputs = random_inputs(b.build(), seed=0)
+        assert inputs["f"].dtype == np.dtype("float64")
+        assert inputs["i"].dtype == np.dtype("uint32")
+        assert inputs["c"].dtype == np.dtype("complex128")
+
+    def test_scale_bounds_floats(self):
+        model = build_model("Motivating")
+        inputs = random_inputs(model, seed=0, scale=0.1)
+        assert np.abs(inputs["u"]).max() <= 0.1
+
+
+class TestRunnerUtilities:
+    def test_run_vm_step_executes(self):
+        from repro.eval.runner import run_vm_step
+        run_vm_step("Simpson", "frodo")  # must not raise
+
+    def test_measure_grid(self):
+        from repro.eval.runner import measure_grid
+        grid = measure_grid(["Simpson"], ["frodo", "dfsynth"], "x86-gcc")
+        assert set(grid) == {("Simpson", "frodo"), ("Simpson", "dfsynth")}
+        assert grid[("Simpson", "frodo")].seconds \
+            < grid[("Simpson", "dfsynth")].seconds
+
+
+class TestProgramIntrospection:
+    def test_statement_and_loop_counts(self):
+        from repro.codegen import FrodoGenerator
+        code = FrodoGenerator().generate(build_model("Motivating"))
+        assert code.program.loop_count >= 3
+        assert code.program.statement_count > code.program.loop_count
+
+    def test_buffers_of_kind_partition(self):
+        from repro.codegen import FrodoGenerator
+        program = FrodoGenerator().generate(build_model("Kalman")).program
+        total = sum(len(program.buffers_of_kind(kind))
+                    for kind in ("input", "output", "state", "temp", "const"))
+        assert total == len(program.buffers)
+
+    def test_double_buffer_declaration_rejected(self):
+        from repro.errors import CodegenError
+        from repro.ir.ops import Program
+        p = Program("t")
+        p.declare("x", (4,), "float64", "temp")
+        with pytest.raises(CodegenError):
+            p.declare("x", (4,), "float64", "temp")
+
+    def test_unknown_buffer_kind_rejected(self):
+        from repro.errors import CodegenError
+        from repro.ir.ops import Program
+        with pytest.raises(CodegenError):
+            Program("t").declare("x", (4,), "float64", "scratch")
+
+    def test_double_function_definition_rejected(self):
+        from repro.errors import CodegenError
+        from repro.ir.ops import FuncDef, Program
+        p = Program("t")
+        p.define_function(FuncDef("f"))
+        with pytest.raises(CodegenError):
+            p.define_function(FuncDef("f"))

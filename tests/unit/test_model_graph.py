@@ -1,0 +1,201 @@
+"""Unit tests for the model container: blocks, connections, flattening."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.block import Block, Connection, PortRef
+from repro.model.graph import Model
+
+
+def simple_chain() -> Model:
+    m = Model("chain")
+    m.add_block(Block("in", "Inport", {"shape": (4,)}))
+    m.add_block(Block("g", "Gain", {"gain": 2.0}))
+    m.add_block(Block("out", "Outport"))
+    m.connect("in", "g")
+    m.connect("g", "out")
+    return m
+
+
+class TestBlock:
+    def test_name_validation(self):
+        with pytest.raises(ModelError):
+            Block("", "Gain")
+        with pytest.raises(ModelError):
+            Block("a/b", "Gain")
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ModelError):
+            Block("x", "")
+
+    def test_require_param(self):
+        b = Block("x", "Gain", {"gain": 3.0})
+        assert b.require_param("gain") == 3.0
+        with pytest.raises(ModelError):
+            b.require_param("missing")
+
+    def test_copy_with(self):
+        b = Block("x", "Gain", {"gain": 3.0}, sid=7)
+        c = b.copy_with(name="y", params={"gain": 4.0})
+        assert c.name == "y" and c.params["gain"] == 4.0 and c.sid == 7
+        assert b.params["gain"] == 3.0  # original untouched
+
+
+class TestConnections:
+    def test_negative_port_rejected(self):
+        with pytest.raises(ModelError):
+            Connection("a", -1, "b", 0)
+
+    def test_duplicate_block_rejected(self):
+        m = Model("m")
+        m.add_block(Block("x", "Gain", {"gain": 1.0}))
+        with pytest.raises(ModelError):
+            m.add_block(Block("x", "Gain", {"gain": 1.0}))
+
+    def test_unknown_endpoint_rejected(self):
+        m = simple_chain()
+        with pytest.raises(ModelError):
+            m.connect("nope", "g")
+
+    def test_double_driven_port_rejected(self):
+        m = simple_chain()
+        m.add_block(Block("g2", "Gain", {"gain": 1.0}))
+        with pytest.raises(ModelError):
+            m.connect("g2", "out")  # out:0 already driven by g
+
+    def test_portref_connect(self):
+        m = Model("m")
+        m.add_block(Block("a", "Inport", {"shape": ()}))
+        m.add_block(Block("s", "Add", {}))
+        m.connect(PortRef("a", 0), PortRef("s", 1))
+        assert m.inputs_of("s") == {1: ("a", 0)}
+
+
+class TestQueries:
+    def test_roots_and_sinks(self):
+        m = simple_chain()
+        assert [b.name for b in m.root_blocks()] == ["in"]
+        assert [b.name for b in m.sink_blocks()] == ["out"]
+
+    def test_successors_predecessors(self):
+        m = simple_chain()
+        assert m.successors("in") == ["g"]
+        assert m.predecessors("out") == ["g"]
+        assert m.in_degree("g") == 1
+
+    def test_outputs_of_fanout(self):
+        m = simple_chain()
+        m.add_block(Block("out2", "Outport"))
+        m.connect("g", "out2")
+        assert len(m.outputs_of("g")[0]) == 2
+
+    def test_getitem_unknown(self):
+        with pytest.raises(ModelError):
+            simple_chain()["ghost"]
+
+    def test_blocks_of_type(self):
+        m = simple_chain()
+        assert [b.name for b in m.blocks_of_type("Gain")] == ["g"]
+
+    def test_describe_mentions_blocks(self):
+        text = simple_chain().describe()
+        assert "Gain" in text and "in:0 -> g:0" in text
+
+
+def subsystem_model() -> Model:
+    inner = Model("inner")
+    inner.add_block(Block("in1", "Inport", {"port": 1}))
+    inner.add_block(Block("scale", "Gain", {"gain": 3.0}))
+    inner.add_block(Block("out1", "Outport", {"port": 1}))
+    inner.connect("in1", "scale")
+    inner.connect("scale", "out1")
+
+    outer = Model("outer")
+    outer.add_block(Block("src", "Inport", {"shape": (4,)}))
+    outer.add_subsystem(Block("sub", "SubSystem"), inner)
+    outer.add_block(Block("dst", "Outport"))
+    outer.connect("src", "sub")
+    outer.connect("sub", "dst")
+    return outer
+
+
+class TestFlattening:
+    def test_block_count_counts_inner(self):
+        m = subsystem_model()
+        # src + dst + (in1 + scale + out1); the SubSystem wrapper is free.
+        assert m.block_count == 5
+
+    def test_flatten_removes_subsystem(self):
+        flat = subsystem_model().flatten()
+        assert not flat.blocks_of_type("SubSystem")
+        assert "sub.scale" in flat
+
+    def test_flatten_rewires(self):
+        flat = subsystem_model().flatten()
+        assert flat.inputs_of("sub.scale") == {0: ("src", 0)}
+        assert flat.inputs_of("dst") == {0: ("sub.scale", 0)}
+
+    def test_flatten_drops_boundary_ports(self):
+        flat = subsystem_model().flatten()
+        names = set(flat.blocks)
+        assert names == {"src", "dst", "sub.scale"}
+
+    def test_nested_flattening(self):
+        innermost = Model("core")
+        innermost.add_block(Block("in1", "Inport", {"port": 1}))
+        innermost.add_block(Block("amp", "Gain", {"gain": 2.0}))
+        innermost.add_block(Block("out1", "Outport", {"port": 1}))
+        innermost.connect("in1", "amp")
+        innermost.connect("amp", "out1")
+
+        middle = Model("middle")
+        middle.add_block(Block("in1", "Inport", {"port": 1}))
+        middle.add_subsystem(Block("deep", "SubSystem"), innermost)
+        middle.add_block(Block("out1", "Outport", {"port": 1}))
+        middle.connect("in1", "deep")
+        middle.connect("deep", "out1")
+
+        outer = Model("outer")
+        outer.add_block(Block("src", "Inport", {"shape": (2,)}))
+        outer.add_subsystem(Block("sub", "SubSystem"), middle)
+        outer.add_block(Block("dst", "Outport"))
+        outer.connect("src", "sub")
+        outer.connect("sub", "dst")
+
+        flat = outer.flatten()
+        assert "sub.deep.amp" in flat
+        assert flat.inputs_of("sub.deep.amp") == {0: ("src", 0)}
+
+    def test_passthrough_subsystem_rejected(self):
+        inner = Model("inner")
+        inner.add_block(Block("in1", "Inport", {"port": 1}))
+        inner.add_block(Block("out1", "Outport", {"port": 1}))
+        inner.connect("in1", "out1")
+        outer = Model("outer")
+        outer.add_block(Block("src", "Inport", {"shape": ()}))
+        outer.add_subsystem(Block("sub", "SubSystem"), inner)
+        outer.add_block(Block("dst", "Outport"))
+        outer.connect("src", "sub")
+        outer.connect("sub", "dst")
+        with pytest.raises(ModelError):
+            outer.flatten()
+
+    def test_fanout_into_subsystem(self):
+        inner = Model("inner")
+        inner.add_block(Block("in1", "Inport", {"port": 1}))
+        inner.add_block(Block("a", "Gain", {"gain": 1.0}))
+        inner.add_block(Block("b", "Gain", {"gain": 2.0}))
+        inner.add_block(Block("out1", "Outport", {"port": 1}))
+        inner.connect("in1", "a")
+        inner.connect("in1", "b")
+        inner.connect("a", "out1")
+
+        outer = Model("outer")
+        outer.add_block(Block("src", "Inport", {"shape": ()}))
+        outer.add_subsystem(Block("sub", "SubSystem"), inner)
+        outer.add_block(Block("dst", "Outport"))
+        outer.connect("src", "sub")
+        outer.connect("sub", "dst")
+        flat = outer.flatten()
+        assert flat.inputs_of("sub.a") == {0: ("src", 0)}
+        assert flat.inputs_of("sub.b") == {0: ("src", 0)}

@@ -1,0 +1,181 @@
+"""Unit tests for the optional optimization passes: buffer reuse
+(variable reuse) and generation-time constant folding."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import make_generator
+from repro.codegen.bufreuse import reuse_buffers
+from repro.ir.build import add, const, load, var
+from repro.ir.interp import VirtualMachine, execute
+from repro.ir.ops import Assign, For, Program
+from repro.model.builder import ModelBuilder
+from repro.sim.simulator import random_inputs, simulate
+from repro.zoo import TABLE1, build_model
+
+ZOO_IDS = [entry.name for entry in TABLE1]
+
+
+class TestBufferReusePass:
+    def chain_program(self):
+        """u -> a -> b -> c -> y: `a` is dead by the time `c` is defined,
+        so `c` can take over `a`'s slot; `b` overlaps both its neighbours
+        and must keep its own."""
+        p = Program("t")
+        p.declare("u", (8,), "float64", "input")
+        p.declare("a", (8,), "float64", "temp")
+        p.declare("b", (8,), "float64", "temp")
+        p.declare("c", (8,), "float64", "temp")
+        p.declare("y", (8,), "float64", "output")
+        for src, dst in (("u", "a"), ("a", "b"), ("b", "c"), ("c", "y")):
+            p.step.append(For(f"i_{dst}", 0, 8, [Assign(
+                dst, var(f"i_{dst}"),
+                add(load(src, var(f"i_{dst}")), const(1.0)))]))
+        return p
+
+    def test_disjoint_lifetimes_merge(self):
+        p = self.chain_program()
+        bytes_before = p.static_bytes
+        renaming = reuse_buffers(p)
+        assert renaming == {"c": "a"}
+        result = execute(p, {"u": np.zeros(8)})
+        np.testing.assert_allclose(result.outputs["y"], np.full(8, 4.0))
+        assert p.static_bytes < bytes_before
+
+    def test_adjacent_producer_consumer_not_merged(self):
+        """`b` is read while being the most recent def: lifetimes of `a`
+        and `b` touch at the a->b statement, so they must not merge."""
+        p = self.chain_program()
+        reuse_buffers(p)
+        assert "b" in p.buffers and "a" in p.buffers
+
+    def test_overlapping_lifetimes_not_merged(self):
+        """x and z are both live at the final combine: must stay separate."""
+        p = Program("t")
+        p.declare("u", (4,), "float64", "input")
+        p.declare("x", (4,), "float64", "temp")
+        p.declare("z", (4,), "float64", "temp")
+        p.declare("y", (4,), "float64", "output")
+        p.step.append(For("i", 0, 4, [Assign(
+            "x", var("i"), add(load("u", var("i")), const(1.0)))]))
+        p.step.append(For("j", 0, 4, [Assign(
+            "z", var("j"), add(load("u", var("j")), const(2.0)))]))
+        p.step.append(For("k", 0, 4, [Assign(
+            "y", var("k"), add(load("x", var("k")), load("z", var("k"))))]))
+        reuse_buffers(p)
+        assert "x" in p.buffers and "z" in p.buffers
+        result = execute(p, {"u": np.zeros(4)})
+        np.testing.assert_allclose(result.outputs["y"], np.full(4, 3.0))
+
+    def test_dtype_mismatch_not_merged(self):
+        p = Program("t")
+        p.declare("u", (4,), "uint32", "input")
+        p.declare("a", (4,), "uint32", "temp")
+        p.declare("b", (4,), "float64", "temp")
+        p.declare("y", (4,), "float64", "output")
+        p.step.append(For("i", 0, 4, [Assign("a", var("i"),
+                                             load("u", var("i")))]))
+        p.step.append(For("j", 0, 4, [Assign("b", var("j"),
+                                             load("a", var("j")))]))
+        p.step.append(For("k", 0, 4, [Assign("y", var("k"),
+                                             load("b", var("k")))]))
+        reuse_buffers(p)
+        assert "b" in p.buffers  # cannot live in a's uint32 slot
+
+    @pytest.mark.parametrize("model_name", ZOO_IDS)
+    def test_zoo_semantics_preserved(self, model_name):
+        model = build_model(model_name)
+        plain = make_generator("frodo").generate(model)
+        reused = make_generator("frodo-reuse").generate(model)
+        assert reused.program.static_bytes <= plain.program.static_bytes
+        inputs = random_inputs(model, seed=4)
+        expected = simulate(model, inputs, steps=2)
+        got = reused.map_outputs(VirtualMachine(reused.program).run(
+            reused.map_inputs(inputs), steps=2).outputs)
+        for key in expected:
+            np.testing.assert_allclose(
+                np.asarray(got[key]).ravel(),
+                np.asarray(expected[key]).ravel(), rtol=1e-9, atol=1e-9,
+                err_msg=f"{model_name}:{key}")
+
+    def test_reuse_shrinks_big_models_substantially(self):
+        model = build_model("Maintenance")
+        plain = make_generator("frodo").generate(model).program.static_bytes
+        reused = make_generator("frodo-reuse").generate(model) \
+            .program.static_bytes
+        assert reused < 0.6 * plain
+
+    def test_state_buffers_never_merged(self):
+        b = ModelBuilder("st")
+        u = b.inport("u", shape=(8,))
+        d = b.unit_delay(u, name="d")
+        g = b.gain(d, 2.0, name="g")
+        b.outport("y", g)
+        code = make_generator("frodo-reuse").generate(b.build())
+        assert any(decl.kind == "state" for decl in
+                   code.program.buffers.values())
+
+    def test_native_compile_with_reuse(self):
+        from repro.native import compile_and_run, find_compiler
+        if find_compiler() is None:
+            pytest.skip("no C compiler")
+        model = build_model("Maunfacture")
+        code = make_generator("frodo-reuse").generate(model)
+        inputs = random_inputs(model, seed=2)
+        expected = simulate(model, inputs)
+        result = compile_and_run(code, inputs)
+        for key in expected:
+            np.testing.assert_allclose(
+                np.asarray(result.outputs[key]).ravel(),
+                np.asarray(expected[key]).ravel())
+
+
+class TestConstantFolding:
+    def test_constant_chain_folds(self):
+        b = ModelBuilder("fold")
+        u = b.inport("u", shape=(4,))
+        c = b.constant("c", np.arange(4.0))
+        doubled = b.gain(c, 2.0, name="doubled")  # constant-fed
+        total = b.add(u, doubled, name="total")
+        b.outport("y", total)
+        code = make_generator("frodo-fold").generate(b.build())
+        assert code.program.notes.get("doubled") \
+            == "folded to a compile-time constant"
+        decl = [d for d in code.program.buffers.values()
+                if d.name.endswith("doubled")][0]
+        assert decl.kind == "const"
+        np.testing.assert_allclose(decl.init.ravel(), [0, 2, 4, 6])
+
+    def test_folding_reduces_dynamic_ops(self):
+        model = build_model("Back")  # Transpose of a constant W
+        inputs = random_inputs(model, seed=1)
+        ops = {}
+        for generator in ("frodo", "frodo-fold"):
+            code = make_generator(generator).generate(model)
+            ops[generator] = VirtualMachine(code.program).run(
+                code.map_inputs(inputs)).counts.total.total_element_ops
+        assert ops["frodo-fold"] < ops["frodo"]
+
+    @pytest.mark.parametrize("model_name", ["Back", "HT", "Simpson",
+                                            "Decryption"])
+    def test_zoo_semantics_preserved(self, model_name):
+        model = build_model(model_name)
+        code = make_generator("frodo-fold").generate(model)
+        inputs = random_inputs(model, seed=6)
+        expected = simulate(model, inputs, steps=2)
+        got = code.map_outputs(VirtualMachine(code.program).run(
+            code.map_inputs(inputs), steps=2).outputs)
+        for key in expected:
+            np.testing.assert_allclose(
+                np.asarray(got[key]).ravel(),
+                np.asarray(expected[key]).ravel(), rtol=1e-9, atol=1e-9)
+
+    def test_stateful_blocks_never_folded(self):
+        b = ModelBuilder("nf")
+        c = b.constant("c", np.zeros(4))
+        d = b.unit_delay(c, name="d")  # constant-fed but stateful
+        g = b.gain(d, 1.0, name="g")
+        b.outport("y", g)
+        code = make_generator("frodo-fold").generate(b.build())
+        assert "d" not in [k for k, v in code.program.notes.items()
+                           if "folded" in v]

@@ -1,0 +1,66 @@
+"""Unit tests for the per-block profiler."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import make_generator
+from repro.eval.profile import profile_program, render_profile
+from repro.ir.interp import VirtualMachine
+from repro.sim.simulator import random_inputs
+from repro.zoo import build_model
+
+
+class TestProfileProgram:
+    def test_attribution_sums_to_vm_totals(self):
+        model = build_model("Maunfacture")
+        code = make_generator("frodo").generate(model)
+        inputs = random_inputs(model, seed=0)
+        blocks = profile_program(code, inputs)
+        attributed = sum(bp.total_ops for bp in blocks)
+        full = VirtualMachine(code.program).run(
+            code.map_inputs(inputs)).counts.total.total_element_ops
+        assert attributed == full
+
+    def test_conv_dominates_manufacture(self):
+        model = build_model("Maunfacture")
+        code = make_generator("frodo").generate(model)
+        blocks = profile_program(code, random_inputs(model, seed=0))
+        assert blocks[0].label == "smooth_conv"
+        assert blocks[0].total_ops > sum(b.total_ops for b in blocks) * 0.4
+
+    def test_state_segments_labeled(self):
+        model = build_model("Kalman")
+        code = make_generator("frodo").generate(model)
+        blocks = profile_program(code, random_inputs(model, seed=0), steps=2)
+        labels = {bp.label for bp in blocks}
+        assert any(lbl.endswith("(state)") for lbl in labels)
+
+    def test_multi_step_scales_counts(self):
+        model = build_model("Simpson")
+        code = make_generator("frodo").generate(model)
+        inputs = random_inputs(model, seed=0)
+        one = sum(bp.total_ops for bp in profile_program(code, inputs, steps=1))
+        three = sum(bp.total_ops for bp in profile_program(code, inputs, steps=3))
+        assert three == 3 * one
+
+    def test_frodo_shrinks_the_hot_block(self):
+        """The profiler makes FRODO's effect visible block-by-block."""
+        model = build_model("Maunfacture")
+        inputs = random_inputs(model, seed=0)
+
+        def conv_ops(generator):
+            code = make_generator(generator).generate(model)
+            blocks = profile_program(code, inputs)
+            return next(bp.total_ops for bp in blocks
+                        if bp.label == "smooth_conv")
+        assert conv_ops("frodo") < 0.6 * conv_ops("dfsynth")
+
+
+class TestRenderProfile:
+    def test_render_contains_shares(self):
+        text = render_profile(build_model("Simpson"))
+        assert "%" in text and "per-block cost" in text
+
+    def test_render_top_truncation(self):
+        text = render_profile(build_model("Maintenance"), top=5)
+        assert "more)" in text

@@ -1,0 +1,71 @@
+"""Unit tests for shape-aware regions (2-D range reasoning)."""
+
+import pytest
+
+from repro.core.intervals import IndexSet, Region, shape_size
+
+
+class TestShapeSize:
+    def test_scalar(self):
+        assert shape_size(()) == 1
+
+    def test_vector(self):
+        assert shape_size((7,)) == 7
+
+    def test_matrix(self):
+        assert shape_size((3, 4)) == 12
+
+
+class TestRegion:
+    def test_full(self):
+        r = Region.full((3, 4))
+        assert r.is_full
+        assert r.indices.size == 12
+
+    def test_empty(self):
+        assert Region.empty((3, 4)).is_empty
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ValueError):
+            Region((2, 2), IndexSet.point(4))
+
+    def test_rows_touched(self):
+        # 3x4 matrix, elements 1 and 6 -> rows 0 and 1.
+        r = Region((3, 4), IndexSet.from_indices([1, 6]))
+        assert list(r.rows_touched()) == [0, 1]
+
+    def test_cols_touched(self):
+        r = Region((3, 4), IndexSet.from_indices([1, 6]))
+        assert list(r.cols_touched()) == [1, 2]
+
+    def test_full_region_touches_everything(self):
+        r = Region.full((3, 4))
+        assert list(r.rows_touched()) == [0, 1, 2]
+        assert list(r.cols_touched()) == [0, 1, 2, 3]
+
+    def test_from_rows_cols_rectangle(self):
+        r = Region.from_rows_cols((3, 4), IndexSet.from_indices([0, 2]),
+                                  IndexSet.interval(1, 3))
+        assert sorted(r.indices) == [1, 2, 9, 10]
+
+    def test_from_rows_cols_clamps(self):
+        r = Region.from_rows_cols((2, 2), IndexSet.interval(0, 99),
+                                  IndexSet.interval(0, 99))
+        assert r.is_full
+
+    def test_vector_as_row(self):
+        r = Region((4,), IndexSet.interval(1, 3))
+        assert list(r.rows_touched()) == [0]
+        assert list(r.cols_touched()) == [1, 2]
+
+    def test_matmul_pullback_scenario(self):
+        """Submatrix [0..1, 0..1] of an (4x4)@(4x4) product needs rows 0-1
+        of A (all columns) and columns 0-1 of B (all rows)."""
+        out = Region.from_rows_cols((4, 4), IndexSet.interval(0, 2),
+                                    IndexSet.interval(0, 2))
+        rows = out.rows_touched()
+        cols = out.cols_touched()
+        a_need = Region.from_rows_cols((4, 4), rows, IndexSet.full(4))
+        b_need = Region.from_rows_cols((4, 4), IndexSet.full(4), cols)
+        assert a_need.indices == IndexSet.interval(0, 8)
+        assert sorted(b_need.indices) == [0, 1, 4, 5, 8, 9, 12, 13]

@@ -1,0 +1,121 @@
+"""Unit tests for the translation scheduling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.schedule import (
+    STRATEGIES, is_valid_schedule, reschedule, topological_schedule,
+)
+from repro.errors import AnalysisError
+from repro.model.builder import ModelBuilder
+from repro.zoo import build_model
+
+
+def diamond_model():
+    b = ModelBuilder("diamond")
+    u = b.inport("u", shape=(8,))
+    left = b.gain(u, 2.0, name="left")
+    right = b.gain(u, 3.0, name="right")
+    join = b.add(left, right, name="join")
+    b.outport("y", join)
+    return b.build()
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_valid_on_diamond(self, strategy):
+        model = diamond_model()
+        order = topological_schedule(model, strategy)
+        assert is_valid_schedule(model, order)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("model_name", ["AudioProcess", "Kalman",
+                                            "Maintenance"])
+    def test_valid_on_zoo(self, strategy, model_name):
+        model = build_model(model_name).flatten()
+        order = topological_schedule(model, strategy)
+        assert is_valid_schedule(model, order)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_deterministic(self, strategy):
+        model = diamond_model()
+        assert topological_schedule(model, strategy) \
+            == topological_schedule(model, strategy)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(AnalysisError):
+            topological_schedule(diamond_model(), "random")
+
+    def test_fanout_first_prefers_high_fanout(self):
+        b = ModelBuilder("fanout")
+        u = b.inport("u", shape=(4,))
+        hub = b.gain(u, 1.0, name="hub")       # feeds 3 consumers
+        lone = b.gain(u, 2.0, name="lone")     # feeds 1
+        c1 = b.abs(hub, name="c1")
+        c2 = b.bias(hub, 1.0, name="c2")
+        c3 = b.gain(hub, 3.0, name="c3")
+        total = b.add(c1, c2, c3, lone, name="total")
+        b.outport("y", total)
+        order = topological_schedule(b.build(), "fanout_first")
+        assert order.index("hub") < order.index("lone")
+
+    def test_depth_first_keeps_chains_adjacent(self):
+        b = ModelBuilder("chains")
+        u = b.inport("u", shape=(4,))
+        a1 = b.gain(u, 1.0, name="a1")
+        a2 = b.gain(a1, 1.0, name="a2")
+        b1 = b.gain(u, 2.0, name="b1")
+        b2 = b.gain(b1, 2.0, name="b2")
+        total = b.add(a2, b2, name="total")
+        b.outport("y", total)
+        order = topological_schedule(b.build(), "depth_first")
+        # Each chain's stages are contiguous.
+        assert abs(order.index("a2") - order.index("a1")) == 1
+        assert abs(order.index("b2") - order.index("b1")) == 1
+
+    def test_algebraic_loop_detected(self):
+        from repro.model.block import Block
+        from repro.model.graph import Model
+        m = Model("loop")
+        m.add_block(Block("a", "Gain", {"gain": 1.0}))
+        m.add_block(Block("b", "Gain", {"gain": 1.0}))
+        m.connect("a", "b")
+        m.connect("b", "a")
+        with pytest.raises(AnalysisError):
+            topological_schedule(m, "lexicographic")
+
+    def test_delay_edges_not_blocking(self):
+        b = ModelBuilder("fb")
+        u = b.inport("u", shape=(2,))
+        prev = b.block("UnitDelay", name="prev", shape=(2,),
+                       dtype="float64", initial=0.0)
+        acc = b.add(u, prev, name="acc")
+        b.model.connect(acc, prev)
+        b.outport("y", acc)
+        for strategy in STRATEGIES:
+            order = topological_schedule(b.build(), strategy)
+            assert order.index("prev") < order.index("acc")
+
+
+class TestRescheduledGeneration:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_generated_code_correct_under_any_schedule(self, strategy):
+        from repro.codegen import FrodoGenerator
+        from repro.ir.interp import VirtualMachine
+        from repro.sim.simulator import random_inputs, simulate
+
+        model = build_model("Kalman")
+        generator = FrodoGenerator()
+        generator.schedule_strategy = strategy
+        code = generator.generate(model)
+        assert is_valid_schedule(code.analyzed.model, code.analyzed.schedule)
+        inputs = random_inputs(model, seed=1)
+        expected = simulate(model, inputs, steps=3)
+        got = code.map_outputs(VirtualMachine(code.program).run(
+            code.map_inputs(inputs), steps=3).outputs)
+        for key in expected:
+            np.testing.assert_allclose(
+                np.asarray(got[key]).ravel(),
+                np.asarray(expected[key]).ravel(),
+                err_msg=f"{strategy}:{key}")

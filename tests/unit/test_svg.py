@@ -1,0 +1,56 @@
+"""Unit tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+from repro.eval.svg import grouped_bar_chart, save_figure6_svg
+
+
+class TestGroupedBarChart:
+    def sample(self):
+        return {
+            "vs simulink": {"A": 2.0, "B": 4.5},
+            "vs dfsynth": {"A": 1.4, "B": 1.8},
+        }
+
+    def test_well_formed_xml(self):
+        svg = grouped_bar_chart(self.sample(), "demo")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_bar_count(self):
+        svg = grouped_bar_chart(self.sample(), "demo")
+        root = ET.fromstring(svg)
+        rects = [el for el in root.iter()
+                 if el.tag.endswith("rect")]
+        # 4 data bars + 2 legend swatches.
+        assert len(rects) == 6
+
+    def test_reference_line_drawn(self):
+        svg = grouped_bar_chart(self.sample(), "demo", reference=1.0)
+        assert "FRODO baseline" in svg
+
+    def test_no_reference(self):
+        svg = grouped_bar_chart(self.sample(), "demo", reference=None)
+        assert "FRODO baseline" not in svg
+
+    def test_titles_escaped(self):
+        svg = grouped_bar_chart({"a<b": {"x&y": 1.0}}, "t<itle>")
+        ET.fromstring(svg)  # would raise on raw < or &
+
+    def test_tooltips_carry_values(self):
+        svg = grouped_bar_chart(self.sample(), "demo")
+        assert "vs simulink / B: 4.50x" in svg
+
+    def test_empty_series(self):
+        svg = grouped_bar_chart({}, "empty")
+        ET.fromstring(svg)
+
+
+def test_save_figure6_svg(tmp_path):
+    from repro.eval.experiments import figure6
+    result = figure6("arm-gcc")
+    path = save_figure6_svg(result, tmp_path / "fig6.svg")
+    text = path.read_text()
+    ET.fromstring(text)
+    for model in ("AudioProcess", "Simpson"):
+        assert model in text

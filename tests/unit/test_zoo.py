@@ -1,0 +1,88 @@
+"""Unit tests for the benchmark model zoo (Table 1 fidelity)."""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.ranges import determine_ranges
+from repro.zoo import TABLE1, build_all, build_model, model_names
+
+
+class TestInventory:
+    def test_ten_models(self):
+        assert len(TABLE1) == 10
+
+    def test_names_match_paper_rows(self):
+        assert model_names() == [
+            "AudioProcess", "Decryption", "HighPass", "HT", "Kalman",
+            "Back", "Maintenance", "Maunfacture", "RunningDiff", "Simpson",
+        ]
+
+    @pytest.mark.parametrize("entry", TABLE1, ids=lambda e: e.name)
+    def test_block_counts_match_table1(self, entry):
+        assert entry.builder().block_count == entry.block_count
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("Halide")
+
+    def test_motivating_example_available(self):
+        model = build_model("Motivating")
+        assert model.blocks_of_type("Convolution")
+
+    def test_build_all(self):
+        assert set(build_all()) == set(model_names())
+
+
+@pytest.mark.parametrize("entry", TABLE1, ids=lambda e: e.name)
+class TestZooStructure:
+    def test_analyzable(self, entry):
+        analyzed = analyze(entry.builder())
+        assert analyzed.schedule
+
+    def test_has_data_truncation_blocks(self, entry):
+        """Every zoo model is data-intensive: it must contain at least one
+        data-truncation block (the blocks FRODO targets)."""
+        from repro.blocks import spec_for
+        analyzed = analyze(entry.builder())
+        assert any(spec_for(b).is_truncation for b in analyzed.model)
+
+    def test_frodo_finds_optimizable_blocks(self, entry):
+        analyzed = analyze(entry.builder())
+        ranges = determine_ranges(analyzed)
+        assert ranges.optimizable, f"{entry.name}: nothing optimizable"
+        assert ranges.eliminated_elements(analyzed) > 0
+
+    def test_has_outputs(self, entry):
+        analyzed = analyze(entry.builder())
+        assert analyzed.outports
+
+
+class TestSpecificStructures:
+    def test_decryption_is_uint32(self):
+        analyzed = analyze(build_model("Decryption"))
+        assert analyzed.signal_of("round0_xor").dtype == "uint32"
+
+    def test_ht_is_complex(self):
+        analyzed = analyze(build_model("HT"))
+        assert analyzed.signal_of("ahb").dtype == "complex128"
+
+    def test_kalman_has_feedback_delay(self):
+        model = build_model("Kalman")
+        assert model.blocks_of_type("UnitDelay")
+
+    def test_maintenance_has_dormant_channels(self):
+        model = build_model("Maintenance")
+        assert len(model.blocks_of_type("Terminator")) == 6
+
+    def test_simpson_has_discontinuous_ranges(self):
+        """The §5 threat: stride selectors induce multi-run ranges."""
+        analyzed = analyze(build_model("Simpson"))
+        ranges = determine_ranges(analyzed)
+        assert any(rng.run_count > 1 for rng in ranges.output_range.values())
+
+    def test_audioprocess_convolutions_trimmed_to_interior(self):
+        analyzed = analyze(build_model("AudioProcess"))
+        ranges = determine_ranges(analyzed)
+        conv_range = ranges.output_range["band0_conv"]
+        sig = analyzed.signal_of("band0_conv")
+        assert conv_range.size < sig.size
