@@ -1,0 +1,163 @@
+"""Closure-vs-vector VM backend benchmark (`BENCH_vm.json` trajectory).
+
+Times one step of each generated program under every execution backend
+(``closure``, ``vector``, ``auto``), cross-checks that outputs and
+``ContextCounts`` stay bit-identical, measures the program-cache hit
+path, and records everything to ``BENCH_vm.json`` at the repo root so
+successive PRs can track the perf trajectory.
+
+Run directly (not collected by the tier-1 pytest config)::
+
+    PYTHONPATH=src python benchmarks/bench_vm_backends.py          # full
+    PYTHONPATH=src python benchmarks/bench_vm_backends.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.codegen import make_generator            # noqa: E402
+from repro.ir.interp import (BACKENDS, VirtualMachine, cached_vm,
+                             clear_vm_cache)        # noqa: E402
+from repro.sim.simulator import random_inputs       # noqa: E402
+from repro.zoo import build_model                   # noqa: E402
+
+DEFAULT_MODELS = ("ImagePipeline", "AudioProcess")
+DEFAULT_GENERATORS = ("simulink", "dfsynth", "hcg", "frodo")
+
+
+def best_of(fn, repeats: int, warmup: int = 1) -> float:
+    """Best-of-N wall-clock seconds (min filters scheduler noise)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_cell(model_name: str, generator: str, steps: int,
+               repeats: int) -> dict:
+    model = build_model(model_name)
+    code = make_generator(generator).generate(model)
+    inputs = code.map_inputs(random_inputs(model, seed=0))
+
+    timings: dict[str, float] = {}
+    results = {}
+    for backend in BACKENDS:
+        vm = VirtualMachine(code.program, backend=backend)
+        results[backend] = vm.run(inputs, steps=steps)  # also warms compile
+        timings[backend] = best_of(lambda: vm.run(inputs, steps=steps),
+                                   repeats)
+
+    ref = results["closure"]
+    for backend in ("vector", "auto"):
+        assert ref.counts == results[backend].counts, (
+            f"{model_name}/{generator}: counts diverge under {backend}")
+        for name, expected in ref.outputs.items():
+            assert np.asarray(expected).tobytes() == \
+                np.asarray(results[backend].outputs[name]).tobytes(), (
+                f"{model_name}/{generator}: output {name!r} diverges "
+                f"under {backend}")
+
+    ms = {b: timings[b] * 1e3 / steps for b in BACKENDS}
+    return {
+        "model": model_name,
+        "generator": generator,
+        "steps": steps,
+        "ms_per_step": {b: round(ms[b], 4) for b in BACKENDS},
+        "speedup_vector": round(ms["closure"] / ms["vector"], 2),
+        "speedup_auto": round(ms["closure"] / ms["auto"], 2),
+        "identical_outputs_and_counts": True,
+    }
+
+
+def bench_program_cache(model_name: str = "AudioProcess",
+                        generator: str = "frodo",
+                        repeats: int = 20) -> dict:
+    """Cold VM construction vs content-hash cache hit."""
+    code = make_generator(generator).generate(build_model(model_name))
+    cold = best_of(lambda: VirtualMachine(code.program), repeats, warmup=0)
+    clear_vm_cache()
+    cached_vm(code.program)
+    hit = best_of(lambda: cached_vm(code.program), repeats)
+    return {
+        "model": model_name,
+        "generator": generator,
+        "cold_construct_ms": round(cold * 1e3, 4),
+        "cache_hit_ms": round(hit * 1e3, 4),
+        "hit_speedup": round(cold / hit, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: frodo generator only, fewer repeats")
+    parser.add_argument("--models", nargs="*", default=list(DEFAULT_MODELS))
+    parser.add_argument("--generators", nargs="*",
+                        default=list(DEFAULT_GENERATORS))
+    parser.add_argument("--steps", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("-o", "--output", default=None,
+                        help="write JSON here (default: BENCH_vm.json at the "
+                             "repo root; --quick skips writing)")
+    args = parser.parse_args(argv)
+
+    generators = ["frodo"] if args.quick else args.generators
+    repeats = args.repeats if args.repeats is not None \
+        else (2 if args.quick else 7)
+
+    cells = []
+    print(f"{'model':14s} {'generator':9s} {'closure':>9s} {'vector':>9s} "
+          f"{'auto':>9s} {'speedup':>8s}")
+    for model_name in args.models:
+        for generator in generators:
+            cell = bench_cell(model_name, generator, args.steps, repeats)
+            cells.append(cell)
+            ms = cell["ms_per_step"]
+            print(f"{model_name:14s} {generator:9s} {ms['closure']:8.2f}ms "
+                  f"{ms['vector']:8.2f}ms {ms['auto']:8.2f}ms "
+                  f"{cell['speedup_vector']:7.1f}x")
+
+    cache = bench_program_cache(repeats=repeats * 3)
+    print(f"program cache: cold {cache['cold_construct_ms']:.2f}ms -> hit "
+          f"{cache['cache_hit_ms']:.4f}ms ({cache['hit_speedup']:.0f}x)")
+
+    report = {
+        "benchmark": "vm_backends",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "config": {"steps": args.steps, "repeats": repeats,
+                   "quick": args.quick},
+        "cells": cells,
+        "program_cache": cache,
+    }
+    if not args.quick or args.output:
+        out = Path(args.output) if args.output else REPO_ROOT / "BENCH_vm.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    slow = [c for c in cells
+            if c["generator"] == "frodo" and c["speedup_vector"] < 10.0
+            and c["model"] in ("ImagePipeline", "AudioProcess")]
+    for cell in slow:
+        print(f"WARNING: {cell['model']}/frodo vector speedup "
+              f"{cell['speedup_vector']}x below the 10x target")
+    return 1 if (slow and not args.quick) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

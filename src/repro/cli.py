@@ -81,7 +81,8 @@ def cmd_export(args) -> None:
 def cmd_validate(args) -> None:
     from repro.eval.validate import validate_all
     model = _resolve_model(args.model)
-    reports = validate_all(model, seeds=range(args.cases), steps=args.steps)
+    reports = validate_all(model, seeds=range(args.cases), steps=args.steps,
+                           backend=args.backend)
     failed = False
     for report in reports:
         status = "PASS" if report.passed else "FAIL"
@@ -118,7 +119,8 @@ def cmd_crosscheck(args) -> None:
     from repro.eval.crosscheck import crosscheck, render_crosscheck
     models = [args.model] if args.model else None
     cells = crosscheck(models=models, native=args.native,
-                       seeds=range(args.cases), steps=args.steps)
+                       seeds=range(args.cases), steps=args.steps,
+                       backend=args.backend)
     print(render_crosscheck(cells))
     if any(not cell.ok for cell in cells):
         raise SystemExit(1)
@@ -169,7 +171,8 @@ def cmd_profile(args) -> None:
     from repro.eval.profile import render_profile
     model = _resolve_model(args.model)
     print(render_profile(model, generator=args.generator,
-                         profile_name=args.profile, steps=args.steps))
+                         profile_name=args.profile, steps=args.steps,
+                         backend=args.backend))
 
 
 def cmd_report(args) -> None:
@@ -223,6 +226,14 @@ def cmd_blocks(args) -> None:
                              f"({len(rows)} supported types)"))
 
 
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    from repro.ir.interp import BACKENDS
+    p.add_argument("--backend", default="auto", choices=list(BACKENDS),
+                   help="VM execution backend: numpy-vectorized kernels "
+                        "with closure fallback (auto/vector) or the pure "
+                        "closure interpreter (closure)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="frodo",
@@ -256,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     p.add_argument("--cases", type=int, default=5)
     p.add_argument("--steps", type=int, default=3)
+    _add_backend_flag(p)
     p.set_defaults(func=cmd_validate)
 
     sub.add_parser("table2", help="regenerate Table 2 (x86 profiles)") \
@@ -280,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also compile and run with the host C compiler")
     p.add_argument("--cases", type=int, default=2)
     p.add_argument("--steps", type=int, default=2)
+    _add_backend_flag(p)
     p.set_defaults(func=cmd_crosscheck)
 
     p = sub.add_parser("dot",
@@ -308,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", default="x86-gcc",
                    choices=["x86-gcc", "x86-clang", "arm-gcc", "arm-clang"])
     p.add_argument("--steps", type=int, default=1)
+    _add_backend_flag(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("report",

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.codegen import make_generator
 from repro.eval.report import format_table
-from repro.ir.interp import VirtualMachine
+from repro.ir.interp import cached_vm
 from repro.ir.verify import verify_program
 from repro.sim.simulator import random_inputs, simulate
 from repro.zoo import EXTENDED, TABLE1, build_model
@@ -53,7 +53,8 @@ def _close(a, b) -> bool:
 def crosscheck(models: list[str] | None = None,
                generators: tuple[str, ...] = DEFAULT_GENERATORS,
                seeds: range = range(2), steps: int = 2,
-               native: bool = False) -> list[CrossCheckCell]:
+               native: bool = False,
+               backend: str = "auto") -> list[CrossCheckCell]:
     """Run the matrix; returns one cell per (model, generator)."""
     if models is None:
         models = [e.name for e in TABLE1] + [e.name for e in EXTENDED]
@@ -63,7 +64,7 @@ def crosscheck(models: list[str] | None = None,
         for generator in generators:
             code = make_generator(generator).generate(model)
             verified = verify_program(code.program) == []
-            vm = VirtualMachine(code.program)
+            vm = cached_vm(code.program, backend=backend)
             vm_ok = True
             reference = None
             inputs = None

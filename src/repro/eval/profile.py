@@ -76,9 +76,14 @@ def _segments(stmts: list[Stmt]) -> list[tuple[str, list[Stmt]]]:
     return segments
 
 
-def profile_program(code, inputs, steps: int = 1) -> list[BlockProfile]:
-    """Execute a generated program attributing counts per block."""
-    vm = VirtualMachine(code.program)
+def profile_program(code, inputs, steps: int = 1,
+                    backend: str = "auto") -> list[BlockProfile]:
+    """Execute a generated program attributing counts per block.
+
+    Segments are compiled through the normal backend path, so vectorized
+    kernels report the same per-block counts as the closure interpreter.
+    """
+    vm = VirtualMachine(code.program, backend=backend)
     vm.reset()
     vm.set_inputs(code.map_inputs(dict(inputs)))
     compiled = [
@@ -110,12 +115,13 @@ def profile_program(code, inputs, steps: int = 1) -> list[BlockProfile]:
 
 def render_profile(model: Model, generator: str = "frodo",
                    profile_name: str = "x86-gcc", steps: int = 1,
-                   seed: int = 0, top: int = 20) -> str:
+                   seed: int = 0, top: int = 20,
+                   backend: str = "auto") -> str:
     """Generate, execute, and render a per-block cost table."""
     prof = get_profile(profile_name)
     code = make_generator(generator).generate(model)
     inputs = random_inputs(model, seed=seed)
-    blocks = profile_program(code, inputs, steps=steps)
+    blocks = profile_program(code, inputs, steps=steps, backend=backend)
     total_ns = sum(bp.nanoseconds(prof) for bp in blocks) or 1.0
     rows = []
     for bp in blocks[:top]:

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.codegen import GeneratedCode, make_generator
 from repro.ir.cost import Profile, get_profile, modeled_seconds
-from repro.ir.interp import ContextCounts, VirtualMachine
+from repro.ir.interp import ContextCounts, cached_vm, clear_vm_cache
 from repro.model.graph import Model
 from repro.sim.simulator import random_inputs, simulate
 from repro.zoo import build_model
@@ -59,13 +59,19 @@ def _model(model_name: str) -> Model:
 
 def measure(model_name: str, generator: str, profile: str | Profile = "x86-gcc",
             steps: int = 1, seed: int = 0,
-            repetitions: int = PAPER_REPETITIONS) -> Measurement:
-    """Evaluate one cell of the Table 2 grid."""
+            repetitions: int = PAPER_REPETITIONS,
+            backend: str = "auto") -> Measurement:
+    """Evaluate one cell of the Table 2 grid.
+
+    ``backend`` selects the VM execution backend (see
+    :mod:`repro.ir.vectorize`); counts and outputs are identical across
+    backends, so Table 2 numbers do not depend on the choice.
+    """
     prof = get_profile(profile) if isinstance(profile, str) else profile
     code = _generated(model_name, generator)
     model = _model(model_name)
     inputs = random_inputs(code.analyzed, seed=seed)
-    vm = VirtualMachine(code.program)
+    vm = cached_vm(code.program, backend=backend)
     result = vm.run(code.map_inputs(inputs), steps=steps)
     named = code.map_outputs(result.outputs)
     reference = simulate(model, inputs, steps=steps)
@@ -88,7 +94,11 @@ def measure(model_name: str, generator: str, profile: str | Profile = "x86-gcc",
 
 def measure_grid(model_names: list[str], generators: list[str],
                  profile: str, **kwargs) -> dict[tuple[str, str], Measurement]:
-    """Measure a full model × generator grid under one profile."""
+    """Measure a full model × generator grid under one profile.
+
+    Keyword arguments (``steps``, ``seed``, ``backend``, ...) pass through
+    to :func:`measure`; the program cache makes repeated grids cheap.
+    """
     grid: dict[tuple[str, str], Measurement] = {}
     for model_name in model_names:
         for generator in generators:
@@ -99,14 +109,17 @@ def measure_grid(model_names: list[str], generators: list[str],
 
 def run_vm_step(model_name: str, generator: str,
                 inputs: Mapping[str, np.ndarray] | None = None,
-                steps: int = 1, seed: int = 0) -> None:
+                steps: int = 1, seed: int = 0,
+                backend: str = "auto") -> None:
     """Execute the generated program once (pytest-benchmark work unit)."""
     code = _generated(model_name, generator)
     if inputs is None:
         inputs = random_inputs(code.analyzed, seed=seed)
-    VirtualMachine(code.program).run(code.map_inputs(dict(inputs)), steps=steps)
+    vm = cached_vm(code.program, backend=backend)
+    vm.run(code.map_inputs(dict(inputs)), steps=steps)
 
 
 def clear_caches() -> None:
     _generated.cache_clear()
     _model.cache_clear()
+    clear_vm_cache()

@@ -5,10 +5,12 @@ from repro.ir.cost import (  # noqa: F401
     modeled_seconds,
 )
 from repro.ir.interp import (  # noqa: F401
-    ContextCounts, ExecResult, OpCounts, VirtualMachine, execute,
+    BACKENDS, ContextCounts, ExecResult, OpCounts, VirtualMachine, cached_vm,
+    clear_vm_cache, execute,
 )
 from repro.ir.ops import (  # noqa: F401
     Assign, BinOp, BufferDecl, Call, CallStmt, Comment, Const, Expr, For,
     FuncDef, FuncParam, If, Load, Program, Select, Stmt, UnOp, Var,
 )
+from repro.ir.vectorize import fingerprint, try_vectorize  # noqa: F401
 from repro.ir.verify import assert_verified, verify_program  # noqa: F401

@@ -84,22 +84,47 @@ def _real_sqrt(x: float) -> float:
 
 
 def _real_log(x: float) -> float:
-    # C semantics: log(0) = -inf, log(negative) = NaN.
+    # C semantics: log(0) = -inf, log(negative) = NaN.  Positive inputs go
+    # through numpy's log so the closure and vector backends agree bitwise
+    # (glibc's scalar log and numpy's differ in the last ulp on some inputs).
     if x > 0.0:
-        return math.log(x)
+        return float(np.log(x))
     return -math.inf if x == 0.0 else math.nan
+
+
+def _c_fmin(a, b):
+    # C fmin(): if one operand is NaN, return the other (Python's min()
+    # propagates NaN positionally instead).  Matches np.fmin bitwise,
+    # including the +0.0/-0.0 tie, so both VM backends agree.
+    if a != a:
+        return b
+    if b != b:
+        return a
+    return a if a <= b else b
+
+
+def _c_fmax(a, b):
+    # C fmax(): NaN loses to the non-NaN operand; see _c_fmin.
+    if a != a:
+        return b
+    if b != b:
+        return a
+    return a if a >= b else b
 
 
 _MATH_FUNCS: dict[str, Callable] = {
     "sqrt": lambda x: x ** 0.5 if isinstance(x, complex) else _real_sqrt(x),
     "fabs": abs,
-    "exp": lambda x: np.exp(x) if isinstance(x, complex) else math.exp(x),
+    # exp/tan route through numpy (scalar path == array path bitwise) so the
+    # vector backend's np.exp/np.tan produce identical results; math.exp
+    # additionally raises OverflowError where C yields inf.
+    "exp": lambda x: np.exp(x) if isinstance(x, complex) else float(np.exp(x)),
     "log": _real_log,
     "sin": math.sin,
     "cos": math.cos,
-    "tan": math.tan,
-    "fmin": min,
-    "fmax": max,
+    "tan": lambda x: float(np.tan(x)),
+    "fmin": _c_fmin,
+    "fmax": _c_fmax,
     "floor": math.floor,
     "ceil": math.ceil,
     # C round(): halfway cases away from zero (Python's round() banks).
@@ -173,19 +198,39 @@ class ExecResult:
     peak_buffer_bytes: int = 0
 
 
-class VirtualMachine:
-    """Compile a program to closures and execute it on numpy buffers."""
+BACKENDS = ("auto", "closure", "vector")
 
-    def __init__(self, program: Program):
+
+class VirtualMachine:
+    """Compile a program to closures and execute it on numpy buffers.
+
+    ``backend`` selects the execution strategy for counted loops:
+
+    * ``"closure"`` — per-element Python closures (the original path);
+    * ``"vector"`` — lower every provably-safe static loop nest to numpy
+      slice/ufunc kernels (:mod:`repro.ir.vectorize`), falling back to
+      closures wherever the safety analysis cannot prove exactness;
+    * ``"auto"`` — like ``"vector"`` but only for loops whose trip count
+      makes the numpy dispatch overhead worthwhile.
+
+    All three produce bitwise-identical outputs and identical
+    :class:`ContextCounts`; vector-kernel counts are derived analytically
+    (static per-iteration counts × trip count) in the same buckets the
+    closure path uses.
+    """
+
+    def __init__(self, program: Program, backend: str = "auto"):
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.program = program
+        self.backend = backend
         self.counts = ContextCounts()
         self._buffers: dict[str, np.ndarray] = {}
         for decl in program.buffers.values():
-            if decl.init is not None:
-                data = np.array(decl.init, dtype=decl.dtype).ravel().copy()
-            else:
-                data = np.zeros(max(decl.size, 1), dtype=decl.dtype)
-            self._buffers[decl.name] = data
+            self._buffers[decl.name] = np.empty(max(decl.size, 1),
+                                                dtype=decl.dtype)
+        self._fill_initial()
         self._specialized: dict[tuple, Callable[[dict], None]] = {}
         self._init_fn = self._compile_body(program.init, self.counts.scalar)
         self._step_fn = self._compile_body(program.step, self.counts.scalar)
@@ -193,14 +238,19 @@ class VirtualMachine:
 
     # -- public API --------------------------------------------------------
 
-    def reset(self) -> None:
-        """Restore every buffer to its declared initial value, zero counts."""
+    def _fill_initial(self) -> None:
+        """Set every buffer to its declared initial value (shared by
+        construction and :meth:`reset` so the two cannot drift)."""
         for decl in self.program.buffers.values():
             if decl.init is not None:
                 self._buffers[decl.name][:] = np.array(
                     decl.init, dtype=decl.dtype).ravel()
             else:
                 self._buffers[decl.name][:] = 0
+
+    def reset(self) -> None:
+        """Restore every buffer to its declared initial value, zero counts."""
+        self._fill_initial()
         self._initialized = False
         for bucket in (self.counts.scalar, self.counts.vector, self.counts.forced):
             for f in fields(bucket):
@@ -245,9 +295,9 @@ class VirtualMachine:
 
     # -- compilation --------------------------------------------------------
 
-    def _compile_body(self, stmts: list[Stmt],
-                      bucket: OpCounts) -> Callable[[dict], None]:
-        fns = [self._compile_stmt(s, bucket)
+    def _compile_body(self, stmts: list[Stmt], bucket: OpCounts,
+                      var_bounds: dict | None = None) -> Callable[[dict], None]:
+        fns = [self._compile_stmt(s, bucket, var_bounds)
                for s in stmts if not isinstance(s, Comment)]
         if len(fns) == 1:
             return fns[0]
@@ -257,19 +307,32 @@ class VirtualMachine:
                 fn(env)
         return body
 
-    def _compile_stmt(self, stmt: Stmt, bucket: OpCounts) -> Callable[[dict], None]:
+    def _compile_stmt(self, stmt: Stmt, bucket: OpCounts,
+                      var_bounds: dict | None = None) -> Callable[[dict], None]:
+        # var_bounds maps every in-scope integer variable to an inclusive
+        # (lo, hi) range, or None when unknown — consumed by the vector
+        # backend's overflow/bounds analysis.
+        if var_bounds is None:
+            var_bounds = {}
         if isinstance(stmt, Assign):
             return self._compile_assign(stmt, bucket)
         if isinstance(stmt, For):
+            if self.backend != "closure" and stmt.static_bounds:
+                from repro.ir.vectorize import try_vectorize
+                kernel = try_vectorize(self, stmt, var_bounds)
+                if kernel is not None:
+                    return kernel
             if stmt.forced_simd:
                 child_bucket = self.counts.forced
             elif stmt.vectorizable:
                 child_bucket = self.counts.vector
             else:
                 child_bucket = self.counts.scalar
-            body = self._compile_body(stmt.body, child_bucket)
             name = stmt.var
             if stmt.static_bounds:
+                inner = dict(var_bounds)
+                inner[name] = (stmt.start, max(stmt.start, stmt.stop - 1))
+                body = self._compile_body(stmt.body, child_bucket, inner)
                 trip = max(stmt.stop - stmt.start, 0)
                 loop_range = range(stmt.start, stmt.stop)
 
@@ -281,6 +344,9 @@ class VirtualMachine:
                         body(env)
                 return run_for
 
+            inner = dict(var_bounds)
+            inner[name] = None
+            body = self._compile_body(stmt.body, child_bucket, inner)
             start_fn = (lambda env, v=stmt.start: v) if isinstance(
                 stmt.start, int) else self._compile_expr(stmt.start, bucket)
             stop_fn = (lambda env, v=stmt.stop: v) if isinstance(
@@ -295,11 +361,11 @@ class VirtualMachine:
                     body(env)
             return run_dyn_for
         if isinstance(stmt, CallStmt):
-            return self._compile_call(stmt, bucket)
+            return self._compile_call(stmt, bucket, var_bounds)
         if isinstance(stmt, If):
             cond = self._compile_expr(stmt.cond, bucket)
-            then = self._compile_body(stmt.then, bucket)
-            orelse = self._compile_body(stmt.orelse, bucket)
+            then = self._compile_body(stmt.then, bucket, var_bounds)
+            orelse = self._compile_body(stmt.orelse, bucket, var_bounds)
 
             def run_if(env: dict) -> None:
                 bucket.branches += 1
@@ -310,8 +376,8 @@ class VirtualMachine:
             return run_if
         raise SimulationError(f"cannot compile statement {stmt!r}")
 
-    def _compile_call(self, stmt: CallStmt,
-                      bucket: OpCounts) -> Callable[[dict], None]:
+    def _compile_call(self, stmt: CallStmt, bucket: OpCounts,
+                      var_bounds: dict | None = None) -> Callable[[dict], None]:
         """Specialize and compile a generic-function invocation.
 
         The function body is rewritten with this call's buffer bindings
@@ -341,7 +407,10 @@ class VirtualMachine:
         key = (stmt.func, tuple(stmt.buffer_args))
         if key not in self._specialized:
             body = substitute_buffers(func.body, mapping)
-            self._specialized[key] = self._compile_body(body, bucket)
+            scope = dict(var_bounds or {})
+            for p in scalar_params:
+                scope[p.name] = None
+            self._specialized[key] = self._compile_body(body, bucket, scope)
         body_fn = self._specialized[key]
         arg_fns = [self._compile_expr(a, bucket) for a in stmt.scalar_args]
         names = [p.name for p in scalar_params]
@@ -507,7 +576,39 @@ class VirtualMachine:
         raise SimulationError(f"unknown binary op {op!r}")
 
 
+# -- program cache -------------------------------------------------------------
+
+# Keyed by (content fingerprint, backend): repeated run()s of structurally
+# identical generated programs (the common shape in eval/runner and the
+# benchmark suites) skip closure/kernel recompilation entirely.
+_VM_CACHE: dict[tuple[str, str], VirtualMachine] = {}
+_VM_CACHE_MAX = 64
+
+
+def cached_vm(program: Program, backend: str = "auto") -> VirtualMachine:
+    """Return a (possibly shared) VM for ``program``, LRU-cached by content.
+
+    The cache key is a stable hash of the full IR (buffer declarations with
+    initial data, functions, init and step bodies), so two independently
+    generated but identical programs share one compiled VM.  Callers are
+    expected to use :meth:`VirtualMachine.run`, which resets all state.
+    """
+    from repro.ir.vectorize import fingerprint
+    key = (fingerprint(program), backend)
+    vm = _VM_CACHE.pop(key, None)
+    if vm is None:
+        vm = VirtualMachine(program, backend=backend)
+    _VM_CACHE[key] = vm  # re-insert as most recently used
+    while len(_VM_CACHE) > _VM_CACHE_MAX:
+        del _VM_CACHE[next(iter(_VM_CACHE))]
+    return vm
+
+
+def clear_vm_cache() -> None:
+    _VM_CACHE.clear()
+
+
 def execute(program: Program, inputs: Mapping[str, np.ndarray],
-            steps: int = 1) -> ExecResult:
+            steps: int = 1, backend: str = "auto") -> ExecResult:
     """One-shot convenience: build a VM, run, return outputs and counts."""
-    return VirtualMachine(program).run(inputs, steps)
+    return VirtualMachine(program, backend=backend).run(inputs, steps)

@@ -1,0 +1,1368 @@
+"""Vector execution backend: lower static loop nests to numpy kernels.
+
+The closure interpreter (:mod:`repro.ir.interp`) pays a Python call per
+element operation.  This module compiles a ``For`` nest whose structure is
+fully static into a handful of numpy slice/ufunc operations over the whole
+iteration space of the outer loop (the *axis*), while keeping the VM's two
+contracts intact:
+
+* **bitwise-identical outputs** — every lowering rule is chosen so the
+  floating-point operation sequence per element is exactly the closure
+  path's (ufunc.accumulate for left-folds, np.where for Select, numpy
+  scalar==array bitwise equality for transcendentals), and integer work is
+  only vectorized when a conservative interval analysis proves no int64
+  wraparound can occur where Python's unbounded ints would disagree;
+* **identical operation counts** — counts never come from execution; they
+  are derived analytically (static per-iteration counts x trip counts) and
+  added to the same scalar/vector/forced buckets the closures would use,
+  so :mod:`repro.ir.cost` and the Table 2 pipeline are unaffected.
+
+Anything the analysis cannot prove safe (data-dependent ``If``,
+``CallStmt``, dynamic bounds, complex dtypes, potential cross-lane
+dependences, unprovable integer ranges, ``Select`` arms with unequal
+static cost) rejects the nest and the VM falls back to closures for it —
+statement by statement, so one irregular loop never disables the rest of
+the program.
+
+Known, documented divergence: where the closure path would *crash* (float
+division by zero raises ZeroDivisionError in Python; numpy yields inf/nan
+as C does), the two backends may differ in failure mode but never in the
+outputs of a program that runs to completion under both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ir.interp import _MATH_FUNCS, VirtualMachine
+from repro.ir.ops import (
+    Assign, BinOp, Call, CallStmt, Comment, Const, Expr, For, If, Load,
+    Program, Select, Stmt, UnOp, Var,
+)
+
+_UINT32_MASK = 0xFFFFFFFF
+_I64_MIN = -(2 ** 63)
+_I64_MAX = 2 ** 63 - 1
+
+# Loops shorter than this are left to the closure path under backend="auto":
+# numpy dispatch overhead beats per-element closures only past a few lanes.
+AUTO_MIN_TRIP = 8
+
+INT, FLOAT = "i", "f"
+
+
+class _Reject(Exception):
+    """Internal: this nest cannot be vectorized exactly; fall back."""
+
+
+# -- content fingerprint -------------------------------------------------------
+
+
+def _ser_expr(e: Expr, out: list) -> None:
+    if isinstance(e, Const):
+        out.append(f"C:{type(e.value).__name__}:{e.value!r}")
+    elif isinstance(e, Var):
+        out.append(f"V:{e.name}")
+    elif isinstance(e, Load):
+        out.append(f"L:{e.buffer}[")
+        _ser_expr(e.index, out)
+        out.append("]")
+    elif isinstance(e, BinOp):
+        out.append(f"B:{e.op}(")
+        _ser_expr(e.lhs, out)
+        out.append(",")
+        _ser_expr(e.rhs, out)
+        out.append(")")
+    elif isinstance(e, UnOp):
+        out.append(f"U:{e.op}(")
+        _ser_expr(e.operand, out)
+        out.append(")")
+    elif isinstance(e, Call):
+        out.append(f"F:{e.func}(")
+        for a in e.args:
+            _ser_expr(a, out)
+            out.append(",")
+        out.append(")")
+    elif isinstance(e, Select):
+        out.append("S(")
+        _ser_expr(e.cond, out)
+        out.append("?")
+        _ser_expr(e.if_true, out)
+        out.append(":")
+        _ser_expr(e.if_false, out)
+        out.append(")")
+    else:
+        out.append(repr(e))
+
+
+def _ser_stmt(s: Stmt, out: list) -> None:
+    if isinstance(s, Assign):
+        out.append(f"A:{s.buffer}[")
+        _ser_expr(s.index, out)
+        out.append("]=")
+        _ser_expr(s.value, out)
+        out.append(";")
+    elif isinstance(s, For):
+        out.append(f"for:{s.var}:{int(s.vectorizable)}{int(s.forced_simd)}[")
+        for b in (s.start, s.stop):
+            if isinstance(b, int):
+                out.append(str(b))
+            else:
+                _ser_expr(b, out)
+            out.append(":")
+        out.append("]{")
+        for b in s.body:
+            _ser_stmt(b, out)
+        out.append("}")
+    elif isinstance(s, If):
+        out.append("if(")
+        _ser_expr(s.cond, out)
+        out.append("){")
+        for b in s.then:
+            _ser_stmt(b, out)
+        out.append("}else{")
+        for b in s.orelse:
+            _ser_stmt(b, out)
+        out.append("}")
+    elif isinstance(s, Comment):
+        out.append(f"#:{s.text};")
+    elif isinstance(s, CallStmt):
+        out.append(f"call:{s.func}({','.join(s.buffer_args)};")
+        for a in s.scalar_args:
+            _ser_expr(a, out)
+            out.append(",")
+        out.append(")")
+    else:
+        out.append(repr(s))
+
+
+def fingerprint(program: Program) -> str:
+    """Stable content hash of a program's full IR.
+
+    Covers buffer declarations (including initial data bytes), function
+    definitions, and the init/step statement lists — two programs with the
+    same fingerprint compile to interchangeable VMs, which is what the
+    ``cached_vm`` program cache keys on.
+    """
+    h = hashlib.sha256()
+    out: list = [f"P:{program.name}:{program.generator};"]
+    for name in sorted(program.buffers):
+        d = program.buffers[name]
+        out.append(f"buf:{d.name}:{d.shape}:{d.dtype}:{d.kind}:")
+        if d.init is not None:
+            h.update("".join(out).encode())
+            out.clear()
+            h.update(np.ascontiguousarray(d.init).tobytes())
+        out.append(";")
+    for fname in sorted(program.functions):
+        f = program.functions[fname]
+        out.append(f"fn:{f.name}(")
+        for p in f.params:
+            out.append(f"{p.name}:{p.dtype}:{int(p.pointer)}:{int(p.const)},")
+        out.append("){")
+        for s in f.body:
+            _ser_stmt(s, out)
+        out.append("}")
+    out.append("init{")
+    for s in program.init:
+        _ser_stmt(s, out)
+    out.append("}step{")
+    for s in program.step:
+        _ser_stmt(s, out)
+    out.append("}")
+    h.update("".join(out).encode())
+    return h.hexdigest()
+
+
+# -- linear forms --------------------------------------------------------------
+
+
+def _linform(e: Expr) -> Optional[dict]:
+    """Express ``e`` as a linear combination {var_name: coeff, None: const}
+    of integer variables, or None if it is not (statically) linear."""
+    if isinstance(e, Const):
+        if isinstance(e.value, bool) or not isinstance(e.value, int):
+            return None
+        return {None: e.value}
+    if isinstance(e, Var):
+        return {None: 0, e.name: 1}
+    if isinstance(e, UnOp) and e.op == "-":
+        lf = _linform(e.operand)
+        return None if lf is None else {k: -v for k, v in lf.items()}
+    if isinstance(e, BinOp) and e.op in ("+", "-", "*"):
+        a, b = _linform(e.lhs), _linform(e.rhs)
+        if a is None or b is None:
+            return None
+        if e.op == "*":
+            if set(a) == {None}:
+                scale, other = a[None], b
+            elif set(b) == {None}:
+                scale, other = b[None], a
+            else:
+                return None
+            return {k: scale * v for k, v in other.items()}
+        sign = 1 if e.op == "+" else -1
+        out = dict(a)
+        for k, v in b.items():
+            out[k] = out.get(k, 0) + sign * v
+        return out
+    return None
+
+
+def _lin_delta(a: dict, b: dict) -> Optional[int]:
+    """Constant difference a - b, or None if it depends on a variable."""
+    keys = set(a) | set(b)
+    for k in keys:
+        if k is None:
+            continue
+        if a.get(k, 0) != b.get(k, 0):
+            return None
+    return a.get(None, 0) - b.get(None, 0)
+
+
+# -- small helpers -------------------------------------------------------------
+
+
+def _madd(*dicts: dict) -> dict:
+    out: dict = {}
+    for d in dicts:
+        for k, v in d.items():
+            if v:
+                out[k] = out.get(k, 0) + v
+    return out
+
+
+def _i64(v):
+    """Coerce an INT-typed runtime value to int64 ndarray / Python int.
+
+    Keeps narrow intermediate dtypes (bool, int8 from bool arithmetic) from
+    silently wrapping where Python's unbounded ints would not.
+    """
+    if isinstance(v, np.ndarray):
+        return v if v.dtype == np.int64 else v.astype(np.int64)
+    return int(v)
+
+
+def _fits_i64(*vals) -> bool:
+    return all(_I64_MIN <= v <= _I64_MAX for v in vals)
+
+
+def _corner_iv(op, a: tuple, b: tuple) -> Optional[tuple]:
+    """Interval of a monotone-per-argument integer op via corner evaluation."""
+    cands = [op(x, y) for x in a for y in b]
+    lo, hi = min(cands), max(cands)
+    return (lo, hi) if _fits_i64(lo, hi) else None
+
+
+_UNKNOWN_F = (-math.inf, math.inf, False)
+
+
+class _CInfo:
+    __slots__ = ("type", "counts")
+
+    def __init__(self, type_: str, counts: dict):
+        self.type = type_
+        self.counts = counts
+
+
+class _Planner:
+    """One attempted vectorization of a single static ``For`` nest."""
+
+    def __init__(self, vm: VirtualMachine, loop: For, var_bounds: dict):
+        self.vm = vm
+        self.loop = loop
+        self.axis = loop.var
+        self.start: int = loop.start
+        self.stop: int = loop.stop
+        self.trip = max(self.stop - self.start, 0)
+        self.lanes = np.arange(self.start, self.stop, dtype=np.int64)
+        # inclusive integer ranges for every in-scope variable (None=unknown)
+        self.var_bounds = dict(var_bounds)
+        self.var_bounds[self.axis] = (self.start, max(self.start, self.stop - 1))
+        self.seq_vars: set[str] = set()
+        self.stored: set[str] = set()        # buffers stored in this nest
+        self.reductions: dict[int, dict] = {}  # id(Assign) -> reduction plan
+        self.masked: set[int] = set()        # id(Assign) under a static If
+        # runtime cell holding the active lane mask (None = all lanes live);
+        # gather loads compiled inside an If arm clamp dead-lane indices
+        # through it so out-of-bounds lanes the guard excludes never fault
+        self._mask_holder: list = [None]
+        self._compiling_masked = False
+        self._cmemo: dict[int, _CInfo] = {}
+        self._dmemo: dict[int, frozenset] = {}
+        self._fmemo: dict[int, tuple] = {}
+        self._ivmemo: dict[int, object] = {}
+        self._memo_p: dict = {}
+        self._memo_t: dict = {}
+        self._nid = 0
+        # buffers written anywhere in the program (data-derived intervals
+        # are only trusted for buffers no statement can ever touch)
+        written = set()
+        for s in vm.program.walk():
+            if isinstance(s, Assign):
+                written.add(s.buffer)
+            elif isinstance(s, CallStmt):
+                written.update(s.buffer_args)
+        self.program_written = written
+
+    def _next_id(self) -> int:
+        self._nid += 1
+        return self._nid
+
+    def _decl(self, name: str):
+        decl = self.vm.program.buffers.get(name)
+        if decl is None:
+            raise _Reject
+        return decl
+
+    # -- static counts and types (exactly the closure path's bookkeeping) ---
+
+    def _count(self, e: Expr) -> _CInfo:
+        info = self._cmemo.get(id(e))
+        if info is None:
+            info = self._count_uncached(e)
+            self._cmemo[id(e)] = info
+        return info
+
+    def _count_uncached(self, e: Expr) -> _CInfo:
+        if isinstance(e, Const):
+            if isinstance(e.value, (bool, int)):
+                return _CInfo(INT, {})
+            if isinstance(e.value, float):
+                return _CInfo(FLOAT, {})
+            raise _Reject  # complex and friends
+        if isinstance(e, Var):
+            return _CInfo(INT, {})
+        if isinstance(e, Load):
+            ix = self._count(e.index)
+            if ix.type is not INT:
+                raise _Reject
+            dtype = self._decl(e.buffer).dtype
+            if dtype == "float64":
+                t = FLOAT
+            elif dtype in ("uint32", "int64", "bool"):
+                t = INT
+            else:
+                raise _Reject  # complex128
+            return _CInfo(t, _madd(ix.counts, {"loads": 1}))
+        if isinstance(e, BinOp):
+            a, b = self._count(e.lhs), self._count(e.rhs)
+            both_int = a.type is INT and b.type is INT
+            if e.op in ("+", "-", "*", "/", "%"):
+                key = "int_ops" if both_int else "flops"
+                return _CInfo(INT if both_int else FLOAT,
+                              _madd(a.counts, b.counts, {key: 1}))
+            if e.op in ("&", "|", "^", "<<", ">>"):
+                if not both_int:
+                    raise _Reject  # closure would int()-truncate floats
+                return _CInfo(INT, _madd(a.counts, b.counts, {"int_ops": 1}))
+            # comparisons and eager &&/||
+            return _CInfo(INT, _madd(a.counts, b.counts, {"cmp_ops": 1}))
+        if isinstance(e, UnOp):
+            a = self._count(e.operand)
+            if e.op == "-":
+                return _CInfo(a.type, _madd(a.counts, {"flops": 1}))
+            if e.op == "!":
+                return _CInfo(INT, _madd(a.counts, {"cmp_ops": 1}))
+            if e.op == "~":
+                if a.type is not INT:
+                    raise _Reject
+                return _CInfo(INT, _madd(a.counts, {"int_ops": 1}))
+            raise _Reject
+        if isinstance(e, Call):
+            args = [self._count(a) for a in e.args]
+            counts = _madd(*[a.counts for a in args], {"calls": 1})
+            f = e.func
+            if f in ("sqrt", "exp", "log", "sin", "cos", "tan", "round"):
+                return _CInfo(FLOAT, counts)
+            if f == "fabs":
+                return _CInfo(args[0].type, counts)
+            if f in ("fmin", "fmax"):
+                if args[0].type is not args[1].type:
+                    raise _Reject  # result type would vary per lane
+                return _CInfo(args[0].type, counts)
+            if f in ("floor", "ceil", "toint"):
+                return _CInfo(INT, counts)
+            raise _Reject  # conj/creal/cimag (complex) and unknowns
+        if isinstance(e, Select):
+            c = self._count(e.cond)
+            t, f = self._count(e.if_true), self._count(e.if_false)
+            # The closure evaluates only the taken arm; static counting
+            # requires both arms to cost the same and agree on type.
+            if t.type is not f.type or t.counts != f.counts:
+                raise _Reject
+            return _CInfo(t.type, _madd(c.counts, t.counts, {"branches": 1}))
+        raise _Reject
+
+    # -- variable dependencies and load flags -------------------------------
+
+    def _deps(self, e: Expr) -> frozenset:
+        d = self._dmemo.get(id(e))
+        if d is not None:
+            return d
+        if isinstance(e, Const):
+            d = frozenset()
+        elif isinstance(e, Var):
+            d = frozenset((e.name,))
+        elif isinstance(e, Load):
+            d = self._deps(e.index)
+        elif isinstance(e, BinOp):
+            d = self._deps(e.lhs) | self._deps(e.rhs)
+        elif isinstance(e, UnOp):
+            d = self._deps(e.operand)
+        elif isinstance(e, Call):
+            d = frozenset().union(*[self._deps(a) for a in e.args]) \
+                if e.args else frozenset()
+        elif isinstance(e, Select):
+            d = (self._deps(e.cond) | self._deps(e.if_true)
+                 | self._deps(e.if_false))
+        else:
+            raise _Reject
+        self._dmemo[id(e)] = d
+        return d
+
+    def _flags(self, e: Expr) -> tuple:
+        """(has_any_load, loads_from_nest-stored_buffer)"""
+        f = self._fmemo.get(id(e))
+        if f is not None:
+            return f
+        if isinstance(e, (Const, Var)):
+            f = (False, False)
+        elif isinstance(e, Load):
+            sub = self._flags(e.index)
+            f = (True, sub[1] or e.buffer in self.stored)
+        elif isinstance(e, BinOp):
+            a, b = self._flags(e.lhs), self._flags(e.rhs)
+            f = (a[0] or b[0], a[1] or b[1])
+        elif isinstance(e, UnOp):
+            f = self._flags(e.operand)
+        elif isinstance(e, Call):
+            parts = [self._flags(a) for a in e.args]
+            f = (any(p[0] for p in parts), any(p[1] for p in parts))
+        elif isinstance(e, Select):
+            parts = [self._flags(e.cond), self._flags(e.if_true),
+                     self._flags(e.if_false)]
+            f = (any(p[0] for p in parts), any(p[1] for p in parts))
+        else:
+            raise _Reject
+        self._fmemo[id(e)] = f
+        return f
+
+    def _loads_of(self, e: Expr, acc: list) -> None:
+        """Collect every Load node in ``e`` (including inside indices)."""
+        if isinstance(e, Load):
+            acc.append(e)
+            self._loads_of(e.index, acc)
+        elif isinstance(e, BinOp):
+            self._loads_of(e.lhs, acc)
+            self._loads_of(e.rhs, acc)
+        elif isinstance(e, UnOp):
+            self._loads_of(e.operand, acc)
+        elif isinstance(e, Call):
+            for a in e.args:
+                self._loads_of(a, acc)
+        elif isinstance(e, Select):
+            self._loads_of(e.cond, acc)
+            self._loads_of(e.if_true, acc)
+            self._loads_of(e.if_false, acc)
+
+    # -- value intervals ----------------------------------------------------
+    #
+    # INT-typed nodes get an inclusive (lo, hi) Python-int interval or None;
+    # FLOAT-typed nodes get (lo, hi, notnan) with possibly infinite ends.
+    # Intervals are best-effort: unknown is always allowed here, and only
+    # the *vector* consumers that need a proof (int64 wraparound, float->int
+    # conversion) reject on missing ones.
+
+    def _iv(self, e: Expr):
+        v = self._ivmemo.get(id(e))
+        if v is None:
+            v = self._iv_uncached(e)
+            self._ivmemo[id(e)] = v
+        return v
+
+    def _fiv(self, e: Expr) -> tuple:
+        """Interval of ``e`` viewed as a float operand."""
+        iv = self._iv(e)
+        if self._count(e).type is INT:
+            if iv is None or not all(abs(x) <= 2 ** 53 for x in iv):
+                return _UNKNOWN_F
+            return (float(iv[0]), float(iv[1]), True)
+        return iv if iv is not None else _UNKNOWN_F
+
+    def _iv_uncached(self, e: Expr):
+        t = self._count(e).type
+        if isinstance(e, Const):
+            if t is INT:
+                return (int(e.value), int(e.value))
+            v = float(e.value)
+            if math.isnan(v):
+                return _UNKNOWN_F
+            return (v, v, True)
+        if isinstance(e, Var):
+            return self.var_bounds.get(e.name)
+        if isinstance(e, Load):
+            decl = self._decl(e.buffer)
+            if decl.dtype == "uint32":
+                return (0, _UINT32_MASK)
+            if decl.dtype == "bool":
+                return (0, 1)
+            if e.buffer not in self.program_written:
+                # Buffer no statement ever writes: its current contents are
+                # its contents forever, so a data-derived interval is sound.
+                arr = self.vm._buffers[e.buffer]
+                if decl.dtype == "int64" and arr.size:
+                    return (int(arr.min()), int(arr.max()))
+                if decl.dtype == "float64" and arr.size \
+                        and not np.isnan(arr).any():
+                    return (float(arr.min()), float(arr.max()), True)
+            return None if t is INT else _UNKNOWN_F
+        if isinstance(e, BinOp):
+            return self._iv_binop(e, t)
+        if isinstance(e, UnOp):
+            a = self._iv(e.operand)
+            if e.op == "-":
+                if t is INT:
+                    if a is None:
+                        return None
+                    lo, hi = -a[1], -a[0]
+                    return (lo, hi) if _fits_i64(lo, hi) else None
+                return (-a[1], -a[0], a[2])
+            if e.op == "!":
+                return (0, 1)
+            return (0, _UINT32_MASK)  # "~" is masked to uint32 range
+        if isinstance(e, Call):
+            return self._iv_call(e)
+        if isinstance(e, Select):
+            a, b = self._iv(e.if_true), self._iv(e.if_false)
+            if t is INT:
+                if a is None or b is None:
+                    return None
+                return (min(a[0], b[0]), max(a[1], b[1]))
+            return (min(a[0], b[0]), max(a[1], b[1]), a[2] and b[2])
+        return None if t is INT else _UNKNOWN_F
+
+    def _iv_binop(self, e: BinOp, t: str):
+        if e.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+            return (0, 1)
+        a, b = self._iv(e.lhs), self._iv(e.rhs)
+        if t is FLOAT:
+            if e.op in ("/", "%"):
+                return _UNKNOWN_F
+            fa, fb = self._fiv(e.lhs), self._fiv(e.rhs)
+            if not (fa[2] and fb[2]) or not all(
+                    math.isfinite(x) for x in fa[:2] + fb[:2]):
+                return _UNKNOWN_F
+            op = {"+": lambda x, y: x + y, "-": lambda x, y: x - y,
+                  "*": lambda x, y: x * y}[e.op]
+            cands = [op(x, y) for x in fa[:2] for y in fb[:2]]
+            lo, hi = min(cands), max(cands)
+            if not (math.isfinite(lo) and math.isfinite(hi)):
+                return _UNKNOWN_F
+            return (lo, hi, True)
+        # INT result
+        if a is None or b is None:
+            return None
+        if e.op == "+":
+            return _corner_iv(lambda x, y: x + y, a, b)
+        if e.op == "-":
+            return _corner_iv(lambda x, y: x - y, a, b)
+        if e.op == "*":
+            return _corner_iv(lambda x, y: x * y, a, b)
+        if e.op == "/":
+            if b[0] <= 0 <= b[1]:
+                return None
+            return _corner_iv(lambda x, y: x // y, a, b)
+        if e.op == "%":
+            if b[0] > 0:
+                return (0, b[1] - 1)
+            if b[1] < 0:
+                return (b[0] + 1, 0)
+            return None
+        if e.op in ("<<", ">>"):
+            if b[0] < 0 or b[1] > 63:
+                return None
+            if e.op == ">>":
+                return _corner_iv(lambda x, y: x >> y, a, b)
+            iv = _corner_iv(lambda x, y: x << y, a, b)
+            # the closure masks << results into the uint32 range
+            return None if iv is None else (0, _UINT32_MASK)
+        # & | ^ : require non-negative operands for simple sound bounds
+        if a[0] < 0 or b[0] < 0:
+            return None
+        if e.op == "&":
+            return (0, min(a[1], b[1]))
+        bound = (1 << max(a[1].bit_length(), b[1].bit_length())) - 1
+        return (0, bound) if bound <= _I64_MAX else None
+
+    def _iv_call(self, e: Call):
+        f = e.func
+        if f in ("floor", "ceil", "toint"):
+            a = self._iv(e.args[0])
+            if self._count(e.args[0]).type is INT:
+                return a
+            if a is None or not a[2] or not all(
+                    math.isfinite(x) for x in a[:2]):
+                return None
+            lo, hi = math.floor(a[0]), math.ceil(a[1])
+            return (lo, hi) if _fits_i64(lo, hi) else None
+        if f == "fabs":
+            a = self._iv(e.args[0])
+            t = self._count(e).type
+            if t is INT:
+                if a is None:
+                    return None
+                lo = 0 if a[0] <= 0 <= a[1] else min(abs(a[0]), abs(a[1]))
+                hi = max(abs(a[0]), abs(a[1]))
+                return (lo, hi) if _fits_i64(hi) else None
+            if not a[2]:
+                return _UNKNOWN_F
+            lo = 0.0 if a[0] <= 0.0 <= a[1] else min(abs(a[0]), abs(a[1]))
+            return (lo, max(abs(a[0]), abs(a[1])), True)
+        if f in ("fmin", "fmax"):
+            t = self._count(e).type
+            a, b = self._iv(e.args[0]), self._iv(e.args[1])
+            if t is INT:
+                if a is None or b is None:
+                    return None
+                if f == "fmin":
+                    return (min(a[0], b[0]), min(a[1], b[1]))
+                return (max(a[0], b[0]), max(a[1], b[1]))
+            fa = a if a is not None else _UNKNOWN_F
+            fb = b if b is not None else _UNKNOWN_F
+            na, nb = fa[2], fb[2]
+            if f == "fmin":
+                lo = min(fa[0], fb[0])
+                if na and nb:
+                    hi = min(fa[1], fb[1])
+                else:
+                    hi = fa[1] if na else (fb[1] if nb else max(fa[1], fb[1]))
+                return (lo, hi, na or nb)
+            hi = max(fa[1], fb[1])
+            if na and nb:
+                lo = max(fa[0], fb[0])
+            else:
+                lo = fa[0] if na else (fb[0] if nb else min(fa[0], fb[0]))
+            return (lo, hi, na or nb)
+        if f in ("sin", "cos"):
+            a = self._fiv(e.args[0])
+            if a[2] and math.isfinite(a[0]) and math.isfinite(a[1]):
+                return (-1.0, 1.0, True)
+            return _UNKNOWN_F
+        if f == "round":
+            a = self._fiv(e.args[0])
+            if a[2] and math.isfinite(a[0]) and math.isfinite(a[1]):
+                return (a[0] - 1.0, a[1] + 1.0, True)
+            return _UNKNOWN_F
+        return _UNKNOWN_F  # sqrt/exp/log/tan
+
+    # -- lane-invariant (scalar) evaluation ---------------------------------
+    #
+    # Mirrors the closure compiler's runtime semantics exactly, minus the
+    # count bookkeeping (vector counts are analytic).
+
+    def _scalar_fn(self, e: Expr) -> Callable:
+        if isinstance(e, Const):
+            v = e.value
+            return lambda env: v
+        if isinstance(e, Var):
+            name = e.name
+            return lambda env: env[name]
+        if isinstance(e, Load):
+            buf = self.vm._buffers[e.buffer]
+            ix = self._scalar_fn(e.index)
+            if self._decl(e.buffer).dtype in ("uint32", "int64"):
+                return lambda env: int(buf[ix(env)])
+            return lambda env: buf[ix(env)].item()
+        if isinstance(e, BinOp):
+            a, b = self._scalar_fn(e.lhs), self._scalar_fn(e.rhs)
+            py = {
+                "+": lambda x, y: x + y,
+                "-": lambda x, y: x - y,
+                "*": lambda x, y: x * y,
+                "/": lambda x, y: x // y if (
+                    isinstance(x, int) and isinstance(y, int)) else x / y,
+                "%": lambda x, y: x % y,
+                "&": lambda x, y: int(x) & int(y),
+                "|": lambda x, y: int(x) | int(y),
+                "^": lambda x, y: int(x) ^ int(y),
+                "<<": lambda x, y: (int(x) << int(y)) & _UINT32_MASK,
+                ">>": lambda x, y: int(x) >> int(y),
+                "<": lambda x, y: x < y,
+                "<=": lambda x, y: x <= y,
+                ">": lambda x, y: x > y,
+                ">=": lambda x, y: x >= y,
+                "==": lambda x, y: x == y,
+                "!=": lambda x, y: x != y,
+                "&&": lambda x, y: bool(x) and bool(y),
+                "||": lambda x, y: bool(x) or bool(y),
+            }[e.op]
+            return lambda env: py(a(env), b(env))
+        if isinstance(e, UnOp):
+            a = self._scalar_fn(e.operand)
+            if e.op == "-":
+                return lambda env: -a(env)
+            if e.op == "!":
+                return lambda env: not a(env)
+            return lambda env: (~int(a(env))) & _UINT32_MASK
+        if isinstance(e, Call):
+            func = _MATH_FUNCS[e.func]
+            fns = [self._scalar_fn(a) for a in e.args]
+            if len(fns) == 1:
+                f0 = fns[0]
+                return lambda env: func(f0(env))
+            f0, f1 = fns
+            return lambda env: func(f0(env), f1(env))
+        if isinstance(e, Select):
+            c = self._scalar_fn(e.cond)
+            t, f = self._scalar_fn(e.if_true), self._scalar_fn(e.if_false)
+            return lambda env: t(env) if c(env) else f(env)
+        raise _Reject
+
+    # -- vector compilation -------------------------------------------------
+
+    def _require_int_iv(self, *exprs) -> list:
+        ivs = []
+        for e in exprs:
+            iv = self._iv(e)
+            if iv is None:
+                raise _Reject
+            ivs.append(iv)
+        return ivs
+
+    def _vcompile(self, e: Expr) -> Callable:
+        """Compile ``e`` to fn(env) -> ndarray over the lanes (or a Python
+        scalar when lane-invariant).  Raises _Reject when exactness against
+        the closure path cannot be proven."""
+        self._count(e)  # validates types/countability for the whole subtree
+        deps = self._deps(e)
+        if self.axis not in deps:
+            return self._scalar_fn(e)
+        fn = self._vcompile_vec(e)
+        # Memoization: persistent across kernel invocations for pure
+        # loop-var expressions (index arithmetic), per-invocation for
+        # expressions that only read buffers this nest never writes.
+        if not isinstance(e, (Const, Var)):
+            has_load, loads_stored = self._flags(e)
+            nid = self._next_id()
+            if not has_load:
+                keyvars = sorted(deps - {self.axis})
+                memo = self._memo_p
+                if keyvars:
+                    def cached(env, fn=fn, nid=nid, keyvars=keyvars):
+                        key = (nid,) + tuple(env[v] for v in keyvars)
+                        v = memo.get(key)
+                        if v is None:
+                            if len(memo) > 4096:
+                                memo.clear()
+                            v = memo[key] = fn(env)
+                        return v
+                else:
+                    def cached(env, fn=fn, nid=nid):
+                        v = memo.get(nid)
+                        if v is None:
+                            v = memo[nid] = fn(env)
+                        return v
+                return cached
+            # T-memo is unsound inside an If arm: the cached array embeds
+            # one mask's dead-lane clamping, which a later combo's mask may
+            # expose as live.
+            if not loads_stored and not (deps & self.seq_vars) \
+                    and not self._compiling_masked:
+                memo_t = self._memo_t
+
+                def cached_t(env, fn=fn, nid=nid):
+                    v = memo_t.get(nid)
+                    if v is None:
+                        v = memo_t[nid] = fn(env)
+                    return v
+                return cached_t
+        return fn
+
+    def _vcompile_vec(self, e: Expr) -> Callable:
+        if isinstance(e, Var):  # only the axis reaches here
+            lanes = self.lanes
+            return lambda env: lanes
+        if isinstance(e, Load):
+            return self._vcompile_load(e)
+        if isinstance(e, BinOp):
+            return self._vcompile_binop(e)
+        if isinstance(e, UnOp):
+            a = self._vcompile(e.operand)
+            t = self._count(e.operand).type
+            if e.op == "-":
+                if t is INT:
+                    self._require_int_iv(e)  # result must fit int64
+                    return lambda env: np.negative(_i64(a(env)))
+                return lambda env: np.negative(a(env))
+            if e.op == "!":
+                return lambda env: np.logical_not(a(env))
+            return lambda env: np.bitwise_and(
+                np.invert(_i64(a(env))), _UINT32_MASK)
+        if isinstance(e, Call):
+            return self._vcompile_call(e)
+        if isinstance(e, Select):
+            c = self._vcompile(e.cond)
+            t = self._vcompile(e.if_true)
+            f = self._vcompile(e.if_false)
+            return lambda env: np.where(c(env), t(env), f(env))
+        raise _Reject
+
+    def _vcompile_binop(self, e: BinOp) -> Callable:
+        a, b = self._vcompile(e.lhs), self._vcompile(e.rhs)
+        ta, tb = self._count(e.lhs).type, self._count(e.rhs).type
+        both_int = ta is INT and tb is INT
+        op = e.op
+        if op in ("+", "-", "*", "/", "%"):
+            if both_int:
+                # numpy int64 must agree with Python's unbounded ints:
+                # operands and result are proven to fit (and, for / and %,
+                # the divisor proven nonzero — Python raises there).
+                iva, ivb = self._require_int_iv(e.lhs, e.rhs)
+                if op in ("/", "%") and ivb[0] <= 0 <= ivb[1]:
+                    raise _Reject
+                self._require_int_iv(e)
+                ifn = {"+": np.add, "-": np.subtract, "*": np.multiply,
+                       "/": np.floor_divide, "%": np.mod}[op]
+                return lambda env: ifn(_i64(a(env)), _i64(b(env)))
+            ffn = {"+": np.add, "-": np.subtract, "*": np.multiply,
+                   "/": np.true_divide, "%": np.mod}[op]
+            return lambda env: ffn(a(env), b(env))
+        if op in ("&", "|", "^", "<<", ">>"):
+            self._require_int_iv(e.lhs, e.rhs)
+            self._require_int_iv(e)  # also checks shift-count range
+            if op == "<<":
+                return lambda env: np.bitwise_and(
+                    np.left_shift(_i64(a(env)), _i64(b(env))), _UINT32_MASK)
+            ifn = {"&": np.bitwise_and, "|": np.bitwise_or,
+                   "^": np.bitwise_xor, ">>": np.right_shift}[op]
+            return lambda env: ifn(_i64(a(env)), _i64(b(env)))
+        cfn = {"<": np.less, "<=": np.less_equal, ">": np.greater,
+               ">=": np.greater_equal, "==": np.equal, "!=": np.not_equal,
+               "&&": np.logical_and, "||": np.logical_or}[op]
+        return lambda env: cfn(a(env), b(env))
+
+    def _vcompile_call(self, e: Call) -> Callable:
+        f = e.func
+        args = [self._vcompile(a) for a in e.args]
+        t0 = self._count(e.args[0]).type
+        if f in ("sqrt", "exp", "log", "sin", "cos", "tan"):
+            # Scalar _MATH_FUNCS route these through numpy (or through
+            # math where math == numpy bitwise), so array results match.
+            nf = {"sqrt": np.sqrt, "exp": np.exp, "log": np.log,
+                  "sin": np.sin, "cos": np.cos, "tan": np.tan}[f]
+            a0 = args[0]
+            return lambda env: nf(a0(env))
+        if f == "fabs":
+            a0 = args[0]
+            if t0 is INT:
+                self._require_int_iv(e)
+                return lambda env: np.abs(_i64(a0(env)))
+            return lambda env: np.fabs(a0(env))
+        if f in ("fmin", "fmax"):
+            nf = np.fmin if f == "fmin" else np.fmax
+            a0, a1 = args
+            return lambda env: nf(a0(env), a1(env))
+        if f in ("floor", "ceil", "toint"):
+            a0 = args[0]
+            if t0 is INT:
+                return a0  # identity on Python/int64 integers
+            # float->int conversion: exact only when the value range is
+            # proven representable (C makes out-of-range conversions UB).
+            self._require_int_iv(e)
+            if f == "floor":
+                return lambda env: np.floor(a0(env)).astype(np.int64)
+            if f == "ceil":
+                return lambda env: np.ceil(a0(env)).astype(np.int64)
+            return lambda env: np.asarray(a0(env)).astype(np.int64)
+        if f == "round":
+            a0 = args[0]
+            # same primitive sequence as the closure's
+            # copysign(floor(fabs(x) + 0.5), x)
+            return lambda env: np.copysign(
+                np.floor(np.fabs(a0(env)) + 0.5), a0(env))
+        raise _Reject
+
+    def _vcompile_load(self, e: Load) -> Callable:
+        decl = self._decl(e.buffer)
+        buf = self.vm._buffers[e.buffer]
+        size = buf.shape[0]
+        convert = None
+        if decl.dtype in ("uint32",):
+            convert = lambda arr: arr.astype(np.int64)
+        lf = _linform(e.index)
+        if lf is not None and lf.get(self.axis, 0):
+            coeff = lf[self.axis]
+            terms = [(k, v) for k, v in lf.items()
+                     if k is not None and k != self.axis and v]
+            const = lf.get(None, 0)
+
+            def offset(env):
+                o = const
+                for name, c in terms:
+                    o += c * env[name]
+                return o
+            holder = self._mask_holder if self._compiling_masked else None
+            if coeff == 1:
+                lo, hi = self.start, self.stop
+                lanes = self.lanes
+
+                def load_affine1(env):
+                    o = offset(env)
+                    s, t = lo + o, hi + o
+                    if 0 <= s and t <= size:
+                        v = buf[s:t]
+                    else:
+                        idx = lanes + o  # negative indices wrap, as scalar
+                        if holder is not None and holder[0] is not None:
+                            idx = np.where(holder[0], idx, 0)
+                        v = buf[idx]
+                    return convert(v) if convert else v
+                return load_affine1
+            scaled = coeff * self.lanes
+
+            def load_affine(env):
+                idx = scaled + offset(env)
+                if holder is not None and holder[0] is not None:
+                    idx = np.where(holder[0], idx, 0)
+                v = buf[idx]
+                return convert(v) if convert else v
+            return load_affine
+        ix = self._vcompile(e.index)
+        holder = self._mask_holder if self._compiling_masked else None
+
+        def load_gather(env):
+            idx = _i64(ix(env))
+            if holder is not None and holder[0] is not None:
+                idx = np.where(holder[0], idx, 0)
+            v = buf[idx]
+            return convert(v) if convert else v
+        return load_gather
+
+    # -- nest structure, reductions, alias rules ----------------------------
+
+    def _scan(self, loop: For, depth: int, scope: frozenset) -> None:
+        """Validate the nest shape and collect vars/stores/assign sites."""
+        for s in loop.body:
+            if isinstance(s, Comment):
+                continue
+            if isinstance(s, Assign):
+                self.assigns.append((s, depth))
+                self.stored.add(s.buffer)
+                if self._decl(s.buffer).dtype == "complex128":
+                    raise _Reject
+            elif isinstance(s, For):
+                if not s.static_bounds:
+                    raise _Reject
+                if s.var == self.axis or s.var in self.seq_vars:
+                    raise _Reject  # shadowing would break memo keying
+                self.seq_vars.add(s.var)
+                self.var_bounds[s.var] = (s.start, max(s.start, s.stop - 1))
+                self._scan(s, depth + 1, scope | {s.var})
+            elif isinstance(s, If):
+                self._scan_if(s, depth, scope)
+            else:
+                raise _Reject  # CallStmt / dynamic control flow
+
+    def _scan_if(self, stmt: If, depth: int, scope: frozenset) -> None:
+        """An If whose condition is a pure function of in-scope loop
+        variables (no loads) has a statically evaluable lane mask: both
+        true-lane counts and execution stay exact.  Anything else (a
+        data-dependent branch) rejects the nest."""
+        loads: list = []
+        self._loads_of(stmt.cond, loads)
+        if loads or not self._deps(stmt.cond) <= scope:
+            raise _Reject
+        for arm in (stmt.then, stmt.orelse):
+            for s in arm:
+                if isinstance(s, Comment):
+                    continue
+                if not isinstance(s, Assign):
+                    raise _Reject  # no nested control flow under a guard
+                self.assigns.append((s, depth))
+                self.stored.add(s.buffer)
+                if self._decl(s.buffer).dtype == "complex128":
+                    raise _Reject
+                self.masked.add(id(s))
+
+    def _classify(self) -> None:
+        """Split assigns into reductions and regular (strided) stores, then
+        prove no cross-lane dependence among accesses to stored buffers."""
+        accesses: dict[str, list] = {b: [] for b in self.stored}
+        stores: dict[str, list] = {b: [] for b in self.stored}
+        for stmt, depth in self.assigns:
+            lf = _linform(stmt.index)
+            if lf is None:
+                raise _Reject  # can't prove a scatter store is collision-free
+            coeff = lf.get(self.axis, 0)
+            if coeff == 0:
+                if id(stmt) in self.masked:
+                    raise _Reject  # guarded same-cell writes stay sequential
+                self._match_reduction(stmt, depth)
+            else:
+                stores[stmt.buffer].append((coeff, lf))
+            loads: list = []
+            self._loads_of(stmt.index, loads)
+            self._loads_of(stmt.value, loads)
+            for ld in loads:
+                if ld.buffer in accesses:
+                    accesses[ld.buffer].append(ld)
+        red_buffers = {r["buffer"]: r for r in self.reductions.values()}
+        for buf, red in red_buffers.items():
+            # the accumulator may appear exactly once (its own RMW load)
+            if len(accesses[buf]) != 1 or stores[buf]:
+                raise _Reject
+        for buf, slist in stores.items():
+            if not slist:
+                continue
+            if buf in red_buffers:
+                raise _Reject
+            others = [(c, lf) for c, lf in slist]
+            for ld in accesses[buf]:
+                lfa = _linform(ld.index)
+                if lfa is None:
+                    raise _Reject
+                others.append((lfa.get(self.axis, 0), lfa))
+            for c_s, lf_s in slist:
+                for c_a, lf_a in others:
+                    if c_a != c_s:
+                        raise _Reject
+                    d = _lin_delta(lf_s, lf_a)
+                    if d is None:
+                        raise _Reject
+                    if d == 0 or d % abs(c_s) != 0 \
+                            or abs(d) >= abs(c_s) * self.trip:
+                        continue  # same lane, or lanes can never collide
+                    raise _Reject
+
+    def _match_reduction(self, stmt: Assign, depth: int) -> None:
+        """``b[e] = b[e] op X`` directly under the axis loop becomes a
+        sequential ufunc.accumulate (identical fold order, identical FP)."""
+        if depth != 0:
+            raise _Reject
+        if self.axis in self._deps(stmt.index):
+            raise _Reject
+        v = stmt.value
+        if isinstance(v, BinOp) and v.op in ("+", "*"):
+            acc, x, uf = v.lhs, v.rhs, (np.add if v.op == "+" else np.multiply)
+            opc = {"flops": 1}
+        elif isinstance(v, Call) and v.func in ("fmin", "fmax") \
+                and len(v.args) == 2:
+            acc, x = v.args
+            uf = np.fmin if v.func == "fmin" else np.fmax
+            opc = {"calls": 1}
+        else:
+            raise _Reject
+        if not (isinstance(acc, Load) and acc.buffer == stmt.buffer
+                and acc.index == stmt.index):
+            raise _Reject
+        if self._decl(stmt.buffer).dtype != "float64":
+            raise _Reject  # int accumulators would need overflow proofs
+        xloads: list = []
+        self._loads_of(x, xloads)
+        if any(ld.buffer == stmt.buffer for ld in xloads):
+            raise _Reject
+        if self._count(x).type is not FLOAT:
+            raise _Reject
+        self.reductions[id(stmt)] = {"buffer": stmt.buffer, "x": x, "uf": uf,
+                                     "opc": opc}
+
+    # -- statement emission -------------------------------------------------
+
+    def _offset_fn(self, lf: dict) -> Callable:
+        terms = [(k, v) for k, v in lf.items()
+                 if k is not None and k != self.axis and v]
+        const = lf.get(None, 0)
+        if not terms:
+            return lambda env: const
+
+        def offset(env):
+            o = const
+            for name, c in terms:
+                o += c * env[name]
+            return o
+        return offset
+
+    def _emit_assign(self, stmt: Assign) -> Callable:
+        red = self.reductions.get(id(stmt))
+        if red is not None:
+            buf = self.vm._buffers[stmt.buffer]
+            e_fn = self._scalar_fn(stmt.index)
+            x_fn = self._vcompile(red["x"])
+            uf = red["uf"]
+            seq = np.empty(self.trip + 1, dtype=np.float64)
+
+            def run_reduction(env):
+                idx = e_fn(env)
+                seq[0] = buf[idx]
+                seq[1:] = x_fn(env)
+                uf.accumulate(seq, out=seq)
+                buf[idx] = seq[-1]
+            return run_reduction
+        decl = self._decl(stmt.buffer)
+        buf = self.vm._buffers[stmt.buffer]
+        size = buf.shape[0]
+        v_fn = self._vcompile(stmt.value)
+        lf = _linform(stmt.index)
+        coeff = lf[self.axis]
+        offset = self._offset_fn(lf)
+        if decl.dtype == "uint32":
+            if self._count(stmt.value).type is not INT:
+                raise _Reject  # float->uint32 would need a range proof
+            raw = v_fn
+
+            def v_fn(env):
+                v = raw(env)
+                if isinstance(v, np.ndarray):
+                    return np.bitwise_and(_i64(v), _UINT32_MASK)
+                return int(v) & _UINT32_MASK
+        if coeff == 1:
+            lo, hi = self.start, self.stop
+            lanes = self.lanes
+
+            def run_store1(env):
+                v = v_fn(env)
+                o = offset(env)
+                s, t = lo + o, hi + o
+                if 0 <= s and t <= size:
+                    buf[s:t] = v
+                else:
+                    buf[lanes + o] = v  # negative indices wrap, as scalar
+            return run_store1
+        scaled = coeff * self.lanes
+
+        def run_store(env):
+            buf[scaled + offset(env)] = v_fn(env)
+        return run_store
+
+    def _emit_if(self, stmt: If, body_mult: int, bd: dict,
+                 chain: tuple) -> Optional[Callable]:
+        """A guard whose mask is a pure function of loop variables: the
+        per-combo masks are enumerated at compile time, so the number of
+        closure iterations taking each arm is a static constant."""
+        counts = _madd({"branches": 1}, self._count(stmt.cond).counts)
+        if not body_mult:
+            return None  # enclosing loop never runs: no counts, no code
+        for k, n in counts.items():
+            bd[k] = bd.get(k, 0) + n * body_mult
+        mask_fn = self._vcompile(stmt.cond)
+        ranges = [range(a, b) for _, a, b in chain]
+        ncombos = 1
+        for r in ranges:
+            ncombos *= len(r)
+        if ncombos > 65536 or ncombos * self.trip > 8_000_000:
+            raise _Reject  # static mask table too large to enumerate
+        names = [nm for nm, _, _ in chain]
+        true_total = 0
+        env: dict = {}
+        for combo in itertools.product(*ranges):
+            for nm, v in zip(names, combo):
+                env[nm] = v
+            m = mask_fn(env)
+            if isinstance(m, np.ndarray):
+                true_total += int(np.count_nonzero(m))
+            else:
+                true_total += self.trip if m else 0
+        then_assigns = [s for s in stmt.then if isinstance(s, Assign)]
+        orelse_assigns = [s for s in stmt.orelse if isinstance(s, Assign)]
+        for mult, assigns in ((true_total, then_assigns),
+                              (body_mult - true_total, orelse_assigns)):
+            for s in assigns:
+                c = _madd({"stores": 1}, self._count(s.index).counts,
+                          self._count(s.value).counts)
+                for k, n in c.items():
+                    bd[k] = bd.get(k, 0) + n * mult
+        then_fns = [self._emit_masked_assign(s) for s in then_assigns]
+        orelse_fns = [self._emit_masked_assign(s) for s in orelse_assigns]
+        if not then_fns and not orelse_fns:
+            return None
+        holder = self._mask_holder
+
+        def apply_arm(env, m, fns):
+            # m=None: every lane takes this arm; use the unmasked path.
+            # An arm with no live lanes is skipped entirely, like the
+            # closure path (its lane-invariant subexpressions never run).
+            if m is None or m.all():
+                for fn in fns:
+                    fn(env, None)
+            elif m.any():
+                holder[0] = m
+                try:
+                    for fn in fns:
+                        fn(env, m)
+                finally:
+                    holder[0] = None
+
+        def run_if(env):
+            m = mask_fn(env)
+            if not isinstance(m, np.ndarray):
+                fns = then_fns if m else orelse_fns
+                if fns:
+                    apply_arm(env, None, fns)
+                return
+            m = m.astype(bool, copy=False)
+            if then_fns:
+                apply_arm(env, m, then_fns)
+            if orelse_fns:
+                apply_arm(env, ~m, orelse_fns)
+        return run_if
+
+    def _emit_masked_assign(self, stmt: Assign) -> Callable:
+        """Store compiled for execution under a lane mask: fn(env, m)
+        writes only the mask-true lanes (m=None = all lanes)."""
+        decl = self._decl(stmt.buffer)
+        buf = self.vm._buffers[stmt.buffer]
+        size = buf.shape[0]
+        prev = self._compiling_masked
+        self._compiling_masked = True
+        try:
+            v_fn = self._vcompile(stmt.value)
+        finally:
+            self._compiling_masked = prev
+        lf = _linform(stmt.index)
+        coeff = lf[self.axis]
+        offset = self._offset_fn(lf)
+        if decl.dtype == "uint32":
+            if self._count(stmt.value).type is not INT:
+                raise _Reject  # float->uint32 would need a range proof
+            raw = v_fn
+
+            def v_fn(env):
+                v = raw(env)
+                if isinstance(v, np.ndarray):
+                    return np.bitwise_and(_i64(v), _UINT32_MASK)
+                return int(v) & _UINT32_MASK
+        scaled = coeff * self.lanes
+        lo, hi = self.start, self.stop
+        slice_ok = coeff == 1
+
+        def run_masked_store(env, m):
+            v = v_fn(env)
+            o = offset(env)
+            if m is None and slice_ok:
+                s, t = lo + o, hi + o
+                if 0 <= s and t <= size:
+                    buf[s:t] = v
+                    return
+            idx = scaled + o
+            if m is None:
+                buf[idx] = v  # negative indices wrap, as scalar
+            elif isinstance(v, np.ndarray):
+                buf[idx[m]] = v[m]
+            else:
+                buf[idx[m]] = v
+        return run_masked_store
+
+    def _bucket_name(self, loop: For) -> str:
+        if loop.forced_simd:
+            return "forced"
+        if loop.vectorizable:
+            return "vector"
+        return "scalar"
+
+    def _emit_for(self, loop: For, enter_mult: int, deltas: dict,
+                  chain: tuple = ()) -> Optional[Callable]:
+        bucket = self._bucket_name(loop)
+        trip = max(loop.stop - loop.start, 0)
+        bd = deltas.setdefault(bucket, {})
+        bd["loops_entered"] = bd.get("loops_entered", 0) + enter_mult
+        bd["loop_iters"] = bd.get("loop_iters", 0) + enter_mult * trip
+        body_mult = enter_mult * trip
+        fns: list = []
+        for s in loop.body:
+            if isinstance(s, Comment):
+                continue
+            if isinstance(s, Assign):
+                counts = _madd({"stores": 1}, self._count(s.index).counts,
+                               self._count(s.value).counts)
+                for k, n in counts.items():
+                    bd[k] = bd.get(k, 0) + n * body_mult
+                if body_mult:
+                    fns.append(self._emit_assign(s))
+            elif isinstance(s, If):
+                fn = self._emit_if(s, body_mult, bd, chain)
+                if fn is not None:
+                    fns.append(fn)
+            else:  # For (validated by _scan)
+                fn = self._emit_for(s, body_mult, deltas,
+                                    chain + ((s.var, s.start, s.stop),))
+                if fn is not None:
+                    fns.append(fn)
+        if not fns or not body_mult:
+            return None
+        if loop.var == self.axis:
+            if len(fns) == 1:
+                return fns[0]
+
+            def run_seq(env):
+                for fn in fns:
+                    fn(env)
+            return run_seq
+        rng = range(loop.start, loop.stop)
+        name = loop.var
+        if len(fns) == 1:
+            inner = fns[0]
+
+            def run_loop1(env):
+                for v in rng:
+                    env[name] = v
+                    inner(env)
+            return run_loop1
+
+        def run_loop(env):
+            for v in rng:
+                env[name] = v
+                for fn in fns:
+                    fn(env)
+        return run_loop
+
+    # -- kernel assembly ----------------------------------------------------
+
+    def build(self) -> Callable:
+        self.assigns: list = []
+        self._scan(self.loop, 0, frozenset({self.axis}))
+        self._classify()
+        deltas: dict = {}
+        body = self._emit_for(self.loop, 1, deltas)
+        counts = self.vm.counts
+        apply_list = []
+        for bname, fd in deltas.items():
+            bucket = getattr(counts, bname)
+            for fname, n in fd.items():
+                if n:
+                    apply_list.append((bucket, fname, n))
+        memo_t = self._memo_t
+        if body is None:
+            def kernel_counts_only(env):
+                for b, f, n in apply_list:
+                    setattr(b, f, getattr(b, f) + n)
+            return kernel_counts_only
+
+        def kernel(env):
+            for b, f, n in apply_list:
+                setattr(b, f, getattr(b, f) + n)
+            memo_t.clear()
+            with np.errstate(all="ignore"):
+                body(env)
+        return kernel
+
+
+def try_vectorize(vm: VirtualMachine, stmt: For,
+                  var_bounds: dict) -> Optional[Callable]:
+    """Attempt to compile ``stmt`` (a static-bounds For) into a numpy
+    kernel with analytically derived counts.  Returns None to fall back to
+    the closure path (always, for loops too short to beat numpy dispatch
+    overhead under backend="auto")."""
+    if not stmt.static_bounds:
+        return None
+    if vm.backend == "auto" and stmt.stop - stmt.start < AUTO_MIN_TRIP:
+        return None
+    try:
+        return _Planner(vm, stmt, var_bounds).build()
+    except _Reject:
+        return None

@@ -1,0 +1,246 @@
+"""Differential tests: closure interpreter vs numpy-vectorized backend.
+
+The vector backend's contract (see :mod:`repro.ir.vectorize`) is that it
+is observationally *identical* to the closure interpreter: bit-for-bit
+equal outputs and equal ``ContextCounts`` on every program it accepts,
+falling back to closures for anything it cannot prove.  This suite
+enforces the contract on the full zoo × generator grid and on
+hypothesis-generated affine-index edge shapes (negative strides, empty
+ranges, dynamic-bounds fallback).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.codegen import make_generator
+from repro.ir.build import add, binop, call, const, load, mul, sub, var
+from repro.ir.interp import VirtualMachine, execute
+from repro.ir.ops import Assign, For, If, Program
+from repro.ir.vectorize import try_vectorize
+from repro.sim.simulator import random_inputs
+from repro.zoo import EXTENDED, TABLE1, build_model
+
+GENERATORS = ("simulink", "dfsynth", "hcg", "frodo")
+ZOO = [e.name for e in TABLE1] + [e.name for e in EXTENDED] + ["Motivating"]
+
+
+def assert_backends_agree(program, inputs, steps=2):
+    """Both backends must match bit-for-bit: outputs and counts."""
+    res_c = VirtualMachine(program, backend="closure").run(inputs, steps=steps)
+    for backend in ("vector", "auto"):
+        res_v = VirtualMachine(program, backend=backend).run(inputs,
+                                                             steps=steps)
+        assert res_c.counts == res_v.counts, (
+            f"backend={backend}: ContextCounts diverge\n"
+            f"closure: {res_c.counts.as_dict()}\n"
+            f"{backend}: {res_v.counts.as_dict()}")
+        for name, expected in res_c.outputs.items():
+            got = res_v.outputs[name]
+            assert np.asarray(expected).tobytes() == \
+                np.asarray(got).tobytes(), (
+                f"backend={backend}: output {name!r} not bitwise identical")
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+@pytest.mark.parametrize("model_name", ZOO)
+def test_zoo_backends_identical(model_name, generator):
+    model = build_model(model_name)
+    code = make_generator(generator).generate(model)
+    inputs = code.map_inputs(random_inputs(model, seed=0))
+    assert_backends_agree(code.program, inputs, steps=2)
+
+
+def _io_program(n, ydecl=None):
+    p = Program("t")
+    p.declare("x", (n,), "float64", "input")
+    p.declare("y", ydecl or (n,), "float64", "output")
+    return p
+
+
+class TestAffineEdgeShapes:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n=st.integers(1, 40), off=st.integers(0, 8))
+    def test_negative_stride_store(self, n, off):
+        """y[(n-1) - i + off] = f(x[i]) — reversed strided store."""
+        p = _io_program(n, ydecl=(n + 8,))
+        idx = binop("-", const(n - 1 + off), var("i"))
+        p.step.append(For("i", 0, n, [Assign(
+            "y", idx, add(mul(load("x", var("i")), const(2.0)), const(1.0)))],
+            vectorizable=True))
+        rng = np.random.default_rng(n * 131 + off)
+        assert_backends_agree(p, {"x": rng.uniform(-3, 3, n)})
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n=st.integers(4, 40), coeff=st.integers(-3, 3).filter(bool))
+    def test_strided_store_and_reverse_gather(self, n, coeff):
+        """y[c*i + o] = x[(n-1) - i] for positive and negative strides."""
+        size = abs(coeff) * (n - 1) + 1
+        offset = 0 if coeff > 0 else size - 1
+        p = _io_program(n, ydecl=(size,))
+        store_idx = add(mul(const(coeff), var("i")), const(offset))
+        gather_idx = binop("-", const(n - 1), var("i"))
+        p.step.append(For("i", 0, n, [Assign(
+            "y", store_idx, call("sqrt", call("fabs", load("x", gather_idx))))],
+            vectorizable=True))
+        rng = np.random.default_rng(n * 7 + coeff)
+        assert_backends_agree(p, {"x": rng.uniform(-4, 4, n)})
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(start=st.integers(-5, 20))
+    def test_empty_and_degenerate_ranges(self, start):
+        """Trip counts of 0 and 1 must count and store identically."""
+        p = _io_program(32)
+        p.step.append(For("i", 0, 32, [Assign("y", var("i"), const(0.0))],
+                          vectorizable=True))
+        for stop in (start, start + 1):
+            lo, hi = max(start, 0), min(stop, 32)
+            if lo >= hi and not lo == hi:
+                continue
+            p.step.append(For("j", lo, max(lo, hi), [Assign(
+                "y", var("j"), add(load("x", var("j")), const(1.0)))],
+                vectorizable=True))
+        rng = np.random.default_rng(abs(start) + 1)
+        assert_backends_agree(p, {"x": rng.uniform(-1, 1, 32)})
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n=st.integers(8, 48), seed=st.integers(0, 99))
+    def test_accumulate_reduction(self, n, seed):
+        """s[0] = s[0] + x[i] must keep the closure's exact fold order."""
+        p = Program("t")
+        p.declare("x", (n,), "float64", "input")
+        p.declare("y", (1,), "float64", "output")
+        p.step.append(Assign("y", const(0), const(0.0)))
+        p.step.append(For("i", 0, n, [Assign(
+            "y", const(0),
+            add(load("y", const(0)), mul(load("x", var("i")),
+                                         load("x", var("i")))))],
+            vectorizable=True))
+        rng = np.random.default_rng(seed)
+        assert_backends_agree(p, {"x": rng.uniform(-1e3, 1e3, n)})
+
+    def test_dynamic_bounds_fall_back(self):
+        """A data-dependent trip count must reject cleanly and still agree."""
+        p = Program("t")
+        p.declare("x", (16,), "float64", "input")
+        p.declare("n", (1,), "int64", "input")
+        p.declare("y", (16,), "float64", "output")
+        p.step.append(For("i", 0, 16, [Assign("y", var("i"), const(0.0))],
+                          vectorizable=True))
+        dyn = For("i", 0, load("n", const(0)),
+                  [Assign("y", var("i"), mul(load("x", var("i")), const(3.0)))],
+                  vectorizable=True)
+        assert not dyn.static_bounds
+        p.step.append(dyn)
+        x = np.linspace(-2, 2, 16)
+        for trip in (0, 1, 9, 16):
+            assert_backends_agree(
+                p, {"x": x, "n": np.array([trip], dtype="int64")})
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(n=st.integers(10, 40), r=st.integers(1, 6))
+    def test_boundary_guard_masks(self, n, r):
+        """Conv-style guard: on masked-off lanes the gather index would be
+        out of bounds — the mask must keep those lanes untouched."""
+        p = _io_program(n)
+        p.step.append(For("i", 0, n, [Assign("y", var("i"), const(0.0))],
+                          vectorizable=True))
+        guarded = If(
+            binop("<", add(var("i"), var("j")), const(n)),
+            [Assign("y", var("i"),
+                    add(load("y", var("i")),
+                        load("x", add(var("i"), var("j")))))])
+        p.step.append(For("i", 0, n, [For("j", 0, r, [guarded])],
+                          vectorizable=True))
+        rng = np.random.default_rng(n * 17 + r)
+        assert_backends_agree(p, {"x": rng.uniform(-2, 2, n)})
+
+    def test_guard_with_else_arm(self):
+        """Both arms of a loop-var guard count and store exactly."""
+        p = _io_program(16)
+        p.step.append(For("i", 0, 16, [If(
+            binop("==", binop("%", var("i"), const(2)), const(0)),
+            [Assign("y", var("i"), mul(load("x", var("i")), const(2.0)))],
+            [Assign("y", var("i"), sub(const(0.0), load("x", var("i"))))],
+        )], vectorizable=True))
+        rng = np.random.default_rng(3)
+        assert_backends_agree(p, {"x": rng.uniform(-2, 2, 16)})
+
+    def test_lane_invariant_guard(self):
+        """A condition over inner sequential vars only (no axis dep) takes
+        the scalar mask path; arms with zero live lanes must not run."""
+        p = _io_program(12)
+        p.step.append(For("i", 0, 12, [For("j", 0, 3, [If(
+            binop("==", var("j"), const(1)),
+            [Assign("y", var("i"), add(load("x", var("i")), const(1.0)))],
+            [Assign("y", var("i"), load("x", var("i")))],
+        )])], vectorizable=True))
+        rng = np.random.default_rng(5)
+        assert_backends_agree(p, {"x": rng.uniform(-2, 2, 12)})
+
+    def test_data_dependent_guard_falls_back(self):
+        """A condition that loads data cannot be masked statically — the
+        loop must fall back to closures and still agree."""
+        p = _io_program(16)
+        loop = For("i", 0, 16, [If(
+            binop(">", load("x", var("i")), const(0.0)),
+            [Assign("y", var("i"), const(1.0))],
+            [Assign("y", var("i"), const(-1.0))],
+        )], vectorizable=True)
+        p.step.append(loop)
+        vm = VirtualMachine(p, backend="vector")
+        from repro.ir.vectorize import try_vectorize
+        assert try_vectorize(vm, loop, {}) is None
+        rng = np.random.default_rng(7)
+        assert_backends_agree(p, {"x": rng.uniform(-2, 2, 16)})
+
+    def test_nan_inputs_flow_identically(self):
+        """NaN/inf payloads through fmin/fmax and Select stay bit-identical."""
+        p = _io_program(8)
+        expr = call("fmax", call("fmin", load("x", var("i")), const(1.0)),
+                    const(-1.0))
+        p.step.append(For("i", 0, 8, [Assign("y", var("i"), expr)],
+                          vectorizable=True))
+        x = np.array([np.nan, np.inf, -np.inf, 0.5, -0.0, 2.0, -7.0, np.nan])
+        assert_backends_agree(p, {"x": x})
+
+
+class TestBackendSelection:
+    def test_vector_backend_actually_vectorizes(self):
+        """Guard against the planner silently rejecting everything."""
+        p = _io_program(64)
+        loop = For("i", 0, 64, [Assign(
+            "y", var("i"), add(load("x", var("i")), const(1.0)))],
+            vectorizable=True)
+        p.step.append(loop)
+        vm = VirtualMachine(p, backend="vector")
+        assert try_vectorize(vm, loop, {}) is not None
+
+    def test_auto_skips_short_trips(self):
+        p = _io_program(4)
+        loop = For("i", 0, 4, [Assign(
+            "y", var("i"), add(load("x", var("i")), const(1.0)))],
+            vectorizable=True)
+        p.step.append(loop)
+        vm = VirtualMachine(p, backend="auto")
+        assert try_vectorize(vm, loop, {}) is None
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            VirtualMachine(_io_program(4), backend="simd")
+
+    def test_execute_accepts_backend(self):
+        p = _io_program(4)
+        p.step.append(For("i", 0, 4, [Assign(
+            "y", var("i"), mul(load("x", var("i")), const(2.0)))],
+            vectorizable=True))
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        out_c = execute(p, {"x": x}, backend="closure").outputs["y"]
+        out_v = execute(p, {"x": x}, backend="vector").outputs["y"]
+        np.testing.assert_array_equal(out_c, out_v)

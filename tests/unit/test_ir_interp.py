@@ -5,8 +5,10 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.ir.build import add, binop, call, const, load, mul, select, sub, var
-from repro.ir.interp import VirtualMachine, execute
+from repro.ir.interp import (VirtualMachine, cached_vm, clear_vm_cache,
+                             execute)
 from repro.ir.ops import Assign, BufferDecl, Comment, For, If, Program
+from repro.ir.vectorize import fingerprint
 
 
 def make_program(dtype="float64"):
@@ -165,6 +167,68 @@ class TestCounting:
         counts = execute(p, {"x": np.zeros(4)}).counts
         assert counts.scalar.int_ops == 4  # index arithmetic
         assert counts.scalar.flops == 0
+
+
+class TestCMathSemantics:
+    def _run_binary(self, func, a, b):
+        p = Program("t")
+        p.declare("a", (len(a),), "float64", "input")
+        p.declare("b", (len(a),), "float64", "input")
+        p.declare("y", (len(a),), "float64", "output")
+        p.step.append(For("i", 0, len(a), [Assign(
+            "y", var("i"),
+            call(func, load("a", var("i")), load("b", var("i"))))]))
+        return execute(p, {"a": np.asarray(a, dtype="float64"),
+                           "b": np.asarray(b, dtype="float64")}).outputs["y"]
+
+    def test_fmin_fmax_ignore_nan_like_c(self):
+        # C99 fmin/fmax return the non-NaN operand; Python min/max would
+        # propagate the NaN positionally.  Regression for the VM-vs-C gap.
+        nan = float("nan")
+        a = [nan, 2.0, nan, -1.0]
+        b = [3.0, nan, nan, 5.0]
+        got_min = self._run_binary("fmin", a, b)
+        got_max = self._run_binary("fmax", a, b)
+        np.testing.assert_array_equal(got_min[:2], [3.0, 2.0])
+        np.testing.assert_array_equal(got_max[:2], [3.0, 2.0])
+        assert np.isnan(got_min[2]) and np.isnan(got_max[2])
+        np.testing.assert_array_equal(got_min[3], -1.0)
+        np.testing.assert_array_equal(got_max[3], 5.0)
+
+    def test_fmin_fmax_signed_zero_ties(self):
+        # On a 0.0 / -0.0 tie C keeps the first operand; so do we.
+        got = self._run_binary("fmin", [0.0, -0.0], [-0.0, 0.0])
+        assert np.signbit(got[0]) == np.signbit(np.float64(0.0))
+        assert np.signbit(got[1]) == np.signbit(np.float64(-0.0))
+
+
+class TestProgramCache:
+    def _program(self, k=2.0):
+        p = make_program()
+        p.step.append(For("i", 0, 4, [Assign(
+            "y", var("i"), mul(load("x", var("i")), const(k)))]))
+        return p
+
+    def test_fingerprint_stable_and_distinguishing(self):
+        assert fingerprint(self._program()) == fingerprint(self._program())
+        assert fingerprint(self._program(2.0)) != fingerprint(self._program(3.0))
+
+    def test_cached_vm_reuses_instances(self):
+        clear_vm_cache()
+        a = cached_vm(self._program(), backend="closure")
+        b = cached_vm(self._program(), backend="closure")
+        assert a is b
+        assert cached_vm(self._program(), backend="vector") is not a
+        clear_vm_cache()
+        assert cached_vm(self._program(), backend="closure") is not a
+
+    def test_cached_vm_is_safe_to_share(self):
+        clear_vm_cache()
+        x = np.array([1.0, 2, 3, 4])
+        first = cached_vm(self._program()).run({"x": x})
+        second = cached_vm(self._program()).run({"x": x})
+        np.testing.assert_array_equal(first.outputs["y"], second.outputs["y"])
+        assert first.counts == second.counts
 
 
 class TestErrors:
