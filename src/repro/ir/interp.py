@@ -115,13 +115,16 @@ def _c_fmax(a, b):
 _MATH_FUNCS: dict[str, Callable] = {
     "sqrt": lambda x: x ** 0.5 if isinstance(x, complex) else _real_sqrt(x),
     "fabs": abs,
-    # exp/tan route through numpy (scalar path == array path bitwise) so the
-    # vector backend's np.exp/np.tan produce identical results; math.exp
-    # additionally raises OverflowError where C yields inf.
+    # Transcendentals route through numpy so the vector backend's array
+    # ufuncs produce identical results — libm's scalar sin/cos/exp/log can
+    # differ from numpy's array loops in the last ulp (and math.exp raises
+    # OverflowError where C yields inf).  This still assumes numpy's scalar
+    # ufunc path is bitwise-equal to its array loops, which holds for the
+    # default float64 loops but is not contractual across exotic builds.
     "exp": lambda x: np.exp(x) if isinstance(x, complex) else float(np.exp(x)),
     "log": _real_log,
-    "sin": math.sin,
-    "cos": math.cos,
+    "sin": lambda x: np.sin(x) if isinstance(x, complex) else float(np.sin(x)),
+    "cos": lambda x: np.cos(x) if isinstance(x, complex) else float(np.cos(x)),
     "tan": lambda x: float(np.tan(x)),
     "fmin": _c_fmin,
     "fmax": _c_fmax,
@@ -177,6 +180,14 @@ class ContextCounts:
     @property
     def total(self) -> OpCounts:
         return self.scalar + self.vector + self.forced
+
+    def copy(self) -> "ContextCounts":
+        """Independent snapshot (the VM mutates its live counts in place)."""
+        return ContextCounts(
+            scalar=OpCounts(**self.scalar.as_dict()),
+            vector=OpCounts(**self.vector.as_dict()),
+            forced=OpCounts(**self.forced.as_dict()),
+        )
 
     def bucket(self, name: str) -> OpCounts:
         return getattr(self, name)
@@ -285,13 +296,18 @@ class VirtualMachine:
         return result
 
     def run(self, inputs: Mapping[str, np.ndarray], steps: int = 1) -> ExecResult:
-        """Reset, apply inputs, execute ``steps`` steps, collect outputs."""
+        """Reset, apply inputs, execute ``steps`` steps, collect outputs.
+
+        The returned counts are a snapshot: a later ``run()`` of the same
+        (possibly :func:`cached_vm`-shared) VM resets and re-accumulates
+        the live ``self.counts`` without disturbing earlier results.
+        """
         self.reset()
         self.set_inputs(inputs)
         for _ in range(steps):
             self.step()
         peak = sum(arr.nbytes for arr in self._buffers.values())
-        return ExecResult(self.outputs(), self.counts, peak)
+        return ExecResult(self.outputs(), self.counts.copy(), peak)
 
     # -- compilation --------------------------------------------------------
 

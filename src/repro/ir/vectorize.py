@@ -301,7 +301,7 @@ class _Planner:
         self._memo_t: dict = {}
         self._nid = 0
         # buffers written anywhere in the program (data-derived intervals
-        # are only trusted for buffers no statement can ever touch)
+        # are only trusted for non-input buffers no statement can touch)
         written = set()
         for s in vm.program.walk():
             if isinstance(s, Assign):
@@ -512,9 +512,14 @@ class _Planner:
                 return (0, _UINT32_MASK)
             if decl.dtype == "bool":
                 return (0, 1)
-            if e.buffer not in self.program_written:
-                # Buffer no statement ever writes: its current contents are
-                # its contents forever, so a data-derived interval is sound.
+            if e.buffer not in self.program_written \
+                    and decl.kind != "input":
+                # Buffer no statement ever writes and set_inputs() cannot
+                # touch: its current contents are its contents forever
+                # (reset() restores the same declared init), so a
+                # data-derived interval is sound.  Input buffers are
+                # excluded because kernels compile before set_inputs()
+                # mutates them — their compile-time contents prove nothing.
                 arr = self.vm._buffers[e.buffer]
                 if decl.dtype == "int64" and arr.size:
                     return (int(arr.min()), int(arr.max()))
@@ -852,8 +857,8 @@ class _Planner:
         args = [self._vcompile(a) for a in e.args]
         t0 = self._count(e.args[0]).type
         if f in ("sqrt", "exp", "log", "sin", "cos", "tan"):
-            # Scalar _MATH_FUNCS route these through numpy (or through
-            # math where math == numpy bitwise), so array results match.
+            # Scalar _MATH_FUNCS route these through the same numpy
+            # ufuncs, so the array results match bitwise.
             nf = {"sqrt": np.sqrt, "exp": np.exp, "log": np.log,
                   "sin": np.sin, "cos": np.cos, "tan": np.tan}[f]
             a0 = args[0]

@@ -199,6 +199,42 @@ class TestAffineEdgeShapes:
         rng = np.random.default_rng(7)
         assert_backends_agree(p, {"x": rng.uniform(-2, 2, 16)})
 
+    def test_int64_input_extremes_not_trusted_at_compile_time(self):
+        """Kernels compile while input buffers still hold zeros; intervals
+        derived from those contents would "prove" no int64 wraparound and
+        silently negate 2**62 + 2**62.  Input loads must stay unknown, so
+        this nest falls back (or proves safety some other way) and both
+        backends agree on extreme inputs set *after* compilation."""
+        p = Program("t")
+        p.declare("a", (16,), "int64", "input")
+        p.declare("y", (16,), "float64", "output")
+        p.step.append(For("i", 0, 16, [Assign(
+            "y", var("i"),
+            add(load("a", var("i")), load("a", var("i"))))],
+            vectorizable=True))
+        a = np.full(16, 2 ** 62, dtype="int64")
+        a[::2] = -(2 ** 62)
+        assert_backends_agree(p, {"a": a})
+
+    def test_const_buffer_intervals_still_vectorize(self):
+        """Data-derived intervals remain sound (and useful) for const
+        buffers: no statement or set_inputs() can ever change them."""
+        p = Program("t")
+        p.declare("k", (16,), "int64", "const",
+                  init=np.arange(1, 17, dtype="int64"))
+        p.declare("x", (16,), "float64", "input")
+        p.declare("y", (16,), "float64", "output")
+        loop = For("i", 0, 16, [Assign(
+            "y", var("i"),
+            mul(load("x", var("i")),
+                add(load("k", var("i")), load("k", var("i")))))],
+            vectorizable=True)
+        p.step.append(loop)
+        vm = VirtualMachine(p, backend="vector")
+        assert try_vectorize(vm, loop, {}) is not None
+        rng = np.random.default_rng(11)
+        assert_backends_agree(p, {"x": rng.uniform(-2, 2, 16)})
+
     def test_nan_inputs_flow_identically(self):
         """NaN/inf payloads through fmin/fmax and Select stay bit-identical."""
         p = _io_program(8)

@@ -201,6 +201,20 @@ class TestCMathSemantics:
         assert np.signbit(got[0]) == np.signbit(np.float64(0.0))
         assert np.signbit(got[1]) == np.signbit(np.float64(-0.0))
 
+    @pytest.mark.parametrize("backend", ["closure", "vector"])
+    def test_exp_overflows_to_inf_like_c(self, backend):
+        # C exp() of a large argument yields +inf; math.exp would raise
+        # OverflowError.  Pins the intended behavior on both backends.
+        p = make_program()
+        p.step.append(For("i", 0, 4, [Assign(
+            "y", var("i"), call("exp", load("x", var("i"))))],
+            vectorizable=True))
+        x = np.array([1000.0, -1000.0, 0.0, 710.0])
+        with np.errstate(over="ignore"):
+            y = execute(p, {"x": x}, backend=backend).outputs["y"]
+        assert y[0] == np.inf and y[3] == np.inf
+        assert y[1] == 0.0 and y[2] == 1.0
+
 
 class TestProgramCache:
     def _program(self, k=2.0):
@@ -229,6 +243,18 @@ class TestProgramCache:
         second = cached_vm(self._program()).run({"x": x})
         np.testing.assert_array_equal(first.outputs["y"], second.outputs["y"])
         assert first.counts == second.counts
+
+    def test_run_snapshots_counts(self):
+        # run() must return a counts snapshot: re-running the same (shared)
+        # VM with a different step count resets the live ContextCounts and
+        # must not retroactively mutate earlier results.
+        clear_vm_cache()
+        x = np.array([1.0, 2, 3, 4])
+        first = cached_vm(self._program()).run({"x": x}, steps=1)
+        saved = first.counts.as_dict()
+        assert first.counts is not cached_vm(self._program()).counts
+        cached_vm(self._program()).run({"x": x}, steps=3)
+        assert first.counts.as_dict() == saved
 
 
 class TestErrors:
