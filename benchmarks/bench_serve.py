@@ -1,0 +1,27 @@
+"""Serving benchmark wrapper (`BENCH_serve.json` trajectory).
+
+Thin entry point over :mod:`repro.serve.bench` so the benchmark runs both
+as ``python benchmarks/bench_serve.py`` (CI smoke with ``--quick``) and
+as ``frodo bench-serve``.  Measures closed-loop ``run`` throughput and
+latency percentiles across worker counts, cold-vs-warm first-request
+latency, and compile-after-restart service from the persistent artifact
+cache.
+
+Run directly (not collected by the tier-1 pytest config)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,7 @@ def _resolve_model(spec: str) -> Model:
     path = Path(spec)
     if path.exists():
         return load_mdl(path) if path.suffix == ".mdl" else load_slx(path)
-    known = ", ".join([*MODELS, "Motivating"])
+    known = ", ".join([*MODELS, *EXTENDED_MODELS, "Motivating"])
     raise SystemExit(f"unknown model {spec!r}: not a zoo name ({known}) "
                      "and no such file")
 
@@ -226,6 +226,72 @@ def cmd_blocks(args) -> None:
                              f"({len(rows)} supported types)"))
 
 
+def cmd_serve(args) -> None:
+    """Run the compile-and-execute service until interrupted."""
+    import asyncio
+    from repro.serve import ServeConfig, run_server
+    cache_dir = None if args.no_cache else args.cache_dir
+    config = ServeConfig(host=args.host, port=args.port,
+                         workers=args.workers, cache_dir=cache_dir,
+                         timeout_seconds=args.request_timeout,
+                         max_pending=args.max_pending,
+                         allow_debug=args.debug_ops,
+                         allow_shutdown=not args.no_shutdown_op)
+
+    def announce(server) -> None:
+        cache = cache_dir or "disabled"
+        print(f"frodo serve: listening on {config.host}:{server.port} "
+              f"({args.workers} worker(s), artifact cache: {cache})",
+              flush=True)
+
+    try:
+        asyncio.run(run_server(config, announce=announce))
+    except KeyboardInterrupt:
+        print("frodo serve: interrupted, shutting down")
+
+
+def cmd_submit(args) -> None:
+    """One-shot client request against a running ``frodo serve``."""
+    import json as _json
+    from repro.serve.client import ServeClient, ServeRequestError
+    fields: dict = {}
+    if args.model:
+        path = Path(args.model)
+        if path.suffix in (".slx", ".mdl") and path.exists():
+            fields.update(ServeClient.payload_fields(path))
+        else:
+            fields["model"] = args.model
+    if args.op in ("compile", "run", "report"):
+        fields["generator"] = args.generator
+    if args.op in ("run", "report"):
+        fields.update(backend=args.backend, steps=args.steps, seed=args.seed)
+    if args.op == "run" and args.no_outputs:
+        fields["include_outputs"] = False
+    try:
+        with ServeClient(args.host, args.port,
+                         timeout=args.timeout) as client:
+            result = client.request(args.op, **fields)
+    except ServeRequestError as exc:
+        raise SystemExit(f"server error {exc}")
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot reach server at {args.host}:{args.port}: {exc}")
+    if args.op == "metrics" and "text" in result:
+        print(result["text"], end="")
+    else:
+        print(_json.dumps(result, indent=2))
+
+
+def cmd_bench_serve(args) -> None:
+    from repro.serve.bench import main as bench_main
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.output:
+        argv.extend(["--output", args.output])
+    raise SystemExit(bench_main(argv))
+
+
 def _add_backend_flag(p: argparse.ArgumentParser) -> None:
     from repro.ir.interp import BACKENDS
     p.add_argument("--backend", default="auto", choices=list(BACKENDS),
@@ -329,6 +395,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="frodo_report")
     p.add_argument("--no-sweeps", action="store_true")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("serve",
+                       help="run the compile-and-execute service "
+                            "(NDJSON over TCP + HTTP shim)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7433)
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes (0 = inline, tests only)")
+    p.add_argument("--cache-dir", default=".frodo-serve-cache",
+                   help="persistent artifact cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk artifact cache")
+    p.add_argument("--request-timeout", type=float, default=60.0,
+                   help="per-request deadline in seconds")
+    p.add_argument("--max-pending", type=int, default=16,
+                   help="queued requests before shedding with 'busy'")
+    p.add_argument("--debug-ops", action="store_true",
+                   help="enable debug ops (sleep) for timeout testing")
+    p.add_argument("--no-shutdown-op", action="store_true",
+                   help="ignore the protocol-level shutdown op")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="send one request to a running frodo serve")
+    p.add_argument("op", choices=["ping", "compile", "run", "ranges",
+                                  "report", "metrics", "shutdown"])
+    p.add_argument("model", nargs="?", default=None,
+                   help="zoo model name or .slx/.mdl file to upload")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7433)
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.add_argument("-g", "--generator", default="frodo",
+                   choices=[*ALL_GENERATORS, *FRODO_VARIANTS])
+    p.add_argument("--steps", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-outputs", action="store_true",
+                   help="omit output arrays from run results")
+    _add_backend_flag(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("bench-serve",
+                       help="serving throughput/latency benchmark "
+                            "(writes BENCH_serve.json)")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_bench_serve)
     return parser
 
 

@@ -19,6 +19,7 @@ random-testing correctness comparison against the reference simulator.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field, fields
 from typing import Callable, Mapping
 
@@ -301,6 +302,13 @@ class VirtualMachine:
         The returned counts are a snapshot: a later ``run()`` of the same
         (possibly :func:`cached_vm`-shared) VM resets and re-accumulates
         the live ``self.counts`` without disturbing earlier results.
+
+        **Not reentrant.**  ``run()`` resets and mutates the VM's shared
+        buffers and live counters in place, so one VM instance must never
+        execute on two threads at the same time.  Concurrent executors
+        (e.g. :mod:`repro.serve.pool` workers) get their safety from
+        process isolation plus one-request-at-a-time workers, not from
+        this method.
         """
         self.reset()
         self.set_inputs(inputs)
@@ -597,8 +605,19 @@ class VirtualMachine:
 # Keyed by (content fingerprint, backend): repeated run()s of structurally
 # identical generated programs (the common shape in eval/runner and the
 # benchmark suites) skip closure/kernel recompilation entirely.
+#
+# The dict itself is guarded by _VM_CACHE_LOCK, so lookups, insertions and
+# evictions are safe from any thread (the serve layer's dispatcher threads
+# all funnel through here).  The lock does NOT make the cached VMs
+# themselves concurrent: a VirtualMachine accumulates counts and mutates
+# its buffers in place, so a shared VM must never have run()/step() active
+# on two threads at once.  The serve worker pool relies on exactly this
+# contract — each worker process owns a private cache and executes one
+# request at a time.
 _VM_CACHE: dict[tuple[str, str], VirtualMachine] = {}
 _VM_CACHE_MAX = 64
+_VM_CACHE_LOCK = threading.Lock()
+_VM_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def cached_vm(program: Program, backend: str = "auto") -> VirtualMachine:
@@ -608,20 +627,48 @@ def cached_vm(program: Program, backend: str = "auto") -> VirtualMachine:
     initial data, functions, init and step bodies), so two independently
     generated but identical programs share one compiled VM.  Callers are
     expected to use :meth:`VirtualMachine.run`, which resets all state.
+
+    Thread-safety: the cache bookkeeping is locked, so concurrent callers
+    never corrupt the LRU dict — but two callers asking for the same
+    program receive the *same* VM object, and
+    :meth:`VirtualMachine.run` is not reentrant (it resets shared buffers
+    and mutates live counts).  Callers that may execute concurrently must
+    either serialize their run() calls or construct private
+    :class:`VirtualMachine` instances.
     """
     from repro.ir.vectorize import fingerprint
-    key = (fingerprint(program), backend)
-    vm = _VM_CACHE.pop(key, None)
-    if vm is None:
-        vm = VirtualMachine(program, backend=backend)
-    _VM_CACHE[key] = vm  # re-insert as most recently used
-    while len(_VM_CACHE) > _VM_CACHE_MAX:
-        del _VM_CACHE[next(iter(_VM_CACHE))]
+    fp = fingerprint(program)  # pure and slow-ish: compute outside the lock
+    key = (fp, backend)
+    with _VM_CACHE_LOCK:
+        vm = _VM_CACHE.pop(key, None)
+        if vm is not None:
+            _VM_CACHE_STATS["hits"] += 1
+            _VM_CACHE[key] = vm  # re-insert as most recently used
+            return vm
+        _VM_CACHE_STATS["misses"] += 1
+    # Compile outside the lock — construction can take seconds on big
+    # programs and must not serialize unrelated lookups.  Two threads
+    # racing on the same key may both compile; the second insert wins,
+    # which is harmless (both VMs are valid, one is dropped).
+    vm = VirtualMachine(program, backend=backend)
+    with _VM_CACHE_LOCK:
+        _VM_CACHE[key] = vm
+        while len(_VM_CACHE) > _VM_CACHE_MAX:
+            del _VM_CACHE[next(iter(_VM_CACHE))]
+            _VM_CACHE_STATS["evictions"] += 1
     return vm
 
 
 def clear_vm_cache() -> None:
-    _VM_CACHE.clear()
+    """Drop every cached VM (hit/miss counters keep accumulating)."""
+    with _VM_CACHE_LOCK:
+        _VM_CACHE.clear()
+
+
+def vm_cache_stats() -> dict[str, int]:
+    """Monotonic hit/miss/eviction counters plus the current entry count."""
+    with _VM_CACHE_LOCK:
+        return {**_VM_CACHE_STATS, "entries": len(_VM_CACHE)}
 
 
 def execute(program: Program, inputs: Mapping[str, np.ndarray],

@@ -1,0 +1,31 @@
+"""``repro.serve`` — a concurrent compile-and-execute service.
+
+Turns the single-shot reproduction pipeline (model → analysis → ranges →
+codegen → VM) into a long-running system: an asyncio front-end speaking
+line-delimited JSON (plus a minimal HTTP shim), a pool of worker
+processes with warm per-worker VM caches, a persistent content-addressed
+artifact cache that lets a restarted server skip code generation
+entirely, and a metrics registry with request counters, latency
+histograms and cache hit rates.
+
+See ``docs/serving.md`` for the protocol, error taxonomy, cache layout
+and tuning knobs.
+"""
+
+from repro.serve.cache import (Artifact, ArtifactCache, artifact_key,  # noqa: F401
+                               model_fingerprint)
+from repro.serve.metrics import MetricsRegistry  # noqa: F401
+from repro.serve.pool import PoolConfig, WorkerPool  # noqa: F401
+from repro.serve.protocol import (ERROR_TYPES, OPS, PROTOCOL_VERSION,  # noqa: F401
+                                  ServeError)
+from repro.serve.server import (ReproServer, ServeConfig, ServerThread,  # noqa: F401
+                                run_server)
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.serve.client` does not double-import the
+    # client module (runpy would warn about the pre-imported copy).
+    if name in ("ServeClient", "ServeRequestError"):
+        from repro.serve import client
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,243 @@
+"""Serving benchmark: throughput/latency vs worker count, cold vs warm.
+
+Measures the three effects the serve subsystem exists to deliver:
+
+* **worker scaling** — closed-loop throughput and latency percentiles of
+  ``run`` requests across several pool sizes;
+* **warm vs cold** — first-touch latency (model build + analysis +
+  codegen + VM compile) against steady-state latency served from the
+  warm per-worker VM caches;
+* **restart persistence** — after a full server restart on the same
+  cache directory, ``compile`` is answered from the on-disk artifact
+  cache without re-running code generation.
+
+Writes ``BENCH_serve.json`` at the repo root so successive PRs can track
+the serving trajectory alongside ``BENCH_vm.json``.  Run via
+``frodo bench-serve`` or ``python benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+QUICK_WORKER_COUNTS = (1, 2)
+DEFAULT_MODELS = ("Motivating", "AudioProcess")
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def _latency_summary(seconds: list[float]) -> dict:
+    ordered = sorted(seconds)
+    return {
+        "count": len(ordered),
+        "mean_ms": round(statistics.fmean(ordered) * 1e3, 3),
+        "p50_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(ordered, 0.95) * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+    }
+
+
+def _closed_loop(port: int, models: tuple[str, ...], generator: str,
+                 steps: int, concurrency: int,
+                 requests_per_client: int) -> dict:
+    """``concurrency`` clients issuing ``run`` back-to-back; aggregate."""
+    from repro.serve.client import ServeClient
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+
+    def client_loop(slot: int) -> None:
+        with ServeClient(port=port) as client:
+            for i in range(requests_per_client):
+                model = models[(slot + i) % len(models)]
+                t0 = time.perf_counter()
+                try:
+                    client.run(model, generator=generator, steps=steps,
+                               include_outputs=False)
+                except Exception:
+                    errors[slot] += 1
+                latencies[slot].append(time.perf_counter() - t0)
+
+    threads = [threading.Thread(target=client_loop, args=(slot,))
+               for slot in range(concurrency)]
+    wall0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall0
+    flat = [s for per_client in latencies for s in per_client]
+    total = len(flat)
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "errors": sum(errors),
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(total / wall, 2) if wall else None,
+        "latency": _latency_summary(flat),
+    }
+
+
+def bench_worker_count(workers: int, cache_dir: str,
+                       models: tuple[str, ...], generator: str, steps: int,
+                       concurrency: int, requests_per_client: int) -> dict:
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+    config = ServeConfig(workers=workers, cache_dir=cache_dir,
+                         timeout_seconds=120.0,
+                         max_pending=max(64, concurrency * 2))
+    with ServerThread(config) as server_thread:
+        port = server_thread.server.port
+        cold = {}
+        with ServeClient(port=port) as client:
+            for model in models:
+                t0 = time.perf_counter()
+                client.run(model, generator=generator, steps=steps,
+                           include_outputs=False)
+                cold[model] = round((time.perf_counter() - t0) * 1e3, 3)
+        warm = _closed_loop(port, models, generator, steps, concurrency,
+                            requests_per_client)
+        with ServeClient(port=port) as client:
+            snapshot = client.metrics(render=False)["snapshot"]
+    return {
+        "workers": workers,
+        "cold_first_request_ms": cold,
+        "warm": warm,
+        "vm_cache_hit_rate": snapshot["vm_cache_hit_rate"],
+        "artifact_cache_hit_rate": snapshot["artifact_cache_hit_rate"],
+    }
+
+
+def bench_restart(cache_dir: str, models: tuple[str, ...],
+                  generator: str) -> dict:
+    """Fresh server on a populated cache dir: compile must skip codegen."""
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+    config = ServeConfig(workers=1, cache_dir=cache_dir)
+    with ServerThread(config) as server_thread:
+        port = server_thread.server.port
+        rows = {}
+        all_hits = True
+        with ServeClient(port=port) as client:
+            for model in models:
+                t0 = time.perf_counter()
+                client.compile(model, generator=generator)
+                elapsed = round((time.perf_counter() - t0) * 1e3, 3)
+                rows[model] = elapsed
+            snapshot = client.metrics(render=False)["snapshot"]
+            hits = sum(r["value"] for r in snapshot["cache_events_total"]
+                       if r["labels"] == {"cache": "artifact",
+                                          "event": "hit"})
+            all_hits = hits >= len(models)
+    return {"compile_after_restart_ms": rows,
+            "served_from_artifact_cache": bool(all_hits)}
+
+
+def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
+              models: tuple[str, ...] = DEFAULT_MODELS,
+              generator: str = "frodo", steps: int = 1,
+              concurrency: int = 4, requests_per_client: int = 25,
+              cache_dir: str | None = None) -> dict:
+    owned_tmp = None
+    if cache_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="bench-serve-")
+        cache_dir = owned_tmp.name
+    try:
+        scaling = [
+            bench_worker_count(workers, cache_dir, models, generator, steps,
+                               concurrency, requests_per_client)
+            for workers in worker_counts
+        ]
+        restart = bench_restart(cache_dir, models, generator)
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+    base = scaling[0]["warm"]["throughput_rps"] or 1.0
+    for row in scaling:
+        rps = row["warm"]["throughput_rps"]
+        row["scaling_vs_1_worker"] = round(rps / base, 2) if rps else None
+    return {
+        "benchmark": "serve",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": __import__("os").cpu_count(),
+        },
+        "config": {
+            "models": list(models),
+            "generator": generator,
+            "steps": steps,
+            "concurrency": concurrency,
+            "requests_per_client": requests_per_client,
+            "worker_counts": list(worker_counts),
+        },
+        "worker_scaling": scaling,
+        "restart": restart,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_serve",
+        description="serve-layer throughput/latency benchmark "
+                    "(BENCH_serve.json trajectory)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer workers and requests")
+    parser.add_argument("--output", default=None,
+                        help="output JSON path "
+                             "(default: <repo>/BENCH_serve.json)")
+    parser.add_argument("--models", nargs="+", default=list(DEFAULT_MODELS))
+    parser.add_argument("--generator", default="frodo")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="warm-phase requests per client")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        worker_counts = QUICK_WORKER_COUNTS
+        concurrency = min(args.concurrency, 2)
+        requests = min(args.requests, 5)
+    else:
+        worker_counts = DEFAULT_WORKER_COUNTS
+        concurrency = args.concurrency
+        requests = args.requests
+
+    result = run_bench(worker_counts=worker_counts,
+                       models=tuple(args.models), generator=args.generator,
+                       concurrency=concurrency, requests_per_client=requests)
+    result["quick"] = bool(args.quick)
+    result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    out_path = (Path(args.output) if args.output
+                else Path(__file__).resolve().parents[3] / "BENCH_serve.json")
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+
+    for row in result["worker_scaling"]:
+        warm = row["warm"]
+        print(f"workers={row['workers']}: {warm['throughput_rps']} req/s, "
+              f"p50={warm['latency']['p50_ms']}ms "
+              f"p95={warm['latency']['p95_ms']}ms "
+              f"(x{row['scaling_vs_1_worker']} vs 1 worker), "
+              f"vm_hit_rate={row['vm_cache_hit_rate']}")
+    print(f"restart compile from artifact cache: "
+          f"{result['restart']['compile_after_restart_ms']} "
+          f"(hit={result['restart']['served_from_artifact_cache']})")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

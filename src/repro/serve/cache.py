@@ -1,0 +1,199 @@
+"""Persistent content-addressed artifact cache for generated programs.
+
+A served ``compile`` or ``run`` request costs model construction +
+dataflow analysis + range determination + code generation before a single
+element is executed.  All of that is a pure function of
+``(model, generator)``, so the service stores the result — the lowered
+:class:`~repro.ir.ops.Program` plus its inport/outport buffer maps and
+summary statistics — on disk, keyed by a content address::
+
+    <cache_dir>/objects/<aa>/<hash>.artifact
+
+where ``hash = sha256(model_fingerprint : generator : backend)`` and the
+model fingerprint is the sha256 of the model's canonical ``.mdl`` text
+(so the same model uploaded as ``.slx`` or referenced as a zoo name
+shares one artifact).  A restarted server therefore skips code generation
+entirely for every model it has seen before — the SLNET observation that
+corpus-scale workloads re-invoke the generator over the same models far
+more often than models change.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent worker
+processes sharing one cache directory can never observe a torn artifact;
+racing writers simply overwrite each other with identical bytes.
+Artifacts are pickled — the cache directory is a private, server-written
+store, not an interchange format; unreadable or version-skewed entries
+are treated as misses and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.ir.ops import Program
+
+#: Bump when the artifact payload layout changes; older entries become
+#: cache misses instead of deserialization errors.
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class Artifact:
+    """One cached compilation result."""
+
+    model_fingerprint: str
+    model_name: str
+    generator: str
+    backend: str
+    program: Program
+    #: Inport block name -> program input buffer name.
+    input_buffers: dict[str, str] = field(default_factory=dict)
+    #: Outport block name -> program output buffer name.
+    output_buffers: dict[str, str] = field(default_factory=dict)
+    #: Cheap summary stats (static_bytes, eliminated elements, ...).
+    stats: dict = field(default_factory=dict)
+
+
+def _canonical_model_lines(model, out: list) -> None:
+    """Order-independent serialization of a model's semantic content.
+
+    Blocks are sorted by (unique) name and connections by endpoint, so two
+    models that differ only in insertion order — e.g. a zoo build versus
+    its ``.slx`` round-trip, whose ``<Line>`` elements are regrouped —
+    fingerprint identically.  Parameter values go through the ``.slx``
+    encoder, which already canonicalizes numpy arrays and scalars.
+    """
+    from repro.model.slx import encode_param
+    out.append(f"model:{model.name};")
+    for name in sorted(model.blocks):
+        block = model.blocks[name]
+        out.append(f"block:{name}:{block.block_type}(")
+        for key in sorted(block.params):
+            tag, text = encode_param(block.params[key])
+            out.append(f"{key}={tag}:{text},")
+        out.append(");")
+    for conn in sorted(model.connections, key=lambda c: (
+            c.src, c.src_port, c.dst, c.dst_port)):
+        out.append(f"line:{conn.src}:{conn.src_port}"
+                   f"->{conn.dst}:{conn.dst_port};")
+    for name in sorted(model.subsystems):
+        out.append(f"subsystem:{name}{{")
+        _canonical_model_lines(model.subsystems[name], out)
+        out.append("}")
+
+
+def model_fingerprint(model) -> str:
+    """Stable content hash of a model's canonical serialized form."""
+    out: list = []
+    _canonical_model_lines(model, out)
+    return hashlib.sha256("".join(out).encode()).hexdigest()
+
+
+def artifact_key(model_fp: str, generator: str, backend: str = "-") -> str:
+    """Content address for one (model, generator, backend) cell."""
+    return hashlib.sha256(
+        f"{model_fp}:{generator}:{backend}".encode()).hexdigest()
+
+
+class ArtifactCache:
+    """On-disk artifact store shared by every worker of a server.
+
+    Thread-safe for in-process use (a lock guards the hit/miss counters;
+    filesystem operations are atomic on their own) and process-safe across
+    workers via write-to-temp + rename.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._stats = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
+
+    # -- addressing --------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.artifact"
+
+    # -- operations --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Artifact]:
+        """Load the artifact at ``key``, or None (counted as a miss).
+
+        Corrupt, truncated, or version-skewed entries are deleted and
+        reported as misses — the caller regenerates and overwrites.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self._count("misses")
+            return None
+        try:
+            version, artifact = pickle.loads(blob)
+            if version != ARTIFACT_VERSION or not isinstance(artifact, Artifact):
+                raise ValueError(f"artifact version {version!r}")
+        except Exception:
+            self._count("errors")
+            self._count("misses")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self._count("hits")
+        return artifact
+
+    def put(self, key: str, artifact: Artifact) -> None:
+        """Atomically persist ``artifact`` at ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        buf = io.BytesIO()
+        pickle.dump((ARTIFACT_VERSION, artifact), buf,
+                    protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(buf.getvalue())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._count("puts")
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("objects/*/*.artifact"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("objects/*/*.artifact"))
+
+    def disk_bytes(self) -> int:
+        return sum(p.stat().st_size
+                   for p in self.root.glob("objects/*/*.artifact"))
+
+    # -- stats -------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self._stats[name] += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return dict(self._stats)

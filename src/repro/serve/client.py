@@ -1,0 +1,216 @@
+"""Synchronous client for the serve protocol.
+
+Used by the test suite, the benchmark harness, ``frodo submit``, and the
+CI smoke job (``python -m repro.serve.client --self-test``).  One client
+owns one TCP connection and issues requests in order; open several
+clients for concurrency (the server multiplexes connections, not
+requests within a connection).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.serve.protocol import MAX_LINE_BYTES, ServeError, jsonable
+
+
+class ServeRequestError(Exception):
+    """Server answered with a typed error (``ok: false``)."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(f"[{error_type}] {message}")
+        self.error_type = error_type
+        self.message = message
+
+
+class ServeClient:
+    """Line-delimited JSON client; context-manager friendly."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7433,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw request/response ---------------------------------------------
+
+    def request_raw(self, op: str, **fields: Any) -> dict:
+        """Send one request, return the full response object."""
+        self.connect()
+        assert self._sock is not None and self._file is not None
+        self._next_id += 1
+        req = {"id": self._next_id, "op": op, **fields}
+        line = (json.dumps(jsonable(req), separators=(",", ":")) + "\n")
+        self._sock.sendall(line.encode())
+        reply = self._file.readline(MAX_LINE_BYTES)
+        if not reply:
+            raise ConnectionError("server closed the connection")
+        resp = json.loads(reply)
+        if resp.get("id") not in (None, self._next_id):
+            raise ConnectionError(
+                f"response id {resp.get('id')!r} does not match request "
+                f"id {self._next_id}")
+        return resp
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request, return ``result``; raise on typed errors."""
+        resp = self.request_raw(op, **fields)
+        if resp.get("ok"):
+            return resp["result"]
+        error = resp.get("error", {})
+        raise ServeRequestError(error.get("type", "internal"),
+                                error.get("message", "unknown error"))
+
+    # -- op wrappers -------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def compile(self, model: str | None = None, generator: str = "frodo",
+                **fields: Any) -> dict:
+        return self.request("compile", model=model, generator=generator,
+                            **fields)
+
+    def run(self, model: str | None = None, generator: str = "frodo",
+            backend: str = "auto", steps: int = 1, seed: int = 0,
+            **fields: Any) -> dict:
+        return self.request("run", model=model, generator=generator,
+                            backend=backend, steps=steps, seed=seed,
+                            **fields)
+
+    def ranges(self, model: str | None = None, **fields: Any) -> dict:
+        return self.request("ranges", model=model, **fields)
+
+    def report(self, model: str | None = None, **fields: Any) -> dict:
+        return self.request("report", model=model, **fields)
+
+    def metrics(self, render: bool = True) -> dict:
+        return self.request("metrics", render=render)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    # -- uploads -----------------------------------------------------------
+
+    @staticmethod
+    def payload_fields(path: str | Path) -> dict:
+        """Build ``model_payload``/``model_format`` fields from a file."""
+        path = Path(path)
+        fmt = "mdl" if path.suffix == ".mdl" else "slx"
+        return {"model_payload": base64.b64encode(path.read_bytes()).decode(),
+                "model_format": fmt}
+
+    # -- smoke test --------------------------------------------------------
+
+    def self_test(self, model: str = "Motivating",
+                  generator: str = "frodo") -> list[tuple[str, bool, str]]:
+        """End-to-end smoke checks against a live server.
+
+        Returns ``(name, passed, detail)`` rows; used by the CI smoke job
+        via ``python -m repro.serve.client --self-test``.
+        """
+        checks: list[tuple[str, bool, str]] = []
+
+        def check(name: str, passed: bool, detail: str = "") -> None:
+            checks.append((name, bool(passed), detail))
+
+        pong = self.ping()
+        check("ping", pong.get("pong") is True, str(pong))
+        compiled = self.compile(model, generator=generator)
+        check("compile", compiled["generator"] == generator,
+              f"stats={compiled['stats']}")
+        first = self.run(model, generator=generator, steps=2,
+                         include_outputs=False)
+        second = self.run(model, generator=generator, steps=2,
+                          include_outputs=False)
+        check("run deterministic",
+              first["output_sha256"] == second["output_sha256"],
+              first["output_sha256"][:16])
+        ranges = self.ranges(model)
+        check("ranges", ranges["model"] == compiled["model"]
+              and len(ranges["blocks"]) > 0,
+              f"{ranges['optimizable_blocks']} optimizable")
+        try:
+            self.run("NoSuchModelZZZ")
+            check("typed unknown_model error", False, "no error raised")
+        except ServeRequestError as exc:
+            check("typed unknown_model error",
+                  exc.error_type == "unknown_model", exc.error_type)
+        snap = self.metrics()["snapshot"]
+        total_requests = sum(row["value"]
+                             for row in snap["requests_total"])
+        check("metrics counted requests", total_requests >= 5,
+              f"{total_requests} requests")
+        return checks
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.serve.client``: one-shot requests / self-test."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.client",
+        description="one-shot client for a running frodo serve instance")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7433)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the end-to-end smoke checks and exit")
+    parser.add_argument("op", nargs="?", help="operation to submit")
+    parser.add_argument("model", nargs="?", default=None)
+    args = parser.parse_args(argv)
+
+    with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+        if args.self_test:
+            checks = client.self_test()
+            failed = [c for c in checks if not c[1]]
+            for name, passed, detail in checks:
+                print(f"{'PASS' if passed else 'FAIL'} {name:32s} {detail}")
+            print(f"{len(checks) - len(failed)}/{len(checks)} checks passed")
+            return 1 if failed else 0
+        if not args.op:
+            parser.error("need an op (or --self-test)")
+        fields = {"model": args.model} if args.model else {}
+        result = client.request(args.op, **fields)
+        print(json.dumps(result, indent=2))
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,396 @@
+"""Request execution for the serve subsystem.
+
+Pure functions from a decoded request dict to a result dict.  The same
+code runs in two places:
+
+* inside each :mod:`repro.serve.pool` worker process (the production
+  path — one request at a time per worker, private warm VM cache);
+* inline in the server process when the pool is disabled
+  (``workers=0``, used by unit tests and debugging).
+
+Handlers never touch sockets or asyncio; typed failures are raised as
+:class:`~repro.serve.protocol.ServeError` and everything else is the
+caller's ``internal`` error.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.serve.cache import (Artifact, ArtifactCache, artifact_key,
+                               model_fingerprint)
+from repro.serve.protocol import ServeError
+
+#: Upper bound on ``steps`` for a single run request — a service-side
+#: guardrail so one request cannot monopolize a worker for minutes.
+MAX_STEPS = 100_000
+
+
+# -- model resolution ----------------------------------------------------------
+
+
+def _known_model_names() -> list[str]:
+    from repro.zoo import EXTENDED_MODELS, MODELS
+    return [*MODELS, *EXTENDED_MODELS, "Motivating"]
+
+
+def resolve_model(req: dict):
+    """Build the request's model from a zoo name or an uploaded payload.
+
+    Returns ``(model, fingerprint)``.  Payloads are base64-encoded
+    ``.slx`` (zip container) or ``.mdl`` (text) bytes with
+    ``model_format`` naming which.
+    """
+    payload = req.get("model_payload")
+    if payload is not None:
+        fmt = req.get("model_format", "slx")
+        if fmt not in ("slx", "mdl"):
+            raise ServeError("bad_request",
+                             f"model_format must be 'slx' or 'mdl', got {fmt!r}")
+        try:
+            blob = base64.b64decode(payload, validate=True)
+        except (binascii.Error, ValueError) as exc:
+            raise ServeError("invalid_model",
+                             f"model_payload is not valid base64: {exc}")
+        from repro.model.mdl import load_mdl
+        from repro.model.slx import load_slx
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+            path = Path(tmp) / f"upload.{fmt}"
+            path.write_bytes(blob)
+            try:
+                model = load_mdl(path) if fmt == "mdl" else load_slx(path)
+            except ReproError as exc:
+                raise ServeError("invalid_model", str(exc))
+        return model, model_fingerprint(model)
+
+    name = req.get("model")
+    if not isinstance(name, str) or not name:
+        raise ServeError("bad_request",
+                         "request needs a 'model' name or a 'model_payload'")
+    from repro.zoo import build_model
+    try:
+        model = build_model(name)
+    except KeyError:
+        known = ", ".join(_known_model_names())
+        raise ServeError("unknown_model",
+                         f"unknown model {name!r}; known zoo models: {known}")
+    return model, model_fingerprint(model)
+
+
+def _generator_name(req: dict) -> str:
+    from repro.codegen import ALL_GENERATORS, FRODO_VARIANTS
+    name = req.get("generator", "frodo")
+    if name not in ALL_GENERATORS and name not in FRODO_VARIANTS:
+        known = ", ".join([*ALL_GENERATORS, *FRODO_VARIANTS])
+        raise ServeError("unknown_generator",
+                         f"unknown generator {name!r}; known: {known}")
+    return name
+
+
+def _backend_name(req: dict) -> str:
+    from repro.ir.interp import BACKENDS
+    backend = req.get("backend", "auto")
+    if backend not in BACKENDS:
+        raise ServeError(
+            "bad_request",
+            f"unknown backend {backend!r}; expected one of {list(BACKENDS)}")
+    return backend
+
+
+def _int_field(req: dict, name: str, default: int, lo: int, hi: int) -> int:
+    value = req.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or not lo <= value <= hi:
+        raise ServeError("bad_request",
+                         f"{name} must be an integer in [{lo}, {hi}], "
+                         f"got {value!r}")
+    return value
+
+
+# -- artifact production -------------------------------------------------------
+
+
+def get_or_compile(model, model_fp: str, generator: str, backend: str,
+                   cache: ArtifactCache | None) -> tuple[Artifact, str]:
+    """Fetch the compiled artifact for (model, generator, backend).
+
+    Returns ``(artifact, source)`` where source is ``"hit"`` (loaded from
+    the on-disk cache), ``"miss"`` (freshly generated and stored), or
+    ``"off"`` (no cache configured).
+    """
+    key = artifact_key(model_fp, generator, backend)
+    if cache is not None:
+        artifact = cache.get(key)
+        if artifact is not None:
+            return artifact, "hit"
+    from repro.codegen import make_generator
+    code = make_generator(generator).generate(model)
+    artifact = Artifact(
+        model_fingerprint=model_fp,
+        model_name=model.name,
+        generator=generator,
+        backend=backend,
+        program=code.program,
+        input_buffers=dict(code.input_buffers),
+        output_buffers=dict(code.output_buffers),
+        stats={
+            "static_bytes": code.program.static_bytes,
+            "buffer_count": len(code.program.buffers),
+            "function_count": len(code.program.functions),
+            "statement_count": sum(1 for _ in code.program.walk()),
+            "optimizable_blocks": len(code.ranges.optimizable),
+            "eliminated_elements":
+                code.ranges.eliminated_elements(code.analyzed),
+        },
+    )
+    if cache is not None:
+        cache.put(key, artifact)
+        return artifact, "miss"
+    return artifact, "off"
+
+
+# -- op implementations --------------------------------------------------------
+
+
+def op_ping(req: dict, ctx: "HandlerContext") -> dict:
+    from repro.serve.protocol import PROTOCOL_VERSION
+    return {"pong": True, "pid": os.getpid(),
+            "protocol_version": PROTOCOL_VERSION}
+
+
+def op_compile(req: dict, ctx: "HandlerContext") -> dict:
+    generator = _generator_name(req)
+    backend = _backend_name(req)
+    model, model_fp = resolve_model(req)
+    artifact, source = get_or_compile(model, model_fp, generator, backend,
+                                      ctx.cache)
+    ctx.meta["artifact_cache"] = source
+    result = {
+        "model": artifact.model_name,
+        "model_fingerprint": model_fp,
+        "generator": generator,
+        "stats": dict(artifact.stats),
+    }
+    if req.get("include_source"):
+        from repro.codegen import emit_c
+        result["c_source"] = emit_c(artifact.program)
+    return result
+
+
+def _decode_inputs(req: dict, model, artifact: Artifact,
+                   seed: int) -> dict[str, np.ndarray]:
+    """Explicit per-inport inputs, or deterministic random ones by seed."""
+    raw = req.get("inputs")
+    if raw is None:
+        from repro.sim.simulator import random_inputs
+        named = random_inputs(model, seed=seed)
+    else:
+        if not isinstance(raw, dict):
+            raise ServeError("bad_request",
+                             "inputs must be an object keyed by inport name")
+        named = {}
+        for name, value in raw.items():
+            if isinstance(value, dict) and set(value) == {"re", "im"}:
+                named[name] = (np.asarray(value["re"], dtype=float)
+                               + 1j * np.asarray(value["im"], dtype=float))
+            else:
+                try:
+                    named[name] = np.asarray(value)
+                except (ValueError, TypeError) as exc:
+                    raise ServeError("bad_request",
+                                     f"input {name!r} is not array-like: {exc}")
+    mapped = {}
+    for name, value in named.items():
+        buffer = artifact.input_buffers.get(name)
+        if buffer is None:
+            known = ", ".join(sorted(artifact.input_buffers))
+            raise ServeError("bad_request",
+                             f"unknown inport {name!r}; known: {known}")
+        mapped[buffer] = value
+    return mapped
+
+
+def op_run(req: dict, ctx: "HandlerContext") -> dict:
+    from repro.errors import SimulationError
+    from repro.ir.interp import cached_vm, vm_cache_stats
+    generator = _generator_name(req)
+    backend = _backend_name(req)
+    steps = _int_field(req, "steps", 1, 1, MAX_STEPS)
+    seed = _int_field(req, "seed", 0, 0, 2 ** 32 - 1)
+    model, model_fp = resolve_model(req)
+    artifact, source = get_or_compile(model, model_fp, generator, backend,
+                                      ctx.cache)
+    ctx.meta["artifact_cache"] = source
+
+    inputs = _decode_inputs(req, model, artifact, seed)
+    hits_before = vm_cache_stats()["hits"]
+    vm = cached_vm(artifact.program, backend=backend)
+    ctx.meta["vm_cache"] = (
+        "hit" if vm_cache_stats()["hits"] > hits_before else "miss")
+    t0 = time.perf_counter()
+    try:
+        exec_result = vm.run(inputs, steps=steps)
+    except SimulationError as exc:
+        raise ServeError("bad_request", f"execution rejected: {exc}")
+    execute_seconds = time.perf_counter() - t0
+
+    outputs = {name: exec_result.outputs[buffer]
+               for name, buffer in artifact.output_buffers.items()}
+    digest = hashlib.sha256()
+    for name in sorted(outputs):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(outputs[name]).tobytes())
+    totals = exec_result.counts.total
+    result = {
+        "model": artifact.model_name,
+        "model_fingerprint": model_fp,
+        "generator": generator,
+        "backend": backend,
+        "steps": steps,
+        "execute_seconds": round(execute_seconds, 6),
+        "counts": totals.as_dict(),
+        "total_element_ops": totals.total_element_ops,
+        "peak_buffer_bytes": exec_result.peak_buffer_bytes,
+        "output_sha256": digest.hexdigest(),
+    }
+    if req.get("include_outputs", True):
+        result["outputs"] = outputs
+    return result
+
+
+def op_ranges(req: dict, ctx: "HandlerContext") -> dict:
+    from repro.core.analysis import analyze
+    from repro.core.ranges import determine_ranges
+    model, model_fp = resolve_model(req)
+    analyzed = analyze(model)
+    ranges = determine_ranges(analyzed)
+    blocks = []
+    for name in analyzed.schedule:
+        sig = analyzed.signal_of(name)
+        blocks.append({
+            "block": name,
+            "shape": list(sig.shape),
+            "range": ranges.output_range[name].describe(),
+            "optimizable": name in ranges.optimizable,
+        })
+    return {
+        "model": model.name,
+        "model_fingerprint": model_fp,
+        "optimizable_blocks": len(ranges.optimizable),
+        "eliminated_elements": ranges.eliminated_elements(analyzed),
+        "blocks": blocks,
+    }
+
+
+def op_report(req: dict, ctx: "HandlerContext") -> dict:
+    """Per-generator comparison table for one model (counts + memory)."""
+    from repro.codegen import ALL_GENERATORS
+    from repro.ir.interp import cached_vm
+    from repro.sim.simulator import random_inputs
+    backend = _backend_name(req)
+    steps = _int_field(req, "steps", 1, 1, MAX_STEPS)
+    seed = _int_field(req, "seed", 0, 0, 2 ** 32 - 1)
+    generators = req.get("generators", list(ALL_GENERATORS))
+    if not isinstance(generators, list) or not generators:
+        raise ServeError("bad_request", "generators must be a non-empty list")
+    model, model_fp = resolve_model(req)
+    named = random_inputs(model, seed=seed)
+    artifact_hits = artifact_misses = 0
+    rows = []
+    for generator in generators:
+        _generator_name({"generator": generator})
+        artifact, source = get_or_compile(model, model_fp, generator,
+                                          backend, ctx.cache)
+        artifact_hits += source == "hit"
+        artifact_misses += source == "miss"
+        vm = cached_vm(artifact.program, backend=backend)
+        inputs = {artifact.input_buffers[n]: v for n, v in named.items()}
+        totals = vm.run(inputs, steps=steps).counts.total
+        rows.append({
+            "generator": generator,
+            "total_element_ops": totals.total_element_ops,
+            "flops": totals.flops,
+            "static_bytes": artifact.stats["static_bytes"],
+            "eliminated_elements": artifact.stats["eliminated_elements"],
+        })
+    ctx.meta["artifact_cache"] = (
+        "hit" if artifact_misses == 0 and artifact_hits else
+        "miss" if artifact_misses else "off")
+    baseline = next((r for r in rows if r["generator"] == "simulink"), rows[0])
+    for row in rows:
+        row["ops_vs_baseline"] = (
+            round(baseline["total_element_ops"]
+                  / row["total_element_ops"], 3)
+            if row["total_element_ops"] else None)
+    return {"model": model.name, "model_fingerprint": model_fp,
+            "steps": steps, "rows": rows}
+
+
+def op_sleep(req: dict, ctx: "HandlerContext") -> dict:
+    """Debug op: hold the worker for N seconds (timeout-path testing).
+
+    With ``"exit": true`` the worker process dies without replying after
+    the sleep — the deterministic crash used to test the pool's
+    retry-once-then-fail recovery path.
+    """
+    if not ctx.allow_debug:
+        raise ServeError("bad_request",
+                         "sleep is a debug op; start the server with "
+                         "--debug-ops to enable it")
+    seconds = req.get("seconds", 0.1)
+    if not isinstance(seconds, (int, float)) or not 0 <= seconds <= 300:
+        raise ServeError("bad_request",
+                         f"seconds must be in [0, 300], got {seconds!r}")
+    time.sleep(float(seconds))
+    if req.get("exit"):
+        os._exit(17)
+    return {"slept": float(seconds), "pid": os.getpid()}
+
+
+_HANDLERS = {
+    "ping": op_ping,
+    "compile": op_compile,
+    "run": op_run,
+    "ranges": op_ranges,
+    "report": op_report,
+    "sleep": op_sleep,
+}
+
+
+class HandlerContext:
+    """Per-request execution context handed to op implementations."""
+
+    def __init__(self, cache: ArtifactCache | None, allow_debug: bool = False):
+        self.cache = cache
+        self.allow_debug = allow_debug
+        self.meta: dict = {}
+
+
+def handle_request(req: dict, cache: ArtifactCache | None,
+                   allow_debug: bool = False) -> tuple[dict, dict]:
+    """Execute one decoded request; returns ``(result, meta)``.
+
+    Raises :class:`ServeError` for typed failures; any other exception is
+    a bug and becomes the caller's ``internal`` error.  ``metrics`` and
+    ``shutdown`` are served by the front-end, not here.
+    """
+    op = req.get("op")
+    handler = _HANDLERS.get(op)
+    if handler is None:
+        raise ServeError("bad_request",
+                         f"op {op!r} is not executable by a worker")
+    ctx = HandlerContext(cache, allow_debug)
+    ctx.meta["worker_pid"] = os.getpid()
+    t0 = time.perf_counter()
+    result = handler(req, ctx)
+    ctx.meta["service_seconds"] = round(time.perf_counter() - t0, 6)
+    return result, ctx.meta

@@ -1,0 +1,211 @@
+"""Service observability: counters, latency histograms, cache hit rates.
+
+A deliberately small, dependency-free metrics core in the spirit of the
+Prometheus client: named counters with label sets, fixed-bucket latency
+histograms, and a registry that can snapshot itself as JSON (served by
+the ``metrics`` op) or render a human-readable text page (served by
+``GET /metrics`` on the HTTP shim).
+
+Everything is guarded by one registry lock — metric updates are a few
+dict operations, far cheaper than the requests they annotate, so a single
+lock is simpler and plenty fast at the request rates a Python service
+front-end can sustain.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable
+
+#: Histogram bucket upper bounds in seconds (log-ish scale, +inf implied).
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                   0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonic counter with optional labels (one value per label set)."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def snapshot(self) -> list[dict]:
+        return [{"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())]
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with count/sum/min/max."""
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Iterable[float] = LATENCY_BUCKETS):
+        self.name = name
+        self.help_text = help_text
+        self.buckets = tuple(buckets)
+        self._series: dict[tuple, dict] = {}
+
+    def observe(self, seconds: float, **labels: str) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = {
+                "counts": [0] * (len(self.buckets) + 1),
+                "count": 0, "sum": 0.0,
+                "min": float("inf"), "max": 0.0,
+            }
+        for i, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                series["counts"][i] += 1
+                break
+        else:
+            series["counts"][-1] += 1
+        series["count"] += 1
+        series["sum"] += seconds
+        series["min"] = min(series["min"], seconds)
+        series["max"] = max(series["max"], seconds)
+
+    def quantile(self, q: float, **labels: str) -> float | None:
+        """Approximate quantile from bucket upper bounds (None if empty)."""
+        series = self._series.get(_label_key(labels))
+        if not series or not series["count"]:
+            return None
+        rank = q * series["count"]
+        seen = 0
+        for i, count in enumerate(series["counts"]):
+            seen += count
+            if seen >= rank and count:
+                bound = (self.buckets[i] if i < len(self.buckets)
+                         else series["max"])
+                # The true value never exceeds the observed maximum, so a
+                # bucket upper bound past it would only overstate tails.
+                return min(bound, series["max"])
+        return series["max"]
+
+    def snapshot(self) -> list[dict]:
+        out = []
+        for key, series in sorted(self._series.items()):
+            out.append({
+                "labels": dict(key),
+                "count": series["count"],
+                "sum_seconds": round(series["sum"], 6),
+                "min_seconds": round(series["min"], 6),
+                "max_seconds": round(series["max"], 6),
+                "mean_seconds": round(series["sum"] / series["count"], 6),
+                "buckets": {
+                    **{f"le_{bound:g}": series["counts"][i]
+                       for i, bound in enumerate(self.buckets)},
+                    "le_inf": series["counts"][-1],
+                },
+            })
+        return out
+
+
+class MetricsRegistry:
+    """All metrics of one server instance, behind one lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests = Counter(
+            "requests_total", "requests by op and outcome")
+        self.latency = Histogram(
+            "request_latency_seconds", "end-to-end service time by op")
+        self.cache_events = Counter(
+            "cache_events_total", "hits/misses by cache (vm, artifact)")
+        self.pool_events = Counter(
+            "pool_events_total",
+            "worker lifecycle: spawned, crashed, retried, timed_out, shed")
+        self.connections = Counter(
+            "connections_total", "accepted connections by transport")
+        self.in_flight = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_request(self, op: str, outcome: str, seconds: float) -> None:
+        with self._lock:
+            self.requests.inc(op=op, outcome=outcome)
+            self.latency.observe(seconds, op=op)
+
+    def record_cache(self, cache: str, event: str, amount: int = 1) -> None:
+        if amount:
+            with self._lock:
+                self.cache_events.inc(amount, cache=cache, event=event)
+
+    def record_pool(self, event: str) -> None:
+        with self._lock:
+            self.pool_events.inc(event=event)
+
+    def record_connection(self, transport: str) -> None:
+        with self._lock:
+            self.connections.inc(transport=transport)
+
+    def adjust_in_flight(self, delta: int) -> None:
+        with self._lock:
+            self.in_flight += delta
+
+    # -- reporting ---------------------------------------------------------
+
+    def hit_rate(self, cache: str) -> float | None:
+        with self._lock:
+            hits = self.cache_events.value(cache=cache, event="hit")
+            misses = self.cache_events.value(cache=cache, event="miss")
+        total = hits + misses
+        return (hits / total) if total else None
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            snap = {
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "in_flight": self.in_flight,
+                "requests_total": self.requests.snapshot(),
+                "request_latency_seconds": self.latency.snapshot(),
+                "cache_events_total": self.cache_events.snapshot(),
+                "pool_events_total": self.pool_events.snapshot(),
+                "connections_total": self.connections.snapshot(),
+            }
+        for cache in ("vm", "artifact"):
+            rate = self.hit_rate(cache)
+            snap[f"{cache}_cache_hit_rate"] = (
+                None if rate is None else round(rate, 4))
+        return snap
+
+    def render_text(self) -> str:
+        """Aligned text page for ``GET /metrics`` and ``frodo submit``."""
+        snap = self.snapshot()
+        lines = [
+            f"uptime_seconds {snap['uptime_seconds']}",
+            f"in_flight {snap['in_flight']}",
+        ]
+        for metric in ("requests_total", "cache_events_total",
+                       "pool_events_total", "connections_total"):
+            for row in snap[metric]:
+                labels = ",".join(f'{k}="{v}"'
+                                  for k, v in row["labels"].items())
+                lines.append(f"{metric}{{{labels}}} {row['value']:g}")
+        for row in snap["request_latency_seconds"]:
+            op = row["labels"].get("op", "")
+            lines.append(
+                f'request_latency_seconds{{op="{op}"}} '
+                f"count={row['count']} mean={row['mean_seconds']}s "
+                f"min={row['min_seconds']}s max={row['max_seconds']}s")
+        for cache in ("vm", "artifact"):
+            rate = snap[f"{cache}_cache_hit_rate"]
+            lines.append(f"{cache}_cache_hit_rate "
+                         f"{'n/a' if rate is None else rate}")
+        return "\n".join(lines) + "\n"

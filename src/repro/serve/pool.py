@@ -1,0 +1,306 @@
+"""Process worker pool: warm caches, timeouts, crash recovery, load shed.
+
+Each worker is a separate OS process holding its own warm state — the
+module-level VM cache (:func:`repro.ir.interp.cached_vm`) plus an
+:class:`~repro.serve.cache.ArtifactCache` handle on the shared on-disk
+store.  Process isolation is what makes concurrency safe here: a
+:class:`~repro.ir.interp.VirtualMachine` is not reentrant (its buffers
+and counters mutate in place), so the pool guarantees each worker runs
+exactly one request at a time and shares nothing mutable across workers
+except the atomically-written artifact directory.
+
+Dispatch policy:
+
+* a request takes an idle worker if one is free, otherwise waits in a
+  **bounded** backlog; when ``max_pending`` waiters are already queued
+  the request is shed immediately with a typed ``busy`` error (callers
+  get fast feedback instead of an unbounded queue hiding the overload);
+* every request has a deadline (``timeout_seconds``, per-request
+  override allowed below the server cap): on expiry the worker is
+  **killed** — mid-flight cancellation of arbitrary Python is only
+  reliable at process granularity — and a fresh worker is spawned;
+* if a worker dies mid-request (crash, OOM-kill), the request is retried
+  once on a fresh worker: every op the pool executes is idempotent (pure
+  functions of the request plus an idempotent cache write), so a retry
+  can at worst redo work, never double-apply it.  Timeouts are *not*
+  retried — the retry would very likely time out too and double the
+  damage of a poison request.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.serve.protocol import ServeError
+
+
+def _start_context():
+    """Prefer fork (instant warm workers on Linux); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _worker_main(conn, cache_dir: str | None, allow_debug: bool) -> None:
+    """Worker process loop: recv request dict, send response dict."""
+    from repro.serve.cache import ArtifactCache
+    from repro.serve.handlers import handle_request
+    from repro.serve.protocol import ServeError as WorkerServeError
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    while True:
+        try:
+            req = conn.recv()
+        except (EOFError, OSError):
+            break
+        if req is None:  # shutdown sentinel
+            break
+        try:
+            result, meta = handle_request(req, cache,
+                                          allow_debug=allow_debug)
+            resp = {"ok": True, "result": result, "meta": meta}
+        except WorkerServeError as exc:
+            resp = {"ok": False, "error_type": exc.error_type,
+                    "message": exc.message}
+        except Exception as exc:  # noqa: BLE001 — workers must not die on bugs
+            resp = {"ok": False, "error_type": "internal",
+                    "message": f"{type(exc).__name__}: {exc}"}
+        try:
+            conn.send(resp)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class WorkerCrash(Exception):
+    """The worker process died before producing a response."""
+
+
+class WorkerTimeout(Exception):
+    """The request exceeded its deadline; the worker was killed."""
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    def __init__(self, ctx, cache_dir: str | None, allow_debug: bool):
+        parent, child = ctx.Pipe()
+        self.conn = parent
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child, cache_dir, allow_debug),
+            daemon=True)
+        self.proc.start()
+        child.close()
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid
+
+    def call(self, req: dict, timeout: float) -> dict:
+        """Blocking request/response with a hard deadline."""
+        try:
+            self.conn.send(req)
+        except (BrokenPipeError, OSError):
+            raise WorkerCrash(f"worker {self.pid} pipe closed on send")
+        if not self.conn.poll(timeout):
+            raise WorkerTimeout(
+                f"no response from worker {self.pid} within {timeout:g}s")
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError):
+            raise WorkerCrash(f"worker {self.pid} died mid-request")
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except (OSError, AttributeError):
+            pass
+        self.proc.join(timeout=5)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        """Graceful shutdown: sentinel, short grace period, then kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=2)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=5)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class PoolConfig:
+    workers: int = 2
+    cache_dir: str | None = None
+    timeout_seconds: float = 60.0
+    #: Requests allowed to wait for a worker before shedding with ``busy``.
+    max_pending: int = 16
+    allow_debug: bool = False
+
+
+class WorkerPool:
+    """Fixed-size pool of single-request-at-a-time worker processes.
+
+    Thread-safe: ``execute()`` may be called from many dispatcher threads
+    (the asyncio server funnels requests through its executor).  With
+    ``workers=0`` the pool runs requests inline in the calling thread —
+    no isolation, no timeout enforcement — which keeps unit tests and
+    one-shot CLI usage cheap.
+    """
+
+    def __init__(self, config: PoolConfig, metrics=None):
+        self.config = config
+        self.metrics = metrics
+        self._ctx = _start_context()
+        self._idle: list[_Worker] = []
+        self._cond = threading.Condition()
+        self._pending = 0
+        self._closed = False
+        self._inline_cache = None
+        if config.workers == 0:
+            if config.cache_dir:
+                from repro.serve.cache import ArtifactCache
+                self._inline_cache = ArtifactCache(config.cache_dir)
+        else:
+            for _ in range(config.workers):
+                self._idle.append(self._spawn())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        if self.metrics is not None:
+            self.metrics.record_pool("spawned")
+        return _Worker(self._ctx, self.config.cache_dir,
+                       self.config.allow_debug)
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._idle = self._idle, []
+            self._cond.notify_all()
+        for worker in workers:
+            worker.stop()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _acquire(self) -> _Worker:
+        with self._cond:
+            if self._closed:
+                raise ServeError("shutting_down", "pool is closed")
+            if not self._idle and self._pending >= self.config.max_pending:
+                if self.metrics is not None:
+                    self.metrics.record_pool("shed")
+                raise ServeError(
+                    "busy",
+                    f"all {self.config.workers} workers busy and "
+                    f"{self._pending} requests already waiting; retry later")
+            self._pending += 1
+            try:
+                while not self._idle:
+                    self._cond.wait()
+                    if self._closed:
+                        raise ServeError("shutting_down", "pool is closed")
+                return self._idle.pop()
+            finally:
+                self._pending -= 1
+
+    def _release(self, worker: _Worker) -> None:
+        with self._cond:
+            if self._closed:
+                worker.stop()
+                return
+            self._idle.append(worker)
+            self._cond.notify()
+
+    def execute(self, req: dict) -> tuple[dict, dict]:
+        """Run one request on the pool; returns ``(result, meta)``.
+
+        Raises :class:`ServeError` for every failure mode (including the
+        worker-side typed errors, re-raised here).
+        """
+        if self.config.workers == 0:
+            from repro.serve.handlers import handle_request
+            return handle_request(req, self._inline_cache,
+                                  allow_debug=self.config.allow_debug)
+
+        timeout = self.config.timeout_seconds
+        override = req.get("timeout_seconds")
+        if isinstance(override, (int, float)) and 0 < override:
+            timeout = min(float(override), timeout)
+
+        last_crash: WorkerCrash | None = None
+        for attempt in (1, 2):
+            worker = self._acquire()
+            replacement = None
+            try:
+                resp = worker.call(req, timeout)
+            except WorkerTimeout:
+                worker.kill()
+                replacement = self._spawn()
+                if self.metrics is not None:
+                    self.metrics.record_pool("timed_out")
+                raise ServeError(
+                    "timeout",
+                    f"request exceeded {timeout:g}s; worker was recycled")
+            except WorkerCrash as exc:
+                worker.kill()
+                replacement = self._spawn()
+                if self.metrics is not None:
+                    self.metrics.record_pool("crashed")
+                last_crash = exc
+                if attempt == 1:
+                    if self.metrics is not None:
+                        self.metrics.record_pool("retried")
+                    continue
+                break
+            finally:
+                self._release(replacement if replacement is not None
+                              else worker)
+            if resp.get("ok"):
+                meta = resp.get("meta", {})
+                meta["attempts"] = attempt
+                return resp["result"], meta
+            raise ServeError(resp.get("error_type", "internal"),
+                             resp.get("message", "worker error"))
+        raise ServeError(
+            "worker_crash",
+            f"worker died twice on this request ({last_crash}); giving up")
+
+    # -- introspection -----------------------------------------------------
+
+    def ping_all(self) -> list[dict]:
+        """Round-trip every worker once (warm-up / smoke check).
+
+        Holds all workers while pinging so each worker is reached exactly
+        once (plain ``execute`` would keep re-grabbing the same idle
+        worker off the LIFO free list).
+        """
+        if self.config.workers == 0:
+            result, _ = self.execute({"op": "ping"})
+            return [result]
+        workers = [self._acquire() for _ in range(self.config.workers)]
+        try:
+            return [w.call({"op": "ping"}, self.config.timeout_seconds)
+                    .get("result", {}) for w in workers]
+        finally:
+            for w in workers:
+                self._release(w)

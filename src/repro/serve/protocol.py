@@ -1,0 +1,130 @@
+"""Wire protocol for the ``repro.serve`` compile-and-execute service.
+
+The native transport is **line-delimited JSON over TCP**: each request is
+one JSON object on one line, each response is one JSON object on one line,
+in order, on the same connection.  A minimal HTTP shim (see
+:mod:`repro.serve.server`) wraps the same objects for ``curl``-style
+access.
+
+Request shape::
+
+    {"id": 7, "op": "run", "model": "AudioProcess",
+     "generator": "frodo", "backend": "auto", "steps": 3, "seed": 0}
+
+Response shape::
+
+    {"id": 7, "ok": true, "result": {...}, "meta": {...}}
+    {"id": 7, "ok": false, "error": {"type": "unknown_model",
+                                     "message": "..."}}
+
+``meta`` carries observability breadcrumbs (worker pid, cache hit/miss
+flags, service time) that the server folds into its metrics registry.
+
+The error taxonomy is closed — every failure a client can see maps to one
+of :data:`ERROR_TYPES` — so clients can switch on ``error.type`` without
+parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Every operation the service accepts.  ``sleep`` is a debug op (gated by
+#: the server's ``allow_debug`` switch) used by tests and the CI smoke job
+#: to exercise timeout handling deterministically.
+OPS = ("ping", "compile", "run", "ranges", "report", "metrics", "sleep",
+       "shutdown")
+
+#: Closed error taxonomy (see docs/serving.md for the contract of each).
+ERROR_TYPES = (
+    "bad_request",      # malformed JSON, unknown op, invalid field value
+    "unknown_model",    # model name not in the zoo and no payload given
+    "unknown_generator",  # generator name not registered
+    "invalid_model",    # uploaded payload failed to parse or analyze
+    "timeout",          # request exceeded the per-request deadline
+    "busy",             # load shed: all workers busy and backlog full
+    "worker_crash",     # worker died mid-request (after one retry)
+    "shutting_down",    # server is draining; retry against another replica
+    "internal",         # unexpected server-side failure
+)
+
+#: Wire-protocol revision, echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+MAX_LINE_BYTES = 32 * 1024 * 1024  # uploaded .slx payloads are base64 lines
+
+
+class ServeError(Exception):
+    """A typed, client-visible failure.
+
+    Raised anywhere between request decode and handler completion; the
+    server serializes it as ``{"ok": false, "error": {...}}`` instead of
+    tearing down the connection.
+    """
+
+    def __init__(self, error_type: str, message: str):
+        if error_type not in ERROR_TYPES:
+            raise ValueError(f"unknown error type {error_type!r}")
+        super().__init__(message)
+        self.error_type = error_type
+        self.message = message
+
+    def to_wire(self) -> dict:
+        return {"type": self.error_type, "message": self.message}
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert handler results to JSON-encodable values.
+
+    numpy arrays become nested lists; complex values become
+    ``{"re": ..., "im": ...}`` objects (JSON has no complex literal);
+    numpy scalars collapse to Python scalars.
+    """
+    import numpy as np
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return jsonable(value.tolist())
+    if isinstance(value, (complex, np.complexfloating)):
+        return {"re": float(value.real), "im": float(value.imag)}
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def encode(obj: dict) -> bytes:
+    """Serialize one protocol object to its wire line."""
+    return (json.dumps(jsonable(obj), separators=(",", ":")) + "\n").encode()
+
+
+def decode_request(line: bytes) -> dict:
+    """Parse one request line; raise :class:`ServeError` on malformed input."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeError("bad_request", f"request is not valid JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise ServeError("bad_request", "request must be a JSON object")
+    op = obj.get("op")
+    if op not in OPS:
+        raise ServeError(
+            "bad_request", f"unknown op {op!r}; expected one of {list(OPS)}")
+    return obj
+
+
+def ok_response(request_id: Any, result: dict, meta: dict | None = None) -> dict:
+    resp: dict = {"id": request_id, "ok": True, "result": result}
+    if meta:
+        resp["meta"] = meta
+    return resp
+
+
+def error_response(request_id: Any, error: ServeError,
+                   meta: dict | None = None) -> dict:
+    resp: dict = {"id": request_id, "ok": False, "error": error.to_wire()}
+    if meta:
+        resp["meta"] = meta
+    return resp

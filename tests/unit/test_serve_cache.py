@@ -1,0 +1,125 @@
+"""Unit tests for the persistent content-addressed artifact cache."""
+
+import numpy as np
+
+from repro.codegen import make_generator
+from repro.ir.interp import VirtualMachine
+from repro.serve.cache import (Artifact, ArtifactCache, artifact_key,
+                               model_fingerprint)
+from repro.sim.simulator import random_inputs
+from repro.zoo import build_model
+
+
+def _make_artifact(model_name="Motivating", generator="frodo"):
+    model = build_model(model_name)
+    code = make_generator(generator).generate(model)
+    fp = model_fingerprint(model)
+    return model, Artifact(
+        model_fingerprint=fp, model_name=model.name, generator=generator,
+        backend="auto", program=code.program,
+        input_buffers=dict(code.input_buffers),
+        output_buffers=dict(code.output_buffers),
+        stats={"static_bytes": code.program.static_bytes},
+    )
+
+
+class TestModelFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert model_fingerprint(build_model("Motivating")) == \
+            model_fingerprint(build_model("Motivating"))
+
+    def test_distinguishes_models(self):
+        assert model_fingerprint(build_model("Motivating")) != \
+            model_fingerprint(build_model("Simpson"))
+
+    def test_format_agnostic(self, tmp_path):
+        """Same model via .slx or .mdl round-trip shares one fingerprint."""
+        from repro.model.mdl import load_mdl, save_mdl
+        from repro.model.slx import load_slx, save_slx
+        model = build_model("Simpson")
+        save_slx(model, tmp_path / "m.slx")
+        save_mdl(model, tmp_path / "m.mdl")
+        assert model_fingerprint(load_slx(tmp_path / "m.slx")) == \
+            model_fingerprint(load_mdl(tmp_path / "m.mdl"))
+
+
+class TestArtifactKey:
+    def test_depends_on_all_components(self):
+        base = artifact_key("fp", "frodo", "auto")
+        assert base != artifact_key("fp2", "frodo", "auto")
+        assert base != artifact_key("fp", "hcg", "auto")
+        assert base != artifact_key("fp", "frodo", "closure")
+        assert base == artifact_key("fp", "frodo", "auto")
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        _, artifact = _make_artifact()
+        key = artifact_key(artifact.model_fingerprint, "frodo", "auto")
+        assert cache.get(key) is None
+        cache.put(key, artifact)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.model_name == artifact.model_name
+        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1,
+                                 "errors": 0}
+        assert len(cache) == 1
+
+    def test_restart_persistence_and_equivalence(self, tmp_path):
+        """A second cache instance (a 'restarted server') serves the same
+        program, and the deserialized program executes identically."""
+        model, artifact = _make_artifact("Simpson")
+        key = artifact_key(artifact.model_fingerprint, "frodo", "auto")
+        ArtifactCache(tmp_path).put(key, artifact)
+
+        reloaded = ArtifactCache(tmp_path).get(key)  # fresh instance
+        assert reloaded is not None
+        inputs = {reloaded.input_buffers[name]: value
+                  for name, value in random_inputs(model, seed=3).items()}
+        fresh = VirtualMachine(artifact.program).run(inputs, steps=2)
+        thawed = VirtualMachine(reloaded.program).run(inputs, steps=2)
+        assert fresh.counts == thawed.counts
+        for name in fresh.outputs:
+            np.testing.assert_array_equal(fresh.outputs[name],
+                                          thawed.outputs[name])
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        _, artifact = _make_artifact()
+        key = artifact_key(artifact.model_fingerprint, "frodo", "auto")
+        cache.put(key, artifact)
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.stats()["errors"] == 1
+
+    def test_version_skew_is_a_miss(self, tmp_path):
+        import pickle
+        cache = ArtifactCache(tmp_path)
+        _, artifact = _make_artifact()
+        key = artifact_key(artifact.model_fingerprint, "frodo", "auto")
+        cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(key).write_bytes(pickle.dumps((999, artifact)))
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        _, artifact = _make_artifact()
+        cache.put(artifact_key("a", "frodo"), artifact)
+        cache.put(artifact_key("b", "frodo"), artifact)
+        assert cache.disk_bytes() > 0
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        _, artifact = _make_artifact()
+        key = artifact_key("same", "frodo")
+        cache.put(key, artifact)
+        cache.put(key, artifact)  # racing writers overwrite identically
+        assert len(cache) == 1
+        assert cache.get(key) is not None
+        leftovers = list(tmp_path.glob("objects/*/*.tmp"))
+        assert leftovers == []

@@ -1,0 +1,95 @@
+"""Unit tests for the serve metrics registry."""
+
+from repro.serve.metrics import (Counter, Histogram, LATENCY_BUCKETS,
+                                 MetricsRegistry)
+
+
+class TestCounter:
+    def test_labelled_values(self):
+        c = Counter("requests")
+        c.inc(op="run", outcome="ok")
+        c.inc(op="run", outcome="ok")
+        c.inc(op="run", outcome="timeout")
+        assert c.value(op="run", outcome="ok") == 2
+        assert c.value(op="run", outcome="timeout") == 1
+        assert c.value(op="compile", outcome="ok") == 0
+        assert c.total() == 3
+
+    def test_label_order_irrelevant(self):
+        c = Counter("x")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_snapshot(self):
+        c = Counter("x")
+        c.inc(3.0, kind="k")
+        assert c.snapshot() == [{"labels": {"kind": "k"}, "value": 3.0}]
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("lat")
+        h.observe(0.0001, op="run")   # below first bound
+        h.observe(0.3, op="run")      # mid-range
+        h.observe(99.0, op="run")     # beyond last bound -> +inf bucket
+        snap = h.snapshot()[0]
+        assert snap["count"] == 3
+        assert snap["buckets"]["le_inf"] == 1
+        assert snap["buckets"][f"le_{LATENCY_BUCKETS[0]:g}"] == 1
+        assert snap["min_seconds"] <= 0.0001
+        assert snap["max_seconds"] == 99.0
+
+    def test_quantile(self):
+        h = Histogram("lat")
+        for _ in range(99):
+            h.observe(0.002, op="x")
+        h.observe(20.0, op="x")
+        assert h.quantile(0.5, op="x") == 0.0025  # bucket upper bound
+        assert h.quantile(1.0, op="x") == 20.0
+        assert h.quantile(0.5, op="missing") is None
+
+
+class TestMetricsRegistry:
+    def test_request_recording(self):
+        reg = MetricsRegistry()
+        reg.record_request("run", "ok", 0.01)
+        reg.record_request("run", "timeout", 5.0)
+        snap = reg.snapshot()
+        rows = {tuple(sorted(r["labels"].items())): r["value"]
+                for r in snap["requests_total"]}
+        assert rows[(("op", "run"), ("outcome", "ok"))] == 1
+        assert rows[(("op", "run"), ("outcome", "timeout"))] == 1
+
+    def test_cache_hit_rate(self):
+        reg = MetricsRegistry()
+        assert reg.hit_rate("vm") is None
+        reg.record_cache("vm", "hit")
+        reg.record_cache("vm", "hit")
+        reg.record_cache("vm", "miss")
+        assert abs(reg.hit_rate("vm") - 2 / 3) < 1e-9
+        assert reg.snapshot()["vm_cache_hit_rate"] == round(2 / 3, 4)
+
+    def test_in_flight_tracking(self):
+        reg = MetricsRegistry()
+        reg.adjust_in_flight(1)
+        reg.adjust_in_flight(1)
+        reg.adjust_in_flight(-1)
+        assert reg.snapshot()["in_flight"] == 1
+
+    def test_render_text(self):
+        reg = MetricsRegistry()
+        reg.record_request("compile", "ok", 0.02)
+        reg.record_cache("artifact", "miss")
+        reg.record_pool("spawned")
+        reg.record_connection("ndjson")
+        text = reg.render_text()
+        assert 'requests_total{op="compile",outcome="ok"} 1' in text
+        assert 'cache_events_total{cache="artifact",event="miss"} 1' in text
+        assert 'pool_events_total{event="spawned"} 1' in text
+        assert "artifact_cache_hit_rate 0.0" in text
+        assert "vm_cache_hit_rate n/a" in text
+
+    def test_zero_amount_cache_event_not_recorded(self):
+        reg = MetricsRegistry()
+        reg.record_cache("vm", "hit", amount=0)
+        assert reg.hit_rate("vm") is None

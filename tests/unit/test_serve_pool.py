@@ -1,0 +1,119 @@
+"""Unit tests for the worker pool: timeouts, crashes, load shedding."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import PoolConfig, WorkerPool
+from repro.serve.protocol import ServeError
+
+
+def _pool(**kwargs) -> WorkerPool:
+    defaults = dict(workers=1, timeout_seconds=10.0, max_pending=4,
+                    allow_debug=True)
+    defaults.update(kwargs)
+    return WorkerPool(PoolConfig(**defaults), MetricsRegistry())
+
+
+class TestInlinePool:
+    def test_workers_zero_runs_in_process(self, tmp_path):
+        with _pool(workers=0, cache_dir=str(tmp_path)) as pool:
+            result, meta = pool.execute(
+                {"op": "compile", "model": "Motivating"})
+            assert result["generator"] == "frodo"
+            assert meta["artifact_cache"] == "miss"
+            import os
+            assert meta["worker_pid"] == os.getpid()
+
+    def test_typed_errors_pass_through(self):
+        with _pool(workers=0) as pool:
+            with pytest.raises(ServeError) as exc:
+                pool.execute({"op": "run", "model": "Zzz"})
+            assert exc.value.error_type == "unknown_model"
+
+
+class TestProcessPool:
+    def test_request_isolation_and_warm_cache(self, tmp_path):
+        with _pool(cache_dir=str(tmp_path)) as pool:
+            import os
+            result, meta = pool.execute(
+                {"op": "run", "model": "Motivating",
+                 "include_outputs": False})
+            assert meta["worker_pid"] != os.getpid()
+            _, meta2 = pool.execute(
+                {"op": "run", "model": "Motivating",
+                 "include_outputs": False})
+            assert meta2["worker_pid"] == meta["worker_pid"]
+            assert meta2["vm_cache"] == "hit"
+            assert meta2["artifact_cache"] == "hit"
+
+    def test_timeout_kills_and_recovers(self):
+        metrics = MetricsRegistry()
+        with WorkerPool(PoolConfig(workers=1, timeout_seconds=0.5,
+                                   allow_debug=True), metrics) as pool:
+            with pytest.raises(ServeError) as exc:
+                pool.execute({"op": "sleep", "seconds": 30})
+            assert exc.value.error_type == "timeout"
+            # A fresh worker replaced the killed one and serves requests.
+            result, _ = pool.execute({"op": "ping"})
+            assert result["pong"] is True
+            assert metrics.pool_events.value(event="timed_out") == 1
+            assert metrics.pool_events.value(event="spawned") == 2
+
+    def test_per_request_timeout_override_capped(self):
+        with _pool(timeout_seconds=10.0) as pool:
+            t0 = time.monotonic()
+            with pytest.raises(ServeError) as exc:
+                pool.execute({"op": "sleep", "seconds": 30,
+                              "timeout_seconds": 0.5})
+            assert exc.value.error_type == "timeout"
+            assert time.monotonic() - t0 < 8.0
+
+    def test_crash_is_retried_once_then_typed(self):
+        metrics = MetricsRegistry()
+        with WorkerPool(PoolConfig(workers=1, timeout_seconds=10.0,
+                                   allow_debug=True), metrics) as pool:
+            with pytest.raises(ServeError) as exc:
+                pool.execute({"op": "sleep", "seconds": 0, "exit": True})
+            assert exc.value.error_type == "worker_crash"
+            assert metrics.pool_events.value(event="retried") == 1
+            assert metrics.pool_events.value(event="crashed") == 2
+            # Pool healed: a replacement worker answers.
+            assert pool.execute({"op": "ping"})[0]["pong"] is True
+
+    def test_load_shed_busy(self):
+        metrics = MetricsRegistry()
+        with WorkerPool(PoolConfig(workers=1, timeout_seconds=30.0,
+                                   max_pending=0, allow_debug=True),
+                        metrics) as pool:
+            started = threading.Event()
+            done = []
+
+            def occupy():
+                started.set()
+                done.append(pool.execute({"op": "sleep", "seconds": 1.5}))
+
+            t = threading.Thread(target=occupy)
+            t.start()
+            started.wait()
+            time.sleep(0.3)  # let the sleeper actually claim the worker
+            with pytest.raises(ServeError) as exc:
+                pool.execute({"op": "ping"})
+            assert exc.value.error_type == "busy"
+            assert metrics.pool_events.value(event="shed") == 1
+            t.join()
+            assert done and done[0][0]["slept"] == 1.5
+
+    def test_ping_all_reaches_every_worker(self):
+        with _pool(workers=2) as pool:
+            pids = {r["pid"] for r in pool.ping_all()}
+            assert len(pids) == 2
+
+    def test_closed_pool_sheds_with_shutting_down(self):
+        pool = _pool()
+        pool.close()
+        with pytest.raises(ServeError) as exc:
+            pool.execute({"op": "ping"})
+        assert exc.value.error_type == "shutting_down"

@@ -1,0 +1,85 @@
+"""Unit tests for the serve wire protocol."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (ERROR_TYPES, OPS, ServeError,
+                                  decode_request, encode, error_response,
+                                  jsonable, ok_response)
+
+
+class TestDecodeRequest:
+    def test_valid_request(self):
+        req = decode_request(b'{"id": 1, "op": "ping"}\n')
+        assert req == {"id": 1, "op": "ping"}
+
+    def test_malformed_json(self):
+        with pytest.raises(ServeError) as exc:
+            decode_request(b"{nope\n")
+        assert exc.value.error_type == "bad_request"
+
+    def test_non_object(self):
+        with pytest.raises(ServeError) as exc:
+            decode_request(b"[1, 2]\n")
+        assert exc.value.error_type == "bad_request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ServeError) as exc:
+            decode_request(b'{"op": "frobnicate"}\n')
+        assert exc.value.error_type == "bad_request"
+        assert "frobnicate" in exc.value.message
+
+    def test_every_op_is_decodable(self):
+        for op in OPS:
+            assert decode_request(
+                json.dumps({"op": op}).encode())["op"] == op
+
+
+class TestServeError:
+    def test_taxonomy_is_closed(self):
+        with pytest.raises(ValueError):
+            ServeError("not_a_type", "boom")
+
+    def test_wire_form(self):
+        err = ServeError("busy", "try later")
+        assert err.to_wire() == {"type": "busy", "message": "try later"}
+
+    def test_all_types_constructible(self):
+        for error_type in ERROR_TYPES:
+            assert ServeError(error_type, "m").error_type == error_type
+
+
+class TestJsonable:
+    def test_ndarray_and_scalars(self):
+        out = jsonable({"a": np.arange(3, dtype="float64"),
+                        "n": np.int64(7), "x": np.float64(1.5)})
+        assert out == {"a": [0.0, 1.0, 2.0], "n": 7, "x": 1.5}
+        json.dumps(out)  # must be encodable
+
+    def test_complex_values(self):
+        out = jsonable(np.array([1 + 2j]))
+        assert out == [{"re": 1.0, "im": 2.0}]
+        assert jsonable(3 - 4j) == {"re": 3.0, "im": -4.0}
+
+    def test_nested_tuple(self):
+        assert jsonable((1, [2, (3,)])) == [1, [2, [3]]]
+
+
+class TestResponses:
+    def test_ok_round_trip(self):
+        wire = encode(ok_response(5, {"x": np.float64(2.0)}, {"pid": 1}))
+        obj = json.loads(wire)
+        assert obj == {"id": 5, "ok": True, "result": {"x": 2.0},
+                       "meta": {"pid": 1}}
+        assert wire.endswith(b"\n")
+
+    def test_error_round_trip(self):
+        wire = encode(error_response(9, ServeError("timeout", "too slow")))
+        obj = json.loads(wire)
+        assert obj["ok"] is False
+        assert obj["error"] == {"type": "timeout", "message": "too slow"}
+
+    def test_meta_omitted_when_empty(self):
+        assert "meta" not in ok_response(1, {})
