@@ -1,10 +1,12 @@
-"""Closure-vs-vector VM backend benchmark (`BENCH_vm.json` trajectory).
+"""Closure-vs-vector-vs-native VM backend benchmark (`BENCH_vm.json`).
 
 Times one step of each generated program under every execution backend
-(``closure``, ``vector``, ``auto``), cross-checks that outputs and
-``ContextCounts`` stay bit-identical, measures the program-cache hit
-path, and records everything to ``BENCH_vm.json`` at the repo root so
-successive PRs can track the perf trajectory.
+(``closure``, ``vector``, ``auto``, and — when a C toolchain is present —
+``native``, the emitted C compiled into an in-process shared object),
+cross-checks that outputs and ``ContextCounts`` stay bit-identical,
+measures the program-cache hit path and the native cold-compile vs
+warm-``.so`` gap, and records everything to ``BENCH_vm.json`` at the
+repo root so successive PRs can track the perf trajectory.
 
 Run directly (not collected by the tier-1 pytest config)::
 
@@ -18,6 +20,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -27,13 +30,16 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.codegen import make_generator            # noqa: E402
-from repro.ir.interp import (BACKENDS, VirtualMachine, cached_vm,
+from repro.ir.interp import (VirtualMachine, cached_vm,
                              clear_vm_cache)        # noqa: E402
+from repro.native import (clear_shared_program_cache,
+                          find_compiler)            # noqa: E402
 from repro.sim.simulator import random_inputs       # noqa: E402
 from repro.zoo import build_model                   # noqa: E402
 
 DEFAULT_MODELS = ("ImagePipeline", "AudioProcess")
 DEFAULT_GENERATORS = ("simulink", "dfsynth", "hcg", "frodo")
+INTERP_BACKENDS = ("closure", "vector", "auto")
 
 
 def best_of(fn, repeats: int, warmup: int = 1) -> float:
@@ -49,39 +55,70 @@ def best_of(fn, repeats: int, warmup: int = 1) -> float:
 
 
 def bench_cell(model_name: str, generator: str, steps: int,
-               repeats: int) -> dict:
+               repeats: int, so_cache_dir: Path | None = None) -> dict:
     model = build_model(model_name)
     code = make_generator(generator).generate(model)
     inputs = code.map_inputs(random_inputs(model, seed=0))
 
     timings: dict[str, float] = {}
     results = {}
-    for backend in BACKENDS:
+    for backend in INTERP_BACKENDS:
         vm = VirtualMachine(code.program, backend=backend)
         results[backend] = vm.run(inputs, steps=steps)  # also warms compile
         timings[backend] = best_of(lambda: vm.run(inputs, steps=steps),
                                    repeats)
 
+    native: dict = {}
+    if so_cache_dir is not None:
+        # cold: code generation + C compiler + dlopen, all on one timer
+        clear_shared_program_cache()
+        t0 = time.perf_counter()
+        vm = VirtualMachine(code.program, backend="native",
+                            so_cache_dir=so_cache_dir)
+        cold_s = time.perf_counter() - t0
+        results["native"] = vm.run(inputs, steps=steps)
+        timings["native"] = best_of(lambda: vm.run(inputs, steps=steps),
+                                    repeats)
+        # warm: the .so is on disk — a fresh process image (simulated by
+        # dropping the in-process registry) skips codegen and cc entirely
+        clear_shared_program_cache()
+        t0 = time.perf_counter()
+        VirtualMachine(code.program, backend="native",
+                       so_cache_dir=so_cache_dir)
+        warm_s = time.perf_counter() - t0
+        native = {
+            "cold_build_ms": round(cold_s * 1e3, 3),
+            "warm_load_ms": round(warm_s * 1e3, 3),
+            "counts_exact": vm.counts_exact,
+        }
+
     ref = results["closure"]
-    for backend in ("vector", "auto"):
-        assert ref.counts == results[backend].counts, (
-            f"{model_name}/{generator}: counts diverge under {backend}")
+    for backend in results:
+        if backend == "closure":
+            continue
+        if backend != "native" or native.get("counts_exact"):
+            assert ref.counts == results[backend].counts, (
+                f"{model_name}/{generator}: counts diverge under {backend}")
         for name, expected in ref.outputs.items():
             assert np.asarray(expected).tobytes() == \
                 np.asarray(results[backend].outputs[name]).tobytes(), (
                 f"{model_name}/{generator}: output {name!r} diverges "
                 f"under {backend}")
 
-    ms = {b: timings[b] * 1e3 / steps for b in BACKENDS}
-    return {
+    ms = {b: timings[b] * 1e3 / steps for b in timings}
+    cell = {
         "model": model_name,
         "generator": generator,
         "steps": steps,
-        "ms_per_step": {b: round(ms[b], 4) for b in BACKENDS},
+        "ms_per_step": {b: round(v, 4) for b, v in ms.items()},
         "speedup_vector": round(ms["closure"] / ms["vector"], 2),
         "speedup_auto": round(ms["closure"] / ms["auto"], 2),
         "identical_outputs_and_counts": True,
     }
+    if native:
+        cell["speedup_native"] = round(ms["closure"] / ms["native"], 2)
+        cell["native"] = native
+    return cell
 
 
 def bench_program_cache(model_name: str = "AudioProcess",
@@ -120,17 +157,32 @@ def main(argv: list[str] | None = None) -> int:
     repeats = args.repeats if args.repeats is not None \
         else (2 if args.quick else 7)
 
+    compiler = find_compiler()
+    if compiler is None:
+        print("note: no C compiler on PATH; native column skipped")
+
     cells = []
     print(f"{'model':14s} {'generator':9s} {'closure':>9s} {'vector':>9s} "
-          f"{'auto':>9s} {'speedup':>8s}")
-    for model_name in args.models:
-        for generator in generators:
-            cell = bench_cell(model_name, generator, args.steps, repeats)
-            cells.append(cell)
-            ms = cell["ms_per_step"]
-            print(f"{model_name:14s} {generator:9s} {ms['closure']:8.2f}ms "
-                  f"{ms['vector']:8.2f}ms {ms['auto']:8.2f}ms "
-                  f"{cell['speedup_vector']:7.1f}x")
+          f"{'auto':>9s} {'native':>9s} {'speedup':>8s}")
+    with tempfile.TemporaryDirectory(prefix="bench_so_") as so_dir:
+        for model_name in args.models:
+            for generator in generators:
+                cell = bench_cell(
+                    model_name, generator, args.steps, repeats,
+                    so_cache_dir=Path(so_dir) if compiler else None)
+                cells.append(cell)
+                ms = cell["ms_per_step"]
+                native_ms = (f"{ms['native']:8.2f}ms" if "native" in ms
+                             else f"{'-':>10s}")
+                print(f"{model_name:14s} {generator:9s} "
+                      f"{ms['closure']:8.2f}ms {ms['vector']:8.2f}ms "
+                      f"{ms['auto']:8.2f}ms {native_ms} "
+                      f"{cell['speedup_vector']:7.1f}x")
+                if "native" in cell:
+                    n = cell["native"]
+                    print(f"{'':24s} native cold {n['cold_build_ms']:.1f}ms "
+                          f"-> warm .so {n['warm_load_ms']:.1f}ms, "
+                          f"{cell['speedup_native']:.1f}x vs closure")
 
     cache = bench_program_cache(repeats=repeats * 3)
     print(f"program cache: cold {cache['cold_construct_ms']:.2f}ms -> hit "
@@ -140,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
         "benchmark": "vm_backends",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "compiler": compiler,
         "config": {"steps": args.steps, "repeats": repeats,
                    "quick": args.quick},
         "cells": cells,

@@ -296,8 +296,11 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
     from repro.ir.interp import BACKENDS
     p.add_argument("--backend", default="auto", choices=list(BACKENDS),
                    help="VM execution backend: numpy-vectorized kernels "
-                        "with closure fallback (auto/vector) or the pure "
-                        "closure interpreter (closure)")
+                        "with closure fallback (auto/vector), the pure "
+                        "closure interpreter (closure), or the emitted C "
+                        "compiled to an in-process shared object (native; "
+                        "needs a C toolchain, fails with a typed error "
+                        "if none is found)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -3,8 +3,13 @@
 Produces a self-contained translation unit with:
 
 * ``static`` const/state/temp arrays (state arrays carry initializers);
-* ``void <name>_init(void)`` replaying the program's init statements and
-  restoring state initializers (so a binary can run repeated trials);
+* ``void <name>_init(void)`` restoring **every** mutable static buffer —
+  state initializers are replayed element by element, uninitialized
+  state and temp arrays are ``memset`` back to all-bits-zero (bitwise
+  identical to the VM's ``_fill_initial``), and then the program's init
+  statements run.  A single loaded shared object can therefore serve
+  many independent requests: calling ``_init`` between runs is
+  equivalent to a fresh process image;
 * ``void <name>_step(const T* in..., T* out...)`` with the step body.
 
 The emitted source compiles with the sandbox's ``gcc -std=c11 -O3`` and is
@@ -24,6 +29,7 @@ from repro.ir.ops import (
 _HEADER = """\
 #include <stdint.h>
 #include <stdbool.h>
+#include <string.h>
 #include <math.h>
 #include <complex.h>
 """
@@ -168,15 +174,23 @@ def emit_c(program: Program) -> str:
         lines.extend(_emit_function(func))
         lines.append("")
 
-    # init: restore state initializers, then replay program.init.
+    # init: full reset of every mutable static buffer (initializers
+    # replayed, everything else zeroed — IEEE-754 zero is all-bits-zero,
+    # so memset matches the VM's `buffer[:] = 0` bitwise), then replay
+    # program.init.  Repeated _init calls on one loaded image must be
+    # indistinguishable from a fresh process start.
     lines.append(f"void {program.name}_init(void) {{")
-    for decl in program.buffers_of_kind("state"):
-        if decl.init is None:
-            continue
-        values = np.asarray(decl.init, dtype=decl.dtype).ravel()
-        for i, v in enumerate(values):
-            literal = _c_literal(v.item() if hasattr(v, "item") else v, decl.dtype)
-            lines.append(f"    {decl.name}[{i}] = {literal};")
+    for kind in ("state", "temp"):
+        for decl in program.buffers_of_kind(kind):
+            if decl.init is None:
+                lines.append(f"    memset({decl.name}, 0, "
+                             f"sizeof {decl.name});")
+                continue
+            values = np.asarray(decl.init, dtype=decl.dtype).ravel()
+            for i, v in enumerate(values):
+                literal = _c_literal(v.item() if hasattr(v, "item") else v,
+                                     decl.dtype)
+                lines.append(f"    {decl.name}[{i}] = {literal};")
     for stmt in program.init:
         lines.extend(emit_stmt(stmt, 1))
     lines.append("}")

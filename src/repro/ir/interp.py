@@ -210,7 +210,7 @@ class ExecResult:
     peak_buffer_bytes: int = 0
 
 
-BACKENDS = ("auto", "closure", "vector")
+BACKENDS = ("auto", "closure", "vector", "native")
 
 
 class VirtualMachine:
@@ -223,30 +223,69 @@ class VirtualMachine:
       slice/ufunc kernels (:mod:`repro.ir.vectorize`), falling back to
       closures wherever the safety analysis cannot prove exactness;
     * ``"auto"`` — like ``"vector"`` but only for loops whose trip count
-      makes the numpy dispatch overhead worthwhile.
+      makes the numpy dispatch overhead worthwhile (native stays opt-in;
+      ``"auto"`` never selects it);
+    * ``"native"`` — compile the emitted C into a reusable shared object
+      (:mod:`repro.native.sharedlib`) and call ``<name>_step`` in-process
+      with zero-copy pointers into this VM's input/output buffers.
+      State lives inside the library; ``<name>_init`` performs a full
+      reset, so :meth:`run`'s reset semantics are preserved.  Requires a
+      C toolchain — a missing compiler or failed build raises
+      :class:`~repro.errors.NativeToolchainError`, never a silent
+      fallback.  ``so_cache_dir`` points at a persistent ``.so`` store
+      (the serve layer passes its artifact cache's ``native_dir``); a
+      warm entry skips both code generation and the C compiler.
 
-    All three produce bitwise-identical outputs and identical
-    :class:`ContextCounts`; vector-kernel counts are derived analytically
-    (static per-iteration counts × trip count) in the same buckets the
-    closure path uses.
+    All backends produce bitwise-identical outputs.  Closure/vector/auto
+    also record identical :class:`ContextCounts`; vector-kernel counts
+    are derived analytically (static per-iteration counts × trip count)
+    in the same buckets the closure path uses.  The native backend's
+    counts come from the same static-bounds reasoning applied to the
+    whole program (:mod:`repro.ir.staticcount`): they equal the closure
+    path's when ``counts_exact`` is True, and are a documented
+    approximation (data-dependent branches count the then arm, dynamic
+    loops count entry only) when it is False.
     """
 
-    def __init__(self, program: Program, backend: str = "auto"):
+    def __init__(self, program: Program, backend: str = "auto",
+                 so_cache_dir=None):
         if backend not in BACKENDS:
             raise SimulationError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.program = program
         self.backend = backend
         self.counts = ContextCounts()
+        self.counts_exact = True
         self._buffers: dict[str, np.ndarray] = {}
         for decl in program.buffers.values():
             self._buffers[decl.name] = np.empty(max(decl.size, 1),
                                                 dtype=decl.dtype)
         self._fill_initial()
         self._specialized: dict[tuple, Callable[[dict], None]] = {}
-        self._init_fn = self._compile_body(program.init, self.counts.scalar)
-        self._step_fn = self._compile_body(program.step, self.counts.scalar)
+        if backend == "native":
+            from repro.ir.staticcount import analyze_counts
+            from repro.native.sharedlib import load_shared_program
+            self._shared = load_shared_program(program,
+                                               cache_dir=so_cache_dir)
+            self._static = analyze_counts(program)
+            self.counts_exact = self._static.exact
+            self._native_args = self._shared.bind(self._buffers)
+            self._init_fn = self._native_init
+            self._step_fn = self._native_step
+        else:
+            self._init_fn = self._compile_body(program.init,
+                                               self.counts.scalar)
+            self._step_fn = self._compile_body(program.step,
+                                               self.counts.scalar)
         self._initialized = False
+
+    def _native_init(self, env: dict) -> None:
+        self._shared.init()
+        self._static.apply(self.counts, self._static.init)
+
+    def _native_step(self, env: dict) -> None:
+        self._shared.step(self._native_args)
+        self._static.apply(self.counts, self._static.step)
 
     # -- public API --------------------------------------------------------
 
@@ -602,9 +641,9 @@ class VirtualMachine:
 
 # -- program cache -------------------------------------------------------------
 
-# Keyed by (content fingerprint, backend): repeated run()s of structurally
-# identical generated programs (the common shape in eval/runner and the
-# benchmark suites) skip closure/kernel recompilation entirely.
+# Keyed by (content fingerprint, backend, so_cache_dir): repeated run()s of
+# structurally identical generated programs (the common shape in eval/runner
+# and the benchmark suites) skip closure/kernel recompilation entirely.
 #
 # The dict itself is guarded by _VM_CACHE_LOCK, so lookups, insertions and
 # evictions are safe from any thread (the serve layer's dispatcher threads
@@ -614,19 +653,22 @@ class VirtualMachine:
 # on two threads at once.  The serve worker pool relies on exactly this
 # contract — each worker process owns a private cache and executes one
 # request at a time.
-_VM_CACHE: dict[tuple[str, str], VirtualMachine] = {}
+_VM_CACHE: dict[tuple, VirtualMachine] = {}
 _VM_CACHE_MAX = 64
 _VM_CACHE_LOCK = threading.Lock()
 _VM_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
-def cached_vm(program: Program, backend: str = "auto") -> VirtualMachine:
+def cached_vm(program: Program, backend: str = "auto",
+              so_cache_dir=None) -> VirtualMachine:
     """Return a (possibly shared) VM for ``program``, LRU-cached by content.
 
     The cache key is a stable hash of the full IR (buffer declarations with
     initial data, functions, init and step bodies), so two independently
     generated but identical programs share one compiled VM.  Callers are
     expected to use :meth:`VirtualMachine.run`, which resets all state.
+    ``so_cache_dir`` (native backend only) is part of the key — VMs bound
+    to different ``.so`` stores are never conflated.
 
     Thread-safety: the cache bookkeeping is locked, so concurrent callers
     never corrupt the LRU dict — but two callers asking for the same
@@ -638,7 +680,7 @@ def cached_vm(program: Program, backend: str = "auto") -> VirtualMachine:
     """
     from repro.ir.vectorize import fingerprint
     fp = fingerprint(program)  # pure and slow-ish: compute outside the lock
-    key = (fp, backend)
+    key = (fp, backend, str(so_cache_dir) if so_cache_dir is not None else None)
     with _VM_CACHE_LOCK:
         vm = _VM_CACHE.pop(key, None)
         if vm is not None:
@@ -650,7 +692,7 @@ def cached_vm(program: Program, backend: str = "auto") -> VirtualMachine:
     # programs and must not serialize unrelated lookups.  Two threads
     # racing on the same key may both compile; the second insert wins,
     # which is harmless (both VMs are valid, one is dropped).
-    vm = VirtualMachine(program, backend=backend)
+    vm = VirtualMachine(program, backend=backend, so_cache_dir=so_cache_dir)
     with _VM_CACHE_LOCK:
         _VM_CACHE[key] = vm
         while len(_VM_CACHE) > _VM_CACHE_MAX:
@@ -672,6 +714,8 @@ def vm_cache_stats() -> dict[str, int]:
 
 
 def execute(program: Program, inputs: Mapping[str, np.ndarray],
-            steps: int = 1, backend: str = "auto") -> ExecResult:
+            steps: int = 1, backend: str = "auto",
+            so_cache_dir=None) -> ExecResult:
     """One-shot convenience: build a VM, run, return outputs and counts."""
-    return VirtualMachine(program, backend=backend).run(inputs, steps)
+    return VirtualMachine(program, backend=backend,
+                          so_cache_dir=so_cache_dir).run(inputs, steps)

@@ -1,6 +1,18 @@
-"""Native gcc compile-and-run harness for the emitted C."""
+"""Native toolchain integration for the emitted C.
+
+Two execution styles:
+
+* :func:`compile_and_run` — one-shot validation harness (inputs baked
+  into a generated ``main.c``, subprocess per run);
+* :func:`load_shared_program` — reusable ``.so`` loaded in-process with
+  ctypes, the ``backend="native"`` serving fast path.
+"""
 
 from repro.native.compile import (  # noqa: F401
-    DEFAULT_FLAGS, NativeResult, compile_and_run, find_compiler,
-    generate_main,
+    DEFAULT_FLAGS, CompilerIdentity, NativeResult, clear_compiler_caches,
+    compile_and_run, compiler_identity, find_compiler, generate_main,
+)
+from repro.native.sharedlib import (  # noqa: F401
+    SHARED_FLAGS, BuildInfo, SharedProgram, clear_shared_program_cache,
+    load_shared_program, shared_cache_key, shared_program_stats,
 )

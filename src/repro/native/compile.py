@@ -14,9 +14,11 @@ further step calls.
 
 from __future__ import annotations
 
+import hashlib
 import shutil
 import subprocess
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
@@ -39,13 +41,87 @@ from repro.ir.ops import BufferDecl, c_type
 DEFAULT_FLAGS: tuple[str, ...] = ("-std=c11", "-O3", "-fno-tree-slp-vectorize")
 
 
+# PATH scans and `cc --version` subprocess probes are pure functions of
+# the installed toolchain, which does not change within a process — but
+# they are on the request path of every native-backend VM construction,
+# so both are memoized.  clear_compiler_caches() exists for tests that
+# simulate a toolchain swap.
+_COMPILER_CACHE: dict[tuple[str, ...], Optional[str]] = {}
+_IDENTITY_CACHE: dict[str, "CompilerIdentity"] = {}
+_COMPILER_LOCK = threading.Lock()
+
+
 def find_compiler(preferred: Sequence[str] = ("gcc", "cc", "clang")) -> Optional[str]:
-    """First available C compiler on PATH, or None."""
+    """First available C compiler on PATH, or None (memoized per-process)."""
+    key = tuple(preferred)
+    with _COMPILER_LOCK:
+        if key in _COMPILER_CACHE:
+            return _COMPILER_CACHE[key]
+    found = None
     for name in preferred:
         path = shutil.which(name)
         if path:
-            return path
-    return None
+            found = path
+            break
+    with _COMPILER_LOCK:
+        _COMPILER_CACHE[key] = found
+    return found
+
+
+@dataclass(frozen=True)
+class CompilerIdentity:
+    """What exactly will compile the code: resolved path + version hash.
+
+    ``version_hash`` is the sha256 of the compiler's ``--version`` output,
+    so a toolchain upgrade (same path, new binary) changes the identity.
+    Feeds the shared-object cache key (:mod:`repro.native.sharedlib`): a
+    ``.so`` built by one compiler is never served for another.
+    """
+
+    path: str
+    version_hash: str
+
+    @property
+    def cache_token(self) -> str:
+        return f"{self.path}:{self.version_hash}"
+
+
+def compiler_identity(cc: Optional[str] = None) -> CompilerIdentity:
+    """Resolved identity of ``cc`` (default: :func:`find_compiler`).
+
+    Memoized per compiler path.  Raises :class:`NativeToolchainError`
+    when no compiler is available or the probe fails.
+    """
+    compiler = cc or find_compiler()
+    if compiler is None:
+        raise NativeToolchainError("no C compiler found on PATH")
+    with _COMPILER_LOCK:
+        cached = _IDENTITY_CACHE.get(compiler)
+    if cached is not None:
+        return cached
+    try:
+        proc = subprocess.run([compiler, "--version"], capture_output=True,
+                              text=True, timeout=30)
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise NativeToolchainError(
+            f"cannot probe compiler {compiler!r}: {exc}") from exc
+    if proc.returncode != 0:
+        raise NativeToolchainError(
+            f"{compiler!r} --version exited with {proc.returncode}:\n"
+            f"{proc.stderr}")
+    digest = hashlib.sha256(
+        (proc.stdout + proc.stderr).encode()).hexdigest()[:16]
+    identity = CompilerIdentity(path=compiler, version_hash=digest)
+    with _COMPILER_LOCK:
+        _IDENTITY_CACHE[compiler] = identity
+    return identity
+
+
+def clear_compiler_caches() -> None:
+    """Forget memoized compiler discovery/identity (test hook)."""
+    with _COMPILER_LOCK:
+        _COMPILER_CACHE.clear()
+        _IDENTITY_CACHE.clear()
 
 
 @dataclass
@@ -151,66 +227,73 @@ def compile_and_run(code: GeneratedCode, inputs: Mapping[str, np.ndarray],
     own_dir = workdir is None
     directory = Path(tempfile.mkdtemp(prefix="repro_native_")) if own_dir \
         else Path(workdir)
-    directory.mkdir(parents=True, exist_ok=True)
-    model_c = directory / f"{code.program.name}.c"
-    main_c = directory / "main.c"
-    binary = directory / "model_bin"
-    model_c.write_text(emit_c(code.program))
-    main_c.write_text(generate_main(code, inputs, steps, repetitions))
-
-    compile_cmd = [compiler, *flags, "-o", str(binary), str(model_c),
-                   str(main_c), "-lm"]
+    # Every exit below — compile failure, nonzero exit, output-parse
+    # mismatch — must release a directory we created ourselves, or each
+    # failed run leaks a repro_native_* tree (keep_sources opts out).
     try:
-        proc = subprocess.run(compile_cmd, capture_output=True, text=True)
-    except FileNotFoundError as exc:
-        raise NativeToolchainError(f"compiler {compiler!r} not found") from exc
-    if proc.returncode != 0:
-        raise NativeToolchainError(
-            f"compilation failed ({' '.join(compile_cmd)}):\n{proc.stderr}"
-        )
-    run = subprocess.run([str(binary)], capture_output=True, text=True,
-                         timeout=600)
-    if run.returncode != 0:
-        raise NativeToolchainError(
-            f"generated binary exited with {run.returncode}:\n{run.stderr}"
-        )
+        directory.mkdir(parents=True, exist_ok=True)
+        model_c = directory / f"{code.program.name}.c"
+        main_c = directory / "main.c"
+        binary = directory / "model_bin"
+        model_c.write_text(emit_c(code.program))
+        main_c.write_text(generate_main(code, inputs, steps, repetitions))
 
-    tokens = run.stdout.split("\n")
-    seconds: Optional[float] = None
-    values: list[str] = []
-    for line in tokens:
-        if line.startswith("TIME "):
-            seconds = float(line.split()[1])
-        elif line.strip():
-            values.append(line.strip())
-
-    outputs: dict[str, np.ndarray] = {}
-    cursor = 0
-    for decl in code.program.buffers_of_kind("output"):
-        size = max(decl.size, 1)
-        chunk = values[cursor:cursor + size]
-        cursor += size
-        if len(chunk) != size:
+        compile_cmd = [compiler, *flags, "-o", str(binary), str(model_c),
+                       str(main_c), "-lm"]
+        try:
+            proc = subprocess.run(compile_cmd, capture_output=True, text=True)
+        except FileNotFoundError as exc:
             raise NativeToolchainError(
-                f"binary printed {len(values)} values; expected more for "
-                f"{decl.name!r}"
+                f"compiler {compiler!r} not found") from exc
+        if proc.returncode != 0:
+            raise NativeToolchainError(
+                f"compilation failed ({' '.join(compile_cmd)}):\n{proc.stderr}"
             )
-        if decl.dtype == "complex128":
-            pairs = [tuple(map(float, line.split())) for line in chunk]
-            outputs[decl.name] = np.array(
-                [complex(re, im) for re, im in pairs], dtype="complex128"
-            ).reshape(decl.shape if decl.shape else ())
-        elif decl.dtype == "uint32":
-            outputs[decl.name] = np.array(
-                [int(v) for v in chunk], dtype="uint32"
-            ).reshape(decl.shape if decl.shape else ())
-        else:
-            outputs[decl.name] = np.array(
-                [float(v) for v in chunk], dtype=decl.dtype
-            ).reshape(decl.shape if decl.shape else ())
+        run = subprocess.run([str(binary)], capture_output=True, text=True,
+                             timeout=600)
+        if run.returncode != 0:
+            raise NativeToolchainError(
+                f"generated binary exited with {run.returncode}:\n{run.stderr}"
+            )
 
-    named = code.map_outputs(outputs)
+        tokens = run.stdout.split("\n")
+        seconds: Optional[float] = None
+        values: list[str] = []
+        for line in tokens:
+            if line.startswith("TIME "):
+                seconds = float(line.split()[1])
+            elif line.strip():
+                values.append(line.strip())
+
+        outputs: dict[str, np.ndarray] = {}
+        cursor = 0
+        for decl in code.program.buffers_of_kind("output"):
+            size = max(decl.size, 1)
+            chunk = values[cursor:cursor + size]
+            cursor += size
+            if len(chunk) != size:
+                raise NativeToolchainError(
+                    f"binary printed {len(values)} values; expected more for "
+                    f"{decl.name!r}"
+                )
+            if decl.dtype == "complex128":
+                pairs = [tuple(map(float, line.split())) for line in chunk]
+                outputs[decl.name] = np.array(
+                    [complex(re, im) for re, im in pairs], dtype="complex128"
+                ).reshape(decl.shape if decl.shape else ())
+            elif decl.dtype == "uint32":
+                outputs[decl.name] = np.array(
+                    [int(v) for v in chunk], dtype="uint32"
+                ).reshape(decl.shape if decl.shape else ())
+            else:
+                outputs[decl.name] = np.array(
+                    [float(v) for v in chunk], dtype=decl.dtype
+                ).reshape(decl.shape if decl.shape else ())
+
+        named = code.map_outputs(outputs)
+    finally:
+        if own_dir and not keep_sources:
+            shutil.rmtree(directory, ignore_errors=True)
     if own_dir and not keep_sources:
-        shutil.rmtree(directory, ignore_errors=True)
         return NativeResult(named, seconds, None)
     return NativeResult(named, seconds, directory)

@@ -1,0 +1,327 @@
+"""Reusable shared-object execution of emitted C (``backend="native"``).
+
+:mod:`repro.native.compile` is a one-shot harness: it bakes inputs into a
+``main.c``, invokes the compiler, and forks a subprocess per run — fine
+for validation, useless for serving traffic.  This module makes the
+paper's own artifact (compiled C at ``-O3``) the serving fast path:
+
+* the emitted translation unit is built **once** per (program content,
+  compiler identity, flags) into ``<key>.so`` (``-fPIC -shared``);
+* the library is loaded in-process with :mod:`ctypes` and the
+  ``<name>_step`` signature is bound from the program's
+  :class:`~repro.ir.ops.BufferDecl` order — inputs first, outputs second,
+  exactly as :func:`repro.codegen.ctext.emit_c` declares it;
+* each call passes **zero-copy** pointers into the caller's C-contiguous
+  numpy buffers — no marshalling, no subprocess, no stdout parsing;
+* ``<name>_init`` performs a full state reset (initializers replayed,
+  uninitialized state/temp memset to zero), so one loaded library serves
+  many independent requests.
+
+Artifacts are content-addressed.  The key covers the program fingerprint
+(:func:`repro.ir.vectorize.fingerprint`), the **compiler identity**
+(resolved path + ``--version`` hash — a toolchain upgrade is a cache
+miss, never a stale hit) and the exact flag tuple.  With a ``cache_dir``
+(the serve layer passes its artifact cache's ``native_dir``) the ``.so``,
+its source, and build metadata persist across processes: a restarted
+server skips both code generation and the C compiler.  Without one, the
+library is built in a private temp directory that is deleted right after
+``dlopen`` (POSIX keeps the mapping alive).
+
+Sharing caveat (documented contract): ``dlopen`` of one path returns one
+image per process, so every :class:`SharedProgram` for the same cached
+``.so`` shares the library's static state.  That is safe under the VM
+contract — :meth:`repro.ir.interp.VirtualMachine.run` resets (re-``init``)
+before executing, and a VM is not reentrant anyway — but interleaving
+raw ``step()`` calls of two VMs over the same program is undefined, just
+as sharing one VM object across threads already is.
+
+Failure is loud: a missing compiler or failed build raises
+:class:`~repro.errors.NativeToolchainError`.  There is no silent
+fallback to another backend — benchmark columns must never lie.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import NativeToolchainError
+from repro.ir.ops import BufferDecl, Program
+
+from repro.native.compile import (
+    DEFAULT_FLAGS, CompilerIdentity, compiler_identity, find_compiler,
+)
+
+#: Flags that turn the translation unit into a loadable shared object.
+SHARED_FLAGS: tuple[str, ...] = ("-fPIC", "-shared")
+
+#: Bump when the emitted-C contract changes incompatibly (entry-point
+#: names, signature order, init semantics); old cached ``.so`` files
+#: become misses instead of ABI mismatches.
+SHARED_ABI_VERSION = 1
+
+_POINTER_TYPES = {
+    "float64": ctypes.POINTER(ctypes.c_double),
+    "uint32": ctypes.POINTER(ctypes.c_uint32),
+    "int64": ctypes.POINTER(ctypes.c_int64),
+    "bool": ctypes.POINTER(ctypes.c_bool),
+    # ctypes has no C99 complex; the data pointer is passed untyped.
+    "complex128": ctypes.c_void_p,
+}
+
+
+def shared_cache_key(program_fingerprint: str, identity: CompilerIdentity,
+                     flags: Sequence[str]) -> str:
+    """Content address of one compiled shared object."""
+    material = ":".join([
+        f"abi{SHARED_ABI_VERSION}",
+        program_fingerprint,
+        identity.cache_token,
+        ",".join(flags),
+    ])
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class BuildInfo:
+    """Provenance of a compiled shared object (persisted as JSON)."""
+
+    key: str
+    program_name: str
+    program_fingerprint: str
+    compiler_path: str
+    compiler_version_hash: str
+    flags: tuple[str, ...]
+    abi_version: int = SHARED_ABI_VERSION
+
+    def to_json(self) -> str:
+        data = dict(self.__dict__)
+        data["flags"] = list(self.flags)
+        return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+class SharedProgram:
+    """A loaded ``.so`` with ``_init``/``_step`` bound to the program ABI.
+
+    ``step()`` takes the caller's buffer mapping (name -> 1-D numpy
+    array) and passes raw data pointers — zero copies in either
+    direction.  Buffers must be C-contiguous and dtype-exact; the VM's
+    own buffers always are, so the checks run once at bind time.
+    """
+
+    def __init__(self, program: Program, path: Path, *,
+                 from_cache: bool, build_seconds: float,
+                 info: BuildInfo):
+        self.path = Path(path)
+        self.from_cache = from_cache
+        self.build_seconds = build_seconds
+        self.info = info
+        self._in_decls: list[BufferDecl] = program.buffers_of_kind("input")
+        self._out_decls: list[BufferDecl] = program.buffers_of_kind("output")
+        try:
+            self._lib = ctypes.CDLL(str(self.path))
+            self._init = getattr(self._lib, f"{program.name}_init")
+            self._step = getattr(self._lib, f"{program.name}_step")
+        except (OSError, AttributeError) as exc:
+            raise NativeToolchainError(
+                f"cannot load shared object {self.path}: {exc}") from exc
+        self._init.restype = None
+        self._init.argtypes = []
+        self._step.restype = None
+        self._step.argtypes = [
+            _POINTER_TYPES[d.dtype]
+            for d in (*self._in_decls, *self._out_decls)
+        ]
+
+    def bind(self, buffers: Mapping[str, np.ndarray]) -> list:
+        """Precompute the ctypes argument list for ``step`` over fixed
+        buffers (the VM's arrays are allocated once and never replaced,
+        so pointer extraction happens exactly once per VM)."""
+        args = []
+        for decl in (*self._in_decls, *self._out_decls):
+            arr = buffers[decl.name]
+            if not isinstance(arr, np.ndarray) or arr.dtype != decl.dtype \
+                    or not arr.flags["C_CONTIGUOUS"] \
+                    or arr.size != max(decl.size, 1):
+                raise NativeToolchainError(
+                    f"buffer {decl.name!r} must be a C-contiguous "
+                    f"{decl.dtype} array of {max(decl.size, 1)} elements")
+            ptype = _POINTER_TYPES[decl.dtype]
+            if ptype is ctypes.c_void_p:
+                args.append(ctypes.c_void_p(arr.ctypes.data))
+            else:
+                args.append(arr.ctypes.data_as(ptype))
+        return args
+
+    def init(self) -> None:
+        """Full state reset: equivalent to loading a fresh image."""
+        self._init()
+
+    def step(self, args: Sequence) -> None:
+        """One step over pre-bound pointers (see :meth:`bind`)."""
+        self._step(*args)
+
+
+def _build_so(program: Program, source: str, compiler: str,
+              flags: Sequence[str], out_path: Path) -> None:
+    """Compile ``source`` into ``out_path`` (raises on any failure)."""
+    workdir = Path(tempfile.mkdtemp(prefix="repro_so_"))
+    try:
+        src = workdir / f"{program.name}.c"
+        so_tmp = workdir / f"{program.name}.so"
+        src.write_text(source)
+        cmd = [compiler, *flags, *SHARED_FLAGS, "-o", str(so_tmp),
+               str(src), "-lm"]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=600)
+        except FileNotFoundError as exc:
+            raise NativeToolchainError(
+                f"compiler {compiler!r} not found") from exc
+        except subprocess.SubprocessError as exc:
+            raise NativeToolchainError(
+                f"shared-object build failed ({' '.join(cmd)}): {exc}"
+            ) from exc
+        if proc.returncode != 0:
+            raise NativeToolchainError(
+                f"shared-object build failed ({' '.join(cmd)}):\n"
+                f"{proc.stderr}")
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic install: racing builders overwrite each other with
+        # identical bytes, and readers never see a torn file.
+        fd, tmp = tempfile.mkstemp(dir=out_path.parent, suffix=".so.tmp")
+        os.close(fd)
+        shutil.copyfile(so_tmp, tmp)
+        os.replace(tmp, out_path)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _cache_paths(cache_dir: Path, key: str) -> tuple[Path, Path, Path]:
+    shard = cache_dir / key[:2]
+    return (shard / f"{key}.so", shard / f"{key}.c", shard / f"{key}.json")
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# In-process registry of loaded libraries, keyed by content address.
+# Loading is idempotent (dlopen refcounts one image per path), but a
+# registry hit also skips re-emitting C and re-probing the disk cache.
+_LOADED: dict[str, SharedProgram] = {}
+_LOADED_MAX = 64
+_LOADED_LOCK = threading.Lock()
+_LOADED_STATS = {"hits": 0, "builds": 0, "disk_hits": 0}
+
+
+def load_shared_program(program: Program, cc: Optional[str] = None,
+                        flags: Sequence[str] = DEFAULT_FLAGS,
+                        cache_dir: "str | os.PathLike | None" = None,
+                        ) -> SharedProgram:
+    """Compile-once, load-in-process execution image for ``program``.
+
+    Resolution order: in-process registry -> on-disk ``cache_dir``
+    (warm: skips codegen **and** the C compiler) -> fresh build (cold).
+    Raises :class:`NativeToolchainError` when no compiler is available
+    or the build fails — callers must surface that as a typed error, not
+    fall back silently.
+    """
+    import time
+
+    from repro.codegen.ctext import emit_c
+    from repro.ir.vectorize import fingerprint
+
+    identity = compiler_identity(cc)
+    flags = tuple(flags)
+    key = shared_cache_key(fingerprint(program), identity, flags)
+
+    with _LOADED_LOCK:
+        cached = _LOADED.pop(key, None)
+        if cached is not None:
+            _LOADED_STATS["hits"] += 1
+            _LOADED[key] = cached  # refresh LRU position
+            return cached
+
+    info = BuildInfo(
+        key=key,
+        program_name=program.name,
+        program_fingerprint=fingerprint(program),
+        compiler_path=identity.path,
+        compiler_version_hash=identity.version_hash,
+        flags=flags,
+    )
+
+    t0 = time.perf_counter()
+    if cache_dir is not None:
+        so_path, c_path, json_path = _cache_paths(Path(cache_dir), key)
+        if so_path.exists():
+            shared = SharedProgram(
+                program, so_path, from_cache=True,
+                build_seconds=time.perf_counter() - t0, info=info)
+            with _LOADED_LOCK:
+                _LOADED_STATS["disk_hits"] += 1
+                _LOADED[key] = shared
+                while len(_LOADED) > _LOADED_MAX:
+                    del _LOADED[next(iter(_LOADED))]
+            return shared
+        source = emit_c(program)
+        _build_so(program, source, identity.path, flags, so_path)
+        _atomic_write_text(c_path, source)
+        _atomic_write_text(json_path, info.to_json())
+        shared = SharedProgram(program, so_path, from_cache=False,
+                               build_seconds=time.perf_counter() - t0,
+                               info=info)
+    else:
+        # No persistent store: build in a private temp dir and unlink it
+        # immediately after dlopen (POSIX keeps the mapping valid).
+        tmp_dir = Path(tempfile.mkdtemp(prefix="repro_so_load_"))
+        try:
+            so_path = tmp_dir / f"{program.name}.so"
+            _build_so(program, emit_c(program), identity.path, flags, so_path)
+            shared = SharedProgram(program, so_path, from_cache=False,
+                                   build_seconds=time.perf_counter() - t0,
+                                   info=info)
+        finally:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+
+    with _LOADED_LOCK:
+        _LOADED_STATS["builds"] += 1
+        _LOADED[key] = shared
+        while len(_LOADED) > _LOADED_MAX:
+            del _LOADED[next(iter(_LOADED))]
+    return shared
+
+
+def clear_shared_program_cache() -> None:
+    """Drop the in-process registry (loaded images stay mapped until the
+    last referencing VM is garbage-collected)."""
+    with _LOADED_LOCK:
+        _LOADED.clear()
+
+
+def shared_program_stats() -> dict[str, int]:
+    with _LOADED_LOCK:
+        return {**_LOADED_STATS, "entries": len(_LOADED)}

@@ -9,7 +9,12 @@ Measures the three effects the serve subsystem exists to deliver:
   warm per-worker VM caches;
 * **restart persistence** — after a full server restart on the same
   cache directory, ``compile`` is answered from the on-disk artifact
-  cache without re-running code generation.
+  cache without re-running code generation;
+* **native serving** (when a C toolchain is present) — first
+  ``backend="native"`` request pays the C compiler once, steady-state
+  requests execute the cached ``.so``, and after a restart on the same
+  cache directory the first native request dlopens the persisted
+  shared object without re-running codegen *or* the compiler.
 
 Writes ``BENCH_serve.json`` at the repo root so successive PRs can track
 the serving trajectory alongside ``BENCH_vm.json``.  Run via
@@ -145,6 +150,54 @@ def bench_restart(cache_dir: str, models: tuple[str, ...],
             "served_from_artifact_cache": bool(all_hits)}
 
 
+def bench_native(cache_dir: str, models: tuple[str, ...], generator: str,
+                 steps: int = 1) -> dict:
+    """Native-backend serving: first build vs warm ``.so`` vs restart.
+
+    Skipped (with a note in the report) when no C compiler is on PATH —
+    the serve layer would answer every native request with a typed
+    ``native_unavailable`` error, which is correct but not a benchmark.
+    """
+    from repro.native import find_compiler
+    if find_compiler() is None:
+        return {"skipped": "no C compiler on PATH"}
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+
+    rows: dict[str, dict] = {}
+    config = ServeConfig(workers=1, cache_dir=cache_dir,
+                         timeout_seconds=600.0)
+    with ServerThread(config) as server_thread:
+        port = server_thread.server.port
+        with ServeClient(port=port) as client:
+            for model in models:
+                t0 = time.perf_counter()
+                result = client.run(model, generator=generator, steps=steps,
+                                    backend="native", include_outputs=False)
+                first = round((time.perf_counter() - t0) * 1e3, 3)
+                t0 = time.perf_counter()
+                client.run(model, generator=generator, steps=steps,
+                           backend="native", include_outputs=False)
+                warm = round((time.perf_counter() - t0) * 1e3, 3)
+                rows[model] = {
+                    "first_request_ms": first,
+                    "warm_request_ms": warm,
+                    "counts_exact": bool(result.get("counts_exact", True)),
+                }
+    # Fresh server on the same cache dir: the persisted .so must be
+    # dlopened directly — no code generation, no C compiler invocation.
+    with ServerThread(ServeConfig(workers=1, cache_dir=cache_dir)) as st:
+        port = st.server.port
+        with ServeClient(port=port) as client:
+            for model in models:
+                t0 = time.perf_counter()
+                client.run(model, generator=generator, steps=steps,
+                           backend="native", include_outputs=False)
+                rows[model]["restart_first_request_ms"] = round(
+                    (time.perf_counter() - t0) * 1e3, 3)
+    return {"rows": rows}
+
+
 def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
               models: tuple[str, ...] = DEFAULT_MODELS,
               generator: str = "frodo", steps: int = 1,
@@ -161,6 +214,7 @@ def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
             for workers in worker_counts
         ]
         restart = bench_restart(cache_dir, models, generator)
+        native = bench_native(cache_dir, models, generator, steps)
     finally:
         if owned_tmp is not None:
             owned_tmp.cleanup()
@@ -185,6 +239,7 @@ def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
         },
         "worker_scaling": scaling,
         "restart": restart,
+        "native": native,
     }
 
 
@@ -234,6 +289,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"restart compile from artifact cache: "
           f"{result['restart']['compile_after_restart_ms']} "
           f"(hit={result['restart']['served_from_artifact_cache']})")
+    native = result["native"]
+    if "skipped" in native:
+        print(f"native serving: skipped ({native['skipped']})")
+    else:
+        for model, row in native["rows"].items():
+            print(f"native {model}: first {row['first_request_ms']}ms -> "
+                  f"warm {row['warm_request_ms']}ms, restart-from-.so "
+                  f"{row['restart_first_request_ms']}ms")
     print(f"wrote {out_path}")
     return 0
 

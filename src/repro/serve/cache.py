@@ -121,6 +121,22 @@ class ArtifactCache:
     def _path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.artifact"
 
+    @property
+    def native_dir(self) -> Path:
+        """Shared-object store for ``backend="native"`` executions.
+
+        Sibling of ``objects/`` so one ``--cache-dir`` carries both the
+        generated programs and their compiled ``.so`` artifacts (source +
+        build metadata alongside, see :mod:`repro.native.sharedlib`).
+        Keys there already include the program fingerprint, compiler
+        identity, and flags, so this directory is safely shared by every
+        worker process and survives restarts — a warm entry lets a
+        restarted server skip code generation *and* the C compiler.
+        """
+        path = self.root / "native"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
     # -- operations --------------------------------------------------------
 
     def get(self, key: str) -> Optional[Artifact]:

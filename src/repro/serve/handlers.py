@@ -106,6 +106,23 @@ def _backend_name(req: dict) -> str:
     return backend
 
 
+def _native_vm(program, backend: str, ctx: "HandlerContext"):
+    """``cached_vm`` with native-backend wiring: the ``.so`` store lives in
+    the artifact cache, and toolchain failures become the typed
+    ``native_unavailable`` error instead of an internal one (explicit
+    ``backend="native"`` never silently falls back — benchmark numbers
+    must not lie)."""
+    from repro.errors import NativeToolchainError
+    from repro.ir.interp import cached_vm
+    so_dir = None
+    if backend == "native" and ctx.cache is not None:
+        so_dir = ctx.cache.native_dir
+    try:
+        return cached_vm(program, backend=backend, so_cache_dir=so_dir)
+    except NativeToolchainError as exc:
+        raise ServeError("native_unavailable", str(exc))
+
+
 def _int_field(req: dict, name: str, default: int, lo: int, hi: int) -> int:
     value = req.get(name, default)
     if not isinstance(value, int) or isinstance(value, bool) \
@@ -221,7 +238,7 @@ def _decode_inputs(req: dict, model, artifact: Artifact,
 
 def op_run(req: dict, ctx: "HandlerContext") -> dict:
     from repro.errors import SimulationError
-    from repro.ir.interp import cached_vm, vm_cache_stats
+    from repro.ir.interp import vm_cache_stats
     generator = _generator_name(req)
     backend = _backend_name(req)
     steps = _int_field(req, "steps", 1, 1, MAX_STEPS)
@@ -233,7 +250,7 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
 
     inputs = _decode_inputs(req, model, artifact, seed)
     hits_before = vm_cache_stats()["hits"]
-    vm = cached_vm(artifact.program, backend=backend)
+    vm = _native_vm(artifact.program, backend, ctx)
     ctx.meta["vm_cache"] = (
         "hit" if vm_cache_stats()["hits"] > hits_before else "miss")
     t0 = time.perf_counter()
@@ -258,6 +275,7 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
         "steps": steps,
         "execute_seconds": round(execute_seconds, 6),
         "counts": totals.as_dict(),
+        "counts_exact": bool(getattr(vm, "counts_exact", True)),
         "total_element_ops": totals.total_element_ops,
         "peak_buffer_bytes": exec_result.peak_buffer_bytes,
         "output_sha256": digest.hexdigest(),
@@ -294,7 +312,6 @@ def op_ranges(req: dict, ctx: "HandlerContext") -> dict:
 def op_report(req: dict, ctx: "HandlerContext") -> dict:
     """Per-generator comparison table for one model (counts + memory)."""
     from repro.codegen import ALL_GENERATORS
-    from repro.ir.interp import cached_vm
     from repro.sim.simulator import random_inputs
     backend = _backend_name(req)
     steps = _int_field(req, "steps", 1, 1, MAX_STEPS)
@@ -312,7 +329,7 @@ def op_report(req: dict, ctx: "HandlerContext") -> dict:
                                           backend, ctx.cache)
         artifact_hits += source == "hit"
         artifact_misses += source == "miss"
-        vm = cached_vm(artifact.program, backend=backend)
+        vm = _native_vm(artifact.program, backend, ctx)
         inputs = {artifact.input_buffers[n]: v for n, v in named.items()}
         totals = vm.run(inputs, steps=steps).counts.total
         rows.append({

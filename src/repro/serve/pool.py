@@ -7,7 +7,11 @@ store.  Process isolation is what makes concurrency safe here: a
 :class:`~repro.ir.interp.VirtualMachine` is not reentrant (its buffers
 and counters mutate in place), so the pool guarantees each worker runs
 exactly one request at a time and shares nothing mutable across workers
-except the atomically-written artifact directory.
+except the atomically-written artifact directory — which also holds the
+``backend="native"`` shared-object store (``<cache_dir>/native/``):
+``.so`` installs are atomic renames keyed by content, so the first
+worker to build a program's library pays the compiler once and every
+other worker (and every restart) dlopens the same file.
 
 Dispatch policy:
 

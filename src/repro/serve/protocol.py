@@ -42,6 +42,7 @@ ERROR_TYPES = (
     "unknown_model",    # model name not in the zoo and no payload given
     "unknown_generator",  # generator name not registered
     "invalid_model",    # uploaded payload failed to parse or analyze
+    "native_unavailable",  # backend="native" but no C toolchain / build failed
     "timeout",          # request exceeded the per-request deadline
     "busy",             # load shed: all workers busy and backlog full
     "worker_crash",     # worker died mid-request (after one retry)

@@ -83,6 +83,109 @@ class TestCompilerDiscovery:
                             cc="/no/such/compiler-xyz")
 
 
+class TestCompilerCachesAndKeys:
+    def test_find_compiler_memoized(self, monkeypatch):
+        from repro.native.compile import clear_compiler_caches
+        clear_compiler_caches()
+        try:
+            calls = []
+
+            def fake_which(name):
+                calls.append(name)
+                return f"/fake/bin/{name}"
+
+            monkeypatch.setattr("shutil.which", fake_which)
+            assert find_compiler(("gcc",)) == "/fake/bin/gcc"
+            assert find_compiler(("gcc",)) == "/fake/bin/gcc"
+            assert calls == ["gcc"], "second lookup must hit the memo"
+        finally:
+            clear_compiler_caches()  # drop the fake path for other tests
+
+    def test_compiler_identity_memoized(self, monkeypatch):
+        import subprocess
+        from repro.native.compile import (clear_compiler_caches,
+                                          compiler_identity)
+        clear_compiler_caches()
+        try:
+            calls = []
+            real_run = subprocess.run
+
+            def counting_run(cmd, **kwargs):
+                calls.append(list(cmd))
+                return real_run(["true"], capture_output=True, text=True)
+
+            monkeypatch.setattr(subprocess, "run", counting_run)
+            first = compiler_identity("/bin/true")
+            second = compiler_identity("/bin/true")
+            assert first is second
+            assert len(calls) == 1, "--version probe must run exactly once"
+        finally:
+            clear_compiler_caches()
+
+    def test_shared_cache_key_covers_identity_and_flags(self):
+        """A toolchain upgrade, path change, flag change, or program
+        change must each miss the .so cache; same inputs must hit."""
+        from repro.native import DEFAULT_FLAGS, shared_cache_key
+        from repro.native.compile import CompilerIdentity
+        base = CompilerIdentity("/usr/bin/gcc", "aaaa1111aaaa1111")
+        key = shared_cache_key("fp0", base, DEFAULT_FLAGS)
+        assert shared_cache_key("fp0", base, DEFAULT_FLAGS) == key
+        upgraded = CompilerIdentity("/usr/bin/gcc", "bbbb2222bbbb2222")
+        assert shared_cache_key("fp0", upgraded, DEFAULT_FLAGS) != key
+        moved = CompilerIdentity("/opt/bin/gcc", "aaaa1111aaaa1111")
+        assert shared_cache_key("fp0", moved, DEFAULT_FLAGS) != key
+        assert shared_cache_key("fp0", base, ("-std=c11", "-O2")) != key
+        assert shared_cache_key("fp1", base, DEFAULT_FLAGS) != key
+
+
+@pytest.mark.native
+@pytest.mark.skipif(find_compiler() is None, reason="no C compiler")
+class TestTempDirHygiene:
+    """Regression: compile_and_run leaked its repro_native_* temp tree on
+    every failure path before the try/finally cleanup."""
+
+    @staticmethod
+    def _track_mkdtemp(monkeypatch):
+        import tempfile
+        made = []
+        real = tempfile.mkdtemp
+
+        def tracking(*args, **kwargs):
+            path = real(*args, **kwargs)
+            made.append(path)
+            return path
+
+        monkeypatch.setattr(tempfile, "mkdtemp", tracking)
+        return made
+
+    def _own_dirs(self, made):
+        from pathlib import Path
+        return [Path(p) for p in made if "repro_native_" in p]
+
+    def test_success_removes_workdir(self, monkeypatch):
+        made = self._track_mkdtemp(monkeypatch)
+        compile_and_run(tiny_code(), {"u": np.ones(3)})
+        dirs = self._own_dirs(made)
+        assert dirs and not any(p.exists() for p in dirs)
+
+    def test_compile_failure_removes_workdir(self, monkeypatch):
+        made = self._track_mkdtemp(monkeypatch)
+        with pytest.raises(NativeToolchainError):
+            compile_and_run(tiny_code(), {"u": np.zeros(3)},
+                            flags=("-std=c11", "--definitely-bogus-flag"))
+        dirs = self._own_dirs(made)
+        assert dirs and not any(p.exists() for p in dirs)
+
+    def test_keep_sources_opts_out(self, monkeypatch):
+        import shutil
+        made = self._track_mkdtemp(monkeypatch)
+        compile_and_run(tiny_code(), {"u": np.ones(3)}, keep_sources=True)
+        dirs = self._own_dirs(made)
+        assert dirs and all(p.exists() for p in dirs)
+        for p in dirs:
+            shutil.rmtree(p, ignore_errors=True)
+
+
 @pytest.mark.native
 @pytest.mark.skipif(find_compiler() is None, reason="no C compiler")
 class TestCompileAndRun:
