@@ -236,6 +236,14 @@ class VirtualMachine:
       (the serve layer passes its artifact cache's ``native_dir``); a
       warm entry skips both code generation and the C compiler.
 
+      **Shared-image caveat.**  ``dlopen`` yields one image per path per
+      process, so two live native VMs over the same program alias one
+      set of C static state — unlike closure/vector VMs, which are fully
+      independent objects.  :meth:`run` is still safe on either VM (it
+      re-``init``\\ s first), but *interleaving* their raw :meth:`step`
+      calls is undefined; binding a second live VM to the same image
+      raises a :class:`RuntimeWarning`.
+
     All backends produce bitwise-identical outputs.  Closure/vector/auto
     also record identical :class:`ContextCounts`; vector-kernel counts
     are derived analytically (static per-iteration counts × trip count)
@@ -269,7 +277,7 @@ class VirtualMachine:
                                                cache_dir=so_cache_dir)
             self._static = analyze_counts(program)
             self.counts_exact = self._static.exact
-            self._native_args = self._shared.bind(self._buffers)
+            self._native_args = self._shared.bind(self._buffers, owner=self)
             self._init_fn = self._native_init
             self._step_fn = self._native_step
         else:

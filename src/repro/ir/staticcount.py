@@ -113,8 +113,15 @@ class _Analyzer:
     def __init__(self, program: Program):
         self.program = program
         self.exact = True
+        # Both memos are keyed by id(node) and therefore PIN the node as
+        # the first tuple element.  _call() analyzes ephemeral trees from
+        # substitute_buffers; without the pin, a tree could be collected
+        # and its ids recycled for a later call site's nodes, silently
+        # serving stale (type, counts, exact) or deps for a different
+        # expression.  The strong reference makes id reuse impossible for
+        # the analyzer's lifetime.
         self._cmemo: dict[int, tuple] = {}
-        self._dmemo: dict[int, frozenset] = {}
+        self._dmemo: dict[int, tuple] = {}
 
     # -- expression costs (the closure path's bookkeeping, statically) ------
 
@@ -125,11 +132,11 @@ class _Analyzer:
         ``self.exact`` temporarily)."""
         memo = self._cmemo.get(id(e))
         if memo is None:
-            memo = self._count_expr_uncached(e)
+            memo = (e,) + self._count_expr_uncached(e)
             self._cmemo[id(e)] = memo
-        if not memo[2]:
+        if not memo[3]:
             self.exact = False
-        return memo[:2]
+        return memo[1:3]
 
     def _count_expr_uncached(self, e: Expr) -> tuple:
         if isinstance(e, Const):
@@ -193,9 +200,9 @@ class _Analyzer:
     # -- pure evaluation over loop variables / known scalars ----------------
 
     def _deps(self, e: Expr) -> frozenset:
-        d = self._dmemo.get(id(e))
-        if d is not None:
-            return d
+        memo = self._dmemo.get(id(e))
+        if memo is not None:
+            return memo[1]
         if isinstance(e, Const):
             d = frozenset()
         elif isinstance(e, Var):
@@ -214,7 +221,7 @@ class _Analyzer:
                  | self._deps(e.if_false))
         else:
             d = frozenset(("<load>",))
-        self._dmemo[id(e)] = d
+        self._dmemo[id(e)] = (e, d)
         return d
 
     def _eval(self, e: Expr, env: dict):
@@ -381,27 +388,33 @@ class _Analyzer:
             if n:
                 dst[name] = dst.get(name, 0) + n * mult
 
-    def _body(self, stmts: list[Stmt], ctx: _Ctx, acc: dict) -> None:
-        for s in stmts:
-            if isinstance(s, Comment):
-                continue
+    def _body(self, stmts: list[Stmt], ctx: _Ctx, acc: dict,
+              execs: Optional[int] = None) -> None:
+        """Walk one statement list.  ``execs`` is how many times the body
+        runs per invocation; every sibling shares the same :class:`_Ctx`,
+        so the joint constraint space is enumerated once here (or handed
+        down by the caller) instead of once per statement."""
+        live = [s for s in stmts if not isinstance(s, Comment)]
+        if not live:
+            return
+        if execs is None:
+            execs = self._execs_safe(ctx)
+        for s in live:
             if isinstance(s, Assign):
-                execs = self._execs_safe(ctx)
                 _, ci = self._count_expr(s.index)
                 _, cv = self._count_expr(s.value)
                 self._add(acc, ctx.bucket, _madd({"stores": 1}, ci, cv),
                           execs)
             elif isinstance(s, For):
-                self._for(s, ctx, acc)
+                self._for(s, ctx, acc, execs)
             elif isinstance(s, If):
-                self._if(s, ctx, acc)
+                self._if(s, ctx, acc, execs)
             elif isinstance(s, CallStmt):
-                self._call(s, ctx, acc)
+                self._call(s, ctx, acc, execs)
             else:
                 self.exact = False
 
-    def _for(self, s: For, ctx: _Ctx, acc: dict) -> None:
-        execs = self._execs_safe(ctx)
+    def _for(self, s: For, ctx: _Ctx, acc: dict, execs: int) -> None:
         if not execs:
             return
         if s.forced_simd:
@@ -437,10 +450,13 @@ class _Analyzer:
             # shadowed loop variable: enumeration keys would collide
             self.exact = False
             return
-        self._body(s.body, ctx.push_loop(s.var, start, stop, bucket), acc)
+        # The loop variable appears in no constraint yet, so the body's
+        # multiplicity is exactly the loop statement's times the trip
+        # count — no need to re-enumerate inside.
+        self._body(s.body, ctx.push_loop(s.var, start, stop, bucket), acc,
+                   execs * trip)
 
-    def _if(self, s: If, ctx: _Ctx, acc: dict) -> None:
-        execs = self._execs_safe(ctx)
+    def _if(self, s: If, ctx: _Ctx, acc: dict, execs: int) -> None:
         if not execs:
             return
         _, cc = self._count_expr(s.cond)
@@ -453,23 +469,28 @@ class _Analyzer:
             before = self.exact
             then_acc: dict = {}
             self.exact = True
-            self._body(s.then, ctx, then_acc)
+            self._body(s.then, ctx, then_acc, execs)
             then_exact = self.exact
             else_acc: dict = {}
             self.exact = True
-            self._body(s.orelse, ctx, else_acc)
+            self._body(s.orelse, ctx, else_acc, execs)
             arms_equal = then_exact and self.exact and then_acc == else_acc
             self.exact = before and arms_equal
             for bucket, counts in then_acc.items():
                 self._add(acc, bucket, counts, 1)
             return
+        # _execs(extra=...) succeeded, so the guard partitions the already-
+        # enumerated combo space exactly: the branch bodies inherit the
+        # satisfying / complementary counts instead of re-enumerating the
+        # identical constraint sets.
         if true_execs:
-            self._body(s.then, ctx.with_constraint(s.cond, True), acc)
+            self._body(s.then, ctx.with_constraint(s.cond, True), acc,
+                       true_execs)
         if execs - true_execs:
-            self._body(s.orelse, ctx.with_constraint(s.cond, False), acc)
+            self._body(s.orelse, ctx.with_constraint(s.cond, False), acc,
+                       execs - true_execs)
 
-    def _call(self, s: CallStmt, ctx: _Ctx, acc: dict) -> None:
-        execs = self._execs_safe(ctx)
+    def _call(self, s: CallStmt, ctx: _Ctx, acc: dict, execs: int) -> None:
         if not execs:
             return
         counts = {"calls": 1}
@@ -491,7 +512,10 @@ class _Analyzer:
                 consts.pop(p.name, None)
             else:
                 consts[p.name] = value
-        self._body(body, ctx.with_consts(consts), acc)
+        # The callee body runs exactly ``execs`` times; handing the count
+        # down also keeps caller-scope constraints from being re-evaluated
+        # under the callee's rebound scalar consts.
+        self._body(body, ctx.with_consts(consts), acc, execs)
 
     # -- entry point ---------------------------------------------------------
 

@@ -33,7 +33,9 @@ image per process, so every :class:`SharedProgram` for the same cached
 contract — :meth:`repro.ir.interp.VirtualMachine.run` resets (re-``init``)
 before executing, and a VM is not reentrant anyway — but interleaving
 raw ``step()`` calls of two VMs over the same program is undefined, just
-as sharing one VM object across threads already is.
+as sharing one VM object across threads already is.  Binding a second
+live VM to one image therefore raises a :class:`RuntimeWarning` (see
+:meth:`SharedProgram.bind`).
 
 Failure is loud: a missing compiler or failed build raises
 :class:`~repro.errors.NativeToolchainError`.  There is no silent
@@ -50,6 +52,8 @@ import shutil
 import subprocess
 import tempfile
 import threading
+import warnings
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
@@ -129,6 +133,11 @@ class SharedProgram:
         self.info = info
         self._in_decls: list[BufferDecl] = program.buffers_of_kind("input")
         self._out_decls: list[BufferDecl] = program.buffers_of_kind("output")
+        # Live owners (VMs) bound to this image — used to surface the
+        # shared-static-state caveat (module docstring) the moment a
+        # second concurrent owner appears, instead of leaving interleaved
+        # step() undefined-ness silent.
+        self._binders: "weakref.WeakSet" = weakref.WeakSet()
         try:
             self._lib = ctypes.CDLL(str(self.path))
             self._init = getattr(self._lib, f"{program.name}_init")
@@ -144,10 +153,27 @@ class SharedProgram:
             for d in (*self._in_decls, *self._out_decls)
         ]
 
-    def bind(self, buffers: Mapping[str, np.ndarray]) -> list:
+    def bind(self, buffers: Mapping[str, np.ndarray],
+             owner: object = None) -> list:
         """Precompute the ctypes argument list for ``step`` over fixed
         buffers (the VM's arrays are allocated once and never replaced,
-        so pointer extraction happens exactly once per VM)."""
+        so pointer extraction happens exactly once per VM).
+
+        Pass the binding VM as ``owner``: when a second owner binds while
+        an earlier one is still alive, a :class:`RuntimeWarning` flags
+        that both share this image's static state (interleaving their raw
+        ``step()`` calls is undefined; ``run()`` stays safe because it
+        re-``init``\\ s first).
+        """
+        if owner is not None:
+            if len(self._binders):
+                warnings.warn(
+                    f"multiple live native VMs share the loaded image "
+                    f"{self.path.name}: they alias one set of C static "
+                    f"state, so interleaving their step() calls is "
+                    f"undefined (run() is safe — it re-inits first)",
+                    RuntimeWarning, stacklevel=3)
+            self._binders.add(owner)
         args = []
         for decl in (*self._in_decls, *self._out_decls):
             arr = buffers[decl.name]

@@ -90,12 +90,20 @@ class TestStatefulReuse:
 
     def test_two_vms_share_one_image_safely(self, tmp_path):
         """Two VMs over the same cached .so share the dlopen'd image; the
-        run()-always-resets contract keeps them independent."""
+        run()-always-resets contract keeps them independent — and binding
+        the second live VM must surface the shared-static-state caveat
+        as a RuntimeWarning."""
+        import warnings
         code = stateful_code()
-        vm1 = VirtualMachine(code.program, backend="native",
-                             so_cache_dir=tmp_path)
-        vm2 = VirtualMachine(code.program, backend="native",
-                             so_cache_dir=tmp_path)
+        clear_vm_cache()
+        clear_shared_program_cache()  # detach any earlier live binders
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # first bind must be silent
+            vm1 = VirtualMachine(code.program, backend="native",
+                                 so_cache_dir=tmp_path)
+        with pytest.warns(RuntimeWarning, match="share the loaded image"):
+            vm2 = VirtualMachine(code.program, backend="native",
+                                 so_cache_dir=tmp_path)
         x = code.map_inputs({"u": np.linspace(-1, 1, 6)})
         out1 = vm1.run(x, steps=4).outputs[code.output_buffers["y"]]
         vm1.run(code.map_inputs({"u": np.full(6, 9.0)}),
