@@ -236,7 +236,9 @@ def cmd_serve(args) -> None:
                          timeout_seconds=args.request_timeout,
                          max_pending=args.max_pending,
                          allow_debug=args.debug_ops,
-                         allow_shutdown=not args.no_shutdown_op)
+                         allow_shutdown=not args.no_shutdown_op,
+                         max_batch=args.max_batch,
+                         max_batch_wait_ms=args.max_batch_wait_ms)
 
     def announce(server) -> None:
         cache = cache_dir or "disabled"
@@ -261,11 +263,15 @@ def cmd_submit(args) -> None:
             fields.update(ServeClient.payload_fields(path))
         else:
             fields["model"] = args.model
-    if args.op in ("compile", "run", "report"):
+    if args.op in ("compile", "run", "run_batch", "report"):
         fields["generator"] = args.generator
     if args.op in ("run", "report"):
         fields.update(backend=args.backend, steps=args.steps, seed=args.seed)
-    if args.op == "run" and args.no_outputs:
+    if args.op == "run_batch":
+        fields.update(backend=args.backend, steps=args.steps,
+                      instances=[{"seed": args.seed + s}
+                                 for s in range(args.batch)])
+    if args.op in ("run", "run_batch") and args.no_outputs:
         fields["include_outputs"] = False
     try:
         with ServeClient(args.host, args.port,
@@ -418,12 +424,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable debug ops (sleep) for timeout testing")
     p.add_argument("--no-shutdown-op", action="store_true",
                    help="ignore the protocol-level shutdown op")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="coalesce up to N concurrent compatible run "
+                        "requests into one batched worker call "
+                        "(1 = disable coalescing)")
+    p.add_argument("--max-batch-wait-ms", type=float, default=2.0,
+                   help="max time a run request waits for batch "
+                        "companions before flushing")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit",
                        help="send one request to a running frodo serve")
-    p.add_argument("op", choices=["ping", "compile", "run", "ranges",
-                                  "report", "metrics", "shutdown"])
+    p.add_argument("op", choices=["ping", "compile", "run", "run_batch",
+                                  "ranges", "report", "metrics", "shutdown"])
     p.add_argument("model", nargs="?", default=None,
                    help="zoo model name or .slx/.mdl file to upload")
     p.add_argument("--host", default="127.0.0.1")
@@ -433,6 +446,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=[*ALL_GENERATORS, *FRODO_VARIANTS])
     p.add_argument("--steps", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch", type=int, default=4,
+                   help="run_batch only: number of instances "
+                        "(seeded --seed .. --seed+N-1)")
     p.add_argument("--no-outputs", action="store_true",
                    help="omit output arrays from run results")
     _add_backend_flag(p)

@@ -10,7 +10,19 @@ Produces a self-contained translation unit with:
   statements run.  A single loaded shared object can therefore serve
   many independent requests: calling ``_init`` between runs is
   equivalent to a fresh process image;
-* ``void <name>_step(const T* in..., T* out...)`` with the step body.
+* ``void <name>_step(const T* in..., T* out...)`` with the step body;
+* batched entry points ``<name>_init_batch`` / ``<name>_step_batch``
+  (``int64_t nb`` + pointers for input/output/state/temp arrays holding
+  ``nb`` consecutive instances each, ``max(size, 1)`` elements per
+  instance) evaluating ``nb`` independent model instances per call.
+  Unlike the singleton entries, batched state lives in *caller* arrays —
+  the file-scope statics are untouched, so batched runs of two VMs over
+  one loaded image can never alias (``const`` tables stay shared statics:
+  they are read-only).  Bodies are the program's statements with every
+  non-const access rewritten to ``index + __b * stride`` inside a loop
+  over instances; §5 generic-function calls are inlined first
+  (:func:`repro.ir.batch.inline_calls`) so callee accesses get the same
+  rewrite.  One compiled object therefore serves any batch size.
 
 The emitted source compiles with the sandbox's ``gcc -std=c11 -O3`` and is
 exercised end-to-end by :mod:`repro.native`.
@@ -207,4 +219,87 @@ def emit_c(program: Program) -> str:
         lines.extend(emit_stmt(stmt, 1))
     lines.append("}")
     lines.append("")
+    lines.extend(_emit_batch_entries(program))
     return "\n".join(lines)
+
+
+#: Buffer kinds that become per-instance parameters of the batched entry
+#: points, in ABI order (const tables stay shared file-scope statics).
+_BATCH_PARAM_KINDS = ("input", "output", "state", "temp")
+
+
+def _emit_batch_entries(program: Program) -> list[str]:
+    """Emit ``<name>_init_batch`` / ``<name>_step_batch``.
+
+    Both take ``(int64_t nb, <pointers>)`` with one pointer per
+    input/output/state/temp buffer, each an array of ``nb`` instances of
+    ``max(size, 1)`` elements.  State/temp parameter names shadow the
+    file-scope statics, so the rewritten bodies resolve every access to
+    the caller's arrays.  ``init_batch`` performs the same full reset as
+    ``_init``, per instance, before replaying the program's init
+    statements.
+    """
+    from repro.ir.batch import (batch_stride, fresh_batch_var, inline_calls,
+                                offset_stmt, BatchUnsupported)
+
+    params: list[str] = [f"int64_t {program.name}__nb"]
+    nb = f"{program.name}__nb"
+    for kind in _BATCH_PARAM_KINDS:
+        for decl in program.buffers_of_kind(kind):
+            qualifier = "const " if kind == "input" else ""
+            params.append(f"{qualifier}{c_type(decl.dtype)}* {decl.name}")
+
+    bvar = fresh_batch_var(program)
+    strides = {decl.name: batch_stride(decl)
+               for kind in _BATCH_PARAM_KINDS
+               for decl in program.buffers_of_kind(kind)}
+    try:
+        init_body = inline_calls(program.init, program)
+        step_body = inline_calls(program.step, program)
+    except BatchUnsupported as exc:
+        raise CodegenError(f"cannot emit batched entry points: {exc}") from exc
+
+    def batch_loop(inner: list[str], prologue: list[str]) -> list[str]:
+        if not inner:
+            return prologue
+        return prologue + [
+            f"    for (int64_t {bvar} = 0; {bvar} < {nb}; {bvar}++) {{",
+            *inner,
+            "    }",
+        ]
+
+    lines: list[str] = []
+    signature = ", ".join(params)
+
+    lines.append(f"void {program.name}_init_batch({signature}) {{")
+    prologue: list[str] = []
+    replay: list[str] = []
+    for kind in ("state", "temp"):
+        for decl in program.buffers_of_kind(kind):
+            stride = batch_stride(decl)
+            if decl.init is None:
+                prologue.append(
+                    f"    memset({decl.name}, 0, (size_t){nb} * {stride}"
+                    f" * sizeof *{decl.name});")
+                continue
+            values = np.asarray(decl.init, dtype=decl.dtype).ravel()
+            for i, v in enumerate(values):
+                literal = _c_literal(v.item() if hasattr(v, "item") else v,
+                                     decl.dtype)
+                replay.append(f"        {decl.name}"
+                              f"[{i} + ({bvar} * {stride})] = {literal};")
+    inner = list(replay)
+    for stmt in init_body:
+        inner.extend(emit_stmt(offset_stmt(stmt, bvar, strides), 2))
+    lines.extend(batch_loop(inner, prologue))
+    lines.append("}")
+    lines.append("")
+
+    lines.append(f"void {program.name}_step_batch({signature}) {{")
+    inner = []
+    for stmt in step_body:
+        inner.extend(emit_stmt(offset_stmt(stmt, bvar, strides), 2))
+    lines.extend(batch_loop(inner, []))
+    lines.append("}")
+    lines.append("")
+    return lines

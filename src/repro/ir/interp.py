@@ -210,6 +210,50 @@ class ExecResult:
     peak_buffer_bytes: int = 0
 
 
+@dataclass
+class BatchResult:
+    """Result of :meth:`VirtualMachine.run_batch`.
+
+    ``outputs[b]`` is instance ``b``'s output dict, bit-for-bit what
+    ``run(inputs_list[b], steps)`` would have produced.  ``counts`` is the
+    *aggregate* over the batch; on every backend whose ``counts_exact`` is
+    True it equals the field-by-field sum of the B single-instance runs.
+    """
+
+    outputs: list[dict[str, np.ndarray]]
+    counts: ContextCounts
+    counts_exact: bool = True
+    peak_buffer_bytes: int = 0
+
+    @property
+    def batch(self) -> int:
+        return len(self.outputs)
+
+
+def _accumulate_counts(target: ContextCounts, delta: ContextCounts) -> None:
+    """Field-by-field in-place accumulation across all buckets."""
+    for name in ("scalar", "vector", "forced"):
+        dst = target.bucket(name)
+        src = delta.bucket(name)
+        for f in fields(dst):
+            setattr(dst, f.name, getattr(dst, f.name) + getattr(src, f.name))
+
+
+def _scale_counts(counts: ContextCounts, factor: int) -> ContextCounts:
+    """A new ContextCounts with every field multiplied by ``factor``.
+
+    Used by the lifted batch path: one lifted pass performs exactly the
+    per-instance operation schedule once (each op over length-B rows), so
+    B instances' aggregate counts are the single-instance counts × B.
+    """
+    scaled = counts.copy()
+    for name in ("scalar", "vector", "forced"):
+        bucket = scaled.bucket(name)
+        for f in fields(bucket):
+            setattr(bucket, f.name, getattr(bucket, f.name) * factor)
+    return scaled
+
+
 BACKENDS = ("auto", "closure", "vector", "native")
 
 
@@ -256,7 +300,7 @@ class VirtualMachine:
     """
 
     def __init__(self, program: Program, backend: str = "auto",
-                 so_cache_dir=None):
+                 so_cache_dir=None, _batch_lanes: int = 0):
         if backend not in BACKENDS:
             raise SimulationError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -264,12 +308,38 @@ class VirtualMachine:
         self.backend = backend
         self.counts = ContextCounts()
         self.counts_exact = True
+        # _batch_lanes > 0 makes this a *lifted* companion VM (internal,
+        # built by run_batch): every buffer gains a trailing batch axis of
+        # that width and each logical scalar becomes a length-B row.  The
+        # closure/vector evaluators index only axis 0, so slices, gathers
+        # and scatters work unchanged while numpy broadcasting carries the
+        # batch axis.  Lifted VMs are driven through _run_batch_lifted
+        # exclusively — run()/outputs() assume 1-D buffers.
+        self._batch_lanes = int(_batch_lanes)
         self._buffers: dict[str, np.ndarray] = {}
         for decl in program.buffers.values():
-            self._buffers[decl.name] = np.empty(max(decl.size, 1),
-                                                dtype=decl.dtype)
+            shape: tuple = (max(decl.size, 1),)
+            if self._batch_lanes:
+                shape += (self._batch_lanes,)
+            self._buffers[decl.name] = np.empty(shape, dtype=decl.dtype)
         self._fill_initial()
         self._specialized: dict[tuple, Callable[[dict], None]] = {}
+        # run()/run_batch() reentrancy guard (an RLock so run_batch's
+        # sequential fallback may call run() on the same thread).
+        self._run_lock = threading.RLock()
+        # Per-batch-size memos: expanded companion VMs (vector/auto) and
+        # bound native array sets.  Small LRU caps — serve workers see a
+        # handful of distinct coalesced batch sizes in practice.
+        self._batch_vms: dict[int, tuple] = {}
+        self._batch_native: dict[int, tuple] = {}
+        self._batch_unsupported = False
+        # Lifted-mode bookkeeping: companion VMs per batch size, the set
+        # of batch sizes whose first lifted run matched the sequential
+        # reference bit-for-bit, and a sticky rejection flag (static guard
+        # failure, a loud evaluator error, or a verification mismatch).
+        self._batch_lifted: dict[int, "VirtualMachine"] = {}
+        self._lift_verified: set[int] = set()
+        self._lift_rejected = False
         if backend == "native":
             from repro.ir.staticcount import analyze_counts
             from repro.native.sharedlib import load_shared_program
@@ -301,11 +371,15 @@ class VirtualMachine:
         """Set every buffer to its declared initial value (shared by
         construction and :meth:`reset` so the two cannot drift)."""
         for decl in self.program.buffers.values():
+            buf = self._buffers[decl.name]
             if decl.init is not None:
-                self._buffers[decl.name][:] = np.array(
-                    decl.init, dtype=decl.dtype).ravel()
+                flat = np.array(decl.init, dtype=decl.dtype).ravel()
+                # Lifted buffers are (size, B): replicate the initial
+                # value across the batch axis explicitly — a bare
+                # `buf[:] = flat` would mis-broadcast when size == B.
+                buf[:] = flat[:, None] if buf.ndim == 2 else flat
             else:
-                self._buffers[decl.name][:] = 0
+                buf[:] = 0
 
     def reset(self) -> None:
         """Restore every buffer to its declared initial value, zero counts."""
@@ -350,19 +424,325 @@ class VirtualMachine:
         (possibly :func:`cached_vm`-shared) VM resets and re-accumulates
         the live ``self.counts`` without disturbing earlier results.
 
-        **Not reentrant.**  ``run()`` resets and mutates the VM's shared
-        buffers and live counters in place, so one VM instance must never
-        execute on two threads at the same time.  Concurrent executors
-        (e.g. :mod:`repro.serve.pool` workers) get their safety from
-        process isolation plus one-request-at-a-time workers, not from
-        this method.
+        **Not reentrant.**  ``run()`` (and :meth:`run_batch`) resets and
+        mutates the VM's shared buffers and live counters in place, so one
+        VM instance must never execute on two threads at the same time —
+        enforced: a second thread entering while a run is in flight gets a
+        :class:`~repro.errors.SimulationError` instead of corrupt results.
+        Concurrent executors (e.g. :mod:`repro.serve.pool` workers) get
+        their safety from process isolation plus one-request-at-a-time
+        workers, not from this method.
         """
-        self.reset()
-        self.set_inputs(inputs)
+        self._acquire_run_lock()
+        try:
+            self.reset()
+            self.set_inputs(inputs)
+            for _ in range(steps):
+                self.step()
+            peak = sum(arr.nbytes for arr in self._buffers.values())
+            return ExecResult(self.outputs(), self.counts.copy(), peak)
+        finally:
+            self._run_lock.release()
+
+    def _acquire_run_lock(self) -> None:
+        if not self._run_lock.acquire(blocking=False):
+            raise SimulationError(
+                f"VM for {self.program.name!r} is already executing on "
+                "another thread; run()/run_batch() are not reentrant")
+
+    # -- batched execution --------------------------------------------------
+
+    def run_batch(self, inputs_list, steps: int = 1) -> BatchResult:
+        """Evaluate ``len(inputs_list)`` independent instances in one call.
+
+        ``inputs_list`` is a sequence of per-instance input mappings (an
+        instance may omit inputs; omitted buffers keep their declared
+        initial value, exactly as in :meth:`run`).  Each instance gets its
+        own state/temp storage and runs ``steps`` steps from reset —
+        semantically identical to B separate :meth:`run` calls, but
+        amortized: the vector/auto backends execute a batch-expanded
+        program whose kernels span instances
+        (:mod:`repro.ir.batch`), and the native backend calls the
+        ``<name>_step_batch`` entry point once per step for the whole
+        batch.  Outputs are bit-for-bit equal to the sequential runs on
+        every backend; aggregate counts equal their sum whenever
+        ``counts_exact`` is True.
+
+        An empty batch raises :class:`~repro.errors.SimulationError`
+        (there is no meaningful zero-instance result); a batch of one
+        delegates to :meth:`run`.  Like :meth:`run`, **not reentrant** —
+        a concurrent call from another thread raises instead of
+        corrupting shared buffers.
+        """
+        if isinstance(inputs_list, Mapping):
+            raise SimulationError(
+                "run_batch expects a sequence of per-instance input "
+                "mappings, not a single mapping — wrap it in a list")
+        try:
+            instances = list(inputs_list)
+        except TypeError:
+            raise SimulationError(
+                f"run_batch expects a sequence of input mappings, got "
+                f"{type(inputs_list).__name__}") from None
+        if not instances:
+            raise SimulationError(
+                "run_batch requires a non-empty batch (got 0 instances)")
+        self._acquire_run_lock()
+        try:
+            validated = self._validate_batch_inputs(instances)
+            peak = len(validated) * sum(arr.nbytes
+                                        for arr in self._buffers.values())
+            if len(validated) == 1:
+                res = self.run(validated[0], steps=steps)
+                return BatchResult([res.outputs], res.counts,
+                                   self.counts_exact, peak)
+            if self.backend == "native":
+                return self._run_batch_native(validated, steps, peak)
+            if self.backend != "closure":
+                # Fast path first: the trailing-batch-axis lift executes
+                # the *single-instance* kernel schedule once over rows of
+                # B instances (see _run_batch_lifted).  It self-verifies
+                # on the first use of each batch size and permanently
+                # falls back here on any mismatch or loud failure.
+                companion = self._lifted_companion(len(validated))
+                if companion is not None:
+                    result = self._run_batch_lifted(companion, validated,
+                                                    steps, peak)
+                    if result is not None:
+                        return result
+                entry = self._batch_companion(len(validated))
+                if entry is not None:
+                    return self._run_batch_expanded(entry, validated,
+                                                    steps, peak)
+            # Reference semantics: B sequential runs (closure backend, or
+            # programs the exact batch transform refuses, e.g. CallStmt).
+            outputs = []
+            total = ContextCounts()
+            for inst in validated:
+                res = self.run(inst, steps=steps)
+                outputs.append(res.outputs)
+                _accumulate_counts(total, res.counts)
+            return BatchResult(outputs, total, self.counts_exact, peak)
+        finally:
+            self._run_lock.release()
+
+    def _validate_batch_inputs(self, instances) -> list[dict]:
+        """Per-instance :meth:`set_inputs`-grade validation, with errors
+        that name the offending instance (ragged batches fail typed)."""
+        validated: list[dict] = []
+        for b, inst in enumerate(instances):
+            if not isinstance(inst, Mapping):
+                raise SimulationError(
+                    f"batch instance {b}: expected a mapping of inputs, "
+                    f"got {type(inst).__name__}")
+            flat: dict = {}
+            for name, value in inst.items():
+                decl = self.program.buffers.get(name)
+                if decl is None or decl.kind != "input":
+                    raise SimulationError(
+                        f"batch instance {b}: {name!r} is not an input "
+                        "buffer")
+                arr = np.asarray(value, dtype=decl.dtype).ravel()
+                if arr.size != decl.size:
+                    raise SimulationError(
+                        f"batch instance {b}: input {name!r} expects "
+                        f"{decl.size} elements, got {arr.size}")
+                flat[name] = arr
+            validated.append(flat)
+        return validated
+
+    _BATCH_VM_MEMO_MAX = 8
+    _BATCH_NATIVE_MEMO_MAX = 4
+
+    def _lifted_companion(self, batch: int):
+        """Memoized batch-lifted companion VM (trailing batch axis of
+        width ``batch``), or None when the program is not liftable."""
+        vm = self._batch_lifted.pop(batch, None)
+        if vm is not None:
+            self._batch_lifted[batch] = vm  # most recently used
+            return vm
+        if self._lift_rejected:
+            return None
+        from repro.ir.batch import lift_reject
+        if lift_reject(self.program) is not None:
+            self._lift_rejected = True
+            return None
+        try:
+            vm = VirtualMachine(self.program, backend=self.backend,
+                                _batch_lanes=batch)
+        except SimulationError:
+            self._lift_rejected = True
+            return None
+        self._batch_lifted[batch] = vm
+        while len(self._batch_lifted) > self._BATCH_VM_MEMO_MAX:
+            del self._batch_lifted[next(iter(self._batch_lifted))]
+        return vm
+
+    def _run_batch_lifted(self, vm, validated, steps, peak):
+        """Run the batch on the lifted companion: the single-instance
+        kernel/closure schedule executes once, every scalar a length-B
+        row, so per-instance cost is amortized B ways.
+
+        The first call for each batch size is *differentially verified*:
+        the lifted pass and B sequential :meth:`run` calls both execute,
+        outputs are compared bit-for-bit and aggregate counts exactly,
+        and the (guaranteed-correct) sequential result is returned.  Any
+        divergence or loud evaluator failure permanently disables lifting
+        for this VM and the caller falls back to the exact batch-expanded
+        or sequential strategies.  Returns None on failure.
+        """
+        batch = len(validated)
+        try:
+            vm.reset()
+            for decl in self.program.buffers_of_kind("input"):
+                buf = vm._buffers[decl.name]
+                for b, inst in enumerate(validated):
+                    if decl.name in inst:
+                        buf[:, b] = inst[decl.name]
+            for _ in range(steps):
+                vm.step()
+            outputs = []
+            for b in range(batch):
+                inst_out = {}
+                for decl in self.program.buffers_of_kind("output"):
+                    col = vm._buffers[decl.name][:, b]
+                    inst_out[decl.name] = np.array(col.reshape(
+                        decl.shape if decl.shape else ()))
+                outputs.append(inst_out)
+            counts = _scale_counts(vm.counts, batch)
+        except Exception:
+            # Loud lifting failure (scalar coercion of a row, shape
+            # mismatch, ...): never silently wrong, just unsupported.
+            self._lift_rejected = True
+            self._batch_lifted.clear()
+            return None
+        if batch in self._lift_verified:
+            return BatchResult(outputs, counts, self.counts_exact, peak)
+        ref_outputs = []
+        ref_counts = ContextCounts()
+        for inst in validated:
+            res = self.run(inst, steps=steps)
+            ref_outputs.append(res.outputs)
+            _accumulate_counts(ref_counts, res.counts)
+        agrees = counts == ref_counts
+        for got, expected in zip(outputs, ref_outputs):
+            if not agrees:
+                break
+            for name, arr in expected.items():
+                ref = np.asarray(arr)
+                if (got[name].shape != ref.shape
+                        or got[name].tobytes() != ref.tobytes()):
+                    agrees = False
+                    break
+        if agrees:
+            self._lift_verified.add(batch)
+        else:
+            self._lift_rejected = True
+            self._batch_lifted.clear()
+        # Either way the sequential reference is in hand and exact.
+        return BatchResult(ref_outputs, ref_counts, self.counts_exact, peak)
+
+    def _batch_companion(self, batch: int):
+        """Memoized (plan, companion VM) for this batch size, or None when
+        the program cannot be batch-expanded exactly."""
+        entry = self._batch_vms.pop(batch, None)
+        if entry is not None:
+            self._batch_vms[batch] = entry  # most recently used
+            return entry
+        if self._batch_unsupported:
+            return None
+        from repro.ir.batch import BatchUnsupported, expand_batch
+        try:
+            plan = expand_batch(self.program, batch)
+        except BatchUnsupported:
+            self._batch_unsupported = True
+            return None
+        entry = (plan, VirtualMachine(plan.program, backend=self.backend))
+        self._batch_vms[batch] = entry
+        while len(self._batch_vms) > self._BATCH_VM_MEMO_MAX:
+            del self._batch_vms[next(iter(self._batch_vms))]
+        return entry
+
+    def _run_batch_expanded(self, entry, validated, steps, peak):
+        """Vector/auto path: run the batch-expanded companion program and
+        undo the transform's closed-form count skew (see
+        :mod:`repro.ir.batch`)."""
+        plan, companion = entry
+        batch = plan.batch
+        batch_inputs = {}
+        for decl in self.program.buffers_of_kind("input"):
+            if decl.init is not None:
+                mat = np.tile(np.asarray(decl.init, dtype=decl.dtype).ravel(),
+                              (batch, 1))
+            else:
+                mat = np.zeros((batch, decl.size), dtype=decl.dtype)
+            for b, inst in enumerate(validated):
+                if decl.name in inst:
+                    mat[b] = inst[decl.name]
+            batch_inputs[decl.name] = mat
+        res = companion.run(batch_inputs, steps=steps)
+        counts = res.counts  # already a snapshot; safe to adjust in place
+        for bucket in (counts.scalar, counts.vector, counts.forced):
+            # Every executed load/store gained exactly one int mul and one
+            # int add (the `idx + __b*stride` rewrite), in its own bucket.
+            bucket.int_ops -= 2 * (bucket.loads + bucket.stores)
+        n_wrap = plan.wrapped_init + steps * plan.wrapped_step
+        counts.scalar.loops_entered -= n_wrap
+        counts.scalar.loop_iters -= n_wrap * batch
+        outputs = []
+        for b in range(batch):
+            outputs.append({name: np.array(arr[b])
+                            for name, arr in res.outputs.items()})
+        return BatchResult(outputs, counts, self.counts_exact, peak)
+
+    def _run_batch_native(self, validated, steps, peak):
+        """Native path: one ``<name>_init_batch`` + ``steps`` calls of
+        ``<name>_step_batch`` over arrays-of-instances; counts are the
+        static per-instance analysis scaled ×B."""
+        batch = len(validated)
+        entry = self._batch_native.pop(batch, None)
+        if entry is None:
+            arrays: dict[str, np.ndarray] = {}
+            for kind in ("input", "output", "state", "temp"):
+                for decl in self.program.buffers_of_kind(kind):
+                    arrays[decl.name] = np.zeros(
+                        batch * max(decl.size, 1), dtype=decl.dtype)
+            entry = (arrays, self._shared.bind_batch(arrays, batch))
+        self._batch_native[batch] = entry
+        while len(self._batch_native) > self._BATCH_NATIVE_MEMO_MAX:
+            del self._batch_native[next(iter(self._batch_native))]
+        arrays, args = entry
+        # init_batch resets per-instance state/temp inside the library;
+        # inputs and outputs live in our arrays and are reset here, matching
+        # run()'s reset-to-declared-initial semantics.
+        for kind in ("input", "output"):
+            for decl in self.program.buffers_of_kind(kind):
+                view = arrays[decl.name].reshape(batch, max(decl.size, 1))
+                if decl.init is not None:
+                    view[:, :decl.size] = np.asarray(
+                        decl.init, dtype=decl.dtype).ravel()
+                else:
+                    view[:] = 0
+                if kind == "input":
+                    for b, inst in enumerate(validated):
+                        if decl.name in inst:
+                            view[b, :decl.size] = inst[decl.name]
+        self._shared.init_batch(batch, args)
         for _ in range(steps):
-            self.step()
-        peak = sum(arr.nbytes for arr in self._buffers.values())
-        return ExecResult(self.outputs(), self.counts.copy(), peak)
+            self._shared.step_batch(batch, args)
+        counts = ContextCounts()
+        self._static.apply(counts, self._static.init, factor=batch)
+        self._static.apply(counts, self._static.step, factor=batch * steps)
+        outputs = []
+        for b in range(batch):
+            inst_out = {}
+            for decl in self.program.buffers_of_kind("output"):
+                row = arrays[decl.name].reshape(
+                    batch, max(decl.size, 1))[b, :decl.size]
+                inst_out[decl.name] = np.array(
+                    row.reshape(decl.shape if decl.shape else ()))
+            outputs.append(inst_out)
+        return BatchResult(outputs, counts, self.counts_exact, peak)
 
     # -- compilation --------------------------------------------------------
 
@@ -537,6 +917,16 @@ class VirtualMachine:
                     bucket.loads += 1
                     return int(buffer[index(env)])
                 return run_load_int
+            if self._batch_lanes:
+                # Lifted mode: a scalar load is a length-B row.  Skipping
+                # .item() lets every downstream float operation broadcast
+                # over the batch axis; anything that genuinely needs a
+                # Python scalar (branch conditions, int coercion) raises
+                # loudly and run_batch falls back to the exact paths.
+                def run_load_row(env: dict) -> object:
+                    bucket.loads += 1
+                    return buffer[index(env)]
+                return run_load_row
 
             def run_load(env: dict) -> object:
                 bucket.loads += 1
@@ -723,7 +1113,27 @@ def vm_cache_stats() -> dict[str, int]:
 
 def execute(program: Program, inputs: Mapping[str, np.ndarray],
             steps: int = 1, backend: str = "auto",
-            so_cache_dir=None) -> ExecResult:
-    """One-shot convenience: build a VM, run, return outputs and counts."""
-    return VirtualMachine(program, backend=backend,
-                          so_cache_dir=so_cache_dir).run(inputs, steps)
+            so_cache_dir=None, batch=None) -> "ExecResult | BatchResult":
+    """One-shot convenience: build a VM, run, return outputs and counts.
+
+    ``batch`` turns the call into :meth:`VirtualMachine.run_batch`:
+
+    * an ``int`` B replicates ``inputs`` across B instances (useful for
+      benchmarking — all instances compute the same thing);
+    * a sequence of per-instance input mappings runs one instance each
+      (``inputs`` is ignored and should be ``None``).
+
+    With ``batch`` set the return value is a :class:`BatchResult`.
+    """
+    vm = VirtualMachine(program, backend=backend, so_cache_dir=so_cache_dir)
+    if batch is None:
+        return vm.run(inputs, steps)
+    if isinstance(batch, bool):
+        raise SimulationError(f"batch must be an int or a sequence of "
+                              f"input mappings, got {batch!r}")
+    if isinstance(batch, int):
+        if batch < 1:
+            raise SimulationError(
+                f"batch must be >= 1, got {batch}")
+        return vm.run_batch([inputs] * batch, steps=steps)
+    return vm.run_batch(batch, steps=steps)

@@ -67,14 +67,17 @@ class StaticCounts:
     exact: bool
 
     @staticmethod
-    def apply(target: ContextCounts, delta: ContextCounts) -> None:
-        """Accumulate ``delta`` into a VM's live ``counts`` in place."""
+    def apply(target: ContextCounts, delta: ContextCounts,
+              factor: int = 1) -> None:
+        """Accumulate ``factor × delta`` into a VM's live ``counts`` in
+        place (``factor`` > 1 is the batched native path: B independent
+        instances perform exactly B times the per-instance work)."""
         for bucket in ("scalar", "vector", "forced"):
             dst = getattr(target, bucket)
             src = getattr(delta, bucket)
             for name, value in src.as_dict().items():
                 if value:
-                    setattr(dst, name, getattr(dst, name) + value)
+                    setattr(dst, name, getattr(dst, name) + value * factor)
 
 
 def _madd(*dicts: dict) -> dict:

@@ -281,6 +281,15 @@ class _Planner:
         self.stop: int = loop.stop
         self.trip = max(self.stop - self.start, 0)
         self.lanes = np.arange(self.start, self.stop, dtype=np.int64)
+        # Batch-lifted VM (trailing batch axis on every buffer): loads
+        # return (L, B)/(B,) arrays, so the lane vector must occupy a
+        # *column* (L, 1) in value positions to broadcast against them —
+        # a bare (L,) vector would silently pair with the batch axis when
+        # L == B.  Index expressions, loop bounds and If masks stay 1-D:
+        # they address axis 0 only (see _vcompile_index).
+        self._blanes = int(getattr(vm, "_batch_lanes", 0) or 0)
+        self.lanes_col = self.lanes[:, None] if self._blanes else self.lanes
+        self._index_ctx = False
         # inclusive integer ranges for every in-scope variable (None=unknown)
         self.var_bounds = dict(var_bounds)
         self.var_bounds[self.axis] = (self.start, max(self.start, self.stop - 1))
@@ -681,6 +690,12 @@ class _Planner:
         if isinstance(e, Load):
             buf = self.vm._buffers[e.buffer]
             ix = self._scalar_fn(e.index)
+            if self._blanes:
+                # Batch-lifted VM: a lane-invariant load is still a
+                # length-B row (one value per instance); keep it an array
+                # so downstream float arithmetic broadcasts.  Anything
+                # demanding a true scalar raises loudly instead.
+                return lambda env: buf[ix(env)]
             if self._decl(e.buffer).dtype in ("uint32", "int64"):
                 return lambda env: int(buf[ix(env)])
             return lambda env: buf[ix(env)].item()
@@ -789,9 +804,19 @@ class _Planner:
                 return cached_t
         return fn
 
+    def _vcompile_index(self, e: Expr) -> Callable:
+        """Compile an addressing/mask expression: lane vectors stay 1-D
+        (they index axis 0 of possibly batch-lifted buffers)."""
+        prev = self._index_ctx
+        self._index_ctx = True
+        try:
+            return self._vcompile(e)
+        finally:
+            self._index_ctx = prev
+
     def _vcompile_vec(self, e: Expr) -> Callable:
         if isinstance(e, Var):  # only the axis reaches here
-            lanes = self.lanes
+            lanes = self.lanes if self._index_ctx else self.lanes_col
             return lambda env: lanes
         if isinstance(e, Load):
             return self._vcompile_load(e)
@@ -938,7 +963,7 @@ class _Planner:
                 v = buf[idx]
                 return convert(v) if convert else v
             return load_affine
-        ix = self._vcompile(e.index)
+        ix = self._vcompile_index(e.index)
         holder = self._mask_holder if self._compiling_masked else None
 
         def load_gather(env):
@@ -1100,7 +1125,11 @@ class _Planner:
             e_fn = self._scalar_fn(stmt.index)
             x_fn = self._vcompile(red["x"])
             uf = red["uf"]
-            seq = np.empty(self.trip + 1, dtype=np.float64)
+            # Lifted VMs accumulate one column per batch instance;
+            # ufunc.accumulate reduces along axis 0 either way.
+            seq_shape = ((self.trip + 1, self._blanes) if self._blanes
+                         else self.trip + 1)
+            seq = np.empty(seq_shape, dtype=np.float64)
 
             def run_reduction(env):
                 idx = e_fn(env)
@@ -1155,7 +1184,10 @@ class _Planner:
             return None  # enclosing loop never runs: no counts, no code
         for k, n in counts.items():
             bd[k] = bd.get(k, 0) + n * body_mult
-        mask_fn = self._vcompile(stmt.cond)
+        # Index context: _scan_if proved the condition load-free, so the
+        # mask is a pure lane/loop-var predicate and must stay 1-D even
+        # on a batch-lifted VM (it gates axis-0 indices).
+        mask_fn = self._vcompile_index(stmt.cond)
         ranges = [range(a, b) for _, a, b in chain]
         ncombos = 1
         for r in ranges:

@@ -15,7 +15,12 @@ paper's own artifact (compiled C at ``-O3``) the serving fast path:
   numpy buffers — no marshalling, no subprocess, no stdout parsing;
 * ``<name>_init`` performs a full state reset (initializers replayed,
   uninitialized state/temp memset to zero), so one loaded library serves
-  many independent requests.
+  many independent requests;
+* the batched entry points ``<name>_init_batch``/``<name>_step_batch``
+  (ABI v2) evaluate ``nb`` independent instances per call over caller
+  arrays-of-instances — state and temp live in those arrays rather than
+  the image's statics, so one ``.so`` serves **any** batch size and
+  batched runs never touch shared static state.
 
 Artifacts are content-addressed.  The key covers the program fingerprint
 (:func:`repro.ir.vectorize.fingerprint`), the **compiler identity**
@@ -73,7 +78,9 @@ SHARED_FLAGS: tuple[str, ...] = ("-fPIC", "-shared")
 #: Bump when the emitted-C contract changes incompatibly (entry-point
 #: names, signature order, init semantics); old cached ``.so`` files
 #: become misses instead of ABI mismatches.
-SHARED_ABI_VERSION = 1
+#: v2: added ``<name>_init_batch`` / ``<name>_step_batch`` entry points
+#: (``int64_t nb`` + per-instance input/output/state/temp arrays).
+SHARED_ABI_VERSION = 2
 
 _POINTER_TYPES = {
     "float64": ctypes.POINTER(ctypes.c_double),
@@ -133,6 +140,13 @@ class SharedProgram:
         self.info = info
         self._in_decls: list[BufferDecl] = program.buffers_of_kind("input")
         self._out_decls: list[BufferDecl] = program.buffers_of_kind("output")
+        # Batched-entry decls in ABI order (matches ctext's
+        # _BATCH_PARAM_KINDS): input, output, state, temp.
+        self._batch_decls: list[BufferDecl] = [
+            decl
+            for kind in ("input", "output", "state", "temp")
+            for decl in program.buffers_of_kind(kind)
+        ]
         # Live owners (VMs) bound to this image — used to surface the
         # shared-static-state caveat (module docstring) the moment a
         # second concurrent owner appears, instead of leaving interleaved
@@ -142,6 +156,10 @@ class SharedProgram:
             self._lib = ctypes.CDLL(str(self.path))
             self._init = getattr(self._lib, f"{program.name}_init")
             self._step = getattr(self._lib, f"{program.name}_step")
+            self._init_batch = getattr(self._lib,
+                                       f"{program.name}_init_batch")
+            self._step_batch = getattr(self._lib,
+                                       f"{program.name}_step_batch")
         except (OSError, AttributeError) as exc:
             raise NativeToolchainError(
                 f"cannot load shared object {self.path}: {exc}") from exc
@@ -152,6 +170,12 @@ class SharedProgram:
             _POINTER_TYPES[d.dtype]
             for d in (*self._in_decls, *self._out_decls)
         ]
+        batch_argtypes = [ctypes.c_int64] + [
+            _POINTER_TYPES[d.dtype] for d in self._batch_decls
+        ]
+        for fn in (self._init_batch, self._step_batch):
+            fn.restype = None
+            fn.argtypes = batch_argtypes
 
     def bind(self, buffers: Mapping[str, np.ndarray],
              owner: object = None) -> list:
@@ -190,6 +214,35 @@ class SharedProgram:
                 args.append(arr.ctypes.data_as(ptype))
         return args
 
+    def bind_batch(self, buffers: Mapping[str, np.ndarray],
+                   nb: int) -> list:
+        """Argument list for the batched entry points over fixed arrays.
+
+        ``buffers`` maps each input/output/state/temp buffer name to a
+        flat C-contiguous array of ``nb`` consecutive instances
+        (``nb * max(size, 1)`` elements).  Unlike :meth:`bind`, no owner
+        registration happens: batched state lives entirely in the
+        caller's arrays — the image's static state is untouched, so
+        concurrent-VM aliasing cannot arise.
+        """
+        args = []
+        for decl in self._batch_decls:
+            arr = buffers[decl.name]
+            expected = nb * max(decl.size, 1)
+            if not isinstance(arr, np.ndarray) or arr.dtype != decl.dtype \
+                    or not arr.flags["C_CONTIGUOUS"] \
+                    or arr.size != expected:
+                raise NativeToolchainError(
+                    f"batched buffer {decl.name!r} must be a C-contiguous "
+                    f"{decl.dtype} array of {expected} elements "
+                    f"({nb} instances)")
+            ptype = _POINTER_TYPES[decl.dtype]
+            if ptype is ctypes.c_void_p:
+                args.append(ctypes.c_void_p(arr.ctypes.data))
+            else:
+                args.append(arr.ctypes.data_as(ptype))
+        return args
+
     def init(self) -> None:
         """Full state reset: equivalent to loading a fresh image."""
         self._init()
@@ -197,6 +250,14 @@ class SharedProgram:
     def step(self, args: Sequence) -> None:
         """One step over pre-bound pointers (see :meth:`bind`)."""
         self._step(*args)
+
+    def init_batch(self, nb: int, args: Sequence) -> None:
+        """Per-instance full reset of ``nb`` instances (caller arrays)."""
+        self._init_batch(ctypes.c_int64(nb), *args)
+
+    def step_batch(self, nb: int, args: Sequence) -> None:
+        """One step for each of ``nb`` instances (see :meth:`bind_batch`)."""
+        self._step_batch(ctypes.c_int64(nb), *args)
 
 
 def _build_so(program: Program, source: str, compiler: str,

@@ -10,6 +10,9 @@ Measures the three effects the serve subsystem exists to deliver:
 * **restart persistence** — after a full server restart on the same
   cache directory, ``compile`` is answered from the on-disk artifact
   cache without re-running code generation;
+* **request coalescing** — warm closed-loop throughput at high
+  concurrency with the micro-batching queue enabled vs disabled
+  (``max_batch=1``), plus the observed batch-occupancy distribution;
 * **native serving** (when a C toolchain is present) — first
   ``backend="native"`` request pays the C compiler once, steady-state
   requests execute the cached ``.so``, and after a restart on the same
@@ -51,6 +54,7 @@ def _latency_summary(seconds: list[float]) -> dict:
         "mean_ms": round(statistics.fmean(ordered) * 1e3, 3),
         "p50_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
         "p95_ms": round(_percentile(ordered, 0.95) * 1e3, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1e3, 3),
         "max_ms": round(ordered[-1] * 1e3, 3),
     }
 
@@ -122,6 +126,51 @@ def bench_worker_count(workers: int, cache_dir: str,
         "warm": warm,
         "vm_cache_hit_rate": snapshot["vm_cache_hit_rate"],
         "artifact_cache_hit_rate": snapshot["artifact_cache_hit_rate"],
+    }
+
+
+def bench_coalescing(cache_dir: str, models: tuple[str, ...],
+                     generator: str, steps: int, concurrency: int,
+                     requests_per_client: int, max_batch: int = 16,
+                     max_wait_ms: float = 2.0) -> dict:
+    """Warm closed-loop throughput with the coalescer off vs on.
+
+    Same workload twice at high concurrency: first against a server with
+    ``max_batch=1`` (every run is its own worker call), then with the
+    micro-batching queue enabled.  Reports both runs, the speedup, and
+    the batch-occupancy distribution the coalescer actually achieved.
+    """
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+    rows = {}
+    occupancy = None
+    for label, batch in (("coalescing_off", 1), ("coalescing_on", max_batch)):
+        config = ServeConfig(workers=2, cache_dir=cache_dir,
+                             timeout_seconds=120.0,
+                             max_pending=max(64, concurrency * 2),
+                             max_batch=batch, max_batch_wait_ms=max_wait_ms)
+        with ServerThread(config) as server_thread:
+            port = server_thread.server.port
+            with ServeClient(port=port) as client:
+                for model in models:  # warm caches out of the timed loop
+                    client.run(model, generator=generator, steps=steps,
+                               include_outputs=False)
+            rows[label] = _closed_loop(port, models, generator, steps,
+                                       concurrency, requests_per_client)
+            if batch > 1:
+                with ServeClient(port=port) as client:
+                    snap = client.metrics(render=False)["snapshot"]
+                occ = snap["batch_occupancy"]
+                occupancy = occ[0] if occ else None
+    off = rows["coalescing_off"]["throughput_rps"] or 1.0
+    on = rows["coalescing_on"]["throughput_rps"] or 0.0
+    return {
+        "concurrency": concurrency,
+        "max_batch": max_batch,
+        "max_batch_wait_ms": max_wait_ms,
+        **rows,
+        "speedup": round(on / off, 2),
+        "batch_occupancy": occupancy,
     }
 
 
@@ -213,6 +262,14 @@ def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
                                concurrency, requests_per_client)
             for workers in worker_counts
         ]
+        # Coalescing is a hot-model optimization: buckets only form among
+        # requests for the same (model, generator, backend, steps), so the
+        # section drives one model at high concurrency — the workload the
+        # queue exists for.  Worker scaling above covers the mixed case.
+        coalescing = bench_coalescing(
+            cache_dir, models[:1], generator, steps,
+            concurrency=max(8, concurrency),
+            requests_per_client=requests_per_client)
         restart = bench_restart(cache_dir, models, generator)
         native = bench_native(cache_dir, models, generator, steps)
     finally:
@@ -238,6 +295,7 @@ def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
             "worker_counts": list(worker_counts),
         },
         "worker_scaling": scaling,
+        "coalescing": coalescing,
         "restart": restart,
         "native": native,
     }
@@ -286,6 +344,15 @@ def main(argv: list[str] | None = None) -> int:
               f"p95={warm['latency']['p95_ms']}ms "
               f"(x{row['scaling_vs_1_worker']} vs 1 worker), "
               f"vm_hit_rate={row['vm_cache_hit_rate']}")
+    coal = result["coalescing"]
+    occ = coal["batch_occupancy"]
+    print(f"coalescing@c={coal['concurrency']}: "
+          f"off {coal['coalescing_off']['throughput_rps']} req/s -> "
+          f"on {coal['coalescing_on']['throughput_rps']} req/s "
+          f"(x{coal['speedup']}), "
+          f"p99 {coal['coalescing_on']['latency']['p99_ms']}ms, "
+          f"mean occupancy "
+          f"{occ['mean_seconds'] if occ else 'n/a'}")
     print(f"restart compile from artifact cache: "
           f"{result['restart']['compile_after_restart_ms']} "
           f"(hit={result['restart']['served_from_artifact_cache']})")

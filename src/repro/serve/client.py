@@ -115,6 +115,18 @@ class ServeClient:
                             backend=backend, steps=steps, seed=seed,
                             **fields)
 
+    def run_batch(self, model: str | None = None, generator: str = "frodo",
+                  backend: str = "auto", steps: int = 1,
+                  instances: list | int = 2, **fields: Any) -> dict:
+        """Batched execution: ``instances`` is a list of per-instance
+        objects (``seed``/``inputs``/``include_outputs``), or an int N as
+        shorthand for N seeded instances 0..N-1."""
+        if isinstance(instances, int):
+            instances = [{"seed": s} for s in range(instances)]
+        return self.request("run_batch", model=model, generator=generator,
+                            backend=backend, steps=steps,
+                            instances=instances, **fields)
+
     def ranges(self, model: str | None = None, **fields: Any) -> dict:
         return self.request("ranges", model=model, **fields)
 
@@ -167,6 +179,48 @@ class ServeClient:
         check("ranges", ranges["model"] == compiled["model"]
               and len(ranges["blocks"]) > 0,
               f"{ranges['optimizable_blocks']} optimizable")
+        batch = self.run_batch(model, generator=generator, steps=2,
+                               instances=[{"seed": 0,
+                                           "include_outputs": False},
+                                          {"seed": 7,
+                                           "include_outputs": False},
+                                          {"seed": 0,
+                                           "include_outputs": False}])
+        rows = batch["results"]
+        check("run_batch executes all instances",
+              batch["executed"] == 3 and all(r.get("ok") for r in rows),
+              f"executed={batch.get('executed')}")
+        check("run_batch per-instance outputs",
+              rows[0]["output_sha256"] == rows[2]["output_sha256"]
+              and rows[0]["output_sha256"] == first["output_sha256"]
+              and rows[0]["output_sha256"] != rows[1]["output_sha256"],
+              rows[0]["output_sha256"][:16])
+        # Concurrent identical runs from independent connections: the
+        # coalescer (when enabled server-side) merges them into batched
+        # worker calls; either way every reply must match the sequential
+        # result bit-for-bit.
+        import threading
+        shas: list = [None] * 8
+
+        def _one(slot: int) -> None:
+            with ServeClient(self.host, self.port,
+                             timeout=self.timeout) as peer:
+                result = peer.run(model, generator=generator, steps=2,
+                                  include_outputs=False)
+                shas[slot] = result["output_sha256"]
+
+        threads = [threading.Thread(target=_one, args=(i,))
+                   for i in range(len(shas))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        occupancy = [row for row in
+                     self.metrics()["snapshot"]["batch_occupancy"]]
+        max_occ = occupancy[0]["max_seconds"] if occupancy else 0
+        check("concurrent runs identical",
+              all(s == first["output_sha256"] for s in shas),
+              f"8 clients, max batch occupancy {max_occ:g}")
         try:
             self.run("NoSuchModelZZZ")
             check("typed unknown_model error", False, "no error raised")

@@ -34,6 +34,10 @@ from repro.serve.protocol import ServeError
 #: guardrail so one request cannot monopolize a worker for minutes.
 MAX_STEPS = 100_000
 
+#: Upper bound on instances in one ``run_batch`` request (same guardrail:
+#: a batch occupies one worker for its whole duration).
+MAX_BATCH_INSTANCES = 256
+
 
 # -- model resolution ----------------------------------------------------------
 
@@ -262,10 +266,6 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
 
     outputs = {name: exec_result.outputs[buffer]
                for name, buffer in artifact.output_buffers.items()}
-    digest = hashlib.sha256()
-    for name in sorted(outputs):
-        digest.update(name.encode())
-        digest.update(np.ascontiguousarray(outputs[name]).tobytes())
     totals = exec_result.counts.total
     result = {
         "model": artifact.model_name,
@@ -278,11 +278,118 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
         "counts_exact": bool(getattr(vm, "counts_exact", True)),
         "total_element_ops": totals.total_element_ops,
         "peak_buffer_bytes": exec_result.peak_buffer_bytes,
-        "output_sha256": digest.hexdigest(),
+        "output_sha256": _output_digest(outputs),
     }
     if req.get("include_outputs", True):
         result["outputs"] = outputs
     return result
+
+
+def _output_digest(outputs: dict) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(outputs):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(outputs[name]).tobytes())
+    return digest.hexdigest()
+
+
+def op_run_batch(req: dict, ctx: "HandlerContext") -> dict:
+    """Evaluate B independent instances of one compiled program in a
+    single batched VM call.
+
+    ``instances`` is a list of per-instance objects, each shaped like a
+    ``run`` request's input fields (``seed``, ``inputs``,
+    ``include_outputs``); model/generator/backend/steps are shared.  The
+    warm VM cache serves **one** batched VM (the per-batch-size companion
+    lives inside it) rather than B singletons.  A malformed instance
+    fails alone — its slot carries a typed error while the rest execute.
+
+    The aggregate ``counts`` equal the sum over executed instances
+    whenever ``counts_exact`` is True (the batched-execution contract,
+    see :mod:`repro.ir.batch`).
+    """
+    from repro.errors import SimulationError
+    from repro.ir.interp import vm_cache_stats
+    generator = _generator_name(req)
+    backend = _backend_name(req)
+    steps = _int_field(req, "steps", 1, 1, MAX_STEPS)
+    instances = req.get("instances")
+    if not isinstance(instances, list) or not instances:
+        raise ServeError("bad_request",
+                         "run_batch needs a non-empty 'instances' list")
+    if len(instances) > MAX_BATCH_INSTANCES:
+        raise ServeError(
+            "bad_request",
+            f"run_batch accepts at most {MAX_BATCH_INSTANCES} instances, "
+            f"got {len(instances)}")
+    model, model_fp = resolve_model(req)
+    artifact, source = get_or_compile(model, model_fp, generator, backend,
+                                      ctx.cache)
+    ctx.meta["artifact_cache"] = source
+
+    results: list[dict | None] = [None] * len(instances)
+    decoded: list[tuple[int, dict]] = []
+    for i, inst in enumerate(instances):
+        if not isinstance(inst, dict):
+            results[i] = {"ok": False, "error_type": "bad_request",
+                          "error": f"instance {i} must be an object"}
+            continue
+        try:
+            seed = _int_field(inst, "seed", 0, 0, 2 ** 32 - 1)
+            decoded.append((i, _decode_inputs(inst, model, artifact, seed)))
+        except ServeError as exc:
+            results[i] = {"ok": False, "error_type": exc.error_type,
+                          "error": exc.message}
+
+    hits_before = vm_cache_stats()["hits"]
+    vm = _native_vm(artifact.program, backend, ctx)
+    ctx.meta["vm_cache"] = (
+        "hit" if vm_cache_stats()["hits"] > hits_before else "miss")
+    ctx.meta["batched"] = len(decoded)
+
+    execute_seconds = 0.0
+    counts: dict = {}
+    total_element_ops = 0
+    counts_exact = bool(getattr(vm, "counts_exact", True))
+    peak_buffer_bytes = 0
+    if decoded:
+        t0 = time.perf_counter()
+        try:
+            batch_res = vm.run_batch([inputs for _, inputs in decoded],
+                                     steps=steps)
+        except SimulationError as exc:
+            raise ServeError("bad_request", f"execution rejected: {exc}")
+        execute_seconds = time.perf_counter() - t0
+        totals = batch_res.counts.total
+        counts = totals.as_dict()
+        total_element_ops = totals.total_element_ops
+        counts_exact = batch_res.counts_exact
+        peak_buffer_bytes = batch_res.peak_buffer_bytes
+        for (i, _), out in zip(decoded, batch_res.outputs):
+            outputs = {name: out[buffer]
+                       for name, buffer in artifact.output_buffers.items()}
+            entry: dict = {"ok": True,
+                           "output_sha256": _output_digest(outputs)}
+            if instances[i].get("include_outputs",
+                                req.get("include_outputs", True)):
+                entry["outputs"] = outputs
+            results[i] = entry
+
+    return {
+        "model": artifact.model_name,
+        "model_fingerprint": model_fp,
+        "generator": generator,
+        "backend": backend,
+        "steps": steps,
+        "batch": len(instances),
+        "executed": len(decoded),
+        "execute_seconds": round(execute_seconds, 6),
+        "counts": counts,
+        "counts_exact": counts_exact,
+        "total_element_ops": total_element_ops,
+        "peak_buffer_bytes": peak_buffer_bytes,
+        "results": results,
+    }
 
 
 def op_ranges(req: dict, ctx: "HandlerContext") -> dict:
@@ -377,6 +484,7 @@ _HANDLERS = {
     "ping": op_ping,
     "compile": op_compile,
     "run": op_run,
+    "run_batch": op_run_batch,
     "ranges": op_ranges,
     "report": op_report,
     "sleep": op_sleep,

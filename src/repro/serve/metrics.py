@@ -22,6 +22,10 @@ from typing import Iterable
 LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
                    0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
 
+#: Batch-occupancy buckets: instances per coalesced worker call (powers of
+#: two up to the protocol's instance cap).
+BATCH_OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted(labels.items()))
@@ -133,6 +137,13 @@ class MetricsRegistry:
             "worker lifecycle: spawned, crashed, retried, timed_out, shed")
         self.connections = Counter(
             "connections_total", "accepted connections by transport")
+        self.batch_occupancy = Histogram(
+            "batch_occupancy",
+            "instances per coalesced worker call (1 = uncoalesced flush)",
+            buckets=BATCH_OCCUPANCY_BUCKETS)
+        self.batch_queue_delay = Histogram(
+            "batch_queue_delay_seconds",
+            "time a run request waited in the coalescing queue")
         self.in_flight = 0
 
     # -- recording ---------------------------------------------------------
@@ -154,6 +165,15 @@ class MetricsRegistry:
     def record_connection(self, transport: str) -> None:
         with self._lock:
             self.connections.inc(transport=transport)
+
+    def record_batch(self, occupancy: int,
+                     delays_seconds: Iterable[float]) -> None:
+        """One coalesced flush: its occupancy (instances in the worker
+        call) and the queue delay of every member request."""
+        with self._lock:
+            self.batch_occupancy.observe(float(occupancy))
+            for delay in delays_seconds:
+                self.batch_queue_delay.observe(delay)
 
     def adjust_in_flight(self, delta: int) -> None:
         with self._lock:
@@ -178,6 +198,9 @@ class MetricsRegistry:
                 "cache_events_total": self.cache_events.snapshot(),
                 "pool_events_total": self.pool_events.snapshot(),
                 "connections_total": self.connections.snapshot(),
+                "batch_occupancy": self.batch_occupancy.snapshot(),
+                "batch_queue_delay_seconds":
+                    self.batch_queue_delay.snapshot(),
             }
         for cache in ("vm", "artifact"):
             rate = self.hit_rate(cache)
@@ -204,6 +227,14 @@ class MetricsRegistry:
                 f'request_latency_seconds{{op="{op}"}} '
                 f"count={row['count']} mean={row['mean_seconds']}s "
                 f"min={row['min_seconds']}s max={row['max_seconds']}s")
+        for row in snap["batch_occupancy"]:
+            lines.append(
+                f"batch_occupancy count={row['count']} "
+                f"mean={row['mean_seconds']} max={row['max_seconds']:g}")
+        for row in snap["batch_queue_delay_seconds"]:
+            lines.append(
+                f"batch_queue_delay_seconds count={row['count']} "
+                f"mean={row['mean_seconds']}s max={row['max_seconds']}s")
         for cache in ("vm", "artifact"):
             rate = snap[f"{cache}_cache_hit_rate"]
             lines.append(f"{cache}_cache_hit_rate "

@@ -32,9 +32,12 @@ from typing import Any
 
 #: Every operation the service accepts.  ``sleep`` is a debug op (gated by
 #: the server's ``allow_debug`` switch) used by tests and the CI smoke job
-#: to exercise timeout handling deterministically.
-OPS = ("ping", "compile", "run", "ranges", "report", "metrics", "sleep",
-       "shutdown")
+#: to exercise timeout handling deterministically.  ``run_batch``
+#: evaluates many independent instances of one (model, generator,
+#: backend, steps) in a single batched VM call — the same op the server's
+#: coalescer synthesizes from concurrent ``run`` requests.
+OPS = ("ping", "compile", "run", "run_batch", "ranges", "report", "metrics",
+       "sleep", "shutdown")
 
 #: Closed error taxonomy (see docs/serving.md for the contract of each).
 ERROR_TYPES = (
@@ -51,7 +54,8 @@ ERROR_TYPES = (
 )
 
 #: Wire-protocol revision, echoed by ``ping``.
-PROTOCOL_VERSION = 1
+#: v2: ``run_batch`` op, ``coalesce`` flag on ``run``, batching knobs.
+PROTOCOL_VERSION = 2
 
 MAX_LINE_BYTES = 32 * 1024 * 1024  # uploaded .slx payloads are base64 lines
 

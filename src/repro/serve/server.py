@@ -41,6 +41,13 @@ class ServeConfig:
     cache_dir: str | None = None
     timeout_seconds: float = 60.0
     max_pending: int = 16
+    #: Dynamic micro-batching: concurrent ``run`` requests sharing
+    #: (model, generator, backend, steps) coalesce into one ``run_batch``
+    #: worker call of up to ``max_batch`` instances, waiting at most
+    #: ``max_batch_wait_ms`` for companions.  ``max_batch=1`` disables
+    #: coalescing entirely.
+    max_batch: int = 8
+    max_batch_wait_ms: float = 2.0
     allow_debug: bool = False
     #: Whether the ``shutdown`` op is honoured (CI smoke and tests use it;
     #: production deployments may prefer signals only).
@@ -61,6 +68,7 @@ class ReproServer:
         self.config = config
         self.metrics = MetricsRegistry()
         self.pool: WorkerPool | None = None
+        self.batcher: "BatchQueue | None" = None
         self._server: asyncio.base_events.Server | None = None
         self._stopped = asyncio.Event()
         self._stopping = False
@@ -76,6 +84,13 @@ class ReproServer:
 
     async def start(self) -> None:
         self.start_pool()
+        if self.config.max_batch > 1 and self.batcher is None:
+            from repro.serve.batching import BatchQueue
+            assert self.pool is not None
+            self.batcher = BatchQueue(
+                self.pool.execute, self.metrics,
+                max_batch=self.config.max_batch,
+                max_wait_ms=self.config.max_batch_wait_ms)
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port,
             limit=MAX_LINE_BYTES)
@@ -125,6 +140,10 @@ class ReproServer:
                 asyncio.get_running_loop().call_soon(
                     lambda: asyncio.ensure_future(self.stop()))
                 result, meta = {"stopping": True}, {}
+            elif op == "run" and self.batcher is not None:
+                # Coalescible run requests ride the micro-batching queue;
+                # the batcher forwards anything it can't merge untouched.
+                result, meta = await self.batcher.submit(req)
             else:
                 assert self.pool is not None
                 result, meta = await loop.run_in_executor(

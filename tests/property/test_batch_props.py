@@ -1,0 +1,107 @@
+"""Property tests for the batch execution API surface.
+
+``run_batch`` must behave like a total function over its argument space:
+well-formed batches execute, and every malformed batch — empty, ragged,
+wrong container, wrong buffer names — dies with a *typed*
+:class:`~repro.errors.SimulationError` naming the offending instance,
+never an IndexError or silent truncation.  A batch of one is exactly
+``run``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.codegen import FrodoGenerator
+from repro.errors import SimulationError
+from repro.ir.interp import BACKENDS, VirtualMachine
+from repro.sim.simulator import random_inputs
+from repro.zoo import build_model
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+@pytest.fixture(scope="module")
+def motivating():
+    model = build_model("Motivating")
+    code = FrodoGenerator().generate(model)
+    return model, code
+
+
+@pytest.mark.parametrize("backend", [b for b in BACKENDS if b != "native"])
+def test_empty_batch_is_typed_error(motivating, backend):
+    _, code = motivating
+    vm = VirtualMachine(code.program, backend=backend)
+    with pytest.raises(SimulationError, match="non-empty batch"):
+        vm.run_batch([])
+
+
+def test_mapping_instead_of_list_is_typed_error(motivating):
+    model, code = motivating
+    vm = VirtualMachine(code.program)
+    inputs = code.map_inputs(random_inputs(model, seed=0))
+    with pytest.raises(SimulationError, match="wrap it in a list"):
+        vm.run_batch(inputs)
+    with pytest.raises(SimulationError):
+        vm.run_batch(42)
+
+
+@settings(max_examples=25, **COMMON)
+@given(batch=st.integers(min_value=1, max_value=6),
+       bad_slot=st.integers(min_value=0, max_value=5),
+       data=st.data())
+def test_ragged_batch_names_the_instance(motivating, batch, bad_slot, data):
+    """One malformed instance must produce an error naming its index."""
+    model, code = motivating
+    bad_slot = bad_slot % batch
+    vm = VirtualMachine(code.program, backend="closure")
+    inputs_list: list = [code.map_inputs(random_inputs(model, seed=b))
+                         for b in range(batch)]
+    name = next(iter(inputs_list[bad_slot]))
+    kind = data.draw(st.sampled_from(["short", "long", "unknown", "notdict"]))
+    if kind == "short":
+        inputs_list[bad_slot] = {name: np.zeros(1)}
+    elif kind == "long":
+        good = np.asarray(inputs_list[bad_slot][name])
+        inputs_list[bad_slot] = {name: np.zeros(good.size + 3)}
+    elif kind == "unknown":
+        inputs_list[bad_slot] = {"no_such_buffer__": np.zeros(4)}
+    else:
+        inputs_list[bad_slot] = [1.0, 2.0]
+    with pytest.raises(SimulationError, match=f"batch instance {bad_slot}"):
+        vm.run_batch(inputs_list)
+
+
+@settings(max_examples=20, **COMMON)
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       steps=st.integers(min_value=1, max_value=4))
+def test_batch_of_one_equals_run(motivating, seed, steps):
+    model, code = motivating
+    inputs = code.map_inputs(random_inputs(model, seed=seed))
+    vm = VirtualMachine(code.program, backend="auto")
+    solo = vm.run(inputs, steps=steps)
+    batch = vm.run_batch([inputs], steps=steps)
+    assert batch.counts == solo.counts
+    assert batch.counts_exact == vm.counts_exact
+    for name, arr in solo.outputs.items():
+        assert np.asarray(arr).tobytes() == \
+            np.asarray(batch.outputs[0][name]).tobytes()
+
+
+@settings(max_examples=15, **COMMON)
+@given(batch=st.integers(min_value=2, max_value=5),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_batch_outputs_permutation_invariant(motivating, batch, seed):
+    """Reversing the instance order reverses the outputs and nothing else."""
+    model, code = motivating
+    inputs_list = [code.map_inputs(random_inputs(model, seed=seed + b))
+                   for b in range(batch)]
+    vm = VirtualMachine(code.program, backend="vector")
+    fwd = vm.run_batch(inputs_list)
+    rev = vm.run_batch(list(reversed(inputs_list)))
+    assert fwd.counts == rev.counts
+    for b in range(batch):
+        for name, arr in fwd.outputs[b].items():
+            assert np.asarray(arr).tobytes() == \
+                np.asarray(rev.outputs[batch - 1 - b][name]).tobytes()

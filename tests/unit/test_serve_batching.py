@@ -1,0 +1,289 @@
+"""Unit and live tests for the serve micro-batching stack.
+
+Three layers: the ``run_batch`` handler executed inline (no server), the
+:class:`~repro.serve.batching.BatchQueue` coalescing policy on a bare
+event loop against a fake pool, and a live :class:`ServerThread` round
+trip proving concurrent ``run`` requests really merge into occupancy>1
+worker calls with bit-identical fan-out.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.batching import BatchQueue, _batch_key
+from repro.serve.cache import ArtifactCache
+from repro.serve.client import ServeClient, ServeRequestError
+from repro.serve.handlers import handle_request
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import OPS, PROTOCOL_VERSION, ServeError
+from repro.serve.server import ServeConfig, ServerThread
+
+
+def test_protocol_lists_run_batch():
+    assert "run_batch" in OPS
+    assert PROTOCOL_VERSION >= 2
+
+
+class TestRunBatchHandler:
+    """op_run_batch executed inline against a temp artifact cache."""
+
+    def test_matches_solo_runs_and_sums_counts(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        solo = {}
+        for seed in (0, 7):
+            res, _ = handle_request(
+                {"op": "run", "model": "Motivating", "generator": "frodo",
+                 "steps": 2, "seed": seed, "include_outputs": False}, cache)
+            solo[seed] = res
+        res, meta = handle_request(
+            {"op": "run_batch", "model": "Motivating", "generator": "frodo",
+             "steps": 2, "instances": [{"seed": 0}, {"seed": 7},
+                                       {"seed": 0}]}, cache)
+        rows = res["results"]
+        assert res["executed"] == 3 and all(r["ok"] for r in rows)
+        assert rows[0]["output_sha256"] == solo[0]["output_sha256"]
+        assert rows[1]["output_sha256"] == solo[7]["output_sha256"]
+        assert rows[2]["output_sha256"] == rows[0]["output_sha256"]
+        for key, value in res["counts"].items():
+            assert value == 3 * solo[0]["counts"][key]
+        assert res["counts_exact"] is True
+        assert meta["batched"] == 3
+
+    def test_one_warm_vm_serves_the_whole_batch(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        req = {"op": "run_batch", "model": "Motivating",
+               "generator": "frodo", "instances": [{"seed": s}
+                                                   for s in range(4)]}
+        _, first = handle_request(req, cache)
+        _, second = handle_request(req, cache)
+        # one VM per (fingerprint, backend): second batch reuses it
+        assert second["vm_cache"] == "hit"
+
+    def test_per_instance_errors_do_not_sink_the_batch(self, tmp_path):
+        res, _ = handle_request(
+            {"op": "run_batch", "model": "Motivating", "generator": "frodo",
+             "instances": [{"seed": 0}, {"inputs": {"bogus": [1.0]}},
+                           "not a dict"]},
+            ArtifactCache(tmp_path))
+        rows = res["results"]
+        assert rows[0]["ok"]
+        assert not rows[1]["ok"] and rows[1]["error_type"] == "bad_request"
+        assert not rows[2]["ok"] and rows[2]["error_type"] == "bad_request"
+        assert res["executed"] == 1
+
+    @pytest.mark.parametrize("instances", [[], "nope", [{"seed": 0}] * 257])
+    def test_malformed_instance_lists_are_typed(self, tmp_path, instances):
+        with pytest.raises(ServeError) as err:
+            handle_request({"op": "run_batch", "model": "Motivating",
+                            "instances": instances},
+                           ArtifactCache(tmp_path))
+        assert err.value.error_type == "bad_request"
+
+
+class TestBatchKey:
+    def test_groups_on_execution_identity(self):
+        base = {"op": "run", "model": "M", "generator": "frodo",
+                "backend": "auto", "steps": 2}
+        assert _batch_key(base) == _batch_key({**base, "seed": 99})
+        assert _batch_key(base) != _batch_key({**base, "steps": 3})
+        assert _batch_key(base) != _batch_key({**base, "backend": "native"})
+        assert _batch_key(base) != _batch_key({**base, "model": "N"})
+
+    def test_payload_uploads_key_on_content_hash(self):
+        a = {"op": "run", "model_payload": "QUJD", "model_format": "slx"}
+        assert _batch_key(a) == _batch_key(dict(a))
+        assert _batch_key(a) != _batch_key({**a, "model_payload": "REVG"})
+
+
+class _FakePool:
+    """Records every request; answers run and run_batch shapes."""
+
+    def __init__(self):
+        self.requests: list[dict] = []
+        self.lock = threading.Lock()
+
+    def execute(self, req):
+        with self.lock:
+            self.requests.append(req)
+        if req["op"] == "run_batch":
+            n = len(req["instances"])
+            return ({"model": "M", "executed": n, "batch": n,
+                     "execute_seconds": 0.008 * n,
+                     "counts": {"flops": 10 * n}, "counts_exact": True,
+                     "total_element_ops": 5 * n, "peak_buffer_bytes": 64 * n,
+                     "results": [{"ok": True, "output_sha256": f"sha{i}"}
+                                 for i in range(n)]},
+                    {"worker_pid": 1, "vm_cache": "hit"})
+        return ({"model": "M", "output_sha256": "solo",
+                 "counts": {"flops": 10}, "counts_exact": True},
+                {"worker_pid": 1})
+
+
+def _drive(coro):
+    return asyncio.run(coro)
+
+
+class TestBatchQueuePolicy:
+    def test_full_bucket_flushes_as_one_run_batch(self):
+        pool = _FakePool()
+        queue_args = dict(metrics=MetricsRegistry(), max_batch=3,
+                          max_wait_ms=500.0)
+
+        async def scenario():
+            queue = BatchQueue(pool.execute, **queue_args)
+            reqs = [{"op": "run", "model": "M", "seed": s} for s in range(3)]
+            return await asyncio.gather(*(queue.submit(r) for r in reqs))
+
+        results = _drive(scenario())
+        assert [r["op"] for r in pool.requests] == ["run_batch"]
+        assert len(pool.requests[0]["instances"]) == 3
+        shas = [result["output_sha256"] for result, _ in results]
+        assert shas == ["sha0", "sha1", "sha2"]  # order-preserving fan-out
+        for result, meta in results:
+            assert result["counts"] == {"flops": 10}  # amortized, exact
+            assert result["counts_exact"] is True
+            assert meta["batched"] == 3 and meta["coalesced"] is True
+        # cache meta surfaces on exactly one member
+        assert sum("vm_cache" in meta for _, meta in results) == 1
+
+    def test_timer_flush_and_lone_request_forwarded_verbatim(self):
+        pool = _FakePool()
+
+        async def scenario():
+            queue = BatchQueue(pool.execute, MetricsRegistry(),
+                               max_batch=8, max_wait_ms=5.0)
+            return await queue.submit({"op": "run", "model": "M", "seed": 1})
+
+        result, meta = _drive(scenario())
+        # one member at timer expiry: the ORIGINAL run request goes through
+        assert [r["op"] for r in pool.requests] == ["run"]
+        assert result["output_sha256"] == "solo"
+        assert "coalesced" not in meta
+
+    def test_opt_out_and_unknown_fields_bypass(self):
+        pool = _FakePool()
+
+        async def scenario():
+            queue = BatchQueue(pool.execute, MetricsRegistry(),
+                               max_batch=8, max_wait_ms=50.0)
+            return await asyncio.gather(
+                queue.submit({"op": "run", "model": "M", "coalesce": False}),
+                queue.submit({"op": "run", "model": "M",
+                              "mystery_field": 1}))
+
+        _drive(scenario())
+        assert [r["op"] for r in pool.requests] == ["run", "run"]
+
+    def test_incompatible_requests_never_share_a_bucket(self):
+        pool = _FakePool()
+
+        async def scenario():
+            queue = BatchQueue(pool.execute, MetricsRegistry(),
+                               max_batch=2, max_wait_ms=500.0)
+            return await asyncio.gather(
+                queue.submit({"op": "run", "model": "M", "steps": 1}),
+                queue.submit({"op": "run", "model": "M", "steps": 1}),
+                queue.submit({"op": "run", "model": "M", "steps": 2}),
+                queue.submit({"op": "run", "model": "M", "steps": 2}))
+
+        _drive(scenario())
+        batches = [r for r in pool.requests if r["op"] == "run_batch"]
+        assert len(batches) == 2
+        assert {b["steps"] for b in batches} == {1, 2}
+
+    def test_per_instance_failure_raises_only_that_waiter(self):
+        class FailSlotPool(_FakePool):
+            def execute(self, req):
+                result, meta = super().execute(req)
+                if req["op"] == "run_batch":
+                    result["results"][1] = {
+                        "ok": False, "error_type": "bad_request",
+                        "error": "instance 1 rejected"}
+                    result["executed"] = len(req["instances"]) - 1
+                return result, meta
+
+        pool = FailSlotPool()
+
+        async def scenario():
+            queue = BatchQueue(pool.execute, MetricsRegistry(),
+                               max_batch=3, max_wait_ms=500.0)
+            reqs = [{"op": "run", "model": "M", "seed": s} for s in range(3)]
+            return await asyncio.gather(*(queue.submit(r) for r in reqs),
+                                        return_exceptions=True)
+
+        good0, bad, good2 = _drive(scenario())
+        assert isinstance(bad, ServeError)
+        assert bad.error_type == "bad_request"
+        assert good0[0]["output_sha256"] == "sha0"
+        assert good2[0]["output_sha256"] == "sha2"
+
+    def test_occupancy_and_delay_metrics_recorded(self):
+        metrics = MetricsRegistry()
+        pool = _FakePool()
+
+        async def scenario():
+            queue = BatchQueue(pool.execute, metrics,
+                               max_batch=2, max_wait_ms=500.0)
+            return await asyncio.gather(
+                queue.submit({"op": "run", "model": "M", "seed": 0}),
+                queue.submit({"op": "run", "model": "M", "seed": 1}))
+
+        _drive(scenario())
+        snap = metrics.snapshot()
+        occ = snap["batch_occupancy"][0]
+        assert occ["count"] == 1 and occ["max_seconds"] == 2
+        assert snap["batch_queue_delay_seconds"][0]["count"] == 2
+
+
+@pytest.mark.slow
+class TestLiveCoalescing:
+    def test_concurrent_runs_coalesce_bitwise(self, tmp_path):
+        config = ServeConfig(workers=1, cache_dir=str(tmp_path / "cache"),
+                             max_batch=8, max_batch_wait_ms=20.0)
+        with ServerThread(config) as thread:
+            port = thread.server.port
+            with ServeClient(port=port) as client:
+                client.compile("Motivating", generator="frodo")
+                base = client.run("Motivating", generator="frodo", steps=2,
+                                  include_outputs=False)
+
+            shas: list = [None] * 6
+
+            def one(slot):
+                with ServeClient(port=port) as peer:
+                    result = peer.run("Motivating", generator="frodo",
+                                      steps=2, include_outputs=False)
+                    shas[slot] = result["output_sha256"]
+
+            threads = [threading.Thread(target=one, args=(i,))
+                       for i in range(len(shas))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(s == base["output_sha256"] for s in shas)
+
+            with ServeClient(port=port) as client:
+                snap = client.metrics(render=False)["snapshot"]
+                occ = snap["batch_occupancy"]
+                assert occ and occ[0]["max_seconds"] > 1, \
+                    "no coalesced flush with occupancy > 1 observed"
+
+                # a batched failure still produces a typed error
+                with pytest.raises(ServeRequestError) as err:
+                    client.run("NoSuchModelZZZ")
+                assert err.value.error_type == "unknown_model"
+
+    def test_max_batch_one_disables_coalescing(self, tmp_path):
+        config = ServeConfig(workers=1, cache_dir=str(tmp_path / "cache"),
+                             max_batch=1)
+        with ServerThread(config) as thread:
+            assert thread.server.batcher is None
+            with ServeClient(port=thread.server.port) as client:
+                result = client.run("Motivating", generator="frodo",
+                                    include_outputs=False)
+                assert result["output_sha256"]
+                snap = client.metrics(render=False)["snapshot"]
+                assert snap["batch_occupancy"] == []
