@@ -30,10 +30,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.codegen import make_generator            # noqa: E402
-from repro.ir.interp import (VirtualMachine, cached_vm,
-                             clear_vm_cache)        # noqa: E402
-from repro.native import (clear_shared_program_cache,
-                          find_compiler)            # noqa: E402
+from repro.ir.interp import VirtualMachine, cached_vm, clear_vm_cache  # noqa: E402
+from repro.native import clear_shared_program_cache, find_compiler  # noqa: E402
+from repro.obs import profile_vm                    # noqa: E402
 from repro.sim.simulator import random_inputs       # noqa: E402
 from repro.zoo import build_model                   # noqa: E402
 
@@ -62,11 +61,15 @@ def bench_cell(model_name: str, generator: str, steps: int,
 
     timings: dict[str, float] = {}
     results = {}
+    stages: dict[str, dict] = {}
     for backend in INTERP_BACKENDS:
         vm = VirtualMachine(code.program, backend=backend)
         results[backend] = vm.run(inputs, steps=steps)  # also warms compile
         timings[backend] = best_of(lambda: vm.run(inputs, steps=steps),
                                    repeats)
+        with profile_vm() as prof:
+            vm.run(inputs, steps=steps)
+        stages[backend] = prof.as_dict()
 
     native: dict = {}
     if so_cache_dir is not None:
@@ -79,6 +82,9 @@ def bench_cell(model_name: str, generator: str, steps: int,
         results["native"] = vm.run(inputs, steps=steps)
         timings["native"] = best_of(lambda: vm.run(inputs, steps=steps),
                                     repeats)
+        with profile_vm() as prof:
+            vm.run(inputs, steps=steps)
+        stages["native"] = prof.as_dict()
         # warm: the .so is on disk — a fresh process image (simulated by
         # dropping the in-process registry) skips codegen and cc entirely
         clear_shared_program_cache()
@@ -111,6 +117,7 @@ def bench_cell(model_name: str, generator: str, steps: int,
         "generator": generator,
         "steps": steps,
         "ms_per_step": {b: round(v, 4) for b, v in ms.items()},
+        "stages": stages,
         "speedup_vector": round(ms["closure"] / ms["vector"], 2),
         "speedup_auto": round(ms["closure"] / ms["auto"], 2),
         "identical_outputs_and_counts": True,

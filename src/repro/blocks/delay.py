@@ -16,9 +16,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.blocks.base import BlockSpec, Signal, register
-from repro.core.intervals import IndexSet
 from repro.errors import ValidationError
-from repro.ir.build import EmitCtx, add, const, load, mul
+from repro.ir.build import EmitCtx, add, const, load
 from repro.ir.ops import Assign, Expr, For, Var
 from repro.model.block import Block
 

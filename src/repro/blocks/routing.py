@@ -19,7 +19,7 @@ from repro.blocks.base import BlockSpec, Signal, register
 from repro.blocks.math_ops import ElementwiseSpec
 from repro.core.intervals import IndexSet
 from repro.errors import ValidationError
-from repro.ir.build import EmitCtx, add, binop, call, const, load, mul, sub
+from repro.ir.build import EmitCtx, binop, call, const, load, mul, sub
 from repro.ir.ops import Assign, Expr
 from repro.model.block import Block
 

@@ -17,7 +17,7 @@ from repro.blocks.base import BlockSpec, Signal, register
 from repro.core.intervals import IndexSet
 from repro.errors import ValidationError
 from repro.ir.build import EmitCtx, add, binop, call, const, load, mul
-from repro.ir.ops import Assign, If, Var
+from repro.ir.ops import Assign, If
 from repro.model.block import Block
 
 SELECTOR_MODES = ("start_end", "index_vector", "stride", "index_port")

@@ -226,6 +226,37 @@ def cmd_blocks(args) -> None:
                              f"({len(rows)} supported types)"))
 
 
+def cmd_trace(args) -> None:
+    """Trace one model through the local pipeline and export the spans."""
+    from repro.ir.interp import cached_vm
+    from repro.obs import (render_spans, start_trace, tracing,
+                           write_chrome_trace, write_jsonl)
+    from repro.sim.simulator import random_inputs
+    root = start_trace("trace", model=args.model, generator=args.generator,
+                       backend=args.backend, steps=args.steps)
+    with root:
+        with tracing.span("model.build"):
+            model = _resolve_model(args.model)
+        with tracing.span("codegen", generator=args.generator):
+            code = make_generator(args.generator).generate(model)
+        with tracing.span("inputs", seed=args.seed):
+            named = random_inputs(model, seed=args.seed)
+        with tracing.span("vm.acquire", backend=args.backend):
+            vm = cached_vm(code.program, backend=args.backend)
+        inputs = {code.input_buffers[n]: v for n, v in named.items()}
+        vm.run(inputs, steps=args.steps)  # opens its own vm.run span
+    spans = root.export()
+    out = Path(args.output or f"{model.name}_trace.json")
+    if args.jsonl:
+        write_jsonl(out, spans, append=False)
+        kind = "JSON-lines"
+    else:
+        write_chrome_trace(out, spans)
+        kind = "Chrome trace (load in chrome://tracing or ui.perfetto.dev)"
+    print(render_spans(spans))
+    print(f"wrote {len(spans)} span(s) to {out} as {kind}")
+
+
 def cmd_serve(args) -> None:
     """Run the compile-and-execute service until interrupted."""
     import asyncio
@@ -238,7 +269,8 @@ def cmd_serve(args) -> None:
                          allow_debug=args.debug_ops,
                          allow_shutdown=not args.no_shutdown_op,
                          max_batch=args.max_batch,
-                         max_batch_wait_ms=args.max_batch_wait_ms)
+                         max_batch_wait_ms=args.max_batch_wait_ms,
+                         trace_log=args.trace_log)
 
     def announce(server) -> None:
         cache = cache_dir or "disabled"
@@ -431,7 +463,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch-wait-ms", type=float, default=2.0,
                    help="max time a run request waits for batch "
                         "companions before flushing")
+    p.add_argument("--trace-log", default=None, metavar="PATH",
+                   help="trace every request and append finished spans "
+                        "to this JSON-lines file")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("trace",
+                       help="run one model through the pipeline and "
+                            "export a span timeline")
+    p.add_argument("model", help="zoo model name or .slx/.mdl path")
+    p.add_argument("-g", "--generator", default="frodo",
+                   choices=[*ALL_GENERATORS, *FRODO_VARIANTS])
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default=None,
+                   help="output path (default <model>_trace.json)")
+    p.add_argument("--jsonl", action="store_true",
+                   help="write flat JSON-lines spans instead of the "
+                        "Chrome trace-event format")
+    _add_backend_flag(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("submit",
                        help="send one request to a running frodo serve")

@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.blocks import spec_for
 from repro.core.analysis import AnalyzedModel, analyze
-from repro.core.intervals import IndexSet
 from repro.core.ranges import RangeResult, determine_ranges, full_ranges
 from repro.errors import CodegenError
 from repro.ir.build import EmitCtx, StyleOptions

@@ -61,7 +61,7 @@ def _stmt_access(stmt: Stmt, program: Program,
         for inner in stmt.then + stmt.orelse:
             _stmt_access(inner, program, reads, writes)
     elif isinstance(stmt, CallStmt):
-        func = program.functions[stmt.func]
+        program.functions[stmt.func]  # KeyError guard: callee must exist
         for arg in stmt.scalar_args:
             _expr_reads(arg, reads)
         # Pointer params: conservatively treat every binding as both read
@@ -69,7 +69,6 @@ def _stmt_access(stmt: Stmt, program: Program,
         for buffer in stmt.buffer_args:
             reads.add(buffer)
             writes.add(buffer)
-        del func
 
 
 @dataclass

@@ -139,7 +139,7 @@ def analyze(model: Model) -> AnalyzedModel:
     drivers = {block.name: _ordered_drivers(flat, block) for block in flat}
 
     for block in flat:
-        spec = spec_for(block)  # raises for unsupported types
+        spec_for(block)  # raises for unsupported types
         for port, (src, src_port) in enumerate(drivers[block.name]):
             if src_port != 0:
                 raise ValidationError(
@@ -147,7 +147,6 @@ def analyze(model: Model) -> AnalyzedModel:
                     f"port {src_port} of {src!r}, but all supported blocks "
                     "are single-output"
                 )
-        del spec
 
     schedule = _topo_order(flat, break_state_inputs=True)
     try:

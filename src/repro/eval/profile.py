@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-import numpy as np
 
 from repro.codegen import make_generator
 from repro.eval.report import format_table

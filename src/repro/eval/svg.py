@@ -9,7 +9,7 @@ paper draws FRODO's own duration as the red baseline).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Mapping
 from xml.sax.saxutils import escape
 
 _PALETTE = ("#4e79a7", "#f28e2b", "#59a14f", "#b07aa1", "#76b7b2")

@@ -30,6 +30,8 @@ from repro.ir.ops import (
     Assign, BinOp, Call, CallStmt, Comment, Const, Expr, For, FuncDef, If,
     Load, Program, Select, Stmt, UnOp, Var,
 )
+from repro.obs import tracing as _tracing
+from repro.obs import vmprofile as _vmprofile
 
 
 def substitute_buffers(stmts: list[Stmt], mapping: dict[str, str]) -> list[Stmt]:
@@ -435,14 +437,38 @@ class VirtualMachine:
         """
         self._acquire_run_lock()
         try:
-            self.reset()
-            self.set_inputs(inputs)
-            for _ in range(steps):
-                self.step()
-            peak = sum(arr.nbytes for arr in self._buffers.values())
-            return ExecResult(self.outputs(), self.counts.copy(), peak)
+            # Both hooks are a single load-and-branch when idle: span()
+            # returns a shared no-op unless a trace is active, and the
+            # profiler check is one module-global read per run.
+            with _tracing.span("vm.run", backend=self.backend,
+                               program=self.program.name, steps=steps):
+                self.reset()
+                self.set_inputs(inputs)
+                prof = _vmprofile.active()
+                if prof is None:
+                    for _ in range(steps):
+                        self.step()
+                else:
+                    self._run_profiled(prof, steps)
+                peak = sum(arr.nbytes for arr in self._buffers.values())
+                return ExecResult(self.outputs(), self.counts.copy(), peak)
         finally:
             self._run_lock.release()
+
+    def _run_profiled(self, prof, steps: int) -> None:
+        """:meth:`run`'s stepping loop with the init/step split timed
+        into the active :class:`~repro.obs.vmprofile.VMStageProfile`."""
+        import time as _time
+        env: dict[str, int] = {}
+        t0 = _time.perf_counter()
+        if not self._initialized:
+            self._init_fn(env)
+            self._initialized = True
+        t1 = _time.perf_counter()
+        for _ in range(steps):
+            self._step_fn(env)
+        prof.record(self.backend, init_seconds=t1 - t0,
+                    step_seconds=_time.perf_counter() - t1, steps=steps)
 
     def _acquire_run_lock(self) -> None:
         if not self._run_lock.acquire(blocking=False):
@@ -489,42 +515,48 @@ class VirtualMachine:
                 "run_batch requires a non-empty batch (got 0 instances)")
         self._acquire_run_lock()
         try:
-            validated = self._validate_batch_inputs(instances)
-            peak = len(validated) * sum(arr.nbytes
-                                        for arr in self._buffers.values())
-            if len(validated) == 1:
-                res = self.run(validated[0], steps=steps)
-                return BatchResult([res.outputs], res.counts,
-                                   self.counts_exact, peak)
-            if self.backend == "native":
-                return self._run_batch_native(validated, steps, peak)
-            if self.backend != "closure":
-                # Fast path first: the trailing-batch-axis lift executes
-                # the *single-instance* kernel schedule once over rows of
-                # B instances (see _run_batch_lifted).  It self-verifies
-                # on the first use of each batch size and permanently
-                # falls back here on any mismatch or loud failure.
-                companion = self._lifted_companion(len(validated))
-                if companion is not None:
-                    result = self._run_batch_lifted(companion, validated,
-                                                    steps, peak)
-                    if result is not None:
-                        return result
-                entry = self._batch_companion(len(validated))
-                if entry is not None:
-                    return self._run_batch_expanded(entry, validated,
-                                                    steps, peak)
-            # Reference semantics: B sequential runs (closure backend, or
-            # programs the exact batch transform refuses, e.g. CallStmt).
-            outputs = []
-            total = ContextCounts()
-            for inst in validated:
-                res = self.run(inst, steps=steps)
-                outputs.append(res.outputs)
-                _accumulate_counts(total, res.counts)
-            return BatchResult(outputs, total, self.counts_exact, peak)
+            with _tracing.span("vm.run_batch", backend=self.backend,
+                               program=self.program.name, steps=steps,
+                               batch=len(instances)):
+                return self._run_batch_locked(instances, steps)
         finally:
             self._run_lock.release()
+
+    def _run_batch_locked(self, instances: list, steps: int) -> BatchResult:
+        validated = self._validate_batch_inputs(instances)
+        peak = len(validated) * sum(arr.nbytes
+                                    for arr in self._buffers.values())
+        if len(validated) == 1:
+            res = self.run(validated[0], steps=steps)
+            return BatchResult([res.outputs], res.counts,
+                               self.counts_exact, peak)
+        if self.backend == "native":
+            return self._run_batch_native(validated, steps, peak)
+        if self.backend != "closure":
+            # Fast path first: the trailing-batch-axis lift executes
+            # the *single-instance* kernel schedule once over rows of
+            # B instances (see _run_batch_lifted).  It self-verifies
+            # on the first use of each batch size and permanently
+            # falls back here on any mismatch or loud failure.
+            companion = self._lifted_companion(len(validated))
+            if companion is not None:
+                result = self._run_batch_lifted(companion, validated,
+                                                steps, peak)
+                if result is not None:
+                    return result
+            entry = self._batch_companion(len(validated))
+            if entry is not None:
+                return self._run_batch_expanded(entry, validated,
+                                                steps, peak)
+        # Reference semantics: B sequential runs (closure backend, or
+        # programs the exact batch transform refuses, e.g. CallStmt).
+        outputs = []
+        total = ContextCounts()
+        for inst in validated:
+            res = self.run(inst, steps=steps)
+            outputs.append(res.outputs)
+            _accumulate_counts(total, res.counts)
+        return BatchResult(outputs, total, self.counts_exact, peak)
 
     def _validate_batch_inputs(self, instances) -> list[dict]:
         """Per-instance :meth:`set_inputs`-grade validation, with errors

@@ -924,7 +924,8 @@ class _Planner:
         size = buf.shape[0]
         convert = None
         if decl.dtype in ("uint32",):
-            convert = lambda arr: arr.astype(np.int64)
+            def convert(arr):
+                return arr.astype(np.int64)
         lf = _linform(e.index)
         if lf is not None and lf.get(self.axis, 0):
             coeff = lf[self.axis]

@@ -15,6 +15,7 @@ further step calls.
 from __future__ import annotations
 
 import hashlib
+import os
 import shutil
 import subprocess
 import tempfile
@@ -52,7 +53,16 @@ _COMPILER_LOCK = threading.Lock()
 
 
 def find_compiler(preferred: Sequence[str] = ("gcc", "cc", "clang")) -> Optional[str]:
-    """First available C compiler on PATH, or None (memoized per-process)."""
+    """First available C compiler on PATH, or None (memoized per-process).
+
+    Setting ``REPRO_NO_CC`` in the environment forces "no toolchain":
+    the knob CI's scheduled full-matrix run uses to exercise the
+    no-compiler code paths (typed ``native_unavailable`` errors,
+    ``@pytest.mark.native`` skips) on runners that do have gcc.  Checked
+    before the memo so flipping it mid-process takes effect immediately.
+    """
+    if os.environ.get("REPRO_NO_CC"):
+        return None
     key = tuple(preferred)
     with _COMPILER_LOCK:
         if key in _COMPILER_CACHE:

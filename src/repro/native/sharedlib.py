@@ -67,9 +67,10 @@ import numpy as np
 
 from repro.errors import NativeToolchainError
 from repro.ir.ops import BufferDecl, Program
+from repro.obs import tracing
 
 from repro.native.compile import (
-    DEFAULT_FLAGS, CompilerIdentity, compiler_identity, find_compiler,
+    DEFAULT_FLAGS, CompilerIdentity, compiler_identity,
 )
 
 #: Flags that turn the translation unit into a loadable shared object.
@@ -365,17 +366,21 @@ def load_shared_program(program: Program, cc: Optional[str] = None,
     if cache_dir is not None:
         so_path, c_path, json_path = _cache_paths(Path(cache_dir), key)
         if so_path.exists():
-            shared = SharedProgram(
-                program, so_path, from_cache=True,
-                build_seconds=time.perf_counter() - t0, info=info)
+            with tracing.span("native.load", program=program.name,
+                              key=key[:12], source="disk"):
+                shared = SharedProgram(
+                    program, so_path, from_cache=True,
+                    build_seconds=time.perf_counter() - t0, info=info)
             with _LOADED_LOCK:
                 _LOADED_STATS["disk_hits"] += 1
                 _LOADED[key] = shared
                 while len(_LOADED) > _LOADED_MAX:
                     del _LOADED[next(iter(_LOADED))]
             return shared
-        source = emit_c(program)
-        _build_so(program, source, identity.path, flags, so_path)
+        with tracing.span("native.compile", program=program.name,
+                          key=key[:12], compiler=identity.path):
+            source = emit_c(program)
+            _build_so(program, source, identity.path, flags, so_path)
         _atomic_write_text(c_path, source)
         _atomic_write_text(json_path, info.to_json())
         shared = SharedProgram(program, so_path, from_cache=False,
@@ -387,7 +392,10 @@ def load_shared_program(program: Program, cc: Optional[str] = None,
         tmp_dir = Path(tempfile.mkdtemp(prefix="repro_so_load_"))
         try:
             so_path = tmp_dir / f"{program.name}.so"
-            _build_so(program, emit_c(program), identity.path, flags, so_path)
+            with tracing.span("native.compile", program=program.name,
+                              key=key[:12], compiler=identity.path):
+                _build_so(program, emit_c(program), identity.path, flags,
+                          so_path)
             shared = SharedProgram(program, so_path, from_cache=False,
                                    build_seconds=time.perf_counter() - t0,
                                    info=info)

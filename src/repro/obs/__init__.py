@@ -1,0 +1,61 @@
+"""``repro.obs`` — zero-dependency tracing and profiling for the stack.
+
+Three small pieces (see ``docs/observability.md`` for the full model):
+
+* :mod:`repro.obs.tracing` — request-scoped traces of nested spans,
+  contextvars-based within a thread, explicit carrier dicts across
+  threads and the worker-pool IPC boundary;
+* :mod:`repro.obs.export` — JSON-lines and Chrome trace-event output
+  plus the nested span-tree shape served by ``trace: true`` requests;
+* :mod:`repro.obs.vmprofile` — opt-in init-vs-step stage timing inside
+  the VM backends for benchmark breakdowns.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    read_jsonl,
+    render_spans,
+    span_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    SpanHandle,
+    Trace,
+    carrier,
+    current,
+    manual_span,
+    merge_spans,
+    new_id,
+    resume,
+    span,
+    start_trace,
+)
+from repro.obs.vmprofile import VMStageProfile, profile_vm
+from repro.obs.vmprofile import active as active_profile
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "SpanHandle",
+    "Trace",
+    "VMStageProfile",
+    "active_profile",
+    "carrier",
+    "chrome_trace_events",
+    "current",
+    "manual_span",
+    "merge_spans",
+    "new_id",
+    "profile_vm",
+    "read_jsonl",
+    "render_spans",
+    "resume",
+    "span",
+    "span_tree",
+    "start_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,145 @@
+"""Span export formats: JSON-lines, Chrome trace events, span trees.
+
+Two interchange formats and one presentation shape:
+
+* **JSON-lines** — one span dict per line, appendable, greppable, the
+  format the server's ``--trace-log`` writes continuously;
+* **Chrome trace-event** — the ``chrome://tracing`` / Perfetto "X"
+  (complete-event) schema, written by ``frodo trace`` so a pipeline run
+  can be inspected on a real timeline, one track per pid/tid;
+* **span tree** — spans nested under their parents, the shape a
+  ``trace: true`` serve response embeds.
+
+All functions take the plain span dicts produced by
+:meth:`repro.obs.tracing.Span.as_dict` — nothing here imports the
+collector machinery, so export stays usable on spans that crossed a
+process boundary as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Keys every exported span dict carries (the JSONL/wire schema).
+SPAN_FIELDS = (
+    "name",
+    "trace_id",
+    "span_id",
+    "parent_id",
+    "start_unix",
+    "wall_seconds",
+    "cpu_seconds",
+    "pid",
+    "tid",
+    "attrs",
+)
+
+
+def write_jsonl(
+    path: "str | Path", spans: list[dict], append: bool = True
+) -> Path:
+    """Write spans one-per-line; append by default (a running log)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mode = "a" if append else "w"
+    with path.open(mode) as handle:
+        for span in spans:
+            handle.write(json.dumps(span, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: "str | Path") -> list[dict]:
+    """Load every span line of a JSONL trace log (blank lines skipped)."""
+    spans = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            spans.append(json.loads(line))
+    return spans
+
+
+def chrome_trace_events(spans: list[dict]) -> list[dict]:
+    """Spans as Chrome trace-event "complete" (ph=X) events.
+
+    Timestamps are microseconds relative to the earliest span so the
+    viewer opens at t=0 instead of the Unix epoch; pid/tid map to the
+    real process/thread that ran each stage, which is exactly how the
+    worker-pool hand-off should render — one track per worker.
+    """
+    if not spans:
+        return []
+    base = min(s.get("start_unix", 0.0) for s in spans)
+    events = []
+    for s in spans:
+        args = {k: v for k, v in s.get("attrs", {}).items()}
+        args["span_id"] = s.get("span_id")
+        if s.get("parent_id"):
+            args["parent_id"] = s["parent_id"]
+        args["cpu_ms"] = round(s.get("cpu_seconds", 0.0) * 1e3, 3)
+        events.append(
+            {
+                "name": s.get("name", "?"),
+                "cat": "repro",
+                "ph": "X",
+                "ts": round((s.get("start_unix", base) - base) * 1e6, 1),
+                "dur": round(max(s.get("wall_seconds", 0.0), 0.0) * 1e6, 1),
+                "pid": int(s.get("pid", 0)),
+                "tid": int(s.get("tid", 0)),
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: "str | Path", spans: list[dict]) -> Path:
+    """Write a ``chrome://tracing``-loadable JSON object file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(doc, indent=1) + "\n")
+    return path
+
+
+def span_tree(spans: list[dict]) -> list[dict]:
+    """Nest spans under their parents (roots and orphans at top level).
+
+    Children are ordered by start time.  Each node is a copy of its span
+    dict plus a ``children`` list — the response shape of a served
+    ``trace: true`` request.
+    """
+    nodes = {
+        s["span_id"]: {**s, "children": []} for s in spans if s.get("span_id")
+    }
+    roots = []
+    for s in sorted(spans, key=lambda s: s.get("start_unix", 0.0)):
+        node = nodes.get(s.get("span_id"))
+        if node is None:
+            continue
+        parent = nodes.get(s.get("parent_id"))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def render_spans(spans: list[dict]) -> str:
+    """Aligned text rendering of a span tree (CLI output)."""
+    lines = []
+
+    def walk(node: dict, depth: int) -> None:
+        indent = "  " * depth
+        attrs = node.get("attrs") or {}
+        extras = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        lines.append(
+            f"{indent}{node['name']:{max(34 - 2 * depth, 8)}s} "
+            f"{node.get('wall_seconds', 0.0) * 1e3:9.3f}ms "
+            f"cpu {node.get('cpu_seconds', 0.0) * 1e3:8.3f}ms"
+            f"{('  ' + extras) if extras else ''}"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in span_tree(spans):
+        walk(root, 0)
+    return "\n".join(lines)

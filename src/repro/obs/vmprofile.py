@@ -1,0 +1,95 @@
+"""Opt-in init-vs-step stage profiling for the VM backends.
+
+Tracing spans answer *where a request spent its time*; this module
+answers the finer-grained benchmarking question *how a VM run splits
+between one-time initialization and per-step execution* on each backend
+(closure, vector, auto, native).  :meth:`repro.ir.interp.VirtualMachine.run`
+checks :func:`active` exactly once per run — a single module-global load
+— and only when a profile is active does it take split timestamps, so
+the disabled cost on the benchmark hot path is unmeasurable.
+
+Usage (the benchmark harnesses do exactly this)::
+
+    with profile_vm() as prof:
+        vm.run(inputs, steps=100)
+    prof.as_dict()  # {"backend": ..., "init_seconds": ..., ...}
+
+The active profile is intentionally a plain module global, not a
+context variable: profiling is a benchmarking aid driven from one
+thread, and a global keeps the disabled check as cheap as possible.
+Nesting is supported (the previous profile is restored on exit);
+concurrent profiling from multiple threads is not.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VMStageProfile:
+    """Accumulated init/step stage timings across one or more runs."""
+
+    backend: str = ""
+    init_seconds: float = 0.0
+    step_seconds: float = 0.0
+    steps: int = 0
+    runs: int = 0
+    #: Per-backend accumulation when one profile spans several VMs.
+    by_backend: dict = field(default_factory=dict)
+
+    def record(
+        self,
+        backend: str,
+        init_seconds: float,
+        step_seconds: float,
+        steps: int,
+    ) -> None:
+        self.backend = backend
+        self.init_seconds += init_seconds
+        self.step_seconds += step_seconds
+        self.steps += steps
+        self.runs += 1
+        per = self.by_backend.setdefault(
+            backend,
+            {"init_seconds": 0.0, "step_seconds": 0.0, "steps": 0, "runs": 0},
+        )
+        per["init_seconds"] += init_seconds
+        per["step_seconds"] += step_seconds
+        per["steps"] += steps
+        per["runs"] += 1
+
+    def as_dict(self) -> dict:
+        out = {
+            "backend": self.backend,
+            "init_seconds": round(self.init_seconds, 6),
+            "step_seconds": round(self.step_seconds, 6),
+            "steps": self.steps,
+            "runs": self.runs,
+        }
+        if self.steps:
+            out["step_ms_each"] = round(
+                self.step_seconds * 1e3 / self.steps, 6
+            )
+        return out
+
+
+_ACTIVE: VMStageProfile | None = None
+
+
+def active() -> VMStageProfile | None:
+    """The profile VM runs should report into, or None (the fast path)."""
+    return _ACTIVE
+
+
+@contextmanager
+def profile_vm():
+    """Activate a fresh :class:`VMStageProfile` for the enclosed block."""
+    global _ACTIVE
+    prof = VMStageProfile()
+    prev, _ACTIVE = _ACTIVE, prof
+    try:
+        yield prof
+    finally:
+        _ACTIVE = prev

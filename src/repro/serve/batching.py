@@ -36,15 +36,22 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import time
 
+from repro.obs import tracing
 from repro.serve.protocol import ServeError
 
 #: ``run`` fields the coalescer understands.  A request carrying anything
 #: else is forwarded uncoalesced — unknown fields might affect execution,
-#: and correctness beats batching.
+#: and correctness beats batching.  ``trace`` and ``_trace`` are
+#: observability-only (they never change what executes), so traced
+#: requests stay coalescible — without them here, every request would
+#: fall off the batching fast path the moment the server started
+#: injecting trace carriers.
 _COALESCIBLE_FIELDS = frozenset({
     "id", "op", "coalesce", "model", "model_payload", "model_format",
     "generator", "backend", "steps", "seed", "inputs", "include_outputs",
+    "trace", "_trace",
 })
 
 #: Per-instance fields copied into the synthesized ``run_batch`` request.
@@ -73,8 +80,10 @@ class _Bucket:
     __slots__ = ("items", "timer")
 
     def __init__(self):
-        # (future, request, enqueue_time) triples.
-        self.items: list[tuple[asyncio.Future, dict, float]] = []
+        # (future, request, enqueue loop-time, enqueue wall-time) tuples —
+        # loop time feeds the delay metrics, wall time anchors the
+        # synthesized queue-wait spans on the shared trace timeline.
+        self.items: list[tuple[asyncio.Future, dict, float, float]] = []
         self.timer: asyncio.TimerHandle | None = None
 
 
@@ -107,7 +116,7 @@ class BatchQueue:
         if bucket is None:
             bucket = self._buckets[key] = _Bucket()
         future: asyncio.Future = loop.create_future()
-        bucket.items.append((future, req, loop.time()))
+        bucket.items.append((future, req, loop.time(), time.time()))
         if len(bucket.items) >= self.max_batch:
             self._close(key, bucket)
         elif bucket.timer is None:
@@ -130,12 +139,15 @@ class BatchQueue:
     async def _run_bucket(self, items: list) -> None:
         loop = asyncio.get_running_loop()
         now = loop.time()
+        delays = [now - t0 for _, _, t0, _ in items]
         if self._metrics is not None:
-            self._metrics.record_batch(
-                len(items), [now - t0 for _, _, t0 in items])
+            self._metrics.record_batch(len(items), delays)
         if len(items) == 1:
             # Never rewrite a lone request — forward it verbatim.
-            future, req, _ = items[0]
+            future, req, _, t0_unix = items[0]
+            qspan = tracing.manual_span(
+                req.get("_trace"), "queue.wait", t0_unix, delays[0],
+                coalesced=False)
             try:
                 result, meta = await loop.run_in_executor(
                     None, self._execute, req)
@@ -143,7 +155,10 @@ class BatchQueue:
                 self._fail([future], exc)
                 return
             if not future.cancelled():
-                future.set_result((result, dict(meta)))
+                meta = dict(meta)
+                if qspan is not None:
+                    meta["spans"] = [qspan, *meta.get("spans", ())]
+                future.set_result((result, meta))
             return
 
         first_req = items[0][1]
@@ -152,20 +167,40 @@ class BatchQueue:
             "steps": first_req.get("steps", 1),
             "instances": [
                 {k: r[k] for k in _INSTANCE_FIELDS if k in r}
-                for _, r, _ in items
+                for _, r, _, _ in items
             ],
         }
         for field in ("model", "model_payload", "model_format",
                       "generator", "backend"):
             if field in first_req:
                 batch_req[field] = first_req[field]
+        carrier_ctx = self._batch_carrier(items)
+        if carrier_ctx is not None:
+            batch_req["_trace"] = carrier_ctx
         try:
             result, meta = await loop.run_in_executor(
                 None, self._execute, batch_req)
         except BaseException as exc:  # noqa: BLE001 — must reach waiters
-            self._fail([f for f, _, _ in items], exc)
+            self._fail([f for f, _, _, _ in items], exc)
             return
-        self._fan_out(items, result, meta)
+        self._fan_out(items, delays, result, meta)
+
+    @staticmethod
+    def _batch_carrier(items: list) -> dict | None:
+        """Trace carrier for the synthesized batch request: the first
+        *recording* member's (so the shared pool/worker spans are
+        collected exactly once), else any member's so the trace id still
+        propagates for crash attribution."""
+        carrier_ctx = None
+        for _, r, _, _ in items:
+            ctx = r.get("_trace")
+            if isinstance(ctx, dict):
+                if carrier_ctx is None:
+                    carrier_ctx = ctx
+                if ctx.get("record"):
+                    carrier_ctx = ctx
+                    break
+        return dict(carrier_ctx) if carrier_ctx is not None else None
 
     @staticmethod
     def _fail(futures: list, exc: BaseException) -> None:
@@ -173,7 +208,8 @@ class BatchQueue:
             if not future.cancelled():
                 future.set_exception(exc)
 
-    def _fan_out(self, items: list, result: dict, meta: dict) -> None:
+    def _fan_out(self, items: list, delays: list, result: dict,
+                 meta: dict) -> None:
         executed = max(int(result.get("executed", 0)), 1)
         agg = result.get("counts") or {}
         per_counts = {k: v // executed for k, v in agg.items()}
@@ -188,7 +224,8 @@ class BatchQueue:
         shared["peak_buffer_bytes"] = \
             result.get("peak_buffer_bytes", 0) // executed
         entries = result.get("results") or []
-        for rank, (future, _, _) in enumerate(items):
+        shared_spans = meta.get("spans") or []
+        for rank, (future, req, _, t0_unix) in enumerate(items):
             if future.cancelled():
                 continue
             entry = entries[rank] if rank < len(entries) else None
@@ -216,4 +253,20 @@ class BatchQueue:
                 for k in ("artifact_cache", "vm_cache"):
                     if k in meta:
                         inst_meta[k] = meta[k]
+            ctx = req.get("_trace")
+            spans = []
+            qspan = tracing.manual_span(
+                ctx, "queue.wait", t0_unix, delays[rank],
+                coalesced=True, batch=len(items))
+            if qspan is not None:
+                spans.append(qspan)
+            if isinstance(ctx, dict) and ctx.get("record") and shared_spans:
+                # The shared pool/worker spans were collected on the
+                # carrier member's trace; restamp them with this member's
+                # id (the server re-parents any foreign parent ids onto
+                # the request root via merge_spans).
+                tid = ctx.get("trace_id")
+                spans.extend(dict(s, trace_id=tid) for s in shared_spans)
+            if spans:
+                inst_meta["spans"] = spans
             future.set_result((inst_result, inst_meta))

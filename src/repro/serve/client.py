@@ -16,7 +16,7 @@ import sys
 from pathlib import Path
 from typing import Any
 
-from repro.serve.protocol import MAX_LINE_BYTES, ServeError, jsonable
+from repro.serve.protocol import MAX_LINE_BYTES, jsonable
 
 
 class ServeRequestError(Exception):
@@ -221,6 +221,23 @@ class ServeClient:
         check("concurrent runs identical",
               all(s == first["output_sha256"] for s in shas),
               f"8 clients, max batch occupancy {max_occ:g}")
+        traced = self.run(model, generator=generator, steps=1,
+                          include_outputs=False, trace=True)
+
+        def _span_names(nodes) -> set:
+            names: set = set()
+            stack = list(nodes)
+            while stack:
+                node = stack.pop()
+                names.add(node.get("name"))
+                stack.extend(node.get("children", ()))
+            return names
+
+        names = _span_names(traced.get("trace", ()))
+        check("trace spans cover the pipeline",
+              "request" in names and "worker.handle" in names
+              and any(n and n.startswith("vm.") for n in names),
+              ",".join(sorted(n for n in names if n)))
         try:
             self.run("NoSuchModelZZZ")
             check("typed unknown_model error", False, "no error raised")

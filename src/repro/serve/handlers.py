@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ReproError
+from repro.obs import tracing
 from repro.serve.cache import (Artifact, ArtifactCache, artifact_key,
                                model_fingerprint)
 from repro.serve.protocol import ServeError
@@ -122,7 +123,9 @@ def _native_vm(program, backend: str, ctx: "HandlerContext"):
     if backend == "native" and ctx.cache is not None:
         so_dir = ctx.cache.native_dir
     try:
-        return cached_vm(program, backend=backend, so_cache_dir=so_dir)
+        with tracing.span("vm.acquire", backend=backend,
+                          program=program.name):
+            return cached_vm(program, backend=backend, so_cache_dir=so_dir)
     except NativeToolchainError as exc:
         raise ServeError("native_unavailable", str(exc))
 
@@ -150,11 +153,15 @@ def get_or_compile(model, model_fp: str, generator: str, backend: str,
     """
     key = artifact_key(model_fp, generator, backend)
     if cache is not None:
-        artifact = cache.get(key)
+        lookup = tracing.span("cache.lookup", cache="artifact", key=key[:12])
+        with lookup:
+            artifact = cache.get(key)
+            lookup.set(outcome="hit" if artifact is not None else "miss")
         if artifact is not None:
             return artifact, "hit"
     from repro.codegen import make_generator
-    code = make_generator(generator).generate(model)
+    with tracing.span("codegen", generator=generator, model=model.name):
+        code = make_generator(generator).generate(model)
     artifact = Artifact(
         model_fingerprint=model_fp,
         model_name=model.name,
@@ -174,7 +181,8 @@ def get_or_compile(model, model_fp: str, generator: str, backend: str,
         },
     )
     if cache is not None:
-        cache.put(key, artifact)
+        with tracing.span("cache.store", cache="artifact", key=key[:12]):
+            cache.put(key, artifact)
         return artifact, "miss"
     return artifact, "off"
 
@@ -515,7 +523,12 @@ def handle_request(req: dict, cache: ArtifactCache | None,
                          f"op {op!r} is not executable by a worker")
     ctx = HandlerContext(cache, allow_debug)
     ctx.meta["worker_pid"] = os.getpid()
+    root = tracing.resume(req.get("_trace"), "worker.handle", op=op)
     t0 = time.perf_counter()
-    result = handler(req, ctx)
+    with root:
+        result = handler(req, ctx)
     ctx.meta["service_seconds"] = round(time.perf_counter() - t0, 6)
+    spans = root.export()
+    if spans:
+        ctx.meta["spans"] = spans
     return result, ctx.meta

@@ -144,6 +144,10 @@ class MetricsRegistry:
         self.batch_queue_delay = Histogram(
             "batch_queue_delay_seconds",
             "time a run request waited in the coalescing queue")
+        self.phase_latency = Histogram(
+            "phase_latency_seconds",
+            "per-pipeline-stage wall time from traced requests "
+            "(queue, pool.acquire, worker.handle, codegen, vm.run, ...)")
         self.in_flight = 0
 
     # -- recording ---------------------------------------------------------
@@ -175,6 +179,17 @@ class MetricsRegistry:
             for delay in delays_seconds:
                 self.batch_queue_delay.observe(delay)
 
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """One pipeline-stage observation from a traced request's span.
+
+        Only traced requests feed these histograms (tracing is opt-in
+        per request), so treat them as a sampled latency breakdown, not
+        an exhaustive census — the ``requests_total`` counters remain
+        the complete picture.
+        """
+        with self._lock:
+            self.phase_latency.observe(max(seconds, 0.0), phase=phase)
+
     def adjust_in_flight(self, delta: int) -> None:
         with self._lock:
             self.in_flight += delta
@@ -201,6 +216,7 @@ class MetricsRegistry:
                 "batch_occupancy": self.batch_occupancy.snapshot(),
                 "batch_queue_delay_seconds":
                     self.batch_queue_delay.snapshot(),
+                "phase_latency_seconds": self.phase_latency.snapshot(),
             }
         for cache in ("vm", "artifact"):
             rate = self.hit_rate(cache)
@@ -235,6 +251,12 @@ class MetricsRegistry:
             lines.append(
                 f"batch_queue_delay_seconds count={row['count']} "
                 f"mean={row['mean_seconds']}s max={row['max_seconds']}s")
+        for row in snap["phase_latency_seconds"]:
+            phase = row["labels"].get("phase", "")
+            lines.append(
+                f'phase_latency_seconds{{phase="{phase}"}} '
+                f"count={row['count']} mean={row['mean_seconds']}s "
+                f"max={row['max_seconds']}s")
         for cache in ("vm", "artifact"):
             rate = snap[f"{cache}_cache_hit_rate"]
             lines.append(f"{cache}_cache_hit_rate "

@@ -33,12 +33,15 @@ Dispatch policy:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import threading
-import time
 from dataclasses import dataclass
 
+from repro.obs import tracing
 from repro.serve.protocol import ServeError
+
+log = logging.getLogger("repro.serve.pool")
 
 
 def _start_context():
@@ -97,6 +100,13 @@ class _Worker:
             daemon=True)
         self.proc.start()
         child.close()
+        # What the worker was last asked to do — read back when it has to
+        # be killed, so the respawn log names the request that took it
+        # down.  Trace ids propagate on *every* request (recording or
+        # not), which is what keeps these attributions complete.
+        self.last_op: str | None = None
+        self.last_trace_id: str | None = None
+        self.last_span_id: str | None = None
 
     @property
     def pid(self) -> int | None:
@@ -104,6 +114,13 @@ class _Worker:
 
     def call(self, req: dict, timeout: float) -> dict:
         """Blocking request/response with a hard deadline."""
+        self.last_op = req.get("op")
+        ctx = req.get("_trace")
+        if isinstance(ctx, dict):
+            self.last_trace_id = ctx.get("trace_id")
+            self.last_span_id = ctx.get("parent_id")
+        else:
+            self.last_trace_id = self.last_span_id = None
         try:
             self.conn.send(req)
         except (BrokenPipeError, OSError):
@@ -251,13 +268,39 @@ class WorkerPool:
         if isinstance(override, (int, float)) and 0 < override:
             timeout = min(float(override), timeout)
 
+        # execute() runs on the server's executor threads, where the
+        # dispatching task's contextvars are invisible — the trace
+        # position rides in req["_trace"] instead (see repro.obs).
+        trace_ctx = req.get("_trace")
+        root = tracing.resume(trace_ctx, "pool.execute", op=req.get("op"))
+        with root:
+            result, meta = self._run_attempts(req, trace_ctx, timeout)
+        local = root.export()
+        if local:
+            meta["spans"] = list(meta.get("spans", ())) + local
+        return result, meta
+
+    def _run_attempts(self, req: dict, trace_ctx: dict | None,
+                      timeout: float) -> tuple[dict, dict]:
         last_crash: WorkerCrash | None = None
         for attempt in (1, 2):
-            worker = self._acquire()
+            with tracing.span("pool.acquire"):
+                worker = self._acquire()
             replacement = None
             try:
-                resp = worker.call(req, timeout)
+                dispatch = tracing.span(
+                    "pool.dispatch", worker_pid=worker.pid, attempt=attempt)
+                with dispatch:
+                    wire = req
+                    if isinstance(trace_ctx, dict) and dispatch.span_id:
+                        # Re-point the carrier at this dispatch span so
+                        # the worker's spans nest beneath it.
+                        wire = dict(req)
+                        wire["_trace"] = dict(trace_ctx,
+                                              parent_id=dispatch.span_id)
+                    resp = worker.call(wire, timeout)
             except WorkerTimeout:
+                self._log_worker_death(worker, f"timeout after {timeout:g}s")
                 worker.kill()
                 replacement = self._spawn()
                 if self.metrics is not None:
@@ -266,6 +309,7 @@ class WorkerPool:
                     "timeout",
                     f"request exceeded {timeout:g}s; worker was recycled")
             except WorkerCrash as exc:
+                self._log_worker_death(worker, f"crash ({exc})")
                 worker.kill()
                 replacement = self._spawn()
                 if self.metrics is not None:
@@ -288,6 +332,14 @@ class WorkerPool:
         raise ServeError(
             "worker_crash",
             f"worker died twice on this request ({last_crash}); giving up")
+
+    @staticmethod
+    def _log_worker_death(worker: _Worker, cause: str) -> None:
+        """Attribute a kill+respawn to the request the worker last held."""
+        log.warning(
+            "killing worker pid=%s after %s; last op=%s trace_id=%s "
+            "span_id=%s; spawning replacement", worker.pid, cause,
+            worker.last_op, worker.last_trace_id, worker.last_span_id)
 
     # -- introspection -----------------------------------------------------
 

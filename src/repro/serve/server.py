@@ -20,10 +20,12 @@ front-end directly — health checks must not consume workers.
 from __future__ import annotations
 
 import asyncio
-import json
+import logging
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs import tracing
+from repro.obs.export import span_tree, write_jsonl
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.pool import PoolConfig, WorkerPool
 from repro.serve.protocol import (MAX_LINE_BYTES, PROTOCOL_VERSION,
@@ -52,6 +54,9 @@ class ServeConfig:
     #: Whether the ``shutdown`` op is honoured (CI smoke and tests use it;
     #: production deployments may prefer signals only).
     allow_shutdown: bool = True
+    #: When set, every request is traced (not just ``trace: true`` ones)
+    #: and all finished spans are appended to this JSON-lines file.
+    trace_log: str | None = None
     extra: dict = field(default_factory=dict)
 
     def pool_config(self) -> PoolConfig:
@@ -124,44 +129,89 @@ class ReproServer:
         op = req.get("op")
         loop = asyncio.get_running_loop()
         self.metrics.adjust_in_flight(1)
+        trace_id = tracing.new_id(16)
+        record = bool(req.get("trace")) or self.config.trace_log is not None
+        root = (tracing.start_trace("request", trace_id=trace_id, op=op)
+                if record else tracing.NULL_SPAN)
+        if op not in ("ping", "metrics", "shutdown"):
+            # Every worker-bound request carries its trace id — recording
+            # or not — so a worker killed mid-request can always be
+            # attributed (see repro.serve.pool).
+            req["_trace"] = {"trace_id": trace_id,
+                             "parent_id": root.span_id, "record": record}
         t0 = loop.time()
+        finished = False
         try:
-            if self._stopping:
-                raise ServeError("shutting_down", "server is draining")
-            if op == "ping":
-                result, meta = {"pong": True, "role": "frontend",
-                                "protocol_version": PROTOCOL_VERSION}, {}
-            elif op == "metrics":
-                result, meta = self._metrics_result(req), {}
-            elif op == "shutdown":
-                if not self.config.allow_shutdown:
-                    raise ServeError("bad_request",
-                                     "shutdown op is disabled on this server")
-                asyncio.get_running_loop().call_soon(
-                    lambda: asyncio.ensure_future(self.stop()))
-                result, meta = {"stopping": True}, {}
-            elif op == "run" and self.batcher is not None:
-                # Coalescible run requests ride the micro-batching queue;
-                # the batcher forwards anything it can't merge untouched.
-                result, meta = await self.batcher.submit(req)
-            else:
-                assert self.pool is not None
-                result, meta = await loop.run_in_executor(
-                    None, self.pool.execute, req)
+            with root:
+                result, meta = await self._route(op, req)
+            meta = dict(meta)
+            meta["trace_id"] = trace_id
+            spans = self._finish_trace(root, meta.pop("spans", None))
+            finished = True
+            if req.get("trace") and spans:
+                result = dict(result)
+                result["trace"] = span_tree(spans)
             self._record_cache_meta(meta)
             self.metrics.record_request(op, "ok", loop.time() - t0)
             return ok_response(request_id, result, meta)
         except ServeError as exc:
+            if not finished:
+                self._finish_trace(root, None)
             self.metrics.record_request(op or "invalid", exc.error_type,
                                         loop.time() - t0)
-            return error_response(request_id, exc)
+            return error_response(request_id, exc, {"trace_id": trace_id})
         except Exception as exc:  # noqa: BLE001 — connection must survive
+            if not finished:
+                self._finish_trace(root, None)
             self.metrics.record_request(op or "invalid", "internal",
                                         loop.time() - t0)
             return error_response(request_id, ServeError(
-                "internal", f"{type(exc).__name__}: {exc}"))
+                "internal", f"{type(exc).__name__}: {exc}"),
+                {"trace_id": trace_id})
         finally:
             self.metrics.adjust_in_flight(-1)
+
+    async def _route(self, op: str, req: dict) -> tuple[dict, dict]:
+        loop = asyncio.get_running_loop()
+        if self._stopping:
+            raise ServeError("shutting_down", "server is draining")
+        if op == "ping":
+            return {"pong": True, "role": "frontend",
+                    "protocol_version": PROTOCOL_VERSION}, {}
+        if op == "metrics":
+            return self._metrics_result(req), {}
+        if op == "shutdown":
+            if not self.config.allow_shutdown:
+                raise ServeError("bad_request",
+                                 "shutdown op is disabled on this server")
+            loop.call_soon(lambda: asyncio.ensure_future(self.stop()))
+            return {"stopping": True}, {}
+        if op == "run" and self.batcher is not None:
+            # Coalescible run requests ride the micro-batching queue;
+            # the batcher forwards anything it can't merge untouched.
+            return await self.batcher.submit(req)
+        assert self.pool is not None
+        return await loop.run_in_executor(None, self.pool.execute, req)
+
+    def _finish_trace(self, root, extra_spans) -> list[dict]:
+        """Close out one request's trace: graft the spans shipped back in
+        ``meta["spans"]`` (queue, pool, worker) onto the locally collected
+        ones, feed every span into the phase-latency histograms, and
+        append the flat list to the trace log when one is configured."""
+        base = root.export()
+        if not base:
+            return []
+        spans = tracing.merge_spans(base, extra_spans or [], root.span_id)
+        for s in spans:
+            self.metrics.record_phase(s["name"], s["wall_seconds"])
+        if self.config.trace_log:
+            try:
+                write_jsonl(self.config.trace_log, spans, append=True)
+            except OSError as exc:
+                logging.getLogger("repro.serve.server").warning(
+                    "cannot append to trace log %s: %s",
+                    self.config.trace_log, exc)
+        return spans
 
     def _record_cache_meta(self, meta: dict) -> None:
         for cache, key in (("artifact", "artifact_cache"),

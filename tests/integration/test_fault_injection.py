@@ -125,7 +125,7 @@ class TestMappingSoundnessHarness:
         spec = NarrowMapping()
         block = Block("c", "Convolution", {})
         in_sigs = [Signal((16,)), Signal((5,))]
-        out_sig = spec.infer(block, in_sigs)
+        spec.infer(block, in_sigs)
 
         # Monkeypatch the registry lookup used by the helper.
         import repro.blocks.base as base

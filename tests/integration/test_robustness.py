@@ -139,12 +139,9 @@ class TestScalability:
         b.outport("y", ref)
         model = b.build()
 
-        generator = FrodoGenerator()
-
         class WorklistFrodo(FrodoGenerator):
             def compute_ranges(self, analyzed):
                 return determine_ranges_worklist(analyzed)
-        del generator
         code = WorklistFrodo().generate(model)
         inputs = random_inputs(model, seed=0)
         expected = simulate(model, inputs)["y"]

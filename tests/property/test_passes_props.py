@@ -10,7 +10,7 @@
 import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.codegen import FrodoGenerator, make_generator
+from repro.codegen import FrodoGenerator
 from repro.codegen.bufreuse import reuse_buffers
 from repro.codegen.fusion import fuse_elementwise_loops
 from repro.core.analysis import analyze

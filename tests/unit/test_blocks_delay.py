@@ -130,7 +130,7 @@ class TestFeedbackLoop:
         u = b.inport("u", shape=(2,))
         g1 = b.gain(u, 1.0, name="g1")
         add = b.add(g1, g1, name="acc")  # placeholder wiring
-        model = b.build()
+        b.build()
         # Rewire to a true algebraic loop: acc -> g2 -> acc.
         g2 = b.gain(add, 1.0, name="g2")
         b.model.connections[:] = [c for c in b.model.connections

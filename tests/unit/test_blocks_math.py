@@ -95,7 +95,7 @@ class TestValidation:
     def test_minmax_bad_function(self):
         spec = get_spec("MinMax")
         with pytest.raises(ValidationError):
-            get_spec("MinMax").expr(  # type: ignore[attr-defined]
+            spec.expr(  # type: ignore[attr-defined]
                 Block("m", "MinMax", {"function": "median"}), [])
 
 

@@ -6,7 +6,7 @@ from repro.ir.cost import (
     ARM_CLANG, ARM_GCC, PROFILES, X86_CLANG, X86_GCC, get_profile,
     modeled_seconds,
 )
-from repro.ir.interp import ContextCounts, OpCounts
+from repro.ir.interp import ContextCounts
 
 
 def counts(**kwargs) -> ContextCounts:

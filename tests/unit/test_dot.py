@@ -1,7 +1,5 @@
 """Unit tests for the Graphviz DOT export."""
 
-import pytest
-
 from repro.core.analysis import analyze
 from repro.core.ranges import determine_ranges
 from repro.model.dot import model_to_dot

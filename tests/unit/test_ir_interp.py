@@ -7,7 +7,7 @@ from repro.errors import SimulationError
 from repro.ir.build import add, binop, call, const, load, mul, select, sub, var
 from repro.ir.interp import (VirtualMachine, cached_vm, clear_vm_cache,
                              execute)
-from repro.ir.ops import Assign, BufferDecl, Comment, For, If, Program
+from repro.ir.ops import Assign, Comment, For, If, Program
 from repro.ir.vectorize import fingerprint
 
 

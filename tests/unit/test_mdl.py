@@ -8,7 +8,7 @@ from repro.model.block import Block
 from repro.model.builder import ModelBuilder
 from repro.model.graph import Model
 from repro.model.mdl import (
-    _tokenize, load_mdl, mdl_to_model, model_to_mdl, save_mdl,
+    _tokenize, load_mdl, mdl_to_model, save_mdl,
 )
 
 

@@ -82,6 +82,16 @@ class TestCompilerDiscovery:
             compile_and_run(tiny_code(), {"u": np.zeros(3)},
                             cc="/no/such/compiler-xyz")
 
+    def test_repro_no_cc_forces_no_toolchain(self, monkeypatch):
+        """REPRO_NO_CC simulates a compiler-less host (the CI
+        full-matrix "without gcc" leg) even when one is installed, and
+        bypasses the memo so flipping it mid-process takes effect."""
+        find_compiler()  # prime the memo with the real answer
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        assert find_compiler() is None
+        monkeypatch.delenv("REPRO_NO_CC")
+        assert find_compiler() == find_compiler()  # memo path intact
+
 
 class TestCompilerCachesAndKeys:
     def test_find_compiler_memoized(self, monkeypatch):

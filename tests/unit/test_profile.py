@@ -1,8 +1,5 @@
 """Unit tests for the per-block profiler."""
 
-import numpy as np
-import pytest
-
 from repro.codegen import make_generator
 from repro.eval.profile import profile_program, render_profile
 from repro.ir.interp import VirtualMachine

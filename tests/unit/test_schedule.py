@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.analysis import analyze
 from repro.core.schedule import (
-    STRATEGIES, is_valid_schedule, reschedule, topological_schedule,
+    STRATEGIES, is_valid_schedule, topological_schedule,
 )
 from repro.errors import AnalysisError
 from repro.model.builder import ModelBuilder

@@ -59,9 +59,9 @@ class TestTemplatesMatchEmittedC:
         conv_buf = [n for n in code.program.buffers if n.endswith("_conv")][0]
         kern_buf = [n for n in code.program.buffers if n.endswith("_kernel")][0]
         u_buf = code.input_buffers["u"]
-        rendered = render("Convolution", "consecutive", Output=conv_buf,
-                          Input1=u_buf, Input2=kern_buf, Input2_size=7,
-                          start=6, stop=54)
+        render("Convolution", "consecutive", Output=conv_buf,
+               Input1=u_buf, Input2=kern_buf, Input2_size=7,
+               start=6, stop=54)
         # The loop structure of the rendered snippet must appear in the
         # emitted C modulo the generator's fresh loop-variable names.
         for fragment in (f"{conv_buf}[", f"{kern_buf}[", "j < 7" ,):
