@@ -60,16 +60,29 @@ def bench_cell(model_name: str, generator: str, steps: int,
     inputs = code.map_inputs(random_inputs(model, seed=0))
 
     timings: dict[str, float] = {}
+    unfused: dict[str, float] = {}
     results = {}
+    fusion_stats: dict | None = None
     stages: dict[str, dict] = {}
     for backend in INTERP_BACKENDS:
-        vm = VirtualMachine(code.program, backend=backend)
+        vm = VirtualMachine(code.program, backend=backend)  # fuse=True
+        if fusion_stats is None and vm.fusion_stats is not None:
+            fusion_stats = vm.fusion_stats.as_dict()
         results[backend] = vm.run(inputs, steps=steps)  # also warms compile
         timings[backend] = best_of(lambda: vm.run(inputs, steps=steps),
                                    repeats)
         with profile_vm() as prof:
             vm.run(inputs, steps=steps)
         stages[backend] = prof.as_dict()
+        plain = VirtualMachine(code.program, backend=backend, fuse=False)
+        base = plain.run(inputs, steps=steps)
+        for name, expected in base.outputs.items():
+            assert np.asarray(expected).tobytes() == \
+                np.asarray(results[backend].outputs[name]).tobytes(), (
+                f"{model_name}/{generator}: fused {backend} output "
+                f"{name!r} diverges from unfused")
+        unfused[backend] = best_of(lambda: plain.run(inputs, steps=steps),
+                                   repeats)
 
     native: dict = {}
     if so_cache_dir is not None:
@@ -85,6 +98,16 @@ def bench_cell(model_name: str, generator: str, steps: int,
         with profile_vm() as prof:
             vm.run(inputs, steps=steps)
         stages["native"] = prof.as_dict()
+        plain = VirtualMachine(code.program, backend="native",
+                               so_cache_dir=so_cache_dir, fuse=False)
+        base = plain.run(inputs, steps=steps)
+        for name, expected in base.outputs.items():
+            assert np.asarray(expected).tobytes() == \
+                np.asarray(results["native"].outputs[name]).tobytes(), (
+                f"{model_name}/{generator}: fused native output "
+                f"{name!r} diverges from unfused")
+        unfused["native"] = best_of(lambda: plain.run(inputs, steps=steps),
+                                    repeats)
         # warm: the .so is on disk — a fresh process image (simulated by
         # dropping the in-process registry) skips codegen and cc entirely
         clear_shared_program_cache()
@@ -112,11 +135,17 @@ def bench_cell(model_name: str, generator: str, steps: int,
                 f"under {backend}")
 
     ms = {b: timings[b] * 1e3 / steps for b in timings}
+    ms_unfused = {b: unfused[b] * 1e3 / steps for b in unfused}
     cell = {
         "model": model_name,
         "generator": generator,
         "steps": steps,
         "ms_per_step": {b: round(v, 4) for b, v in ms.items()},
+        "ms_per_step_unfused": {b: round(v, 4)
+                                for b, v in ms_unfused.items()},
+        "fusion_speedup": {b: round(ms_unfused[b] / ms[b], 2)
+                           for b in ms_unfused},
+        "fusion": fusion_stats,
         "stages": stages,
         "speedup_vector": round(ms["closure"] / ms["vector"], 2),
         "speedup_auto": round(ms["closure"] / ms["auto"], 2),
@@ -190,6 +219,11 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"{'':24s} native cold {n['cold_build_ms']:.1f}ms "
                           f"-> warm .so {n['warm_load_ms']:.1f}ms, "
                           f"{cell['speedup_native']:.1f}x vs closure")
+                fs = cell["fusion_speedup"]
+                fusion = cell["fusion"] or {}
+                print(f"{'':24s} fusion ({fusion.get('loops_before', '?')}"
+                      f"->{fusion.get('loops_after', '?')} loops): "
+                      + " ".join(f"{b} {v:.2f}x" for b, v in fs.items()))
 
     cache = bench_program_cache(repeats=repeats * 3)
     print(f"program cache: cold {cache['cold_construct_ms']:.2f}ms -> hit "

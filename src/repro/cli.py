@@ -82,7 +82,7 @@ def cmd_validate(args) -> None:
     from repro.eval.validate import validate_all
     model = _resolve_model(args.model)
     reports = validate_all(model, seeds=range(args.cases), steps=args.steps,
-                           backend=args.backend)
+                           backend=args.backend, fuse=args.fuse)
     failed = False
     for report in reports:
         status = "PASS" if report.passed else "FAIL"
@@ -120,7 +120,7 @@ def cmd_crosscheck(args) -> None:
     models = [args.model] if args.model else None
     cells = crosscheck(models=models, native=args.native,
                        seeds=range(args.cases), steps=args.steps,
-                       backend=args.backend)
+                       backend=args.backend, fuse=args.fuse)
     print(render_crosscheck(cells))
     if any(not cell.ok for cell in cells):
         raise SystemExit(1)
@@ -241,8 +241,10 @@ def cmd_trace(args) -> None:
             code = make_generator(args.generator).generate(model)
         with tracing.span("inputs", seed=args.seed):
             named = random_inputs(model, seed=args.seed)
-        with tracing.span("vm.acquire", backend=args.backend):
-            vm = cached_vm(code.program, backend=args.backend)
+        with tracing.span("vm.acquire", backend=args.backend,
+                          fuse=args.fuse):
+            vm = cached_vm(code.program, backend=args.backend,
+                           fuse=args.fuse)
         inputs = {code.input_buffers[n]: v for n, v in named.items()}
         vm.run(inputs, steps=args.steps)  # opens its own vm.run span
     spans = root.export()
@@ -297,6 +299,7 @@ def cmd_submit(args) -> None:
             fields["model"] = args.model
     if args.op in ("compile", "run", "run_batch", "report"):
         fields["generator"] = args.generator
+        fields["fuse"] = args.fuse
     if args.op in ("run", "report"):
         fields.update(backend=args.backend, steps=args.steps, seed=args.seed)
     if args.op == "run_batch":
@@ -328,6 +331,13 @@ def cmd_bench_serve(args) -> None:
     if args.output:
         argv.extend(["--output", args.output])
     raise SystemExit(bench_main(argv))
+
+
+def _add_fuse_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-fuse", dest="fuse", action="store_false",
+                   default=True,
+                   help="disable the IR-level loop-fusion pass "
+                        "(repro.ir.fuse); fusion is on by default")
 
 
 def _add_backend_flag(p: argparse.ArgumentParser) -> None:
@@ -375,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cases", type=int, default=5)
     p.add_argument("--steps", type=int, default=3)
     _add_backend_flag(p)
+    _add_fuse_flag(p)
     p.set_defaults(func=cmd_validate)
 
     sub.add_parser("table2", help="regenerate Table 2 (x86 profiles)") \
@@ -400,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cases", type=int, default=2)
     p.add_argument("--steps", type=int, default=2)
     _add_backend_flag(p)
+    _add_fuse_flag(p)
     p.set_defaults(func=cmd_crosscheck)
 
     p = sub.add_parser("dot",
@@ -482,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write flat JSON-lines spans instead of the "
                         "Chrome trace-event format")
     _add_backend_flag(p)
+    _add_fuse_flag(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("submit",
@@ -503,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-outputs", action="store_true",
                    help="omit output arrays from run results")
     _add_backend_flag(p)
+    _add_fuse_flag(p)
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("bench-serve",

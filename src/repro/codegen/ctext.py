@@ -107,6 +107,32 @@ def emit_stmt(stmt: Stmt, indent: int) -> list[str]:
         return [f"{pad}{stmt.buffer}[{emit_expr(stmt.index)}] = "
                 f"{emit_expr(stmt.value)};"]
     if isinstance(stmt, For):
+        if stmt.segments is not None and len(stmt.segments) > 1:
+            # Fused multi-range loop: one shared body driven by a static
+            # segment table (repro.ir.fuse keeps segments sorted/disjoint).
+            segs = stmt.segments
+            table = ", ".join(f"{{{a}, {b}}}" for a, b in segs)
+            seg = f"__seg_{stmt.var}"
+            inner_pad = "    " * (indent + 1)
+            lines = [
+                f"{pad}{{",
+                f"{inner_pad}static const int64_t "
+                f"__segs_{stmt.var}[{len(segs)}][2] = {{{table}}};",
+                f"{inner_pad}for (int64_t {seg} = 0; {seg} < {len(segs)}; "
+                f"{seg}++) {{",
+                f"{inner_pad}    for (int64_t {stmt.var} = "
+                f"__segs_{stmt.var}[{seg}][0]; "
+                f"{stmt.var} < __segs_{stmt.var}[{seg}][1]; "
+                f"{stmt.var}++) {{",
+            ]
+            if stmt.forced_simd:
+                lines.insert(0, f"{pad}/* HCG: lowered with SIMD intrinsics */")
+            for inner in stmt.body:
+                lines.extend(emit_stmt(inner, indent + 2))
+            lines.append(f"{inner_pad}    }}")
+            lines.append(f"{inner_pad}}}")
+            lines.append(f"{pad}}}")
+            return lines
         start = stmt.start if isinstance(stmt.start, int) \
             else emit_expr(stmt.start)
         stop = stmt.stop if isinstance(stmt.stop, int) \

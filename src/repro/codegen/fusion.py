@@ -1,147 +1,36 @@
-"""Elementwise loop fusion — an IR-level "expression folding" pass.
+"""Generator-level loop fusion — a thin shim over :mod:`repro.ir.fuse`.
 
-The paper notes that Embedded Coder's expression folding and the
-compilers' own optimizations overlap; this pass makes the effect explicit
-and optional in our generators: adjacent counted loops with *identical
-static bounds* whose bodies are pure per-element assignments (every load
-and store of a loop-carried buffer at exactly the induction variable) are
-merged into one loop.  Under those conditions iteration ``i`` of the
-fused body observes exactly the values the unfused program produced:
+Historically this module carried its own adjacent-equal-bounds
+elementwise merger.  The IR-level pass subsumes it: α-equivalent
+range-split loops merge into multi-segment loops, producer→consumer
+nests fuse even when non-adjacent (statements between them are hoisted
+over when dependence-free) or when their bounds only align after
+intersection, and every merge is count-neutral on element operations.
 
-* within one iteration, statements keep their original order;
-* across iterations there is no dependence, because every access to a
-  fusible buffer is at index ``i`` only.
-
-Fusion reduces loop-entry overhead and improves locality; it composes
-with any range policy because it runs on the finished program.
+The ``frodo-fused`` generator variant calls :func:`fuse_elementwise_loops`
+at generate time; it intentionally runs the pass *without* buffer
+contraction so the variant's static-memory statistics keep describing the
+program as generated.  Execution-time fusion (the ``fuse=`` knob on
+:class:`~repro.ir.interp.VirtualMachine`) applies contraction as well.
 """
 
 from __future__ import annotations
 
-from repro.ir.ops import (
-    Assign, BinOp, Call, Comment, Const, Expr, For, Load, Program, Select,
-    Stmt, UnOp, Var,
-)
+from repro.ir.fuse import fuse_step_inplace, loads_in, rename_var
+from repro.ir.ops import Program
 
+# Back-compat aliases: earlier revisions exposed these walkers here.
+_loads_in = loads_in
+_rename_var = rename_var
 
-def _loads_in(expr: Expr):
-    if isinstance(expr, Load):
-        yield expr
-        yield from _loads_in(expr.index)
-    elif isinstance(expr, BinOp):
-        yield from _loads_in(expr.lhs)
-        yield from _loads_in(expr.rhs)
-    elif isinstance(expr, UnOp):
-        yield from _loads_in(expr.operand)
-    elif isinstance(expr, Call):
-        for arg in expr.args:
-            yield from _loads_in(arg)
-    elif isinstance(expr, Select):
-        yield from _loads_in(expr.cond)
-        yield from _loads_in(expr.if_true)
-        yield from _loads_in(expr.if_false)
-
-
-def _rename_var(expr: Expr, old: str, new: str) -> Expr:
-    if isinstance(expr, Var):
-        return Var(new) if expr.name == old else expr
-    if isinstance(expr, Load):
-        return Load(expr.buffer, _rename_var(expr.index, old, new))
-    if isinstance(expr, BinOp):
-        return BinOp(expr.op, _rename_var(expr.lhs, old, new),
-                     _rename_var(expr.rhs, old, new))
-    if isinstance(expr, UnOp):
-        return UnOp(expr.op, _rename_var(expr.operand, old, new))
-    if isinstance(expr, Call):
-        return Call(expr.func,
-                    tuple(_rename_var(a, old, new) for a in expr.args))
-    if isinstance(expr, Select):
-        return Select(_rename_var(expr.cond, old, new),
-                      _rename_var(expr.if_true, old, new),
-                      _rename_var(expr.if_false, old, new))
-    return expr
-
-
-def _is_simple_elementwise(loop: For) -> bool:
-    """Body is Assign-only; every store and every load of a non-constant
-    index is at exactly the induction variable."""
-    if not loop.static_bounds:
-        return False
-    var = Var(loop.var)
-    for stmt in loop.body:
-        if not isinstance(stmt, Assign):
-            return False
-        if stmt.index != var:
-            return False
-        for ld in _loads_in(stmt.value):
-            if ld.index != var and not isinstance(ld.index, Const):
-                return False
-    return True
-
-
-def _written(loop: For) -> set[str]:
-    return {stmt.buffer for stmt in loop.body if isinstance(stmt, Assign)}
-
-
-def _scalar_read(loop: For) -> set[str]:
-    """Buffers loaded at constant indices (broadcast scalars, tables)."""
-    found: set[str] = set()
-    for stmt in loop.body:
-        if isinstance(stmt, Assign):
-            for ld in _loads_in(stmt.value):
-                if isinstance(ld.index, Const):
-                    found.add(ld.buffer)
-    return found
-
-
-def _can_fuse(first: For, second: For) -> bool:
-    if not (_is_simple_elementwise(first) and _is_simple_elementwise(second)):
-        return False
-    if (first.start, first.stop) != (second.start, second.stop):
-        return False
-    if first.forced_simd != second.forced_simd:
-        return False
-    # A buffer written per-element in one loop must not be read at a
-    # *constant* index in the other (the constant slot may lie outside
-    # the fused iteration's progress).
-    if _written(first) & _scalar_read(second):
-        return False
-    if _written(second) & _scalar_read(first):
-        return False
-    return True
-
-
-def _fuse_pair(first: For, second: For) -> For:
-    body = list(first.body)
-    for stmt in second.body:
-        assert isinstance(stmt, Assign)
-        body.append(Assign(stmt.buffer,
-                           _rename_var(stmt.index, second.var, first.var),
-                           _rename_var(stmt.value, second.var, first.var)))
-    fused = For(first.var, first.start, first.stop, body,
-                vectorizable=first.vectorizable and second.vectorizable)
-    fused.forced_simd = first.forced_simd
-    return fused
+__all__ = ["fuse_elementwise_loops"]
 
 
 def fuse_elementwise_loops(program: Program) -> int:
-    """Fuse adjacent compatible loops in the step body, in place.
+    """Fuse compatible loop nests in the step body, in place.
 
-    Comments between two loops do not block fusion (they are emitted
-    before the fused loop).  Returns the number of fusions performed.
+    Comments between two loops do not block fusion.  Returns the number
+    of merges performed (0 when already at fixpoint — the pass is
+    idempotent).
     """
-    fused_count = 0
-    out: list[Stmt] = []
-    for stmt in program.step:
-        if isinstance(stmt, For):
-            # Find the most recent non-comment statement.
-            k = len(out) - 1
-            while k >= 0 and isinstance(out[k], Comment):
-                k -= 1
-            if k >= 0 and isinstance(out[k], For) and _can_fuse(out[k], stmt):
-                out[k] = _fuse_pair(out[k], stmt)
-                fused_count += 1
-                continue
-        out.append(stmt)
-    program.step[:] = out
-    return fused_count
+    return fuse_step_inplace(program, contract=False).nests_fused

@@ -54,7 +54,8 @@ def crosscheck(models: list[str] | None = None,
                generators: tuple[str, ...] = DEFAULT_GENERATORS,
                seeds: range = range(2), steps: int = 2,
                native: bool = False,
-               backend: str = "auto") -> list[CrossCheckCell]:
+               backend: str = "auto",
+               fuse: bool = True) -> list[CrossCheckCell]:
     """Run the matrix; returns one cell per (model, generator)."""
     if models is None:
         models = [e.name for e in TABLE1] + [e.name for e in EXTENDED]
@@ -64,7 +65,7 @@ def crosscheck(models: list[str] | None = None,
         for generator in generators:
             code = make_generator(generator).generate(model)
             verified = verify_program(code.program) == []
-            vm = cached_vm(code.program, backend=backend)
+            vm = cached_vm(code.program, backend=backend, fuse=fuse)
             vm_ok = True
             reference = None
             inputs = None

@@ -81,8 +81,11 @@ def profile_program(code, inputs, steps: int = 1,
 
     Segments are compiled through the normal backend path, so vectorized
     kernels report the same per-block counts as the closure interpreter.
+    Attribution needs the program *as generated* — execution-time loop
+    fusion merges nests across the block-comment boundaries this profile
+    keys on — so the VM is pinned to ``fuse=False``.
     """
-    vm = VirtualMachine(code.program, backend=backend)
+    vm = VirtualMachine(code.program, backend=backend, fuse=False)
     vm.reset()
     vm.set_inputs(code.map_inputs(dict(inputs)))
     compiled = [

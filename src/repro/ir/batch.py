@@ -167,7 +167,7 @@ def offset_stmt(stmt: Stmt, bvar: str, strides: dict[str, int]) -> Stmt:
             else offset_expr(stmt.stop, bvar, strides)
         clone = For(stmt.var, start, stop,
                     [offset_stmt(s, bvar, strides) for s in stmt.body],
-                    stmt.vectorizable)
+                    stmt.vectorizable, segments=stmt.segments)
         clone.forced_simd = stmt.forced_simd
         return clone
     if isinstance(stmt, If):
@@ -220,7 +220,7 @@ def _subst_stmt_vars(stmt: Stmt, mapping: dict[str, Expr]) -> Stmt:
             else _subst_vars(stmt.stop, mapping)
         clone = For(var, start, stop,
                     [_subst_stmt_vars(s, mapping) for s in stmt.body],
-                    stmt.vectorizable)
+                    stmt.vectorizable, segments=stmt.segments)
         clone.forced_simd = stmt.forced_simd
         return clone
     if isinstance(stmt, If):
@@ -283,7 +283,7 @@ def inline_calls(stmts: list[Stmt], program: Program,
         elif isinstance(s, For):
             clone = For(s.var, s.start, s.stop,
                         inline_calls(s.body, program, _counter, _depth),
-                        s.vectorizable)
+                        s.vectorizable, segments=s.segments)
             clone.forced_simd = s.forced_simd
             out.append(clone)
         elif isinstance(s, If):

@@ -302,10 +302,22 @@ class VirtualMachine:
     """
 
     def __init__(self, program: Program, backend: str = "auto",
-                 so_cache_dir=None, _batch_lanes: int = 0):
+                 so_cache_dir=None, _batch_lanes: int = 0,
+                 fuse: bool = True):
         if backend not in BACKENDS:
             raise SimulationError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        # Loop fusion (repro.ir.fuse) runs up front, before any backend
+        # sees the program: the closure compiler, the vector planner, the
+        # native C emitter and the static counter all consume the same
+        # fused IR, so outputs stay bit-identical and element-op counts
+        # unchanged across backends by construction.  ``fuse=False``
+        # executes the program exactly as generated.
+        self.fuse = bool(fuse)
+        self.fusion_stats = None
+        if self.fuse:
+            from repro.ir.fuse import fuse_program
+            program, self.fusion_stats = fuse_program(program)
         self.program = program
         self.backend = backend
         self.counts = ContextCounts()
@@ -440,8 +452,14 @@ class VirtualMachine:
             # Both hooks are a single load-and-branch when idle: span()
             # returns a shared no-op unless a trace is active, and the
             # profiler check is one module-global read per run.
+            fused = self.fusion_stats
             with _tracing.span("vm.run", backend=self.backend,
-                               program=self.program.name, steps=steps):
+                               program=self.program.name, steps=steps,
+                               fuse=self.fuse,
+                               fusion_nests_fused=(
+                                   fused.nests_fused if fused else 0),
+                               fusion_buffers_contracted=(
+                                   fused.buffers_contracted if fused else 0)):
                 self.reset()
                 self.set_inputs(inputs)
                 prof = _vmprofile.active()
@@ -600,8 +618,10 @@ class VirtualMachine:
             self._lift_rejected = True
             return None
         try:
+            # self.program is already fused (or deliberately not); the
+            # companion must execute it verbatim.
             vm = VirtualMachine(self.program, backend=self.backend,
-                                _batch_lanes=batch)
+                                _batch_lanes=batch, fuse=False)
         except SimulationError:
             self._lift_rejected = True
             return None
@@ -689,7 +709,11 @@ class VirtualMachine:
         except BatchUnsupported:
             self._batch_unsupported = True
             return None
-        entry = (plan, VirtualMachine(plan.program, backend=self.backend))
+        # plan.program derives from the (possibly fused) self.program;
+        # fusing again could merge across expanded batch entries, which
+        # the count-skew arithmetic below does not model.
+        entry = (plan, VirtualMachine(plan.program, backend=self.backend,
+                                      fuse=False))
         self._batch_vms[batch] = entry
         while len(self._batch_vms) > self._BATCH_VM_MEMO_MAX:
             del self._batch_vms[next(iter(self._batch_vms))]
@@ -816,6 +840,21 @@ class VirtualMachine:
                 inner = dict(var_bounds)
                 inner[name] = (stmt.start, max(stmt.start, stmt.stop - 1))
                 body = self._compile_body(stmt.body, child_bucket, inner)
+                ranges = stmt.iter_ranges()
+                if len(ranges) > 1:
+                    # Fused multi-segment loop: one entry + one trip of
+                    # iters per segment, so counts equal the original
+                    # range-split loops exactly.
+                    seg_ranges = [range(a, b) for a, b in ranges]
+
+                    def run_seg_for(env: dict) -> None:
+                        for r in seg_ranges:
+                            child_bucket.loops_entered += 1
+                            child_bucket.loop_iters += len(r)
+                            for i in r:
+                                env[name] = i
+                                body(env)
+                    return run_seg_for
                 trip = max(stmt.stop - stmt.start, 0)
                 loop_range = range(stmt.start, stmt.stop)
 
@@ -1090,7 +1129,7 @@ _VM_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def cached_vm(program: Program, backend: str = "auto",
-              so_cache_dir=None) -> VirtualMachine:
+              so_cache_dir=None, fuse: bool = True) -> VirtualMachine:
     """Return a (possibly shared) VM for ``program``, LRU-cached by content.
 
     The cache key is a stable hash of the full IR (buffer declarations with
@@ -1098,7 +1137,9 @@ def cached_vm(program: Program, backend: str = "auto",
     generated but identical programs share one compiled VM.  Callers are
     expected to use :meth:`VirtualMachine.run`, which resets all state.
     ``so_cache_dir`` (native backend only) is part of the key — VMs bound
-    to different ``.so`` stores are never conflated.
+    to different ``.so`` stores are never conflated.  ``fuse`` is part of
+    the key too: a ``fuse=False`` caller can never receive a VM whose
+    program was rewritten by the fusion pass, and vice versa.
 
     Thread-safety: the cache bookkeeping is locked, so concurrent callers
     never corrupt the LRU dict — but two callers asking for the same
@@ -1110,7 +1151,8 @@ def cached_vm(program: Program, backend: str = "auto",
     """
     from repro.ir.vectorize import fingerprint
     fp = fingerprint(program)  # pure and slow-ish: compute outside the lock
-    key = (fp, backend, str(so_cache_dir) if so_cache_dir is not None else None)
+    key = (fp, backend, str(so_cache_dir) if so_cache_dir is not None else None,
+           bool(fuse))
     with _VM_CACHE_LOCK:
         vm = _VM_CACHE.pop(key, None)
         if vm is not None:
@@ -1122,7 +1164,8 @@ def cached_vm(program: Program, backend: str = "auto",
     # programs and must not serialize unrelated lookups.  Two threads
     # racing on the same key may both compile; the second insert wins,
     # which is harmless (both VMs are valid, one is dropped).
-    vm = VirtualMachine(program, backend=backend, so_cache_dir=so_cache_dir)
+    vm = VirtualMachine(program, backend=backend, so_cache_dir=so_cache_dir,
+                        fuse=fuse)
     with _VM_CACHE_LOCK:
         _VM_CACHE[key] = vm
         while len(_VM_CACHE) > _VM_CACHE_MAX:
@@ -1145,7 +1188,8 @@ def vm_cache_stats() -> dict[str, int]:
 
 def execute(program: Program, inputs: Mapping[str, np.ndarray],
             steps: int = 1, backend: str = "auto",
-            so_cache_dir=None, batch=None) -> "ExecResult | BatchResult":
+            so_cache_dir=None, batch=None,
+            fuse: bool = True) -> "ExecResult | BatchResult":
     """One-shot convenience: build a VM, run, return outputs and counts.
 
     ``batch`` turns the call into :meth:`VirtualMachine.run_batch`:
@@ -1157,7 +1201,8 @@ def execute(program: Program, inputs: Mapping[str, np.ndarray],
 
     With ``batch`` set the return value is a :class:`BatchResult`.
     """
-    vm = VirtualMachine(program, backend=backend, so_cache_dir=so_cache_dir)
+    vm = VirtualMachine(program, backend=backend, so_cache_dir=so_cache_dir,
+                        fuse=fuse)
     if batch is None:
         return vm.run(inputs, steps)
     if isinstance(batch, bool):

@@ -157,6 +157,15 @@ class For(Stmt):
     (innermost, branch-free, unit stride).  ``forced_simd`` marks loops the
     HCG baseline lowers with explicit SIMD intrinsics; the cost model gives
     these fixed-width vector behaviour plus a per-loop overhead.
+
+    ``segments`` is the multi-range extension used by loop fusion
+    (:mod:`repro.ir.fuse`): when set, the loop visits ``var`` over each
+    half-open ``(start, stop)`` pair in order, sharing one body.  Segment
+    bounds are always compile-time ints, sorted and pairwise disjoint.
+    Counting convention: each segment counts one ``loops_entered`` and its
+    own trip of ``loop_iters``, so merging N range-split loops into one
+    segmented loop is count-neutral.  ``start``/``stop`` mirror the first
+    and last segment for code that only needs the overall span.
     """
 
     var: str
@@ -165,10 +174,36 @@ class For(Stmt):
     body: list[Stmt] = field(default_factory=list)
     vectorizable: bool = False
     forced_simd: bool = False
+    segments: Optional[tuple[tuple[int, int], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.segments is not None:
+            segs = tuple((int(a), int(b)) for a, b in self.segments)
+            if not segs:
+                raise CodegenError("segmented For needs at least one segment")
+            for (a, b), (c, _) in zip(segs, segs[1:]):
+                if b > c:
+                    raise CodegenError(
+                        f"For segments must be sorted and disjoint: {segs}")
+            self.segments = segs
+            self.start, self.stop = segs[0][0], segs[-1][1]
 
     @property
     def static_bounds(self) -> bool:
+        if self.segments is not None:
+            return True
         return isinstance(self.start, int) and isinstance(self.stop, int)
+
+    def iter_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Effective (start, stop) pairs; requires static bounds."""
+        if self.segments is not None:
+            return self.segments
+        return ((int(self.start), int(self.stop)),)
+
+    @property
+    def trip_count(self) -> int:
+        """Total iterations across segments; requires static bounds."""
+        return sum(max(0, b - a) for a, b in self.iter_ranges())
 
 
 @dataclass

@@ -427,6 +427,26 @@ class _Analyzer:
         else:
             bucket = "scalar"
         if s.static_bounds:
+            if s.segments is not None and len(s.segments) > 1:
+                # Fused multi-segment loop: analyze each segment as its
+                # own entry+trip so counts (and If-constraint enumeration
+                # within each contiguous range) stay exact.
+                if any(var == s.var for var, _, _ in ctx.scope):
+                    self._add(acc, bucket,
+                              {"loops_entered": len(s.segments),
+                               "loop_iters": s.trip_count}, execs)
+                    self.exact = False
+                    return
+                for a, b in s.segments:
+                    trip = max(b - a, 0)
+                    self._add(acc, bucket,
+                              {"loops_entered": 1, "loop_iters": trip},
+                              execs)
+                    if trip:
+                        self._body(s.body,
+                                   ctx.push_loop(s.var, a, b, bucket),
+                                   acc, execs * trip)
+                return
             start, stop = s.start, s.stop
         else:
             # dynamic bounds: the closure evaluates both bound expressions

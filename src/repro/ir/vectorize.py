@@ -108,7 +108,10 @@ def _ser_stmt(s: Stmt, out: list) -> None:
         _ser_expr(s.value, out)
         out.append(";")
     elif isinstance(s, For):
-        out.append(f"for:{s.var}:{int(s.vectorizable)}{int(s.forced_simd)}[")
+        out.append(f"for:{s.var}:{int(s.vectorizable)}{int(s.forced_simd)}")
+        if s.segments is not None:
+            out.append(f":seg{s.segments}")
+        out.append("[")
         for b in (s.start, s.stop):
             if isinstance(b, int):
                 out.append(str(b))
@@ -279,8 +282,20 @@ class _Planner:
         self.axis = loop.var
         self.start: int = loop.start
         self.stop: int = loop.stop
-        self.trip = max(self.stop - self.start, 0)
-        self.lanes = np.arange(self.start, self.stop, dtype=np.int64)
+        # Fused loops may be multi-segment: the lane vector concatenates
+        # the segments in iteration order.  ``trip`` is the true iteration
+        # count; ``span`` covers the whole index range (collision proofs
+        # must reason over the span, not the trip).  Slice fast paths only
+        # apply when the lanes are one contiguous run.
+        self.segs = loop.iter_ranges()
+        self.trip = loop.trip_count
+        self.span = max(self.stop - self.start, 0)
+        self.contiguous = self.trip == self.span
+        if self.contiguous:
+            self.lanes = np.arange(self.start, self.stop, dtype=np.int64)
+        else:
+            self.lanes = np.concatenate(
+                [np.arange(a, b, dtype=np.int64) for a, b in self.segs])
         # Batch-lifted VM (trailing batch axis on every buffer): loads
         # return (L, B)/(B,) arrays, so the lane vector must occupy a
         # *column* (L, 1) in value positions to broadcast against them —
@@ -296,6 +311,12 @@ class _Planner:
         self.seq_vars: set[str] = set()
         self.stored: set[str] = set()        # buffers stored in this nest
         self.reductions: dict[int, dict] = {}  # id(Assign) -> reduction plan
+        # Scalar pipes: contracted one-cell temps written then read within
+        # each iteration.  The store stashes the whole lane vector in a
+        # holder; loads return it; the final cell value is written back
+        # after the kernel body (see _match_pipe).
+        self.pipes: dict[int, dict] = {}       # id(Assign) -> pipe plan
+        self.pipe_buffers: dict[str, dict] = {}  # buffer -> pipe plan
         self.masked: set[int] = set()        # id(Assign) under a static If
         # runtime cell holding the active lane mask (None = all lanes live);
         # gather loads compiled inside an If arm clamp dead-lane indices
@@ -420,6 +441,9 @@ class _Planner:
             d = frozenset((e.name,))
         elif isinstance(e, Load):
             d = self._deps(e.index)
+            if e.buffer in self.pipe_buffers:
+                # piped cells hold a different value every lane
+                d = d | frozenset((self.axis,))
         elif isinstance(e, BinOp):
             d = self._deps(e.lhs) | self._deps(e.rhs)
         elif isinstance(e, UnOp):
@@ -919,6 +943,10 @@ class _Planner:
         raise _Reject
 
     def _vcompile_load(self, e: Load) -> Callable:
+        pipe = self.pipe_buffers.get(e.buffer)
+        if pipe is not None:
+            holder = pipe["holder"]
+            return lambda env: holder[0]
         decl = self._decl(e.buffer)
         buf = self.vm._buffers[e.buffer]
         size = buf.shape[0]
@@ -942,11 +970,12 @@ class _Planner:
             if coeff == 1:
                 lo, hi = self.start, self.stop
                 lanes = self.lanes
+                contig = self.contiguous
 
                 def load_affine1(env):
                     o = offset(env)
                     s, t = lo + o, hi + o
-                    if 0 <= s and t <= size:
+                    if contig and 0 <= s and t <= size:
                         v = buf[s:t]
                     else:
                         idx = lanes + o  # negative indices wrap, as scalar
@@ -988,8 +1017,8 @@ class _Planner:
                 if self._decl(s.buffer).dtype == "complex128":
                     raise _Reject
             elif isinstance(s, For):
-                if not s.static_bounds:
-                    raise _Reject
+                if not s.static_bounds or s.segments is not None:
+                    raise _Reject  # fusion only segments top-level loops
                 if s.var == self.axis or s.var in self.seq_vars:
                     raise _Reject  # shadowing would break memo keying
                 self.seq_vars.add(s.var)
@@ -1022,27 +1051,36 @@ class _Planner:
                 self.masked.add(id(s))
 
     def _classify(self) -> None:
-        """Split assigns into reductions and regular (strided) stores, then
-        prove no cross-lane dependence among accesses to stored buffers."""
+        """Split assigns into pipes, reductions and regular (strided)
+        stores, then prove no cross-lane dependence among accesses to
+        stored buffers."""
         accesses: dict[str, list] = {b: [] for b in self.stored}
         stores: dict[str, list] = {b: [] for b in self.stored}
-        for stmt, depth in self.assigns:
+        zero_stores: list = []
+        store_sites: dict[str, list] = {}
+        for pos, (stmt, depth) in enumerate(self.assigns):
             lf = _linform(stmt.index)
             if lf is None:
                 raise _Reject  # can't prove a scatter store is collision-free
             coeff = lf.get(self.axis, 0)
+            store_sites.setdefault(stmt.buffer, []).append(pos)
             if coeff == 0:
-                if id(stmt) in self.masked:
-                    raise _Reject  # guarded same-cell writes stay sequential
-                self._match_reduction(stmt, depth)
+                zero_stores.append((stmt, depth, pos))
             else:
                 stores[stmt.buffer].append((coeff, lf))
             loads: list = []
             self._loads_of(stmt.index, loads)
             self._loads_of(stmt.value, loads)
+            masked = id(stmt) in self.masked
             for ld in loads:
                 if ld.buffer in accesses:
-                    accesses[ld.buffer].append(ld)
+                    accesses[ld.buffer].append((ld, pos, depth, masked))
+        for stmt, depth, pos in zero_stores:
+            if self._match_pipe(stmt, depth, pos, store_sites, accesses):
+                continue
+            if id(stmt) in self.masked:
+                raise _Reject  # guarded same-cell writes stay sequential
+            self._match_reduction(stmt, depth)
         red_buffers = {r["buffer"]: r for r in self.reductions.values()}
         for buf, red in red_buffers.items():
             # the accumulator may appear exactly once (its own RMW load)
@@ -1051,10 +1089,10 @@ class _Planner:
         for buf, slist in stores.items():
             if not slist:
                 continue
-            if buf in red_buffers:
+            if buf in red_buffers or buf in self.pipe_buffers:
                 raise _Reject
             others = [(c, lf) for c, lf in slist]
-            for ld in accesses[buf]:
+            for ld, _, _, _ in accesses[buf]:
                 lfa = _linform(ld.index)
                 if lfa is None:
                     raise _Reject
@@ -1067,9 +1105,40 @@ class _Planner:
                     if d is None:
                         raise _Reject
                     if d == 0 or d % abs(c_s) != 0 \
-                            or abs(d) >= abs(c_s) * self.trip:
+                            or abs(d) >= abs(c_s) * self.span:
                         continue  # same lane, or lanes can never collide
                     raise _Reject
+
+    def _match_pipe(self, stmt: Assign, depth: int, pos: int,
+                    store_sites: dict, accesses: dict) -> bool:
+        """A store at a lane-invariant index whose value every later
+        statement reads back at the same index is a *scalar pipe* — the
+        shape buffer contraction produces.  The store keeps the per-lane
+        value vector in a holder, later loads consume it, and the cell
+        receives the last lane's value after the kernel body, exactly as
+        the sequential loop would leave it."""
+        buf = stmt.buffer
+        if depth != 0 or id(stmt) in self.masked:
+            return False
+        if self.axis in self._deps(stmt.index) \
+                or self._deps(stmt.index) & self.seq_vars:
+            return False
+        if len(store_sites.get(buf, ())) != 1:
+            return False
+        loads: list = []
+        self._loads_of(stmt.index, loads)
+        self._loads_of(stmt.value, loads)
+        if any(ld.buffer == buf for ld in loads):
+            return False  # reads its own cell: that's a reduction, not a pipe
+        for ld, lpos, ldepth, lmask in accesses.get(buf, ()):
+            if lpos <= pos or ldepth != 0 or lmask:
+                return False
+            if ld.index != stmt.index:
+                return False
+        plan = {"buffer": buf, "index": stmt.index, "holder": [None]}
+        self.pipes[id(stmt)] = plan
+        self.pipe_buffers[buf] = plan
+        return True
 
     def _match_reduction(self, stmt: Assign, depth: int) -> None:
         """``b[e] = b[e] op X`` directly under the axis loop becomes a
@@ -1143,9 +1212,6 @@ class _Planner:
         buf = self.vm._buffers[stmt.buffer]
         size = buf.shape[0]
         v_fn = self._vcompile(stmt.value)
-        lf = _linform(stmt.index)
-        coeff = lf[self.axis]
-        offset = self._offset_fn(lf)
         if decl.dtype == "uint32":
             if self._count(stmt.value).type is not INT:
                 raise _Reject  # float->uint32 would need a range proof
@@ -1156,15 +1222,26 @@ class _Planner:
                 if isinstance(v, np.ndarray):
                     return np.bitwise_and(_i64(v), _UINT32_MASK)
                 return int(v) & _UINT32_MASK
+        pipe = self.pipes.get(id(stmt))
+        if pipe is not None:
+            holder = pipe["holder"]
+
+            def run_pipe_store(env):
+                holder[0] = v_fn(env)
+            return run_pipe_store
+        lf = _linform(stmt.index)
+        coeff = lf[self.axis]
+        offset = self._offset_fn(lf)
         if coeff == 1:
             lo, hi = self.start, self.stop
             lanes = self.lanes
+            contig = self.contiguous
 
             def run_store1(env):
                 v = v_fn(env)
                 o = offset(env)
                 s, t = lo + o, hi + o
-                if 0 <= s and t <= size:
+                if contig and 0 <= s and t <= size:
                     buf[s:t] = v
                 else:
                     buf[lanes + o] = v  # negative indices wrap, as scalar
@@ -1277,7 +1354,7 @@ class _Planner:
                 return int(v) & _UINT32_MASK
         scaled = coeff * self.lanes
         lo, hi = self.start, self.stop
-        slice_ok = coeff == 1
+        slice_ok = coeff == 1 and self.contiguous
 
         def run_masked_store(env, m):
             v = v_fn(env)
@@ -1306,9 +1383,11 @@ class _Planner:
     def _emit_for(self, loop: For, enter_mult: int, deltas: dict,
                   chain: tuple = ()) -> Optional[Callable]:
         bucket = self._bucket_name(loop)
-        trip = max(loop.stop - loop.start, 0)
+        trip = loop.trip_count
+        nseg = len(loop.iter_ranges())
         bd = deltas.setdefault(bucket, {})
-        bd["loops_entered"] = bd.get("loops_entered", 0) + enter_mult
+        # one entry per segment: count-neutral vs. the unfused loops
+        bd["loops_entered"] = bd.get("loops_entered", 0) + enter_mult * nseg
         bd["loop_iters"] = bd.get("loop_iters", 0) + enter_mult * trip
         body_mult = enter_mult * trip
         fns: list = []
@@ -1365,8 +1444,32 @@ class _Planner:
         self.assigns: list = []
         self._scan(self.loop, 0, frozenset({self.axis}))
         self._classify()
+        if self.pipes:
+            # _match_pipe may have memoized deps before the pipe set was
+            # final; piped loads must re-derive as axis-dependent.
+            self._dmemo.clear()
         deltas: dict = {}
         body = self._emit_for(self.loop, 1, deltas)
+        if body is not None and self.pipes:
+            writebacks = []
+            for plan in self.pipes.values():
+                arr = self.vm._buffers[plan["buffer"]]
+                ix_fn = self._scalar_fn(plan["index"])
+                writebacks.append((arr, ix_fn, plan["holder"]))
+            inner_body = body
+            # Lane vectors are (L,) — or (L, B) on a batch-lifted VM,
+            # where a lane-invariant value is a (B,) row that already IS
+            # the final cell content.
+            lane_ndim = 2 if self._blanes else 1
+
+            def body(env, _inner=inner_body, _wb=writebacks):
+                _inner(env)
+                for arr, ix_fn, holder in _wb:
+                    v = holder[0]
+                    if isinstance(v, np.ndarray) and v.ndim >= lane_ndim:
+                        v = v[-1]
+                    arr[ix_fn(env)] = v
+                    holder[0] = None
         counts = self.vm.counts
         apply_list = []
         for bname, fd in deltas.items():
@@ -1398,7 +1501,7 @@ def try_vectorize(vm: VirtualMachine, stmt: For,
     overhead under backend="auto")."""
     if not stmt.static_bounds:
         return None
-    if vm.backend == "auto" and stmt.stop - stmt.start < AUTO_MIN_TRIP:
+    if vm.backend == "auto" and stmt.trip_count < AUTO_MIN_TRIP:
         return None
     try:
         return _Planner(vm, stmt, var_bounds).build()

@@ -200,10 +200,17 @@ class _Verifier:
             elif isinstance(stmt, For):
                 inner = dict(scopes)
                 if stmt.static_bounds:
-                    if stmt.stop < stmt.start:
-                        pass  # empty loop: harmless
-                    inner[stmt.var] = _Bounds(stmt.start,
-                                              max(stmt.start, stmt.stop - 1))
+                    if stmt.var in scopes:
+                        self.problem(f"{where}: loop variable {stmt.var!r} "
+                                     "shadows an enclosing scope")
+                    # A multi-segment loop only visits its segments; the
+                    # span hull would over-approximate the index range,
+                    # so verify the body once per segment.
+                    for a, b in stmt.iter_ranges():
+                        inner[stmt.var] = _Bounds(a, max(a, b - 1))
+                        self.check_stmts(stmt.body, inner, buffers, where,
+                                         refinements)
+                    continue
                 else:
                     for bound in (stmt.start, stmt.stop):
                         if not isinstance(bound, int):

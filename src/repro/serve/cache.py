@@ -96,10 +96,17 @@ def model_fingerprint(model) -> str:
     return hashlib.sha256("".join(out).encode()).hexdigest()
 
 
-def artifact_key(model_fp: str, generator: str, backend: str = "-") -> str:
-    """Content address for one (model, generator, backend) cell."""
+def artifact_key(model_fp: str, generator: str, backend: str = "-",
+                 fuse: bool = True) -> str:
+    """Content address for one (model, generator, backend, fuse) cell.
+
+    ``fuse`` participates in the key so a ``fuse: false`` request can
+    never be served an artifact whose stats or emitted source reflect
+    the IR-level loop-fusion pass (and vice versa).
+    """
     return hashlib.sha256(
-        f"{model_fp}:{generator}:{backend}".encode()).hexdigest()
+        f"{model_fp}:{generator}:{backend}:fuse={int(bool(fuse))}"
+        .encode()).hexdigest()
 
 
 class ArtifactCache:

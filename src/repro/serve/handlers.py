@@ -111,7 +111,18 @@ def _backend_name(req: dict) -> str:
     return backend
 
 
-def _native_vm(program, backend: str, ctx: "HandlerContext"):
+def _fuse_flag(req: dict) -> bool:
+    """The request's ``fuse`` switch (default on) for the IR-level
+    loop-fusion pass (:mod:`repro.ir.fuse`)."""
+    value = req.get("fuse", True)
+    if not isinstance(value, bool):
+        raise ServeError("bad_request",
+                         f"fuse must be a boolean, got {value!r}")
+    return value
+
+
+def _native_vm(program, backend: str, ctx: "HandlerContext",
+               fuse: bool = True):
     """``cached_vm`` with native-backend wiring: the ``.so`` store lives in
     the artifact cache, and toolchain failures become the typed
     ``native_unavailable`` error instead of an internal one (explicit
@@ -123,9 +134,15 @@ def _native_vm(program, backend: str, ctx: "HandlerContext"):
     if backend == "native" and ctx.cache is not None:
         so_dir = ctx.cache.native_dir
     try:
-        with tracing.span("vm.acquire", backend=backend,
-                          program=program.name):
-            return cached_vm(program, backend=backend, so_cache_dir=so_dir)
+        acquire = tracing.span("vm.acquire", backend=backend,
+                               program=program.name, fuse=fuse)
+        with acquire:
+            vm = cached_vm(program, backend=backend, so_cache_dir=so_dir,
+                           fuse=fuse)
+            if vm.fusion_stats is not None:
+                acquire.set(**{f"fusion_{k}": v for k, v
+                               in vm.fusion_stats.as_dict().items()})
+        return vm
     except NativeToolchainError as exc:
         raise ServeError("native_unavailable", str(exc))
 
@@ -144,14 +161,18 @@ def _int_field(req: dict, name: str, default: int, lo: int, hi: int) -> int:
 
 
 def get_or_compile(model, model_fp: str, generator: str, backend: str,
-                   cache: ArtifactCache | None) -> tuple[Artifact, str]:
-    """Fetch the compiled artifact for (model, generator, backend).
+                   cache: ArtifactCache | None,
+                   fuse: bool = True) -> tuple[Artifact, str]:
+    """Fetch the compiled artifact for (model, generator, backend, fuse).
 
     Returns ``(artifact, source)`` where source is ``"hit"`` (loaded from
     the on-disk cache), ``"miss"`` (freshly generated and stored), or
-    ``"off"`` (no cache configured).
+    ``"off"`` (no cache configured).  The stored program is always the
+    generator's output — fusion happens in the VM — but ``fuse``
+    participates in the key and in the artifact's stats so the two
+    configurations never share a cache cell.
     """
-    key = artifact_key(model_fp, generator, backend)
+    key = artifact_key(model_fp, generator, backend, fuse)
     if cache is not None:
         lookup = tracing.span("cache.lookup", cache="artifact", key=key[:12])
         with lookup:
@@ -180,6 +201,10 @@ def get_or_compile(model, model_fp: str, generator: str, backend: str,
                 code.ranges.eliminated_elements(code.analyzed),
         },
     )
+    if fuse:
+        from repro.ir.fuse import fuse_program
+        _, fstats = fuse_program(code.program)
+        artifact.stats["fusion"] = fstats.as_dict()
     if cache is not None:
         with tracing.span("cache.store", cache="artifact", key=key[:12]):
             cache.put(key, artifact)
@@ -199,19 +224,25 @@ def op_ping(req: dict, ctx: "HandlerContext") -> dict:
 def op_compile(req: dict, ctx: "HandlerContext") -> dict:
     generator = _generator_name(req)
     backend = _backend_name(req)
+    fuse = _fuse_flag(req)
     model, model_fp = resolve_model(req)
     artifact, source = get_or_compile(model, model_fp, generator, backend,
-                                      ctx.cache)
+                                      ctx.cache, fuse)
     ctx.meta["artifact_cache"] = source
     result = {
         "model": artifact.model_name,
         "model_fingerprint": model_fp,
         "generator": generator,
+        "fuse": fuse,
         "stats": dict(artifact.stats),
     }
     if req.get("include_source"):
         from repro.codegen import emit_c
-        result["c_source"] = emit_c(artifact.program)
+        program = artifact.program
+        if fuse:
+            from repro.ir.fuse import fuse_program
+            program, _ = fuse_program(program)
+        result["c_source"] = emit_c(program)
     return result
 
 
@@ -253,16 +284,17 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
     from repro.ir.interp import vm_cache_stats
     generator = _generator_name(req)
     backend = _backend_name(req)
+    fuse = _fuse_flag(req)
     steps = _int_field(req, "steps", 1, 1, MAX_STEPS)
     seed = _int_field(req, "seed", 0, 0, 2 ** 32 - 1)
     model, model_fp = resolve_model(req)
     artifact, source = get_or_compile(model, model_fp, generator, backend,
-                                      ctx.cache)
+                                      ctx.cache, fuse)
     ctx.meta["artifact_cache"] = source
 
     inputs = _decode_inputs(req, model, artifact, seed)
     hits_before = vm_cache_stats()["hits"]
-    vm = _native_vm(artifact.program, backend, ctx)
+    vm = _native_vm(artifact.program, backend, ctx, fuse)
     ctx.meta["vm_cache"] = (
         "hit" if vm_cache_stats()["hits"] > hits_before else "miss")
     t0 = time.perf_counter()
@@ -280,6 +312,9 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
         "model_fingerprint": model_fp,
         "generator": generator,
         "backend": backend,
+        "fuse": fuse,
+        "fusion": (vm.fusion_stats.as_dict()
+                   if vm.fusion_stats is not None else None),
         "steps": steps,
         "execute_seconds": round(execute_seconds, 6),
         "counts": totals.as_dict(),
@@ -288,6 +323,8 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
         "peak_buffer_bytes": exec_result.peak_buffer_bytes,
         "output_sha256": _output_digest(outputs),
     }
+    if vm.fusion_stats is not None:
+        ctx.meta["fusion"] = vm.fusion_stats.as_dict()
     if req.get("include_outputs", True):
         result["outputs"] = outputs
     return result
@@ -320,6 +357,7 @@ def op_run_batch(req: dict, ctx: "HandlerContext") -> dict:
     from repro.ir.interp import vm_cache_stats
     generator = _generator_name(req)
     backend = _backend_name(req)
+    fuse = _fuse_flag(req)
     steps = _int_field(req, "steps", 1, 1, MAX_STEPS)
     instances = req.get("instances")
     if not isinstance(instances, list) or not instances:
@@ -332,7 +370,7 @@ def op_run_batch(req: dict, ctx: "HandlerContext") -> dict:
             f"got {len(instances)}")
     model, model_fp = resolve_model(req)
     artifact, source = get_or_compile(model, model_fp, generator, backend,
-                                      ctx.cache)
+                                      ctx.cache, fuse)
     ctx.meta["artifact_cache"] = source
 
     results: list[dict | None] = [None] * len(instances)
@@ -350,10 +388,12 @@ def op_run_batch(req: dict, ctx: "HandlerContext") -> dict:
                           "error": exc.message}
 
     hits_before = vm_cache_stats()["hits"]
-    vm = _native_vm(artifact.program, backend, ctx)
+    vm = _native_vm(artifact.program, backend, ctx, fuse)
     ctx.meta["vm_cache"] = (
         "hit" if vm_cache_stats()["hits"] > hits_before else "miss")
     ctx.meta["batched"] = len(decoded)
+    if vm.fusion_stats is not None:
+        ctx.meta["fusion"] = vm.fusion_stats.as_dict()
 
     execute_seconds = 0.0
     counts: dict = {}
@@ -388,6 +428,9 @@ def op_run_batch(req: dict, ctx: "HandlerContext") -> dict:
         "model_fingerprint": model_fp,
         "generator": generator,
         "backend": backend,
+        "fuse": fuse,
+        "fusion": (vm.fusion_stats.as_dict()
+                   if vm.fusion_stats is not None else None),
         "steps": steps,
         "batch": len(instances),
         "executed": len(decoded),
@@ -429,6 +472,7 @@ def op_report(req: dict, ctx: "HandlerContext") -> dict:
     from repro.codegen import ALL_GENERATORS
     from repro.sim.simulator import random_inputs
     backend = _backend_name(req)
+    fuse = _fuse_flag(req)
     steps = _int_field(req, "steps", 1, 1, MAX_STEPS)
     seed = _int_field(req, "seed", 0, 0, 2 ** 32 - 1)
     generators = req.get("generators", list(ALL_GENERATORS))
@@ -441,10 +485,10 @@ def op_report(req: dict, ctx: "HandlerContext") -> dict:
     for generator in generators:
         _generator_name({"generator": generator})
         artifact, source = get_or_compile(model, model_fp, generator,
-                                          backend, ctx.cache)
+                                          backend, ctx.cache, fuse)
         artifact_hits += source == "hit"
         artifact_misses += source == "miss"
-        vm = _native_vm(artifact.program, backend, ctx)
+        vm = _native_vm(artifact.program, backend, ctx, fuse)
         inputs = {artifact.input_buffers[n]: v for n, v in named.items()}
         totals = vm.run(inputs, steps=steps).counts.total
         rows.append({
@@ -453,6 +497,8 @@ def op_report(req: dict, ctx: "HandlerContext") -> dict:
             "flops": totals.flops,
             "static_bytes": artifact.stats["static_bytes"],
             "eliminated_elements": artifact.stats["eliminated_elements"],
+            "fusion": (vm.fusion_stats.as_dict()
+                       if vm.fusion_stats is not None else None),
         })
     ctx.meta["artifact_cache"] = (
         "hit" if artifact_misses == 0 and artifact_hits else
@@ -464,7 +510,7 @@ def op_report(req: dict, ctx: "HandlerContext") -> dict:
                   / row["total_element_ops"], 3)
             if row["total_element_ops"] else None)
     return {"model": model.name, "model_fingerprint": model_fp,
-            "steps": steps, "rows": rows}
+            "steps": steps, "fuse": fuse, "rows": rows}
 
 
 def op_sleep(req: dict, ctx: "HandlerContext") -> dict:

@@ -148,6 +148,10 @@ class MetricsRegistry:
             "phase_latency_seconds",
             "per-pipeline-stage wall time from traced requests "
             "(queue, pool.acquire, worker.handle, codegen, vm.run, ...)")
+        self.fusion = Counter(
+            "fusion_total",
+            "loop-fusion work by freshly built VMs: nests_fused, "
+            "buffers_contracted, bytes_saved (cached VMs add nothing)")
         self.in_flight = 0
 
     # -- recording ---------------------------------------------------------
@@ -178,6 +182,15 @@ class MetricsRegistry:
             self.batch_occupancy.observe(float(occupancy))
             for delay in delays_seconds:
                 self.batch_queue_delay.observe(delay)
+
+    def record_fusion(self, stats: dict) -> None:
+        """Fold one VM's fusion stats (a ``FusionStats.as_dict()``) into
+        the aggregate counters."""
+        with self._lock:
+            for key in ("nests_fused", "buffers_contracted", "bytes_saved"):
+                amount = stats.get(key, 0)
+                if isinstance(amount, int) and amount > 0:
+                    self.fusion.inc(amount, stat=key)
 
     def record_phase(self, phase: str, seconds: float) -> None:
         """One pipeline-stage observation from a traced request's span.
@@ -217,6 +230,7 @@ class MetricsRegistry:
                 "batch_queue_delay_seconds":
                     self.batch_queue_delay.snapshot(),
                 "phase_latency_seconds": self.phase_latency.snapshot(),
+                "fusion_total": self.fusion.snapshot(),
             }
         for cache in ("vm", "artifact"):
             rate = self.hit_rate(cache)
@@ -232,7 +246,8 @@ class MetricsRegistry:
             f"in_flight {snap['in_flight']}",
         ]
         for metric in ("requests_total", "cache_events_total",
-                       "pool_events_total", "connections_total"):
+                       "pool_events_total", "connections_total",
+                       "fusion_total"):
             for row in snap[metric]:
                 labels = ",".join(f'{k}="{v}"'
                                   for k, v in row["labels"].items())

@@ -55,7 +55,10 @@ ERROR_TYPES = (
 
 #: Wire-protocol revision, echoed by ``ping``.
 #: v2: ``run_batch`` op, ``coalesce`` flag on ``run``, batching knobs.
-PROTOCOL_VERSION = 2
+#: v3: ``fuse`` flag (default true) on ``compile``/``run``/``run_batch``/
+#: ``report`` — toggles the IR-level loop-fusion pass; fusion stats are
+#: reported in results and the artifact cache keys on the flag.
+PROTOCOL_VERSION = 3
 
 MAX_LINE_BYTES = 32 * 1024 * 1024  # uploaded .slx payloads are base64 lines
 

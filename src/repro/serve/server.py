@@ -219,6 +219,11 @@ class ReproServer:
             event = meta.get(key)
             if event in ("hit", "miss"):
                 self.metrics.record_cache(cache, event)
+        fusion = meta.get("fusion")
+        if isinstance(fusion, dict) and meta.get("vm_cache") != "hit":
+            # Only freshly built VMs did fusion work; a warm-cache hit
+            # would double-count the same program's stats.
+            self.metrics.record_fusion(fusion)
 
     def _metrics_result(self, req: dict) -> dict:
         snapshot = self.metrics.snapshot()

@@ -1,0 +1,146 @@
+"""Differential contract of execution-time loop fusion.
+
+Fusion changes traversal, not arithmetic: for zoo models across
+generators and VM backends, the fused VM must produce **bit-identical**
+outputs and **exactly equal** element-operation counts compared to the
+unfused VM.  Loop bookkeeping (``loops_entered``, ``loop_iters``) may
+shrink — that is the point of the pass — but never the work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import make_generator
+from repro.ir.interp import VirtualMachine
+from repro.sim.simulator import random_inputs
+from repro.zoo import TABLE1, build_model
+
+ELEMENT_OPS = ("flops", "int_ops", "cmp_ops", "loads", "stores",
+               "branches", "calls")
+MODEL_IDS = [entry.name for entry in TABLE1]
+
+
+def _differential(program, inputs, backend, steps=3):
+    base_vm = VirtualMachine(program, backend=backend, fuse=False)
+    fused_vm = VirtualMachine(program, backend=backend, fuse=True)
+    base = base_vm.run(inputs, steps=steps)
+    fused = fused_vm.run(inputs, steps=steps)
+    for name in base.outputs:
+        np.testing.assert_array_equal(
+            np.asarray(fused.outputs[name]), np.asarray(base.outputs[name]),
+            err_msg=f"{backend}: output {name} not bit-identical")
+    for op in ELEMENT_OPS:
+        got = getattr(fused.counts.total, op)
+        want = getattr(base.counts.total, op)
+        assert got == want, f"{backend}: {op} {got} != {want}"
+    return base_vm, fused_vm
+
+
+@pytest.mark.parametrize("backend", ("closure", "vector", "auto"))
+@pytest.mark.parametrize("model_name", MODEL_IDS)
+def test_frodo_fused_matches_unfused(model_name, backend):
+    model = build_model(model_name)
+    code = make_generator("frodo").generate(model)
+    inputs = code.map_inputs(random_inputs(model, seed=11))
+    _differential(code.program, inputs, backend)
+
+
+@pytest.mark.parametrize("generator", ("simulink", "dfsynth", "hcg",
+                                       "frodo-fn"))
+@pytest.mark.parametrize("model_name", ("Decryption", "AudioProcess",
+                                        "ImagePipeline"))
+def test_other_generators_fused_match_unfused(model_name, generator):
+    model = build_model(model_name)
+    code = make_generator(generator).generate(model)
+    inputs = code.map_inputs(random_inputs(model, seed=7))
+    for backend in ("closure", "vector"):
+        _differential(code.program, inputs, backend)
+
+
+def test_imagepipeline_fuses_into_segmented_nests():
+    from repro.ir.fuse import fuse_program
+    from repro.ir.ops import For
+    model = build_model("ImagePipeline")
+    program = make_generator("frodo").generate(model).program
+    fused, stats = fuse_program(program)
+    assert stats.nests_fused >= 10
+    assert fused.loop_count < program.loop_count / 2
+    segmented = [s for s in fused.step
+                 if isinstance(s, For) and s.segments is not None
+                 and len(s.segments) > 1]
+    assert segmented, "conv range-split loops should α-merge into segments"
+
+
+def test_fused_native_so_init_resets_contracted_state():
+    """A fused-and-contracted native ``.so`` must fully reset its state
+    (including contracted scalars) between ``run()`` calls."""
+    from repro.native import find_compiler
+    if find_compiler() is None:
+        pytest.skip("no C compiler")
+    model = build_model("Decryption")  # stateful + heavily contracted
+    code = make_generator("frodo").generate(model)
+    inputs = code.map_inputs(random_inputs(model, seed=5))
+    vm = VirtualMachine(code.program, backend="native", fuse=True)
+    assert vm.fusion_stats is not None
+    assert vm.fusion_stats.buffers_contracted > 0
+    first = vm.run(inputs, steps=4)
+    second = vm.run(inputs, steps=4)
+    for name in first.outputs:
+        np.testing.assert_array_equal(np.asarray(second.outputs[name]),
+                                      np.asarray(first.outputs[name]))
+
+
+@pytest.mark.parametrize("model_name", ("ImagePipeline", "Decryption"))
+def test_native_fused_matches_unfused(model_name):
+    from repro.native import find_compiler
+    if find_compiler() is None:
+        pytest.skip("no C compiler")
+    model = build_model(model_name)
+    code = make_generator("frodo").generate(model)
+    inputs = code.map_inputs(random_inputs(model, seed=11))
+    _differential(code.program, inputs, "native")
+
+
+def test_static_counts_exact_on_fused_program():
+    from repro.ir.fuse import fuse_program
+    from repro.ir.staticcount import analyze_counts
+    model = build_model("ImagePipeline")
+    program = make_generator("frodo").generate(model).program
+    fused, _ = fuse_program(program)
+    analysis = analyze_counts(fused)
+    assert analysis.exact
+    code = make_generator("frodo").generate(model)
+    inputs = code.map_inputs(random_inputs(model, seed=3))
+    vm = VirtualMachine(code.program, backend="closure", fuse=True)
+    run_counts = vm.run(inputs, steps=1).counts.total
+    static_step = analysis.step.total
+    for op in (*ELEMENT_OPS, "loops_entered", "loop_iters"):
+        assert getattr(static_step, op) == getattr(run_counts, op), op
+
+
+def test_serve_fuse_false_never_gets_fused_artifact(tmp_path):
+    """The serve artifact cache keys on the fuse flag: a fuse=false
+    request after a fuse=true one (and vice versa) must not share a
+    cache cell, and only fused requests report fusion stats."""
+    from repro.serve.cache import ArtifactCache
+    from repro.serve.handlers import HandlerContext, op_run
+
+    cache = ArtifactCache(tmp_path)
+    ctx = HandlerContext(cache)
+    fused = op_run({"op": "run", "model": "Simpson", "steps": 1,
+                    "backend": "closure", "include_outputs": False},
+                   ctx)
+    assert fused["fuse"] is True
+    assert fused["fusion"]["nests_fused"] >= 1
+
+    ctx2 = HandlerContext(cache)
+    plain = op_run({"op": "run", "model": "Simpson", "steps": 1,
+                    "backend": "closure", "fuse": False,
+                    "include_outputs": False}, ctx2)
+    assert plain["fuse"] is False
+    assert plain["fusion"] is None
+    # second request was a genuine artifact miss: different cache cell
+    assert ctx2.meta["artifact_cache"] == "miss"
+    assert plain["output_sha256"] == fused["output_sha256"]
+    assert plain["counts"] == fused["counts"] or all(
+        plain["counts"][op] == fused["counts"][op] for op in ELEMENT_OPS)

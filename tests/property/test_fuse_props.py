@@ -1,0 +1,172 @@
+"""Property tests for the IR-level fusion pass (:mod:`repro.ir.fuse`).
+
+The dependence rule must be *conservative*: any consumer access that is
+not provably at the bare induction index — shifted, scaled, or reversed —
+must refuse producer→consumer fusion outright (unless the pass can peel
+the domains apart).  And whatever the pass does fuse must stay bitwise
+equal to the unfused program with exactly equal element-op counts.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir.build import add, const, load, mul, sub, var
+from repro.ir.fuse import fuse_program, fuse_step_inplace
+from repro.ir.interp import execute
+from repro.ir.ops import Assign, For, Program
+
+common = settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+ELEMENT_OPS = ("flops", "int_ops", "cmp_ops", "loads", "stores",
+               "branches", "calls")
+
+
+def producer_consumer(n, consumer_index, lo=0, hi=None):
+    """An n-wide producer a[i] = 2*u[i] followed by a consumer
+    y[j] = a[<consumer_index>] + 1 over [lo, hi)."""
+    p = Program("t")
+    p.declare("u", (n,), "float64", "input")
+    p.declare("a", (n,), "float64", "temp")
+    p.declare("y", (n,), "float64", "output")
+    p.step.append(For("i", 0, n, [Assign(
+        "a", var("i"), mul(load("u", var("i")), const(2.0)))],
+        vectorizable=True))
+    p.step.append(For("j", lo, n if hi is None else hi, [Assign(
+        "y", var("j"), add(load("a", consumer_index), const(1.0)))],
+        vectorizable=True))
+    return p
+
+
+def run(p, n, seed, fuse):
+    rng = np.random.default_rng(seed)
+    return execute(p, {"u": rng.standard_normal(n)}, fuse=fuse)
+
+
+@common
+@given(st.integers(4, 32), st.integers(1, 3), st.integers(0, 99))
+def test_shifted_consumer_reads_refuse_fusion(n, shift, seed):
+    """a[j - shift] (shift >= 1) would observe a half-written buffer in a
+    fused body sharing the producer's range; the pass must refuse or
+    produce bitwise-identical output via a legal split."""
+    idx = sub(var("j"), const(shift))
+    plain = producer_consumer(n, idx, lo=shift)
+    stats = fuse_step_inplace(producer_consumer(n, idx, lo=shift))
+    # the merged domains differ AND the access is off-index: no legal
+    # same-domain interleave exists, so nothing may fuse the two bodies
+    # into one iteration space that overlaps the shifted reads
+    fused = producer_consumer(n, idx, lo=shift)
+    fuse_step_inplace(fused)
+    a = run(plain, n, seed, fuse=False)
+    b = run(fused, n, seed, fuse=False)
+    for name in a.outputs:
+        np.testing.assert_array_equal(np.asarray(b.outputs[name]),
+                                      np.asarray(a.outputs[name]))
+    for op in ELEMENT_OPS:
+        assert getattr(b.counts.total, op) == getattr(a.counts.total, op)
+    assert stats.buffers_contracted == 0  # off-index temp can never contract
+
+
+@common
+@given(st.integers(4, 32), st.integers(2, 4), st.integers(0, 99))
+def test_scaled_consumer_reads_refuse_fusion(n, scale, seed):
+    """a[scale * j] is not the bare induction index — no same-domain merge."""
+    idx = mul(var("j"), const(scale))
+    p = producer_consumer(n, idx, hi=n // scale)
+    stats = fuse_step_inplace(p)
+    assert stats.nests_fused == 0
+    assert stats.buffers_contracted == 0
+
+
+@common
+@given(st.integers(4, 24), st.integers(0, 99))
+def test_reversed_consumer_reads_refuse_fusion(n, seed):
+    """a[(n-1) - j] reads the buffer backwards; fusing would read cells
+    the producer has not written yet."""
+    idx = sub(const(n - 1), var("j"))
+    p = producer_consumer(n, idx)
+    stats = fuse_step_inplace(p)
+    assert stats.nests_fused == 0
+    plain = producer_consumer(n, idx)
+    a = run(plain, n, seed, fuse=False)
+    b = run(p, n, seed, fuse=False)
+    np.testing.assert_array_equal(np.asarray(b.outputs["y"]),
+                                  np.asarray(a.outputs["y"]))
+
+
+@common
+@given(st.integers(2, 6), st.integers(4, 16), st.integers(0, 99))
+def test_random_chains_fuse_bitwise_and_count_neutral(depth, n, seed):
+    """A chain of elementwise maps fuses to one loop with bit-identical
+    outputs and exactly equal element-op counts."""
+    def build():
+        p = Program("t")
+        p.declare("u", (n,), "float64", "input")
+        names = ["u"]
+        for d in range(depth):
+            name = f"t{d}"
+            p.declare(name, (n,), "float64", "temp")
+            p.step.append(For(f"i{d}", 0, n, [Assign(
+                name, var(f"i{d}"),
+                add(mul(load(names[-1], var(f"i{d}")), const(1.5)),
+                    const(float(d))))], vectorizable=True))
+            names.append(name)
+        p.declare("y", (n,), "float64", "output")
+        p.step.append(For("k", 0, n, [Assign(
+            "y", var("k"), load(names[-1], var("k")))], vectorizable=True))
+        return p
+
+    plain = build()
+    fused, stats = fuse_program(build())
+    assert stats.nests_fused == depth
+    assert fused.loop_count == 1
+    assert stats.buffers_contracted == depth  # every temp stays inside
+    a = run(plain, n, seed, fuse=False)
+    b = run(fused, n, seed, fuse=False)
+    np.testing.assert_array_equal(np.asarray(b.outputs["y"]),
+                                  np.asarray(a.outputs["y"]))
+    for op in ELEMENT_OPS:
+        assert getattr(b.counts.total, op) == getattr(a.counts.total, op)
+
+
+@common
+@given(st.integers(4, 20), st.integers(1, 6), st.integers(0, 99))
+def test_random_range_splits_alpha_merge(n, gap, seed):
+    """Two identical bodies over split ranges α-merge into a segmented
+    loop that preserves semantics and every counter."""
+    cut = n // 2
+
+    def build():
+        p = Program("t")
+        p.declare("u", (n + gap + n,), "float64", "input")
+        p.declare("y", (n + gap + n,), "float64", "output")
+        for a, b in ((0, cut), (cut + gap, n + gap)):
+            v = f"i_{a}"
+            p.step.append(For(v, a, b, [Assign(
+                "y", var(v), mul(load("u", var(v)), const(3.0)))],
+                vectorizable=True))
+        return p
+
+    plain = build()
+    merged = build()
+    stats = fuse_step_inplace(merged)
+    assert stats.nests_fused == 1
+    assert merged.loop_count == 1
+    size = n + gap + n
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal(size)
+    a = execute(plain, {"u": u}, fuse=False)
+    b = execute(merged, {"u": u}, fuse=False)
+    np.testing.assert_array_equal(np.asarray(b.outputs["y"]),
+                                  np.asarray(a.outputs["y"]))
+    for op in (*ELEMENT_OPS, "loops_entered", "loop_iters"):
+        assert getattr(b.counts.total, op) == getattr(a.counts.total, op)
+
+
+@common
+@given(st.integers(4, 32))
+def test_fuse_step_inplace_is_idempotent(n):
+    p = producer_consumer(n, var("j"))
+    first = fuse_step_inplace(p)
+    assert first.nests_fused == 1
+    assert fuse_step_inplace(p).nests_fused == 0

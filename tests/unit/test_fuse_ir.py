@@ -1,0 +1,274 @@
+"""Unit tests for the IR-level fusion pass (:mod:`repro.ir.fuse`).
+
+Covers the three merge mechanisms (α-merge of range-split loops,
+producer→consumer merge with hoisting, intersection split), buffer
+contraction, the multi-segment ``For`` extension, and the cache-key
+separation that keeps ``fuse=False`` executions away from fused state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.build import add, const, load, mul, sub, var
+from repro.ir.fuse import FusionStats, fuse_program, fuse_step_inplace
+from repro.ir.interp import VirtualMachine, cached_vm, execute
+from repro.ir.ops import Assign, CallStmt, Comment, For, FuncDef, FuncParam, \
+    Program
+from repro.errors import CodegenError
+
+ELEMENT_OPS = ("flops", "int_ops", "cmp_ops", "loads", "stores",
+               "branches", "calls")
+
+
+def elementwise_loop(dst, src, ranges, variable="i", scale=2.0,
+                     vectorizable=True):
+    body = [Assign(dst, var(variable),
+                   mul(load(src, var(variable)), const(scale)))]
+    if len(ranges) == 1:
+        (a, b), = ranges
+        return For(variable, a, b, body, vectorizable=vectorizable)
+    return For(variable, 0, 0, body, vectorizable=vectorizable,
+               segments=tuple(ranges))
+
+
+def element_counts(result):
+    return {op: getattr(result.counts.total, op) for op in ELEMENT_OPS}
+
+
+class TestSegmentedFor:
+    def test_segments_must_be_sorted_disjoint(self):
+        with pytest.raises(CodegenError):
+            For("i", 0, 0, [], segments=((4, 8), (0, 5)))
+
+    def test_span_mirrors_segments(self):
+        loop = For("i", 0, 0, [], segments=((2, 4), (6, 9)))
+        assert (loop.start, loop.stop) == (2, 9)
+        assert loop.trip_count == 5
+        assert loop.static_bounds
+
+    def test_closure_vm_iterates_each_segment(self):
+        p = Program("t")
+        p.declare("u", (10,), "float64", "input")
+        p.declare("y", (10,), "float64", "output")
+        p.step.append(For("i", 0, 0, [Assign(
+            "y", var("i"), add(load("u", var("i")), const(1.0)))],
+            segments=((0, 3), (7, 10))))
+        u = np.arange(10.0)
+        res = execute(p, {"u": u}, fuse=False)
+        got = np.asarray(res.outputs["y"])
+        np.testing.assert_array_equal(got[[0, 1, 2, 7, 8, 9]],
+                                      u[[0, 1, 2, 7, 8, 9]] + 1.0)
+        np.testing.assert_array_equal(got[3:7], np.zeros(4))
+        # one loops_entered per segment, per the counting convention
+        assert res.counts.total.loops_entered == 2
+        assert res.counts.total.loop_iters == 6
+
+
+class TestAlphaMerge:
+    def test_range_split_loops_merge_into_segments(self):
+        p = Program("t")
+        p.declare("u", (16,), "float64", "input")
+        p.declare("y", (16,), "float64", "output")
+        for a, b in ((0, 4), (6, 10), (12, 16)):
+            p.step.append(For(f"i_{a}", a, b, [Assign(
+                "y", var(f"i_{a}"),
+                mul(load("u", var(f"i_{a}")), const(3.0)))],
+                vectorizable=True))
+        stats = fuse_step_inplace(p)
+        assert stats.nests_fused == 2
+        assert p.loop_count == 1
+        (merged,) = [s for s in p.step if isinstance(s, For)]
+        assert merged.segments == ((0, 4), (6, 10), (12, 16))
+
+    def test_alpha_merge_is_count_neutral_on_loop_counters(self):
+        def build():
+            p = Program("t")
+            p.declare("u", (16,), "float64", "input")
+            p.declare("y", (16,), "float64", "output")
+            for a, b in ((0, 4), (6, 10)):
+                p.step.append(For(f"i_{a}", a, b, [Assign(
+                    "y", var(f"i_{a}"),
+                    mul(load("u", var(f"i_{a}")), const(3.0)))]))
+            return p
+        u = np.arange(16.0)
+        plain = execute(build(), {"u": u}, fuse=False)
+        fused_p = build()
+        fuse_step_inplace(fused_p)
+        fused = execute(fused_p, {"u": u}, fuse=False)
+        np.testing.assert_array_equal(np.asarray(fused.outputs["y"]),
+                                      np.asarray(plain.outputs["y"]))
+        assert element_counts(fused) == element_counts(plain)
+        total_f, total_p = fused.counts.total, plain.counts.total
+        assert total_f.loops_entered == total_p.loops_entered
+        assert total_f.loop_iters == total_p.loop_iters
+
+    def test_flag_mismatch_blocks_alpha_merge(self):
+        p = Program("t")
+        p.declare("u", (8,), "float64", "input")
+        p.declare("y", (8,), "float64", "output")
+        p.step.append(elementwise_loop("y", "u", [(0, 4)],
+                                       vectorizable=True))
+        p.step.append(elementwise_loop("y", "u", [(4, 8)],
+                                       vectorizable=False))
+        assert fuse_step_inplace(p).nests_fused == 0
+
+
+class TestProducerConsumerMerge:
+    def test_non_adjacent_loops_fuse_over_independent_statement(self):
+        p = Program("t")
+        p.declare("u", (8,), "float64", "input")
+        p.declare("a", (8,), "float64", "temp")
+        p.declare("z", (1,), "float64", "output")
+        p.declare("y", (8,), "float64", "output")
+        p.step.append(elementwise_loop("a", "u", [(0, 8)]))
+        p.step.append(Assign("z", const(0), const(7.0)))  # independent
+        p.step.append(For("j", 0, 8, [Assign(
+            "y", var("j"), add(load("a", var("j")), const(1.0)))],
+            vectorizable=True))
+        stats = fuse_step_inplace(p, contract=False)
+        assert stats.nests_fused == 1
+        assert p.loop_count == 1
+        res = execute(p, {"u": np.ones(8)}, fuse=False)
+        np.testing.assert_array_equal(np.asarray(res.outputs["y"]),
+                                      np.full(8, 3.0))
+        np.testing.assert_array_equal(np.asarray(res.outputs["z"]), [7.0])
+
+    def test_conflicting_intervening_statement_blocks_hoist(self):
+        p = Program("t")
+        p.declare("u", (8,), "float64", "input")
+        p.declare("a", (8,), "float64", "temp")
+        p.declare("y", (8,), "float64", "output")
+        p.step.append(elementwise_loop("a", "u", [(0, 8)]))
+        p.step.append(Assign("a", const(3), const(9.0)))  # writes a
+        p.step.append(For("j", 0, 8, [Assign(
+            "y", var("j"), add(load("a", var("j")), const(1.0)))],
+            vectorizable=True))
+        assert fuse_step_inplace(p, contract=False).nests_fused == 0
+
+    def test_shifted_consumer_read_refused(self):
+        p = Program("t")
+        p.declare("u", (8,), "float64", "input")
+        p.declare("a", (8,), "float64", "temp")
+        p.declare("y", (8,), "float64", "output")
+        p.step.append(elementwise_loop("a", "u", [(0, 8)]))
+        p.step.append(For("j", 0, 8, [Assign(
+            "y", var("j"),
+            load("a", sub(var("j"), const(1))))], vectorizable=True))
+        assert fuse_step_inplace(p, contract=False).nests_fused == 0
+
+    def test_call_stmt_blocks_fusion(self):
+        p = Program("t")
+        p.declare("u", (8,), "float64", "input")
+        p.declare("a", (8,), "float64", "temp")
+        p.declare("y", (8,), "float64", "output")
+        p.define_function(FuncDef("touch", [FuncParam("buf", "float64")],
+                                  [Assign("buf", const(0), const(1.0))]))
+        p.step.append(elementwise_loop("a", "u", [(0, 8)]))
+        p.step.append(CallStmt("touch", ["a"]))
+        p.step.append(For("j", 0, 8, [Assign(
+            "y", var("j"), load("a", var("j")))], vectorizable=True))
+        assert fuse_step_inplace(p, contract=False).nests_fused == 0
+
+    def test_intersection_split_peels_remainder(self):
+        p = Program("t")
+        p.declare("u", (8,), "float64", "input")
+        p.declare("a", (8,), "float64", "temp")
+        p.declare("y", (8,), "float64", "output")
+        p.step.append(elementwise_loop("a", "u", [(0, 8)]))
+        p.step.append(For("j", 2, 6, [Assign(
+            "y", var("j"), add(load("a", var("j")), const(1.0)))],
+            vectorizable=True))
+        stats = fuse_step_inplace(p, contract=False)
+        assert stats.nests_fused == 1
+        assert p.loop_count == 2  # peel ([0,2) ∪ [6,8)) + fused ([2,6))
+        res = execute(p, {"u": np.ones(8)}, fuse=False)
+        np.testing.assert_array_equal(np.asarray(res.outputs["y"]),
+                                      [0, 0, 3, 3, 3, 3, 0, 0])
+
+
+class TestContraction:
+    def chain(self):
+        p = Program("t")
+        p.declare("u", (64,), "float64", "input")
+        p.declare("mid", (64,), "float64", "temp")
+        p.declare("y", (64,), "float64", "output")
+        p.step.append(elementwise_loop("mid", "u", [(0, 64)]))
+        p.step.append(For("j", 0, 64, [Assign(
+            "y", var("j"), add(load("mid", var("j")), const(1.0)))],
+            vectorizable=True))
+        return p
+
+    def test_intermediate_demoted_to_scalar(self):
+        p = self.chain()
+        stats = fuse_step_inplace(p, contract=True)
+        assert stats.nests_fused == 1
+        assert stats.buffers_contracted == 1
+        assert stats.bytes_saved == 63 * 8
+        assert p.buffers["mid"].shape == (1,)
+        res = execute(p, {"u": np.full(64, 2.0)}, fuse=False)
+        np.testing.assert_array_equal(np.asarray(res.outputs["y"]),
+                                      np.full(64, 5.0))
+
+    def test_contraction_skipped_when_buffer_escapes(self):
+        p = self.chain()
+        p.step.append(Assign("y", const(0), load("mid", const(5))))
+        fuse_step_inplace(p, contract=True)
+        assert p.buffers["mid"].shape == (64,)
+
+    def test_contraction_composes_with_bufreuse(self):
+        from repro.codegen.bufreuse import reuse_buffers
+        p = self.chain()
+        fuse_step_inplace(p, contract=True)
+        reuse_buffers(p)
+        res = execute(p, {"u": np.full(64, 2.0)}, fuse=False)
+        np.testing.assert_array_equal(np.asarray(res.outputs["y"]),
+                                      np.full(64, 5.0))
+
+    def test_fuse_program_leaves_original_untouched(self):
+        p = self.chain()
+        before_loops = p.loop_count
+        clone, stats = fuse_program(p)
+        assert p.loop_count == before_loops
+        assert p.buffers["mid"].shape == (64,)
+        assert clone.loop_count < before_loops
+        assert clone.buffers["mid"].shape == (1,)
+        assert isinstance(stats, FusionStats)
+        assert set(stats.as_dict()) == {
+            "nests_fused", "buffers_contracted", "bytes_saved",
+            "loops_before", "loops_after"}
+
+
+class TestFuseKnobCaching:
+    def test_vm_fuse_flag_controls_pass(self):
+        p = TestContraction().chain()
+        fused_vm = VirtualMachine(p, fuse=True)
+        plain_vm = VirtualMachine(p, fuse=False)
+        assert fused_vm.fusion_stats is not None
+        assert fused_vm.fusion_stats.nests_fused == 1
+        assert plain_vm.fusion_stats is None
+        assert plain_vm.program.loop_count == 2
+        assert fused_vm.program.loop_count == 1
+
+    def test_cached_vm_keys_on_fuse(self):
+        p = TestContraction().chain()
+        fused = cached_vm(p, fuse=True)
+        plain = cached_vm(p, fuse=False)
+        assert fused is not plain
+        assert cached_vm(p, fuse=False) is plain
+        assert cached_vm(p, fuse=True) is fused
+        # the fuse=False VM must never observe fused state
+        assert plain.program.loop_count == 2
+        assert plain.fusion_stats is None
+
+    def test_artifact_key_separates_fuse_settings(self):
+        from repro.serve.cache import artifact_key
+        fp = "f" * 64
+        assert artifact_key(fp, "frodo", "auto", fuse=True) != \
+            artifact_key(fp, "frodo", "auto", fuse=False)
+
+    def test_comment_only_programs_survive(self):
+        p = Program("t")
+        p.declare("y", (1,), "float64", "output")
+        p.step.append(Comment("nothing to fuse"))
+        stats = fuse_step_inplace(p)
+        assert stats.nests_fused == 0

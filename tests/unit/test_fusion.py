@@ -45,8 +45,33 @@ class TestFusionMechanics:
         result = execute(p, {"u": np.ones(8)})
         np.testing.assert_allclose(result.outputs["y"], np.full(8, 3.0))
 
-    def test_mismatched_bounds_not_fused(self):
+    def test_mismatched_bounds_fuse_by_intersection(self):
+        """A consumer covering a sub-range of the producer fuses over the
+        intersection; the producer's remainder runs in a peeled loop."""
         p = two_loop_program(start2=1, stop2=8)
+        assert fuse_elementwise_loops(p) == 1
+        assert p.loop_count == 2  # peel ([0,1)) + fused ([1,8))
+        u = np.arange(8.0)
+        before = execute(two_loop_program(start2=1, stop2=8),
+                         {"u": u}, fuse=False).outputs["y"]
+        after = execute(p, {"u": u}, fuse=False).outputs["y"]
+        np.testing.assert_array_equal(after, before)
+
+    def test_shifted_access_not_fused(self):
+        """Consumer reads a[j-1] — iteration j of the fused body would
+        observe a half-written buffer, so the pass must refuse."""
+        from repro.ir.build import sub
+        p = Program("t")
+        p.declare("u", (8,), "float64", "input")
+        p.declare("a", (8,), "float64", "temp")
+        p.declare("y", (8,), "float64", "output")
+        p.step.append(For("i", 0, 8, [Assign(
+            "a", var("i"), mul(load("u", var("i")), const(2.0)))],
+            vectorizable=True))
+        p.step.append(For("j", 1, 8, [Assign(
+            "y", var("j"),
+            add(load("a", sub(var("j"), const(1))), const(1.0)))],
+            vectorizable=True))
         assert fuse_elementwise_loops(p) == 0
         assert p.loop_count == 2
 
@@ -122,6 +147,8 @@ class TestFusedGenerator:
                                        np.asarray(expected[key]).ravel())
 
     def test_fused_reduces_loop_entries(self):
+        # fuse=False pins the VM to the program as generated; the default
+        # IR-level fusion pass would otherwise equalize both variants.
         from repro.ir.interp import VirtualMachine
         from repro.sim.simulator import random_inputs
         from repro.zoo import build_model
@@ -130,7 +157,7 @@ class TestFusedGenerator:
         entries = {}
         for generator in ("frodo", "frodo-fused"):
             code = make_generator(generator).generate(model)
-            counts = VirtualMachine(code.program).run(
+            counts = VirtualMachine(code.program, fuse=False).run(
                 code.map_inputs(inputs)).counts.total
             entries[generator] = counts.loops_entered
         assert entries["frodo-fused"] < entries["frodo"]
