@@ -1,0 +1,207 @@
+"""Corpus scaling benchmark (`BENCH_corpus.json`).
+
+Measures the two headline effects of redundancy elimination as a
+function of *generated* model size and truncation density, using the
+seeded corpus generator (:mod:`repro.corpus`) instead of the fixed zoo:
+
+* **redundancy elimination** — total element ops of the FRODO-generated
+  program vs the Simulink-style baseline on the same model (the paper's
+  Table-2 ratio, here swept over size × density);
+* **loop fusion** — vector-backend per-step time with fusion on vs off,
+  plus loops entered, nests fused, buffers contracted, and the
+  flag-mismatch rejects the fusion pass had to leave on the table.
+
+Each grid cell averages several seeds so one lucky draw cannot carry a
+trend.  Outputs are cross-checked bitwise between the fused and unfused
+runs before any timing is reported.
+
+Run directly (not collected by the tier-1 pytest config)::
+
+    PYTHONPATH=src python benchmarks/bench_corpus.py          # full
+    PYTHONPATH=src python benchmarks/bench_corpus.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.codegen import make_generator            # noqa: E402
+from repro.corpus import GenConfig, generate_model, model_stats  # noqa: E402
+from repro.fuzz import element_ops                  # noqa: E402
+from repro.ir.interp import VirtualMachine          # noqa: E402
+from repro.sim.simulator import random_inputs       # noqa: E402
+
+DEFAULT_SIZES = (12, 24, 48)
+DEFAULT_DENSITIES = (0.1, 0.5)
+QUICK_SIZES = (10, 16)
+
+
+def best_of(fn, repeats: int, warmup: int = 1) -> float:
+    """Best-of-N wall-clock seconds (min filters scheduler noise)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_seed(seed: int, config: GenConfig, steps: int,
+               repeats: int) -> dict:
+    """One generated model: op-ratio, fusion speedup, fusion accounting."""
+    model = generate_model(seed, config)
+    stats = model_stats(model)
+    row: dict = {
+        "seed": seed,
+        "blocks": stats["blocks"],
+        "truncating_blocks": stats["truncating_blocks"],
+    }
+
+    ops = {}
+    for generator in ("simulink", "frodo"):
+        code = make_generator(generator).generate(model)
+        inputs = code.map_inputs(random_inputs(model, seed=seed))
+
+        vm = VirtualMachine(code.program, backend="vector")
+        fused = vm.run(inputs, steps=steps)
+        plain = VirtualMachine(code.program, backend="vector", fuse=False)
+        unfused = plain.run(inputs, steps=steps)
+        for name, expected in unfused.outputs.items():
+            assert np.asarray(expected).tobytes() == \
+                np.asarray(fused.outputs[name]).tobytes(), (
+                f"seed {seed}/{generator}: fused vector output {name!r} "
+                f"diverges from unfused")
+
+        fused_s = best_of(lambda: vm.run(inputs, steps=steps), repeats)
+        plain_s = best_of(lambda: plain.run(inputs, steps=steps), repeats)
+        ops[generator] = sum(element_ops(fused.counts).values())
+
+        if generator == "frodo":
+            row["eliminated_elements"] = \
+                code.ranges.eliminated_elements(code.analyzed)
+            row["fusion"] = vm.fusion_stats.as_dict() \
+                if vm.fusion_stats is not None else None
+            row["loops_entered_unfused"] = unfused.counts.total.loops_entered
+            row["loops_entered_fused"] = fused.counts.total.loops_entered
+            row["ms_per_step_unfused"] = round(plain_s * 1e3 / steps, 4)
+            row["ms_per_step_fused"] = round(fused_s * 1e3 / steps, 4)
+            row["fusion_speedup"] = round(plain_s / fused_s, 3)
+
+    row["element_ops_simulink"] = ops["simulink"]
+    row["element_ops_frodo"] = ops["frodo"]
+    row["ops_ratio_simulink_over_frodo"] = \
+        round(ops["simulink"] / ops["frodo"], 3) if ops["frodo"] else None
+    return row
+
+
+def bench_cell(blocks: int, truncation: float, seeds: int, steps: int,
+               repeats: int, vector_len: int) -> dict:
+    config = GenConfig(blocks=blocks, vector_len=vector_len,
+                       truncation=truncation)
+    rows = [bench_seed(seed, config, steps, repeats)
+            for seed in range(seeds)]
+
+    def mean(key):
+        vals = [r[key] for r in rows if r.get(key) is not None]
+        return round(statistics.fmean(vals), 3) if vals else None
+
+    return {
+        "blocks": blocks,
+        "truncation": truncation,
+        "vector_len": vector_len,
+        "seeds": seeds,
+        "mean_fusion_speedup": mean("fusion_speedup"),
+        "mean_ops_ratio": mean("ops_ratio_simulink_over_frodo"),
+        "mean_eliminated_elements": mean("eliminated_elements"),
+        "mean_nests_fused": round(statistics.fmean(
+            [r["fusion"]["nests_fused"] for r in rows
+             if r.get("fusion")]), 3) if any(r.get("fusion")
+                                             for r in rows) else None,
+        "total_flag_mismatch_rejects": sum(
+            r["fusion"]["flag_mismatch_rejects"] for r in rows
+            if r.get("fusion")),
+        "per_seed": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 2 sizes, 1 seed/cell, fewer repeats")
+    parser.add_argument("--sizes", nargs="*", type=int, default=None,
+                        help=f"block budgets (default {DEFAULT_SIZES})")
+    parser.add_argument("--densities", nargs="*", type=float, default=None,
+                        help=f"truncation densities "
+                             f"(default {DEFAULT_DENSITIES})")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="seeds averaged per cell (default 3; quick 1)")
+    parser.add_argument("--steps", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--vector-len", type=int, default=48)
+    parser.add_argument("-o", "--output", default=None,
+                        help="write JSON here (default: BENCH_corpus.json "
+                             "at the repo root; --quick skips writing)")
+    args = parser.parse_args(argv)
+
+    sizes = tuple(args.sizes) if args.sizes else \
+        (QUICK_SIZES if args.quick else DEFAULT_SIZES)
+    densities = tuple(args.densities) if args.densities \
+        else DEFAULT_DENSITIES
+    seeds = args.seeds if args.seeds is not None else (1 if args.quick else 3)
+    repeats = args.repeats if args.repeats is not None \
+        else (2 if args.quick else 7)
+
+    cells = []
+    for blocks in sizes:
+        for truncation in densities:
+            cell = bench_cell(blocks, truncation, seeds, args.steps,
+                              repeats, args.vector_len)
+            cells.append(cell)
+            print(f"blocks={blocks:3d} truncation={truncation}: "
+                  f"ops ratio x{cell['mean_ops_ratio']}, "
+                  f"fusion x{cell['mean_fusion_speedup']}, "
+                  f"eliminated {cell['mean_eliminated_elements']} elems, "
+                  f"flag-rejects {cell['total_flag_mismatch_rejects']}")
+
+    report = {
+        "benchmark": "corpus",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "sizes": list(sizes),
+            "densities": list(densities),
+            "seeds_per_cell": seeds,
+            "steps": args.steps,
+            "repeats": repeats,
+            "vector_len": args.vector_len,
+        },
+        "cells": cells,
+        "quick": bool(args.quick),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+    if args.output or not args.quick:
+        out_path = Path(args.output) if args.output \
+            else REPO_ROOT / "BENCH_corpus.json"
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,15 +21,23 @@ from repro.model.slx import load_slx, save_slx
 
 
 def _resolve_model(spec: str) -> Model:
-    """A model argument is either a zoo name or a .slx path."""
+    """A model argument is a zoo name, a corpus spec, or a .slx path."""
+    from repro.corpus import build_corpus_model, corpus_spec_help, is_corpus_spec
     from repro.zoo import EXTENDED_MODELS, MODELS, build_model
+    if is_corpus_spec(spec):
+        from repro.errors import ModelError
+        try:
+            return build_corpus_model(spec)
+        except ModelError as exc:
+            raise SystemExit(str(exc))
     if spec in MODELS or spec in EXTENDED_MODELS or spec == "Motivating":
         return build_model(spec)
     path = Path(spec)
     if path.exists():
         return load_mdl(path) if path.suffix == ".mdl" else load_slx(path)
     known = ", ".join([*MODELS, *EXTENDED_MODELS, "Motivating"])
-    raise SystemExit(f"unknown model {spec!r}: not a zoo name ({known}) "
+    raise SystemExit(f"unknown model {spec!r}: not a zoo name ({known}), "
+                     f"not a corpus spec ({corpus_spec_help()}), "
                      "and no such file")
 
 
@@ -117,7 +125,7 @@ def cmd_memory(_args) -> None:
 
 def cmd_crosscheck(args) -> None:
     from repro.eval.crosscheck import crosscheck, render_crosscheck
-    models = [args.model] if args.model else None
+    models = [_resolve_model(args.model)] if args.model else None
     cells = crosscheck(models=models, native=args.native,
                        seeds=range(args.cases), steps=args.steps,
                        backend=args.backend, fuse=args.fuse)
@@ -328,9 +336,111 @@ def cmd_bench_serve(args) -> None:
     argv = []
     if args.quick:
         argv.append("--quick")
+    if args.corpus:
+        argv.extend(["--corpus", str(args.corpus)])
     if args.output:
         argv.extend(["--output", args.output])
     raise SystemExit(bench_main(argv))
+
+
+def _corpus_config(args):
+    from repro.corpus import GenConfig
+    return GenConfig(blocks=args.blocks, vector_len=args.vector_len,
+                     truncation=args.truncation, stateful=args.stateful)
+
+
+def cmd_corpus_gen(args) -> None:
+    """Generate corpus models; write .slx files or print summaries."""
+    from repro.corpus import corpus_name, generate_model, model_stats
+    config = _corpus_config(args)
+    out_dir = Path(args.output) if args.output else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for i in range(args.count):
+        seed = args.seed + i
+        model = generate_model(seed, config)
+        stats = model_stats(model)
+        if out_dir:
+            path = out_dir / f"{corpus_name(seed, config)}.slx"
+            save_slx(model, path)
+            print(f"wrote {path} ({stats['blocks']} blocks, "
+                  f"{stats['truncating_blocks']} truncating)")
+        else:
+            print(f"seed={seed} {stats['name']}: {stats['blocks']} blocks, "
+                  f"{stats['connections']} connections, "
+                  f"{stats['truncating_blocks']} truncating, "
+                  f"{stats['stateful_blocks']} stateful")
+
+
+def cmd_corpus_fuzz(args) -> None:
+    """Differential-fuzz generated models across generators x backends."""
+    from repro.eval.crosscheck import DEFAULT_GENERATORS
+    from repro.fuzz import fuzz_corpus, make_injector
+    config = _corpus_config(args)
+    generators = tuple(args.generators.split(",")) if args.generators \
+        else DEFAULT_GENERATORS
+    inject = make_injector(args.inject) if args.inject else None
+    report = fuzz_corpus(seed=args.seed, count=args.count, config=config,
+                         generators=generators, steps=args.steps,
+                         batch=args.batch,
+                         check_simulator=not args.no_simulator,
+                         inject=inject,
+                         shrink_failures=not args.no_shrink,
+                         reproducer_dir=args.reproducer_dir,
+                         log=print)
+    summary = report.summary()
+    print(f"fuzzed {summary['models']} models / {summary['legs_run']} legs: "
+          f"{summary['failures']} failing, "
+          f"{summary['mismatches']} mismatch(es)"
+          + (f", skipped backends: {', '.join(summary['backends_skipped'])}"
+             if summary['backends_skipped'] else ""))
+    for case in report.failures:
+        for mismatch in case.mismatches[:4]:
+            print(f"  seed={case.seed}: {mismatch.describe()}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
+def cmd_corpus_stats(args) -> None:
+    """Aggregate structural statistics over a corpus slice."""
+    from repro.corpus import generate_model, model_stats
+    config = _corpus_config(args)
+    totals: dict[str, int] = {}
+    blocks = connections = truncating = stateful = 0
+    for i in range(args.count):
+        stats = model_stats(generate_model(args.seed + i, config))
+        blocks += stats["blocks"]
+        connections += stats["connections"]
+        truncating += stats["truncating_blocks"]
+        stateful += stats["stateful_blocks"]
+        for type_name, n in stats["by_type"].items():
+            totals[type_name] = totals.get(type_name, 0) + n
+    print(f"corpus seed={args.seed} count={args.count} "
+          f"(blocks={config.blocks}, vector_len={config.vector_len}, "
+          f"truncation={config.truncation}):")
+    print(f"  {blocks} blocks, {connections} connections; "
+          f"{truncating} truncating ({100 * truncating / max(1, blocks):.1f}%), "
+          f"{stateful} stateful")
+    width = max(len(t) for t in totals)
+    for type_name, n in sorted(totals.items(), key=lambda kv: -kv[1]):
+        print(f"  {type_name:{width}s} {n}")
+
+
+def _add_corpus_knobs(p: argparse.ArgumentParser) -> None:
+    from repro.corpus import GenConfig
+    defaults = GenConfig()
+    p.add_argument("--seed", type=int, default=0,
+                   help="first generation seed (models use seed..seed+N-1)")
+    p.add_argument("--count", type=int, default=10,
+                   help="number of models to generate")
+    p.add_argument("--blocks", type=int, default=defaults.blocks,
+                   help="target drawn-operation blocks per model")
+    p.add_argument("--vector-len", type=int, default=defaults.vector_len,
+                   help="primary input vector width")
+    p.add_argument("--truncation", type=float, default=defaults.truncation,
+                   help="data-truncation density in [0, 1)")
+    p.add_argument("--stateful", type=float, default=defaults.stateful,
+                   help="stateful-block (delay) density in [0, 1)")
 
 
 def _add_fuse_flag(p: argparse.ArgumentParser) -> None:
@@ -523,8 +633,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serving throughput/latency benchmark "
                             "(writes BENCH_serve.json)")
     p.add_argument("--quick", action="store_true")
+    p.add_argument("--corpus", type=int, default=0, metavar="N",
+                   help="also bench hot-vs-diverse traffic over N distinct "
+                        "generated corpus fingerprints")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_bench_serve)
+
+    p = sub.add_parser("corpus",
+                       help="seeded synthetic model corpus: generate, "
+                            "differential-fuzz, or summarize")
+    corpus_sub = p.add_subparsers(dest="corpus_command", required=True)
+
+    cg = corpus_sub.add_parser("gen",
+                               help="generate models (print stats or "
+                                    "write .slx files)")
+    _add_corpus_knobs(cg)
+    cg.add_argument("-o", "--output", default=None, metavar="DIR",
+                    help="write each model as DIR/<name>.slx")
+    cg.set_defaults(func=cmd_corpus_gen)
+
+    cf = corpus_sub.add_parser("fuzz",
+                               help="differential fuzz: all generators x "
+                                    "backends x fuse x batch, bitwise "
+                                    "outputs + exact element-op counts")
+    _add_corpus_knobs(cf)
+    cf.add_argument("--steps", type=int, default=3)
+    cf.add_argument("--batch", type=int, default=3,
+                    help="batch width for the run_batch legs "
+                         "(1 disables them)")
+    cf.add_argument("--generators", default=None,
+                    help="comma-separated generator subset "
+                         "(default: all four)")
+    cf.add_argument("--no-simulator", action="store_true",
+                    help="skip the reference-simulator comparison")
+    cf.add_argument("--no-shrink", action="store_true",
+                    help="do not shrink failing models")
+    cf.add_argument("--reproducer-dir", default=None, metavar="DIR",
+                    help="save shrunk failing models as .slx here")
+    cf.add_argument("--inject", default=None, metavar="BLOCKTYPE",
+                    help="deliberately corrupt outputs of models computing "
+                         "this block type (harness self-test / shrink demo)")
+    cf.set_defaults(func=cmd_corpus_fuzz)
+
+    cs = corpus_sub.add_parser("stats",
+                               help="aggregate block statistics over a "
+                                    "corpus slice")
+    _add_corpus_knobs(cs)
+    cs.set_defaults(func=cmd_corpus_stats)
     return parser
 
 

@@ -1,0 +1,7 @@
+"""Seeded synthetic model corpus (SLforge-style generation at scale)."""
+
+from repro.corpus.generate import (  # noqa: F401
+    CORPUS_PREFIX, GenConfig, build_corpus_model, corpus_name,
+    corpus_spec_help, generate_model, is_corpus_spec, model_stats,
+    parse_corpus_spec,
+)

@@ -1,0 +1,482 @@
+"""Seeded synthetic model generator (SLforge-style, corpus-scale).
+
+The zoo is 13 hand-built models; corpus-scale validation (SLNET, "Corpora
+for Understanding Simulink Models & Projects") needs thousands.  This
+module assembles random block graphs over the existing block property
+library — valid by construction: every recipe only fires when the signals
+it needs are available and only draws parameters the target spec's
+``validate`` accepts, so ``analyze`` succeeds on every generated model and
+the full parse→compile pipeline can be exercised by round-tripping the
+result through the ``.slx``/``.mdl`` writers.
+
+Generation is **deterministic**: one ``(seed, GenConfig)`` pair always
+produces the identical model (same names, same parameters, same wiring),
+which is what makes corpus fuzzing reproducible from a failure report and
+lets a serve client name a model as ``corpus:<seed>:<size>`` and get the
+same fingerprint every time, on every machine.
+
+Knobs mirror the paper's evaluation axes: ``blocks`` scales model size,
+``truncation`` scales data-truncation density (the §3.2 property that
+redundancy elimination feeds on), ``vector_len`` scales signal widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.block import PortRef
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+__all__ = [
+    "GenConfig", "generate_model", "corpus_name", "CORPUS_PREFIX",
+    "is_corpus_spec", "parse_corpus_spec", "build_corpus_model",
+    "corpus_spec_help", "model_stats",
+]
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Tunable shape of one generated model."""
+
+    #: Target number of drawn operation blocks (sources/sinks come on top).
+    blocks: int = 24
+    #: Width of the primary Inport vectors (signal sizes scale with it).
+    vector_len: int = 48
+    #: Data-truncation density in [0, 1): probability that a drawn block is
+    #: a truncation block (Selector/Downsample) and that an Outport gets a
+    #: truncating window — the knob behind the paper's Table 2 axis.
+    truncation: float = 0.35
+    #: Probability that a drawn block is stateful (UnitDelay/Delay).
+    stateful: float = 0.08
+    #: Number of float64 Inports (plus one scalar Inport, always).
+    inports: int = 2
+    #: Number of Outports wired at the end.
+    outports: int = 3
+    #: Include a uint32 sub-chain (Bitwise/Shift/Mod → conversion)?
+    int_chain: bool = True
+    #: Hard cap on any signal's element count (0 = 4 * vector_len).
+    max_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ModelError(f"GenConfig.blocks must be >= 1, got {self.blocks}")
+        if self.vector_len < 8:
+            raise ModelError(
+                f"GenConfig.vector_len must be >= 8, got {self.vector_len}")
+        if not 0.0 <= self.truncation < 1.0:
+            raise ModelError(
+                f"GenConfig.truncation must be in [0, 1), got {self.truncation}")
+        if not 0.0 <= self.stateful < 1.0:
+            raise ModelError(
+                f"GenConfig.stateful must be in [0, 1), got {self.stateful}")
+        if self.inports < 1 or self.outports < 1:
+            raise ModelError("GenConfig needs at least one inport and outport")
+
+    @property
+    def size_cap(self) -> int:
+        return self.max_size if self.max_size > 0 else 4 * self.vector_len
+
+
+def corpus_name(seed: int, config: GenConfig) -> str:
+    """Deterministic model name encoding the generation coordinates."""
+    return f"Corpus_s{seed}_b{config.blocks}_t{int(config.truncation * 100)}"
+
+
+# -- the generator -------------------------------------------------------------
+
+
+class _Gen:
+    """One generation run: a builder, a signal pool, and an rng."""
+
+    def __init__(self, seed: int, config: GenConfig):
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.b = ModelBuilder(corpus_name(seed, config))
+        #: Available float64 1-D signals: (ref, element count).
+        self.pool: list[tuple[PortRef, int]] = []
+
+    # -- rng helpers -------------------------------------------------------
+
+    def flip(self, p: float) -> bool:
+        return bool(self.rng.random() < p)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] inclusive."""
+        return int(self.rng.integers(lo, hi + 1))
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return float(np.round(lo + (hi - lo) * self.rng.random(), 4))
+
+    # -- pool helpers ------------------------------------------------------
+
+    def push(self, ref: PortRef, size: int) -> tuple[PortRef, int]:
+        self.pool.append((ref, size))
+        return ref, size
+
+    def pick(self, min_size: int = 1, max_size: int | None = None,
+             ) -> Optional[tuple[PortRef, int]]:
+        """Draw a pool signal, biased toward recent entries (deep graphs)."""
+        cap = max_size if max_size is not None else self.config.size_cap
+        eligible = [i for i, (_, n) in enumerate(self.pool)
+                    if min_size <= n <= cap]
+        if not eligible:
+            return None
+        if len(eligible) > 3 and self.flip(0.5):
+            idx = eligible[-self.randint(1, 3)]
+        else:
+            idx = eligible[self.randint(0, len(eligible) - 1)]
+        return self.pool[idx]
+
+    def pick_pair(self, min_size: int = 2) -> Optional[tuple]:
+        """Two signals of one size (second may be scalar): elementwise args."""
+        first = self.pick(min_size=min_size)
+        if first is None:
+            return None
+        ref_a, n = first
+        partners = [(r, m) for r, m in self.pool if m in (n, 1)]
+        ref_b, m = partners[self.randint(0, len(partners) - 1)]
+        if self.flip(0.5):
+            return (ref_b, m), (ref_a, n)
+        return (ref_a, n), (ref_b, m)
+
+    # -- recipes -----------------------------------------------------------
+    # Each returns the (ref, size) it pushed, or None when not applicable.
+
+    def r_unary(self) -> Optional[tuple]:
+        picked = self.pick()
+        if picked is None:
+            return None
+        src, n = picked
+        b = self.b
+        choice = self.randint(0, 9)
+        if choice == 0:
+            ref = b.gain(src, self.uniform(-1.5, 1.5))
+        elif choice == 1:
+            ref = b.bias(src, self.uniform(-1.0, 1.0))
+        elif choice == 2:
+            ref = b.abs(src)
+        elif choice == 3:
+            ref = b.unary_minus(src)
+        elif choice == 4:
+            lo = self.uniform(-1.0, 0.0)
+            ref = b.saturation(src, lo, lo + self.uniform(0.1, 1.5))
+        elif choice == 5:
+            ref = b.trig(src, ("sin", "cos")[self.randint(0, 1)])
+        elif choice == 6:
+            lo = self.uniform(-0.5, 0.0)
+            ref = b.block("DeadZone", [src], lower=lo,
+                          upper=lo + self.uniform(0.0, 0.5))
+        elif choice == 7:
+            ref = b.block("Quantizer", [src],
+                          interval=self.uniform(0.05, 0.5))
+        elif choice == 8:
+            ref = b.block("Sign", [src])
+        else:
+            ref = b.block("Rounding", [src], function=(
+                "floor", "ceil", "round", "fix")[self.randint(0, 3)])
+        return self.push(ref, n)
+
+    def r_binary(self) -> Optional[tuple]:
+        pair = self.pick_pair()
+        if pair is None:
+            return None
+        (ref_a, n), (ref_b, m) = pair
+        out = max(n, m)
+        b = self.b
+        choice = self.randint(0, 3)
+        if choice == 0:
+            signs = "+" + ("+", "-")[self.randint(0, 1)]
+            ref = b.block("Add", [ref_a, ref_b], signs=signs)
+        elif choice == 1:
+            ref = b.product(ref_a, ref_b)
+        elif choice == 2:
+            ref = b.minmax(ref_a, ref_b,
+                           function=("min", "max")[self.randint(0, 1)])
+        else:
+            # data-on / control / data-off; control scalar or same-size
+            ctrl = self.pick(max_size=1) if self.flip(0.5) else (ref_a, n)
+            if ctrl is None:
+                ctrl = (ref_a, n)
+            ref = b.switch(ref_a, ctrl[0], ref_b,
+                           threshold=self.uniform(-0.3, 0.3))
+        return self.push(ref, out)
+
+    def r_truncate(self) -> Optional[tuple]:
+        picked = self.pick(min_size=4)
+        if picked is None:
+            return None
+        src, n = picked
+        b = self.b
+        choice = self.randint(0, 3)
+        if choice == 0:  # start_end window
+            keep = self.randint(2, max(2, n - n // 3))
+            start = self.randint(0, n - keep)
+            ref = b.selector(src, start=start, end=start + keep - 1)
+            return self.push(ref, keep)
+        if choice == 1:  # stride
+            stride = self.randint(2, 3)
+            start = self.randint(0, min(2, n - 1))
+            end = n - 1
+            count = len(range(start, end + 1, stride))
+            if count < 1:
+                return None
+            ref = b.selector(src, start=start, end=end, stride=stride)
+            return self.push(ref, count)
+        if choice == 2:  # explicit index vector
+            k = self.randint(2, max(2, n // 2))
+            indices = sorted(
+                int(i) for i in self.rng.choice(n, size=min(k, n),
+                                                replace=False))
+            ref = b.selector(src, indices=indices)
+            return self.push(ref, len(indices))
+        factor = self.randint(2, 3)  # Downsample
+        if n < factor:
+            return None
+        ref = b.block("Downsample", [src], factor=factor)
+        return self.push(ref, n // factor)
+
+    def r_resize(self) -> Optional[tuple]:
+        cap = self.config.size_cap
+        b = self.b
+        choice = self.randint(0, 5)
+        if choice == 0:  # Pad
+            picked = self.pick(max_size=cap - 6)
+            if picked is None:
+                return None
+            src, n = picked
+            before, after = self.randint(0, 3), self.randint(0, 3)
+            ref = b.pad(src, before, after, value=self.uniform(-0.5, 0.5))
+            return self.push(ref, n + before + after)
+        if choice == 1:  # Upsample
+            picked = self.pick(min_size=2, max_size=cap // 2)
+            if picked is None:
+                return None
+            src, n = picked
+            ref = b.block("Upsample", [src], factor=2)
+            return self.push(ref, 2 * n)
+        if choice == 2:  # Concatenate
+            first = self.pick(max_size=cap // 2)
+            second = self.pick(max_size=cap // 2)
+            if first is None or second is None:
+                return None
+            ref = b.concatenate(first[0], second[0])
+            return self.push(ref, first[1] + second[1])
+        if choice == 3:  # Convolution with a constant kernel
+            picked = self.pick(min_size=6, max_size=cap - 6)
+            if picked is None:
+                return None
+            src, n = picked
+            m = self.randint(3, 5)
+            kernel = b.constant(None, np.round(
+                self.rng.random(m) - 0.5, 4).tolist())
+            ref = b.convolution(src, kernel)
+            return self.push(ref, n + m - 1)
+        if choice == 4:  # Difference
+            picked = self.pick(min_size=3)
+            if picked is None:
+                return None
+            src, n = picked
+            ref = b.difference(src)
+            return self.push(ref, n - 1)
+        picked = self.pick(min_size=2)  # Reverse / CumulativeSum
+        if picked is None:
+            return None
+        src, n = picked
+        ref = b.block("Reverse", [src]) if self.flip(0.5) else b.cumsum(src)
+        return self.push(ref, n)
+
+    def r_reduce(self) -> Optional[tuple]:
+        picked = self.pick(min_size=2)
+        if picked is None:
+            return None
+        src, n = picked
+        b = self.b
+        choice = self.randint(0, 3)
+        if choice == 0:
+            ref = b.sum_of_elements(src)
+        elif choice == 1:
+            ref = b.mean(src)
+        elif choice == 2:
+            ref = b.block("MinMaxOfElements", [src],
+                          function=("min", "max")[self.randint(0, 1)])
+        else:
+            partner = next(((r, m) for r, m in reversed(self.pool)
+                            if m == n and r != src), None)
+            if partner is None:
+                ref = b.block("Norm", [src])
+            else:
+                ref = b.dot(src, partner[0])
+        return self.push(ref, 1)
+
+    def r_state(self) -> Optional[tuple]:
+        picked = self.pick()
+        if picked is None:
+            return None
+        src, n = picked
+        if self.flip(0.6):
+            ref = self.b.unit_delay(src, initial=self.uniform(-0.5, 0.5))
+        else:
+            ref = self.b.delay(src, length=self.randint(2, 3),
+                               initial=self.uniform(-0.5, 0.5))
+        return self.push(ref, n)
+
+    # -- assembly ----------------------------------------------------------
+
+    def sources(self) -> None:
+        cfg = self.config
+        for i in range(cfg.inports):
+            n = max(8, cfg.vector_len // (1 + i % 2))
+            self.push(self.b.inport(f"In{i + 1}", shape=(n,)), n)
+        self.push(self.b.inport(f"In{cfg.inports + 1}", shape=()), 1)
+        self.push(self.b.constant(
+            None, np.round(self.rng.random(cfg.vector_len // 4) - 0.5,
+                           4).tolist()), cfg.vector_len // 4)
+        self.push(self.b.constant(None, self.uniform(-1.0, 1.0)), 1)
+
+    def int_chain(self) -> None:
+        """uint32 side chain: Inport → Bitwise → Shift → Mod → to float64."""
+        n = max(8, self.config.vector_len // 4)
+        u = self.b.inport("InWords", shape=(n,), dtype="uint32")
+        mask = self.b.constant(
+            None, self.rng.integers(0, 2 ** 32, size=n,
+                                    dtype="uint64").astype("uint32"))
+        mixed = self.b.bitwise(u, mask, op=("XOR", "AND", "OR")[
+            self.randint(0, 2)])
+        shifted = self.b.shift(mixed, amount=self.randint(1, 7),
+                               direction=("left", "right")[self.randint(0, 1)])
+        bounded = self.b.modulo(shifted, divisor=self.randint(97, 1021))
+        as_float = self.b.block("DataTypeConversion", [bounded], to="float64")
+        scaled = self.b.gain(as_float, self.uniform(0.001, 0.01))
+        self.push(scaled, n)
+
+    def grow(self) -> None:
+        cfg = self.config
+        drawn = 0
+        attempts = 0
+        while drawn < cfg.blocks and attempts < cfg.blocks * 20:
+            attempts += 1
+            roll = self.rng.random()
+            if roll < cfg.truncation:
+                recipe: Callable = self.r_truncate
+            elif roll < cfg.truncation + cfg.stateful:
+                recipe = self.r_state
+            else:
+                recipe = (self.r_unary, self.r_binary, self.r_resize,
+                          self.r_reduce)[self.randint(0, 3)]
+            if recipe() is not None:
+                drawn += 1
+
+    def outputs(self) -> None:
+        cfg = self.config
+        consumed = {conn.src for conn in self.b.model.connections}
+        # Prefer leaves (unconsumed signals), most recent first.
+        ordered = [entry for entry in reversed(self.pool)
+                   if entry[0].block not in consumed]
+        ordered += [e for e in reversed(self.pool) if e not in ordered]
+        wired = 0
+        for ref, n in ordered:
+            if wired >= cfg.outports:
+                break
+            if n >= 4 and self.flip(cfg.truncation):
+                # Truncating window at the output boundary: the purest
+                # §3.2 shape — upstream work beyond the window is
+                # redundant and FRODO should eliminate it.
+                keep = self.randint(2, max(2, n // 2))
+                start = self.randint(0, n - keep)
+                ref = self.b.selector(ref, start=start, end=start + keep - 1)
+            self.b.outport(f"Out{wired + 1}", ref)
+            wired += 1
+        # Terminate a couple of remaining leaves: explicitly discarded
+        # computation that FRODO's range determination should kill.
+        for ref, _ in ordered[wired:wired + 2]:
+            if self.flip(0.5):
+                self.b.terminator(ref)
+
+    def build(self) -> Model:
+        self.sources()
+        if self.config.int_chain and self.config.blocks >= 12:
+            self.int_chain()
+        self.grow()
+        self.outputs()
+        return self.b.build()
+
+
+def generate_model(seed: int, config: GenConfig | None = None) -> Model:
+    """Generate one valid-by-construction random model.
+
+    Deterministic: identical ``(seed, config)`` always yields the identical
+    model.  The result passes :func:`repro.core.analysis.analyze` (asserted
+    here, so an invalid draw can never escape into a corpus).
+    """
+    config = config or GenConfig()
+    model = _Gen(int(seed), config).build()
+    from repro.core.analysis import analyze
+    analyze(model)  # raises on any validity bug — fail at the source
+    return model
+
+
+def model_stats(model: Model) -> dict:
+    """Cheap structural summary of one model (corpus reporting)."""
+    from repro.blocks import spec_for
+    by_type: dict[str, int] = {}
+    truncating = stateful = 0
+    for block in model:
+        by_type[block.block_type] = by_type.get(block.block_type, 0) + 1
+        spec = spec_for(block)
+        truncating += spec.is_truncation
+        stateful += spec.is_stateful
+    return {
+        "name": model.name,
+        "blocks": model.block_count,
+        "connections": len(model.connections),
+        "truncating_blocks": truncating,
+        "stateful_blocks": stateful,
+        "by_type": dict(sorted(by_type.items())),
+    }
+
+
+# -- corpus model specs --------------------------------------------------------
+
+CORPUS_PREFIX = "corpus:"
+
+
+def corpus_spec_help() -> str:
+    """One-line usage string for error messages."""
+    return "corpus:<seed>[:<blocks>[:<truncation>]] (e.g. corpus:7:40:0.5)"
+
+
+def is_corpus_spec(spec: str) -> bool:
+    return isinstance(spec, str) and spec.startswith(CORPUS_PREFIX)
+
+
+def parse_corpus_spec(spec: str) -> tuple[int, GenConfig]:
+    """Parse ``corpus:<seed>[:<blocks>[:<truncation>]]`` into generator
+    coordinates.  Raises :class:`~repro.errors.ModelError` on bad specs."""
+    if not is_corpus_spec(spec):
+        raise ModelError(f"not a corpus spec: {spec!r}; use {corpus_spec_help()}")
+    parts = spec[len(CORPUS_PREFIX):].split(":")
+    if not 1 <= len(parts) <= 3 or any(not p for p in parts):
+        raise ModelError(f"bad corpus spec {spec!r}; use {corpus_spec_help()}")
+    try:
+        seed = int(parts[0])
+        config = GenConfig()
+        if len(parts) >= 2:
+            config = replace(config, blocks=int(parts[1]))
+        if len(parts) == 3:
+            config = replace(config, truncation=float(parts[2]))
+    except (ValueError, ModelError) as exc:
+        raise ModelError(f"bad corpus spec {spec!r}: {exc}") from None
+    if seed < 0:
+        raise ModelError(f"bad corpus spec {spec!r}: seed must be >= 0")
+    return seed, config
+
+
+def build_corpus_model(spec: str) -> Model:
+    """Build the model a ``corpus:...`` spec names."""
+    seed, config = parse_corpus_spec(spec)
+    return generate_model(seed, config)

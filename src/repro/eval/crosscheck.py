@@ -60,8 +60,11 @@ def crosscheck(models: list[str] | None = None,
     if models is None:
         models = [e.name for e in TABLE1] + [e.name for e in EXTENDED]
     cells: list[CrossCheckCell] = []
-    for model_name in models:
-        model = build_model(model_name)
+    for entry in models:
+        # Entries are zoo names or already-built Model objects (the CLI
+        # resolves corpus specs and .slx paths before calling in).
+        model = build_model(entry) if isinstance(entry, str) else entry
+        model_name = getattr(entry, "name", entry)
         for generator in generators:
             code = make_generator(generator).generate(model)
             verified = verify_program(code.program) == []

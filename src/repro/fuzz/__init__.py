@@ -1,0 +1,9 @@
+"""Differential fuzzing harness over the synthetic model corpus."""
+
+from repro.fuzz.differential import (  # noqa: F401
+    ELEMENT_OP_FIELDS, FuzzCaseResult, FuzzReport, Mismatch,
+    available_backends, element_ops, fuzz_corpus, fuzz_model, make_injector,
+)
+from repro.fuzz.shrink import (  # noqa: F401
+    clone_model, save_reproducer, shrink_model,
+)

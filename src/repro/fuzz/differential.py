@@ -1,0 +1,378 @@
+"""Differential fuzzing over the generated-model corpus.
+
+One fuzz case takes one model and runs it through **every code generator
+× every available VM backend × {fuse on, fuse off} × {single run, batched
+run}**, asserting the two invariants the whole stack is built on:
+
+* **Bitwise-identical outputs** everywhere — across generators (redundancy
+  elimination must not change results), across backends (vector/native
+  lowering must not change results), across fusion (PR 6's contract), and
+  per-instance under batching (PR 4's contract).
+* **Exactly-equal element-op counts** across backends and fusion legs
+  *within* one generator (fusion and lowering are element-op-neutral;
+  generators legitimately differ — that difference IS the paper's
+  result).  Loop bookkeeping fields (``loop_iters``/``loops_entered``)
+  are excluded: fusion exists to shrink them.  Native legs participate
+  only when the VM reports ``counts_exact``.
+
+Native legs auto-skip when no C toolchain is present (``find_compiler()``
+is None, e.g. under ``REPRO_NO_CC``); the skip is recorded, not silent.
+
+``inject`` deliberately corrupts one leg's outputs for models containing
+a given block type — the hook the shrinker demo and tests use to prove
+the harness catches miscompares and reduces them to minimal reproducers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.codegen import make_generator
+from repro.eval.crosscheck import DEFAULT_GENERATORS
+from repro.ir.interp import ContextCounts, cached_vm
+from repro.model.graph import Model
+from repro.native.compile import find_compiler
+from repro.sim.simulator import random_inputs, simulate
+
+__all__ = [
+    "ELEMENT_OP_FIELDS", "Mismatch", "FuzzCaseResult", "FuzzReport",
+    "available_backends", "element_ops", "fuzz_model", "fuzz_corpus",
+    "make_injector",
+]
+
+#: OpCounts fields that must agree exactly across backends and fusion legs.
+#: Loop bookkeeping is excluded by design: fusion shrinks it.
+ELEMENT_OP_FIELDS = ("flops", "int_ops", "cmp_ops", "loads", "stores",
+                     "branches", "calls")
+
+#: Backends whose dynamic counts are exact by construction.
+_ALWAYS_EXACT = ("closure", "vector", "auto")
+
+
+def element_ops(counts: ContextCounts) -> dict[str, int]:
+    """The comparable slice of a count snapshot: element-op fields of the
+    bucket total."""
+    total = counts.total
+    return {f: getattr(total, f) for f in ELEMENT_OP_FIELDS}
+
+
+def available_backends(so_cache_dir=None) -> tuple[list[str], list[str]]:
+    """(runnable backends, skipped backends) on this machine."""
+    backends = ["closure", "vector", "auto"]
+    skipped = []
+    if find_compiler() is not None:
+        backends.append("native")
+    else:
+        skipped.append("native")
+    return backends, skipped
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One broken invariant on one leg of one fuzz case."""
+
+    kind: str            # "output" | "batch_output" | "counts" | "batch_counts"
+                         # | "simulator" | "error"
+    generator: str
+    backend: str
+    fuse: bool
+    detail: str
+    batch_index: int | None = None
+
+    def describe(self) -> str:
+        leg = f"{self.generator}/{self.backend}/fuse={'on' if self.fuse else 'off'}"
+        where = f"[b{self.batch_index}]" if self.batch_index is not None else ""
+        return f"{self.kind} @ {leg}{where}: {self.detail}"
+
+
+@dataclass
+class FuzzCaseResult:
+    """Outcome of fuzzing one model across all legs."""
+
+    seed: int
+    model_name: str
+    blocks: int
+    legs_run: int = 0
+    backends_skipped: list[str] = field(default_factory=list)
+    mismatches: list[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"FAIL({len(self.mismatches)})"
+        skip = f" skip={','.join(self.backends_skipped)}" \
+            if self.backends_skipped else ""
+        return (f"seed={self.seed} {self.model_name} blocks={self.blocks} "
+                f"legs={self.legs_run}{skip} {status}")
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate over a corpus fuzz run."""
+
+    cases: list[FuzzCaseResult] = field(default_factory=list)
+    reproducers: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    @property
+    def failures(self) -> list[FuzzCaseResult]:
+        return [case for case in self.cases if not case.ok]
+
+    def summary(self) -> dict:
+        return {
+            "models": len(self.cases),
+            "legs_run": sum(c.legs_run for c in self.cases),
+            "failures": len(self.failures),
+            "mismatches": sum(len(c.mismatches) for c in self.cases),
+            "backends_skipped": sorted({b for c in self.cases
+                                        for b in c.backends_skipped}),
+            "reproducers": list(self.reproducers),
+        }
+
+
+def make_injector(block_type: str,
+                  generators: Iterable[str] = ("frodo",),
+                  backend: str = "vector") -> Callable:
+    """Build an output-corruption hook simulating a miscompile.
+
+    The returned hook perturbs the first output element on the given
+    generator×backend legs *iff the model contains a computed (live to
+    some Outport/Terminator sink) ``block_type`` block* — so a fuzz run
+    fails exactly on models whose generated code exercises that block,
+    and shrinking converges to a minimal model that still computes it.
+    """
+    from repro.fuzz.shrink import _dead_blocks
+
+    gens = tuple(generators)
+
+    def inject(model: Model, generator: str, leg_backend: str,
+               outputs: dict) -> dict:
+        if generator not in gens or leg_backend != backend:
+            return outputs
+        flat = model.flatten()
+        dead = _dead_blocks(flat)
+        if not any(b.block_type == block_type and b.name not in dead
+                   for b in flat):
+            return outputs
+        corrupted = dict(outputs)
+        name = sorted(corrupted)[0]
+        arr = np.array(corrupted[name], copy=True)
+        arr.reshape(-1)[0] += 1 if arr.dtype.kind in "ui" else 1e-9
+        corrupted[name] = arr
+        return corrupted
+
+    return inject
+
+
+def _diff_arrays(name: str, got: np.ndarray, want: np.ndarray) -> Optional[str]:
+    if got.tobytes() == want.tobytes():
+        return None
+    if got.shape != want.shape or got.dtype != want.dtype:
+        return (f"output {name!r}: shape/dtype {got.shape}/{got.dtype} "
+                f"vs {want.shape}/{want.dtype}")
+    delta = np.max(np.abs(np.asarray(got, dtype=np.float64)
+                          - np.asarray(want, dtype=np.float64)))
+    return f"output {name!r}: max abs delta {delta:.3e}"
+
+
+def fuzz_model(model: Model, seed: int = 0, *,
+               generators: Sequence[str] = DEFAULT_GENERATORS,
+               backends: Sequence[str] | None = None,
+               steps: int = 3, batch: int = 3,
+               check_simulator: bool = True,
+               so_cache_dir=None,
+               inject: Callable | None = None) -> FuzzCaseResult:
+    """Run one model through every generator × backend × fuse × batch leg.
+
+    The reference leg is ``generators[0]`` on the closure backend with
+    fusion on; every other leg must match it bitwise.  ``backends``
+    restricts the legs (default: every backend available on this
+    machine).  ``inject`` is an optional
+    ``(model, generator, backend, outputs) -> outputs`` hook applied to
+    every leg's single-run outputs (see :func:`make_injector`).
+    """
+    result = FuzzCaseResult(seed=seed, model_name=model.name,
+                            blocks=model.block_count)
+    avail, result.backends_skipped = available_backends(so_cache_dir)
+    if backends is None:
+        backends = avail
+    else:
+        backends = [b for b in backends if b in avail]
+
+    raw_inputs = [random_inputs(model, seed=seed + i) for i in range(batch)]
+
+    ref_outputs: list[dict] | None = None   # per batch instance
+    sim_outputs: dict | None = None
+    if check_simulator:
+        sim_outputs = simulate(model, raw_inputs[0], steps=steps)
+
+    for gen_name in generators:
+        try:
+            code = make_generator(gen_name).generate(model)
+        except Exception as exc:  # a generator crash is a finding, not a skip
+            result.mismatches.append(Mismatch(
+                "error", gen_name, "-", True, f"codegen raised: {exc!r}"))
+            continue
+        inputs_list = [code.map_inputs(inp) for inp in raw_inputs]
+        gen_counts: dict | None = None  # per-generator exact count reference
+        gen_batch_counts: dict | None = None  # sum over batch instances
+
+        for backend in backends:
+            for fuse in (True, False):
+                try:
+                    vm = cached_vm(code.program, backend=backend,
+                                   so_cache_dir=so_cache_dir, fuse=fuse)
+                    single = vm.run(inputs_list[0], steps=steps)
+                    batched = vm.run_batch(inputs_list, steps=steps) \
+                        if batch > 1 else None
+                except Exception as exc:
+                    result.mismatches.append(Mismatch(
+                        "error", gen_name, backend, fuse,
+                        f"execution raised: {exc!r}"))
+                    continue
+                result.legs_run += 1
+
+                outs = code.map_outputs(single.outputs)
+                if inject is not None:
+                    outs = inject(model, gen_name, backend, outs)
+
+                if ref_outputs is None:
+                    # First successful leg defines the bitwise reference.
+                    ref_outputs = [outs]
+                    if batched is not None:
+                        ref_outputs += [code.map_outputs(o)
+                                        for o in batched.outputs[1:]]
+                else:
+                    for name, want in ref_outputs[0].items():
+                        delta = _diff_arrays(name, outs[name], want)
+                        if delta:
+                            result.mismatches.append(Mismatch(
+                                "output", gen_name, backend, fuse, delta))
+
+                if batched is not None and ref_outputs is not None \
+                        and len(ref_outputs) == batch:
+                    for b, inst in enumerate(batched.outputs):
+                        mapped = code.map_outputs(inst)
+                        if inject is not None:
+                            mapped = inject(model, gen_name, backend, mapped)
+                        for name, want in ref_outputs[b].items():
+                            delta = _diff_arrays(name, mapped[name], want)
+                            if delta:
+                                result.mismatches.append(Mismatch(
+                                    "batch_output", gen_name, backend, fuse,
+                                    delta, batch_index=b))
+
+                counts_ok = backend in _ALWAYS_EXACT or vm.counts_exact
+                if counts_ok:
+                    ops = element_ops(single.counts)
+                    if gen_counts is None:
+                        gen_counts = ops
+                    elif ops != gen_counts:
+                        diff = {f: (ops[f], gen_counts[f])
+                                for f in ELEMENT_OP_FIELDS
+                                if ops[f] != gen_counts[f]}
+                        result.mismatches.append(Mismatch(
+                            "counts", gen_name, backend, fuse,
+                            f"element-op counts diverge: {diff}"))
+                    if batched is not None and batched.counts_exact:
+                        batch_ops = element_ops(batched.counts)
+                        # Exact contract: batch counts == sum of per-instance
+                        # single runs.  Instances see different inputs, and
+                        # data-dependent control flow (a scalar Switch arm,
+                        # say) makes per-instance counts legitimately differ
+                        # — so the expected sum is measured, not multiplied.
+                        if gen_batch_counts is None:
+                            per = [ops] + [
+                                element_ops(vm.run(inp, steps=steps).counts)
+                                for inp in inputs_list[1:]]
+                            gen_batch_counts = {
+                                f: sum(p[f] for p in per)
+                                for f in ELEMENT_OP_FIELDS}
+                        want = gen_batch_counts
+                        if batch_ops != want:
+                            diff = {f: (batch_ops[f], want[f])
+                                    for f in ELEMENT_OP_FIELDS
+                                    if batch_ops[f] != want[f]}
+                            result.mismatches.append(Mismatch(
+                                "batch_counts", gen_name, backend, fuse,
+                                f"batch counts != sum of {batch} "
+                                f"per-instance singles: {diff}"))
+
+        if sim_outputs is not None and ref_outputs is not None:
+            for name, want in sim_outputs.items():
+                got = ref_outputs[0].get(name)
+                if got is None or not np.allclose(got, want, equal_nan=True):
+                    result.mismatches.append(Mismatch(
+                        "simulator", gen_name, "closure", True,
+                        f"output {name!r} diverges from reference simulator"))
+            sim_outputs = None  # one simulator check per case is enough
+
+    return result
+
+
+def fuzz_corpus(seed: int = 0, count: int = 10, *,
+                config=None,
+                generators: Sequence[str] = DEFAULT_GENERATORS,
+                steps: int = 3, batch: int = 3,
+                check_simulator: bool = True,
+                so_cache_dir=None,
+                inject: Callable | None = None,
+                shrink_failures: bool = True,
+                reproducer_dir: str | None = None,
+                log: Callable[[str], None] | None = None) -> FuzzReport:
+    """Fuzz ``count`` generated models starting at ``seed``.
+
+    Failing models are shrunk to minimal reproducers (unless
+    ``shrink_failures`` is off) and saved as ``.slx`` under
+    ``reproducer_dir`` when given.
+    """
+    from repro.corpus.generate import GenConfig, generate_model
+    from repro.fuzz.shrink import save_reproducer, shrink_model
+
+    config = config or GenConfig()
+    report = FuzzReport()
+    for i in range(count):
+        model_seed = seed + i
+        model = generate_model(model_seed, config)
+        case = fuzz_model(model, model_seed, generators=generators,
+                          steps=steps, batch=batch,
+                          check_simulator=check_simulator,
+                          so_cache_dir=so_cache_dir, inject=inject)
+        report.cases.append(case)
+        if log is not None:
+            log(case.describe())
+        if case.ok or not shrink_failures:
+            continue
+
+        # Shrink probes only need the implicated backends (plus closure
+        # as the bitwise reference) — skipping untouched native legs
+        # saves a .so compile per candidate.
+        implicated = {m.backend for m in case.mismatches} - {"-"}
+        probe_backends = ["closure"] + sorted(implicated - {"closure"})
+
+        def still_fails(candidate: Model) -> bool:
+            probe = fuzz_model(candidate, model_seed, generators=generators,
+                               backends=probe_backends,
+                               steps=steps, batch=batch,
+                               check_simulator=False,
+                               so_cache_dir=so_cache_dir, inject=inject)
+            return not probe.ok
+
+        minimal = shrink_model(model, still_fails)
+        if log is not None:
+            log(f"  shrunk {model.block_count} -> {minimal.block_count} blocks")
+        if reproducer_dir is not None:
+            path = save_reproducer(minimal, reproducer_dir,
+                                   seed=model_seed)
+            report.reproducers.append(path)
+            if log is not None:
+                log(f"  reproducer saved: {path}")
+    return report

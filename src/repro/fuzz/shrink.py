@@ -1,0 +1,214 @@
+"""Shrink a failing model to a minimal reproducer.
+
+Greedy delta-debugging over the model graph: repeatedly propose a
+structurally smaller candidate, keep it iff it is still a valid model
+*and* the caller's predicate (``still fails the differential check``)
+holds, and stop at a fixpoint or when the evaluation budget runs out.
+
+Reduction passes, in order of aggressiveness:
+
+1. **Drop outports** — remove one Outport (keeping at least one), then
+   garbage-collect everything only it consumed.
+2. **Dead-code prune** — drop blocks not reachable backwards from any
+   Outport (Terminator arms and orphaned chains).
+3. **Bypass** — delete a single-input block whose output signal equals
+   its input signal (Gain, Abs, UnitDelay, ...), rewiring consumers to
+   its driver.
+4. **Promote to Inport** — replace an interior block (plus its now-dead
+   upstream cone) with a fresh Inport of the same signal, cutting whole
+   subtrees at once.
+
+Every candidate is validated with :func:`repro.core.analysis.analyze`
+before the predicate sees it, so the shrinker can never hand back an
+invalid model.  The result is saved as a committable ``.slx`` regression
+artifact via :func:`save_reproducer`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from repro.model.block import Block, Connection
+from repro.model.graph import Model
+from repro.model.mdl import mdl_to_model, model_to_mdl
+
+__all__ = ["shrink_model", "save_reproducer", "clone_model"]
+
+
+def clone_model(model: Model) -> Model:
+    """Deep, independent copy via the canonical ``.mdl`` round-trip."""
+    return mdl_to_model(model_to_mdl(model))
+
+
+def _analyze_ok(model: Model) -> bool:
+    from repro.core.analysis import analyze
+    try:
+        analyze(model)
+        return True
+    except Exception:
+        return False
+
+
+def _delete_blocks(model: Model, names: set[str]) -> None:
+    for name in names:
+        model.blocks.pop(name, None)
+        model.subsystems.pop(name, None)
+    model.connections = [c for c in model.connections
+                         if c.src not in names and c.dst not in names]
+
+
+def _dead_blocks(model: Model) -> set[str]:
+    """Blocks with no forward path to any sink (Outport or Terminator).
+
+    Terminator arms count as live: generated code *computes* them (that
+    is the redundancy FRODO's range analysis targets), so a miscompile
+    can hide there and pruning them would mask the failure.  Dropping a
+    Terminator arm is a predicate-checked shrink step instead
+    (:func:`_drop_terminator_candidates`).
+    """
+    live: set[str] = set()
+    frontier = [b.name for b in model.blocks.values()
+                if b.block_type in ("Outport", "Terminator")]
+    # reachable *backwards* from sinks
+    producers: dict[str, list[str]] = {}
+    for conn in model.connections:
+        producers.setdefault(conn.dst, []).append(conn.src)
+    while frontier:
+        name = frontier.pop()
+        if name in live:
+            continue
+        live.add(name)
+        frontier.extend(producers.get(name, ()))
+    return set(model.blocks) - live
+
+
+def _pruned(model: Model) -> Model:
+    clone = clone_model(model)
+    dead = _dead_blocks(clone)
+    if dead:
+        _delete_blocks(clone, dead)
+    return clone
+
+
+def _drop_outport_candidates(model: Model):
+    outports = [b.name for b in model.blocks.values()
+                if b.block_type == "Outport"]
+    if len(outports) <= 1:
+        return
+    for name in outports:
+        clone = clone_model(model)
+        _delete_blocks(clone, {name})
+        yield _pruned(clone)
+
+
+def _drop_terminator_candidates(model: Model):
+    for block in list(model.blocks.values()):
+        if block.block_type != "Terminator":
+            continue
+        clone = clone_model(model)
+        _delete_blocks(clone, {block.name})
+        yield _pruned(clone)
+
+
+def _bypass_candidates(model: Model):
+    for block in list(model.blocks.values()):
+        if block.block_type in ("Inport", "Outport", "Constant", "Terminator"):
+            continue
+        drivers = [c for c in model.connections if c.dst == block.name]
+        consumers = [c for c in model.connections if c.src == block.name]
+        if len(drivers) != 1 or not consumers:
+            continue
+        src, src_port = drivers[0].src, drivers[0].src_port
+        clone = clone_model(model)
+        _delete_blocks(clone, {block.name})
+        for conn in consumers:
+            clone.connections.append(Connection(
+                src, src_port, conn.dst, conn.dst_port))
+        yield _pruned(clone)
+
+
+def _promote_candidates(model: Model):
+    """Replace an interior block with an Inport carrying the same signal."""
+    from repro.core.analysis import analyze
+    try:
+        analysis = analyze(model)
+    except Exception:
+        return
+    used_ports = [b.param("port", 0) for b in model.blocks.values()
+                  if b.block_type == "Inport"]
+    next_port = max(used_ports, default=0) + 1
+    for block in list(model.blocks.values()):
+        if block.block_type in ("Inport", "Outport", "Constant", "Terminator"):
+            continue
+        consumers = [c for c in model.connections if c.src == block.name]
+        if not consumers:
+            continue
+        signal = analysis.signals.get(block.name)
+        if signal is None:
+            continue
+        fresh = f"ShrinkIn_{block.name}"
+        if fresh in model.blocks:
+            continue
+        clone = clone_model(model)
+        _delete_blocks(clone, {block.name})
+        clone.add_block(Block(fresh, "Inport", {
+            "port": next_port, "shape": tuple(signal.shape),
+            "dtype": signal.dtype}))
+        for conn in consumers:
+            clone.connections.append(Connection(
+                fresh, 0, conn.dst, conn.dst_port))
+        yield _pruned(clone)
+
+
+def shrink_model(model: Model, predicate: Callable[[Model], bool], *,
+                 max_evals: int = 200,
+                 log: Callable[[str], None] | None = None) -> Model:
+    """Greedily minimize ``model`` while ``predicate`` keeps holding.
+
+    ``predicate`` receives a candidate (always analyze-valid) and returns
+    True when it still exhibits the failure.  Returns the smallest model
+    found; the original is returned unchanged if nothing can be removed
+    (or if — defensively — the predicate does not even hold on it).
+    """
+    current = _pruned(model)
+    if not _analyze_ok(current) or not predicate(current):
+        current = clone_model(model)
+        if not predicate(current):
+            return current
+    evals = 0
+    passes = (_drop_outport_candidates, _drop_terminator_candidates,
+              _bypass_candidates, _promote_candidates)
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for make_candidates in passes:
+            for candidate in make_candidates(current):
+                if evals >= max_evals:
+                    break
+                if len(candidate.blocks) >= len(current.blocks):
+                    continue
+                if not _analyze_ok(candidate):
+                    continue
+                evals += 1
+                if predicate(candidate):
+                    if log is not None:
+                        log(f"shrink: {len(current.blocks)} -> "
+                            f"{len(candidate.blocks)} blocks")
+                    current = candidate
+                    improved = True
+                    break  # restart this pass on the smaller model
+            if improved:
+                break
+    return current
+
+
+def save_reproducer(model: Model, out_dir: str, *,
+                    seed: Optional[int] = None) -> str:
+    """Write a shrunk model as a committable ``.slx`` regression artifact."""
+    from repro.model.slx import save_slx
+    os.makedirs(out_dir, exist_ok=True)
+    stem = f"repro_seed{seed}" if seed is not None else f"repro_{model.name}"
+    path = os.path.join(out_dir, f"{stem}.slx")
+    save_slx(model, path)
+    return path

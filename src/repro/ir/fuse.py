@@ -67,6 +67,11 @@ class FusionStats:
     bytes_saved: int = 0          # static bytes released by contraction
     loops_before: int = 0         # program loop count before the pass
     loops_after: int = 0          # ... and after
+    #: Merge candidates rejected *only* because their
+    #: ``vectorizable``/``forced_simd`` flags differ (domains were
+    #: merge-shaped).  This is ROADMAP item 5's headroom, surfaced so
+    #: corpus runs can quantify it before flag-aware merging exists.
+    flag_mismatch_rejects: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -75,6 +80,7 @@ class FusionStats:
             "bytes_saved": self.bytes_saved,
             "loops_before": self.loops_before,
             "loops_after": self.loops_after,
+            "flag_mismatch_rejects": self.flag_mismatch_rejects,
         }
 
 
@@ -689,6 +695,44 @@ def _merge_sweep(stmts: list, stats: FusionStats, memo: _Memo) -> int:
     return merges
 
 
+def _audit_flag_rejects(stmts: list, stats: FusionStats,
+                        memo: _Memo) -> None:
+    """Count merge candidates in the *final* fused statement list whose
+    only blocker is a ``vectorizable``/``forced_simd`` flag mismatch.
+
+    Runs once after the merge fixpoint, so the tally is a well-defined
+    property of the fused program — the headroom a flag-aware merge
+    (ROADMAP item 5) would unlock — rather than an artifact of how many
+    sweeps the fixpoint took.  Mirrors :func:`_merge_sweep`'s hoist
+    reachability and :func:`_try_merge`'s domain tests, flags excepted.
+    """
+    for i, a in enumerate(stmts):
+        if not (isinstance(a, For) and a.static_bounds):
+            continue
+        ra = _normalize_ranges(a.iter_ranges())
+        if not ra:
+            continue
+        between_rw: set = set()
+        between_w: set = set()
+        for b in stmts[i + 1:]:
+            if isinstance(b, For) and b.static_bounds:
+                br, bw = memo.rw_sets(b)
+                if not (bw & between_rw) and not (br & between_w) \
+                        and (a.vectorizable, a.forced_simd) \
+                        != (b.vectorizable, b.forced_simd):
+                    rb = _normalize_ranges(b.iter_ranges())
+                    mergeable = bool(rb) and (
+                        (_ascending(ra, rb)
+                         and memo.alpha_key(a) == memo.alpha_key(b))
+                        or (ra == rb and _dep_ok(memo.buffer_info(a),
+                                                 memo.buffer_info(b))))
+                    if mergeable:
+                        stats.flag_mismatch_rejects += 1
+            sr, sw = memo.rw_sets(b)
+            between_rw |= sr | sw
+            between_w |= sw
+
+
 # -- contraction ---------------------------------------------------------------
 
 
@@ -836,6 +880,7 @@ def fuse_step_inplace(program: Program, *,
     memo = _Memo()
     while _merge_sweep(stmts, stats, memo):
         pass
+    _audit_flag_rejects(stmts, stats, memo)
     program.step[:] = stmts
     if contract:
         _contract_buffers(program, stats)

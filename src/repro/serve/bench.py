@@ -174,6 +174,53 @@ def bench_coalescing(cache_dir: str, models: tuple[str, ...],
     }
 
 
+def bench_corpus_diversity(cache_dir: str, n: int, generator: str,
+                           steps: int, concurrency: int,
+                           requests_per_client: int,
+                           blocks: int = 12) -> dict:
+    """Hot 2-model traffic vs ``n`` distinct generated fingerprints.
+
+    Both workloads address models by ``corpus:<seed>:<blocks>`` spec, so
+    every request resolves through the same generator path; the only
+    difference is fingerprint diversity.  The hot phase round-robins two
+    specs over fully warmed caches — the steady state the per-worker VM
+    cache is built for.  The diverse phase round-robins ``n`` distinct
+    specs with no pre-warming, so the first pass pays model generation,
+    analysis, codegen, and VM construction per fingerprint and the cache
+    hit rate reflects real churn.
+    """
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+    specs = tuple(f"corpus:{seed}:{blocks}" for seed in range(n))
+    hot = specs[:2]
+    config = ServeConfig(workers=2, cache_dir=cache_dir,
+                         timeout_seconds=120.0,
+                         max_pending=max(64, concurrency * 2))
+    rows = {}
+    with ServerThread(config) as server_thread:
+        port = server_thread.server.port
+        with ServeClient(port=port) as client:
+            for spec in hot:  # warm the hot set out of the timed loop
+                client.run(spec, generator=generator, steps=steps,
+                           include_outputs=False)
+        rows["hot"] = _closed_loop(port, hot, generator, steps,
+                                   concurrency, requests_per_client)
+        rows["diverse"] = _closed_loop(port, specs, generator, steps,
+                                       concurrency, requests_per_client)
+        with ServeClient(port=port) as client:
+            snapshot = client.metrics(render=False)["snapshot"]
+    hot_rps = rows["hot"]["throughput_rps"] or 1.0
+    diverse_rps = rows["diverse"]["throughput_rps"] or 0.0
+    return {
+        "models": n,
+        "blocks": blocks,
+        "hot_models": len(hot),
+        **rows,
+        "diverse_vs_hot": round(diverse_rps / hot_rps, 2),
+        "vm_cache_hit_rate": snapshot["vm_cache_hit_rate"],
+    }
+
+
 def bench_restart(cache_dir: str, models: tuple[str, ...],
                   generator: str) -> dict:
     """Fresh server on a populated cache dir: compile must skip codegen."""
@@ -251,7 +298,7 @@ def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
               models: tuple[str, ...] = DEFAULT_MODELS,
               generator: str = "frodo", steps: int = 1,
               concurrency: int = 4, requests_per_client: int = 25,
-              cache_dir: str | None = None) -> dict:
+              cache_dir: str | None = None, corpus: int = 0) -> dict:
     owned_tmp = None
     if cache_dir is None:
         owned_tmp = tempfile.TemporaryDirectory(prefix="bench-serve-")
@@ -272,6 +319,14 @@ def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
             requests_per_client=requests_per_client)
         restart = bench_restart(cache_dir, models, generator)
         native = bench_native(cache_dir, models, generator, steps)
+        # Corpus diversity gets its own cache subdirectory so the hot
+        # phase's warm-up cannot be polluted by the zoo sections above.
+        corpus_diversity = None
+        if corpus:
+            corpus_cache = str(Path(cache_dir) / "corpus")
+            corpus_diversity = bench_corpus_diversity(
+                corpus_cache, corpus, generator, steps, concurrency,
+                requests_per_client)
     finally:
         if owned_tmp is not None:
             owned_tmp.cleanup()
@@ -298,6 +353,7 @@ def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
         "coalescing": coalescing,
         "restart": restart,
         "native": native,
+        "corpus_diversity": corpus_diversity,
     }
 
 
@@ -316,6 +372,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--concurrency", type=int, default=4)
     parser.add_argument("--requests", type=int, default=25,
                         help="warm-phase requests per client")
+    parser.add_argument("--corpus", type=int, default=0, metavar="N",
+                        help="also benchmark hot-vs-diverse traffic over N "
+                             "distinct corpus:<seed>:<blocks> fingerprints")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -329,7 +388,8 @@ def main(argv: list[str] | None = None) -> int:
 
     result = run_bench(worker_counts=worker_counts,
                        models=tuple(args.models), generator=args.generator,
-                       concurrency=concurrency, requests_per_client=requests)
+                       concurrency=concurrency, requests_per_client=requests,
+                       corpus=args.corpus)
     result["quick"] = bool(args.quick)
     result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
 
@@ -356,6 +416,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"restart compile from artifact cache: "
           f"{result['restart']['compile_after_restart_ms']} "
           f"(hit={result['restart']['served_from_artifact_cache']})")
+    diversity = result["corpus_diversity"]
+    if diversity:
+        print(f"corpus diversity: hot({diversity['hot_models']} models) "
+              f"{diversity['hot']['throughput_rps']} req/s vs "
+              f"diverse({diversity['models']} models) "
+              f"{diversity['diverse']['throughput_rps']} req/s "
+              f"(x{diversity['diverse_vs_hot']}), "
+              f"vm_hit_rate={diversity['vm_cache_hit_rate']}")
     native = result["native"]
     if "skipped" in native:
         print(f"native serving: skipped ({native['skipped']})")

@@ -78,6 +78,15 @@ def resolve_model(req: dict):
         return model, model_fingerprint(model)
 
     name = req.get("model")
+    if isinstance(name, str):
+        from repro.corpus import is_corpus_spec
+        if is_corpus_spec(name):
+            from repro.corpus import build_corpus_model
+            try:
+                model = build_corpus_model(name)
+            except ReproError as exc:
+                raise ServeError("invalid_model", str(exc))
+            return model, model_fingerprint(model)
     if not isinstance(name, str) or not name:
         raise ServeError("bad_request",
                          "request needs a 'model' name or a 'model_payload'")
@@ -85,9 +94,11 @@ def resolve_model(req: dict):
     try:
         model = build_model(name)
     except KeyError:
+        from repro.corpus import corpus_spec_help
         known = ", ".join(_known_model_names())
         raise ServeError("unknown_model",
-                         f"unknown model {name!r}; known zoo models: {known}")
+                         f"unknown model {name!r}; known zoo models: {known}; "
+                         f"corpus specs also accepted: {corpus_spec_help()}")
     return model, model_fingerprint(model)
 
 

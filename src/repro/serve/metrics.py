@@ -151,7 +151,8 @@ class MetricsRegistry:
         self.fusion = Counter(
             "fusion_total",
             "loop-fusion work by freshly built VMs: nests_fused, "
-            "buffers_contracted, bytes_saved (cached VMs add nothing)")
+            "buffers_contracted, bytes_saved, flag_mismatch_rejects "
+            "(cached VMs add nothing)")
         self.in_flight = 0
 
     # -- recording ---------------------------------------------------------
@@ -187,7 +188,8 @@ class MetricsRegistry:
         """Fold one VM's fusion stats (a ``FusionStats.as_dict()``) into
         the aggregate counters."""
         with self._lock:
-            for key in ("nests_fused", "buffers_contracted", "bytes_saved"):
+            for key in ("nests_fused", "buffers_contracted", "bytes_saved",
+                        "flag_mismatch_rejects"):
                 amount = stats.get(key, 0)
                 if isinstance(amount, int) and amount > 0:
                     self.fusion.inc(amount, stat=key)

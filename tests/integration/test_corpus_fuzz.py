@@ -1,0 +1,124 @@
+"""Integration tests for the differential fuzz harness (repro.fuzz).
+
+The clean-corpus run is the load-bearing check: generated models must be
+bitwise-identical across every generator × backend × fuse × batch leg
+with exactly-equal element-op counts.  The injected-miscompare tests
+prove the harness *catches* violations and shrinks them to minimal
+committable reproducers — a fuzzer that cannot fail is not a fuzzer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus import GenConfig, generate_model
+from repro.fuzz import (
+    fuzz_corpus, fuzz_model, make_injector, save_reproducer, shrink_model,
+)
+from repro.model.slx import load_slx
+
+FAST = GenConfig(blocks=10, vector_len=16)
+
+
+class TestCleanCorpus:
+    def test_small_corpus_is_differentially_clean(self):
+        report = fuzz_corpus(seed=0, count=3, config=FAST)
+        assert report.ok, [m.describe() for c in report.failures
+                           for m in c.mismatches]
+        assert all(c.legs_run >= 4 * 3 * 2 for c in report.cases)
+
+    def test_case_covers_all_generators(self):
+        case = fuzz_model(generate_model(1, FAST), 1)
+        backends = 4 if not case.backends_skipped else 3
+        assert case.legs_run == 4 * backends * 2
+
+    def test_native_skip_is_recorded_not_silent(self, monkeypatch):
+        # REPRO_NO_CC is checked before the find_compiler memo, so setting
+        # it here makes the native leg unavailable for this test only.
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        case = fuzz_model(generate_model(2, FAST), 2)
+        assert case.ok
+        assert case.backends_skipped == ["native"]
+        assert case.legs_run == 4 * 3 * 2
+
+
+class TestInjectedMiscompare:
+    def test_injected_corruption_is_caught(self):
+        inject = make_injector("Selector")
+        case = fuzz_model(generate_model(0, FAST), 0,
+                          generators=("frodo",), check_simulator=False,
+                          inject=inject)
+        assert not case.ok
+        kinds = {m.kind for m in case.mismatches}
+        assert "output" in kinds
+        assert all(m.backend == "vector" for m in case.mismatches)
+
+    def test_shrinks_to_minimal_reproducer(self, tmp_path):
+        inject = make_injector("Selector")
+        model = generate_model(0, FAST)
+
+        def still_fails(candidate):
+            return not fuzz_model(candidate, 0, generators=("frodo",),
+                                  check_simulator=False,
+                                  inject=inject).ok
+
+        minimal = shrink_model(model, still_fails)
+        assert minimal.block_count < model.block_count
+        # Minimal means: a Selector (the "miscompiled" block), something
+        # feeding it, and an output observing it — nothing else.
+        assert minimal.block_count <= 5
+        types = [b.block_type for b in minimal]
+        assert "Selector" in types
+        assert still_fails(minimal)
+
+        path = save_reproducer(minimal, str(tmp_path), seed=0)
+        reloaded = load_slx(path)
+        assert [b.block_type for b in reloaded] == types
+        assert still_fails(reloaded)
+
+    def test_fuzz_corpus_saves_reproducers(self, tmp_path):
+        inject = make_injector("Gain")
+        report = fuzz_corpus(seed=0, count=2, config=FAST,
+                             generators=("frodo",), check_simulator=False,
+                             inject=inject, reproducer_dir=str(tmp_path))
+        if report.ok:  # neither seed drew a live Gain — generator drift
+            pytest.skip("no live Gain in seeds 0-1 with this config")
+        assert report.reproducers
+        for path in report.reproducers:
+            assert load_slx(path).block_count >= 3
+
+
+class TestBatchLegs:
+    def test_batch_outputs_match_per_instance_runs(self):
+        # fuzz_model already cross-checks batch instance outputs against
+        # per-seed references; a passing case with batch legs proves it.
+        case = fuzz_model(generate_model(3, FAST), 3, batch=4,
+                          generators=("simulink", "frodo"))
+        assert case.ok
+
+    def test_batch_one_disables_batch_legs(self):
+        case = fuzz_model(generate_model(3, FAST), 3, batch=1,
+                          generators=("frodo",))
+        assert case.ok
+
+
+class TestStatefulModels:
+    def test_stateful_corpus_is_clean(self):
+        config = GenConfig(blocks=12, vector_len=16, stateful=0.4)
+        report = fuzz_corpus(seed=10, count=2, config=config, steps=5)
+        assert report.ok, [m.describe() for c in report.failures
+                           for m in c.mismatches]
+
+    def test_outputs_are_finite_enough_to_compare(self):
+        # NaN poisoning would make bitwise comparison vacuous; the
+        # generator's parameter ranges must keep most outputs finite.
+        from repro.codegen import FrodoGenerator
+        from repro.ir.interp import execute
+        from repro.sim.simulator import random_inputs
+        model = generate_model(4, FAST)
+        code = FrodoGenerator().generate(model)
+        res = execute(code.program,
+                      code.map_inputs(random_inputs(model, seed=4)), steps=3)
+        outs = code.map_outputs(res.outputs)
+        finite = sum(np.isfinite(v).sum() for v in outs.values())
+        total = sum(v.size for v in outs.values())
+        assert finite >= total * 0.5

@@ -65,6 +65,56 @@ class TestCli:
         out = capsys.readouterr().out
         assert out.count("PASS") == 4
 
+    def test_corpus_spec_resolves_as_model(self, capsys):
+        main(["show-ranges", "corpus:2:10"])
+        out = capsys.readouterr().out
+        assert "Corpus_s2_b10" in out
+
+    def test_bad_corpus_spec_names_the_form(self):
+        with pytest.raises(SystemExit, match="corpus"):
+            main(["show-ranges", "corpus:nope"])
+
+    def test_unknown_model_error_mentions_corpus(self):
+        with pytest.raises(SystemExit, match="corpus:<seed>"):
+            main(["show-ranges", "NoSuchThing"])
+
+    def test_corpus_gen_prints_stats(self, capsys):
+        main(["corpus", "gen", "--count", "2", "--blocks", "8",
+              "--vector-len", "16"])
+        out = capsys.readouterr().out
+        assert "seed=0" in out and "seed=1" in out and "truncating" in out
+
+    def test_corpus_gen_writes_slx(self, tmp_path, capsys):
+        main(["corpus", "gen", "--count", "1", "--blocks", "6",
+              "--vector-len", "16", "-o", str(tmp_path)])
+        from repro.model.slx import load_slx
+        written = list(tmp_path.glob("*.slx"))
+        assert len(written) == 1
+        assert load_slx(written[0]).block_count > 0
+
+    def test_corpus_stats(self, capsys):
+        main(["corpus", "stats", "--count", "2", "--blocks", "8",
+              "--vector-len", "16"])
+        out = capsys.readouterr().out
+        assert "blocks" in out and "Outport" in out
+
+    def test_corpus_fuzz_clean(self, capsys):
+        main(["corpus", "fuzz", "--count", "1", "--blocks", "6",
+              "--vector-len", "16", "--generators", "frodo,simulink",
+              "--no-simulator", "--batch", "2"])
+        out = capsys.readouterr().out
+        assert "0 failing" in out
+
+    def test_corpus_fuzz_injected_fails_and_saves(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["corpus", "fuzz", "--count", "1", "--blocks", "10",
+                  "--vector-len", "16", "--generators", "frodo",
+                  "--no-simulator", "--inject", "Selector",
+                  "--reproducer-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert list(tmp_path.glob("*.slx"))
+
     def test_generate_variant(self, capsys):
         main(["generate", "HighPass", "-g", "frodo-fn"])
         out = capsys.readouterr().out
@@ -125,6 +175,11 @@ class TestCli:
         main(["crosscheck", "Simpson", "--cases", "1", "--steps", "1"])
         out = capsys.readouterr().out
         assert "ALL CONSISTENT" in out
+
+    def test_crosscheck_accepts_corpus_spec(self, capsys):
+        main(["crosscheck", "corpus:3:10", "--cases", "1", "--steps", "1"])
+        out = capsys.readouterr().out
+        assert "Corpus_s3_b10_t35" in out and "ALL CONSISTENT" in out
 
     def test_crosscheck_fails_loudly(self, monkeypatch, capsys):
         import repro.eval.crosscheck as cc

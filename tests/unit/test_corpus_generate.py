@@ -1,0 +1,90 @@
+"""Unit tests for the seeded corpus generator (repro.corpus)."""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.corpus import (
+    CORPUS_PREFIX, GenConfig, build_corpus_model, corpus_name,
+    generate_model, is_corpus_spec, model_stats, parse_corpus_spec,
+)
+from repro.errors import ModelError
+from repro.model.mdl import model_to_mdl
+
+
+class TestGenerateModel:
+    def test_valid_across_seeds(self):
+        for seed in range(20):
+            analyze(generate_model(seed))  # raises on any validity bug
+
+    def test_deterministic(self):
+        a = model_to_mdl(generate_model(7))
+        b = model_to_mdl(generate_model(7))
+        assert a == b
+
+    def test_seeds_differ(self):
+        assert model_to_mdl(generate_model(1)) != model_to_mdl(generate_model(2))
+
+    def test_config_scales_size(self):
+        small = generate_model(0, GenConfig(blocks=6, vector_len=16))
+        large = generate_model(0, GenConfig(blocks=60, vector_len=16))
+        assert large.block_count > small.block_count
+
+    def test_truncation_knob_changes_density(self):
+        lo = sum(model_stats(generate_model(s, GenConfig(truncation=0.02)))
+                 ["truncating_blocks"] for s in range(6))
+        hi = sum(model_stats(generate_model(s, GenConfig(truncation=0.7)))
+                 ["truncating_blocks"] for s in range(6))
+        assert hi > lo
+
+    def test_has_sources_and_sinks(self):
+        model = generate_model(3)
+        types = {b.block_type for b in model}
+        assert "Inport" in types and "Outport" in types
+
+    def test_name_encodes_coordinates(self):
+        config = GenConfig(blocks=10, truncation=0.5)
+        model = generate_model(9, config)
+        assert model.name == corpus_name(9, config) == "Corpus_s9_b10_t50"
+
+    def test_stats_shape(self):
+        stats = model_stats(generate_model(0))
+        assert stats["blocks"] > 0
+        assert stats["connections"] > 0
+        assert sum(stats["by_type"].values()) == stats["blocks"]
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ModelError):
+            GenConfig(blocks=0)
+        with pytest.raises(ModelError):
+            GenConfig(truncation=1.0)
+        with pytest.raises(ModelError):
+            GenConfig(vector_len=2)
+
+
+class TestCorpusSpec:
+    def test_roundtrip_default(self):
+        seed, config = parse_corpus_spec("corpus:5")
+        assert seed == 5 and config == GenConfig()
+
+    def test_full_spec(self):
+        seed, config = parse_corpus_spec("corpus:7:40:0.5")
+        assert seed == 7
+        assert config.blocks == 40
+        assert config.truncation == 0.5
+
+    def test_build_matches_generate(self):
+        spec_model = build_corpus_model("corpus:4:16")
+        direct = generate_model(4, GenConfig(blocks=16))
+        assert model_to_mdl(spec_model) == model_to_mdl(direct)
+
+    def test_is_corpus_spec(self):
+        assert is_corpus_spec(CORPUS_PREFIX + "0")
+        assert not is_corpus_spec("Motivating")
+        assert not is_corpus_spec("model.slx")
+
+    @pytest.mark.parametrize("bad", [
+        "corpus:", "corpus:x", "corpus:1:y", "corpus:1:2:3:4",
+        "corpus:-1", "corpus:1:0", "corpus:1:10:1.5", "corpus::"])
+    def test_bad_specs_are_typed_errors(self, bad):
+        with pytest.raises(ModelError):
+            parse_corpus_spec(bad)

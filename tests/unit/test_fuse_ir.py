@@ -235,7 +235,61 @@ class TestContraction:
         assert isinstance(stats, FusionStats)
         assert set(stats.as_dict()) == {
             "nests_fused", "buffers_contracted", "bytes_saved",
-            "loops_before", "loops_after"}
+            "loops_before", "loops_after", "flag_mismatch_rejects"}
+
+
+class TestFlagMismatchAccounting:
+    """ROADMAP item 5 headroom: merge-shaped pairs rejected only because
+    their vectorizable/forced_simd flags differ are counted, once."""
+
+    def two_loop_chain(self, flags=(True, False)):
+        p = Program("t")
+        p.declare("u", (16,), "float64", "input")
+        p.declare("mid", (16,), "float64", "temp")
+        p.declare("y", (16,), "float64", "output")
+        p.step.append(elementwise_loop("mid", "u", [(0, 16)],
+                                       vectorizable=flags[0]))
+        p.step.append(elementwise_loop("y", "mid", [(0, 16)], variable="j",
+                                       vectorizable=flags[1]))
+        return p
+
+    def test_flag_mismatch_is_counted(self):
+        stats = fuse_step_inplace(self.two_loop_chain())
+        assert stats.nests_fused == 0
+        assert stats.flag_mismatch_rejects == 1
+
+    def test_fixpoint_sweeps_do_not_double_count(self):
+        # Three same-domain loops where only the vectorizable pair merges:
+        # the follow-up sweep revisits the mismatched pairs and must not
+        # count them again.
+        p = Program("t")
+        p.declare("u", (16,), "float64", "input")
+        p.declare("a", (16,), "float64", "temp")
+        p.declare("b", (16,), "float64", "temp")
+        p.declare("y", (16,), "float64", "output")
+        p.step.append(elementwise_loop("a", "u", [(0, 16)],
+                                       vectorizable=False))
+        p.step.append(elementwise_loop("b", "a", [(0, 16)], variable="j",
+                                       vectorizable=True))
+        p.step.append(elementwise_loop("y", "b", [(0, 16)], variable="k",
+                                       vectorizable=True))
+        stats = fuse_step_inplace(p)
+        assert stats.nests_fused == 1
+        assert stats.flag_mismatch_rejects == 1
+
+    def test_matching_flags_do_not_count(self):
+        stats = fuse_step_inplace(self.two_loop_chain(flags=(True, True)))
+        assert stats.nests_fused == 1
+        assert stats.flag_mismatch_rejects == 0
+
+    def test_zoo_headroom_is_visible(self):
+        # ImagePipeline's b7_focus chain is the documented flag-mismatch
+        # casualty: the counter must surface non-zero headroom there.
+        from repro.codegen import FrodoGenerator
+        from repro.zoo import build_model
+        code = FrodoGenerator().generate(build_model("ImagePipeline"))
+        _, stats = fuse_program(code.program)
+        assert stats.flag_mismatch_rejects > 0
 
 
 class TestFuseKnobCaching:

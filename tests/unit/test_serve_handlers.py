@@ -105,6 +105,38 @@ class TestRun:
         assert _error_type({"op": "run"}, cache) == "bad_request"
 
 
+class TestCorpusSpecs:
+    def test_corpus_spec_compiles(self, cache):
+        result, _ = handle_request(
+            {"op": "compile", "model": "corpus:3:10"}, cache)
+        assert result["model"] == "Corpus_s3_b10_t35"
+
+    def test_corpus_spec_fingerprint_is_stable(self, cache):
+        req = {"op": "compile", "model": "corpus:5:10"}
+        first, meta = handle_request(req, cache)
+        second, meta2 = handle_request(req, cache)
+        assert first["model_fingerprint"] == second["model_fingerprint"]
+        assert meta["artifact_cache"] == "miss"
+        assert meta2["artifact_cache"] == "hit"
+
+    def test_corpus_spec_runs(self, cache):
+        result, _ = handle_request(
+            {"op": "run", "model": "corpus:0:8", "steps": 2,
+             "backend": "vector"}, cache)
+        assert result["outputs"]
+
+    def test_bad_corpus_spec_is_invalid_model(self, cache):
+        assert _error_type({"op": "run", "model": "corpus:zzz"},
+                           cache) == "invalid_model"
+        assert _error_type({"op": "run", "model": "corpus:-4"},
+                           cache) == "invalid_model"
+
+    def test_unknown_model_error_mentions_corpus_form(self, cache):
+        with pytest.raises(ServeError) as exc:
+            handle_request({"op": "run", "model": "Zzz"}, None)
+        assert "corpus:<seed>" in str(exc.value)
+
+
 class TestPayloadUpload:
     def test_slx_payload_round_trip(self, cache, tmp_path):
         from repro.model.slx import save_slx
