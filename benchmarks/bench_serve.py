@@ -4,8 +4,9 @@ Thin entry point over :mod:`repro.serve.bench` so the benchmark runs both
 as ``python benchmarks/bench_serve.py`` (CI smoke with ``--quick``) and
 as ``frodo bench-serve``.  Measures closed-loop ``run`` throughput and
 latency percentiles across worker counts, cold-vs-warm first-request
-latency, and compile-after-restart service from the persistent artifact
-cache.
+latency, compile-after-restart service from the persistent artifact
+cache, and the adaptive tier (cold diverse-corpus p99 vs vector-only,
+hot-model time-to-promotion and steady-state auto-vs-native).
 
 Run directly (not collected by the tier-1 pytest config)::
 

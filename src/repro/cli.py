@@ -280,12 +280,18 @@ def cmd_serve(args) -> None:
                          allow_shutdown=not args.no_shutdown_op,
                          max_batch=args.max_batch,
                          max_batch_wait_ms=args.max_batch_wait_ms,
-                         trace_log=args.trace_log)
+                         trace_log=args.trace_log,
+                         adaptive=args.adaptive,
+                         promote_threshold_ms=args.promote_threshold_ms,
+                         promote_min_runs=args.promote_min_runs,
+                         promote_compiles=args.promote_compiles,
+                         vm_cache_max=args.vm_cache_max)
 
     def announce(server) -> None:
         cache = cache_dir or "disabled"
+        tier = ", adaptive tier: on" if args.adaptive else ""
         print(f"frodo serve: listening on {config.host}:{server.port} "
-              f"({args.workers} worker(s), artifact cache: {cache})",
+              f"({args.workers} worker(s), artifact cache: {cache}{tier})",
               flush=True)
 
     try:
@@ -588,6 +594,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-log", default=None, metavar="PATH",
                    help="trace every request and append finished spans "
                         "to this JSON-lines file")
+    p.add_argument("--adaptive", action="store_true",
+                   help="tiered execution for backend=auto: serve on the "
+                        "vector VM immediately and promote hot models to "
+                        "native via background compilation")
+    p.add_argument("--promote-threshold-ms", type=float, default=None,
+                   metavar="MS",
+                   help="fixed promotion threshold in estimated vector-"
+                        "work milliseconds (default: seeded per model "
+                        "from the cost model's compile estimate)")
+    p.add_argument("--promote-min-runs", type=int, default=2,
+                   help="requests a model needs before it is "
+                        "promotion-eligible")
+    p.add_argument("--promote-compiles", type=int, default=1,
+                   help="background native compiles in flight per worker")
+    p.add_argument("--vm-cache-max", type=int, default=None, metavar="N",
+                   help="warm per-worker VM cache bound (LRU beyond)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("trace",

@@ -1,0 +1,359 @@
+"""Tiered adaptive execution: obs-driven background promotion to native.
+
+``backend="auto"`` has a JIT's ingredients — a cheap always-available
+vector path, an expensive-but-fast native compile, and a cost model —
+but before this module the choice was static.  Here it becomes a serving
+tier, the standard inference-stack shape: every request is answered
+immediately on the vector backend, a per-fingerprint **heat tracker**
+accumulates how much work each program is actually serving, and once a
+fingerprint is hot enough to pay for its compile, the ``.so`` is built
+by a **background executor** off the request path (bounded concurrency;
+a request never blocks on gcc).  The finished native VM is atomically
+swapped into the warm worker VM cache
+(:func:`repro.ir.interp.install_cached_vm` +
+:func:`~repro.ir.interp.promote_fingerprint`), so the *next* request for
+that fingerprint runs native.  A toolchain failure demotes the
+fingerprint permanently — the vector VM remains the fallback and the
+server keeps answering.
+
+Heat and the promotion policy
+-----------------------------
+
+Heat is ``invocations × steps × batch`` with exponential decay
+(``half_life_seconds``), so a burst that stops ages out instead of
+promoting forever.  The promotion threshold is seeded from the cost
+model (:mod:`repro.ir.cost`): each fingerprint's modeled per-step time
+(static counts from :mod:`repro.ir.staticcount` priced by the
+:data:`~repro.ir.cost.X86_GCC` profile, scaled by
+:data:`VECTOR_OVERHEAD_FACTOR` for the Python vector backend's dispatch
+overhead) converts heat into *estimated vector wall time served*; the
+fingerprint promotes when that passes ``payoff_ratio`` times its
+estimated compile cost (:data:`COMPILE_BASE_NS` +
+:data:`COMPILE_PER_STMT_NS` × statement count).  Big programs therefore
+need proportionally more traffic before the compiler is spent on them —
+exactly the "compile cost off the request path" contract SDF-style
+embedded codegen assumes.  ``threshold_ms`` overrides the seeded value
+with a fixed one (tests and the CI smoke use this to promote quickly).
+
+One controller lives per serve worker process (module singleton,
+installed by :func:`configure` at worker startup).  Workers do not share
+heat — but they share the on-disk ``.so`` store, so the first worker to
+promote pays gcc once and every other worker's promotion is a dlopen.
+
+Promotion/demotion events are traced (``native.promote`` spans recorded
+on a background trace) and shipped to the server on the next handled
+request (``meta["adaptive_events"]``), where they feed the
+``backend_promotions_total`` / ``backend_demotions_total`` counters and
+the per-worker promotion-state gauge in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.obs import tracing
+
+#: Modeled-ns → estimated vector-backend wall-ns multiplier.  The cost
+#: model prices compiled C at -O3; the numpy vector backend pays Python
+#: and ufunc-dispatch overhead on top, measured at roughly this factor
+#: across the zoo (BENCH_vm.json vector vs modeled).  A calibration
+#: constant in the spirit of repro.ir.cost, not a measurement contract.
+VECTOR_OVERHEAD_FACTOR = 50.0
+
+#: Estimated fixed cost of one native build (compiler spawn + front end).
+COMPILE_BASE_NS = 2.5e8  # ~250 ms
+
+#: Estimated marginal compile cost per IR statement.
+COMPILE_PER_STMT_NS = 1.5e6  # ~1.5 ms
+
+
+@dataclass
+class AdaptiveConfig:
+    """Knobs of the adaptive tier (CLI: ``frodo serve --adaptive ...``)."""
+
+    #: Promote once estimated vector wall time served crosses
+    #: ``payoff_ratio`` × estimated compile cost.
+    payoff_ratio: float = 1.0
+    #: Fixed threshold in milliseconds of estimated vector wall time
+    #: served; overrides the cost-seeded threshold when set.
+    threshold_ms: float | None = None
+    #: A fingerprint must be requested at least this many times before it
+    #: is promotion-eligible, however hot one request made it.
+    min_runs: int = 2
+    #: Heat decay half-life — a fingerprint idle this long loses half
+    #: its accumulated heat.
+    half_life_seconds: float = 300.0
+    #: Background compiles allowed in flight per worker.
+    max_concurrent_compiles: int = 1
+    #: LRU bound on tracked fingerprints (heat entries, not VMs).
+    max_tracked: int = 512
+
+
+class _Entry:
+    """Heat and promotion state of one ``(fingerprint, fuse)``."""
+
+    __slots__ = ("program_fp", "fuse", "state", "heat", "invocations",
+                 "last_update", "step_ns", "compile_ns", "first_seen",
+                 "promoted_at", "compile_seconds", "model_name")
+
+    def __init__(self, program_fp: str, fuse: bool, model_name: str,
+                 now: float):
+        self.program_fp = program_fp
+        self.fuse = fuse
+        self.model_name = model_name
+        self.state = "cold"  # cold -> compiling -> promoted | demoted
+        self.heat = 0.0  # decayed steps × batch units
+        self.invocations = 0
+        self.last_update = now
+        self.first_seen = now
+        self.step_ns: float | None = None  # modeled per-step cost (lazy)
+        self.compile_ns: float = 0.0
+        self.promoted_at: float | None = None
+        self.compile_seconds: float | None = None
+
+
+def estimate_step_ns(program) -> float:
+    """Cost-model estimate of one vector-backend step's wall time (ns).
+
+    Static counts (:func:`repro.ir.staticcount.analyze_counts`) priced by
+    the x86-gcc profile, scaled by :data:`VECTOR_OVERHEAD_FACTOR`.  The
+    estimate only has to *rank* programs and scale thresholds — the
+    static counts' data-dependent approximations are fine here.
+    """
+    from repro.ir.cost import X86_GCC
+    from repro.ir.staticcount import analyze_counts
+    static = analyze_counts(program)
+    return max(X86_GCC.modeled_time_ns(static.step), 1.0) \
+        * VECTOR_OVERHEAD_FACTOR
+
+
+def estimate_compile_ns(program) -> float:
+    """Estimated cost of building this program's ``.so`` once."""
+    statements = sum(1 for _ in program.walk())
+    return COMPILE_BASE_NS + COMPILE_PER_STMT_NS * statements
+
+
+class AdaptiveController:
+    """Per-worker heat tracking + background native promotion.
+
+    Thread-safe: ``observe`` is called from the worker's request thread,
+    completions land on executor threads, and ``drain_events`` may run
+    concurrently with both.
+    """
+
+    def __init__(self, config: AdaptiveConfig, so_cache_dir=None):
+        self.config = config
+        self.so_cache_dir = so_cache_dir
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[str, bool], _Entry]" = OrderedDict()
+        self._events: list[dict] = []
+        self._futures: list[Future] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # -- request path ------------------------------------------------------
+
+    def observe(self, program, steps: int, batch: int = 1,
+                fuse: bool = True, model_name: str = "?") -> dict:
+        """Record one ``backend="auto"`` request; maybe start a promotion.
+
+        Returns a small status dict for the response meta:
+        ``{"state": ..., "heat": ...}``.  Never blocks on compilation —
+        the heaviest thing on this path is the one-time cost-model
+        estimate for a fingerprint's first sighting.
+        """
+        from repro.ir.vectorize import fingerprint
+        fp = fingerprint(program)
+        now = time.monotonic()
+        promote_entry = None
+        with self._lock:
+            key = (fp, bool(fuse))
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry(fp, bool(fuse), model_name, now)
+                self._entries[key] = entry
+                while len(self._entries) > self.config.max_tracked:
+                    evicted_key, evicted = self._entries.popitem(last=False)
+                    if evicted.state == "compiling":
+                        # Never forget an in-flight compile's bookkeeping.
+                        self._entries[evicted_key] = evicted
+                        self._entries.move_to_end(evicted_key, last=True)
+                        break
+            else:
+                self._entries.move_to_end(key)
+            dt = now - entry.last_update
+            if dt > 0 and self.config.half_life_seconds > 0:
+                entry.heat *= 0.5 ** (dt / self.config.half_life_seconds)
+            entry.last_update = now
+            entry.heat += max(steps, 1) * max(batch, 1)
+            entry.invocations += 1
+            should_estimate = (entry.state == "cold"
+                               and entry.step_ns is None
+                               and entry.invocations >= self.config.min_runs)
+        if should_estimate:
+            step_ns = estimate_step_ns(program)
+            compile_ns = estimate_compile_ns(program)
+            with self._lock:
+                entry.step_ns = step_ns
+                entry.compile_ns = compile_ns
+        with self._lock:
+            if (entry.state == "cold" and entry.step_ns is not None
+                    and entry.invocations >= self.config.min_runs
+                    and entry.heat * entry.step_ns
+                    >= self._threshold_ns(entry)):
+                entry.state = "compiling"
+                promote_entry = entry
+            status = {"state": entry.state,
+                      "heat": round(entry.heat, 3)}
+        if promote_entry is not None:
+            self._submit(promote_entry, program)
+        return status
+
+    def _threshold_ns(self, entry: _Entry) -> float:
+        if self.config.threshold_ms is not None:
+            return self.config.threshold_ms * 1e6
+        return self.config.payoff_ratio * entry.compile_ns
+
+    # -- background promotion ----------------------------------------------
+
+    def _submit(self, entry: _Entry, program) -> None:
+        with self._lock:
+            if self._closed:
+                entry.state = "cold"
+                return
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(self.config.max_concurrent_compiles, 1),
+                    thread_name_prefix="repro-promote")
+            future = self._executor.submit(self._promote, entry, program)
+            self._futures.append(future)
+            self._futures = [f for f in self._futures if not f.done()]
+
+    def _promote(self, entry: _Entry, program) -> None:
+        """Background job: build the ``.so``, swap the VM cache, promote.
+
+        Runs on an executor thread — a request that arrives while this
+        compiles is still served by the vector VM.
+        """
+        from repro.errors import NativeToolchainError
+        from repro.ir.interp import (VirtualMachine, install_cached_vm,
+                                     promote_fingerprint)
+        root = tracing.start_trace(
+            "native.promote", model=entry.model_name,
+            fingerprint=entry.program_fp[:12], fuse=entry.fuse)
+        t0 = time.perf_counter()
+        try:
+            with root:
+                vm = VirtualMachine(program, backend="native",
+                                    so_cache_dir=self.so_cache_dir,
+                                    fuse=entry.fuse)
+                install_cached_vm(program, vm,
+                                  so_cache_dir=self.so_cache_dir)
+                promoted = promote_fingerprint(
+                    entry.program_fp, entry.fuse,
+                    so_cache_dir=self.so_cache_dir)
+                root.set(outcome="promoted" if promoted else "demoted")
+        except NativeToolchainError as exc:
+            self._finish(entry, "demoted", t0, root, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 — demote, never crash worker
+            self._finish(entry, "demoted", t0, root,
+                         f"{type(exc).__name__}: {exc}")
+            return
+        self._finish(entry, "promoted" if promoted else "demoted", t0, root,
+                     None)
+
+    def _finish(self, entry: _Entry, state: str, t0: float, root,
+                error: str | None) -> None:
+        elapsed = time.perf_counter() - t0
+        if state == "demoted":
+            from repro.ir.interp import demote_fingerprint
+            demote_fingerprint(entry.program_fp, entry.fuse)
+        event = {
+            "event": state,
+            "model": entry.model_name,
+            "fingerprint": entry.program_fp[:12],
+            "fuse": entry.fuse,
+            "compile_seconds": round(elapsed, 6),
+        }
+        if error is not None:
+            event["error"] = error
+        spans = root.export()
+        if spans:
+            event["spans"] = spans
+        with self._lock:
+            entry.state = state
+            entry.compile_seconds = elapsed
+            if state == "promoted":
+                entry.promoted_at = time.monotonic()
+            self._events.append(event)
+
+    # -- reporting ---------------------------------------------------------
+
+    def drain_events(self) -> list[dict]:
+        """Completed promotion/demotion events since the last drain."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def state_counts(self) -> dict[str, int]:
+        """Current fingerprint-state distribution (the ``/metrics`` gauge)."""
+        counts = {"cold": 0, "compiling": 0, "promoted": 0, "demoted": 0}
+        with self._lock:
+            for entry in self._entries.values():
+                counts[entry.state] = counts.get(entry.state, 0) + 1
+        return counts
+
+    def state_of(self, program, fuse: bool = True) -> str | None:
+        from repro.ir.vectorize import fingerprint
+        with self._lock:
+            entry = self._entries.get((fingerprint(program), bool(fuse)))
+            return entry.state if entry is not None else None
+
+    def wait_idle(self, timeout: float = 60.0) -> bool:
+        """Block until all submitted promotions finish (tests, drain)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                pending = [f for f in self._futures if not f.done()]
+            if not pending:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+# -- per-process singleton -----------------------------------------------------
+
+_CONTROLLER: AdaptiveController | None = None
+
+
+def configure(config: AdaptiveConfig | None,
+              so_cache_dir=None) -> AdaptiveController | None:
+    """Install (or clear, with ``config=None``) this process's controller.
+
+    Called once per worker process at startup (and by the inline
+    ``workers=0`` pool).  Reconfiguring closes the previous controller.
+    """
+    global _CONTROLLER
+    if _CONTROLLER is not None:
+        _CONTROLLER.close()
+    _CONTROLLER = (AdaptiveController(config, so_cache_dir)
+                   if config is not None else None)
+    return _CONTROLLER
+
+
+def controller() -> AdaptiveController | None:
+    """The process-wide controller, or None when adaptive is disabled."""
+    return _CONTROLLER

@@ -244,13 +244,16 @@ class BatchQueue:
                 inst_result["outputs"] = entry["outputs"]
             inst_meta = {"coalesced": True,
                          "batched": result.get("executed", executed)}
-            for k in ("worker_pid", "service_seconds"):
+            for k in ("worker_pid", "service_seconds", "adaptive"):
                 if k in meta:
                     inst_meta[k] = meta[k]
             if rank == 0:
                 # Cache events happened once for the whole batch; surface
                 # them on one member so the registry counts them once.
-                for k in ("artifact_cache", "vm_cache"):
+                # Same for the adaptive tier's telemetry: promotion events
+                # and the eviction total are whole-worker facts.
+                for k in ("artifact_cache", "vm_cache", "adaptive_events",
+                          "adaptive_states", "vm_cache_evictions"):
                     if k in meta:
                         inst_meta[k] = meta[k]
             ctx = req.get("_trace")

@@ -61,7 +61,7 @@ def _latency_summary(seconds: list[float]) -> dict:
 
 def _closed_loop(port: int, models: tuple[str, ...], generator: str,
                  steps: int, concurrency: int,
-                 requests_per_client: int) -> dict:
+                 requests_per_client: int, backend: str = "auto") -> dict:
     """``concurrency`` clients issuing ``run`` back-to-back; aggregate."""
     from repro.serve.client import ServeClient
     latencies: list[list[float]] = [[] for _ in range(concurrency)]
@@ -74,7 +74,7 @@ def _closed_loop(port: int, models: tuple[str, ...], generator: str,
                 t0 = time.perf_counter()
                 try:
                     client.run(model, generator=generator, steps=steps,
-                               include_outputs=False)
+                               backend=backend, include_outputs=False)
                 except Exception:
                     errors[slot] += 1
                 latencies[slot].append(time.perf_counter() - t0)
@@ -294,6 +294,111 @@ def bench_native(cache_dir: str, models: tuple[str, ...], generator: str,
     return {"rows": rows}
 
 
+def bench_adaptive(cache_dir: str, generator: str, steps: int,
+                   concurrency: int, requests_per_client: int,
+                   corpus_n: int = 6, blocks: int = 12,
+                   hot_model: str = "Motivating") -> dict:
+    """Tiered adaptive execution: cold-traffic safety + hot promotion.
+
+    Two claims, measured separately:
+
+    * **cold diverse corpus** — the adaptive tier must never make cold
+      traffic worse: the same unwarmed ``corpus:<seed>:<blocks>`` sweep
+      is served once by a vector-only server (``backend="vector"``) and
+      once by an adaptive server (``backend="auto"``) running the
+      *default* cost-seeded promotion policy.  Cold low-heat
+      fingerprints never pay for their compile estimate, so the policy's
+      guardrail is what's under test: no background compiles are
+      spent on cold traffic and adaptive p99 stays within noise of
+      vector-only.  (With an aggressive fixed threshold the compiles
+      themselves still never block a request, but gcc competes for the
+      same cores — that regime is covered by the hot-model section,
+      where the compile is paid for.)
+    * **hot model** — one model hammered with ``backend="auto"`` on an
+      adaptive server: records how long (and how many requests) until a
+      response reports ``backend_effective == "native"``, then compares
+      steady-state adaptive-auto latency against explicit
+      ``backend="native"`` on the same warm server (the static-native
+      bound it should match once promoted).
+
+    Skipped with a note when no C toolchain is present — promotion would
+    only exercise the demotion path (covered by integration tests).
+    """
+    from repro.native import find_compiler
+    if find_compiler() is None:
+        return {"skipped": "no C compiler on PATH"}
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+
+    specs = tuple(f"corpus:{seed}:{blocks}" for seed in range(corpus_n))
+    cold = {}
+    for label, adaptive, backend in (("vector_only", False, "vector"),
+                                     ("adaptive_auto", True, "auto")):
+        config = ServeConfig(workers=2,
+                             cache_dir=str(Path(cache_dir) / label),
+                             timeout_seconds=120.0,
+                             max_pending=max(64, concurrency * 2),
+                             adaptive=adaptive)
+        with ServerThread(config) as server_thread:
+            cold[label] = _closed_loop(
+                server_thread.server.port, specs, generator, steps,
+                concurrency, requests_per_client, backend=backend)
+    p99_vector = cold["vector_only"]["latency"]["p99_ms"]
+    p99_adaptive = cold["adaptive_auto"]["latency"]["p99_ms"]
+
+    hot = {"model": hot_model}
+    config = ServeConfig(workers=1, cache_dir=str(Path(cache_dir) / "hot"),
+                         timeout_seconds=600.0, adaptive=True,
+                         promote_threshold_ms=0.0)
+    with ServerThread(config) as server_thread:
+        port = server_thread.server.port
+        with ServeClient(port=port) as client:
+            t0 = time.perf_counter()
+            promoted_after = None
+            requests_before = 0
+            deadline = t0 + 120.0
+            while time.perf_counter() < deadline:
+                result = client.run(hot_model, generator=generator,
+                                    steps=steps, include_outputs=False)
+                if result.get("backend_effective") == "native":
+                    promoted_after = time.perf_counter() - t0
+                    break
+                requests_before += 1
+                time.sleep(0.02)  # let the background compile land
+            snapshot = client.metrics(render=False)["snapshot"]
+        hot["time_to_promotion_s"] = (round(promoted_after, 3)
+                                      if promoted_after is not None else None)
+        hot["requests_before_promotion"] = requests_before
+        hot["promotions_total"] = snapshot.get("backend_promotions_total", 0)
+        hot["adaptive_state"] = snapshot.get("adaptive_state")
+        if promoted_after is not None:
+            steady_auto = _closed_loop(port, (hot_model,), generator, steps,
+                                       1, requests_per_client)
+            steady_native = _closed_loop(port, (hot_model,), generator,
+                                         steps, 1, requests_per_client,
+                                         backend="native")
+            hot["steady_auto"] = steady_auto
+            hot["steady_native"] = steady_native
+            native_rps = steady_native["throughput_rps"] or 1.0
+            auto_rps = steady_auto["throughput_rps"] or 0.0
+            hot["auto_vs_native"] = round(auto_rps / native_rps, 3)
+            hot["within_10pct_of_native"] = auto_rps >= 0.9 * native_rps
+
+    return {
+        "cold_corpus": {
+            "models": corpus_n,
+            "blocks": blocks,
+            **cold,
+            "p99_vector_ms": p99_vector,
+            "p99_adaptive_ms": p99_adaptive,
+            # 10% tolerance absorbs scheduler noise on short runs; the
+            # claim under test is "promotion never blocks a request".
+            "p99_no_worse": p99_adaptive <= p99_vector * 1.10,
+        },
+        "hot_promotion": hot,
+    }
+
+
 def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
               models: tuple[str, ...] = DEFAULT_MODELS,
               generator: str = "frodo", steps: int = 1,
@@ -319,6 +424,12 @@ def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
             requests_per_client=requests_per_client)
         restart = bench_restart(cache_dir, models, generator)
         native = bench_native(cache_dir, models, generator, steps)
+        # The adaptive section owns its cache subtree: promotion state must
+        # come from *its* traffic, not the zoo warm-up above.
+        adaptive = bench_adaptive(
+            str(Path(cache_dir) / "adaptive"), generator, steps,
+            concurrency, requests_per_client,
+            corpus_n=corpus if corpus else 6)
         # Corpus diversity gets its own cache subdirectory so the hot
         # phase's warm-up cannot be polluted by the zoo sections above.
         corpus_diversity = None
@@ -353,6 +464,7 @@ def run_bench(worker_counts=DEFAULT_WORKER_COUNTS,
         "coalescing": coalescing,
         "restart": restart,
         "native": native,
+        "adaptive": adaptive,
         "corpus_diversity": corpus_diversity,
     }
 
@@ -432,6 +544,26 @@ def main(argv: list[str] | None = None) -> int:
             print(f"native {model}: first {row['first_request_ms']}ms -> "
                   f"warm {row['warm_request_ms']}ms, restart-from-.so "
                   f"{row['restart_first_request_ms']}ms")
+    adaptive = result["adaptive"]
+    if "skipped" in adaptive:
+        print(f"adaptive serving: skipped ({adaptive['skipped']})")
+    else:
+        cold = adaptive["cold_corpus"]
+        print(f"adaptive cold corpus ({cold['models']} models): "
+              f"p99 vector {cold['p99_vector_ms']}ms vs "
+              f"adaptive auto {cold['p99_adaptive_ms']}ms "
+              f"(no_worse={cold['p99_no_worse']})")
+        hot = adaptive["hot_promotion"]
+        if hot.get("time_to_promotion_s") is not None:
+            print(f"adaptive hot {hot['model']}: promoted to native after "
+                  f"{hot['time_to_promotion_s']}s "
+                  f"({hot['requests_before_promotion']} vector-served "
+                  f"requests); steady auto-vs-native "
+                  f"x{hot.get('auto_vs_native')} "
+                  f"(within_10pct={hot.get('within_10pct_of_native')})")
+        else:
+            print(f"adaptive hot {hot['model']}: promotion did not land "
+                  f"within the deadline")
     print(f"wrote {out_path}")
     return 0
 

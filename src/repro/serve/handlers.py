@@ -138,7 +138,10 @@ def _native_vm(program, backend: str, ctx: "HandlerContext",
     the artifact cache, and toolchain failures become the typed
     ``native_unavailable`` error instead of an internal one (explicit
     ``backend="native"`` never silently falls back — benchmark numbers
-    must not lie)."""
+    must not lie).  ``backend="auto"`` may resolve to a *native* VM when
+    the program's fingerprint was promoted by the adaptive tier (see
+    :mod:`repro.serve.adaptive`); callers report ``vm.backend`` as the
+    effective backend."""
     from repro.errors import NativeToolchainError
     from repro.ir.interp import cached_vm
     so_dir = None
@@ -150,12 +153,33 @@ def _native_vm(program, backend: str, ctx: "HandlerContext",
         with acquire:
             vm = cached_vm(program, backend=backend, so_cache_dir=so_dir,
                            fuse=fuse)
+            if vm.backend != backend:
+                acquire.set(backend_effective=vm.backend)
             if vm.fusion_stats is not None:
                 acquire.set(**{f"fusion_{k}": v for k, v
                                in vm.fusion_stats.as_dict().items()})
         return vm
     except NativeToolchainError as exc:
         raise ServeError("native_unavailable", str(exc))
+
+
+def _observe_adaptive(artifact: Artifact, backend: str, steps: int,
+                      batch: int, fuse: bool, ctx: "HandlerContext") -> None:
+    """Feed one ``auto`` request into the adaptive heat tracker.
+
+    Only updates counters and possibly *enqueues* a background compile —
+    the promotion itself lands later, off the request path, and is
+    observed by a subsequent request through the VM cache swap.
+    """
+    if backend != "auto":
+        return
+    from repro.serve import adaptive
+    controller = adaptive.controller()
+    if controller is None:
+        return
+    ctx.meta["adaptive"] = controller.observe(
+        artifact.program, steps=steps, batch=batch, fuse=fuse,
+        model_name=artifact.model_name)
 
 
 def _int_field(req: dict, name: str, default: int, lo: int, hi: int) -> int:
@@ -304,6 +328,7 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
     ctx.meta["artifact_cache"] = source
 
     inputs = _decode_inputs(req, model, artifact, seed)
+    _observe_adaptive(artifact, backend, steps, 1, fuse, ctx)
     hits_before = vm_cache_stats()["hits"]
     vm = _native_vm(artifact.program, backend, ctx, fuse)
     ctx.meta["vm_cache"] = (
@@ -323,6 +348,7 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
         "model_fingerprint": model_fp,
         "generator": generator,
         "backend": backend,
+        "backend_effective": vm.backend,
         "fuse": fuse,
         "fusion": (vm.fusion_stats.as_dict()
                    if vm.fusion_stats is not None else None),
@@ -398,6 +424,8 @@ def op_run_batch(req: dict, ctx: "HandlerContext") -> dict:
             results[i] = {"ok": False, "error_type": exc.error_type,
                           "error": exc.message}
 
+    _observe_adaptive(artifact, backend, steps, max(len(decoded), 1), fuse,
+                      ctx)
     hits_before = vm_cache_stats()["hits"]
     vm = _native_vm(artifact.program, backend, ctx, fuse)
     ctx.meta["vm_cache"] = (
@@ -439,6 +467,7 @@ def op_run_batch(req: dict, ctx: "HandlerContext") -> dict:
         "model_fingerprint": model_fp,
         "generator": generator,
         "backend": backend,
+        "backend_effective": vm.backend,
         "fuse": fuse,
         "fusion": (vm.fusion_stats.as_dict()
                    if vm.fusion_stats is not None else None),
@@ -586,6 +615,31 @@ def handle_request(req: dict, cache: ArtifactCache | None,
         result = handler(req, ctx)
     ctx.meta["service_seconds"] = round(time.perf_counter() - t0, 6)
     spans = root.export()
+    _attach_adaptive_meta(ctx, spans)
     if spans:
         ctx.meta["spans"] = spans
     return result, ctx.meta
+
+
+def _attach_adaptive_meta(ctx: HandlerContext, spans: list) -> None:
+    """Ship adaptive-tier telemetry on the next handled request.
+
+    Promotions complete on a background thread — no request is in flight
+    to carry the news — so completed events, the ``native.promote`` trace
+    spans, the current state distribution, and the cumulative VM-cache
+    eviction count ride the meta of whatever this worker handles next.
+    The server folds them into counters and the per-worker state gauge.
+    """
+    from repro.ir.interp import vm_cache_stats
+    from repro.serve import adaptive
+    controller = adaptive.controller()
+    if controller is not None:
+        events = controller.drain_events()
+        if events:
+            for event in events:
+                spans.extend(event.pop("spans", ()))
+            ctx.meta["adaptive_events"] = events
+        ctx.meta["adaptive_states"] = controller.state_counts()
+    evictions = vm_cache_stats()["evictions"]
+    if evictions:
+        ctx.meta["vm_cache_evictions"] = evictions

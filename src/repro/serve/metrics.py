@@ -153,6 +153,22 @@ class MetricsRegistry:
             "loop-fusion work by freshly built VMs: nests_fused, "
             "buffers_contracted, bytes_saved, flag_mismatch_rejects "
             "(cached VMs add nothing)")
+        self.backend_promotions = Counter(
+            "backend_promotions_total",
+            "fingerprints promoted to native by the adaptive tier")
+        self.backend_demotions = Counter(
+            "backend_demotions_total",
+            "fingerprints permanently demoted to vector "
+            "(toolchain failure / compile error)")
+        self.vm_evictions = Counter(
+            "vm_cache_evictions_total",
+            "warm VM cache LRU evictions, summed across workers")
+        #: Per-worker cumulative eviction counts (workers report a
+        #: monotonic total; the registry keeps deltas).
+        self._vm_evictions_seen: dict[int, int] = {}
+        #: Latest promotion-state distribution reported per worker pid —
+        #: a gauge, not a counter: each worker's report replaces its slot.
+        self._adaptive_states: dict[int, dict[str, int]] = {}
         self.in_flight = 0
 
     # -- recording ---------------------------------------------------------
@@ -194,6 +210,41 @@ class MetricsRegistry:
                 if isinstance(amount, int) and amount > 0:
                     self.fusion.inc(amount, stat=key)
 
+    def record_adaptive_event(self, event: str) -> None:
+        """One completed background promotion or demotion."""
+        with self._lock:
+            if event == "promoted":
+                self.backend_promotions.inc()
+            elif event == "demoted":
+                self.backend_demotions.inc()
+
+    def record_adaptive_states(self, worker_pid: int,
+                               states: dict) -> None:
+        """Replace one worker's promotion-state gauge slot."""
+        if not isinstance(states, dict):
+            return
+        with self._lock:
+            self._adaptive_states[int(worker_pid)] = {
+                str(k): int(v) for k, v in states.items()
+                if isinstance(v, int)}
+
+    def record_vm_evictions(self, worker_pid: int, cumulative: int) -> None:
+        """Fold one worker's monotonic eviction total into the counter."""
+        with self._lock:
+            seen = self._vm_evictions_seen.get(int(worker_pid), 0)
+            if cumulative > seen:
+                self.vm_evictions.inc(cumulative - seen)
+                self._vm_evictions_seen[int(worker_pid)] = cumulative
+
+    def adaptive_state_gauge(self) -> dict[str, int]:
+        """Fingerprint states summed across reporting workers."""
+        with self._lock:
+            gauge: dict[str, int] = {}
+            for states in self._adaptive_states.values():
+                for state, count in states.items():
+                    gauge[state] = gauge.get(state, 0) + count
+        return gauge
+
     def record_phase(self, phase: str, seconds: float) -> None:
         """One pipeline-stage observation from a traced request's span.
 
@@ -233,7 +284,11 @@ class MetricsRegistry:
                     self.batch_queue_delay.snapshot(),
                 "phase_latency_seconds": self.phase_latency.snapshot(),
                 "fusion_total": self.fusion.snapshot(),
+                "backend_promotions_total": self.backend_promotions.total(),
+                "backend_demotions_total": self.backend_demotions.total(),
+                "vm_cache_evictions_total": self.vm_evictions.total(),
             }
+        snap["adaptive_state"] = self.adaptive_state_gauge()
         for cache in ("vm", "artifact"):
             rate = self.hit_rate(cache)
             snap[f"{cache}_cache_hit_rate"] = (
@@ -278,4 +333,9 @@ class MetricsRegistry:
             rate = snap[f"{cache}_cache_hit_rate"]
             lines.append(f"{cache}_cache_hit_rate "
                          f"{'n/a' if rate is None else rate}")
+        for name in ("backend_promotions_total", "backend_demotions_total",
+                     "vm_cache_evictions_total"):
+            lines.append(f"{name} {snap[name]:g}")
+        for state, count in sorted(snap["adaptive_state"].items()):
+            lines.append(f'adaptive_state{{state="{state}"}} {count}')
         return "\n".join(lines) + "\n"

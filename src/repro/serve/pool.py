@@ -51,12 +51,27 @@ def _start_context():
         "fork" if "fork" in methods else "spawn")
 
 
-def _worker_main(conn, cache_dir: str | None, allow_debug: bool) -> None:
+def _configure_runtime(cache, adaptive_cfg, vm_cache_max) -> None:
+    """Apply per-process serving knobs: VM cache bound and the adaptive
+    promotion controller.  Called once per worker process (and once for
+    the inline ``workers=0`` path), before any request is handled."""
+    if vm_cache_max is not None:
+        from repro.ir.interp import set_vm_cache_limit
+        set_vm_cache_limit(vm_cache_max)
+    if adaptive_cfg is not None:
+        from repro.serve import adaptive
+        so_dir = cache.native_dir if cache is not None else None
+        adaptive.configure(adaptive_cfg, so_cache_dir=so_dir)
+
+
+def _worker_main(conn, cache_dir: str | None, allow_debug: bool,
+                 adaptive_cfg=None, vm_cache_max: int | None = None) -> None:
     """Worker process loop: recv request dict, send response dict."""
     from repro.serve.cache import ArtifactCache
     from repro.serve.handlers import handle_request
     from repro.serve.protocol import ServeError as WorkerServeError
     cache = ArtifactCache(cache_dir) if cache_dir else None
+    _configure_runtime(cache, adaptive_cfg, vm_cache_max)
     while True:
         try:
             req = conn.recv()
@@ -92,11 +107,13 @@ class WorkerTimeout(Exception):
 class _Worker:
     """Parent-side handle on one worker process."""
 
-    def __init__(self, ctx, cache_dir: str | None, allow_debug: bool):
+    def __init__(self, ctx, cache_dir: str | None, allow_debug: bool,
+                 adaptive_cfg=None, vm_cache_max: int | None = None):
         parent, child = ctx.Pipe()
         self.conn = parent
         self.proc = ctx.Process(
-            target=_worker_main, args=(child, cache_dir, allow_debug),
+            target=_worker_main,
+            args=(child, cache_dir, allow_debug, adaptive_cfg, vm_cache_max),
             daemon=True)
         self.proc.start()
         child.close()
@@ -168,6 +185,12 @@ class PoolConfig:
     #: Requests allowed to wait for a worker before shedding with ``busy``.
     max_pending: int = 16
     allow_debug: bool = False
+    #: :class:`~repro.serve.adaptive.AdaptiveConfig` enabling obs-driven
+    #: background promotion of hot ``backend="auto"`` programs to native.
+    #: ``None`` (the default) leaves the adaptive tier off.
+    adaptive: object | None = None
+    #: Per-worker warm VM cache bound (``None`` keeps the interp default).
+    vm_cache_max: int | None = None
 
 
 class WorkerPool:
@@ -193,6 +216,8 @@ class WorkerPool:
             if config.cache_dir:
                 from repro.serve.cache import ArtifactCache
                 self._inline_cache = ArtifactCache(config.cache_dir)
+            _configure_runtime(self._inline_cache, config.adaptive,
+                               config.vm_cache_max)
         else:
             for _ in range(config.workers):
                 self._idle.append(self._spawn())
@@ -203,7 +228,8 @@ class WorkerPool:
         if self.metrics is not None:
             self.metrics.record_pool("spawned")
         return _Worker(self._ctx, self.config.cache_dir,
-                       self.config.allow_debug)
+                       self.config.allow_debug, self.config.adaptive,
+                       self.config.vm_cache_max)
 
     def close(self) -> None:
         with self._cond:

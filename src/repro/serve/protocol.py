@@ -58,7 +58,14 @@ ERROR_TYPES = (
 #: v3: ``fuse`` flag (default true) on ``compile``/``run``/``run_batch``/
 #: ``report`` — toggles the IR-level loop-fusion pass; fusion stats are
 #: reported in results and the artifact cache keys on the flag.
-PROTOCOL_VERSION = 3
+#: v4: tiered adaptive execution (additive): ``run``/``run_batch``
+#: results carry ``backend_effective`` (the tier that actually executed,
+#: which for ``backend="auto"`` on an adaptive server may be
+#: ``"native"`` after background promotion); /metrics gains
+#: ``backend_promotions_total``/``backend_demotions_total``/
+#: ``vm_cache_evictions_total`` and the ``adaptive_state`` gauge.
+#: v3 clients are unaffected — no request field changed meaning.
+PROTOCOL_VERSION = 4
 
 MAX_LINE_BYTES = 32 * 1024 * 1024  # uploaded .slx payloads are base64 lines
 

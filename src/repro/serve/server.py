@@ -50,6 +50,23 @@ class ServeConfig:
     #: coalescing entirely.
     max_batch: int = 8
     max_batch_wait_ms: float = 2.0
+    #: Tiered adaptive execution (see :mod:`repro.serve.adaptive` and
+    #: docs/adaptive.md): serve ``backend="auto"`` on the vector tier
+    #: immediately and promote hot fingerprints to native via background
+    #: compilation.  Off by default — promotion changes the *counts*
+    #: reported for promoted fingerprints (native counts are analytic),
+    #: so callers opt in per server.
+    adaptive: bool = False
+    #: Fixed promotion threshold in estimated vector-work milliseconds;
+    #: None seeds the threshold from the cost model per fingerprint.
+    promote_threshold_ms: float | None = None
+    #: Requests a fingerprint needs before it is promotion-eligible.
+    promote_min_runs: int = 2
+    #: Background native compiles allowed in flight per worker.
+    promote_compiles: int = 1
+    #: Warm per-worker VM cache bound (LRU evicted beyond); None keeps
+    #: the library default.
+    vm_cache_max: int | None = None
     allow_debug: bool = False
     #: Whether the ``shutdown`` op is honoured (CI smoke and tests use it;
     #: production deployments may prefer signals only).
@@ -60,10 +77,19 @@ class ServeConfig:
     extra: dict = field(default_factory=dict)
 
     def pool_config(self) -> PoolConfig:
+        adaptive_cfg = None
+        if self.adaptive:
+            from repro.serve.adaptive import AdaptiveConfig
+            adaptive_cfg = AdaptiveConfig(
+                threshold_ms=self.promote_threshold_ms,
+                min_runs=self.promote_min_runs,
+                max_concurrent_compiles=self.promote_compiles)
         return PoolConfig(workers=self.workers, cache_dir=self.cache_dir,
                           timeout_seconds=self.timeout_seconds,
                           max_pending=self.max_pending,
-                          allow_debug=self.allow_debug)
+                          allow_debug=self.allow_debug,
+                          adaptive=adaptive_cfg,
+                          vm_cache_max=self.vm_cache_max)
 
 
 class ReproServer:
@@ -224,6 +250,16 @@ class ReproServer:
             # Only freshly built VMs did fusion work; a warm-cache hit
             # would double-count the same program's stats.
             self.metrics.record_fusion(fusion)
+        worker_pid = meta.get("worker_pid", 0)
+        for event in meta.get("adaptive_events", ()):
+            if isinstance(event, dict):
+                self.metrics.record_adaptive_event(event.get("event", ""))
+        states = meta.get("adaptive_states")
+        if states is not None:
+            self.metrics.record_adaptive_states(worker_pid, states)
+        evictions = meta.get("vm_cache_evictions")
+        if isinstance(evictions, int):
+            self.metrics.record_vm_evictions(worker_pid, evictions)
 
     def _metrics_result(self, req: dict) -> dict:
         snapshot = self.metrics.snapshot()

@@ -1,0 +1,143 @@
+"""Integration tests for tiered adaptive execution on a live server.
+
+The contract under test (see docs/adaptive.md): an adaptive server
+answers ``backend="auto"`` requests on the vector tier immediately,
+promotes hot fingerprints to native via *background* compilation, the
+swap is observed by a later request as ``backend_effective ==
+"native"`` with bit-identical outputs, and a missing toolchain demotes
+— the server keeps serving on the vector path forever after.
+"""
+
+import time
+
+import pytest
+
+from repro.native import find_compiler
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServerThread
+
+pytestmark = pytest.mark.slow
+
+
+def _poll_until(predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    return None
+
+
+class TestAdaptivePromotion:
+    def test_vector_first_then_background_swap_bit_identical(self, tmp_path):
+        if find_compiler() is None:
+            pytest.skip("no C compiler on PATH")
+        config = ServeConfig(workers=1, cache_dir=str(tmp_path / "cache"),
+                             timeout_seconds=120.0, adaptive=True,
+                             promote_threshold_ms=0.0, promote_min_runs=2)
+        with ServerThread(config) as thread:
+            with ServeClient(port=thread.server.port) as client:
+                # Cold requests are answered immediately on the vector
+                # tier — nothing waits for gcc.
+                first = client.run("Motivating", steps=3)
+                assert first["backend"] == "auto"
+                assert first["backend_effective"] != "native"
+                baseline_sha = first["output_sha256"]
+                baseline_outputs = first["outputs"]
+
+                def promoted():
+                    result = client.run("Motivating", steps=3)
+                    return (result if result["backend_effective"] == "native"
+                            else None)
+
+                swapped = _poll_until(promoted, timeout=90.0)
+                assert swapped is not None, \
+                    "background promotion never landed"
+                # The native swap changes the execution engine only:
+                # outputs are bit-identical to the vector tier's.
+                assert swapped["output_sha256"] == baseline_sha
+                assert swapped["outputs"] == baseline_outputs
+
+                snapshot = client.metrics(render=False)["snapshot"]
+                assert snapshot["backend_promotions_total"] >= 1
+                assert snapshot["backend_demotions_total"] == 0
+                assert snapshot["adaptive_state"]["promoted"] >= 1
+                rendered = client.metrics(render=True)["text"]
+                assert "backend_promotions_total" in rendered
+                assert 'adaptive_state{state="promoted"}' in rendered
+
+    def test_promotion_event_rides_request_trace(self, tmp_path):
+        if find_compiler() is None:
+            pytest.skip("no C compiler on PATH")
+        config = ServeConfig(workers=1, cache_dir=str(tmp_path / "cache"),
+                             timeout_seconds=120.0, adaptive=True,
+                             promote_threshold_ms=0.0, promote_min_runs=2)
+        with ServerThread(config) as thread:
+            with ServeClient(port=thread.server.port) as client:
+                client.run("Motivating", steps=3, include_outputs=False)
+
+                def _names(nodes):
+                    for node in nodes:
+                        yield node.get("name")
+                        yield from _names(node.get("children", ()))
+
+                def promote_span():
+                    result = client.run("Motivating", steps=3,
+                                        include_outputs=False, trace=True)
+                    names = set(_names(result.get("trace", [])))
+                    return "native.promote" in names or None
+
+                assert _poll_until(promote_span, timeout=90.0), \
+                    "native.promote span never surfaced on a request trace"
+
+
+class TestAdaptiveDemotion:
+    def test_no_toolchain_demotes_and_keeps_serving(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CC", "1")  # workers inherit via fork
+        config = ServeConfig(workers=1, cache_dir=str(tmp_path / "cache"),
+                             timeout_seconds=120.0, adaptive=True,
+                             promote_threshold_ms=0.0, promote_min_runs=1)
+        with ServerThread(config) as thread:
+            with ServeClient(port=thread.server.port) as client:
+                first = client.run("Motivating", steps=3)
+                assert first["backend_effective"] != "native"
+
+                def demoted():
+                    client.run("Motivating", steps=3,
+                               include_outputs=False)
+                    snap = client.metrics(render=False)["snapshot"]
+                    return snap if snap["backend_demotions_total"] >= 1 \
+                        else None
+
+                snapshot = _poll_until(demoted, timeout=60.0)
+                assert snapshot is not None, "demotion never surfaced"
+                assert snapshot["backend_promotions_total"] == 0
+                assert snapshot["adaptive_state"]["demoted"] >= 1
+                # Demotion is permanent but invisible to callers: the
+                # server answers every subsequent auto request.
+                for _ in range(3):
+                    result = client.run("Motivating", steps=3)
+                    assert result["backend_effective"] != "native"
+                    assert result["output_sha256"] == first["output_sha256"]
+
+
+class TestVmCacheBound:
+    def test_eviction_counter_reaches_metrics(self, tmp_path):
+        config = ServeConfig(workers=1, cache_dir=str(tmp_path / "cache"),
+                             timeout_seconds=120.0, vm_cache_max=1)
+        with ServerThread(config) as thread:
+            with ServeClient(port=thread.server.port) as client:
+                # Two distinct fingerprints through a 1-entry VM cache:
+                # the second build evicts the first, round-robin evicts
+                # on every swap after that.
+                for _ in range(2):
+                    client.run("Motivating", steps=1,
+                               include_outputs=False)
+                    client.run("AudioProcess", steps=1,
+                               include_outputs=False)
+                snapshot = client.metrics(render=False)["snapshot"]
+                assert snapshot["vm_cache_evictions_total"] >= 2
+                rendered = client.metrics(render=True)["text"]
+                assert "vm_cache_evictions_total" in rendered

@@ -73,6 +73,65 @@ class TestForcedSimd:
         assert X86_GCC.forced_simd_inhibition > 1.0
 
 
+class TestPerOpRegression:
+    """Pin the per-op price list and composition formula.
+
+    The adaptive serving tier (repro.serve.adaptive) seeds its promotion
+    thresholds from these numbers, so a silent recalibration would shift
+    when servers start spending the C compiler.  Changing a price is
+    fine — but it must show up here as a deliberate diff.
+    """
+
+    X86_GCC_PRICES = {"flops": 1.0, "int_ops": 0.7, "cmp_ops": 0.4,
+                      "loads": 0.5, "stores": 0.7, "branches": 0.9,
+                      "calls": 4.0, "loops_entered": 1.5}
+    ARM_GCC_PRICES = {"flops": 3.2, "int_ops": 2.2, "cmp_ops": 1.4,
+                      "loads": 2.0, "stores": 2.4, "branches": 11.0,
+                      "calls": 14.0, "loops_entered": 4.0}
+
+    @pytest.mark.parametrize("profile,prices", [
+        (X86_GCC, X86_GCC_PRICES), (ARM_GCC, ARM_GCC_PRICES)])
+    def test_scalar_op_prices(self, profile, prices):
+        for op, price in prices.items():
+            c = counts(scalar={op: 1000})
+            assert profile.modeled_time_ns(c) == pytest.approx(1000 * price), \
+                f"{profile.name} price of scalar {op} drifted"
+
+    def test_scalar_bucket_is_linear_sum(self):
+        c = counts(scalar={"flops": 10, "int_ops": 20, "cmp_ops": 30,
+                           "loads": 40, "stores": 50, "branches": 60,
+                           "calls": 70, "loops_entered": 80})
+        expected = (10 * 1.0 + 20 * 0.7 + 30 * 0.4 + 40 * 0.5 + 50 * 0.7
+                    + 60 * 0.9 + 70 * 4.0 + 80 * 1.5)
+        assert X86_GCC.modeled_time_ns(c) == pytest.approx(expected)
+
+    def test_autovec_speedup_values(self):
+        assert X86_GCC.autovec_speedup == pytest.approx(1 + 0.45 * 3)
+        assert X86_CLANG.autovec_speedup == pytest.approx(1 + 0.55 * 3)
+        assert ARM_GCC.autovec_speedup == pytest.approx(1 + 0.40 * 1)
+        assert ARM_CLANG.autovec_speedup == pytest.approx(1 + 0.45 * 1)
+
+    def test_vector_bucket_divides_by_autovec_speedup(self):
+        c = counts(vector={"flops": 1000})
+        assert X86_GCC.modeled_time_ns(c) \
+            == pytest.approx(1000 * 1.0 / X86_GCC.autovec_speedup)
+
+    def test_forced_bucket_formula(self):
+        """forced = bucket × inhibition / lanes + loops × setup."""
+        c = counts(forced={"flops": 1000, "loops_entered": 3})
+        bucket = 1000 * 1.0 + 3 * 1.5
+        expected = bucket * 1.45 / 4 + 3 * 25.0
+        assert X86_GCC.modeled_time_ns(c) == pytest.approx(expected)
+
+    def test_buckets_are_independent(self):
+        combined = counts(scalar={"flops": 100}, vector={"flops": 100},
+                          forced={"flops": 100})
+        parts = (X86_GCC.modeled_time_ns(counts(scalar={"flops": 100}))
+                 + X86_GCC.modeled_time_ns(counts(vector={"flops": 100}))
+                 + X86_GCC.modeled_time_ns(counts(forced={"flops": 100})))
+        assert X86_GCC.modeled_time_ns(combined) == pytest.approx(parts)
+
+
 class TestModeledSeconds:
     def test_repetition_scaling(self):
         c = counts(scalar={"flops": 100})
