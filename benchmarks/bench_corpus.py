@@ -8,8 +8,10 @@ seeded corpus generator (:mod:`repro.corpus`) instead of the fixed zoo:
   program vs the Simulink-style baseline on the same model (the paper's
   Table-2 ratio, here swept over size × density);
 * **loop fusion** — vector-backend per-step time with fusion on vs off,
-  plus loops entered, nests fused, buffers contracted, and the
-  flag-mismatch rejects the fusion pass had to leave on the table.
+  plus loops entered, nests fused, buffers contracted (split into full
+  scalar demotions vs sliding-window rings), and the audit counters for
+  shapes the pass had to leave on the table (window-shape and
+  nested-depth rejects).
 
 Each grid cell averages several seeds so one lucky draw cannot carry a
 trend.  Outputs are cross-checked bitwise between the fused and unfused
@@ -133,6 +135,19 @@ def bench_cell(blocks: int, truncation: float, seeds: int, steps: int,
         "total_flag_mismatch_rejects": sum(
             r["fusion"]["flag_mismatch_rejects"] for r in rows
             if r.get("fusion")),
+        # contraction split: full (demoted to scalar) vs windowed (ring)
+        "total_buffers_contracted_full": sum(
+            r["fusion"]["buffers_contracted"] for r in rows
+            if r.get("fusion")),
+        "total_buffers_contracted_windowed": sum(
+            r["fusion"].get("buffers_windowed", 0) for r in rows
+            if r.get("fusion")),
+        "total_window_shape_rejects": sum(
+            r["fusion"].get("window_shape_rejects", 0) for r in rows
+            if r.get("fusion")),
+        "total_nested_depth_rejects": sum(
+            r["fusion"].get("nested_depth_rejects", 0) for r in rows
+            if r.get("fusion")),
         "per_seed": rows,
     }
 
@@ -174,7 +189,9 @@ def main(argv: list[str] | None = None) -> int:
                   f"ops ratio x{cell['mean_ops_ratio']}, "
                   f"fusion x{cell['mean_fusion_speedup']}, "
                   f"eliminated {cell['mean_eliminated_elements']} elems, "
-                  f"flag-rejects {cell['total_flag_mismatch_rejects']}")
+                  f"contracted {cell['total_buffers_contracted_full']} full"
+                  f"+{cell['total_buffers_contracted_windowed']} windowed, "
+                  f"window-rejects {cell['total_window_shape_rejects']}")
 
     report = {
         "benchmark": "corpus",

@@ -195,6 +195,9 @@ def _emit_function(func: FuncDef) -> list[str]:
 
 def emit_c(program: Program) -> str:
     """Emit the full translation unit for a program."""
+    from repro.ir.fuse import lower_windows  # local: fuse imports ops too
+
+    program = lower_windows(program)  # no-op when no ring buffers
     lines: list[str] = [_HEADER]
     lines.append(f"/* generated by {program.generator or 'repro'} for model "
                  f"{program.name} */")

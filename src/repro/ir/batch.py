@@ -313,6 +313,12 @@ def expand_batch(program: Program, batch: int) -> BatchPlan:
     if any(isinstance(s, CallStmt) for s in program.walk()):
         raise BatchUnsupported(
             f"program {program.name!r} contains CallStmt")
+    if any(d.window is not None for d in program.buffers.values()):
+        # A ring buffer's % window wrap happens at lowering, not in the
+        # IR, so instance-offset index rewriting would wrap lanes into
+        # each other; lifted or sequential execution handles rings.
+        raise BatchUnsupported(
+            f"program {program.name!r} has sliding-window buffers")
 
     bvar = fresh_batch_var(program)
     strides = {d.name: batch_stride(d) for d in program.buffers.values()}

@@ -232,6 +232,20 @@ class BatchResult:
         return len(self.outputs)
 
 
+def _wrap_ring_index(index: Callable[[dict], int],
+                     window: int) -> Callable[[dict], int]:
+    """Map a compiled logical-index function onto a sliding-window ring.
+
+    The wrap happens after the index function runs, so whatever loads or
+    arithmetic the index expression performs are still counted exactly as
+    in the logical program; the ``%`` itself is physical addressing, not
+    program arithmetic.
+    """
+    def ring_index(env: dict) -> int:
+        return index(env) % window
+    return ring_index
+
+
 def _accumulate_counts(target: ContextCounts, delta: ContextCounts) -> None:
     """Field-by-field in-place accumulation across all buckets."""
     for name in ("scalar", "vector", "forced"):
@@ -332,7 +346,11 @@ class VirtualMachine:
         self._batch_lanes = int(_batch_lanes)
         self._buffers: dict[str, np.ndarray] = {}
         for decl in program.buffers.values():
-            shape: tuple = (max(decl.size, 1),)
+            # Windowed temps (sliding-window contraction) allocate their
+            # physical ring, not the logical span; the closure compiler
+            # wraps their indices with ``% window`` outside the counted
+            # expression evaluation.
+            shape: tuple = (max(decl.storage_size, 1),)
             if self._batch_lanes:
                 shape += (self._batch_lanes,)
             self._buffers[decl.name] = np.empty(shape, dtype=decl.dtype)
@@ -355,9 +373,15 @@ class VirtualMachine:
         self._lift_verified: set[int] = set()
         self._lift_rejected = False
         if backend == "native":
+            from repro.ir.fuse import lower_windows
             from repro.ir.staticcount import analyze_counts
             from repro.native.sharedlib import load_shared_program
-            self._shared = load_shared_program(program,
+            # The shared library is built from the *physically lowered*
+            # program (windowed rings re-declared at ring size, indices
+            # wrapped with % window, per-step ring zeroing); the static
+            # count analysis stays on the logical program, so native
+            # counts match the closure path exactly.
+            self._shared = load_shared_program(lower_windows(program),
                                                cache_dir=so_cache_dir)
             self._static = analyze_counts(program)
             self.counts_exact = self._static.exact
@@ -369,6 +393,22 @@ class VirtualMachine:
                                                self.counts.scalar)
             self._step_fn = self._compile_body(program.step,
                                                self.counts.scalar)
+            rings = tuple(self._buffers[decl.name]
+                          for decl in program.buffers.values()
+                          if decl.window is not None)
+            if rings:
+                # A windowed ring must start every step holding the zeros
+                # its never-written logical cells stand for (the native
+                # backend emits the same zeroing inside the lowered step).
+                # Wrapping _step_fn — not step() — keeps _run_profiled,
+                # which calls _step_fn directly, on the same semantics.
+                inner_step = self._step_fn
+
+                def step_with_ring_reset(env: dict) -> None:
+                    for ring in rings:
+                        ring[:] = 0
+                    inner_step(env)
+                self._step_fn = step_with_ring_reset
         self._initialized = False
 
     def _native_init(self, env: dict) -> None:
@@ -762,7 +802,7 @@ class VirtualMachine:
             for kind in ("input", "output", "state", "temp"):
                 for decl in self.program.buffers_of_kind(kind):
                     arrays[decl.name] = np.zeros(
-                        batch * max(decl.size, 1), dtype=decl.dtype)
+                        batch * max(decl.storage_size, 1), dtype=decl.dtype)
             entry = (arrays, self._shared.bind_batch(arrays, batch))
         self._batch_native[batch] = entry
         while len(self._batch_native) > self._BATCH_NATIVE_MEMO_MAX:
@@ -955,6 +995,11 @@ class VirtualMachine:
             ) from None
         index = self._compile_expr(stmt.index, bucket)
         value = self._compile_expr(stmt.value, bucket)
+        if decl.window is not None:
+            # Sliding-window ring: land the logical index on its physical
+            # cell.  Wrapped outside the counted expression evaluation so
+            # element-op counts stay those of the logical program.
+            index = _wrap_ring_index(index, decl.window)
         if decl.dtype == "uint32":
             def run_assign_u32(env: dict) -> None:
                 bucket.stores += 1
@@ -982,7 +1027,10 @@ class VirtualMachine:
                     f"load from undeclared buffer {expr.buffer!r}"
                 ) from None
             index = self._compile_expr(expr.index, bucket)
-            dtype = self.program.buffers[expr.buffer].dtype
+            decl = self.program.buffers[expr.buffer]
+            if decl.window is not None:
+                index = _wrap_ring_index(index, decl.window)
+            dtype = decl.dtype
             if dtype in ("uint32", "int64"):
                 def run_load_int(env: dict) -> object:
                     bucket.loads += 1

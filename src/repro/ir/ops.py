@@ -277,13 +277,23 @@ BUFFER_KINDS = ("input", "output", "state", "temp", "const")
 
 @dataclass
 class BufferDecl:
-    """One named flat array in the generated program."""
+    """One named flat array in the generated program.
+
+    ``window`` is the sliding-window extension used by partial buffer
+    contraction (:mod:`repro.ir.fuse`): when set, the buffer's *logical*
+    index space stays ``shape`` — every IR index expression is unchanged
+    and element-op counts are unaffected — but physical storage shrinks
+    to a ``window``-cell ring, with each access landing on
+    ``index % window`` at lowering time.  Only zero-initialized ``temp``
+    buffers may carry a window (enforced by :mod:`repro.ir.verify`).
+    """
 
     name: str
     shape: tuple[int, ...]
     dtype: str
     kind: str
     init: Optional[np.ndarray] = None
+    window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in BUFFER_KINDS:
@@ -291,6 +301,12 @@ class BufferDecl:
         self.shape = tuple(int(d) for d in self.shape)
         if self.init is not None:
             self.init = np.asarray(self.init, dtype=self.dtype).reshape(self.shape)
+        if self.window is not None:
+            self.window = int(self.window)
+            if not 1 <= self.window <= max(self.size, 1):
+                raise CodegenError(
+                    f"buffer {self.name!r}: window {self.window} outside "
+                    f"[1, {max(self.size, 1)}]")
 
     @property
     def size(self) -> int:
@@ -300,8 +316,17 @@ class BufferDecl:
         return size
 
     @property
+    def storage_size(self) -> int:
+        """Physically allocated cells: ``window`` when set, else ``size``."""
+        return self.size if self.window is None else self.window
+
+    @property
     def nbytes(self) -> int:
         return self.size * np.dtype(self.dtype).itemsize
+
+    @property
+    def storage_nbytes(self) -> int:
+        return self.storage_size * np.dtype(self.dtype).itemsize
 
 
 @dataclass
@@ -335,8 +360,11 @@ class Program:
 
     @property
     def static_bytes(self) -> int:
-        """Bytes of temp/state/const storage — the §5 memory metric."""
-        return sum(b.nbytes for b in self.buffers.values()
+        """Bytes of temp/state/const storage — the §5 memory metric.
+
+        Windowed temps count their physical ring, not the logical span.
+        """
+        return sum(b.storage_nbytes for b in self.buffers.values()
                    if b.kind in ("temp", "state", "const"))
 
     def walk(self) -> Iterator[Stmt]:

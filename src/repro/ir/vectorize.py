@@ -157,6 +157,9 @@ def fingerprint(program: Program) -> str:
     for name in sorted(program.buffers):
         d = program.buffers[name]
         out.append(f"buf:{d.name}:{d.shape}:{d.dtype}:{d.kind}:")
+        if d.window is not None:
+            # Appended only when set so pre-window fingerprints are stable.
+            out.append(f"w{d.window}:")
         if d.init is not None:
             h.update("".join(out).encode())
             out.clear()
@@ -1017,11 +1020,15 @@ class _Planner:
                 if self._decl(s.buffer).dtype == "complex128":
                     raise _Reject
             elif isinstance(s, For):
-                if not s.static_bounds or s.segments is not None:
-                    raise _Reject  # fusion only segments top-level loops
+                if not s.static_bounds:
+                    raise _Reject
                 if s.var == self.axis or s.var in self.seq_vars:
                     raise _Reject  # shadowing would break memo keying
                 self.seq_vars.add(s.var)
+                # Nested fusion may leave *segmented* inner loops; the
+                # (start, stop) hull is a sound bound for the collision
+                # and overflow proofs, and emission iterates the actual
+                # segment ranges.
                 self.var_bounds[s.var] = (s.start, max(s.start, s.stop - 1))
                 self._scan(s, depth + 1, scope | {s.var})
             elif isinstance(s, If):
@@ -1266,13 +1273,16 @@ class _Planner:
         # mask is a pure lane/loop-var predicate and must stay 1-D even
         # on a batch-lifted VM (it gates axis-0 indices).
         mask_fn = self._vcompile_index(stmt.cond)
-        ranges = [range(a, b) for _, a, b in chain]
+        # chain entries carry the enclosing loops' actual iteration values
+        # (segmented loops skip their gaps), so true_total stays exact.
+        ranges = [[v for a, b in segs for v in range(a, b)]
+                  for _, segs in chain]
         ncombos = 1
         for r in ranges:
             ncombos *= len(r)
         if ncombos > 65536 or ncombos * self.trip > 8_000_000:
             raise _Reject  # static mask table too large to enumerate
-        names = [nm for nm, _, _ in chain]
+        names = [nm for nm, _ in chain]
         true_total = 0
         env: dict = {}
         for combo in itertools.product(*ranges):
@@ -1407,7 +1417,7 @@ class _Planner:
                     fns.append(fn)
             else:  # For (validated by _scan)
                 fn = self._emit_for(s, body_mult, deltas,
-                                    chain + ((s.var, s.start, s.stop),))
+                                    chain + ((s.var, s.iter_ranges()),))
                 if fn is not None:
                     fns.append(fn)
         if not fns or not body_mult:
@@ -1420,7 +1430,11 @@ class _Planner:
                 for fn in fns:
                     fn(env)
             return run_seq
-        rng = range(loop.start, loop.stop)
+        loop_ranges = loop.iter_ranges()
+        if len(loop_ranges) == 1:
+            rng = range(loop_ranges[0][0], loop_ranges[0][1])
+        else:
+            rng = [v for a, b in loop_ranges for v in range(a, b)]
         name = loop.var
         if len(fns) == 1:
             inner = fns[0]
@@ -1440,8 +1454,44 @@ class _Planner:
 
     # -- kernel assembly ----------------------------------------------------
 
+    def _reject_windowed(self, stmts: list) -> None:
+        """Refuse nests touching sliding-window (ring) buffers.
+
+        A windowed temp is loop-carried by construction (consumers read a
+        bounded backward window of the producer), so lane-parallel execution
+        would reorder the carried dependence; the closure path handles rings
+        and keeps counts exact."""
+        def touch(name: str) -> None:
+            if self._decl(name).window is not None:
+                raise _Reject
+        def expr(e: Expr) -> None:
+            loads: list = []
+            self._loads_of(e, loads)
+            for ld in loads:
+                touch(ld.buffer)
+        for s in stmts:
+            if isinstance(s, Assign):
+                touch(s.buffer)
+                expr(s.index)
+                expr(s.value)
+            elif isinstance(s, For):
+                for bnd in (s.start, s.stop):
+                    if isinstance(bnd, Expr):
+                        expr(bnd)
+                self._reject_windowed(s.body)
+            elif isinstance(s, If):
+                expr(s.cond)
+                self._reject_windowed(s.then)
+                self._reject_windowed(s.orelse)
+            elif isinstance(s, CallStmt):
+                for b in s.buffer_args:
+                    touch(b)
+
     def build(self) -> Callable:
         self.assigns: list = []
+        if any(d.window is not None
+               for d in self.vm.program.buffers.values()):
+            self._reject_windowed([self.loop])
         self._scan(self.loop, 0, frozenset({self.axis}))
         self._classify()
         if self.pipes:

@@ -260,8 +260,22 @@ class _Verifier:
     # -- driver ----------------------------------------------------------------------
 
     def run(self) -> list[str]:
+        # Bounds checks stay on the *logical* size: a sliding-window ring
+        # keeps the full index space and wraps physically at lowering.
         buffers = {decl.name: max(decl.size, 1)
                    for decl in self.program.buffers.values()}
+        for decl in self.program.buffers.values():
+            if decl.window is None:
+                continue
+            if decl.kind != "temp":
+                self.problem(f"buffer {decl.name!r}: window on kind "
+                             f"{decl.kind!r} (only temp buffers may ring)")
+            if decl.init is not None:
+                self.problem(f"buffer {decl.name!r}: windowed buffers must "
+                             "be zero-initialized (init is None)")
+            if not 1 <= decl.window <= max(decl.size, 1):
+                self.problem(f"buffer {decl.name!r}: window {decl.window} "
+                             f"outside [1, {max(decl.size, 1)}]")
         self.check_stmts(self.program.init, {}, buffers, "init")
         self.check_stmts(self.program.step, {}, buffers, "step")
         for func in self.program.functions.values():

@@ -49,6 +49,7 @@ the per-worker promotion-state gauge in ``/metrics``.
 
 from __future__ import annotations
 
+import statistics
 import threading
 import time
 from collections import OrderedDict
@@ -60,9 +61,22 @@ from repro.obs import tracing
 #: Modeled-ns → estimated vector-backend wall-ns multiplier.  The cost
 #: model prices compiled C at -O3; the numpy vector backend pays Python
 #: and ufunc-dispatch overhead on top, measured at roughly this factor
-#: across the zoo (BENCH_vm.json vector vs modeled).  A calibration
-#: constant in the spirit of repro.ir.cost, not a measurement contract.
+#: across the zoo (BENCH_vm.json vector vs modeled).  This constant is
+#: the *seed and fallback*: once a worker has seen enough traced
+#: vector-backend ``vm.run`` spans, :func:`calibrate_from_spans` replaces
+#: it with the measured median ratio for that worker's actual traffic.
 VECTOR_OVERHEAD_FACTOR = 50.0
+
+#: Traced vector ``vm.run`` samples required before the measured ratio
+#: overrides :data:`VECTOR_OVERHEAD_FACTOR`.
+CALIBRATION_MIN_SAMPLES = 4
+
+#: Ratio samples retained per controller (sliding window).
+CALIBRATION_MAX_SAMPLES = 256
+
+#: Sanity clamp on the calibrated factor — a wildly skewed trace (paused
+#: process, debugger attached) must not poison promotion thresholds.
+CALIBRATION_FACTOR_BOUNDS = (1.0, 1000.0)
 
 #: Estimated fixed cost of one native build (compiler spawn + front end).
 COMPILE_BASE_NS = 2.5e8  # ~250 ms
@@ -116,19 +130,74 @@ class _Entry:
         self.compile_seconds: float | None = None
 
 
-def estimate_step_ns(program) -> float:
-    """Cost-model estimate of one vector-backend step's wall time (ns).
+def modeled_step_ns(program) -> float:
+    """Un-scaled cost-model estimate of one step's compiled time (ns).
 
     Static counts (:func:`repro.ir.staticcount.analyze_counts`) priced by
-    the x86-gcc profile, scaled by :data:`VECTOR_OVERHEAD_FACTOR`.  The
-    estimate only has to *rank* programs and scale thresholds — the
-    static counts' data-dependent approximations are fine here.
+    the x86-gcc profile.  The estimate only has to *rank* programs and
+    scale thresholds — the static counts' data-dependent approximations
+    are fine here.
     """
     from repro.ir.cost import X86_GCC
     from repro.ir.staticcount import analyze_counts
     static = analyze_counts(program)
-    return max(X86_GCC.modeled_time_ns(static.step), 1.0) \
-        * VECTOR_OVERHEAD_FACTOR
+    return max(X86_GCC.modeled_time_ns(static.step), 1.0)
+
+
+def estimate_step_ns(program, overhead_factor: float | None = None) -> float:
+    """Estimate one vector-backend step's wall time (ns).
+
+    ``overhead_factor`` defaults to the :data:`VECTOR_OVERHEAD_FACTOR`
+    constant; a controller that has calibrated from measured spans passes
+    its measured factor instead.
+    """
+    factor = VECTOR_OVERHEAD_FACTOR if overhead_factor is None \
+        else overhead_factor
+    return modeled_step_ns(program) * factor
+
+
+def span_overhead_ratios(spans: list, modeled_ns: dict) -> list[float]:
+    """Measured/modeled ratios from traced vector ``vm.run`` spans.
+
+    ``modeled_ns`` maps a program name to its *un-scaled*
+    :func:`modeled_step_ns`; spans for unknown programs, non-vector
+    backends, or with unusable timing are skipped.
+    """
+    ratios = []
+    for span in spans:
+        if span.get("name") != "vm.run":
+            continue
+        attrs = span.get("attrs") or {}
+        if attrs.get("backend") != "vector":
+            continue
+        steps = attrs.get("steps")
+        wall = span.get("wall_seconds")
+        modeled = modeled_ns.get(attrs.get("program"))
+        if not isinstance(steps, int) or isinstance(steps, bool) \
+                or steps < 1:
+            continue
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            continue
+        if not modeled or modeled <= 0:
+            continue
+        ratios.append((wall * 1e9 / steps) / modeled)
+    return ratios
+
+
+def calibrate_from_spans(spans: list, modeled_ns: dict,
+                         min_samples: int = CALIBRATION_MIN_SAMPLES) -> float:
+    """Overhead factor from recorded ``vm.run`` spans.
+
+    The median measured/modeled ratio across vector-backend runs, clamped
+    to :data:`CALIBRATION_FACTOR_BOUNDS`; falls back to the
+    :data:`VECTOR_OVERHEAD_FACTOR` constant when fewer than
+    ``min_samples`` usable spans exist (e.g. tracing disabled).
+    """
+    ratios = span_overhead_ratios(spans, modeled_ns)
+    if len(ratios) < min_samples:
+        return VECTOR_OVERHEAD_FACTOR
+    lo, hi = CALIBRATION_FACTOR_BOUNDS
+    return min(max(statistics.median(ratios), lo), hi)
 
 
 def estimate_compile_ns(program) -> float:
@@ -154,6 +223,40 @@ class AdaptiveController:
         self._futures: list[Future] = []
         self._executor: ThreadPoolExecutor | None = None
         self._closed = False
+        #: Measured overhead factor; None until enough spans calibrate it.
+        self.overhead_factor: float | None = None
+        self._ratio_samples: list[float] = []
+
+    def _factor(self) -> float:
+        return VECTOR_OVERHEAD_FACTOR if self.overhead_factor is None \
+            else self.overhead_factor
+
+    def record_vm_run_spans(self, spans: list) -> None:
+        """Feed traced ``vm.run`` spans into overhead calibration.
+
+        Called with each handled request's exported spans (empty for
+        untraced requests).  Once :data:`CALIBRATION_MIN_SAMPLES` usable
+        vector-run samples accumulate, the measured median replaces the
+        :data:`VECTOR_OVERHEAD_FACTOR` seed for promotion thresholds.
+        """
+        if not spans:
+            return
+        with self._lock:
+            modeled = {e.model_name: e.step_ns
+                       for e in self._entries.values()
+                       if e.step_ns is not None}
+        if not modeled:
+            return
+        ratios = span_overhead_ratios(spans, modeled)
+        if not ratios:
+            return
+        with self._lock:
+            self._ratio_samples.extend(ratios)
+            del self._ratio_samples[:-CALIBRATION_MAX_SAMPLES]
+            if len(self._ratio_samples) >= CALIBRATION_MIN_SAMPLES:
+                lo, hi = CALIBRATION_FACTOR_BOUNDS
+                self.overhead_factor = min(
+                    max(statistics.median(self._ratio_samples), lo), hi)
 
     # -- request path ------------------------------------------------------
 
@@ -195,7 +298,9 @@ class AdaptiveController:
                                and entry.step_ns is None
                                and entry.invocations >= self.config.min_runs)
         if should_estimate:
-            step_ns = estimate_step_ns(program)
+            # Stored un-scaled; the overhead factor is applied at the
+            # threshold check so later calibration reaches old entries.
+            step_ns = modeled_step_ns(program)
             compile_ns = estimate_compile_ns(program)
             with self._lock:
                 entry.step_ns = step_ns
@@ -203,7 +308,7 @@ class AdaptiveController:
         with self._lock:
             if (entry.state == "cold" and entry.step_ns is not None
                     and entry.invocations >= self.config.min_runs
-                    and entry.heat * entry.step_ns
+                    and entry.heat * entry.step_ns * self._factor()
                     >= self._threshold_ns(entry)):
                 entry.state = "compiling"
                 promote_entry = entry

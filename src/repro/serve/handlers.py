@@ -634,6 +634,9 @@ def _attach_adaptive_meta(ctx: HandlerContext, spans: list) -> None:
     from repro.serve import adaptive
     controller = adaptive.controller()
     if controller is not None:
+        # Traced vector runs calibrate the promotion threshold's
+        # overhead factor (no-op for untraced requests).
+        controller.record_vm_run_spans(spans)
         events = controller.drain_events()
         if events:
             for event in events:

@@ -151,8 +151,9 @@ class MetricsRegistry:
         self.fusion = Counter(
             "fusion_total",
             "loop-fusion work by freshly built VMs: nests_fused, "
-            "buffers_contracted, bytes_saved, flag_mismatch_rejects "
-            "(cached VMs add nothing)")
+            "buffers_contracted, buffers_windowed, bytes_saved, and the "
+            "audit counters flag_mismatch_rejects, nested_depth_rejects, "
+            "window_shape_rejects (cached VMs add nothing)")
         self.backend_promotions = Counter(
             "backend_promotions_total",
             "fingerprints promoted to native by the adaptive tier")
@@ -204,8 +205,10 @@ class MetricsRegistry:
         """Fold one VM's fusion stats (a ``FusionStats.as_dict()``) into
         the aggregate counters."""
         with self._lock:
-            for key in ("nests_fused", "buffers_contracted", "bytes_saved",
-                        "flag_mismatch_rejects"):
+            for key in ("nests_fused", "buffers_contracted",
+                        "buffers_windowed", "bytes_saved",
+                        "flag_mismatch_rejects", "nested_depth_rejects",
+                        "window_shape_rejects"):
                 amount = stats.get(key, 0)
                 if isinstance(amount, int) and amount > 0:
                     self.fusion.inc(amount, stat=key)

@@ -90,6 +90,81 @@ def test_fused_native_so_init_resets_contracted_state():
                                       np.asarray(first.outputs[name]))
 
 
+def _windowed_stencil_program():
+    """Hand-built producer + backward-window consumer: the only shape
+    that windows today (zoo stencils read forward and stay full-size)."""
+    from repro.ir.build import add, const, load, mul, sub, var
+    from repro.ir.ops import Assign, For, Program
+    n = 48
+    p = Program("win_stencil", generator="frodo")
+    p.declare("u", (n,), "float64", "input")
+    p.declare("t", (n,), "float64", "temp")
+    p.declare("y", (n,), "float64", "output")
+    p.step.append(For("i", 0, n, [Assign(
+        "t", var("i"), mul(load("u", var("i")), const(2.0)))],
+        vectorizable=True))
+    p.step.append(For("j", 3, n, [Assign(
+        "y", var("j"),
+        add(load("t", var("j")), load("t", sub(var("j"), const(3)))))],
+        vectorizable=True))
+    return p
+
+
+@pytest.mark.parametrize("backend", ("closure", "vector", "auto"))
+def test_windowed_stencil_fused_matches_unfused(backend):
+    from repro.ir.fuse import fuse_program
+    program = _windowed_stencil_program()
+    _, stats = fuse_program(program)
+    assert stats.buffers_windowed == 1
+    rng = np.random.default_rng(13)
+    inputs = {"u": rng.standard_normal(48)}
+    _, fused_vm = _differential(program, inputs, backend)
+    assert fused_vm.program.buffers["t"].window == 4
+    assert fused_vm.program.buffers["t"].storage_size == 4
+
+
+def test_windowed_native_so_init_resets_ring_state():
+    """A native ``.so`` built from a window-lowered program must reset
+    its ring buffers between ``run()`` calls and match the interpreter
+    bit for bit."""
+    from repro.native import find_compiler
+    if find_compiler() is None:
+        pytest.skip("no C compiler")
+    program = _windowed_stencil_program()
+    rng = np.random.default_rng(17)
+    inputs = {"u": rng.standard_normal(48)}
+    _, fused_vm = _differential(program, inputs, "native")
+    assert fused_vm.fusion_stats is not None
+    assert fused_vm.fusion_stats.buffers_windowed == 1
+    first = fused_vm.run(inputs, steps=4)
+    second = fused_vm.run(inputs, steps=4)
+    for name in first.outputs:
+        np.testing.assert_array_equal(np.asarray(second.outputs[name]),
+                                      np.asarray(first.outputs[name]))
+
+
+def test_windowed_batch_paths_match_sequential():
+    """run_batch on a windowed program must stay bit-exact whatever
+    strategy the VM picks (expansion is refused for rings; lifted or
+    sequential execution must cover)."""
+    program = _windowed_stencil_program()
+    rng = np.random.default_rng(19)
+    batch_inputs = [{"u": rng.standard_normal(48)} for _ in range(4)]
+    ref_vm = VirtualMachine(program, backend="closure", fuse=False)
+    refs = []
+    for one in batch_inputs:
+        ref_vm.reset()
+        refs.append(np.asarray(ref_vm.run(one).outputs["y"]))
+    for backend in ("closure", "vector", "auto"):
+        vm = VirtualMachine(program, backend=backend, fuse=True)
+        vm.reset()
+        result = vm.run_batch(batch_inputs)
+        for b, want in enumerate(refs):
+            np.testing.assert_array_equal(
+                np.asarray(result.outputs[b]["y"]), want,
+                err_msg=f"{backend}: batch instance {b} diverged")
+
+
 @pytest.mark.parametrize("model_name", ("ImagePipeline", "Decryption"))
 def test_native_fused_matches_unfused(model_name):
     from repro.native import find_compiler

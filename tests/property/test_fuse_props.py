@@ -45,16 +45,13 @@ def run(p, n, seed, fuse):
 
 @common
 @given(st.integers(4, 32), st.integers(1, 3), st.integers(0, 99))
-def test_shifted_consumer_reads_refuse_fusion(n, shift, seed):
-    """a[j - shift] (shift >= 1) would observe a half-written buffer in a
-    fused body sharing the producer's range; the pass must refuse or
-    produce bitwise-identical output via a legal split."""
+def test_backward_shifted_reads_stay_bitwise_exact(n, shift, seed):
+    """a[j - shift] (shift >= 1) is a backward window: the pass may peel
+    and merge, but whatever it does must stay bitwise- and count-exact,
+    and without contraction the temp keeps its declared size."""
     idx = sub(var("j"), const(shift))
     plain = producer_consumer(n, idx, lo=shift)
     stats = fuse_step_inplace(producer_consumer(n, idx, lo=shift))
-    # the merged domains differ AND the access is off-index: no legal
-    # same-domain interleave exists, so nothing may fuse the two bodies
-    # into one iteration space that overlaps the shifted reads
     fused = producer_consumer(n, idx, lo=shift)
     fuse_step_inplace(fused)
     a = run(plain, n, seed, fuse=False)
@@ -64,7 +61,8 @@ def test_shifted_consumer_reads_refuse_fusion(n, shift, seed):
                                       np.asarray(a.outputs[name]))
     for op in ELEMENT_OPS:
         assert getattr(b.counts.total, op) == getattr(a.counts.total, op)
-    assert stats.buffers_contracted == 0  # off-index temp can never contract
+    assert stats.buffers_contracted == 0  # contract=False keeps sizes
+    assert fused.buffers["a"].window is None
 
 
 @common
@@ -170,3 +168,158 @@ def test_fuse_step_inplace_is_idempotent(n):
     first = fuse_step_inplace(p)
     assert first.nests_fused == 1
     assert fuse_step_inplace(p).nests_fused == 0
+
+
+# -- sliding-window contraction ------------------------------------------------
+
+
+@common
+@given(st.integers(1, 3), st.integers(0, 99))
+def test_backward_window_contracts_to_ring(shift, seed):
+    """A consumer reading a[j-shift] demotes the temp to a
+    (shift+1)-cell ring with bit-identical outputs on every backend
+    path the interpreter takes."""
+    n = 8 * (shift + 1)  # comfortably past the 2*window <= size gate
+    idx = sub(var("j"), const(shift))
+    fused, stats = fuse_program(producer_consumer(n, idx, lo=shift))
+    assert stats.buffers_windowed == 1
+    assert stats.buffers_contracted == 0
+    decl = fused.buffers["a"]
+    assert decl.window == shift + 1
+    assert decl.shape == (n,)  # logical span untouched
+    assert decl.storage_size == shift + 1
+    assert stats.bytes_saved == (n - (shift + 1)) * 8
+    plain = producer_consumer(n, idx, lo=shift)
+    a = run(plain, n, seed, fuse=False)
+    b = run(fused, n, seed, fuse=False)
+    np.testing.assert_array_equal(np.asarray(b.outputs["y"]),
+                                  np.asarray(a.outputs["y"]))
+    for op in ELEMENT_OPS:
+        assert getattr(b.counts.total, op) == getattr(a.counts.total, op)
+
+
+@common
+@given(st.integers(4, 32), st.integers(1, 3))
+def test_forward_window_rejects_and_counts(n, shift):
+    """a[j + shift] reads ahead of the write frontier: no merge, no
+    window, and the audit counter surfaces the rejected shape."""
+    idx = add(var("j"), const(shift))
+    p = producer_consumer(n, idx, hi=n - shift)
+    fused, stats = fuse_program(p)
+    assert stats.buffers_windowed == 0
+    assert fused.buffers["a"].window is None
+    assert stats.window_shape_rejects >= 1
+
+
+@common
+@given(st.integers(4, 32), st.integers(0, 99))
+def test_zero_width_window_is_full_contraction_territory(n, seed):
+    """shift == 0 (consumer reads only a[j]) must never produce a ring:
+    the temp fully contracts to a scalar instead."""
+    fused, stats = fuse_program(producer_consumer(n, var("j")))
+    assert stats.buffers_windowed == 0
+    assert stats.buffers_contracted == 1
+    assert fused.buffers["a"].shape == (1,)
+    assert fused.buffers["a"].window is None
+    plain = producer_consumer(n, var("j"))
+    a = run(plain, n, seed, fuse=False)
+    b = run(fused, n, seed, fuse=False)
+    np.testing.assert_array_equal(np.asarray(b.outputs["y"]),
+                                  np.asarray(a.outputs["y"]))
+
+
+@common
+@given(st.integers(1, 3), st.integers(0, 99),
+       st.sampled_from(["closure", "vector", "auto"]))
+def test_windowed_ring_exact_on_every_backend(shift, seed, backend):
+    """The ring lowering (index % window + per-step zeroing) is exact on
+    the interpreting backends across repeated steps."""
+    from repro.ir.interp import VirtualMachine
+    n = 8 * (shift + 1)
+    idx = sub(var("j"), const(shift))
+    fused, stats = fuse_program(producer_consumer(n, idx, lo=shift))
+    assert stats.buffers_windowed == 1
+    plain = producer_consumer(n, idx, lo=shift)
+    vm_f = VirtualMachine(fused, backend=backend, fuse=False)
+    vm_p = VirtualMachine(plain, backend="closure", fuse=False)
+    vm_f.reset()
+    vm_p.reset()
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        u = rng.standard_normal(n)
+        rf = vm_f.run({"u": u})
+        rp = vm_p.run({"u": u})
+        np.testing.assert_array_equal(np.asarray(rf.outputs["y"]),
+                                      np.asarray(rp.outputs["y"]))
+
+
+# -- nested (2D) fusion --------------------------------------------------------
+
+
+def two_2d_nests(rows_a, rows_b, cols, split=False):
+    """Two perfect 2D nests writing y[r*cols + c] = 2*u[r*cols + c]; with
+    ``split`` the second covers rows [rows_a, rows_a+rows_b) so the outer
+    loops α-merge, else both cover the same rows and same-domain rules
+    apply."""
+    total = (rows_a + rows_b if split else rows_a) * cols
+    p = Program("t")
+    p.declare("u", (total,), "float64", "input")
+    p.declare("y", (total,), "float64", "output")
+
+    def nest(vo, vi, lo, hi, dst_scale):
+        flat = add(mul(var(vo), const(cols)), var(vi))
+        return For(vo, lo, hi, [For(vi, 0, cols, [Assign(
+            "y", flat, mul(load("u", flat), const(dst_scale)))],
+            vectorizable=True)])
+
+    if split:
+        p.step.append(nest("r0", "c0", 0, rows_a, 2.0))
+        p.step.append(nest("r1", "c1", rows_a, rows_a + rows_b, 2.0))
+    else:
+        p.step.append(nest("r0", "c0", 0, rows_a, 2.0))
+        p.step.append(nest("r1", "c1", 0, rows_a, 3.0))
+    return p
+
+
+@common
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(2, 8),
+       st.integers(0, 99))
+def test_2d_alpha_merge_over_split_rows(rows_a, rows_b, cols, seed):
+    """Row-split 2D nests with α-equivalent bodies merge into one outer
+    loop, preserving bits and every element counter."""
+    plain = two_2d_nests(rows_a, rows_b, cols, split=True)
+    merged = two_2d_nests(rows_a, rows_b, cols, split=True)
+    stats = fuse_step_inplace(merged)
+    assert stats.nests_fused == 1
+    assert merged.loop_count == 2  # one outer + one inner
+    total = (rows_a + rows_b) * cols
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal(total)
+    a = execute(plain, {"u": u}, fuse=False)
+    b = execute(merged, {"u": u}, fuse=False)
+    np.testing.assert_array_equal(np.asarray(b.outputs["y"]),
+                                  np.asarray(a.outputs["y"]))
+    for op in (*ELEMENT_OPS, "loops_entered", "loop_iters"):
+        assert getattr(b.counts.total, op) == getattr(a.counts.total, op)
+
+
+@common
+@given(st.integers(2, 5), st.integers(2, 8), st.integers(0, 99))
+def test_2d_same_domain_nests_fuse_row_and_column(rows, cols, seed):
+    """Same-domain 2D nests fuse at the outer level (blocked-access
+    rule), then the recursive sweep merges the now-adjacent inner loops:
+    4 loops collapse to 2."""
+    plain = two_2d_nests(rows, 0, cols, split=False)
+    merged = two_2d_nests(rows, 0, cols, split=False)
+    stats = fuse_step_inplace(merged)
+    assert stats.nests_fused >= 1
+    assert merged.loop_count == 2  # one outer + one fused inner
+    total = rows * cols
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal(total)
+    a = execute(plain, {"u": u}, fuse=False)
+    b = execute(merged, {"u": u}, fuse=False)
+    np.testing.assert_array_equal(np.asarray(b.outputs["y"]),
+                                  np.asarray(a.outputs["y"]))
+    for op in ELEMENT_OPS:
+        assert getattr(b.counts.total, op) == getattr(a.counts.total, op)

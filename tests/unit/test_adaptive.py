@@ -22,8 +22,12 @@ from repro.ir.ops import Assign, For, Program
 from repro.ir.vectorize import fingerprint
 from repro.native import find_compiler
 from repro.serve import adaptive
-from repro.serve.adaptive import (AdaptiveConfig, AdaptiveController,
-                                  estimate_compile_ns, estimate_step_ns)
+from repro.serve.adaptive import (CALIBRATION_FACTOR_BOUNDS,
+                                  CALIBRATION_MIN_SAMPLES,
+                                  VECTOR_OVERHEAD_FACTOR, AdaptiveConfig,
+                                  AdaptiveController, calibrate_from_spans,
+                                  estimate_compile_ns, estimate_step_ns,
+                                  modeled_step_ns, span_overhead_ratios)
 
 
 def make_program(name="adapt", n=8):
@@ -87,6 +91,77 @@ class TestHeatTracking:
             ctl.observe(make_program(name=f"m{i}", n=4 + i), steps=1)
         counts = ctl.state_counts()
         assert sum(counts.values()) == 3
+
+
+def _vm_run_span(program="adapt", backend="vector", steps=10, wall=1e-3):
+    """One exported ``vm.run`` span, shaped like ``Span.as_dict()``."""
+    return {"name": "vm.run", "trace_id": "t" * 16, "span_id": "s" * 16,
+            "parent_id": "p" * 16, "start_unix": 0.0,
+            "wall_seconds": wall, "cpu_seconds": wall, "pid": 1, "tid": 1,
+            "attrs": {"backend": backend, "program": program,
+                      "steps": steps, "fuse": True,
+                      "fusion_nests_fused": 0,
+                      "fusion_buffers_contracted": 0}}
+
+
+class TestOverheadCalibration:
+    def test_constant_fallback_without_enough_samples(self):
+        modeled = {"adapt": 1000.0}
+        spans = [_vm_run_span()
+                 for _ in range(CALIBRATION_MIN_SAMPLES - 1)]
+        assert calibrate_from_spans(spans, modeled) \
+            == VECTOR_OVERHEAD_FACTOR
+        assert calibrate_from_spans([], {}) == VECTOR_OVERHEAD_FACTOR
+
+    def test_median_ratio_from_recorded_fixture(self):
+        # Four recorded 10-step vector runs whose measured/modeled
+        # ratios are 10, 20, 30, 40 — the calibrated factor is their
+        # median, not the (outlier-sensitive) mean.
+        modeled = {"adapt": 1000.0}
+        spans = [_vm_run_span(steps=10, wall=r * 1000.0 * 10 / 1e9)
+                 for r in (10.0, 20.0, 30.0, 40.0)]
+        assert calibrate_from_spans(spans, modeled) == pytest.approx(25.0)
+
+    def test_foreign_or_unusable_spans_are_skipped(self):
+        modeled = {"adapt": 1000.0}
+        spans = [
+            _vm_run_span(backend="closure"),      # wrong backend
+            _vm_run_span(backend="native"),
+            _vm_run_span(program="unknown"),      # no modeled baseline
+            {"name": "codegen", "wall_seconds": 1.0, "attrs": {}},
+            _vm_run_span(steps=0),                # unusable timing
+            _vm_run_span(wall=0.0),
+        ]
+        assert span_overhead_ratios(spans, modeled) == []
+
+    def test_absurd_ratio_is_clamped(self):
+        modeled = {"adapt": 1000.0}
+        spans = [_vm_run_span(steps=1, wall=10.0)
+                 for _ in range(CALIBRATION_MIN_SAMPLES)]
+        assert calibrate_from_spans(spans, modeled) \
+            == CALIBRATION_FACTOR_BOUNDS[1]
+
+    def test_controller_calibrates_threshold_factor(self):
+        ctl = AdaptiveController(AdaptiveConfig(min_runs=2))
+        ctl._submit = lambda entry, program: None
+        p = make_program()
+        ctl.observe(p, steps=1, model_name="adapt")
+        ctl.observe(p, steps=1, model_name="adapt")  # estimates step_ns
+        assert ctl.overhead_factor is None            # constant still rules
+        entry = next(iter(ctl._entries.values()))
+        assert entry.step_ns == pytest.approx(modeled_step_ns(p))
+        target = 7.0
+        wall = target * entry.step_ns * 10 / 1e9
+        spans = [_vm_run_span(steps=10, wall=wall)
+                 for _ in range(CALIBRATION_MIN_SAMPLES)]
+        ctl.record_vm_run_spans(spans)
+        assert ctl.overhead_factor == pytest.approx(target, rel=1e-6)
+        assert ctl._factor() == ctl.overhead_factor
+
+    def test_untraced_requests_do_not_calibrate(self):
+        ctl = AdaptiveController(AdaptiveConfig(min_runs=2))
+        ctl.record_vm_run_spans([])
+        assert ctl.overhead_factor is None
 
 
 class TestPromotionPolicy:

@@ -102,7 +102,9 @@ class TestAlphaMerge:
         assert total_f.loops_entered == total_p.loops_entered
         assert total_f.loop_iters == total_p.loop_iters
 
-    def test_flag_mismatch_blocks_alpha_merge(self):
+    def test_flag_mismatch_alpha_merge_demotes_flags(self):
+        """Flag-aware merging: a (vectorizable, plain) pair merges with
+        the merged nest conservatively demoted to the weaker flags."""
         p = Program("t")
         p.declare("u", (8,), "float64", "input")
         p.declare("y", (8,), "float64", "output")
@@ -110,7 +112,13 @@ class TestAlphaMerge:
                                        vectorizable=True))
         p.step.append(elementwise_loop("y", "u", [(4, 8)],
                                        vectorizable=False))
-        assert fuse_step_inplace(p).nests_fused == 0
+        stats = fuse_step_inplace(p)
+        assert stats.nests_fused == 1
+        assert stats.flag_mismatch_rejects == 0
+        (merged,) = [s for s in p.step if isinstance(s, For)]
+        assert merged.vectorizable is False
+        assert merged.forced_simd is False
+        assert (merged.start, merged.stop) == (0, 8)
 
 
 class TestProducerConsumerMerge:
@@ -145,15 +153,39 @@ class TestProducerConsumerMerge:
             vectorizable=True))
         assert fuse_step_inplace(p, contract=False).nests_fused == 0
 
-    def test_shifted_consumer_read_refused(self):
+    def test_backward_shifted_consumer_read_merges(self):
+        """a[j-1] is a *backward* window read: the fused body reads a
+        cell the producer wrote on an earlier iteration, so merging is
+        legal and outputs stay bit-identical."""
+        def build():
+            p = Program("t")
+            p.declare("u", (8,), "float64", "input")
+            p.declare("a", (8,), "float64", "temp")
+            p.declare("y", (8,), "float64", "output")
+            p.step.append(elementwise_loop("a", "u", [(0, 8)]))
+            p.step.append(For("j", 1, 8, [Assign(
+                "y", var("j"),
+                load("a", sub(var("j"), const(1))))], vectorizable=True))
+            return p
+        p = build()
+        assert fuse_step_inplace(p, contract=False).nests_fused == 1
+        u = np.arange(8.0)
+        before = execute(build(), {"u": u}, fuse=False).outputs["y"]
+        after = execute(p, {"u": u}, fuse=False).outputs["y"]
+        np.testing.assert_array_equal(np.asarray(after),
+                                      np.asarray(before))
+
+    def test_forward_shifted_consumer_read_refused(self):
+        """a[j+1] is a *forward* read: iteration j of a fused body would
+        observe a half-written producer buffer — must stay split."""
         p = Program("t")
         p.declare("u", (8,), "float64", "input")
         p.declare("a", (8,), "float64", "temp")
         p.declare("y", (8,), "float64", "output")
         p.step.append(elementwise_loop("a", "u", [(0, 8)]))
-        p.step.append(For("j", 0, 8, [Assign(
+        p.step.append(For("j", 0, 7, [Assign(
             "y", var("j"),
-            load("a", sub(var("j"), const(1))))], vectorizable=True))
+            load("a", add(var("j"), const(1))))], vectorizable=True))
         assert fuse_step_inplace(p, contract=False).nests_fused == 0
 
     def test_call_stmt_blocks_fusion(self):
@@ -234,13 +266,17 @@ class TestContraction:
         assert clone.buffers["mid"].shape == (1,)
         assert isinstance(stats, FusionStats)
         assert set(stats.as_dict()) == {
-            "nests_fused", "buffers_contracted", "bytes_saved",
-            "loops_before", "loops_after", "flag_mismatch_rejects"}
+            "nests_fused", "buffers_contracted", "buffers_windowed",
+            "bytes_saved", "loops_before", "loops_after",
+            "flag_mismatch_rejects", "nested_depth_rejects",
+            "window_shape_rejects"}
 
 
 class TestFlagMismatchAccounting:
-    """ROADMAP item 5 headroom: merge-shaped pairs rejected only because
-    their vectorizable/forced_simd flags differ are counted, once."""
+    """Flag-aware merging makes flag mismatch a non-blocker: merge-shaped
+    pairs with differing flags now merge with demoted flags, and the
+    (retained) `flag_mismatch_rejects` counter is a regression tripwire
+    that must read 0 after the pass reaches fixpoint."""
 
     def two_loop_chain(self, flags=(True, False)):
         p = Program("t")
@@ -253,15 +289,17 @@ class TestFlagMismatchAccounting:
                                        vectorizable=flags[1]))
         return p
 
-    def test_flag_mismatch_is_counted(self):
-        stats = fuse_step_inplace(self.two_loop_chain())
-        assert stats.nests_fused == 0
-        assert stats.flag_mismatch_rejects == 1
+    def test_flag_mismatch_merges_with_demotion(self):
+        p = self.two_loop_chain()
+        stats = fuse_step_inplace(p)
+        assert stats.nests_fused == 1
+        assert stats.flag_mismatch_rejects == 0
+        (merged,) = [s for s in p.step if isinstance(s, For)]
+        assert merged.vectorizable is False
 
-    def test_fixpoint_sweeps_do_not_double_count(self):
-        # Three same-domain loops where only the vectorizable pair merges:
-        # the follow-up sweep revisits the mismatched pairs and must not
-        # count them again.
+    def test_mixed_flag_chain_fuses_fully(self):
+        # Three same-domain loops with mixed flags all collapse into one
+        # nest; the demoted flags never leave a mismatched pair behind.
         p = Program("t")
         p.declare("u", (16,), "float64", "input")
         p.declare("a", (16,), "float64", "temp")
@@ -274,22 +312,47 @@ class TestFlagMismatchAccounting:
         p.step.append(elementwise_loop("y", "b", [(0, 16)], variable="k",
                                        vectorizable=True))
         stats = fuse_step_inplace(p)
-        assert stats.nests_fused == 1
-        assert stats.flag_mismatch_rejects == 1
-
-    def test_matching_flags_do_not_count(self):
-        stats = fuse_step_inplace(self.two_loop_chain(flags=(True, True)))
-        assert stats.nests_fused == 1
+        assert stats.nests_fused == 2
+        assert p.loop_count == 1
         assert stats.flag_mismatch_rejects == 0
 
-    def test_zoo_headroom_is_visible(self):
-        # ImagePipeline's b7_focus chain is the documented flag-mismatch
-        # casualty: the counter must surface non-zero headroom there.
+    def test_matching_flags_keep_flags(self):
+        p = self.two_loop_chain(flags=(True, True))
+        stats = fuse_step_inplace(p)
+        assert stats.nests_fused == 1
+        assert stats.flag_mismatch_rejects == 0
+        (merged,) = [s for s in p.step if isinstance(s, For)]
+        assert merged.vectorizable is True
+
+    def test_flag_demotion_is_count_neutral(self):
+        # Demotion migrates counts between scalar/vector buckets; element
+        # totals must stay exactly equal.
+        u = np.arange(16.0)
+        plain = execute(self.two_loop_chain(), {"u": u}, fuse=False)
+        fused_p = self.two_loop_chain()
+        fuse_step_inplace(fused_p, contract=False)
+        fused = execute(fused_p, {"u": u}, fuse=False)
+        np.testing.assert_array_equal(np.asarray(fused.outputs["y"]),
+                                      np.asarray(plain.outputs["y"]))
+        assert element_counts(fused) == element_counts(plain)
+
+    def test_imagepipeline_flag_headroom_is_spent(self):
+        # ImagePipeline's b7_focus chain was the documented flag-mismatch
+        # casualty; flag-aware merging must clear the counter entirely.
         from repro.codegen import FrodoGenerator
         from repro.zoo import build_model
         code = FrodoGenerator().generate(build_model("ImagePipeline"))
         _, stats = fuse_program(code.program)
-        assert stats.flag_mismatch_rejects > 0
+        assert stats.flag_mismatch_rejects == 0
+
+    def test_stencil_window_headroom_is_visible(self):
+        # Forward-reading stencils (centered convolutions) cannot merge
+        # or window yet; the audit counters must surface that headroom.
+        from repro.codegen import FrodoGenerator
+        from repro.zoo import build_model
+        code = FrodoGenerator().generate(build_model("HighPass"))
+        _, stats = fuse_program(code.program)
+        assert stats.window_shape_rejects > 0
 
 
 class TestFuseKnobCaching:

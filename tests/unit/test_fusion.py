@@ -57,10 +57,37 @@ class TestFusionMechanics:
         after = execute(p, {"u": u}, fuse=False).outputs["y"]
         np.testing.assert_array_equal(after, before)
 
-    def test_shifted_access_not_fused(self):
-        """Consumer reads a[j-1] — iteration j of the fused body would
-        observe a half-written buffer, so the pass must refuse."""
+    def test_backward_shifted_access_fuses(self):
+        """Consumer reads a[j-1] — a *backward* window: iteration j of
+        the fused body reads a cell the producer wrote on iteration j-1,
+        so the merge is legal (the forward-shift case stays refused, see
+        test_forward_shifted_access_not_fused)."""
         from repro.ir.build import sub
+
+        def build():
+            p = Program("t")
+            p.declare("u", (8,), "float64", "input")
+            p.declare("a", (8,), "float64", "temp")
+            p.declare("y", (8,), "float64", "output")
+            p.step.append(For("i", 0, 8, [Assign(
+                "a", var("i"), mul(load("u", var("i")), const(2.0)))],
+                vectorizable=True))
+            p.step.append(For("j", 1, 8, [Assign(
+                "y", var("j"),
+                add(load("a", sub(var("j"), const(1))), const(1.0)))],
+                vectorizable=True))
+            return p
+
+        p = build()
+        assert fuse_elementwise_loops(p) == 1
+        u = np.arange(8.0)
+        before = execute(build(), {"u": u}, fuse=False).outputs["y"]
+        after = execute(p, {"u": u}, fuse=False).outputs["y"]
+        np.testing.assert_array_equal(after, before)
+
+    def test_forward_shifted_access_not_fused(self):
+        """Consumer reads a[j+1] — iteration j of the fused body would
+        observe a half-written buffer, so the pass must refuse."""
         p = Program("t")
         p.declare("u", (8,), "float64", "input")
         p.declare("a", (8,), "float64", "temp")
@@ -68,9 +95,9 @@ class TestFusionMechanics:
         p.step.append(For("i", 0, 8, [Assign(
             "a", var("i"), mul(load("u", var("i")), const(2.0)))],
             vectorizable=True))
-        p.step.append(For("j", 1, 8, [Assign(
+        p.step.append(For("j", 0, 7, [Assign(
             "y", var("j"),
-            add(load("a", sub(var("j"), const(1))), const(1.0)))],
+            add(load("a", add(var("j"), const(1))), const(1.0)))],
             vectorizable=True))
         assert fuse_elementwise_loops(p) == 0
         assert p.loop_count == 2
@@ -94,11 +121,37 @@ class TestFusionMechanics:
             vectorizable=True))
         assert fuse_elementwise_loops(p) == 0
 
-    def test_non_elementwise_body_not_fused(self):
+    def test_nested_body_fuses_when_writes_stay_bare(self):
+        """A loop with an inner nest merges with an elementwise sibling
+        when every access to the shared buffer is at the outer index
+        (iteration i touches only y[i] in both nests)."""
+        def build():
+            p = Program("t")
+            p.declare("u", (8,), "float64", "input")
+            p.declare("y", (8,), "float64", "output")
+            inner = For("k", 0, 2,
+                        [Assign("y", var("i"), load("u", var("i")))])
+            p.step.append(For("i", 0, 8, [inner]))
+            p.step.append(For("j", 0, 8, [Assign(
+                "y", var("j"), load("u", var("j")))], vectorizable=True))
+            return p
+
+        p = build()
+        assert fuse_elementwise_loops(p) == 1
+        u = np.arange(8.0)
+        before = execute(build(), {"u": u}, fuse=False).outputs["y"]
+        after = execute(p, {"u": u}, fuse=False).outputs["y"]
+        np.testing.assert_array_equal(after, before)
+
+    def test_non_elementwise_scatter_not_fused(self):
+        """An inner nest that scatters to k-dependent cells must not
+        merge with an elementwise sibling over the same buffer."""
+        from repro.ir.build import sub
         p = Program("t")
         p.declare("u", (8,), "float64", "input")
-        p.declare("y", (8,), "float64", "output")
-        inner = For("k", 0, 2, [Assign("y", var("i"), load("u", var("i")))])
+        p.declare("y", (16,), "float64", "output")
+        inner = For("k", 0, 2, [Assign(
+            "y", add(var("i"), var("k")), load("u", var("i")))])
         p.step.append(For("i", 0, 8, [inner]))
         p.step.append(For("j", 0, 8, [Assign(
             "y", var("j"), load("u", var("j")))], vectorizable=True))

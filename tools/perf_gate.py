@@ -12,9 +12,11 @@ Timing noise guard: cells whose baseline is below ``--floor-ms``
 (default 0.05 ms) are informational only — at that scale scheduler
 jitter swamps any real regression.
 
-The gate also re-asserts the fusion acceptance floor: ImagePipeline ×
-frodo must keep an at-least-2× fused-vs-unfused per-step win on the
-vector or native backend.
+The gate also re-asserts the fusion acceptance floors: ImagePipeline ×
+frodo must keep an at-least-5× fused-vs-unfused per-step win on the
+vector or native backend, and native alone must stay at parity or
+better (``NATIVE_FUSION_FLOOR`` — fusion must never pessimize the
+compiled code).
 
 Usage::
 
@@ -36,7 +38,23 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT))
 
 FUSION_FLOOR_MODEL = ("ImagePipeline", "frodo")
-FUSION_FLOOR = 2.0
+#: Best-of-vector/native fused-vs-unfused floor.  Deeper fusion (PR 9:
+#: flag-aware merging + nested merges + contraction) holds the vector
+#: win at 6.1-9.1x across clean runs (fewer planned nests = fewer numpy
+#: dispatches, which is what bounds the Python vector backend), so the
+#: floor moves up from the original 2x to lock the new win in.
+FUSION_FLOOR = 5.0
+#: Native fused-vs-unfused floor on the same cell — a *no-pessimization*
+#: guard, not a speedup claim.  gcc -O2 compiles the fused and unfused
+#: programs to equally fast code on the zoo models (they fit in L1, so
+#: fusion's memory-traffic win has nothing to save natively); interleaved
+#: clean measurements put the true ratio at 0.92-1.01x, and an earlier
+#: 1.27x in the baseline was a scheduler-noise draw.  Per-run native
+#: times are tens of microseconds, so best-of-N draws span roughly
+#: 0.7-1.3x; the floor sits below that band and only catches gross
+#: pessimization — a lowering change that genuinely defeats gcc's
+#: auto-vectorization shows up as 2x+, far under 0.6.
+NATIVE_FUSION_FLOOR = 0.6
 
 
 def cell_key(cell: dict) -> tuple:
@@ -96,6 +114,12 @@ def check_fusion_floor(fresh: dict) -> list[str]:
                 f"{FUSION_FLOOR_MODEL}: best fused-vs-unfused speedup "
                 f"{best:.2f}x (over {sorted(candidates)}) is below the "
                 f"{FUSION_FLOOR:.0f}x acceptance floor")
+        native = candidates.get("native")
+        if native is not None and native < NATIVE_FUSION_FLOOR:
+            failures.append(
+                f"{FUSION_FLOOR_MODEL}: native fused-vs-unfused ratio "
+                f"{native:.2f}x is below the {NATIVE_FUSION_FLOOR:.2f}x "
+                "no-pessimization floor")
         return failures
     failures.append(f"{FUSION_FLOOR_MODEL}: cell missing from fresh run")
     return failures
@@ -143,14 +167,18 @@ def main(argv: list[str] | None = None) -> int:
         fresh = json.loads(fresh_path.read_text())
         failures, notes = compare(baseline, fresh, args.threshold,
                                   args.floor_ms)
-        if failures:
-            # One retry: a shared/1-core runner can stall a single cell
-            # by 30%+ from scheduler noise alone.  Re-measure and keep
-            # the per-cell best of both runs; only a regression that
-            # survives two independent sweeps fails the gate.
+        # Up to two retries: a shared/1-core runner can stall a single
+        # cell by 30%+ from scheduler noise alone.  Re-measure and keep
+        # the per-cell best across runs; only a regression that survives
+        # three independent sweeps fails the gate (a real 30% regression
+        # does — noise draws don't repeat three times on the same cell).
+        for attempt in (1, 2):
+            if not failures:
+                break
             print(f"perf gate: {len(failures)} cell(s) over threshold; "
-                  "re-measuring once to rule out scheduler noise")
-            retry_path = Path(tmp) / "fresh_retry.json"
+                  f"re-measuring (attempt {attempt}) to rule out "
+                  "scheduler noise")
+            retry_path = Path(tmp) / f"fresh_retry{attempt}.json"
             bench_main(["--output", str(retry_path)]
                        + (["--quick", "--repeats", "5"]
                           if args.quick else []))
@@ -165,6 +193,17 @@ def main(argv: list[str] | None = None) -> int:
                         again = other.get(column, {}).get(backend)
                         if again is not None:
                             cell[column][backend] = min(got, again)
+                # Re-derive the fused-vs-unfused ratios from the merged
+                # best-of timings so the fusion-floor check sees the
+                # least noisy draw too (single-run ratios of ~50us
+                # native cells are coin tosses).
+                fused_ms = cell.get("ms_per_step", {})
+                for backend, um in cell.get("ms_per_step_unfused",
+                                            {}).items():
+                    fm = fused_ms.get(backend)
+                    if fm:
+                        cell.setdefault("fusion_speedup", {})[backend] = \
+                            round(um / fm, 2)
             failures, notes = compare(baseline, fresh, args.threshold,
                                       args.floor_ms)
 
