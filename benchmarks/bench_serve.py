@@ -1,4 +1,4 @@
-"""Serving benchmark wrapper (`BENCH_serve.json` trajectory).
+"""Serving benchmark wrapper (`BENCH_serve.json` / `BENCH_cluster.json`).
 
 Thin entry point over :mod:`repro.serve.bench` so the benchmark runs both
 as ``python benchmarks/bench_serve.py`` (CI smoke with ``--quick``) and
@@ -8,10 +8,17 @@ latency, compile-after-restart service from the persistent artifact
 cache, and the adaptive tier (cold diverse-corpus p99 vs vector-only,
 hot-model time-to-promotion and steady-state auto-vs-native).
 
+With ``--cluster`` it instead runs the fleet benchmark
+(:mod:`repro.serve.bench_cluster`): hot-fingerprint throughput across
+1/2/4/8 shards, the sleep-op concurrency curve, cold-compile dedup
+through the shared artifact store, and shard-kill recovery — written to
+``BENCH_cluster.json``.
+
 Run directly (not collected by the tier-1 pytest config)::
 
-    PYTHONPATH=src python benchmarks/bench_serve.py          # full
-    PYTHONPATH=src python benchmarks/bench_serve.py --quick  # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serve.py --cluster  # fleet
 """
 
 from __future__ import annotations
@@ -22,7 +29,16 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.serve.bench import main  # noqa: E402
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--cluster" in argv:
+        argv.remove("--cluster")
+        from repro.serve.bench_cluster import main as cluster_main
+        return cluster_main(argv)
+    from repro.serve.bench import main as serve_main
+    return serve_main(argv)
+
 
 if __name__ == "__main__":
     sys.exit(main())

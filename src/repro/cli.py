@@ -285,19 +285,64 @@ def cmd_serve(args) -> None:
                          promote_threshold_ms=args.promote_threshold_ms,
                          promote_min_runs=args.promote_min_runs,
                          promote_compiles=args.promote_compiles,
-                         vm_cache_max=args.vm_cache_max)
+                         vm_cache_max=args.vm_cache_max,
+                         shard=args.shard_id,
+                         store=args.store)
+
+    if args.cluster:
+        _serve_cluster(args, config)
+        return
 
     def announce(server) -> None:
         cache = cache_dir or "disabled"
         tier = ", adaptive tier: on" if args.adaptive else ""
+        shard = f", shard: {args.shard_id}" if args.shard_id else ""
         print(f"frodo serve: listening on {config.host}:{server.port} "
-              f"({args.workers} worker(s), artifact cache: {cache}{tier})",
-              flush=True)
+              f"({args.workers} worker(s), artifact cache: {cache}"
+              f"{tier}{shard})", flush=True)
 
     try:
         asyncio.run(run_server(config, announce=announce))
     except KeyboardInterrupt:
         print("frodo serve: interrupted, shutting down")
+
+
+def _serve_cluster(args, template) -> None:
+    """``frodo serve --cluster N``: store + N shards + router."""
+    import time as _time
+    from repro.serve.cluster import ClusterConfig, ClusterSupervisor
+    if args.shard_id or args.store:
+        raise SystemExit("--cluster spawns its own shards; "
+                         "--shard-id/--store are for shard processes")
+    root = args.cluster_root or (args.cache_dir + "-cluster"
+                                 if not args.no_cache else ".frodo-cluster")
+    cluster = ClusterConfig(shards=args.cluster, template=template,
+                            workers_per_shard=max(args.workers, 1),
+                            root=root)
+    supervisor = ClusterSupervisor(cluster)
+    port = supervisor.start()
+    assert supervisor.store is not None
+    print(f"frodo serve: cluster router listening on {args.host}:{port} "
+          f"({args.cluster} shard(s) × {cluster.workers_per_shard} "
+          f"worker(s), store {supervisor.store.address}, root {root})",
+          flush=True)
+    for name, shard_port in supervisor.shard_ports().items():
+        print(f"frodo serve:   shard {name} on 127.0.0.1:{shard_port}",
+              flush=True)
+    try:
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("frodo serve: interrupted, shutting down cluster")
+    finally:
+        # A repeated/forwarded SIGINT mid-drain must not abandon shard
+        # subprocesses — the teardown sequence runs exactly once.
+        import signal as _signal
+        try:
+            _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+        except ValueError:  # not the main thread (tests)
+            pass
+        supervisor.stop()
 
 
 def cmd_submit(args) -> None:
@@ -338,14 +383,17 @@ def cmd_submit(args) -> None:
 
 
 def cmd_bench_serve(args) -> None:
-    from repro.serve.bench import main as bench_main
     argv = []
     if args.quick:
         argv.append("--quick")
-    if args.corpus:
-        argv.extend(["--corpus", str(args.corpus)])
     if args.output:
         argv.extend(["--output", args.output])
+    if args.cluster:
+        from repro.serve.bench_cluster import main as bench_main
+    else:
+        from repro.serve.bench import main as bench_main
+        if args.corpus:
+            argv.extend(["--corpus", str(args.corpus)])
     raise SystemExit(bench_main(argv))
 
 
@@ -610,6 +658,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="background native compiles in flight per worker")
     p.add_argument("--vm-cache-max", type=int, default=None, metavar="N",
                    help="warm per-worker VM cache bound (LRU beyond)")
+    p.add_argument("--cluster", type=int, default=0, metavar="N",
+                   help="run a sharded fleet: N shard processes behind a "
+                        "consistent-hashing router plus a shared "
+                        "artifact store (see docs/cluster.md)")
+    p.add_argument("--cluster-root", default=None, metavar="DIR",
+                   help="cluster state directory (store + per-shard "
+                        "caches; default <cache-dir>-cluster)")
+    p.add_argument("--shard-id", default=None, metavar="NAME",
+                   help="shard identity (set by the cluster supervisor; "
+                        "stamps response meta and the metrics shard "
+                        "label)")
+    p.add_argument("--store", default=None, metavar="HOST:PORT",
+                   help="shared artifact store to read through and "
+                        "publish to (set by the cluster supervisor)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("trace",
@@ -658,6 +720,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corpus", type=int, default=0, metavar="N",
                    help="also bench hot-vs-diverse traffic over N distinct "
                         "generated corpus fingerprints")
+    p.add_argument("--cluster", action="store_true",
+                   help="run the sharded-fleet benchmark instead "
+                        "(writes BENCH_cluster.json: shard scaling, "
+                        "cold-compile dedup, kill recovery)")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_bench_serve)
 

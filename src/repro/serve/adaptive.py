@@ -84,6 +84,11 @@ COMPILE_BASE_NS = 2.5e8  # ~250 ms
 #: Estimated marginal compile cost per IR statement.
 COMPILE_PER_STMT_NS = 1.5e6  # ~1.5 ms
 
+#: Minimum seconds between persisted-heat writes per fingerprint.  Heat
+#: is a hint; flushing it on every request would turn the store into a
+#: hot-path dependency.
+HEAT_PUBLISH_INTERVAL = 1.0
+
 
 @dataclass
 class AdaptiveConfig:
@@ -112,7 +117,8 @@ class _Entry:
 
     __slots__ = ("program_fp", "fuse", "state", "heat", "invocations",
                  "last_update", "step_ns", "compile_ns", "first_seen",
-                 "promoted_at", "compile_seconds", "model_name")
+                 "promoted_at", "compile_seconds", "model_name",
+                 "seeded", "last_publish")
 
     def __init__(self, program_fp: str, fuse: bool, model_name: str,
                  now: float):
@@ -128,6 +134,8 @@ class _Entry:
         self.compile_ns: float = 0.0
         self.promoted_at: float | None = None
         self.compile_seconds: float | None = None
+        self.seeded = True  # flipped off when a heat store may hold history
+        self.last_publish = float("-inf")
 
 
 def modeled_step_ns(program) -> float:
@@ -214,9 +222,18 @@ class AdaptiveController:
     concurrently with both.
     """
 
-    def __init__(self, config: AdaptiveConfig, so_cache_dir=None):
+    def __init__(self, config: AdaptiveConfig, so_cache_dir=None,
+                 heat_store=None, native_cache=None):
         self.config = config
         self.so_cache_dir = so_cache_dir
+        #: Optional :class:`repro.serve.store.HeatStore` — persists heat
+        #: next to the artifact store so a shard inheriting a slice after
+        #: a re-hash starts from observed heat, not from zero.
+        self.heat_store = heat_store
+        #: Optional :class:`repro.serve.store.SharedArtifactCache` — lets
+        #: a promotion fetch a fleet-built ``.so`` instead of running gcc,
+        #: and publish its own build for the other shards.
+        self.native_cache = native_cache
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple[str, bool], _Entry]" = OrderedDict()
         self._events: list[dict] = []
@@ -278,6 +295,9 @@ class AdaptiveController:
             entry = self._entries.get(key)
             if entry is None:
                 entry = _Entry(fp, bool(fuse), model_name, now)
+                # This thread owns the (single) persisted-heat lookup.
+                entry.seeded = self.heat_store is None
+                need_seed = not entry.seeded
                 self._entries[key] = entry
                 while len(self._entries) > self.config.max_tracked:
                     evicted_key, evicted = self._entries.popitem(last=False)
@@ -288,12 +308,16 @@ class AdaptiveController:
                         break
             else:
                 self._entries.move_to_end(key)
+                need_seed = False
             dt = now - entry.last_update
             if dt > 0 and self.config.half_life_seconds > 0:
                 entry.heat *= 0.5 ** (dt / self.config.half_life_seconds)
             entry.last_update = now
             entry.heat += max(steps, 1) * max(batch, 1)
             entry.invocations += 1
+        if need_seed:
+            self._seed_heat(entry)
+        with self._lock:
             should_estimate = (entry.state == "cold"
                                and entry.step_ns is None
                                and entry.invocations >= self.config.min_runs)
@@ -316,12 +340,65 @@ class AdaptiveController:
                       "heat": round(entry.heat, 3)}
         if promote_entry is not None:
             self._submit(promote_entry, program)
+        self._maybe_publish_heat(entry)
         return status
 
     def _threshold_ns(self, entry: _Entry) -> float:
         if self.config.threshold_ms is not None:
             return self.config.threshold_ms * 1e6
         return self.config.payoff_ratio * entry.compile_ns
+
+    # -- persisted heat ----------------------------------------------------
+
+    def _seed_heat(self, entry: _Entry) -> None:
+        """Merge a persisted heat record into a freshly created entry.
+
+        Runs once per fingerprint, off the lock (the store hop may hit
+        the network).  The stored heat is decayed by *wall-clock* age —
+        the record's ``updated_at`` is ``time.time()`` from whichever
+        shard last owned the slice, possibly a different process.
+        """
+        record = self.heat_store.load(entry.program_fp, entry.fuse) \
+            if self.heat_store is not None else None
+        with self._lock:
+            if entry.seeded:
+                return
+            entry.seeded = True
+            if not isinstance(record, dict):
+                return
+            heat = record.get("heat")
+            if isinstance(heat, (int, float)) and not isinstance(heat, bool) \
+                    and heat > 0:
+                age = 0.0
+                updated_at = record.get("updated_at")
+                if isinstance(updated_at, (int, float)) \
+                        and not isinstance(updated_at, bool):
+                    age = max(time.time() - updated_at, 0.0)
+                if self.config.half_life_seconds > 0:
+                    heat *= 0.5 ** (age / self.config.half_life_seconds)
+                entry.heat += float(heat)
+            invocations = record.get("invocations")
+            if isinstance(invocations, int) \
+                    and not isinstance(invocations, bool) and invocations > 0:
+                entry.invocations = max(entry.invocations, invocations)
+
+    def _maybe_publish_heat(self, entry: _Entry, force: bool = False) -> None:
+        """Persist the entry's heat, throttled per fingerprint."""
+        if self.heat_store is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            if not force and now - entry.last_publish < HEAT_PUBLISH_INTERVAL:
+                return
+            entry.last_publish = now
+            payload = {
+                "heat": round(entry.heat, 3),
+                "updated_at": time.time(),
+                "invocations": entry.invocations,
+                "model": entry.model_name,
+            }
+            fp, fuse = entry.program_fp, entry.fuse
+        self.heat_store.save(fp, fuse, payload)
 
     # -- background promotion ----------------------------------------------
 
@@ -351,11 +428,20 @@ class AdaptiveController:
             "native.promote", model=entry.model_name,
             fingerprint=entry.program_fp[:12], fuse=entry.fuse)
         t0 = time.perf_counter()
+        memo = f"promote:{entry.program_fp}:{int(entry.fuse)}"
+        cache = self.native_cache
         try:
             with root:
+                if cache is not None and hasattr(cache, "fetch_native"):
+                    # A fleet peer may have paid gcc already — pull its
+                    # .so into the local overlay so the build is a dlopen.
+                    root.set(native_store=cache.fetch_native(
+                        program, entry.fuse, memo))
                 vm = VirtualMachine(program, backend="native",
                                     so_cache_dir=self.so_cache_dir,
                                     fuse=entry.fuse)
+                if cache is not None and hasattr(cache, "publish_native"):
+                    cache.publish_native(program, entry.fuse, memo)
                 install_cached_vm(program, vm,
                                   so_cache_dir=self.so_cache_dir)
                 promoted = promote_fingerprint(
@@ -396,6 +482,9 @@ class AdaptiveController:
             if state == "promoted":
                 entry.promoted_at = time.monotonic()
             self._events.append(event)
+        # State changes are worth a flush regardless of the throttle —
+        # an inheriting shard should see the record promptly.
+        self._maybe_publish_heat(entry, force=True)
 
     # -- reporting ---------------------------------------------------------
 
@@ -444,17 +533,23 @@ class AdaptiveController:
 _CONTROLLER: AdaptiveController | None = None
 
 
-def configure(config: AdaptiveConfig | None,
-              so_cache_dir=None) -> AdaptiveController | None:
+def configure(config: AdaptiveConfig | None, so_cache_dir=None,
+              heat_store=None,
+              native_cache=None) -> AdaptiveController | None:
     """Install (or clear, with ``config=None``) this process's controller.
 
     Called once per worker process at startup (and by the inline
     ``workers=0`` pool).  Reconfiguring closes the previous controller.
+    ``heat_store`` / ``native_cache`` wire the controller into the shared
+    artifact store (see :mod:`repro.serve.store`) when serving as part of
+    a cluster — both optional, both fail-soft.
     """
     global _CONTROLLER
     if _CONTROLLER is not None:
         _CONTROLLER.close()
-    _CONTROLLER = (AdaptiveController(config, so_cache_dir)
+    _CONTROLLER = (AdaptiveController(config, so_cache_dir,
+                                      heat_store=heat_store,
+                                      native_cache=native_cache)
                    if config is not None else None)
     return _CONTROLLER
 

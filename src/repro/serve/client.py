@@ -32,10 +32,15 @@ class ServeClient:
     """Line-delimited JSON client; context-manager friendly."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7433,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, retry_resets: bool = True):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Reconnect and retry once when the connection drops mid-request.
+        #: A draining shard (cluster rolling restart) closes its listener
+        #: between requests; every op is idempotent, so one transparent
+        #: retry turns that into a non-event for callers.
+        self.retry_resets = retry_resets
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
@@ -72,22 +77,42 @@ class ServeClient:
     # -- raw request/response ---------------------------------------------
 
     def request_raw(self, op: str, **fields: Any) -> dict:
-        """Send one request, return the full response object."""
-        self.connect()
-        assert self._sock is not None and self._file is not None
+        """Send one request, return the full response object.
+
+        With ``retry_resets`` (the default), a connection reset before a
+        reply arrives is retried exactly once on a fresh connection —
+        the window a draining shard leaves open during a cluster rolling
+        restart.  A reset on the retry propagates.
+        """
         self._next_id += 1
         req = {"id": self._next_id, "op": op, **fields}
         line = (json.dumps(jsonable(req), separators=(",", ":")) + "\n")
-        self._sock.sendall(line.encode())
-        reply = self._file.readline(MAX_LINE_BYTES)
-        if not reply:
-            raise ConnectionError("server closed the connection")
-        resp = json.loads(reply)
-        if resp.get("id") not in (None, self._next_id):
-            raise ConnectionError(
-                f"response id {resp.get('id')!r} does not match request "
-                f"id {self._next_id}")
-        return resp
+        attempts = 2 if self.retry_resets else 1
+        for attempt in range(attempts):
+            try:
+                self.connect()
+                assert self._sock is not None and self._file is not None
+                self._sock.sendall(line.encode())
+                reply = self._file.readline(MAX_LINE_BYTES)
+                if not reply:
+                    raise ConnectionError("server closed the connection")
+            except (ConnectionError, BrokenPipeError, OSError) as exc:
+                self.close()
+                # Timeouts are not resets: the server may still be
+                # working on the request — retrying would double-submit
+                # the wait, not recover a drop.
+                if isinstance(exc, TimeoutError) \
+                        or attempt + 1 >= attempts:
+                    raise
+                continue
+            resp = json.loads(reply)
+            if resp.get("id") not in (None, self._next_id):
+                self.close()
+                raise ConnectionError(
+                    f"response id {resp.get('id')!r} does not match request "
+                    f"id {self._next_id}")
+            return resp
+        raise ConnectionError("unreachable")  # pragma: no cover
 
     def request(self, op: str, **fields: Any) -> dict:
         """Send one request, return ``result``; raise on typed errors."""
@@ -249,6 +274,18 @@ class ServeClient:
                              for row in snap["requests_total"])
         check("metrics counted requests", total_requests >= 5,
               f"{total_requests} requests")
+        # Drain resilience: sabotage our own connection and rely on the
+        # reset-retry path to reconnect — what a shard drain during a
+        # cluster rolling restart looks like from the outside.
+        if self.retry_resets and self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            pong = self.ping()
+            check("retries through connection reset",
+                  pong.get("pong") is True,
+                  "reconnected after mid-session socket shutdown")
         return checks
 
 

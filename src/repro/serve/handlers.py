@@ -133,7 +133,7 @@ def _fuse_flag(req: dict) -> bool:
 
 
 def _native_vm(program, backend: str, ctx: "HandlerContext",
-               fuse: bool = True):
+               fuse: bool = True, sync_key: str | None = None):
     """``cached_vm`` with native-backend wiring: the ``.so`` store lives in
     the artifact cache, and toolchain failures become the typed
     ``native_unavailable`` error instead of an internal one (explicit
@@ -141,12 +141,28 @@ def _native_vm(program, backend: str, ctx: "HandlerContext",
     must not lie).  ``backend="auto"`` may resolve to a *native* VM when
     the program's fingerprint was promoted by the adaptive tier (see
     :mod:`repro.serve.adaptive`); callers report ``vm.backend`` as the
-    effective backend."""
+    effective backend.
+
+    With a store-backed cache (:class:`repro.serve.store.SharedArtifactCache`)
+    and ``backend="native"``, the shared ``.so`` store is consulted before
+    building (another shard's compile becomes a download + dlopen) and a
+    locally built library is published after — the fleet pays gcc once
+    per distinct program.  ``sync_key`` memoizes that exchange per
+    artifact, keeping warm requests network-free."""
     from repro.errors import NativeToolchainError
     from repro.ir.interp import cached_vm
     so_dir = None
     if backend == "native" and ctx.cache is not None:
         so_dir = ctx.cache.native_dir
+    shared_store = (backend == "native" and sync_key is not None
+                    and hasattr(ctx.cache, "fetch_native"))
+    if shared_store:
+        fetch = tracing.span("store.native_fetch", key=sync_key[:32])
+        with fetch:
+            status = ctx.cache.fetch_native(program, fuse, sync_key)
+            fetch.set(outcome=status)
+        if status in ("fetched", "local", "miss"):
+            ctx.meta["native_store"] = status
     try:
         acquire = tracing.span("vm.acquire", backend=backend,
                                program=program.name, fuse=fuse)
@@ -158,6 +174,9 @@ def _native_vm(program, backend: str, ctx: "HandlerContext",
             if vm.fusion_stats is not None:
                 acquire.set(**{f"fusion_{k}": v for k, v
                                in vm.fusion_stats.as_dict().items()})
+        if shared_store and vm.backend == "native":
+            if ctx.cache.publish_native(program, fuse, sync_key):
+                ctx.meta["native_store"] = "published"
         return vm
     except NativeToolchainError as exc:
         raise ServeError("native_unavailable", str(exc))
@@ -252,8 +271,11 @@ def get_or_compile(model, model_fp: str, generator: str, backend: str,
 
 def op_ping(req: dict, ctx: "HandlerContext") -> dict:
     from repro.serve.protocol import PROTOCOL_VERSION
-    return {"pong": True, "pid": os.getpid(),
-            "protocol_version": PROTOCOL_VERSION}
+    result = {"pong": True, "pid": os.getpid(),
+              "protocol_version": PROTOCOL_VERSION}
+    if ctx.shard is not None:
+        result["shard"] = ctx.shard
+    return result
 
 
 def op_compile(req: dict, ctx: "HandlerContext") -> dict:
@@ -330,7 +352,8 @@ def op_run(req: dict, ctx: "HandlerContext") -> dict:
     inputs = _decode_inputs(req, model, artifact, seed)
     _observe_adaptive(artifact, backend, steps, 1, fuse, ctx)
     hits_before = vm_cache_stats()["hits"]
-    vm = _native_vm(artifact.program, backend, ctx, fuse)
+    vm = _native_vm(artifact.program, backend, ctx, fuse,
+                    sync_key=f"{model_fp}:{generator}")
     ctx.meta["vm_cache"] = (
         "hit" if vm_cache_stats()["hits"] > hits_before else "miss")
     t0 = time.perf_counter()
@@ -427,7 +450,8 @@ def op_run_batch(req: dict, ctx: "HandlerContext") -> dict:
     _observe_adaptive(artifact, backend, steps, max(len(decoded), 1), fuse,
                       ctx)
     hits_before = vm_cache_stats()["hits"]
-    vm = _native_vm(artifact.program, backend, ctx, fuse)
+    vm = _native_vm(artifact.program, backend, ctx, fuse,
+                    sync_key=f"{model_fp}:{generator}")
     ctx.meta["vm_cache"] = (
         "hit" if vm_cache_stats()["hits"] > hits_before else "miss")
     ctx.meta["batched"] = len(decoded)
@@ -528,7 +552,8 @@ def op_report(req: dict, ctx: "HandlerContext") -> dict:
                                           backend, ctx.cache, fuse)
         artifact_hits += source == "hit"
         artifact_misses += source == "miss"
-        vm = _native_vm(artifact.program, backend, ctx, fuse)
+        vm = _native_vm(artifact.program, backend, ctx, fuse,
+                        sync_key=f"{model_fp}:{generator}")
         inputs = {artifact.input_buffers[n]: v for n, v in named.items()}
         totals = vm.run(inputs, steps=steps).counts.total
         rows.append({
@@ -588,27 +613,34 @@ _HANDLERS = {
 class HandlerContext:
     """Per-request execution context handed to op implementations."""
 
-    def __init__(self, cache: ArtifactCache | None, allow_debug: bool = False):
+    def __init__(self, cache: ArtifactCache | None, allow_debug: bool = False,
+                 shard: str | None = None):
         self.cache = cache
         self.allow_debug = allow_debug
+        self.shard = shard
         self.meta: dict = {}
 
 
 def handle_request(req: dict, cache: ArtifactCache | None,
-                   allow_debug: bool = False) -> tuple[dict, dict]:
+                   allow_debug: bool = False,
+                   shard: str | None = None) -> tuple[dict, dict]:
     """Execute one decoded request; returns ``(result, meta)``.
 
     Raises :class:`ServeError` for typed failures; any other exception is
     a bug and becomes the caller's ``internal`` error.  ``metrics`` and
-    ``shutdown`` are served by the front-end, not here.
+    ``shutdown`` are served by the front-end, not here.  ``shard``
+    (cluster mode) is stamped into the response meta so clients and the
+    router can attribute which shard served a request.
     """
     op = req.get("op")
     handler = _HANDLERS.get(op)
     if handler is None:
         raise ServeError("bad_request",
                          f"op {op!r} is not executable by a worker")
-    ctx = HandlerContext(cache, allow_debug)
+    ctx = HandlerContext(cache, allow_debug, shard)
     ctx.meta["worker_pid"] = os.getpid()
+    if shard is not None:
+        ctx.meta["shard"] = shard
     root = tracing.resume(req.get("_trace"), "worker.handle", op=op)
     t0 = time.perf_counter()
     with root:

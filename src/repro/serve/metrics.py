@@ -121,10 +121,22 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """All metrics of one server instance, behind one lock."""
+    """All metrics of one server instance, behind one lock.
 
-    def __init__(self):
+    ``shard`` names the serving shard this registry belongs to (cluster
+    mode); its snapshot carries the label so the router's merged view
+    (:func:`merge_snapshots`) can still attribute per-shard detail.
+    Plain single-process servers leave it unset and their snapshots are
+    unchanged.
+    """
+
+    def __init__(self, shard: str | None = None):
         self._lock = threading.Lock()
+        self.shard = shard
+        #: Extra labels stamped on every counter row (cluster mode only;
+        #: unset shards keep the exact label sets of a plain server).
+        self._base_labels: dict[str, str] = (
+            {"shard": shard} if shard else {})
         self.started_at = time.time()
         self.requests = Counter(
             "requests_total", "requests by op and outcome")
@@ -164,6 +176,10 @@ class MetricsRegistry:
         self.vm_evictions = Counter(
             "vm_cache_evictions_total",
             "warm VM cache LRU evictions, summed across workers")
+        self.router_events = Counter(
+            "router_events_total",
+            "cluster routing: routed, forwarded, failover, unreachable, "
+            "shard_down, shard_up (empty on non-router servers)")
         #: Per-worker cumulative eviction counts (workers report a
         #: monotonic total; the registry keeps deltas).
         self._vm_evictions_seen: dict[int, int] = {}
@@ -176,21 +192,27 @@ class MetricsRegistry:
 
     def record_request(self, op: str, outcome: str, seconds: float) -> None:
         with self._lock:
-            self.requests.inc(op=op, outcome=outcome)
+            self.requests.inc(op=op, outcome=outcome, **self._base_labels)
             self.latency.observe(seconds, op=op)
 
     def record_cache(self, cache: str, event: str, amount: int = 1) -> None:
         if amount:
             with self._lock:
-                self.cache_events.inc(amount, cache=cache, event=event)
+                self.cache_events.inc(amount, cache=cache, event=event,
+                                      **self._base_labels)
 
     def record_pool(self, event: str) -> None:
         with self._lock:
-            self.pool_events.inc(event=event)
+            self.pool_events.inc(event=event, **self._base_labels)
 
     def record_connection(self, transport: str) -> None:
         with self._lock:
-            self.connections.inc(transport=transport)
+            self.connections.inc(transport=transport, **self._base_labels)
+
+    def record_router(self, event: str, shard: str = "") -> None:
+        """One routing decision or shard-membership transition."""
+        with self._lock:
+            self.router_events.inc(event=event, shard=shard)
 
     def record_batch(self, occupancy: int,
                      delays_seconds: Iterable[float]) -> None:
@@ -287,10 +309,13 @@ class MetricsRegistry:
                     self.batch_queue_delay.snapshot(),
                 "phase_latency_seconds": self.phase_latency.snapshot(),
                 "fusion_total": self.fusion.snapshot(),
+                "router_events_total": self.router_events.snapshot(),
                 "backend_promotions_total": self.backend_promotions.total(),
                 "backend_demotions_total": self.backend_demotions.total(),
                 "vm_cache_evictions_total": self.vm_evictions.total(),
             }
+            if self.shard is not None:
+                snap["shard"] = self.shard
         snap["adaptive_state"] = self.adaptive_state_gauge()
         for cache in ("vm", "artifact"):
             rate = self.hit_rate(cache)
@@ -300,45 +325,142 @@ class MetricsRegistry:
 
     def render_text(self) -> str:
         """Aligned text page for ``GET /metrics`` and ``frodo submit``."""
-        snap = self.snapshot()
-        lines = [
-            f"uptime_seconds {snap['uptime_seconds']}",
-            f"in_flight {snap['in_flight']}",
-        ]
-        for metric in ("requests_total", "cache_events_total",
-                       "pool_events_total", "connections_total",
-                       "fusion_total"):
-            for row in snap[metric]:
-                labels = ",".join(f'{k}="{v}"'
-                                  for k, v in row["labels"].items())
-                lines.append(f"{metric}{{{labels}}} {row['value']:g}")
-        for row in snap["request_latency_seconds"]:
-            op = row["labels"].get("op", "")
-            lines.append(
-                f'request_latency_seconds{{op="{op}"}} '
-                f"count={row['count']} mean={row['mean_seconds']}s "
-                f"min={row['min_seconds']}s max={row['max_seconds']}s")
-        for row in snap["batch_occupancy"]:
-            lines.append(
-                f"batch_occupancy count={row['count']} "
-                f"mean={row['mean_seconds']} max={row['max_seconds']:g}")
-        for row in snap["batch_queue_delay_seconds"]:
-            lines.append(
-                f"batch_queue_delay_seconds count={row['count']} "
-                f"mean={row['mean_seconds']}s max={row['max_seconds']}s")
-        for row in snap["phase_latency_seconds"]:
-            phase = row["labels"].get("phase", "")
-            lines.append(
-                f'phase_latency_seconds{{phase="{phase}"}} '
-                f"count={row['count']} mean={row['mean_seconds']}s "
-                f"max={row['max_seconds']}s")
-        for cache in ("vm", "artifact"):
-            rate = snap[f"{cache}_cache_hit_rate"]
-            lines.append(f"{cache}_cache_hit_rate "
-                         f"{'n/a' if rate is None else rate}")
-        for name in ("backend_promotions_total", "backend_demotions_total",
-                     "vm_cache_evictions_total"):
-            lines.append(f"{name} {snap[name]:g}")
-        for state, count in sorted(snap["adaptive_state"].items()):
-            lines.append(f'adaptive_state{{state="{state}"}} {count}')
-        return "\n".join(lines) + "\n"
+        return render_snapshot(self.snapshot())
+
+
+#: Counter families (rows of ``{labels, value}``) merged by label set.
+COUNTER_FAMILIES = ("requests_total", "cache_events_total",
+                    "pool_events_total", "connections_total",
+                    "fusion_total", "router_events_total")
+
+#: Histogram families (rows with count/sum/min/max/buckets).
+HISTOGRAM_FAMILIES = ("request_latency_seconds", "batch_occupancy",
+                      "batch_queue_delay_seconds", "phase_latency_seconds")
+
+#: Scalar totals summed across shards.
+SUMMED_SCALARS = ("in_flight", "backend_promotions_total",
+                  "backend_demotions_total", "vm_cache_evictions_total")
+
+
+def render_snapshot(snap: dict) -> str:
+    """Text page for one snapshot dict (a registry's own or a merged one)."""
+    lines = [
+        f"uptime_seconds {snap['uptime_seconds']}",
+        f"in_flight {snap['in_flight']}",
+    ]
+    for metric in COUNTER_FAMILIES:
+        for row in snap.get(metric, ()):
+            labels = ",".join(f'{k}="{v}"'
+                              for k, v in row["labels"].items())
+            lines.append(f"{metric}{{{labels}}} {row['value']:g}")
+    for row in snap["request_latency_seconds"]:
+        op = row["labels"].get("op", "")
+        lines.append(
+            f'request_latency_seconds{{op="{op}"}} '
+            f"count={row['count']} mean={row['mean_seconds']}s "
+            f"min={row['min_seconds']}s max={row['max_seconds']}s")
+    for row in snap["batch_occupancy"]:
+        lines.append(
+            f"batch_occupancy count={row['count']} "
+            f"mean={row['mean_seconds']} max={row['max_seconds']:g}")
+    for row in snap["batch_queue_delay_seconds"]:
+        lines.append(
+            f"batch_queue_delay_seconds count={row['count']} "
+            f"mean={row['mean_seconds']}s max={row['max_seconds']}s")
+    for row in snap["phase_latency_seconds"]:
+        phase = row["labels"].get("phase", "")
+        lines.append(
+            f'phase_latency_seconds{{phase="{phase}"}} '
+            f"count={row['count']} mean={row['mean_seconds']}s "
+            f"max={row['max_seconds']}s")
+    for cache in ("vm", "artifact"):
+        rate = snap[f"{cache}_cache_hit_rate"]
+        lines.append(f"{cache}_cache_hit_rate "
+                     f"{'n/a' if rate is None else rate}")
+    for name in ("backend_promotions_total", "backend_demotions_total",
+                 "vm_cache_evictions_total"):
+        lines.append(f"{name} {snap[name]:g}")
+    for state, count in sorted(snap["adaptive_state"].items()):
+        lines.append(f'adaptive_state{{state="{state}"}} {count}')
+    return "\n".join(lines) + "\n"
+
+
+def _merge_counter_rows(snaps: list[dict], family: str) -> list[dict]:
+    merged: dict[tuple, float] = {}
+    for snap in snaps:
+        for row in snap.get(family, ()):
+            key = _label_key(row.get("labels", {}))
+            merged[key] = merged.get(key, 0.0) + row.get("value", 0.0)
+    return [{"labels": dict(key), "value": value}
+            for key, value in sorted(merged.items())]
+
+
+def _merge_histogram_rows(snaps: list[dict], family: str) -> list[dict]:
+    merged: dict[tuple, dict] = {}
+    for snap in snaps:
+        for row in snap.get(family, ()):
+            key = _label_key(row.get("labels", {}))
+            acc = merged.get(key)
+            if acc is None:
+                acc = merged[key] = {
+                    "count": 0, "sum": 0.0,
+                    "min": float("inf"), "max": 0.0, "buckets": {}}
+            acc["count"] += row.get("count", 0)
+            acc["sum"] += row.get("sum_seconds", 0.0)
+            acc["min"] = min(acc["min"], row.get("min_seconds", float("inf")))
+            acc["max"] = max(acc["max"], row.get("max_seconds", 0.0))
+            for bound, n in row.get("buckets", {}).items():
+                acc["buckets"][bound] = acc["buckets"].get(bound, 0) + n
+    out = []
+    for key, acc in sorted(merged.items()):
+        count = acc["count"]
+        out.append({
+            "labels": dict(key),
+            "count": count,
+            "sum_seconds": round(acc["sum"], 6),
+            "min_seconds": round(acc["min"], 6) if count else 0.0,
+            "max_seconds": round(acc["max"], 6),
+            "mean_seconds": round(acc["sum"] / count, 6) if count else 0.0,
+            "buckets": acc["buckets"],
+        })
+    return out
+
+
+def merge_snapshots(snaps: list[dict]) -> dict:
+    """Fleet-wide view: sum counters/histograms across shard snapshots.
+
+    Used by the router's ``metrics`` op — counter families merge by
+    label set, histograms merge count/sum/min/max and per-bucket counts
+    (means recomputed), scalar totals sum, ``uptime_seconds`` takes the
+    max, and cache hit rates are recomputed from the merged event
+    counts.  Per-shard ``shard`` labels inside rows survive the merge.
+    """
+    snaps = [s for s in snaps if isinstance(s, dict)]
+    if not snaps:
+        return MetricsRegistry().snapshot()
+    merged: dict = {
+        "uptime_seconds": max(s.get("uptime_seconds", 0.0) for s in snaps),
+        "shards_merged": len(snaps),
+    }
+    for name in SUMMED_SCALARS:
+        merged[name] = sum(s.get(name, 0) for s in snaps)
+    for family in COUNTER_FAMILIES:
+        merged[family] = _merge_counter_rows(snaps, family)
+    for family in HISTOGRAM_FAMILIES:
+        merged[family] = _merge_histogram_rows(snaps, family)
+    gauge: dict[str, int] = {}
+    for snap in snaps:
+        for state, count in (snap.get("adaptive_state") or {}).items():
+            gauge[state] = gauge.get(state, 0) + count
+    merged["adaptive_state"] = gauge
+    events: dict[tuple[str, str], float] = {}
+    for row in merged["cache_events_total"]:
+        labels = row["labels"]
+        key = (labels.get("cache", ""), labels.get("event", ""))
+        events[key] = events.get(key, 0.0) + row["value"]
+    for cache in ("vm", "artifact"):
+        hits = events.get((cache, "hit"), 0.0)
+        total = hits + events.get((cache, "miss"), 0.0)
+        merged[f"{cache}_cache_hit_rate"] = (
+            round(hits / total, 4) if total else None)
+    return merged

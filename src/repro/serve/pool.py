@@ -51,27 +51,54 @@ def _start_context():
         "fork" if "fork" in methods else "spawn")
 
 
-def _configure_runtime(cache, adaptive_cfg, vm_cache_max) -> None:
+def _build_cache(config: "PoolConfig"):
+    """The worker's artifact cache: shared (store-backed) or plain local."""
+    if not config.cache_dir:
+        return None
+    if config.store:
+        from repro.serve.store import RemoteStore, SharedArtifactCache
+        return SharedArtifactCache(config.cache_dir,
+                                   RemoteStore.parse(config.store))
+    from repro.serve.cache import ArtifactCache
+    return ArtifactCache(config.cache_dir)
+
+
+def _heat_store(cache):
+    """Where this process persists adaptive heat (see docs/cluster.md).
+
+    Store-backed caches share heat fleet-wide next to the artifacts; a
+    plain local cache keeps it under ``<cache_dir>/heat/`` so a restarted
+    single server also resumes from observed heat.
+    """
+    if cache is None:
+        return None
+    from repro.serve.store import HeatStore, LocalStore
+    if hasattr(cache, "heat_store"):
+        return cache.heat_store()
+    return HeatStore(LocalStore(cache.root))
+
+
+def _configure_runtime(cache, config: "PoolConfig") -> None:
     """Apply per-process serving knobs: VM cache bound and the adaptive
     promotion controller.  Called once per worker process (and once for
     the inline ``workers=0`` path), before any request is handled."""
-    if vm_cache_max is not None:
+    if config.vm_cache_max is not None:
         from repro.ir.interp import set_vm_cache_limit
-        set_vm_cache_limit(vm_cache_max)
-    if adaptive_cfg is not None:
+        set_vm_cache_limit(config.vm_cache_max)
+    if config.adaptive is not None:
         from repro.serve import adaptive
         so_dir = cache.native_dir if cache is not None else None
-        adaptive.configure(adaptive_cfg, so_cache_dir=so_dir)
+        adaptive.configure(config.adaptive, so_cache_dir=so_dir,
+                           heat_store=_heat_store(cache),
+                           native_cache=cache)
 
 
-def _worker_main(conn, cache_dir: str | None, allow_debug: bool,
-                 adaptive_cfg=None, vm_cache_max: int | None = None) -> None:
+def _worker_main(conn, config: "PoolConfig") -> None:
     """Worker process loop: recv request dict, send response dict."""
-    from repro.serve.cache import ArtifactCache
     from repro.serve.handlers import handle_request
     from repro.serve.protocol import ServeError as WorkerServeError
-    cache = ArtifactCache(cache_dir) if cache_dir else None
-    _configure_runtime(cache, adaptive_cfg, vm_cache_max)
+    cache = _build_cache(config)
+    _configure_runtime(cache, config)
     while True:
         try:
             req = conn.recv()
@@ -81,7 +108,8 @@ def _worker_main(conn, cache_dir: str | None, allow_debug: bool,
             break
         try:
             result, meta = handle_request(req, cache,
-                                          allow_debug=allow_debug)
+                                          allow_debug=config.allow_debug,
+                                          shard=config.shard)
             resp = {"ok": True, "result": result, "meta": meta}
         except WorkerServeError as exc:
             resp = {"ok": False, "error_type": exc.error_type,
@@ -107,14 +135,11 @@ class WorkerTimeout(Exception):
 class _Worker:
     """Parent-side handle on one worker process."""
 
-    def __init__(self, ctx, cache_dir: str | None, allow_debug: bool,
-                 adaptive_cfg=None, vm_cache_max: int | None = None):
+    def __init__(self, ctx, config: "PoolConfig"):
         parent, child = ctx.Pipe()
         self.conn = parent
         self.proc = ctx.Process(
-            target=_worker_main,
-            args=(child, cache_dir, allow_debug, adaptive_cfg, vm_cache_max),
-            daemon=True)
+            target=_worker_main, args=(child, config), daemon=True)
         self.proc.start()
         child.close()
         # What the worker was last asked to do — read back when it has to
@@ -191,6 +216,13 @@ class PoolConfig:
     adaptive: object | None = None
     #: Per-worker warm VM cache bound (``None`` keeps the interp default).
     vm_cache_max: int | None = None
+    #: ``host:port`` of a shared artifact store; workers then build a
+    #: :class:`~repro.serve.store.SharedArtifactCache` (remote
+    #: read-through + publish) instead of a plain local cache.
+    store: str | None = None
+    #: Shard identity stamped into response meta and metrics labels
+    #: (cluster mode; None for plain single-process servers).
+    shard: str | None = None
 
 
 class WorkerPool:
@@ -213,11 +245,8 @@ class WorkerPool:
         self._closed = False
         self._inline_cache = None
         if config.workers == 0:
-            if config.cache_dir:
-                from repro.serve.cache import ArtifactCache
-                self._inline_cache = ArtifactCache(config.cache_dir)
-            _configure_runtime(self._inline_cache, config.adaptive,
-                               config.vm_cache_max)
+            self._inline_cache = _build_cache(config)
+            _configure_runtime(self._inline_cache, config)
         else:
             for _ in range(config.workers):
                 self._idle.append(self._spawn())
@@ -227,9 +256,7 @@ class WorkerPool:
     def _spawn(self) -> _Worker:
         if self.metrics is not None:
             self.metrics.record_pool("spawned")
-        return _Worker(self._ctx, self.config.cache_dir,
-                       self.config.allow_debug, self.config.adaptive,
-                       self.config.vm_cache_max)
+        return _Worker(self._ctx, self.config)
 
     def close(self) -> None:
         with self._cond:
@@ -287,7 +314,8 @@ class WorkerPool:
         if self.config.workers == 0:
             from repro.serve.handlers import handle_request
             return handle_request(req, self._inline_cache,
-                                  allow_debug=self.config.allow_debug)
+                                  allow_debug=self.config.allow_debug,
+                                  shard=self.config.shard)
 
         timeout = self.config.timeout_seconds
         override = req.get("timeout_seconds")

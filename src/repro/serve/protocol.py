@@ -65,7 +65,13 @@ ERROR_TYPES = (
 #: ``backend_promotions_total``/``backend_demotions_total``/
 #: ``vm_cache_evictions_total`` and the ``adaptive_state`` gauge.
 #: v3 clients are unaffected — no request field changed meaning.
-PROTOCOL_VERSION = 4
+#: v5: sharded serving (additive): ``ping`` against a cluster router
+#: reports ``role: "router"`` plus its shard roster; shard-handled
+#: responses carry ``meta.shard``; /metrics rows gain a ``shard`` label
+#: and the router serves a fleet-merged view; ``metrics`` snapshots may
+#: include ``router_events_total``.  v4 clients are unaffected — every
+#: new field is additive and a single plain server emits none of them.
+PROTOCOL_VERSION = 5
 
 MAX_LINE_BYTES = 32 * 1024 * 1024  # uploaded .slx payloads are base64 lines
 

@@ -1,0 +1,480 @@
+"""Cluster router: one front door for a fleet of serve shards.
+
+``frodo serve --cluster N`` runs N single-worker shard servers plus this
+router.  The router speaks the exact same wire protocol as a plain
+server (NDJSON + the HTTP shim) — clients cannot tell the difference —
+and forwards every model-bound request to a shard chosen by
+**consistent hashing on the model fingerprint** (the uploaded payload's
+digest, or the zoo model name).  Stickiness is the point: each shard
+keeps a hot VM / ``.so`` cache for *its* slice of the fingerprint
+space, so the fleet's warm footprint is the union of the slices rather
+than N copies of everything.
+
+Failure handling is retry-over-the-ring: a request whose preferred
+shard is unreachable (killed, draining) is transparently retried
+against the next shards in its preference order — every op is
+idempotent, so a retry after a mid-request shard death is safe.  A
+shard that refuses with ``shutting_down`` is marked down and probed in
+the background until it answers ``ping`` again (the supervisor respawns
+killed shards; see :mod:`repro.serve.cluster`).
+
+The router answers ``ping`` itself (``role: "router"`` plus the shard
+roster) and serves **fleet-merged metrics**: the ``metrics`` op and
+``GET /metrics`` gather every live shard's snapshot and merge them with
+:func:`repro.serve.metrics.merge_snapshots`, so one scrape sees the
+whole cluster with per-shard labels intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import threading
+from dataclasses import replace
+
+from repro.obs import tracing
+from repro.serve.metrics import merge_snapshots, render_snapshot
+from repro.serve.protocol import PROTOCOL_VERSION, MAX_LINE_BYTES, ServeError, encode
+from repro.serve.server import ReproServer, ServeConfig, ServerThread
+
+#: Virtual nodes per shard on the hash ring.  Enough that removing one
+#: shard of N spreads its slice roughly evenly over the survivors.
+VNODES = 64
+
+#: Outer retry cycles over the ring before a request is failed.  Rides
+#: out the window where a killed shard's replacement is still booting.
+RETRY_CYCLES = 3
+
+#: Pause between retry cycles (seconds).
+RETRY_BACKOFF = 0.2
+
+#: How often a down shard is probed with ``ping``.
+PROBE_INTERVAL = 0.25
+
+
+class ShardUnreachable(Exception):
+    """The shard did not produce a reply (connect/read failure)."""
+
+
+class HashRing:
+    """Consistent hash ring over shard names (sha256, :data:`VNODES`)."""
+
+    def __init__(self, nodes=(), vnodes: int = VNODES):
+        self.vnodes = vnodes
+        self.nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        digest = hashlib.sha256(value.encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def add(self, node: str) -> None:
+        if node in self.nodes:
+            return
+        self.nodes.add(node)
+        for v in range(self.vnodes):
+            bisect.insort(self._points, (self._hash(f"{node}#{v}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self.nodes:
+            return
+        self.nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def preference(self, key: str, n: int | None = None) -> list[str]:
+        """Distinct nodes in ring order from ``key``'s hash point.
+
+        The first element is the key's home shard; the rest are the
+        fallback order a failed forward walks.  Deterministic for a
+        fixed membership — that is what makes per-shard caches sticky.
+        """
+        if not self._points:
+            return []
+        want = len(self.nodes) if n is None else min(n, len(self.nodes))
+        start = bisect.bisect_left(self._points, (self._hash(key), ""))
+        out: list[str] = []
+        seen: set[str] = set()
+        for i in range(len(self._points)):
+            _, node = self._points[(start + i) % len(self._points)]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) >= want:
+                    break
+        return out
+
+    def node(self, key: str) -> str | None:
+        pref = self.preference(key, 1)
+        return pref[0] if pref else None
+
+
+def routing_key(req: dict) -> str | None:
+    """The fingerprint a request hashes on, or None for round-robin.
+
+    Uploaded payloads hash on their content digest (two uploads of the
+    same ``.slx`` land on the same shard); zoo requests hash on the
+    model name.  Ops with no model (``sleep``) spread round-robin.
+    """
+    payload = req.get("model_payload")
+    if payload:
+        return hashlib.sha256(str(payload).encode()).hexdigest()
+    model = req.get("model")
+    if model:
+        return f"model:{model}"
+    return None
+
+
+async def _close_conn(conn) -> None:
+    if conn is None:
+        return
+    _, writer = conn
+    try:
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+
+
+class ShardLink:
+    """One shard's address plus a small pool of NDJSON connections.
+
+    Lives on the router's event loop.  ``request`` checks a connection
+    out, writes one line, reads one line and checks it back in; a stale
+    pooled connection (shard restarted between requests) gets exactly
+    one transparent retry on a fresh connection.
+    """
+
+    def __init__(self, name: str, host: str, port: int, max_idle: int = 4):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.max_idle = max_idle
+        self.down = False
+        self._idle: list = []
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def _open(self):
+        try:
+            return await asyncio.open_connection(
+                self.host, self.port, limit=MAX_LINE_BYTES)
+        except OSError as exc:
+            raise ShardUnreachable(
+                f"cannot connect to shard {self.name} at {self.address}: "
+                f"{exc}") from exc
+
+    async def _exchange(self, conn, line: bytes, timeout: float) -> dict:
+        reader, writer = conn
+        writer.write(line)
+        await writer.drain()
+        reply = await asyncio.wait_for(reader.readline(), timeout)
+        if not reply:
+            raise ConnectionError("shard closed the connection")
+        return json.loads(reply)
+
+    async def request(self, req: dict, timeout: float) -> dict:
+        """One request/response round-trip; raises
+        :class:`ShardUnreachable` when no reply can be obtained and
+        :class:`asyncio.TimeoutError` when the shard is alive but slow.
+        """
+        line = encode(req)
+        conn = self._idle.pop() if self._idle else None
+        pooled = conn is not None
+        if conn is None:
+            conn = await self._open()
+        try:
+            resp = await self._exchange(conn, line, timeout)
+        except asyncio.TimeoutError:
+            await _close_conn(conn)
+            raise
+        except (ConnectionError, OSError, ValueError) as exc:
+            await _close_conn(conn)
+            if not pooled:
+                raise ShardUnreachable(
+                    f"shard {self.name}: {exc}") from exc
+            # The pooled connection went stale (shard restarted under
+            # us); every op is idempotent, so retry once on a fresh one.
+            conn = await self._open()
+            try:
+                resp = await self._exchange(conn, line, timeout)
+            except asyncio.TimeoutError:
+                await _close_conn(conn)
+                raise
+            except (ConnectionError, OSError, ValueError) as exc2:
+                await _close_conn(conn)
+                raise ShardUnreachable(
+                    f"shard {self.name}: {exc2}") from exc2
+        if len(self._idle) < self.max_idle:
+            self._idle.append(conn)
+        else:
+            await _close_conn(conn)
+        return resp
+
+    async def close(self) -> None:
+        idle, self._idle = self._idle, []
+        for conn in idle:
+            await _close_conn(conn)
+
+
+class RouterServer(ReproServer):
+    """A :class:`ReproServer` whose "pool" is a fleet of shard servers.
+
+    Reuses the whole front-end (transports, tracing, per-request
+    metrics, drain semantics) and replaces the execution path with
+    ring-ordered forwarding.  Runs no workers of its own.
+    """
+
+    def __init__(self, config: ServeConfig, shards: dict):
+        # The router executes nothing locally: no workers, no coalescing
+        # (shards run their own batchers against their own slices).
+        super().__init__(replace(config, workers=0, max_batch=1))
+        self._links: dict[str, ShardLink] = {}
+        for name, address in shards.items():
+            host, port = self._parse_address(address)
+            self._links[name] = ShardLink(name, host, port)
+        self.ring = HashRing(self._links)
+        self._probes: dict[str, asyncio.Future] = {}
+        self._rr = 0
+        self._forward_timeout = config.timeout_seconds + 30.0
+
+    @staticmethod
+    def _parse_address(address) -> tuple[str, int]:
+        if isinstance(address, (tuple, list)):
+            return str(address[0]), int(address[1])
+        host, _, port = str(address).rpartition(":")
+        return host or "127.0.0.1", int(port)
+
+    def start_pool(self) -> None:  # the fleet is the pool
+        self.pool = None
+
+    async def stop(self) -> None:
+        for task in self._probes.values():
+            task.cancel()
+        for link in self._links.values():
+            await link.close()
+        await super().stop()
+
+    # -- membership (called by the supervisor, loop-threadsafe wrappers
+    # -- live on RouterThread) ---------------------------------------------
+
+    def mark_down(self, name: str) -> None:
+        """Take a shard out of rotation (drain/kill); probed until back."""
+        link = self._links.get(name)
+        if link is None or link.down:
+            return
+        link.down = True
+        self.metrics.record_router("shard_down", name)
+        self._ensure_probe(name, link)
+
+    def replace_shard(self, name: str, host: str, port: int) -> None:
+        """Swap in a respawned shard's fresh address and restore it."""
+        self._links[name] = ShardLink(name, host, port)
+        self.ring.add(name)
+        self.metrics.record_router("shard_replaced", name)
+
+    def _ensure_probe(self, name: str, link: ShardLink) -> None:
+        task = self._probes.get(name)
+        if task is not None and not task.done():
+            return
+        self._probes[name] = asyncio.ensure_future(self._probe(name, link))
+
+    async def _probe(self, name: str, link: ShardLink) -> None:
+        # Staleness guard: stop when the link was replaced or revived.
+        while (not self._stopping and link.down
+               and self._links.get(name) is link):
+            try:
+                resp = await link.request({"id": 0, "op": "ping"},
+                                          timeout=2.0)
+                if resp.get("ok"):
+                    link.down = False
+                    self.metrics.record_router("shard_up", name)
+                    return
+            except (ShardUnreachable, asyncio.TimeoutError):
+                pass
+            await asyncio.sleep(PROBE_INTERVAL)
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _route(self, op: str, req: dict) -> tuple[dict, dict]:
+        if self._stopping:
+            raise ServeError("shutting_down", "router is draining")
+        loop = asyncio.get_running_loop()
+        if op == "ping":
+            return {"pong": True, "role": "router",
+                    "protocol_version": PROTOCOL_VERSION,
+                    "shards": {name: {"address": link.address,
+                                      "up": not link.down}
+                               for name, link in self._links.items()}}, {}
+        if op == "metrics":
+            return await self._merged_metrics(req), {}
+        if op == "shutdown":
+            if not self.config.allow_shutdown:
+                raise ServeError("bad_request",
+                                 "shutdown op is disabled on this server")
+            loop.call_soon(lambda: asyncio.ensure_future(self.stop()))
+            return {"stopping": True}, {}
+        return await self._forward(op, req)
+
+    def _candidates(self, key: str | None) -> list[str]:
+        if key is not None:
+            return self.ring.preference(key)
+        # No fingerprint to stick to: spread round-robin over the roster.
+        names = sorted(self._links)
+        if not names:
+            return []
+        self._rr = (self._rr + 1) % len(names)
+        return names[self._rr:] + names[:self._rr]
+
+    async def _forward(self, op: str, req: dict) -> tuple[dict, dict]:
+        key = routing_key(req)
+        route = tracing.span("router.route", op=op,
+                             key=(key or "round-robin")[:24])
+        with route:
+            # The shard runs its own trace; the router's _dispatch grafts
+            # these local spans in front of the shard's forest.
+            wire = {k: v for k, v in req.items() if k != "_trace"}
+            last_error: str | None = None
+            for cycle in range(RETRY_CYCLES):
+                if cycle:
+                    await asyncio.sleep(RETRY_BACKOFF * cycle)
+                candidates = self._candidates(key)
+                # First the live shards in preference order, then — if
+                # every one of them failed — the marked-down ones too
+                # (they may be back before the probe notices).
+                ordered = ([n for n in candidates
+                            if not self._links[n].down]
+                           + [n for n in candidates
+                              if self._links[n].down])
+                for name in ordered:
+                    link = self._links.get(name)
+                    if link is None:
+                        continue
+                    try:
+                        with tracing.span("shard.forward", shard=name,
+                                          attempt=cycle):
+                            resp = await link.request(
+                                wire, self._forward_timeout)
+                    except asyncio.TimeoutError:
+                        # The shard is alive but slow — its own deadline
+                        # machinery answers first in practice; do not
+                        # retry a possibly long-running compile.
+                        self.metrics.record_router("forward_timeout", name)
+                        route.set(outcome="timeout", shard=name)
+                        raise ServeError(
+                            "timeout",
+                            f"shard {name} did not answer in time")
+                    except ShardUnreachable as exc:
+                        last_error = str(exc)
+                        self.metrics.record_router("forward_failed", name)
+                        self.mark_down(name)
+                        continue
+                    if resp.get("ok"):
+                        self.metrics.record_router("forwarded", name)
+                        route.set(shard=name)
+                        result = resp.get("result") or {}
+                        meta = dict(resp.get("meta") or {})
+                        meta.setdefault("shard", name)
+                        return result, meta
+                    error = resp.get("error") or {}
+                    etype = str(error.get("type", "internal"))
+                    if etype in ("busy", "shutting_down"):
+                        # Load shed / drain: both are transient and both
+                        # are safe to retry on the next shard in the
+                        # preference order (every op is idempotent).
+                        if etype == "shutting_down":
+                            self.mark_down(name)
+                        self.metrics.record_router("shard_refused", name)
+                        last_error = f"shard {name}: {etype}"
+                        continue
+                    # A real typed error (unknown_model, timeout, ...)
+                    # would reproduce identically on any shard.
+                    route.set(shard=name, error=etype)
+                    raise ServeError(
+                        etype, str(error.get("message", "shard error")))
+            self.metrics.record_router("no_shard")
+            route.set(outcome="no_shard")
+            raise ServeError("busy",
+                             "no shard available"
+                             + (f" (last error: {last_error})"
+                                if last_error else ""))
+
+    def _record_cache_meta(self, meta: dict) -> None:
+        """No-op: the owning shard already fed its own registry; counting
+        the forwarded meta again would double every cache/fusion/adaptive
+        event in the merged fleet view."""
+
+    # -- merged metrics ----------------------------------------------------
+
+    async def _merged_metrics(self, req: dict) -> dict:
+        merged = merge_snapshots(await self._gather_snapshots())
+        result = {"snapshot": merged}
+        if req.get("render", True):
+            result["text"] = render_snapshot(merged)
+        return result
+
+    async def _gather_snapshots(self) -> list[dict]:
+        async def one(link: ShardLink):
+            if link.down:
+                return None
+            try:
+                resp = await link.request(
+                    {"id": 0, "op": "metrics", "render": False},
+                    timeout=10.0)
+            except (ShardUnreachable, asyncio.TimeoutError):
+                return None
+            if resp.get("ok"):
+                snap = (resp.get("result") or {}).get("snapshot")
+                return snap if isinstance(snap, dict) else None
+            return None
+
+        shard_snaps = await asyncio.gather(
+            *(one(link) for link in list(self._links.values())))
+        return ([self.metrics.snapshot()]
+                + [s for s in shard_snaps if s is not None])
+
+    async def _metrics_text(self) -> str:
+        return (await self._merged_metrics({"render": True}))["text"]
+
+
+class RouterThread(ServerThread):
+    """Run a :class:`RouterServer` on a background thread.
+
+    Adds loop-threadsafe membership calls for the cluster supervisor,
+    which lives on a plain thread.
+    """
+
+    def __init__(self, config: ServeConfig, shards: dict):
+        super().__init__(config)
+        self.shards = dict(shards)
+
+    def start(self, timeout: float = 30.0) -> int:
+        self.server = RouterServer(self.config, self.shards)
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-router")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("router failed to start within timeout")
+        assert self.server._server is not None
+        return self.server.port
+
+    def _call(self, fn) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(fn)
+
+    def mark_down(self, name: str) -> None:
+        server = self.server
+        if isinstance(server, RouterServer):
+            self._call(lambda: server.mark_down(name))
+
+    def replace_shard(self, name: str, host: str, port: int) -> None:
+        server = self.server
+        if isinstance(server, RouterServer):
+            self._call(lambda: server.replace_shard(name, host, port))

@@ -71,6 +71,13 @@ class ServeConfig:
     #: Whether the ``shutdown`` op is honoured (CI smoke and tests use it;
     #: production deployments may prefer signals only).
     allow_shutdown: bool = True
+    #: Shard identity (cluster mode): stamped into response meta, the
+    #: ``shard`` metrics label, and ``ping`` results.  None for a plain
+    #: standalone server — whose behavior is then unchanged.
+    shard: str | None = None
+    #: ``host:port`` of a shared artifact store (see
+    #: :mod:`repro.serve.store`); workers read through and publish to it.
+    store: str | None = None
     #: When set, every request is traced (not just ``trace: true`` ones)
     #: and all finished spans are appended to this JSON-lines file.
     trace_log: str | None = None
@@ -89,7 +96,8 @@ class ServeConfig:
                           max_pending=self.max_pending,
                           allow_debug=self.allow_debug,
                           adaptive=adaptive_cfg,
-                          vm_cache_max=self.vm_cache_max)
+                          vm_cache_max=self.vm_cache_max,
+                          store=self.store, shard=self.shard)
 
 
 class ReproServer:
@@ -97,7 +105,7 @@ class ReproServer:
 
     def __init__(self, config: ServeConfig):
         self.config = config
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(shard=config.shard)
         self.pool: WorkerPool | None = None
         self.batcher: "BatchQueue | None" = None
         self._server: asyncio.base_events.Server | None = None
@@ -175,8 +183,14 @@ class ReproServer:
             spans = self._finish_trace(root, meta.pop("spans", None))
             finished = True
             if req.get("trace") and spans:
+                # Additive: a forwarded response may already carry the
+                # shard's trace forest — graft the local (router) spans
+                # after it instead of clobbering it.  Plain servers never
+                # see a pre-populated "trace", so their output is
+                # unchanged.
                 result = dict(result)
-                result["trace"] = span_tree(spans)
+                result["trace"] = (list(result.get("trace") or ())
+                                   + span_tree(spans))
             self._record_cache_meta(meta)
             self.metrics.record_request(op, "ok", loop.time() - t0)
             return ok_response(request_id, result, meta)
@@ -202,8 +216,11 @@ class ReproServer:
         if self._stopping:
             raise ServeError("shutting_down", "server is draining")
         if op == "ping":
-            return {"pong": True, "role": "frontend",
-                    "protocol_version": PROTOCOL_VERSION}, {}
+            result = {"pong": True, "role": "frontend",
+                      "protocol_version": PROTOCOL_VERSION}
+            if self.config.shard is not None:
+                result["shard"] = self.config.shard
+            return result, {}
         if op == "metrics":
             return self._metrics_result(req), {}
         if op == "shutdown":
@@ -267,6 +284,11 @@ class ReproServer:
         if req.get("render", True):
             result["text"] = self.metrics.render_text()
         return result
+
+    async def _metrics_text(self) -> str:
+        """Text for ``GET /metrics`` (the router overrides this with a
+        fleet-merged view)."""
+        return self.metrics.render_text()
 
     # -- connection handling ----------------------------------------------
 
@@ -337,7 +359,7 @@ class ReproServer:
             await self._http_reply(writer, 200, "text/plain", "ok\n")
         elif method == "GET" and path == "/metrics":
             await self._http_reply(writer, 200, "text/plain",
-                                   self.metrics.render_text())
+                                   await self._metrics_text())
         elif method == "POST" and path in ("/rpc", "/"):
             if content_length <= 0 or content_length > MAX_LINE_BYTES:
                 await self._http_reply(writer, 400, "text/plain",

@@ -1,0 +1,161 @@
+"""Integration tests: full cluster (store + shard subprocesses + router).
+
+One cluster boot is expensive (N python subprocesses), so the happy-path
+checks share a module-scoped fleet; destructive checks (kill, drain)
+build their own.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.cluster import ClusterConfig, ClusterSupervisor
+from repro.serve.server import ServeConfig
+
+
+def _config(tmp, shards=2, **template_kw) -> ClusterConfig:
+    template_kw.setdefault("timeout_seconds", 120.0)
+    template_kw.setdefault("allow_debug", True)
+    return ClusterConfig(shards=shards, template=ServeConfig(**template_kw),
+                         root=str(tmp))
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    sup = ClusterSupervisor(_config(tmp_path_factory.mktemp("cluster")))
+    sup.start()
+    yield sup
+    sup.stop()
+
+
+class TestClusterHappyPath:
+    def test_ping_roster(self, cluster):
+        with ServeClient(port=cluster.port) as client:
+            pong = client.ping()
+        assert pong["role"] == "router"
+        assert set(pong["shards"]) == {"s0", "s1"}
+
+    def test_run_deterministic_through_router(self, cluster):
+        with ServeClient(port=cluster.port) as client:
+            first = client.run("Motivating", generator="frodo", steps=2,
+                               include_outputs=False)
+            second = client.run("Motivating", generator="frodo", steps=2,
+                                include_outputs=False)
+        assert first["output_sha256"] == second["output_sha256"]
+
+    def test_responses_stamped_with_shard(self, cluster):
+        with ServeClient(port=cluster.port) as client:
+            resp = client.request_raw("run", model="Simpson",
+                                      generator="frodo", steps=1,
+                                      include_outputs=False)
+        assert resp["meta"]["shard"] in ("s0", "s1")
+
+    def test_merged_metrics_with_shard_labels(self, cluster):
+        with ServeClient(port=cluster.port) as client:
+            client.run("Motivating", generator="frodo", steps=1,
+                       include_outputs=False)
+            result = client.metrics()
+        snap = result["snapshot"]
+        assert snap["shards_merged"] >= 3
+        labels = {row["labels"].get("shard", "")
+                  for row in snap["requests_total"]}
+        assert labels & {"s0", "s1"}
+        # The rendered text page works on the merged snapshot too.
+        assert "requests_total" in result["text"]
+
+    def test_store_sees_artifacts(self, cluster):
+        with ServeClient(port=cluster.port) as client:
+            client.run("AudioProcess", generator="frodo", steps=1,
+                       include_outputs=False)
+        assert cluster.store is not None
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if cluster.store.store.stat()["artifact"]["count"] >= 1:
+                break
+            time.sleep(0.1)
+        assert cluster.store.store.stat()["artifact"]["count"] >= 1
+
+
+class TestClusterFaultTolerance:
+    def test_kill_shard_zero_failed_requests(self, tmp_path):
+        """SIGKILL one shard mid-traffic: the router retries onto the
+        survivor and the monitor respawns the victim — no request fails.
+        """
+        sup = ClusterSupervisor(_config(tmp_path, shards=2))
+        sup.start()
+        try:
+            models = ("Motivating", "Simpson")
+            with ServeClient(port=sup.port) as client:
+                for model in models:
+                    client.run(model, generator="frodo", steps=1,
+                               include_outputs=False)
+            stop = threading.Event()
+            errors: list[str] = []
+            done = [0]
+
+            def loop() -> None:
+                with ServeClient(port=sup.port) as client:
+                    i = 0
+                    while not stop.is_set():
+                        try:
+                            client.run(models[i % 2], generator="frodo",
+                                       steps=1, include_outputs=False)
+                            done[0] += 1
+                        except Exception as exc:  # noqa: BLE001
+                            errors.append(f"{type(exc).__name__}: {exc}")
+                        i += 1
+
+            threads = [threading.Thread(target=loop) for _ in range(4)]
+            for t in threads:
+                t.start()
+            time.sleep(0.5)
+            victim = "s0"
+            spawn_count = sup._find(victim).spawn_count
+            sup.kill_shard(victim)
+            assert sup.wait_shard_respawn(victim, spawn_count, timeout=60)
+            time.sleep(1.0)
+            stop.set()
+            for t in threads:
+                t.join()
+            assert not errors, errors[:5]
+            assert done[0] > 0
+        finally:
+            sup.stop()
+
+    def test_drain_rehomes_slice_without_recompiles(self, tmp_path):
+        """Drain a shard for good: the survivor inherits its slice and
+        serves it from the shared store — zero new codegen runs."""
+        sup = ClusterSupervisor(_config(tmp_path, shards=2))
+        sup.start()
+        try:
+            specs = [f"corpus:{seed}:3" for seed in range(4)]
+            with ServeClient(port=sup.port) as client:
+                for spec in specs:
+                    client.run(spec, generator="frodo", steps=1,
+                               include_outputs=False)
+                before = self._miss_counts(client)
+                assert sum(before.values()) == len(specs)
+                sup.drain_shard("s0", respawn=False)
+                for spec in specs:
+                    client.run(spec, generator="frodo", steps=1,
+                               include_outputs=False)
+                after = self._miss_counts(client)
+            new = sum(max(0, after.get(s, 0) - before.get(s, 0))
+                      for s in after)
+            assert new == 0
+        finally:
+            sup.stop()
+
+    @staticmethod
+    def _miss_counts(client) -> dict:
+        snap = client.metrics(render=False)["snapshot"]
+        out: dict = {}
+        for row in snap["cache_events_total"]:
+            labels = row["labels"]
+            if labels.get("cache") == "artifact" \
+                    and labels.get("event") == "miss":
+                shard = labels.get("shard", "")
+                out[shard] = out.get(shard, 0) + int(row["value"])
+        return out

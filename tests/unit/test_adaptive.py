@@ -302,3 +302,72 @@ class TestInterpOverlay:
         vm = cached_vm(p, backend="auto")
         assert vm.backend != "native"
         assert promotion_state(fp) == "demoted"
+
+
+class TestHeatPersistence:
+    """Heat records survive in a HeatStore so an inheriting shard starts
+    from observed heat instead of zero (the cluster re-hash story)."""
+
+    def _store(self, tmp_path):
+        from repro.serve.store import HeatStore, LocalStore
+        return HeatStore(LocalStore(tmp_path))
+
+    def test_observe_publishes_heat_record(self, tmp_path):
+        heat = self._store(tmp_path)
+        ctl = AdaptiveController(AdaptiveConfig(threshold_ms=1e12),
+                                 heat_store=heat)
+        p = make_program()
+        ctl.observe(p, steps=10, batch=2, model_name="adapt")
+        record = heat.load(fingerprint(p), True)
+        assert record is not None
+        assert record["heat"] == pytest.approx(20.0, rel=0.01)
+        assert record["invocations"] == 1
+        assert record["model"] == "adapt"
+        assert record["updated_at"] <= time.time()
+
+    def test_new_controller_seeds_from_persisted_heat(self, tmp_path,
+                                                      monkeypatch):
+        # Publish every observation (the throttle is not under test).
+        monkeypatch.setattr(adaptive, "HEAT_PUBLISH_INTERVAL", 0.0)
+        heat = self._store(tmp_path)
+        p = make_program()
+        first = AdaptiveController(AdaptiveConfig(threshold_ms=1e12),
+                                   heat_store=heat)
+        for _ in range(3):
+            first.observe(p, steps=50)
+        # A fresh controller (an inheriting shard) starts warm: its first
+        # observation lands on top of the persisted 150 units.
+        second = AdaptiveController(AdaptiveConfig(threshold_ms=1e12),
+                                    heat_store=heat)
+        status = second.observe(p, steps=1)
+        assert status["heat"] > 100.0
+        entry = second._entries[(fingerprint(p), True)]
+        assert entry.invocations >= 3
+
+    def test_seeded_heat_decays_by_wall_clock_age(self, tmp_path):
+        heat = self._store(tmp_path)
+        p = make_program()
+        fp = fingerprint(p)
+        # A record an hour old with a 1s half-life is stone cold.
+        heat.save(fp, True, {"heat": 1e6, "updated_at": time.time() - 3600,
+                             "invocations": 100})
+        ctl = AdaptiveController(
+            AdaptiveConfig(threshold_ms=1e12, half_life_seconds=1.0),
+            heat_store=heat)
+        status = ctl.observe(p, steps=1)
+        assert status["heat"] < 2.0
+
+    def test_garbage_record_is_ignored(self, tmp_path):
+        heat = self._store(tmp_path)
+        p = make_program()
+        heat.save(fingerprint(p), True,
+                  {"heat": "not-a-number", "invocations": True})
+        ctl = AdaptiveController(AdaptiveConfig(threshold_ms=1e12),
+                                 heat_store=heat)
+        status = ctl.observe(p, steps=5)
+        assert status["heat"] == pytest.approx(5.0, rel=0.01)
+
+    def test_no_store_means_no_seeding_io(self):
+        ctl = AdaptiveController(AdaptiveConfig(threshold_ms=1e12))
+        status = ctl.observe(make_program(), steps=5)
+        assert status["heat"] == pytest.approx(5.0, rel=0.01)

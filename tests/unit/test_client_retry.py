@@ -1,0 +1,93 @@
+"""Client-side reset retry: the serve client reconnects once when the
+connection drops mid-request (what a draining shard looks like)."""
+
+import json
+import socketserver
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+
+class _FlakyServer(socketserver.ThreadingTCPServer):
+    """Closes the first N connections without replying, then behaves."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, drop_first: int = 1):
+        self.drop_remaining = drop_first
+        self.connections = 0
+        self._lock = threading.Lock()
+        super().__init__(("127.0.0.1", 0), _Handler)
+
+    def start(self) -> "_FlakyServer":
+        threading.Thread(target=self.serve_forever, daemon=True).start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: _FlakyServer = self.server  # type: ignore[assignment]
+        with server._lock:
+            server.connections += 1
+            drop = server.drop_remaining > 0
+            if drop:
+                server.drop_remaining -= 1
+        if drop:
+            return  # close without replying: a reset from the client's side
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            req = json.loads(line)
+            self.wfile.write((json.dumps(
+                {"id": req.get("id"), "ok": True,
+                 "result": {"pong": True}}) + "\n").encode())
+
+
+class TestClientResetRetry:
+    def test_retries_once_on_reset(self):
+        server = _FlakyServer(drop_first=1).start()
+        try:
+            with ServeClient(port=server.server_address[1]) as client:
+                assert client.ping()["pong"] is True
+            assert server.connections == 2  # dropped + retried
+        finally:
+            server.stop()
+
+    def test_retry_disabled_propagates(self):
+        server = _FlakyServer(drop_first=1).start()
+        try:
+            with ServeClient(port=server.server_address[1],
+                             retry_resets=False) as client:
+                with pytest.raises((ConnectionError, OSError)):
+                    client.ping()
+        finally:
+            server.stop()
+
+    def test_second_reset_propagates(self):
+        server = _FlakyServer(drop_first=2).start()
+        try:
+            with ServeClient(port=server.server_address[1]) as client:
+                with pytest.raises((ConnectionError, OSError)):
+                    client.ping()
+        finally:
+            server.stop()
+
+    def test_reset_mid_session_recovers(self):
+        """A healthy session whose pooled connection goes stale retries
+        transparently — request ids keep advancing."""
+        server = _FlakyServer(drop_first=0).start()
+        try:
+            with ServeClient(port=server.server_address[1]) as client:
+                assert client.ping()["pong"] is True
+                client._sock.shutdown(__import__("socket").SHUT_RDWR)
+                assert client.ping()["pong"] is True
+        finally:
+            server.stop()

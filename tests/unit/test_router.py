@@ -1,0 +1,206 @@
+"""Unit tests for the consistent-hash ring, routing keys, and the
+router server against in-process shard servers."""
+
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeRequestError
+from repro.serve.router import (HashRing, RouterThread, routing_key)
+from repro.serve.server import ServeConfig, ServerThread
+
+
+class TestHashRing:
+    def test_deterministic(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # insertion order irrelevant
+        for key in ("model:A", "model:B", "abc123", "model:Motivating"):
+            assert a.preference(key) == b.preference(key)
+
+    def test_preference_covers_all_nodes_once(self):
+        ring = HashRing([f"s{i}" for i in range(5)])
+        pref = ring.preference("model:X")
+        assert sorted(pref) == [f"s{i}" for i in range(5)]
+
+    def test_keys_spread_over_shards(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        homes = {ring.node(f"model:corpus:{i}:3") for i in range(64)}
+        assert len(homes) == 4  # every shard owns part of the space
+
+    def test_removal_only_moves_the_lost_slice(self):
+        """The consistent-hashing contract: removing one shard re-homes
+        only the keys it owned; every other key keeps its shard."""
+        ring = HashRing([f"s{i}" for i in range(4)])
+        keys = [f"model:m{i}" for i in range(200)]
+        before = {k: ring.node(k) for k in keys}
+        ring.remove("s2")
+        for k in keys:
+            if before[k] != "s2":
+                assert ring.node(k) == before[k]
+            else:
+                assert ring.node(k) != "s2"
+
+    def test_fallback_order_skips_home(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        pref = ring.preference("model:Y")
+        assert len(set(pref)) == 3
+        assert pref[0] == ring.node("model:Y")
+
+    def test_empty_ring(self):
+        assert HashRing().preference("anything") == []
+        assert HashRing().node("anything") is None
+
+
+class TestRoutingKey:
+    def test_model_name(self):
+        assert routing_key({"op": "run", "model": "Motivating"}) == \
+            "model:Motivating"
+
+    def test_payload_beats_name(self):
+        key = routing_key({"model": "x", "model_payload": "AAAA"})
+        assert key != "model:x"
+        assert key == routing_key({"model": "y", "model_payload": "AAAA"})
+
+    def test_no_model_is_round_robin(self):
+        assert routing_key({"op": "sleep", "seconds": 0.1}) is None
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """Two real in-process shard servers plus a router over them."""
+    tmp = tmp_path_factory.mktemp("fleet")
+    shards = []
+    for name in ("s0", "s1"):
+        thread = ServerThread(ServeConfig(
+            workers=0, cache_dir=str(tmp / name), shard=name,
+            allow_debug=True, max_batch=1))
+        thread.start()
+        shards.append(thread)
+    router = RouterThread(
+        ServeConfig(workers=0, max_batch=1),
+        {t.config.shard: ("127.0.0.1", t.server.port) for t in shards})
+    router.start()
+    yield router, shards
+    router.stop()
+    for t in shards:
+        t.stop()
+
+
+class TestRouterServer:
+    def test_ping_reports_role_and_roster(self, fleet):
+        router, _ = fleet
+        with ServeClient(port=router.server.port) as client:
+            pong = client.ping()
+        assert pong["role"] == "router"
+        assert set(pong["shards"]) == {"s0", "s1"}
+        assert all(s["up"] for s in pong["shards"].values())
+
+    def test_forwarded_run_carries_shard_meta(self, fleet):
+        router, _ = fleet
+        with ServeClient(port=router.server.port) as client:
+            resp = client.request_raw("run", model="Motivating",
+                                      generator="frodo", steps=1,
+                                      include_outputs=False)
+        assert resp["ok"]
+        home = router.server.ring.node("model:Motivating")
+        assert resp["meta"]["shard"] == home
+
+    def test_same_model_sticks_to_one_shard(self, fleet):
+        router, _ = fleet
+        seen = set()
+        with ServeClient(port=router.server.port) as client:
+            for _ in range(4):
+                resp = client.request_raw("run", model="Simpson",
+                                          generator="frodo", steps=1,
+                                          include_outputs=False)
+                seen.add(resp["meta"]["shard"])
+        assert len(seen) == 1
+
+    def test_typed_errors_pass_through(self, fleet):
+        router, _ = fleet
+        with ServeClient(port=router.server.port) as client:
+            with pytest.raises(ServeRequestError) as exc:
+                client.run("NoSuchModelZZZ")
+            assert exc.value.error_type == "unknown_model"
+            # The router connection survives shard-side errors.
+            assert client.ping()["pong"] is True
+
+    def test_merged_metrics_sees_both_shards(self, fleet):
+        router, _ = fleet
+        with ServeClient(port=router.server.port) as client:
+            client.run("Motivating", generator="frodo", steps=1,
+                       include_outputs=False)
+            snap = client.metrics(render=False)["snapshot"]
+        assert snap.get("shards_merged", 0) >= 3  # router + 2 shards
+        shard_labels = {row["labels"].get("shard")
+                        for row in snap["requests_total"]}
+        assert any(s for s in shard_labels)  # shard-labelled rows survive
+
+    def test_trace_grafts_router_spans_onto_shard_forest(self, fleet):
+        router, _ = fleet
+        with ServeClient(port=router.server.port) as client:
+            result = client.run("Motivating", generator="frodo", steps=1,
+                                include_outputs=False, trace=True)
+        names = set()
+        stack = list(result.get("trace", ()))
+        while stack:
+            node = stack.pop()
+            names.add(node.get("name"))
+            stack.extend(node.get("children", ()))
+        # Shard-side spans and router-side spans in one forest.
+        assert "worker.handle" in names or any(
+            n and n.startswith("vm.") for n in names)
+        assert "request" in names
+        assert "router.route" in names
+        assert "shard.forward" in names
+
+    def test_dead_shard_fails_over_to_survivor(self, tmp_path):
+        """Kill one of two shards: its traffic lands on the survivor and
+        nothing fails; the roster marks it down."""
+        shard = ServerThread(ServeConfig(workers=0,
+                                         cache_dir=str(tmp_path / "a"),
+                                         shard="sa", max_batch=1))
+        shard.start()
+        doomed = ServerThread(ServeConfig(workers=0,
+                                          cache_dir=str(tmp_path / "b"),
+                                          shard="sb", max_batch=1))
+        doomed.start()
+        doomed_port = doomed.server.port
+        router = RouterThread(
+            ServeConfig(workers=0, max_batch=1),
+            {"sa": ("127.0.0.1", shard.server.port),
+             "sb": ("127.0.0.1", doomed_port)})
+        router.start()
+        try:
+            doomed.stop()
+            with ServeClient(port=router.server.port) as client:
+                for model in ("Motivating", "Simpson", "AudioProcess"):
+                    result = client.run(model, generator="frodo", steps=1,
+                                        include_outputs=False)
+                    assert "output_sha256" in result
+                pong = client.ping()
+            assert pong["shards"]["sb"]["up"] is False
+        finally:
+            router.stop()
+            shard.stop()
+
+    def test_round_robin_ops_spread(self, fleet):
+        router, _ = fleet
+
+        def one(results, slot):
+            with ServeClient(port=router.server.port) as client:
+                resp = client.request_raw("sleep", seconds=0.2)
+                results[slot] = resp
+
+        results = [None, None]
+        threads = [threading.Thread(target=one, args=(results, i))
+                   for i in range(2)]
+        t0 = __import__("time").perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = __import__("time").perf_counter() - t0
+        assert all(r and r["ok"] for r in results)
+        # Two 0.2s sleeps overlapping on two shards: well under 0.4s.
+        assert wall < 0.39
